@@ -1,0 +1,56 @@
+//! E8 — Convergence ablation: the paper's §6 drawback, quantified. How much
+//! simulation budget (horizon × replications) does the Petri net need before
+//! its percentages stabilize, and what does each budget cost in wall-clock?
+//!
+//! Usage: `cargo run --release -p wsnem-bench --bin ablation_convergence [--quick]`
+
+use wsnem_bench::{f, quick_mode, render_table};
+use wsnem_core::experiments::convergence_ablation;
+use wsnem_core::CpuModelParams;
+
+fn main() {
+    let quick = quick_mode();
+    let params = CpuModelParams::paper_defaults();
+    let budgets: &[(f64, usize)] = if quick {
+        &[(100.0, 1), (1000.0, 4)]
+    } else {
+        &[
+            (100.0, 1),
+            (100.0, 8),
+            (1000.0, 1),
+            (1000.0, 8),
+            (1000.0, 32),
+            (10_000.0, 8),
+            (10_000.0, 32),
+        ]
+    };
+
+    let (reference, rows) = convergence_ablation(params, budgets).expect("ablation runs");
+
+    println!("Ablation E8 — Petri-net estimate convergence with simulation budget");
+    println!(
+        "T = {} s, D = {} s; high-budget DES reference: {}\n",
+        params.power_down_threshold, params.power_up_delay, reference
+    );
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                f(r.horizon, 0),
+                r.replications.to_string(),
+                f(r.delta_vs_reference, 3),
+                format!("{:.2e}", r.eval_seconds),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["horizon (s)", "replications", "Δ vs reference (pp)", "wall time (s)"],
+            &printable
+        )
+    );
+    println!("Reading: error shrinks roughly with the square root of the total budget —");
+    println!("the 'long simulation time' cost the paper attributes to Petri nets, versus");
+    println!("the closed-form Markov expression that evaluates in nanoseconds.");
+}

@@ -1,0 +1,59 @@
+//! E7 — Erlang-phase ablation: how many phases does a CTMC need before the
+//! constant delays are "modeled effectively" (the paper's §6 open problem)?
+//!
+//! Replaces both deterministic delays by Erlang-k, solves the chain exactly,
+//! and reports the error vs the DES ground truth as k grows — alongside the
+//! supplementary-variable approximation's error for reference.
+//!
+//! Usage: `cargo run --release -p wsnem-bench --bin ablation_erlang [--quick]`
+
+use wsnem_bench::{f, quick_mode, render_table};
+use wsnem_core::experiments::erlang_ablation;
+use wsnem_core::{CpuModel, CpuModelParams, MarkovCpuModel};
+
+fn main() {
+    let quick = quick_mode();
+    let params = CpuModelParams::paper_defaults()
+        .with_power_up_delay(0.3)
+        .with_replications(if quick { 6 } else { 24 })
+        .with_horizon(if quick { 1000.0 } else { 8000.0 })
+        .with_warmup(if quick { 50.0 } else { 400.0 });
+    let phase_counts: &[u32] = if quick {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
+
+    let (des, rows) = erlang_ablation(params, phase_counts).expect("ablation runs");
+    let sv = MarkovCpuModel::new(params).evaluate().expect("markov evaluates");
+    let sv_delta = sv.fractions.mean_abs_delta_pct(&des);
+
+    println!("Ablation E7 — Erlang-k phase expansion of the deterministic delays");
+    println!(
+        "lambda = {}/s, mu = {}/s, T = {} s, D = {} s; DES reference: {}\n",
+        params.lambda, params.mu, params.power_down_threshold, params.power_up_delay, des
+    );
+    let printable: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.phases.to_string(),
+                r.n_states.to_string(),
+                f(r.delta_vs_des, 3),
+                format!("{:.2e}", r.eval_seconds),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["phases k", "CTMC states", "Δ vs DES (pp)", "solve time (s)"],
+            &printable
+        )
+    );
+    println!("Supplementary-variable (paper) approximation at the same parameters:");
+    println!("  Δ vs DES = {} pp (closed form, instant)", f(sv_delta, 3));
+    println!("\nReading: phase expansion answers the paper's closing question — constant");
+    println!("delays can be Markov-modeled effectively, at the cost of a growing state");
+    println!("space (k phases multiply the chain size).");
+}

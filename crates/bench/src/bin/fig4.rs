@@ -1,0 +1,49 @@
+//! E2 — Paper Figure 4: steady-state percentages of time in each CPU state
+//! vs the Power Down Threshold, for Simulation (DES), Markov and Petri net,
+//! at Power Up Delay D = 0.001 s (λ = 1/s, μ = 10/s, 1000 s horizon).
+//!
+//! Usage: `cargo run --release -p wsnem-bench --bin fig4 [--quick]`
+
+use wsnem_bench::{f, quick_mode, render_table};
+use wsnem_core::experiments::ThresholdSweep;
+use wsnem_core::{CpuModelParams, ModelKind};
+
+fn main() {
+    let quick = quick_mode();
+    let params = CpuModelParams::paper_defaults()
+        .with_replications(if quick { 4 } else { 32 })
+        .with_horizon(if quick { 500.0 } else { 2000.0 })
+        .with_warmup(if quick { 25.0 } else { 100.0 });
+    let sweep = ThresholdSweep::paper(params, 0.001)
+        .run()
+        .expect("sweep runs");
+
+    println!("Paper Figure 4 — steady-state percentage of time vs Power Down Threshold");
+    println!(
+        "lambda = {}/s, mu = {}/s, D = 0.001 s, horizon = {} s, {} replications\n",
+        params.lambda, params.mu, params.horizon, params.replications
+    );
+
+    for (state_idx, state) in ["Standby", "PowerUp", "Idle", "Active"]
+        .iter()
+        .enumerate()
+    {
+        // Canonical order is [standby, powerup, idle, active].
+        println!("State: {state} (%)");
+        let sim = sweep.percent_series(ModelKind::Des, state_idx);
+        let mar = sweep.percent_series(ModelKind::Markov, state_idx);
+        let pn = sweep.percent_series(ModelKind::PetriNet, state_idx);
+        let rows: Vec<Vec<String>> = sweep
+            .t_values()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                vec![f(*t, 1), f(sim[i], 3), f(mar[i], 3), f(pn[i], 3)]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["T (s)", "Simulation", "Markov", "Petri Net"], &rows)
+        );
+    }
+}

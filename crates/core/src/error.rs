@@ -1,0 +1,98 @@
+//! Unified error type for the model layer.
+
+use std::fmt;
+
+use wsnem_des::DesError;
+use wsnem_markov::MarkovError;
+use wsnem_petri::PetriError;
+
+/// Errors raised while building or evaluating CPU models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The Markov layer rejected the parameters or failed to solve.
+    Markov(MarkovError),
+    /// The Petri layer rejected the net or simulation.
+    Petri(PetriError),
+    /// The DES layer rejected the parameters.
+    Des(DesError),
+    /// A model parameter was out of domain.
+    InvalidParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Markov(e) => write!(f, "markov model: {e}"),
+            CoreError::Petri(e) => write!(f, "petri model: {e}"),
+            CoreError::Des(e) => write!(f, "des model: {e}"),
+            CoreError::InvalidParameter {
+                what,
+                constraint,
+                value,
+            } => write!(f, "{what}: value {value} violates {constraint}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Markov(e) => Some(e),
+            CoreError::Petri(e) => Some(e),
+            CoreError::Des(e) => Some(e),
+            CoreError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<MarkovError> for CoreError {
+    fn from(e: MarkovError) -> Self {
+        CoreError::Markov(e)
+    }
+}
+
+impl From<PetriError> for CoreError {
+    fn from(e: PetriError) -> Self {
+        CoreError::Petri(e)
+    }
+}
+
+impl From<DesError> for CoreError {
+    fn from(e: DesError) -> Self {
+        CoreError::Des(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = MarkovError::Empty.into();
+        assert!(e.to_string().contains("markov"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = PetriError::VanishingLoop { time: 0.0 }.into();
+        assert!(e.to_string().contains("petri"));
+        let e: CoreError = DesError::TimeTravel {
+            now: 1.0,
+            requested: 0.0,
+        }
+        .into();
+        assert!(e.to_string().contains("des"));
+        let e = CoreError::InvalidParameter {
+            what: "x",
+            constraint: "> 0",
+            value: -1.0,
+        };
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(e.to_string().contains("x"));
+    }
+}

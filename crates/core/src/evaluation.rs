@@ -1,0 +1,102 @@
+//! The common evaluation interface of the three CPU models.
+
+use wsnem_energy::{EnergyBreakdown, PowerProfile, StateFractions};
+
+use crate::error::CoreError;
+
+/// Which model produced an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Supplementary-variable Markov closed forms.
+    Markov,
+    /// EDSPN token-game simulation.
+    PetriNet,
+    /// Discrete-event simulation (ground truth).
+    Des,
+}
+
+impl ModelKind {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Markov => "Markov",
+            ModelKind::PetriNet => "Petri Net",
+            ModelKind::Des => "Simulation",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A model's steady-state verdict on the CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelEvaluation {
+    /// Which model produced this.
+    pub kind: ModelKind,
+    /// Steady-state occupancy of the four power states.
+    pub fractions: StateFractions,
+    /// Mean number of jobs in the system, when the model provides it.
+    pub mean_jobs: Option<f64>,
+    /// Mean per-job latency (s), when the model provides it.
+    pub mean_latency: Option<f64>,
+    /// Wall-clock cost of producing this evaluation (s) — the §6 trade-off
+    /// (analytic formulas are instant, simulations are not).
+    pub eval_seconds: f64,
+}
+
+impl ModelEvaluation {
+    /// Energy over `time_s` seconds with the given profile (paper Eq. 25).
+    pub fn energy(&self, profile: &PowerProfile, time_s: f64) -> EnergyBreakdown {
+        wsnem_energy::energy_eq25(&self.fractions, profile, time_s)
+    }
+
+    /// Energy total in joules over `time_s` seconds.
+    pub fn energy_joules(&self, profile: &PowerProfile, time_s: f64) -> f64 {
+        self.energy(profile, time_s).total_joules()
+    }
+
+    /// Mean power draw (mW) under the profile.
+    pub fn mean_power_mw(&self, profile: &PowerProfile) -> f64 {
+        profile.mean_power_mw(&self.fractions)
+    }
+}
+
+/// A CPU model that can be evaluated to steady-state fractions.
+pub trait CpuModel {
+    /// The model's kind/label.
+    fn kind(&self) -> ModelKind;
+
+    /// Evaluate the model.
+    fn evaluate(&self) -> Result<ModelEvaluation, CoreError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_match_paper_legends() {
+        assert_eq!(ModelKind::Markov.to_string(), "Markov");
+        assert_eq!(ModelKind::PetriNet.to_string(), "Petri Net");
+        assert_eq!(ModelKind::Des.to_string(), "Simulation");
+    }
+
+    #[test]
+    fn evaluation_energy_helpers() {
+        let eval = ModelEvaluation {
+            kind: ModelKind::Markov,
+            fractions: StateFractions::new(1.0, 0.0, 0.0, 0.0),
+            mean_jobs: None,
+            mean_latency: None,
+            eval_seconds: 0.0,
+        };
+        let p = PowerProfile::pxa271();
+        assert!((eval.energy_joules(&p, 1000.0) - 17.0).abs() < 1e-9);
+        assert!((eval.mean_power_mw(&p) - 17.0).abs() < 1e-9);
+        assert_eq!(eval.energy(&p, 10.0).time_s, 10.0);
+    }
+}

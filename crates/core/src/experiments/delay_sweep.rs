@@ -1,0 +1,142 @@
+//! Extension experiment E9: where exactly does the supplementary-variable
+//! approximation break?
+//!
+//! Tables 4/5 sample three Power-Up Delays; this sweep walks `D` finely and
+//! reports each model's error against the DES ground truth, locating the
+//! `λD` boundary beyond which the paper's Markov model should not be
+//! trusted — the constant behind `wsn::tuning`'s backend choice.
+
+use wsnem_energy::StateFractions;
+
+use crate::error::CoreError;
+use crate::evaluation::CpuModel;
+use crate::models::des_model::DesCpuModel;
+use crate::models::markov_model::MarkovCpuModel;
+use crate::models::petri_model::PetriCpuModel;
+use crate::models::phase_model::PhaseCpuModel;
+use crate::params::CpuModelParams;
+
+/// One row of the delay sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelaySweepRow {
+    /// Power Up Delay (s).
+    pub d: f64,
+    /// λD — the dimensionless backlog measure that governs validity.
+    pub lambda_d: f64,
+    /// DES reference fractions.
+    pub des: StateFractions,
+    /// Supplementary-variable error vs DES (pp).
+    pub markov_err: f64,
+    /// Erlang-phase (16 phases) error vs DES (pp).
+    pub phase_err: f64,
+    /// Petri-net error vs DES (pp).
+    pub petri_err: f64,
+}
+
+/// Sweep the Power Up Delay and measure each model's deviation from DES.
+///
+/// Points run in parallel; inner models run single-threaded.
+pub fn delay_sweep(
+    params: CpuModelParams,
+    d_values: &[f64],
+) -> Result<Vec<DelaySweepRow>, CoreError> {
+    params.validate()?;
+    let n = d_values.len();
+    let mut slots: Vec<Option<Result<DelaySweepRow, CoreError>>> = vec![None; n];
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+            scope.spawn(move |_| {
+                for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                    let d = d_values[k * chunk + j];
+                    *slot = Some(sweep_point(params, d));
+                }
+            });
+        }
+    })
+    .expect("delay sweep worker panicked");
+    let mut rows = Vec::with_capacity(n);
+    for s in slots {
+        rows.push(s.expect("all points evaluated")?);
+    }
+    Ok(rows)
+}
+
+fn sweep_point(base: CpuModelParams, d: f64) -> Result<DelaySweepRow, CoreError> {
+    let params = base.with_power_up_delay(d);
+    let des = DesCpuModel::new(params).with_threads(Some(1)).evaluate()?;
+    let markov = MarkovCpuModel::new(params).evaluate()?;
+    let petri = PetriCpuModel::new(params)
+        .with_threads(Some(1))
+        .evaluate()?;
+    // Phase expansion needs strictly positive delays.
+    let phase_err = if d > 0.0 && params.power_down_threshold > 0.0 {
+        let phase = PhaseCpuModel::new(params).evaluate()?;
+        des.fractions.mean_abs_delta_pct(&phase.fractions)
+    } else {
+        f64::NAN
+    };
+    Ok(DelaySweepRow {
+        d,
+        lambda_d: params.lambda * d,
+        des: des.fractions,
+        markov_err: des.fractions.mean_abs_delta_pct(&markov.fractions),
+        phase_err,
+        petri_err: des.fractions.mean_abs_delta_pct(&petri.fractions),
+    })
+}
+
+/// The smallest swept `λD` at which the supplementary-variable error exceeds
+/// `threshold_pp` percentage points (`None` if it never does).
+pub fn markov_validity_boundary(rows: &[DelaySweepRow], threshold_pp: f64) -> Option<f64> {
+    rows.iter()
+        .filter(|r| r.markov_err > threshold_pp)
+        .map(|r| r.lambda_d)
+        .fold(None, |acc, x| match acc {
+            None => Some(x),
+            Some(a) => Some(a.min(x)),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CpuModelParams {
+        CpuModelParams::paper_defaults()
+            .with_replications(6)
+            .with_horizon(2500.0)
+            .with_warmup(150.0)
+    }
+
+    #[test]
+    fn errors_grow_with_delay_for_markov_only() {
+        let rows = delay_sweep(quick(), &[0.01, 1.0, 5.0]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].markov_err < 1.0, "{}", rows[0].markov_err);
+        assert!(
+            rows[2].markov_err > rows[0].markov_err + 3.0,
+            "{} vs {}",
+            rows[2].markov_err,
+            rows[0].markov_err
+        );
+        // PN and phase chain stay accurate throughout.
+        for r in &rows {
+            assert!(r.petri_err < 1.5, "D={}: pn {}", r.d, r.petri_err);
+            assert!(r.phase_err < 1.5, "D={}: phase {}", r.d, r.phase_err);
+            assert!((r.lambda_d - r.d).abs() < 1e-12, "λ = 1 here");
+        }
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let rows = delay_sweep(quick(), &[0.01, 2.0]).unwrap();
+        let boundary = markov_validity_boundary(&rows, 1.0);
+        assert_eq!(boundary, Some(2.0), "rows: {rows:?}");
+        assert_eq!(markov_validity_boundary(&rows, 1e9), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! # wsnem-core
+//!
+//! The paper's contribution, as a library: three interchangeable models of a
+//! wireless-sensor-node processor with power management —
+//!
+//! * [`MarkovCpuModel`] — the supplementary-variable closed forms
+//!   (paper §4.1, Eqs. 1–24),
+//! * [`PetriCpuModel`] — the EDSPN of paper Fig. 3 / Table 1 executed on the
+//!   `wsnem-petri` token game,
+//! * [`DesCpuModel`] — the discrete-event ground-truth simulator
+//!   (the paper's Matlab benchmark),
+//!
+//! all behind the [`CpuModel`] trait, plus the [`experiments`] harness that
+//! regenerates every table and figure of the evaluation section (Fig. 4,
+//! Fig. 5, Table 4, Table 5) and the ablations DESIGN.md adds (Erlang-phase
+//! Markov chains, convergence studies).
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards deliberately reject NaN together with the
+// out-of-domain values; `partial_cmp` rewrites would lose that property.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod evaluation;
+pub mod experiments;
+pub mod models;
+pub mod params;
+
+pub use error::CoreError;
+pub use evaluation::{CpuModel, ModelEvaluation, ModelKind};
+pub use models::des_model::DesCpuModel;
+pub use models::markov_model::MarkovCpuModel;
+pub use models::petri_model::{build_cpu_edspn, CpuNetHandles, PetriCpuModel};
+pub use models::phase_model::PhaseCpuModel;
+pub use params::CpuModelParams;

@@ -1,0 +1,142 @@
+//! The discrete-event ground-truth simulator behind the [`CpuModel`] trait.
+
+use std::time::Instant;
+
+use wsnem_des::cpu::{CpuDes, CpuSimParams};
+use wsnem_des::replication::run_replications;
+use wsnem_des::workload::Workload;
+use wsnem_stats::dist::Dist;
+use wsnem_stats::online::Welford;
+
+use crate::error::CoreError;
+use crate::evaluation::{CpuModel, ModelEvaluation, ModelKind};
+use crate::params::CpuModelParams;
+
+/// Paper §5's benchmark: the event simulator (Matlab in the paper, Rust
+/// here), run as parallel independent replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesCpuModel {
+    params: CpuModelParams,
+    threads: Option<usize>,
+}
+
+impl DesCpuModel {
+    /// Wrap the shared parameters (replications spread over all cores).
+    pub fn new(params: CpuModelParams) -> Self {
+        Self {
+            params,
+            threads: None,
+        }
+    }
+
+    /// Pin the number of worker threads (e.g. `Some(1)` inside an outer
+    /// parallel sweep).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> CpuModelParams {
+        self.params
+    }
+
+    fn sim(&self) -> Result<CpuDes, CoreError> {
+        self.params.validate()?;
+        let sim_params = CpuSimParams {
+            service: Dist::Exponential {
+                rate: self.params.mu,
+            },
+            power_down_threshold: self.params.power_down_threshold,
+            power_up_delay: self.params.power_up_delay,
+            horizon: self.params.horizon,
+            warmup: self.params.warmup,
+            max_queue: None,
+        };
+        Ok(CpuDes::new(
+            sim_params,
+            Workload::open_poisson(self.params.lambda),
+        )?)
+    }
+}
+
+impl CpuModel for DesCpuModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Des
+    }
+
+    fn evaluate(&self) -> Result<ModelEvaluation, CoreError> {
+        let start = Instant::now();
+        let sim = self.sim()?;
+        let summary = run_replications(
+            &sim,
+            self.params.replications,
+            self.params.master_seed,
+            self.threads,
+        );
+        let mut jobs = Welford::new();
+        let mut latency = Welford::new();
+        for r in &summary.reports {
+            jobs.push(r.mean_jobs_in_system);
+            latency.push(r.mean_latency);
+        }
+        Ok(ModelEvaluation {
+            kind: ModelKind::Des,
+            fractions: summary.mean_fractions(),
+            mean_jobs: Some(jobs.mean()),
+            mean_latency: Some(latency.mean()),
+            eval_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_and_normalizes() {
+        let params = CpuModelParams::paper_defaults()
+            .with_replications(4)
+            .with_horizon(500.0);
+        let m = DesCpuModel::new(params);
+        let eval = m.evaluate().unwrap();
+        assert_eq!(eval.kind, ModelKind::Des);
+        assert!(eval.fractions.is_normalized(1e-6));
+        assert!(eval.mean_jobs.unwrap() >= 0.0);
+        assert!(eval.mean_latency.unwrap() > 0.0);
+        assert_eq!(m.params().replications, 4);
+    }
+
+    #[test]
+    fn deterministic_under_threads() {
+        let params = CpuModelParams::paper_defaults()
+            .with_replications(6)
+            .with_horizon(300.0);
+        let a = DesCpuModel::new(params).with_threads(Some(1)).evaluate().unwrap();
+        let b = DesCpuModel::new(params).with_threads(Some(3)).evaluate().unwrap();
+        assert_eq!(a.fractions, b.fractions);
+    }
+
+    #[test]
+    fn matches_markov_for_tiny_powerup_delay() {
+        // At D = 0.001 the supplementary-variable model is essentially
+        // exact; DES must agree within Monte-Carlo noise (the paper's
+        // Fig. 4 message).
+        let params = CpuModelParams::paper_defaults()
+            .with_power_down_threshold(0.5)
+            .with_replications(8)
+            .with_horizon(4000.0)
+            .with_warmup(200.0);
+        let des = DesCpuModel::new(params).evaluate().unwrap();
+        let markov = crate::MarkovCpuModel::new(params).evaluate().unwrap();
+        let delta = des.fractions.mean_abs_delta_pct(&markov.fractions);
+        assert!(delta < 1.5, "Δ = {delta} percentage points");
+    }
+
+    #[test]
+    fn invalid_params_propagate() {
+        let m = DesCpuModel::new(CpuModelParams::paper_defaults().with_mu(0.5));
+        assert!(m.evaluate().is_err(), "rho > 1 rejected");
+    }
+}

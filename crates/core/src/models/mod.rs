@@ -1,0 +1,6 @@
+//! The three CPU model implementations.
+
+pub mod des_model;
+pub mod markov_model;
+pub mod petri_model;
+pub mod phase_model;

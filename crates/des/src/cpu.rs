@@ -1,0 +1,734 @@
+//! The CPU power-state simulator — ground truth for the paper's comparison.
+//!
+//! Model (paper §4): a single-server queue with
+//!
+//! * open (default: Poisson) or closed job arrivals,
+//! * generally-distributed service (default: exponential),
+//! * a constant **Power Down Threshold** `T`: after the system has been idle
+//!   (no job in service, empty buffer) for `T` seconds, the CPU drops to
+//!   Standby,
+//! * a constant **Power Up Delay** `D`: a job arriving in Standby triggers a
+//!   power-up phase of `D` seconds before service can start; jobs arriving
+//!   meanwhile queue up.
+//!
+//! Tie-breaking: an arrival and a power-down timeout at the same instant are
+//! processed in schedule order, which lets the earlier-scheduled arrival
+//! cancel the timer — i.e. the arrival wins, matching the Petri-net
+//! semantics where the enabling check sees the new token.
+
+use std::collections::VecDeque;
+
+use wsnem_energy::{CpuState, EnergyBreakdown, PowerProfile, StateFractions};
+use wsnem_stats::dist::{Dist, Sample};
+use wsnem_stats::online::Welford;
+use wsnem_stats::rng::{Rng64, Xoshiro256PlusPlus};
+use wsnem_stats::timeweighted::TimeWeighted;
+
+use crate::error::DesError;
+use crate::event::{EventId, EventQueue};
+use crate::workload::{Workload, WorkloadGen};
+
+/// Simulation parameters for one CPU run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSimParams {
+    /// Service-time distribution (the paper: exponential, mean 0.1 s).
+    pub service: Dist,
+    /// Power Down Threshold `T` in seconds; `f64::INFINITY` disables
+    /// powering down (plain M/G/1 behaviour).
+    pub power_down_threshold: f64,
+    /// Power Up Delay `D` in seconds.
+    pub power_up_delay: f64,
+    /// Simulated horizon in seconds.
+    pub horizon: f64,
+    /// Warm-up period (statistics reset at this time; `0` keeps everything).
+    pub warmup: f64,
+    /// Optional buffer capacity: arrivals beyond this many *waiting* jobs
+    /// are dropped (`None` = infinite buffer, the paper's setting).
+    pub max_queue: Option<usize>,
+}
+
+impl CpuSimParams {
+    /// Parameters with the paper's service model (exponential, rate `mu`),
+    /// thresholds and a 1000 s horizon.
+    pub fn exponential_service(mu: f64, t_threshold: f64, d_delay: f64) -> Self {
+        Self {
+            service: Dist::Exponential { rate: mu },
+            power_down_threshold: t_threshold,
+            power_up_delay: d_delay,
+            horizon: 1000.0,
+            warmup: 0.0,
+            max_queue: None,
+        }
+    }
+
+    /// Validate the parameter set.
+    pub fn validate(&self) -> Result<(), DesError> {
+        self.service.validate()?;
+        if !(self.power_down_threshold >= 0.0) {
+            return Err(DesError::InvalidParameter {
+                what: "power_down_threshold",
+                constraint: ">= 0",
+                value: self.power_down_threshold,
+            });
+        }
+        if !(self.power_up_delay >= 0.0) || !self.power_up_delay.is_finite() {
+            return Err(DesError::InvalidParameter {
+                what: "power_up_delay",
+                constraint: ">= 0 and finite",
+                value: self.power_up_delay,
+            });
+        }
+        if !(self.horizon > 0.0) || !self.horizon.is_finite() {
+            return Err(DesError::InvalidParameter {
+                what: "horizon",
+                constraint: "> 0 and finite",
+                value: self.horizon,
+            });
+        }
+        if !(0.0..self.horizon).contains(&self.warmup) {
+            return Err(DesError::InvalidParameter {
+                what: "warmup",
+                constraint: "0 <= warmup < horizon",
+                value: self.warmup,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuRunReport {
+    /// Time-in-state fractions over the observation window.
+    pub fractions: StateFractions,
+    /// Length of the observation window (horizon − warmup).
+    pub time_observed: f64,
+    /// Jobs that arrived (post-warmup).
+    pub arrivals: u64,
+    /// Jobs that completed service (post-warmup).
+    pub completions: u64,
+    /// Jobs dropped at a full buffer (post-warmup).
+    pub dropped: u64,
+    /// Standby → PowerUp transitions.
+    pub power_up_cycles: u64,
+    /// On → Standby transitions.
+    pub power_down_cycles: u64,
+    /// Mean job latency (arrival → completion), seconds.
+    pub mean_latency: f64,
+    /// Latency sample variance.
+    pub latency_variance: f64,
+    /// Number of latency samples.
+    pub latency_count: u64,
+    /// Time-averaged number of jobs in the system (queue + in service).
+    pub mean_jobs_in_system: f64,
+    /// Completions per second over the observation window.
+    pub throughput: f64,
+}
+
+impl CpuRunReport {
+    /// Energy over the observed window for the given profile (Eq. 25).
+    pub fn energy(&self, profile: &PowerProfile) -> EnergyBreakdown {
+        wsnem_energy::energy_eq25(&self.fractions, profile, self.time_observed)
+    }
+
+    /// Energy total in joules (Eq. 25).
+    pub fn energy_joules(&self, profile: &PowerProfile) -> f64 {
+        self.energy(profile).total_joules()
+    }
+
+    /// Little's-law consistency check: `L ≈ λ_completed × W`. Returns the
+    /// relative error between the time-averaged population and λW.
+    pub fn littles_law_residual(&self) -> f64 {
+        let lw = self.throughput * self.mean_latency;
+        if self.mean_jobs_in_system == 0.0 {
+            return if lw == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (self.mean_jobs_in_system - lw).abs() / self.mean_jobs_in_system
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Power {
+    Standby,
+    PoweringUp,
+    On,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// Open-workload arrival (schedules its successor).
+    Arrival,
+    /// Closed-workload submission (successor scheduled at departure).
+    ClosedArrival,
+    Departure,
+    PowerDownTimeout,
+    PowerUpDone,
+    WarmupEnd,
+}
+
+/// The discrete-event CPU simulator.
+#[derive(Debug)]
+pub struct CpuDes {
+    params: CpuSimParams,
+    workload: Workload,
+}
+
+impl CpuDes {
+    /// Build a simulator after validating parameters and workload.
+    pub fn new(params: CpuSimParams, workload: Workload) -> Result<Self, DesError> {
+        params.validate()?;
+        workload.validate()?;
+        Ok(Self { params, workload })
+    }
+
+    /// Convenience: run with a fresh xoshiro256++ stream for `seed`.
+    pub fn run_with_seed(&self, seed: u64) -> CpuRunReport {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        self.run(&mut rng)
+    }
+
+    /// Execute one replication.
+    pub fn run<R: Rng64 + ?Sized>(&self, rng: &mut R) -> CpuRunReport {
+        Runner::new(&self.params, &self.workload, rng).run(None)
+    }
+
+    /// Execute one replication, additionally binning every post-warmup job
+    /// latency into `histogram` (e.g. to read tail percentiles — the
+    /// responsiveness cost of aggressive power-down policies).
+    pub fn run_collecting<R: Rng64 + ?Sized>(
+        &self,
+        rng: &mut R,
+        histogram: &mut wsnem_stats::Histogram,
+    ) -> CpuRunReport {
+        Runner::new(&self.params, &self.workload, rng).run(Some(histogram))
+    }
+}
+
+/// Per-run mutable state, split out so `CpuDes` stays reusable/shareable.
+struct Runner<'a, R: Rng64 + ?Sized> {
+    params: &'a CpuSimParams,
+    rng: &'a mut R,
+    queue: EventQueue<Ev>,
+    open_gen: Option<WorkloadGen>,
+    think: Option<Dist>,
+    now: f64,
+    power: Power,
+    serving: Option<f64>,
+    buffer: VecDeque<f64>,
+    pd_timer: Option<EventId>,
+    durations: [f64; 4],
+    last_change: f64,
+    window_start: f64,
+    jobs_in_system: TimeWeighted,
+    latency: Welford,
+    arrivals: u64,
+    completions: u64,
+    dropped: u64,
+    power_ups: u64,
+    power_downs: u64,
+}
+
+impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
+    fn new(params: &'a CpuSimParams, workload: &Workload, rng: &'a mut R) -> Self {
+        let mut queue = EventQueue::with_capacity(64);
+        let mut open_gen = None;
+        let mut think = None;
+        match workload {
+            Workload::Open(spec) => {
+                let mut g = WorkloadGen::new(spec.clone()).expect("validated in CpuDes::new");
+                let first = g.next_gap(rng);
+                queue.schedule(first, Ev::Arrival);
+                open_gen = Some(g);
+            }
+            Workload::Closed(c) => {
+                for _ in 0..c.population {
+                    let t = c.think.sample(rng);
+                    queue.schedule(t, Ev::ClosedArrival);
+                }
+                think = Some(c.think);
+            }
+        }
+        if params.warmup > 0.0 {
+            queue.schedule(params.warmup, Ev::WarmupEnd);
+        }
+        Self {
+            params,
+            rng,
+            queue,
+            open_gen,
+            think,
+            now: 0.0,
+            power: Power::Standby,
+            serving: None,
+            buffer: VecDeque::new(),
+            pd_timer: None,
+            durations: [0.0; 4],
+            last_change: 0.0,
+            window_start: 0.0,
+            jobs_in_system: TimeWeighted::new(0.0, 0.0),
+            latency: Welford::new(),
+            arrivals: 0,
+            completions: 0,
+            dropped: 0,
+            power_ups: 0,
+            power_downs: 0,
+        }
+    }
+
+    #[inline]
+    fn current_state(&self) -> CpuState {
+        match self.power {
+            Power::Standby => CpuState::Standby,
+            Power::PoweringUp => CpuState::PowerUp,
+            Power::On => {
+                if self.serving.is_some() {
+                    CpuState::Active
+                } else {
+                    CpuState::Idle
+                }
+            }
+        }
+    }
+
+    /// Accrue state-occupancy time up to `t`; call *before* mutating state.
+    #[inline]
+    fn accrue(&mut self, t: f64) {
+        let dt = t - self.last_change;
+        if dt > 0.0 {
+            self.durations[self.current_state().index()] += dt;
+        }
+        self.last_change = t;
+    }
+
+    #[inline]
+    fn touch_population(&mut self) {
+        let n = self.buffer.len() + usize::from(self.serving.is_some());
+        self.jobs_in_system.update(self.now, n as f64);
+    }
+
+    fn start_service(&mut self) {
+        debug_assert!(self.power == Power::On && self.serving.is_none());
+        if let Some(arrived) = self.buffer.pop_front() {
+            self.serving = Some(arrived);
+            let s = self.params.service.sample(self.rng).max(0.0);
+            self.queue.schedule(self.now + s, Ev::Departure);
+        }
+    }
+
+    fn arm_power_down_timer(&mut self) {
+        debug_assert!(self.pd_timer.is_none());
+        let t = self.params.power_down_threshold;
+        if t.is_finite() {
+            self.pd_timer = Some(self.queue.schedule(self.now + t, Ev::PowerDownTimeout));
+        }
+    }
+
+    fn disarm_power_down_timer(&mut self) {
+        if let Some(id) = self.pd_timer.take() {
+            self.queue.cancel(id);
+        }
+    }
+
+    fn handle_job_arrival(&mut self) {
+        self.arrivals += 1;
+        if let Some(cap) = self.params.max_queue {
+            if self.buffer.len() >= cap {
+                self.dropped += 1;
+                // A dropped closed-workload customer goes straight back to
+                // thinking.
+                if let Some(think) = self.think {
+                    let gap = think.sample(self.rng).max(0.0);
+                    self.queue.schedule(self.now + gap, Ev::ClosedArrival);
+                }
+                return;
+            }
+        }
+        self.buffer.push_back(self.now);
+        self.touch_population();
+        match self.power {
+            Power::Standby => {
+                self.power = Power::PoweringUp;
+                self.power_ups += 1;
+                self.queue
+                    .schedule(self.now + self.params.power_up_delay, Ev::PowerUpDone);
+            }
+            Power::PoweringUp => {}
+            Power::On => {
+                self.disarm_power_down_timer();
+                if self.serving.is_none() {
+                    self.start_service();
+                }
+            }
+        }
+    }
+
+    fn handle_departure(&mut self, histogram: &mut Option<&mut wsnem_stats::Histogram>) {
+        let arrived = self
+            .serving
+            .take()
+            .expect("departure without a job in service");
+        self.completions += 1;
+        self.latency.push(self.now - arrived);
+        if let Some(h) = histogram {
+            if self.now >= self.params.warmup {
+                h.push(self.now - arrived);
+            }
+        }
+        self.touch_population();
+        if let Some(think) = self.think {
+            let gap = think.sample(self.rng).max(0.0);
+            self.queue.schedule(self.now + gap, Ev::ClosedArrival);
+        }
+        if self.buffer.is_empty() {
+            self.arm_power_down_timer();
+        } else {
+            self.start_service();
+        }
+    }
+
+    fn handle_power_down(&mut self) {
+        // The timer is cancelled whenever a job shows up, so firing implies
+        // a genuinely idle system.
+        debug_assert!(self.power == Power::On);
+        debug_assert!(self.serving.is_none() && self.buffer.is_empty());
+        self.pd_timer = None;
+        self.power = Power::Standby;
+        self.power_downs += 1;
+    }
+
+    fn handle_power_up_done(&mut self) {
+        debug_assert!(self.power == Power::PoweringUp);
+        self.power = Power::On;
+        if self.buffer.is_empty() {
+            // Defensive: power-up is always triggered by an arrival, but a
+            // bounded buffer may have dropped it.
+            self.arm_power_down_timer();
+        } else {
+            self.start_service();
+        }
+    }
+
+    fn reset_statistics(&mut self) {
+        self.durations = [0.0; 4];
+        self.last_change = self.now;
+        self.window_start = self.now;
+        self.jobs_in_system.reset_window(self.now);
+        self.latency = Welford::new();
+        self.arrivals = 0;
+        self.completions = 0;
+        self.dropped = 0;
+        self.power_ups = 0;
+        self.power_downs = 0;
+    }
+
+    fn run(mut self, mut histogram: Option<&mut wsnem_stats::Histogram>) -> CpuRunReport {
+        let horizon = self.params.horizon;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > horizon {
+                break;
+            }
+            self.accrue(t);
+            self.now = t;
+            match ev {
+                Ev::Arrival => {
+                    self.handle_job_arrival();
+                    let gap = self
+                        .open_gen
+                        .as_mut()
+                        .expect("open arrival without generator")
+                        .next_gap(self.rng);
+                    self.queue.schedule(self.now + gap, Ev::Arrival);
+                }
+                Ev::ClosedArrival => self.handle_job_arrival(),
+                Ev::Departure => self.handle_departure(&mut histogram),
+                Ev::PowerDownTimeout => self.handle_power_down(),
+                Ev::PowerUpDone => self.handle_power_up_done(),
+                Ev::WarmupEnd => self.reset_statistics(),
+            }
+        }
+        // Close the books exactly at the horizon.
+        self.accrue(horizon);
+        self.now = horizon;
+        self.jobs_in_system.advance_to(horizon);
+
+        let observed = horizon - self.window_start;
+        let total: f64 = self.durations.iter().sum();
+        debug_assert!((total - observed).abs() < 1e-6 * observed.max(1.0));
+        let inv = if observed > 0.0 { 1.0 / observed } else { 0.0 };
+        let fractions = StateFractions::from_array([
+            self.durations[0] * inv,
+            self.durations[1] * inv,
+            self.durations[2] * inv,
+            self.durations[3] * inv,
+        ]);
+        CpuRunReport {
+            fractions,
+            time_observed: observed,
+            arrivals: self.arrivals,
+            completions: self.completions,
+            dropped: self.dropped,
+            power_up_cycles: self.power_ups,
+            power_down_cycles: self.power_downs,
+            mean_latency: self.latency.mean(),
+            latency_variance: self.latency.variance(),
+            latency_count: self.latency.count(),
+            mean_jobs_in_system: self.jobs_in_system.mean(),
+            throughput: if observed > 0.0 {
+                self.completions as f64 / observed
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ClosedWorkload, OpenWorkload};
+
+    fn paper_params(t: f64, d: f64) -> CpuSimParams {
+        CpuSimParams {
+            horizon: 5000.0,
+            ..CpuSimParams::exponential_service(10.0, t, d)
+        }
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(paper_params(0.5, 0.001).validate().is_ok());
+        let mut p = paper_params(0.5, 0.001);
+        p.power_down_threshold = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = paper_params(0.5, 0.001);
+        p.power_up_delay = f64::INFINITY;
+        assert!(p.validate().is_err());
+        let mut p = paper_params(0.5, 0.001);
+        p.horizon = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = paper_params(0.5, 0.001);
+        p.warmup = p.horizon;
+        assert!(p.validate().is_err());
+        let mut p = paper_params(0.5, 0.001);
+        p.service = Dist::Exponential { rate: -3.0 };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let sim = CpuDes::new(paper_params(0.3, 0.1), Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(7);
+        assert!(
+            r.fractions.is_normalized(1e-9),
+            "fractions {:?}",
+            r.fractions
+        );
+        assert!(r.time_observed > 0.0);
+    }
+
+    #[test]
+    fn never_power_down_behaves_like_mg1_with_idle() {
+        // T = ∞: after the initial power-up the CPU stays on; active
+        // fraction → ρ = λ/μ, standby+powerup ≈ 0.
+        let params = CpuSimParams {
+            horizon: 20_000.0,
+            warmup: 1000.0,
+            ..CpuSimParams::exponential_service(10.0, f64::INFINITY, 0.001)
+        };
+        let sim = CpuDes::new(params, Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(42);
+        assert!((r.fractions.active - 0.1).abs() < 0.01, "{:?}", r.fractions);
+        assert!(r.fractions.standby < 1e-9);
+        assert!(r.fractions.powerup < 1e-9);
+        assert!((r.fractions.idle - 0.9).abs() < 0.01);
+        assert_eq!(r.power_down_cycles, 0);
+    }
+
+    #[test]
+    fn mm1_population_matches_theory() {
+        // M/M/1 with ρ = 0.5 → mean jobs in system = ρ/(1−ρ) = 1.
+        let params = CpuSimParams {
+            horizon: 50_000.0,
+            warmup: 2000.0,
+            ..CpuSimParams::exponential_service(2.0, f64::INFINITY, 0.0)
+        };
+        let sim = CpuDes::new(params, Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(11);
+        assert!(
+            (r.mean_jobs_in_system - 1.0).abs() < 0.1,
+            "L = {}",
+            r.mean_jobs_in_system
+        );
+        // Mean latency W = 1/(μ−λ) = 1 s.
+        assert!((r.mean_latency - 1.0).abs() < 0.1, "W = {}", r.mean_latency);
+        assert!(r.littles_law_residual() < 0.05);
+    }
+
+    #[test]
+    fn immediate_power_down_t_zero() {
+        // T = 0: the CPU drops to standby the moment it goes idle → idle
+        // fraction ≈ 0; every job burst pays the power-up delay.
+        let sim = CpuDes::new(paper_params(0.0, 0.05), Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(3);
+        assert!(r.fractions.idle < 1e-9, "idle = {}", r.fractions.idle);
+        assert!(r.power_up_cycles > 100);
+        assert!(
+            r.power_up_cycles
+                <= r.power_down_cycles + 1
+        );
+        assert!(r.fractions.standby > 0.5);
+    }
+
+    #[test]
+    fn zero_power_up_delay() {
+        let sim = CpuDes::new(paper_params(0.2, 0.0), Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(5);
+        assert!(r.fractions.powerup < 1e-9);
+        assert!(r.fractions.is_normalized(1e-9));
+        assert!(r.completions > 0);
+    }
+
+    #[test]
+    fn large_power_up_delay_queues_jobs() {
+        // D = 10 s, λ = 1/s → each power-up accumulates ~10 jobs; utilization
+        // still ≈ ρ because all jobs eventually get served.
+        let params = CpuSimParams {
+            horizon: 50_000.0,
+            warmup: 5000.0,
+            ..CpuSimParams::exponential_service(10.0, 0.5, 10.0)
+        };
+        let sim = CpuDes::new(params, Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(13);
+        assert!(
+            (r.fractions.active - 0.1).abs() < 0.02,
+            "active = {}",
+            r.fractions.active
+        );
+        assert!(r.fractions.powerup > 0.2, "powerup = {}", r.fractions.powerup);
+        assert!(r.mean_latency > 1.0, "waking costs latency");
+    }
+
+    #[test]
+    fn latencies_nonnegative_and_counted() {
+        let sim = CpuDes::new(paper_params(0.5, 0.001), Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(21);
+        assert_eq!(r.latency_count, r.completions);
+        assert!(r.mean_latency >= 0.0);
+        assert!(r.arrivals >= r.completions);
+    }
+
+    #[test]
+    fn bounded_buffer_drops() {
+        let params = CpuSimParams {
+            max_queue: Some(1),
+            horizon: 10_000.0,
+            ..CpuSimParams::exponential_service(0.5, 0.5, 0.001)
+        };
+        // Overloaded: λ = 2, μ = 0.5 → most arrivals dropped.
+        let sim = CpuDes::new(params, Workload::open_poisson(2.0)).unwrap();
+        let r = sim.run_with_seed(9);
+        assert!(r.dropped > 0);
+        assert!(r.arrivals > r.completions + r.dropped / 2);
+        assert!(r.fractions.is_normalized(1e-9));
+    }
+
+    #[test]
+    fn closed_workload_bounded_population() {
+        let params = paper_params(0.5, 0.01);
+        let wl = Workload::Closed(ClosedWorkload {
+            population: 3,
+            think: Dist::Exponential { rate: 1.0 },
+        });
+        let sim = CpuDes::new(params, wl).unwrap();
+        let r = sim.run_with_seed(17);
+        // Population bound: never more than 3 jobs in the system.
+        assert!(r.mean_jobs_in_system <= 3.0 + 1e-9);
+        assert!(r.completions > 100);
+        assert!(r.fractions.is_normalized(1e-9));
+    }
+
+    #[test]
+    fn warmup_resets_statistics() {
+        let mut params = paper_params(0.5, 0.001);
+        params.warmup = 2500.0;
+        let sim = CpuDes::new(params.clone(), Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(23);
+        assert!((r.time_observed - 2500.0).abs() < 1e-9);
+        // Roughly λ×window arrivals post-warmup.
+        assert!((r.arrivals as f64 - 2500.0).abs() < 300.0, "{}", r.arrivals);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = CpuDes::new(paper_params(0.4, 0.3), Workload::open_poisson(1.0)).unwrap();
+        let a = sim.run_with_seed(99);
+        let b = sim.run_with_seed(99);
+        assert_eq!(a, b);
+        let c = sim.run_with_seed(100);
+        assert_ne!(a.fractions, c.fractions);
+    }
+
+    #[test]
+    fn deterministic_arrivals_and_service_are_exact() {
+        // Arrivals every 1 s, service 0.25 s, T = ∞ (stay on), D = 0:
+        // active fraction must be exactly 0.25 after the first arrival.
+        let params = CpuSimParams {
+            service: Dist::Deterministic(0.25),
+            power_down_threshold: f64::INFINITY,
+            power_up_delay: 0.0,
+            horizon: 10_001.0,
+            warmup: 1.0,
+            max_queue: None,
+        };
+        let wl = Workload::Open(OpenWorkload::Renewal(Dist::Deterministic(1.0)));
+        let sim = CpuDes::new(params, wl).unwrap();
+        let r = sim.run_with_seed(1);
+        assert!(
+            (r.fractions.active - 0.25).abs() < 1e-6,
+            "active = {}",
+            r.fractions.active
+        );
+        assert!((r.mean_latency - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_histogram_collection() {
+        let mut params = paper_params(0.5, 0.001);
+        params.warmup = 500.0;
+        let sim = CpuDes::new(params, Workload::open_poisson(1.0)).unwrap();
+        let mut hist = wsnem_stats::Histogram::new(0.0, 5.0, 100);
+        let mut rng = Xoshiro256PlusPlus::new(77);
+        let r = sim.run_collecting(&mut rng, &mut hist);
+        // Every post-warmup completion was binned.
+        assert_eq!(hist.count(), r.completions);
+        assert!(hist.count() > 1000);
+        // Histogram mean agrees with the report's latency mean.
+        assert!(
+            (hist.mean() - r.mean_latency).abs() < 1e-9,
+            "{} vs {}",
+            hist.mean(),
+            r.mean_latency
+        );
+        // Median latency below the mean (exponential-ish right skew).
+        let median = hist.quantile(0.5).unwrap();
+        assert!(median <= r.mean_latency + 0.05);
+        // run() and run_collecting() produce identical reports.
+        let mut rng2 = Xoshiro256PlusPlus::new(77);
+        let r2 = sim.run(&mut rng2);
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn energy_helpers() {
+        let sim = CpuDes::new(paper_params(0.5, 0.001), Workload::open_poisson(1.0)).unwrap();
+        let r = sim.run_with_seed(31);
+        let p = PowerProfile::pxa271();
+        let e = r.energy(&p);
+        assert!(e.total_joules() > 0.0);
+        assert!((r.energy_joules(&p) - e.total_joules()).abs() < 1e-12);
+        // Bounded by the extreme per-state rates.
+        let lo = 17.0 * r.time_observed / 1000.0;
+        let hi = 193.0 * r.time_observed / 1000.0;
+        assert!(e.total_joules() >= lo && e.total_joules() <= hi);
+    }
+}

@@ -1,0 +1,82 @@
+//! DES error type.
+
+use std::fmt;
+
+use wsnem_stats::StatsError;
+
+/// Errors raised by simulator configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesError {
+    /// A distribution parameter was invalid.
+    Stats(StatsError),
+    /// A simulation parameter was out of domain.
+    InvalidParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// An event was scheduled in the past.
+    TimeTravel {
+        /// Current simulation time.
+        now: f64,
+        /// Requested event time.
+        requested: f64,
+    },
+}
+
+impl fmt::Display for DesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesError::Stats(e) => write!(f, "distribution error: {e}"),
+            DesError::InvalidParameter {
+                what,
+                constraint,
+                value,
+            } => write!(f, "{what}: value {value} violates {constraint}"),
+            DesError::TimeTravel { now, requested } => {
+                write!(f, "event scheduled in the past: {requested} < now {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DesError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for DesError {
+    fn from(e: StatsError) -> Self {
+        DesError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DesError::from(StatsError::InvalidParameter {
+            what: "Exponential",
+            constraint: "rate > 0",
+            value: -1.0,
+        });
+        assert!(e.to_string().contains("Exponential"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let t = DesError::TimeTravel {
+            now: 5.0,
+            requested: 3.0,
+        };
+        assert!(t.to_string().contains('3'));
+        assert!(std::error::Error::source(&t).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # wsnem-des
+//!
+//! A discrete-event simulation (DES) kernel plus the CPU power-state
+//! simulator the paper uses as ground truth (the authors used a Matlab event
+//! simulator; this is the faithful Rust substitute).
+//!
+//! * [`event`] — a cancellable future-event list: binary heap + slab with
+//!   generation-checked [`event::EventId`]s, stable (time, seq) ordering.
+//! * [`workload`] — open workload generators (renewal/Poisson, 2-state MMPP,
+//!   bursty on-off, trace replay) and closed (finite-population) workloads.
+//! * [`cpu`] — the M/M/1-with-setup-and-timeout processor model: Poisson (or
+//!   general) arrivals, one server, constant Power-Down Threshold `T` and
+//!   Power-Up Delay `D`, with exact time-in-state accounting.
+//! * [`replication`] — embarrassingly-parallel independent replications with
+//!   per-replication RNG streams and order-deterministic reduction.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards deliberately reject NaN together with the
+// out-of-domain values; `partial_cmp` rewrites would lose that property.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod error;
+pub mod event;
+pub mod replication;
+pub mod workload;
+
+pub use cpu::{CpuDes, CpuRunReport, CpuSimParams};
+pub use error::DesError;
+pub use event::{EventId, EventQueue};
+pub use replication::{run_replications, ReplicationSummary};
+pub use workload::{ClosedWorkload, OpenWorkload, Workload, WorkloadGen};

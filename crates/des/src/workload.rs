@@ -1,0 +1,399 @@
+//! Workload generators.
+//!
+//! The paper distinguishes **open** workloads (tasks arrive independently of
+//! the system state — interrupt-driven sensing) from **closed** workloads
+//! (a new task only arrives after the current one completes — fixed-interval
+//! duty cycles). The paper implements an open Poisson workload; this module
+//! provides that plus richer open processes (MMPP, bursty on-off, trace
+//! replay) and the closed finite-population model, all behind one enum.
+
+use wsnem_stats::dist::{Dist, Sample};
+use wsnem_stats::rng::Rng64;
+
+use crate::error::DesError;
+
+/// Specification of an open (state-independent) arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenWorkload {
+    /// Renewal process: i.i.d. interarrival times (Poisson when the
+    /// distribution is exponential — the paper's generator).
+    Renewal(Dist),
+    /// 2-state Markov-Modulated Poisson Process: Poisson arrivals whose rate
+    /// flips between `rate0`/`rate1` at exponential switching times — a
+    /// standard model of bursty sensor traffic.
+    Mmpp2 {
+        /// Arrival rate in modulating state 0.
+        rate0: f64,
+        /// Arrival rate in modulating state 1.
+        rate1: f64,
+        /// Switching rate 0 → 1.
+        switch01: f64,
+        /// Switching rate 1 → 0.
+        switch10: f64,
+    },
+    /// On-off bursts: during an "on" period (duration `on`), arrivals are
+    /// Poisson with `rate_on`; "off" periods (duration `off`) are silent.
+    BurstyOnOff {
+        /// Duration distribution of on periods.
+        on: Dist,
+        /// Duration distribution of off periods.
+        off: Dist,
+        /// Poisson arrival rate while on.
+        rate_on: f64,
+    },
+    /// Replay a fixed sequence of interarrival gaps, cycling when exhausted.
+    Trace(Vec<f64>),
+}
+
+impl OpenWorkload {
+    /// Poisson arrivals at `rate` per second — the paper's default.
+    pub fn poisson(rate: f64) -> Self {
+        OpenWorkload::Renewal(Dist::Exponential { rate })
+    }
+
+    /// Validate the specification.
+    pub fn validate(&self) -> Result<(), DesError> {
+        match self {
+            OpenWorkload::Renewal(d) => {
+                d.validate()?;
+                Ok(())
+            }
+            OpenWorkload::Mmpp2 {
+                rate0,
+                rate1,
+                switch01,
+                switch10,
+            } => {
+                for (name, v) in [
+                    ("mmpp2.rate0", *rate0),
+                    ("mmpp2.rate1", *rate1),
+                    ("mmpp2.switch01", *switch01),
+                    ("mmpp2.switch10", *switch10),
+                ] {
+                    if !(v >= 0.0) || !v.is_finite() {
+                        return Err(DesError::InvalidParameter {
+                            what: name,
+                            constraint: ">= 0 and finite",
+                            value: v,
+                        });
+                    }
+                }
+                if *rate0 <= 0.0 && *rate1 <= 0.0 {
+                    return Err(DesError::InvalidParameter {
+                        what: "mmpp2",
+                        constraint: "at least one state rate > 0",
+                        value: 0.0,
+                    });
+                }
+                Ok(())
+            }
+            OpenWorkload::BurstyOnOff { on, off, rate_on } => {
+                on.validate()?;
+                off.validate()?;
+                if !(*rate_on > 0.0) {
+                    return Err(DesError::InvalidParameter {
+                        what: "bursty.rate_on",
+                        constraint: "> 0",
+                        value: *rate_on,
+                    });
+                }
+                Ok(())
+            }
+            OpenWorkload::Trace(gaps) => {
+                if gaps.is_empty() {
+                    return Err(DesError::InvalidParameter {
+                        what: "trace",
+                        constraint: "non-empty",
+                        value: 0.0,
+                    });
+                }
+                if gaps.iter().any(|g| !(*g >= 0.0) || !g.is_finite()) {
+                    return Err(DesError::InvalidParameter {
+                        what: "trace",
+                        constraint: "gaps >= 0 and finite",
+                        value: f64::NAN,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Long-run mean arrival rate (arrivals per unit time).
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            OpenWorkload::Renewal(d) => 1.0 / d.mean(),
+            OpenWorkload::Mmpp2 {
+                rate0,
+                rate1,
+                switch01,
+                switch10,
+            } => {
+                // Stationary distribution of the 2-state modulating chain.
+                let p0 = switch10 / (switch01 + switch10);
+                p0 * rate0 + (1.0 - p0) * rate1
+            }
+            OpenWorkload::BurstyOnOff { on, off, rate_on } => {
+                let frac_on = on.mean() / (on.mean() + off.mean());
+                frac_on * rate_on
+            }
+            OpenWorkload::Trace(gaps) => {
+                let total: f64 = gaps.iter().sum();
+                if total > 0.0 {
+                    gaps.len() as f64 / total
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+/// Closed (finite-population) workload: `population` customers alternate
+/// between thinking (for a `think`-distributed time) and submitting a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedWorkload {
+    /// Number of circulating customers.
+    pub population: u32,
+    /// Think-time distribution.
+    pub think: Dist,
+}
+
+impl ClosedWorkload {
+    /// Validate the specification.
+    pub fn validate(&self) -> Result<(), DesError> {
+        if self.population == 0 {
+            return Err(DesError::InvalidParameter {
+                what: "closed.population",
+                constraint: ">= 1",
+                value: 0.0,
+            });
+        }
+        self.think.validate()?;
+        Ok(())
+    }
+}
+
+/// A workload: open or closed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Open: arrivals independent of system state.
+    Open(OpenWorkload),
+    /// Closed: arrivals gated by completions.
+    Closed(ClosedWorkload),
+}
+
+impl Workload {
+    /// The paper's generator: open Poisson arrivals at `rate`.
+    pub fn open_poisson(rate: f64) -> Self {
+        Workload::Open(OpenWorkload::poisson(rate))
+    }
+
+    /// Validate the specification.
+    pub fn validate(&self) -> Result<(), DesError> {
+        match self {
+            Workload::Open(o) => o.validate(),
+            Workload::Closed(c) => c.validate(),
+        }
+    }
+}
+
+/// Stateful generator that produces successive interarrival gaps for an
+/// [`OpenWorkload`] (holds the MMPP modulating state / burst phase / trace
+/// cursor).
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    spec: OpenWorkload,
+    // MMPP: current modulating state; BurstyOnOff: time left in current
+    // phase and whether we're on; Trace: cursor.
+    mmpp_state: u8,
+    burst_on: bool,
+    burst_left: f64,
+    cursor: usize,
+}
+
+impl WorkloadGen {
+    /// Create a generator for the given open workload.
+    pub fn new(spec: OpenWorkload) -> Result<Self, DesError> {
+        spec.validate()?;
+        Ok(Self {
+            spec,
+            mmpp_state: 0,
+            burst_on: false,
+            burst_left: 0.0,
+            cursor: 0,
+        })
+    }
+
+    /// Next interarrival gap (time from the previous arrival to the next).
+    pub fn next_gap<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        match &self.spec {
+            OpenWorkload::Renewal(d) => d.sample(rng),
+            OpenWorkload::Mmpp2 {
+                rate0,
+                rate1,
+                switch01,
+                switch10,
+            } => {
+                let (rates, switches) = ([*rate0, *rate1], [*switch01, *switch10]);
+                let mut elapsed = 0.0f64;
+                // Competing exponentials: next arrival vs next modulating
+                // switch; loop until an arrival wins.
+                loop {
+                    let s = self.mmpp_state as usize;
+                    let arr_rate = rates[s];
+                    let sw_rate = switches[s];
+                    let t_arrival = if arr_rate > 0.0 {
+                        -rng.next_open_f64().ln() / arr_rate
+                    } else {
+                        f64::INFINITY
+                    };
+                    let t_switch = if sw_rate > 0.0 {
+                        -rng.next_open_f64().ln() / sw_rate
+                    } else {
+                        f64::INFINITY
+                    };
+                    if t_arrival <= t_switch {
+                        return elapsed + t_arrival;
+                    }
+                    elapsed += t_switch;
+                    self.mmpp_state ^= 1;
+                }
+            }
+            OpenWorkload::BurstyOnOff { on, off, rate_on } => {
+                let mut elapsed = 0.0f64;
+                loop {
+                    if !self.burst_on {
+                        // Silent: skip the rest of the off period.
+                        elapsed += self.burst_left;
+                        self.burst_on = true;
+                        self.burst_left = on.sample(rng).max(0.0);
+                        continue;
+                    }
+                    let t_arrival = -rng.next_open_f64().ln() / rate_on;
+                    if t_arrival <= self.burst_left {
+                        self.burst_left -= t_arrival;
+                        return elapsed + t_arrival;
+                    }
+                    elapsed += self.burst_left;
+                    self.burst_on = false;
+                    self.burst_left = off.sample(rng).max(0.0);
+                }
+            }
+            OpenWorkload::Trace(gaps) => {
+                let g = gaps[self.cursor % gaps.len()];
+                self.cursor += 1;
+                g
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnem_stats::rng::Xoshiro256PlusPlus;
+
+    fn mean_gap(spec: OpenWorkload, n: usize, seed: u64) -> f64 {
+        let mut gen = WorkloadGen::new(spec).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        (0..n).map(|_| gen.next_gap(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn poisson_mean_rate() {
+        let w = OpenWorkload::poisson(2.0);
+        assert!((w.mean_rate() - 2.0).abs() < 1e-12);
+        let m = mean_gap(w, 100_000, 1);
+        assert!((m - 0.5).abs() < 0.01, "mean gap {m}");
+    }
+
+    #[test]
+    fn mmpp_long_run_rate() {
+        let w = OpenWorkload::Mmpp2 {
+            rate0: 10.0,
+            rate1: 1.0,
+            switch01: 0.5,
+            switch10: 0.5,
+        };
+        w.validate().unwrap();
+        // p0 = 0.5 → mean rate 5.5 → mean gap ≈ 1/5.5.
+        assert!((w.mean_rate() - 5.5).abs() < 1e-12);
+        let m = mean_gap(w, 200_000, 2);
+        assert!((m - 1.0 / 5.5).abs() < 0.01, "mean gap {m}");
+    }
+
+    #[test]
+    fn mmpp_with_silent_state() {
+        // State 1 has rate 0 — arrivals only while in state 0.
+        let w = OpenWorkload::Mmpp2 {
+            rate0: 4.0,
+            rate1: 0.0,
+            switch01: 1.0,
+            switch10: 1.0,
+        };
+        w.validate().unwrap();
+        assert!((w.mean_rate() - 2.0).abs() < 1e-12);
+        let m = mean_gap(w, 100_000, 3);
+        assert!((m - 0.5).abs() < 0.02, "mean gap {m}");
+    }
+
+    #[test]
+    fn bursty_long_run_rate() {
+        let w = OpenWorkload::BurstyOnOff {
+            on: Dist::Deterministic(1.0),
+            off: Dist::Deterministic(3.0),
+            rate_on: 8.0,
+        };
+        w.validate().unwrap();
+        // On 25% of the time at rate 8 → mean rate 2.
+        assert!((w.mean_rate() - 2.0).abs() < 1e-12);
+        let m = mean_gap(w, 200_000, 4);
+        assert!((m - 0.5).abs() < 0.02, "mean gap {m}");
+    }
+
+    #[test]
+    fn trace_replay_cycles() {
+        let w = OpenWorkload::Trace(vec![1.0, 2.0, 3.0]);
+        let mut gen = WorkloadGen::new(w.clone()).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        let gaps: Vec<f64> = (0..7).map(|_| gen.next_gap(&mut rng)).collect();
+        assert_eq!(gaps, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]);
+        assert!((w.mean_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(OpenWorkload::Trace(vec![]).validate().is_err());
+        assert!(OpenWorkload::Trace(vec![-1.0]).validate().is_err());
+        assert!(OpenWorkload::poisson(-1.0).validate().is_err());
+        assert!(OpenWorkload::Mmpp2 {
+            rate0: 0.0,
+            rate1: 0.0,
+            switch01: 1.0,
+            switch10: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(OpenWorkload::BurstyOnOff {
+            on: Dist::Deterministic(1.0),
+            off: Dist::Deterministic(1.0),
+            rate_on: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(ClosedWorkload {
+            population: 0,
+            think: Dist::Deterministic(1.0)
+        }
+        .validate()
+        .is_err());
+        assert!(Workload::open_poisson(1.0).validate().is_ok());
+        assert!(Workload::Closed(ClosedWorkload {
+            population: 3,
+            think: Dist::Exponential { rate: 1.0 }
+        })
+        .validate()
+        .is_ok());
+    }
+}

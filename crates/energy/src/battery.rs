@@ -1,0 +1,122 @@
+//! Battery capacity and node-lifetime estimation.
+//!
+//! The paper's motivation (§1) is extending the lifetime of battery-powered
+//! nodes. Given a steady-state mean power draw, a battery model converts
+//! capacity into an expected lifetime; the WSN examples use it to rank
+//! power-down-threshold policies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::PowerProfile;
+use crate::state::StateFractions;
+
+/// An ideal-ish battery: nominal capacity derated by a usable fraction.
+///
+/// (No rate-capacity or recovery effects; adequate at the mW-scale steady
+/// loads considered here, where discharge curves are close to linear.)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Rated capacity in milliamp-hours.
+    pub capacity_mah: f64,
+    /// Nominal voltage in volts.
+    pub voltage_v: f64,
+    /// Usable fraction of the rated capacity in `(0, 1]` (cutoff voltage,
+    /// self-discharge, temperature derating).
+    pub usable_fraction: f64,
+}
+
+impl Battery {
+    /// A pair of AA alkaline cells (2 × 1.5 V in series, ~2500 mAh, 85%
+    /// usable) — the classic mote power source.
+    pub fn two_aa() -> Self {
+        Self {
+            capacity_mah: 2500.0,
+            voltage_v: 3.0,
+            usable_fraction: 0.85,
+        }
+    }
+
+    /// A CR2032 coin cell (3 V, 225 mAh, 70% usable at mA-scale pulses).
+    pub fn cr2032() -> Self {
+        Self {
+            capacity_mah: 225.0,
+            voltage_v: 3.0,
+            usable_fraction: 0.7,
+        }
+    }
+
+    /// Usable energy in joules: `mAh × 3.6 × V × usable`.
+    pub fn usable_energy_joules(&self) -> f64 {
+        self.capacity_mah * 3.6 * self.voltage_v * self.usable_fraction
+    }
+
+    /// Expected lifetime in seconds at a constant draw of `power_mw`.
+    ///
+    /// Returns `f64::INFINITY` for a non-positive draw.
+    pub fn lifetime_seconds(&self, power_mw: f64) -> f64 {
+        if power_mw <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.usable_energy_joules() / (power_mw / 1000.0)
+    }
+
+    /// Expected lifetime in days at a constant draw of `power_mw`.
+    pub fn lifetime_days(&self, power_mw: f64) -> f64 {
+        self.lifetime_seconds(power_mw) / 86_400.0
+    }
+
+    /// Lifetime in days for a CPU with the given occupancy and profile.
+    pub fn lifetime_days_for(&self, fractions: &StateFractions, profile: &PowerProfile) -> f64 {
+        self.lifetime_days(profile.mean_power_mw(fractions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_capacity_math() {
+        let b = Battery {
+            capacity_mah: 1000.0,
+            voltage_v: 3.0,
+            usable_fraction: 1.0,
+        };
+        // 1000 mAh at 3 V = 3 Wh = 10800 J.
+        assert!((b.usable_energy_joules() - 10_800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_power() {
+        let b = Battery::two_aa();
+        let l1 = b.lifetime_seconds(10.0);
+        let l2 = b.lifetime_seconds(20.0);
+        assert!((l1 / l2 - 2.0).abs() < 1e-9);
+        assert!(b.lifetime_days(10.0) > 0.0);
+    }
+
+    #[test]
+    fn zero_power_lives_forever() {
+        let b = Battery::cr2032();
+        assert!(b.lifetime_seconds(0.0).is_infinite());
+        assert!(b.lifetime_seconds(-5.0).is_infinite());
+    }
+
+    #[test]
+    fn sleepy_cpu_outlives_busy_cpu() {
+        let b = Battery::two_aa();
+        let p = PowerProfile::pxa271();
+        let sleepy = StateFractions::new(0.95, 0.01, 0.02, 0.02);
+        let busy = StateFractions::new(0.05, 0.01, 0.14, 0.8);
+        // Mean draws: sleepy ≈ 23.7 mW, busy ≈ 169.5 mW — a ≈7× lifetime gap.
+        assert!(
+            b.lifetime_days_for(&sleepy, &p) > 5.0 * b.lifetime_days_for(&busy, &p),
+            "standby-dominated workload should live several times longer"
+        );
+    }
+
+    #[test]
+    fn preset_batteries_sane() {
+        assert!(Battery::two_aa().usable_energy_joules() > Battery::cr2032().usable_energy_joules());
+    }
+}

@@ -1,0 +1,147 @@
+//! Energy computation — the paper's Eq. 24 and Eq. 25.
+//!
+//! Both equations are the same weighted-power sum; they differ in the time
+//! horizon: Eq. 25 multiplies by an explicit observation `Time`, while
+//! Eq. 24 multiplies by the queueing-derived running-time estimate
+//! `(N + L(1)²) / λ` of Eq. 23.
+
+use crate::profile::PowerProfile;
+use crate::state::{CpuState, StateFractions};
+
+/// Per-state energy decomposition (millijoules) plus the total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Energy attributed to each state, canonical order (mJ).
+    pub per_state_mj: [f64; 4],
+    /// Total energy (mJ).
+    pub total_mj: f64,
+    /// The time horizon used (s).
+    pub time_s: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_mj / 1000.0
+    }
+
+    /// Energy of one state in joules.
+    pub fn state_joules(&self, s: CpuState) -> f64 {
+        self.per_state_mj[s.index()] / 1000.0
+    }
+
+    /// The state consuming the most energy.
+    pub fn dominant_state(&self) -> CpuState {
+        let mut best = CpuState::Standby;
+        let mut best_v = f64::NEG_INFINITY;
+        for s in CpuState::ALL {
+            if self.per_state_mj[s.index()] > best_v {
+                best_v = self.per_state_mj[s.index()];
+                best = s;
+            }
+        }
+        best
+    }
+}
+
+/// Paper Eq. 25: `TotalEnergy = Σ_state fraction × power × Time`.
+///
+/// `time_s` is the observation horizon in seconds; power rates are mW so the
+/// result is in mJ (converted helpers on [`EnergyBreakdown`]).
+pub fn energy_eq25(
+    fractions: &StateFractions,
+    profile: &PowerProfile,
+    time_s: f64,
+) -> EnergyBreakdown {
+    let powers = profile.as_array();
+    let fr = fractions.as_array();
+    let mut per_state = [0.0f64; 4];
+    let mut total = 0.0;
+    for i in 0..4 {
+        per_state[i] = fr[i] * powers[i] * time_s;
+        total += per_state[i];
+    }
+    EnergyBreakdown {
+        per_state_mj: per_state,
+        total_mj: total,
+        time_s,
+    }
+}
+
+/// Paper Eq. 23/24: energy over the *estimated* total running time
+/// `(N + L(1)²) / λ` for serving `n_jobs` jobs at arrival rate λ with mean
+/// queue population `l1 = L(1)`.
+pub fn energy_eq24(
+    fractions: &StateFractions,
+    profile: &PowerProfile,
+    n_jobs: f64,
+    l1: f64,
+    lambda: f64,
+) -> EnergyBreakdown {
+    let time_s = (n_jobs + l1 * l1) / lambda;
+    energy_eq25(fractions, profile, time_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quarter() -> StateFractions {
+        StateFractions::new(0.25, 0.25, 0.25, 0.25)
+    }
+
+    #[test]
+    fn eq25_pure_states() {
+        let p = PowerProfile::pxa271();
+        // 1000 s entirely in standby → 17 mW × 1000 s = 17 J.
+        let f = StateFractions::new(1.0, 0.0, 0.0, 0.0);
+        let e = energy_eq25(&f, &p, 1000.0);
+        assert!((e.total_joules() - 17.0).abs() < 1e-9);
+        assert_eq!(e.dominant_state(), CpuState::Standby);
+        // Entirely active → 193 J.
+        let f = StateFractions::new(0.0, 0.0, 0.0, 1.0);
+        let e = energy_eq25(&f, &p, 1000.0);
+        assert!((e.total_joules() - 193.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq25_is_linear_in_time() {
+        let p = PowerProfile::pxa271();
+        let e1 = energy_eq25(&quarter(), &p, 100.0);
+        let e2 = energy_eq25(&quarter(), &p, 200.0);
+        assert!((e2.total_mj - 2.0 * e1.total_mj).abs() < 1e-9);
+        assert_eq!(e1.time_s, 100.0);
+    }
+
+    #[test]
+    fn eq25_breakdown_sums_to_total() {
+        let p = PowerProfile::pxa271();
+        let f = StateFractions::new(0.4, 0.05, 0.35, 0.2);
+        let e = energy_eq25(&f, &p, 500.0);
+        let sum: f64 = e.per_state_mj.iter().sum();
+        assert!((sum - e.total_mj).abs() < 1e-9);
+        for s in CpuState::ALL {
+            assert!(e.state_joules(s) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn eq24_time_estimate() {
+        let p = PowerProfile::pxa271();
+        // N=1000 jobs, L=0, λ=1 → exactly 1000 s.
+        let e24 = energy_eq24(&quarter(), &p, 1000.0, 0.0, 1.0);
+        let e25 = energy_eq25(&quarter(), &p, 1000.0);
+        assert!((e24.total_mj - e25.total_mj).abs() < 1e-9);
+        // Nonzero L inflates the estimated horizon.
+        let e24b = energy_eq24(&quarter(), &p, 1000.0, 2.0, 1.0);
+        assert!(e24b.total_mj > e24.total_mj);
+        assert!((e24b.time_s - 1004.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominant_state_prefers_high_power_when_tied_occupancy() {
+        let p = PowerProfile::pxa271();
+        let e = energy_eq25(&quarter(), &p, 10.0);
+        assert_eq!(e.dominant_state(), CpuState::Active);
+    }
+}

@@ -1,0 +1,33 @@
+//! # wsnem-energy
+//!
+//! Power-state modeling and energy accounting for embedded processors in
+//! wireless sensor networks.
+//!
+//! The paper evaluates an Intel PXA271 with four power states (Table 3):
+//! Standby 17 mW, Idle 88 mW, Powering-Up 192.442 mW, Active 193 mW. This
+//! crate provides:
+//!
+//! * [`CpuState`] — the four-state power taxonomy shared by every model.
+//! * [`StateFractions`] — steady-state occupancy percentages (the quantity
+//!   Fig. 4 plots and Eq. 24/25 consume).
+//! * [`PowerProfile`] — per-state power rates; ships the paper's PXA271
+//!   numbers plus documented synthetic profiles for the example apps.
+//! * [`energy`] — Eq. 25 (occupancy × power × time) and the paper's Eq. 24
+//!   variant with its queueing-derived runtime estimate.
+//! * [`battery`] — battery capacity → node lifetime estimation.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards deliberately reject NaN together with the
+// out-of-domain values; `partial_cmp` rewrites would lose that property.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod energy;
+pub mod profile;
+pub mod state;
+
+pub use battery::Battery;
+pub use energy::{energy_eq24, energy_eq25, EnergyBreakdown};
+pub use profile::PowerProfile;
+pub use state::{CpuState, StateFractions};

@@ -1,0 +1,224 @@
+//! Per-state power profiles.
+//!
+//! The PXA271 numbers are the paper's Table 3 (sourced from Jung et al.,
+//! EWSN 2007). The other profiles are *synthetic but realistic* composites
+//! assembled from public datasheets; they exist so the example applications
+//! can compare processor classes, and they are clearly labeled as such.
+
+use serde::{Deserialize, Serialize};
+
+use crate::state::{CpuState, StateFractions};
+
+/// Power draw (milliwatts) in each CPU power state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Profile name, e.g. `"PXA271"`.
+    pub name: String,
+    /// Power in Standby (mW).
+    pub standby_mw: f64,
+    /// Power while powering up (mW).
+    pub powerup_mw: f64,
+    /// Power in Idle (mW).
+    pub idle_mw: f64,
+    /// Power in Active (mW).
+    pub active_mw: f64,
+}
+
+impl PowerProfile {
+    /// Build a custom profile. All rates must be non-negative and finite.
+    pub fn new(
+        name: impl Into<String>,
+        standby_mw: f64,
+        powerup_mw: f64,
+        idle_mw: f64,
+        active_mw: f64,
+    ) -> Result<Self, ProfileError> {
+        let p = Self {
+            name: name.into(),
+            standby_mw,
+            powerup_mw,
+            idle_mw,
+            active_mw,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Intel PXA271 — paper Table 3 (mW): Standby 17, Idle 88,
+    /// Powering-Up 192.442, Active 193.
+    pub fn pxa271() -> Self {
+        Self {
+            name: "PXA271".into(),
+            standby_mw: 17.0,
+            powerup_mw: 192.442,
+            idle_mw: 88.0,
+            active_mw: 193.0,
+        }
+    }
+
+    /// TI MSP430-class profile (synthetic composite of datasheet figures,
+    /// 3 V): deep LPM3 ≈ 6 µW, active ≈ 3.6 mW. Used by example apps for a
+    /// low-power contrast; NOT a measured artifact of the paper.
+    pub fn msp430_class() -> Self {
+        Self {
+            name: "MSP430-class (synthetic)".into(),
+            standby_mw: 0.006,
+            powerup_mw: 3.0,
+            idle_mw: 1.2,
+            active_mw: 3.6,
+        }
+    }
+
+    /// ATmega128L-class profile (synthetic composite, 3 V, 8 MHz):
+    /// power-save ≈ 75 µW, active ≈ 24 mW. NOT a measured artifact of the
+    /// paper.
+    pub fn atmega128l_class() -> Self {
+        Self {
+            name: "ATmega128L-class (synthetic)".into(),
+            standby_mw: 0.075,
+            powerup_mw: 20.0,
+            idle_mw: 9.6,
+            active_mw: 24.0,
+        }
+    }
+
+    /// Validate rate sanity (non-negative, finite).
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        for (state, v) in CpuState::ALL.iter().zip(self.as_array()) {
+            if !(v >= 0.0) || !v.is_finite() {
+                return Err(ProfileError::InvalidPower {
+                    state: *state,
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Power rates in canonical state order (mW).
+    pub fn as_array(&self) -> [f64; 4] {
+        [
+            self.standby_mw,
+            self.powerup_mw,
+            self.idle_mw,
+            self.active_mw,
+        ]
+    }
+
+    /// Power rate for one state (mW).
+    pub fn power_mw(&self, s: CpuState) -> f64 {
+        self.as_array()[s.index()]
+    }
+
+    /// Expected power draw (mW) under the given steady-state occupancy —
+    /// the weighted sum inside paper Eq. 24/25.
+    pub fn mean_power_mw(&self, fractions: &StateFractions) -> f64 {
+        self.as_array()
+            .iter()
+            .zip(fractions.as_array())
+            .map(|(p, f)| p * f)
+            .sum()
+    }
+}
+
+/// Errors for profile construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// A power rate was negative, NaN or infinite.
+    InvalidPower {
+        /// Offending state.
+        state: CpuState,
+        /// Offending value (mW).
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::InvalidPower { state, value } => {
+                write!(f, "invalid power for state {state}: {value} mW")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pxa271_matches_paper_table3() {
+        let p = PowerProfile::pxa271();
+        assert_eq!(p.standby_mw, 17.0);
+        assert_eq!(p.idle_mw, 88.0);
+        assert_eq!(p.powerup_mw, 192.442);
+        assert_eq!(p.active_mw, 193.0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn mean_power_weighted_sum() {
+        let p = PowerProfile::pxa271();
+        // All time in standby → 17 mW.
+        let f = StateFractions::new(1.0, 0.0, 0.0, 0.0);
+        assert!((p.mean_power_mw(&f) - 17.0).abs() < 1e-12);
+        // Even split.
+        let f = StateFractions::new(0.25, 0.25, 0.25, 0.25);
+        let expect = (17.0 + 192.442 + 88.0 + 193.0) / 4.0;
+        assert!((p.mean_power_mw(&f) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_power_monotone_in_active_share() {
+        // Moving occupancy from standby to active can only increase power.
+        let p = PowerProfile::pxa271();
+        let lazy = StateFractions::new(0.9, 0.0, 0.0, 0.1);
+        let busy = StateFractions::new(0.1, 0.0, 0.0, 0.9);
+        assert!(p.mean_power_mw(&busy) > p.mean_power_mw(&lazy));
+    }
+
+    #[test]
+    fn custom_profiles_validate() {
+        assert!(PowerProfile::new("x", 1.0, 2.0, 3.0, 4.0).is_ok());
+        let err = PowerProfile::new("x", -1.0, 2.0, 3.0, 4.0).unwrap_err();
+        assert!(matches!(
+            err,
+            ProfileError::InvalidPower {
+                state: CpuState::Standby,
+                ..
+            }
+        ));
+        assert!(PowerProfile::new("x", 1.0, f64::NAN, 3.0, 4.0).is_err());
+        assert!(err.to_string().contains("Standby"));
+    }
+
+    #[test]
+    fn synthetic_profiles_are_labeled_and_ordered() {
+        for p in [PowerProfile::msp430_class(), PowerProfile::atmega128l_class()] {
+            assert!(p.name.contains("synthetic"));
+            p.validate().unwrap();
+            assert!(p.standby_mw < p.idle_mw);
+            assert!(p.idle_mw < p.active_mw);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = PowerProfile::pxa271();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PowerProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn power_mw_by_state() {
+        let p = PowerProfile::pxa271();
+        assert_eq!(p.power_mw(CpuState::Standby), 17.0);
+        assert_eq!(p.power_mw(CpuState::Active), 193.0);
+        assert_eq!(p.power_mw(CpuState::Idle), 88.0);
+        assert_eq!(p.power_mw(CpuState::PowerUp), 192.442);
+    }
+}

@@ -1,0 +1,223 @@
+//! The four-state power taxonomy and steady-state occupancy fractions.
+
+use serde::{Deserialize, Serialize};
+
+/// Power state of the modeled CPU.
+///
+/// The ordering/indices are stable and shared by all models: they are used to
+/// index [`StateFractions::as_array`] and per-state power tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuState {
+    /// Deep low-power mode; the CPU must power up before serving jobs.
+    Standby,
+    /// Transitioning from standby to operational (constant Power Up Delay).
+    PowerUp,
+    /// Operational but not executing a job.
+    Idle,
+    /// Executing a job.
+    Active,
+}
+
+impl CpuState {
+    /// All states in canonical order `[Standby, PowerUp, Idle, Active]`.
+    pub const ALL: [CpuState; 4] = [
+        CpuState::Standby,
+        CpuState::PowerUp,
+        CpuState::Idle,
+        CpuState::Active,
+    ];
+
+    /// Canonical index of this state (0..4).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            CpuState::Standby => 0,
+            CpuState::PowerUp => 1,
+            CpuState::Idle => 2,
+            CpuState::Active => 3,
+        }
+    }
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuState::Standby => "Standby",
+            CpuState::PowerUp => "PowerUp",
+            CpuState::Idle => "Idle",
+            CpuState::Active => "Active",
+        }
+    }
+}
+
+impl std::fmt::Display for CpuState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fractions of time spent in each power state (the "steady state
+/// percentages" of the paper, expressed in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StateFractions {
+    /// Fraction of time in [`CpuState::Standby`].
+    pub standby: f64,
+    /// Fraction of time in [`CpuState::PowerUp`].
+    pub powerup: f64,
+    /// Fraction of time in [`CpuState::Idle`].
+    pub idle: f64,
+    /// Fraction of time in [`CpuState::Active`].
+    pub active: f64,
+}
+
+impl StateFractions {
+    /// Construct from explicit fractions.
+    pub fn new(standby: f64, powerup: f64, idle: f64, active: f64) -> Self {
+        Self {
+            standby,
+            powerup,
+            idle,
+            active,
+        }
+    }
+
+    /// Fractions in canonical order `[standby, powerup, idle, active]`.
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.standby, self.powerup, self.idle, self.active]
+    }
+
+    /// Build from a canonical-order array.
+    pub fn from_array(a: [f64; 4]) -> Self {
+        Self {
+            standby: a[0],
+            powerup: a[1],
+            idle: a[2],
+            active: a[3],
+        }
+    }
+
+    /// Fraction for a specific state.
+    pub fn get(&self, s: CpuState) -> f64 {
+        self.as_array()[s.index()]
+    }
+
+    /// Sum of the four fractions (≈ 1 for a complete classification).
+    pub fn total(&self) -> f64 {
+        self.standby + self.powerup + self.idle + self.active
+    }
+
+    /// True when every fraction is in `[0, 1]` and they sum to 1 ± `tol`.
+    pub fn is_normalized(&self, tol: f64) -> bool {
+        self.as_array().iter().all(|&p| (0.0..=1.0 + tol).contains(&p))
+            && (self.total() - 1.0).abs() <= tol
+    }
+
+    /// Percentages in canonical order (×100), as plotted in Fig. 4.
+    pub fn as_percentages(&self) -> [f64; 4] {
+        let a = self.as_array();
+        [a[0] * 100.0, a[1] * 100.0, a[2] * 100.0, a[3] * 100.0]
+    }
+
+    /// Mean absolute difference against another set of fractions, in
+    /// *percentage points* — the Δ metric of the paper's Table 4.
+    pub fn mean_abs_delta_pct(&self, other: &StateFractions) -> f64 {
+        let a = self.as_percentages();
+        let b = other.as_percentages();
+        a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / 4.0
+    }
+
+    /// Average several fraction sets component-wise.
+    ///
+    /// Returns `None` on empty input.
+    pub fn mean_of(sets: &[StateFractions]) -> Option<StateFractions> {
+        if sets.is_empty() {
+            return None;
+        }
+        let mut acc = [0.0f64; 4];
+        for s in sets {
+            for (a, v) in acc.iter_mut().zip(s.as_array()) {
+                *a += v;
+            }
+        }
+        let n = sets.len() as f64;
+        Some(StateFractions::from_array([
+            acc[0] / n,
+            acc[1] / n,
+            acc[2] / n,
+            acc[3] / n,
+        ]))
+    }
+}
+
+impl std::fmt::Display for StateFractions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "standby {:.2}% | powerup {:.2}% | idle {:.2}% | active {:.2}%",
+            self.standby * 100.0,
+            self.powerup * 100.0,
+            self.idle * 100.0,
+            self.active * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_round_trip() {
+        let f = StateFractions::new(0.4, 0.1, 0.3, 0.2);
+        assert_eq!(f.as_array(), [0.4, 0.1, 0.3, 0.2]);
+        assert_eq!(StateFractions::from_array(f.as_array()), f);
+        for s in CpuState::ALL {
+            assert_eq!(f.get(s), f.as_array()[s.index()]);
+        }
+    }
+
+    #[test]
+    fn indices_are_stable() {
+        assert_eq!(CpuState::Standby.index(), 0);
+        assert_eq!(CpuState::PowerUp.index(), 1);
+        assert_eq!(CpuState::Idle.index(), 2);
+        assert_eq!(CpuState::Active.index(), 3);
+        assert_eq!(CpuState::ALL.len(), 4);
+    }
+
+    #[test]
+    fn normalization_check() {
+        let good = StateFractions::new(0.25, 0.25, 0.25, 0.25);
+        assert!(good.is_normalized(1e-9));
+        let bad = StateFractions::new(0.5, 0.5, 0.5, 0.5);
+        assert!(!bad.is_normalized(1e-9));
+        let negative = StateFractions::new(-0.1, 0.4, 0.4, 0.3);
+        assert!(!negative.is_normalized(1e-9));
+    }
+
+    #[test]
+    fn delta_metric_matches_hand_computation() {
+        let a = StateFractions::new(0.5, 0.0, 0.3, 0.2);
+        let b = StateFractions::new(0.4, 0.1, 0.3, 0.2);
+        // Δ = (10 + 10 + 0 + 0) / 4 percentage points.
+        assert!((a.mean_abs_delta_pct(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.mean_abs_delta_pct(&a), 0.0);
+    }
+
+    #[test]
+    fn mean_of_sets() {
+        let a = StateFractions::new(1.0, 0.0, 0.0, 0.0);
+        let b = StateFractions::new(0.0, 1.0, 0.0, 0.0);
+        let m = StateFractions::mean_of(&[a, b]).unwrap();
+        assert!((m.standby - 0.5).abs() < 1e-12);
+        assert!((m.powerup - 0.5).abs() < 1e-12);
+        assert!(StateFractions::mean_of(&[]).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = StateFractions::new(0.5, 0.1, 0.2, 0.2);
+        let s = format!("{f}");
+        assert!(s.contains("50.00%"));
+        assert_eq!(CpuState::PowerUp.to_string(), "PowerUp");
+    }
+}

@@ -1,0 +1,325 @@
+//! Birth–death processes and M/M/1(/K) closed forms.
+//!
+//! These are the textbook baselines the substrates are validated against:
+//! the DES and the Petri engine must reproduce them, and the paper's model
+//! must *reduce* to M/M/1 as `T, D → 0`.
+
+use crate::error::MarkovError;
+
+/// A finite birth–death chain on states `0..=n` with level-dependent rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BirthDeath {
+    /// `births[i]` is the rate `i → i+1` (length n).
+    births: Vec<f64>,
+    /// `deaths[i]` is the rate `i+1 → i` (length n).
+    deaths: Vec<f64>,
+}
+
+impl BirthDeath {
+    /// Build from birth rates (`i → i+1`) and death rates (`i+1 → i`).
+    ///
+    /// Both vectors must have equal, non-zero length and positive entries.
+    pub fn new(births: Vec<f64>, deaths: Vec<f64>) -> Result<Self, MarkovError> {
+        if births.is_empty() || births.len() != deaths.len() {
+            return Err(MarkovError::InvalidParameter {
+                what: "BirthDeath",
+                constraint: "births and deaths non-empty, equal length",
+                value: births.len() as f64,
+            });
+        }
+        for (i, &b) in births.iter().enumerate() {
+            if !(b > 0.0) || !b.is_finite() {
+                return Err(MarkovError::InvalidRate {
+                    from: i,
+                    to: i + 1,
+                    rate: b,
+                });
+            }
+        }
+        for (i, &d) in deaths.iter().enumerate() {
+            if !(d > 0.0) || !d.is_finite() {
+                return Err(MarkovError::InvalidRate {
+                    from: i + 1,
+                    to: i,
+                    rate: d,
+                });
+            }
+        }
+        Ok(Self { births, deaths })
+    }
+
+    /// Number of states (levels 0..=n).
+    pub fn n_states(&self) -> usize {
+        self.births.len() + 1
+    }
+
+    /// Product-form stationary distribution.
+    pub fn steady_state(&self) -> Vec<f64> {
+        let n = self.n_states();
+        let mut pi = Vec::with_capacity(n);
+        pi.push(1.0f64);
+        for i in 0..self.births.len() {
+            let next = pi[i] * self.births[i] / self.deaths[i];
+            pi.push(next);
+        }
+        let total: f64 = pi.iter().sum();
+        for p in &mut pi {
+            *p /= total;
+        }
+        pi
+    }
+
+    /// Mean level `Σ i π_i`.
+    pub fn mean_level(&self) -> f64 {
+        self.steady_state()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| i as f64 * p)
+            .sum()
+    }
+}
+
+/// Closed-form M/M/1 results (requires ρ = λ/μ < 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1 {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate μ.
+    pub mu: f64,
+}
+
+/// Construct a validated M/M/1 descriptor.
+pub fn mm1(lambda: f64, mu: f64) -> Result<Mm1, MarkovError> {
+    if !(lambda > 0.0) || !lambda.is_finite() {
+        return Err(MarkovError::InvalidParameter {
+            what: "mm1.lambda",
+            constraint: "> 0 and finite",
+            value: lambda,
+        });
+    }
+    if !(mu > 0.0) || !mu.is_finite() {
+        return Err(MarkovError::InvalidParameter {
+            what: "mm1.mu",
+            constraint: "> 0 and finite",
+            value: mu,
+        });
+    }
+    let rho = lambda / mu;
+    if rho >= 1.0 {
+        return Err(MarkovError::Unstable { rho });
+    }
+    Ok(Mm1 { lambda, mu })
+}
+
+impl Mm1 {
+    /// Offered load ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// P(n jobs in system) = (1−ρ)ρⁿ.
+    pub fn p_n(&self, n: u32) -> f64 {
+        let rho = self.rho();
+        (1.0 - rho) * rho.powi(n as i32)
+    }
+
+    /// Mean number in system L = ρ/(1−ρ).
+    pub fn mean_jobs(&self) -> f64 {
+        let rho = self.rho();
+        rho / (1.0 - rho)
+    }
+
+    /// Mean time in system W = 1/(μ−λ).
+    pub fn mean_latency(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean queue length (excluding the job in service) Lq = ρ²/(1−ρ).
+    pub fn mean_queue(&self) -> f64 {
+        let rho = self.rho();
+        rho * rho / (1.0 - rho)
+    }
+
+    /// Mean waiting time (excluding service) Wq = ρ/(μ−λ).
+    pub fn mean_wait(&self) -> f64 {
+        self.rho() / (self.mu - self.lambda)
+    }
+}
+
+/// Closed-form M/M/1/K results (finite buffer of K jobs total in system).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mm1k {
+    /// Arrival rate λ.
+    pub lambda: f64,
+    /// Service rate μ.
+    pub mu: f64,
+    /// System capacity K ≥ 1.
+    pub k: u32,
+}
+
+/// Construct a validated M/M/1/K descriptor (ρ may exceed 1 — the chain is
+/// finite and always stable).
+pub fn mm1k(lambda: f64, mu: f64, k: u32) -> Result<Mm1k, MarkovError> {
+    if !(lambda > 0.0) || !lambda.is_finite() {
+        return Err(MarkovError::InvalidParameter {
+            what: "mm1k.lambda",
+            constraint: "> 0 and finite",
+            value: lambda,
+        });
+    }
+    if !(mu > 0.0) || !mu.is_finite() {
+        return Err(MarkovError::InvalidParameter {
+            what: "mm1k.mu",
+            constraint: "> 0 and finite",
+            value: mu,
+        });
+    }
+    if k == 0 {
+        return Err(MarkovError::InvalidParameter {
+            what: "mm1k.k",
+            constraint: ">= 1",
+            value: 0.0,
+        });
+    }
+    Ok(Mm1k { lambda, mu, k })
+}
+
+impl Mm1k {
+    /// Offered load ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Stationary P(n in system), n in `0..=K`.
+    pub fn p_n(&self, n: u32) -> f64 {
+        if n > self.k {
+            return 0.0;
+        }
+        let rho = self.rho();
+        if (rho - 1.0).abs() < 1e-12 {
+            return 1.0 / (self.k as f64 + 1.0);
+        }
+        (1.0 - rho) * rho.powi(n as i32) / (1.0 - rho.powi(self.k as i32 + 1))
+    }
+
+    /// Blocking probability (arrival finds the system full).
+    pub fn blocking_probability(&self) -> f64 {
+        self.p_n(self.k)
+    }
+
+    /// Effective (accepted) arrival rate.
+    pub fn effective_lambda(&self) -> f64 {
+        self.lambda * (1.0 - self.blocking_probability())
+    }
+
+    /// Mean number in system.
+    pub fn mean_jobs(&self) -> f64 {
+        (0..=self.k).map(|n| n as f64 * self.p_n(n)).sum()
+    }
+
+    /// Mean latency of *accepted* jobs (Little's law with λ_eff).
+    pub fn mean_latency(&self) -> f64 {
+        self.mean_jobs() / self.effective_lambda()
+    }
+
+    /// Full stationary vector.
+    pub fn steady_state(&self) -> Vec<f64> {
+        (0..=self.k).map(|n| self.p_n(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn birthdeath_validation() {
+        assert!(BirthDeath::new(vec![], vec![]).is_err());
+        assert!(BirthDeath::new(vec![1.0], vec![]).is_err());
+        assert!(BirthDeath::new(vec![0.0], vec![1.0]).is_err());
+        assert!(BirthDeath::new(vec![1.0], vec![-1.0]).is_err());
+        assert!(BirthDeath::new(vec![1.0], vec![2.0]).is_ok());
+    }
+
+    #[test]
+    fn birthdeath_two_level() {
+        // 0 <-> 1 with rates (a=2, b=3): π = (0.6, 0.4).
+        let bd = BirthDeath::new(vec![2.0], vec![3.0]).unwrap();
+        let pi = bd.steady_state();
+        assert!((pi[0] - 0.6).abs() < 1e-12);
+        assert!((pi[1] - 0.4).abs() < 1e-12);
+        assert!((bd.mean_level() - 0.4).abs() < 1e-12);
+        assert_eq!(bd.n_states(), 2);
+    }
+
+    #[test]
+    fn birthdeath_matches_mm1k() {
+        let (lam, mu, k) = (3.0, 2.0, 6u32);
+        let bd = BirthDeath::new(vec![lam; k as usize], vec![mu; k as usize]).unwrap();
+        let pi = bd.steady_state();
+        let closed = mm1k(lam, mu, k).unwrap();
+        for (n, p) in pi.iter().enumerate() {
+            assert!((p - closed.p_n(n as u32)).abs() < 1e-12, "n={n}");
+        }
+        assert!((bd.mean_level() - closed.mean_jobs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_closed_forms() {
+        let q = mm1(1.0, 2.0).unwrap();
+        assert!((q.rho() - 0.5).abs() < 1e-12);
+        assert!((q.mean_jobs() - 1.0).abs() < 1e-12);
+        assert!((q.mean_latency() - 1.0).abs() < 1e-12);
+        assert!((q.mean_queue() - 0.5).abs() < 1e-12);
+        assert!((q.mean_wait() - 0.5).abs() < 1e-12);
+        // Littles law: L = λW.
+        assert!((q.mean_jobs() - q.lambda * q.mean_latency()).abs() < 1e-12);
+        // Distribution sums to 1.
+        let total: f64 = (0..200).map(|n| q.p_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm1_rejects_unstable() {
+        assert!(matches!(mm1(2.0, 1.0), Err(MarkovError::Unstable { .. })));
+        assert!(matches!(mm1(1.0, 1.0), Err(MarkovError::Unstable { .. })));
+        assert!(mm1(0.0, 1.0).is_err());
+        assert!(mm1(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mm1k_distribution_normalizes() {
+        for (lam, mu, k) in [(1.0, 2.0, 5u32), (2.0, 1.0, 4), (1.0, 1.0, 3)] {
+            let q = mm1k(lam, mu, k).unwrap();
+            let total: f64 = q.steady_state().iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "λ={lam} μ={mu} K={k}");
+            assert!(q.blocking_probability() > 0.0);
+            assert!(q.effective_lambda() < q.lambda);
+            assert!(q.mean_latency() > 0.0);
+            assert_eq!(q.p_n(k + 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn mm1k_approaches_mm1_for_large_k() {
+        let q = mm1(1.0, 2.0).unwrap();
+        let qk = mm1k(1.0, 2.0, 60).unwrap();
+        assert!((q.mean_jobs() - qk.mean_jobs()).abs() < 1e-9);
+        assert!(qk.blocking_probability() < 1e-15);
+    }
+
+    #[test]
+    fn mm1k_critical_load_uniform() {
+        let q = mm1k(1.0, 1.0, 4).unwrap();
+        for n in 0..=4 {
+            assert!((q.p_n(n) - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mm1k_validation() {
+        assert!(mm1k(0.0, 1.0, 2).is_err());
+        assert!(mm1k(1.0, 0.0, 2).is_err());
+        assert!(mm1k(1.0, 1.0, 0).is_err());
+    }
+}

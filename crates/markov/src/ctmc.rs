@@ -1,0 +1,667 @@
+//! Sparse continuous-time Markov chains.
+//!
+//! A CTMC is stored in compressed sparse row (CSR) *and* column (CSC) form:
+//! the row form drives transient uniformization (π ← πP needs out-edges),
+//! the column form drives Gauss–Seidel steady-state sweeps (π_j needs
+//! in-edges). Both are built once; solvers allocate only their iteration
+//! vectors.
+
+use crate::error::MarkovError;
+
+/// Incremental CTMC constructor. Duplicate `(from, to)` rates accumulate.
+#[derive(Debug, Clone)]
+pub struct CtmcBuilder {
+    n: usize,
+    triplets: Vec<(u32, u32, f64)>,
+}
+
+impl CtmcBuilder {
+    /// Builder for a chain with `n_states` states.
+    pub fn new(n_states: usize) -> Self {
+        Self {
+            n: n_states,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Add transition rate `rate` from state `from` to state `to`.
+    ///
+    /// Zero rates are accepted and dropped; self-loops are rejected (they are
+    /// meaningless in a CTMC generator).
+    pub fn rate(&mut self, from: usize, to: usize, rate: f64) -> Result<&mut Self, MarkovError> {
+        if from >= self.n {
+            return Err(MarkovError::StateOutOfBounds {
+                index: from,
+                n_states: self.n,
+            });
+        }
+        if to >= self.n {
+            return Err(MarkovError::StateOutOfBounds {
+                index: to,
+                n_states: self.n,
+            });
+        }
+        if !(rate >= 0.0) || !rate.is_finite() {
+            return Err(MarkovError::InvalidRate { from, to, rate });
+        }
+        if from == to {
+            return Err(MarkovError::InvalidRate { from, to, rate });
+        }
+        if rate > 0.0 {
+            self.triplets.push((from as u32, to as u32, rate));
+        }
+        Ok(self)
+    }
+
+    /// Finalize into an immutable [`Ctmc`].
+    pub fn build(mut self) -> Result<Ctmc, MarkovError> {
+        if self.n == 0 {
+            return Err(MarkovError::Empty);
+        }
+        // Sort by (from, to) and merge duplicates.
+        self.triplets
+            .sort_unstable_by_key(|&(f, t, _)| ((f as u64) << 32) | t as u64);
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.triplets.len());
+        for (f, t, r) in self.triplets {
+            if let Some(last) = merged.last_mut() {
+                if last.0 == f && last.1 == t {
+                    last.2 += r;
+                    continue;
+                }
+            }
+            merged.push((f, t, r));
+        }
+
+        let n = self.n;
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(f, _, _) in &merged {
+            row_ptr[f as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col: Vec<u32> = merged.iter().map(|&(_, t, _)| t).collect();
+        let val: Vec<f64> = merged.iter().map(|&(_, _, r)| r).collect();
+
+        let mut exit = vec![0.0f64; n];
+        for &(f, _, r) in &merged {
+            exit[f as usize] += r;
+        }
+
+        // CSC (incoming) structure.
+        let mut col_ptr = vec![0usize; n + 1];
+        for &(_, t, _) in &merged {
+            col_ptr[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut in_row = vec![0u32; merged.len()];
+        let mut in_val = vec![0.0f64; merged.len()];
+        let mut cursor = col_ptr.clone();
+        for &(f, t, r) in &merged {
+            let k = cursor[t as usize];
+            in_row[k] = f;
+            in_val[k] = r;
+            cursor[t as usize] += 1;
+        }
+
+        Ok(Ctmc {
+            n,
+            row_ptr,
+            col,
+            val,
+            col_ptr,
+            in_row,
+            in_val,
+            exit,
+        })
+    }
+}
+
+/// Steady-state solution strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SteadyStateMethod {
+    /// Dense Gaussian elimination with partial pivoting; exact up to
+    /// floating-point. O(n³) — intended for n ≲ 2000.
+    Dense,
+    /// Gauss–Seidel sweeps on πQ = 0 with per-sweep normalization.
+    GaussSeidel {
+        /// Maximum sweeps before giving up.
+        max_iter: usize,
+        /// Convergence threshold on max residual |πQ|.
+        tol: f64,
+    },
+    /// Uniformized power iteration π ← π(I + Q/Λ).
+    Power {
+        /// Maximum iterations.
+        max_iter: usize,
+        /// Convergence threshold on L1 change per iteration.
+        tol: f64,
+    },
+    /// Dense for small chains, Gauss–Seidel otherwise.
+    Auto,
+}
+
+/// An immutable CTMC generator matrix in CSR + CSC form.
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    n: usize,
+    // Outgoing (CSR): row i covers row_ptr[i]..row_ptr[i+1].
+    row_ptr: Vec<usize>,
+    col: Vec<u32>,
+    val: Vec<f64>,
+    // Incoming (CSC): column j covers col_ptr[j]..col_ptr[j+1].
+    col_ptr: Vec<usize>,
+    in_row: Vec<u32>,
+    in_val: Vec<f64>,
+    exit: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (merged) non-zero transitions.
+    pub fn n_transitions(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Total exit rate of a state.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.exit[state]
+    }
+
+    /// Iterate the outgoing transitions `(to, rate)` of `state`.
+    pub fn outgoing(&self, state: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let r = self.row_ptr[state]..self.row_ptr[state + 1];
+        self.col[r.clone()]
+            .iter()
+            .zip(&self.val[r])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Residual ‖πQ‖∞ — how far `pi` is from being stationary.
+    pub fn residual(&self, pi: &[f64]) -> f64 {
+        let mut worst = 0.0f64;
+        for j in 0..self.n {
+            let mut flow = -pi[j] * self.exit[j];
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                flow += pi[self.in_row[k] as usize] * self.in_val[k];
+            }
+            worst = worst.max(flow.abs());
+        }
+        worst
+    }
+
+    /// Solve for the stationary distribution πQ = 0, Σπ = 1.
+    pub fn steady_state(&self, method: SteadyStateMethod) -> Result<Vec<f64>, MarkovError> {
+        match method {
+            SteadyStateMethod::Dense => self.steady_dense(),
+            SteadyStateMethod::GaussSeidel { max_iter, tol } => self.steady_gs(max_iter, tol),
+            SteadyStateMethod::Power { max_iter, tol } => self.steady_power(max_iter, tol),
+            SteadyStateMethod::Auto => {
+                if self.n <= 512 {
+                    self.steady_dense()
+                } else {
+                    self.steady_gs(200_000, 1e-12)
+                        .or_else(|_| self.steady_power(2_000_000, 1e-13))
+                }
+            }
+        }
+    }
+
+    fn steady_dense(&self) -> Result<Vec<f64>, MarkovError> {
+        let n = self.n;
+        if n > 4096 {
+            return Err(MarkovError::InvalidParameter {
+                what: "Dense steady state",
+                constraint: "n <= 4096 (use GaussSeidel/Power)",
+                value: n as f64,
+            });
+        }
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+        // Solve A x = b with A = Qᵀ, last row replaced by the normalization
+        // Σ x = 1.
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            a[i * n + i] = -self.exit[i]; // Qᵀ[i][i] = Q[i][i]
+        }
+        for from in 0..n {
+            for k in self.row_ptr[from]..self.row_ptr[from + 1] {
+                let to = self.col[k] as usize;
+                a[to * n + from] += self.val[k]; // Qᵀ[to][from] = Q[from][to]
+            }
+        }
+        for j in 0..n {
+            a[(n - 1) * n + j] = 1.0;
+        }
+        let mut b = vec![0.0f64; n];
+        b[n - 1] = 1.0;
+
+        // Gaussian elimination with partial pivoting.
+        for c in 0..n {
+            let mut pivot = c;
+            let mut best = a[c * n + c].abs();
+            for r in (c + 1)..n {
+                let v = a[r * n + c].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-300 {
+                return Err(MarkovError::Reducible { state: c });
+            }
+            if pivot != c {
+                for j in 0..n {
+                    a.swap(c * n + j, pivot * n + j);
+                }
+                b.swap(c, pivot);
+            }
+            let d = a[c * n + c];
+            for r in (c + 1)..n {
+                let factor = a[r * n + c] / d;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in c..n {
+                    a[r * n + j] -= factor * a[c * n + j];
+                }
+                b[r] -= factor * b[c];
+            }
+        }
+        let mut x = vec![0.0f64; n];
+        for r in (0..n).rev() {
+            let mut s = b[r];
+            for j in (r + 1)..n {
+                s -= a[r * n + j] * x[j];
+            }
+            x[r] = s / a[r * n + r];
+        }
+        // Clamp tiny negatives from roundoff and renormalize.
+        let mut total = 0.0;
+        for v in &mut x {
+            if *v < 0.0 {
+                if *v < -1e-8 {
+                    return Err(MarkovError::Reducible { state: 0 });
+                }
+                *v = 0.0;
+            }
+            total += *v;
+        }
+        if total <= 0.0 {
+            return Err(MarkovError::Reducible { state: 0 });
+        }
+        for v in &mut x {
+            *v /= total;
+        }
+        Ok(x)
+    }
+
+    fn steady_gs(&self, max_iter: usize, tol: f64) -> Result<Vec<f64>, MarkovError> {
+        let n = self.n;
+        // Absorbing states make the sweep division ill-defined.
+        if let Some(s) = self.exit.iter().position(|&e| e <= 0.0) {
+            if n > 1 {
+                return Err(MarkovError::Reducible { state: s });
+            }
+            return Ok(vec![1.0]);
+        }
+        let mut pi = vec![1.0 / n as f64; n];
+        for it in 0..max_iter {
+            for j in 0..n {
+                let mut inflow = 0.0;
+                for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                    inflow += pi[self.in_row[k] as usize] * self.in_val[k];
+                }
+                pi[j] = inflow / self.exit[j];
+            }
+            let total: f64 = pi.iter().sum();
+            if !(total > 0.0) || !total.is_finite() {
+                return Err(MarkovError::NoConvergence {
+                    iterations: it,
+                    residual: f64::INFINITY,
+                });
+            }
+            for v in &mut pi {
+                *v /= total;
+            }
+            if it % 8 == 7 || it + 1 == max_iter {
+                let res = self.residual(&pi);
+                if res < tol {
+                    return Ok(pi);
+                }
+            }
+        }
+        let res = self.residual(&pi);
+        if res < tol * 10.0 {
+            // Accept near-misses: Gauss–Seidel stalls at roundoff level on
+            // stiff chains.
+            return Ok(pi);
+        }
+        Err(MarkovError::NoConvergence {
+            iterations: max_iter,
+            residual: res,
+        })
+    }
+
+    fn steady_power(&self, max_iter: usize, tol: f64) -> Result<Vec<f64>, MarkovError> {
+        let n = self.n;
+        let lambda = self
+            .exit
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE)
+            * 1.02;
+        let mut pi = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0f64; n];
+        for it in 0..max_iter {
+            // next = pi (I + Q/Λ)
+            for j in 0..n {
+                next[j] = pi[j] * (1.0 - self.exit[j] / lambda);
+            }
+            for (from, &pf) in pi.iter().enumerate() {
+                if pf == 0.0 {
+                    continue;
+                }
+                for k in self.row_ptr[from]..self.row_ptr[from + 1] {
+                    next[self.col[k] as usize] += pf * self.val[k] / lambda;
+                }
+            }
+            let diff: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            std::mem::swap(&mut pi, &mut next);
+            if diff < tol {
+                let total: f64 = pi.iter().sum();
+                for v in &mut pi {
+                    *v /= total;
+                }
+                return Ok(pi);
+            }
+            let _ = it;
+        }
+        Err(MarkovError::NoConvergence {
+            iterations: max_iter,
+            residual: self.residual(&pi),
+        })
+    }
+
+    /// Transient distribution `p(t)` from initial distribution `p0` by
+    /// uniformization, accurate to `tol` in L1.
+    pub fn transient(&self, p0: &[f64], t: f64, tol: f64) -> Result<Vec<f64>, MarkovError> {
+        if p0.len() != self.n {
+            return Err(MarkovError::StateOutOfBounds {
+                index: p0.len(),
+                n_states: self.n,
+            });
+        }
+        if !(t >= 0.0) || !t.is_finite() {
+            return Err(MarkovError::InvalidParameter {
+                what: "transient time",
+                constraint: ">= 0 and finite",
+                value: t,
+            });
+        }
+        let lambda = self
+            .exit
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE)
+            * 1.02;
+        // Split long horizons so e^{-Λτ} stays representable.
+        let segments = ((lambda * t) / 200.0).ceil().max(1.0) as usize;
+        let tau = t / segments as f64;
+        let mut p = p0.to_vec();
+        let seg_tol = tol / segments as f64;
+        for _ in 0..segments {
+            p = self.uniformization_step(&p, lambda, tau, seg_tol);
+        }
+        Ok(p)
+    }
+
+    fn uniformization_step(&self, p0: &[f64], lambda: f64, tau: f64, tol: f64) -> Vec<f64> {
+        let n = self.n;
+        let lt = lambda * tau;
+        let mut weight = (-lt).exp(); // w_0
+        let mut acc_weight = weight;
+        let mut v = p0.to_vec(); // p0 Pᵏ
+        let mut out: Vec<f64> = v.iter().map(|x| x * weight).collect();
+        let mut next = vec![0.0f64; n];
+        let mut k = 0usize;
+        while acc_weight < 1.0 - tol && k < 100_000 {
+            // v ← v P
+            for j in 0..n {
+                next[j] = v[j] * (1.0 - self.exit[j] / lambda);
+            }
+            for (from, &pf) in v.iter().enumerate() {
+                if pf == 0.0 {
+                    continue;
+                }
+                for idx in self.row_ptr[from]..self.row_ptr[from + 1] {
+                    next[self.col[idx] as usize] += pf * self.val[idx] / lambda;
+                }
+            }
+            std::mem::swap(&mut v, &mut next);
+            k += 1;
+            weight *= lt / k as f64;
+            acc_weight += weight;
+            for j in 0..n {
+                out[j] += weight * v[j];
+            }
+        }
+        // Renormalize the truncation remainder.
+        let total: f64 = out.iter().sum();
+        if total > 0.0 {
+            for x in &mut out {
+                *x /= total;
+            }
+        }
+        out
+    }
+
+    /// Expected reward `Σ π_i r_i`.
+    pub fn expected_reward(&self, pi: &[f64], rewards: &[f64]) -> f64 {
+        pi.iter().zip(rewards).map(|(p, r)| p * r).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state chain: 0 --a--> 1, 1 --b--> 0; π = (b, a)/(a+b).
+    fn two_state(a: f64, b: f64) -> Ctmc {
+        let mut builder = CtmcBuilder::new(2);
+        builder.rate(0, 1, a).unwrap().rate(1, 0, b).unwrap();
+        builder.build().unwrap()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut b = CtmcBuilder::new(2);
+        assert!(b.rate(0, 5, 1.0).is_err());
+        assert!(b.rate(5, 0, 1.0).is_err());
+        assert!(b.rate(0, 1, -1.0).is_err());
+        assert!(b.rate(0, 1, f64::NAN).is_err());
+        assert!(b.rate(0, 0, 1.0).is_err(), "self loops rejected");
+        assert!(b.rate(0, 1, 0.0).is_ok(), "zero rates dropped silently");
+        assert!(CtmcBuilder::new(0).build().is_err());
+    }
+
+    #[test]
+    fn duplicate_rates_accumulate() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap().rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.n_transitions(), 2);
+        assert!((c.exit_rate(0) - 3.0).abs() < 1e-12);
+        let out: Vec<_> = c.outgoing(0).collect();
+        assert_eq!(out, vec![(1, 3.0)]);
+    }
+
+    #[test]
+    fn two_state_all_methods_agree() {
+        let c = two_state(2.0, 3.0);
+        let expect = [0.6, 0.4];
+        for m in [
+            SteadyStateMethod::Dense,
+            SteadyStateMethod::GaussSeidel {
+                max_iter: 10_000,
+                tol: 1e-12,
+            },
+            SteadyStateMethod::Power {
+                max_iter: 1_000_000,
+                tol: 1e-13,
+            },
+            SteadyStateMethod::Auto,
+        ] {
+            let pi = c.steady_state(m).unwrap();
+            assert_close(&pi, &expect, 1e-6);
+            assert!(c.residual(&pi) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mm1k_chain_matches_closed_form() {
+        // M/M/1/4: birth λ=1, death μ=2 → p_n ∝ ρⁿ.
+        let (lam, mu, k) = (1.0f64, 2.0f64, 4usize);
+        let mut b = CtmcBuilder::new(k + 1);
+        for i in 0..k {
+            b.rate(i, i + 1, lam).unwrap();
+            b.rate(i + 1, i, mu).unwrap();
+        }
+        let c = b.build().unwrap();
+        let pi = c.steady_state(SteadyStateMethod::Dense).unwrap();
+        let rho: f64 = lam / mu;
+        let norm: f64 = (0..=k).map(|n| rho.powi(n as i32)).sum();
+        for (n, p) in pi.iter().enumerate() {
+            assert!((p - rho.powi(n as i32) / norm).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn larger_chain_gs_matches_dense() {
+        // Random-ish ring with shortcuts, 200 states.
+        let n = 200;
+        let mut b = CtmcBuilder::new(n);
+        for i in 0..n {
+            b.rate(i, (i + 1) % n, 1.0 + (i % 7) as f64).unwrap();
+            b.rate(i, (i + 13) % n, 0.3).unwrap();
+            if i % 3 == 0 {
+                b.rate(i, (i + n - 1) % n, 2.0).unwrap();
+            }
+        }
+        let c = b.build().unwrap();
+        let dense = c.steady_state(SteadyStateMethod::Dense).unwrap();
+        let gs = c
+            .steady_state(SteadyStateMethod::GaussSeidel {
+                max_iter: 100_000,
+                tol: 1e-13,
+            })
+            .unwrap();
+        assert_close(&dense, &gs, 1e-8);
+    }
+
+    #[test]
+    fn reducible_chain_detected() {
+        // State 1 is absorbing.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).unwrap().rate(2, 1, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(matches!(
+            c.steady_state(SteadyStateMethod::GaussSeidel {
+                max_iter: 100,
+                tol: 1e-9
+            }),
+            Err(MarkovError::Reducible { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let c = two_state(2.0, 3.0);
+        let p = c.transient(&[1.0, 0.0], 50.0, 1e-10).unwrap();
+        assert_close(&p, &[0.6, 0.4], 1e-6);
+        // At t=0, nothing moves.
+        let p0 = c.transient(&[1.0, 0.0], 0.0, 1e-10).unwrap();
+        assert_close(&p0, &[1.0, 0.0], 1e-12);
+    }
+
+    #[test]
+    fn transient_matches_analytic_two_state() {
+        // p_0(t) = b/(a+b) + a/(a+b) e^{-(a+b)t} starting from state 0.
+        let (a, b) = (2.0, 3.0);
+        let c = two_state(a, b);
+        for t in [0.1, 0.5, 1.0, 2.0] {
+            let p = c.transient(&[1.0, 0.0], t, 1e-12).unwrap();
+            let expect = b / (a + b) + a / (a + b) * (-(a + b) * t).exp();
+            assert!((p[0] - expect).abs() < 1e-8, "t={t}: {} vs {expect}", p[0]);
+        }
+    }
+
+    #[test]
+    fn transient_long_horizon_segmentation() {
+        // Λt ≈ 5000 forces segmentation; must stay normalized and correct.
+        let c = two_state(50.0, 50.0);
+        let p = c.transient(&[1.0, 0.0], 100.0, 1e-9).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_close(&p, &[0.5, 0.5], 1e-6);
+    }
+
+    #[test]
+    fn transient_input_validation() {
+        let c = two_state(1.0, 1.0);
+        assert!(c.transient(&[1.0], 1.0, 1e-9).is_err());
+        assert!(c.transient(&[1.0, 0.0], -1.0, 1e-9).is_err());
+        assert!(c.transient(&[1.0, 0.0], f64::NAN, 1e-9).is_err());
+    }
+
+    #[test]
+    fn expected_reward() {
+        let c = two_state(1.0, 1.0);
+        let pi = c.steady_state(SteadyStateMethod::Dense).unwrap();
+        let r = c.expected_reward(&pi, &[10.0, 20.0]);
+        assert!((r - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let c = CtmcBuilder::new(1).build().unwrap();
+        assert_eq!(c.steady_state(SteadyStateMethod::Dense).unwrap(), vec![1.0]);
+        assert_eq!(
+            c.steady_state(SteadyStateMethod::GaussSeidel {
+                max_iter: 10,
+                tol: 1e-9
+            })
+            .unwrap(),
+            vec![1.0]
+        );
+    }
+
+    #[test]
+    fn dense_guard_rejects_huge() {
+        let mut b = CtmcBuilder::new(5000);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        for i in 1..4999 {
+            b.rate(i, i + 1, 1.0).unwrap();
+            b.rate(i + 1, i, 1.0).unwrap();
+        }
+        let c = b.build().unwrap();
+        assert!(c.steady_state(SteadyStateMethod::Dense).is_err());
+    }
+}

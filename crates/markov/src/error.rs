@@ -1,0 +1,125 @@
+//! Markov-chain error type.
+
+use std::fmt;
+
+/// Errors raised by chain construction and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// A rate was negative, NaN or infinite.
+    InvalidRate {
+        /// Source state.
+        from: usize,
+        /// Target state.
+        to: usize,
+        /// Offending rate.
+        rate: f64,
+    },
+    /// A state index was out of bounds.
+    StateOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of states.
+        n_states: usize,
+    },
+    /// The chain has no states.
+    Empty,
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual.
+        residual: f64,
+    },
+    /// The chain is reducible w.r.t. the requested analysis (steady state
+    /// not unique / unreachable states present).
+    Reducible {
+        /// A state with no outgoing rate (absorbing) or unreachable.
+        state: usize,
+    },
+    /// A model parameter was out of domain.
+    InvalidParameter {
+        /// Parameter name.
+        what: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The queueing model is unstable (ρ ≥ 1) where stability is required.
+    Unstable {
+        /// The offered load ρ = λ/μ.
+        rho: f64,
+    },
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::InvalidRate { from, to, rate } => {
+                write!(f, "invalid rate {rate} on transition {from} -> {to}")
+            }
+            MarkovError::StateOutOfBounds { index, n_states } => {
+                write!(f, "state {index} out of bounds (chain has {n_states})")
+            }
+            MarkovError::Empty => write!(f, "chain has no states"),
+            MarkovError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            MarkovError::Reducible { state } => {
+                write!(f, "chain is reducible at state {state}")
+            }
+            MarkovError::InvalidParameter {
+                what,
+                constraint,
+                value,
+            } => write!(f, "{what}: value {value} violates {constraint}"),
+            MarkovError::Unstable { rho } => {
+                write!(f, "queue unstable: rho = {rho} >= 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MarkovError::Empty.to_string().contains("no states"));
+        assert!(MarkovError::Unstable { rho: 2.0 }.to_string().contains('2'));
+        assert!(MarkovError::NoConvergence {
+            iterations: 10,
+            residual: 1e-3
+        }
+        .to_string()
+        .contains("10"));
+        assert!(MarkovError::InvalidRate {
+            from: 0,
+            to: 1,
+            rate: -1.0
+        }
+        .to_string()
+        .contains("-1"));
+        assert!(MarkovError::StateOutOfBounds {
+            index: 5,
+            n_states: 2
+        }
+        .to_string()
+        .contains('5'));
+        assert!(MarkovError::Reducible { state: 3 }.to_string().contains('3'));
+        assert!(MarkovError::InvalidParameter {
+            what: "lambda",
+            constraint: "> 0",
+            value: 0.0
+        }
+        .to_string()
+        .contains("lambda"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Incidence matrix and semiflow (invariant) computation.
+//!
+//! A **P-semiflow** is a non-negative integer weighting `x` of places with
+//! `xᵀC = 0`; the weighted token count `x·m` is then constant over every
+//! reachable marking. Semiflows are found with the classical Farkas
+//! iteration over `[Cᵀ | I]` rows, gcd-normalized and reduced to minimal
+//! support.
+
+use crate::error::PetriError;
+use crate::net::PetriNet;
+
+/// Incidence matrix `C[p][t] = post(t,p) − pre(t,p)` (inhibitors excluded —
+/// they constrain enabling, not token flow).
+pub fn incidence_matrix(net: &PetriNet) -> Vec<Vec<i64>> {
+    let mut c = vec![vec![0i64; net.n_transitions()]; net.n_places()];
+    for t in net.transitions() {
+        for (p, m) in net.inputs(t) {
+            c[p.index()][t.index()] -= m as i64;
+        }
+        for (p, m) in net.outputs(t) {
+            c[p.index()][t.index()] += m as i64;
+        }
+    }
+    c
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Farkas iteration: find the non-negative integer left-null-space basis of
+/// `matrix` (rows × cols), returning minimal-support solutions over rows.
+///
+/// `matrix[r][c]`: the constraint matrix; solutions x satisfy
+/// `Σ_r x_r · matrix[r][c] = 0` for every column c.
+fn farkas(matrix: &[Vec<i64>], row_budget: usize) -> Result<Vec<Vec<u64>>, PetriError> {
+    let n_rows = matrix.len();
+    let n_cols = if n_rows == 0 { 0 } else { matrix[0].len() };
+
+    // Working rows: (constraint part, identity part).
+    let mut rows: Vec<(Vec<i64>, Vec<u64>)> = (0..n_rows)
+        .map(|r| {
+            let mut id = vec![0u64; n_rows];
+            id[r] = 1;
+            (matrix[r].clone(), id)
+        })
+        .collect();
+
+    for c in 0..n_cols {
+        let mut zero: Vec<(Vec<i64>, Vec<u64>)> = Vec::new();
+        let mut pos: Vec<(Vec<i64>, Vec<u64>)> = Vec::new();
+        let mut neg: Vec<(Vec<i64>, Vec<u64>)> = Vec::new();
+        for row in rows {
+            match row.0[c].cmp(&0) {
+                std::cmp::Ordering::Equal => zero.push(row),
+                std::cmp::Ordering::Greater => pos.push(row),
+                std::cmp::Ordering::Less => neg.push(row),
+            }
+        }
+        for p in &pos {
+            for n in &neg {
+                let a = p.0[c].unsigned_abs();
+                let b = n.0[c].unsigned_abs();
+                let g = gcd(a, b);
+                let (ca, cb) = ((b / g) as i64, (a / g) as i64);
+                let cons: Vec<i64> = p
+                    .0
+                    .iter()
+                    .zip(&n.0)
+                    .map(|(x, y)| ca * x + cb * y)
+                    .collect();
+                let id: Vec<u64> = p
+                    .1
+                    .iter()
+                    .zip(&n.1)
+                    .map(|(x, y)| ca as u64 * x + cb as u64 * y)
+                    .collect();
+                debug_assert_eq!(cons[c], 0);
+                zero.push((cons, id));
+                if zero.len() > row_budget {
+                    return Err(PetriError::InvariantExplosion { limit: row_budget });
+                }
+            }
+        }
+        rows = zero;
+    }
+
+    // Normalize by gcd, drop zero rows, dedupe.
+    let mut result: Vec<Vec<u64>> = Vec::new();
+    for (_, id) in rows {
+        let g = id.iter().fold(0u64, |acc, &v| gcd(acc, v));
+        if g == 0 {
+            continue;
+        }
+        let normalized: Vec<u64> = id.iter().map(|v| v / g).collect();
+        if !result.contains(&normalized) {
+            result.push(normalized);
+        }
+    }
+
+    // Keep only minimal-support semiflows.
+    let support = |v: &[u64]| -> Vec<usize> {
+        v.iter()
+            .enumerate()
+            .filter(|(_, &x)| x > 0)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let supports: Vec<Vec<usize>> = result.iter().map(|v| support(v)).collect();
+    let minimal: Vec<Vec<u64>> = result
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            !supports.iter().enumerate().any(|(j, sj)| {
+                j != *i
+                    && sj.len() < supports[*i].len()
+                    && sj.iter().all(|e| supports[*i].contains(e))
+            })
+        })
+        .map(|(_, v)| v.clone())
+        .collect();
+    Ok(minimal)
+}
+
+/// Non-negative place invariants (P-semiflows). Each result has one weight
+/// per place; `weights · marking` is invariant under every firing.
+pub fn p_semiflows(net: &PetriNet) -> Result<Vec<Vec<u64>>, PetriError> {
+    let c = incidence_matrix(net);
+    farkas(&c, 100_000)
+}
+
+/// Non-negative transition invariants (T-semiflows). Each result has one
+/// weight per transition; firing every transition `weights[t]` times
+/// reproduces the starting marking.
+pub fn t_semiflows(net: &PetriNet) -> Result<Vec<Vec<u64>>, PetriError> {
+    let c = incidence_matrix(net);
+    let n_p = net.n_places();
+    let n_t = net.n_transitions();
+    let mut ct = vec![vec![0i64; n_p]; n_t];
+    for (p, row) in c.iter().enumerate() {
+        for (t, &v) in row.iter().enumerate() {
+            ct[t][p] = v;
+        }
+    }
+    farkas(&ct, 100_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    /// Simple cycle: token circulates P0 → P1 → P0.
+    fn cycle_net() -> PetriNet {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t01 = b.exponential("t01", 1.0);
+        let t10 = b.exponential("t10", 1.0);
+        b.input_arc(p0, t01, 1);
+        b.output_arc(t01, p1, 1);
+        b.input_arc(p1, t10, 1);
+        b.output_arc(t10, p0, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incidence_of_cycle() {
+        let net = cycle_net();
+        let c = incidence_matrix(&net);
+        assert_eq!(c, vec![vec![-1, 1], vec![1, -1]]);
+    }
+
+    #[test]
+    fn cycle_invariants() {
+        let net = cycle_net();
+        let p = p_semiflows(&net).unwrap();
+        assert_eq!(p, vec![vec![1, 1]], "token conservation P0+P1");
+        let t = t_semiflows(&net).unwrap();
+        assert_eq!(t, vec![vec![1, 1]], "firing both restores the marking");
+    }
+
+    #[test]
+    fn semiflows_annihilate_incidence() {
+        let net = cycle_net();
+        let c = incidence_matrix(&net);
+        for x in p_semiflows(&net).unwrap() {
+            for t in 0..net.n_transitions() {
+                let dot: i64 = c.iter().zip(&x).map(|(row, &w)| w as i64 * row[t]).sum();
+                assert_eq!(dot, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn source_net_has_no_p_invariant() {
+        // A pure source grows P unboundedly — no conservation.
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 0);
+        let t = b.exponential("t", 1.0);
+        b.output_arc(t, p, 1);
+        let net = b.build().unwrap();
+        assert!(p_semiflows(&net).unwrap().is_empty());
+        // But firing t is not a T-invariant either (it changes the marking).
+        assert!(t_semiflows(&net).unwrap().is_empty());
+    }
+
+    #[test]
+    fn weighted_invariant() {
+        // t consumes 2×A and produces 1×B; 1·A? No: invariant is A + 2B.
+        let mut b = NetBuilder::new();
+        let a = b.place("A", 4);
+        let bb = b.place("B", 0);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(a, t, 2);
+        b.output_arc(t, bb, 1);
+        let t2 = b.exponential("t2", 1.0);
+        b.input_arc(bb, t2, 1);
+        b.output_arc(t2, a, 2);
+        let net = b.build().unwrap();
+        let inv = p_semiflows(&net).unwrap();
+        assert_eq!(inv, vec![vec![1, 2]], "A + 2B conserved");
+    }
+
+    #[test]
+    fn two_independent_cycles_two_invariants() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let q0 = b.place("Q0", 1);
+        let q1 = b.place("Q1", 0);
+        for (x, y, n1, n2) in [(p0, p1, "a", "b"), (q0, q1, "c", "d")] {
+            let t1 = b.exponential(n1, 1.0);
+            b.input_arc(x, t1, 1);
+            b.output_arc(t1, y, 1);
+            let t2 = b.exponential(n2, 1.0);
+            b.input_arc(y, t2, 1);
+            b.output_arc(t2, x, 1);
+        }
+        let net = b.build().unwrap();
+        let mut inv = p_semiflows(&net).unwrap();
+        inv.sort();
+        assert_eq!(inv, vec![vec![0, 0, 1, 1], vec![1, 1, 0, 0]]);
+    }
+
+    #[test]
+    fn invariants_hold_along_simulation() {
+        use crate::sim::{simulate, SimConfig};
+        use wsnem_stats::rng::Xoshiro256PlusPlus;
+        let net = cycle_net();
+        let invariants = p_semiflows(&net).unwrap();
+        let m0 = net.initial_marking();
+        let expected: Vec<u64> = invariants.iter().map(|x| m0.weighted_sum(x)).collect();
+        let mut rng = Xoshiro256PlusPlus::new(5);
+        let out = simulate(&net, &SimConfig::for_horizon(100.0), &[], &mut rng).unwrap();
+        for (x, e) in invariants.iter().zip(expected) {
+            assert_eq!(out.final_marking.weighted_sum(x), e);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Structural and numerical net analysis.
+//!
+//! * [`invariants`] — incidence matrix and P/T-semiflows via the Farkas
+//!   algorithm. The paper's Fig. 3 net has two 1-token P-invariants
+//!   ({StandBy, PowerUp, CpuOn} and {Idle, Active}); the engine's state
+//!   classification rests on them, and tests assert them mechanically.
+//! * [`reachability`] — bounded breadth-first exploration of the marking
+//!   graph with tangible/vanishing classification.
+//! * [`tangible`] — vanishing elimination: for nets whose timed transitions
+//!   are all exponential, fold immediate firings into branching
+//!   probabilities and export the tangible CTMC (solved by `wsnem-markov`) —
+//!   the "analytical" evaluation path TimeNET offers next to simulation.
+
+pub mod invariants;
+pub mod reachability;
+pub mod structural;
+pub mod tangible;
+
+pub use invariants::{incidence_matrix, p_semiflows, t_semiflows};
+pub use reachability::{explore, ReachOptions, ReachabilityGraph};
+pub use structural::{
+    conflict_sets, is_free_choice, is_marked_graph, is_state_machine, isolated_places,
+    sink_transitions, source_transitions,
+};
+pub use tangible::{tangible_chain, TangibleChain};

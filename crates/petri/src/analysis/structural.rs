@@ -1,0 +1,214 @@
+//! Cheap structural analyses: conflict sets, sources/sinks, and the classic
+//! net-class tests (state machine, marked graph, free choice).
+//!
+//! These run on the net structure alone (no state-space exploration) and
+//! are what a modeler checks first: the paper's Fig. 3 net, for instance,
+//! is *not* free-choice — T2/T5/PDT compete for `CPU_ON` with different
+//! guards — which is exactly why priorities and inhibitor arcs are needed
+//! to make its behaviour deterministic.
+
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+/// Transitions that share at least one input place with another transition,
+/// grouped by place: `(place, competing transitions)` for every place with
+/// ≥ 2 consumers.
+pub fn conflict_sets(net: &PetriNet) -> Vec<(PlaceId, Vec<TransitionId>)> {
+    let mut consumers: Vec<Vec<TransitionId>> = vec![Vec::new(); net.n_places()];
+    for t in net.transitions() {
+        for (p, _) in net.inputs(t) {
+            consumers[p.index()].push(t);
+        }
+    }
+    net.places()
+        .filter(|p| consumers[p.index()].len() >= 2)
+        .map(|p| (p, consumers[p.index()].clone()))
+        .collect()
+}
+
+/// Transitions with no input arcs (always enabled unless inhibited) —
+/// open-workload generators like the M/M/1 `arrive`.
+pub fn source_transitions(net: &PetriNet) -> Vec<TransitionId> {
+    net.transitions()
+        .filter(|&t| net.inputs(t).next().is_none())
+        .collect()
+}
+
+/// Transitions with no output arcs (token sinks).
+pub fn sink_transitions(net: &PetriNet) -> Vec<TransitionId> {
+    net.transitions()
+        .filter(|&t| net.outputs(t).next().is_none())
+        .collect()
+}
+
+/// Places not connected to any arc at all.
+pub fn isolated_places(net: &PetriNet) -> Vec<PlaceId> {
+    let mut touched = vec![false; net.n_places()];
+    for t in net.transitions() {
+        for (p, _) in net.inputs(t).chain(net.outputs(t)).chain(net.inhibitors(t)) {
+            touched[p.index()] = true;
+        }
+    }
+    net.places().filter(|p| !touched[p.index()]).collect()
+}
+
+/// State machine: every transition has exactly one input and one output
+/// place (tokens never fork or join).
+pub fn is_state_machine(net: &PetriNet) -> bool {
+    net.transitions().all(|t| {
+        net.inputs(t).map(|(_, m)| m as usize).sum::<usize>() == 1
+            && net.outputs(t).map(|(_, m)| m as usize).sum::<usize>() == 1
+    })
+}
+
+/// Marked graph: every place has exactly one producer and one consumer
+/// (no conflicts anywhere).
+pub fn is_marked_graph(net: &PetriNet) -> bool {
+    let mut produced = vec![0usize; net.n_places()];
+    let mut consumed = vec![0usize; net.n_places()];
+    for t in net.transitions() {
+        for (p, m) in net.inputs(t) {
+            consumed[p.index()] += m as usize;
+        }
+        for (p, m) in net.outputs(t) {
+            produced[p.index()] += m as usize;
+        }
+    }
+    (0..net.n_places()).all(|p| produced[p] == 1 && consumed[p] == 1)
+}
+
+/// Free choice: whenever two transitions share an input place, that place
+/// is their only input (conflicts are resolved by pure chance, never by
+/// context). Inhibitor arcs break free choice by definition.
+pub fn is_free_choice(net: &PetriNet) -> bool {
+    if net.transitions().any(|t| net.inhibitors(t).next().is_some()) {
+        return false;
+    }
+    for (_, competitors) in conflict_sets(net) {
+        for &t in &competitors {
+            if net.inputs(t).count() != 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    /// Simple cycle: state machine AND marked graph AND free choice.
+    fn cycle() -> PetriNet {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let a = b.exponential("a", 1.0);
+        b.input_arc(p0, a, 1);
+        b.output_arc(a, p1, 1);
+        let c = b.exponential("c", 1.0);
+        b.input_arc(p1, c, 1);
+        b.output_arc(c, p0, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cycle_classifications() {
+        let net = cycle();
+        assert!(is_state_machine(&net));
+        assert!(is_marked_graph(&net));
+        assert!(is_free_choice(&net));
+        assert!(conflict_sets(&net).is_empty());
+        assert!(source_transitions(&net).is_empty());
+        assert!(sink_transitions(&net).is_empty());
+        assert!(isolated_places(&net).is_empty());
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 1);
+        let t1 = b.immediate("t1", 1, 1.0);
+        b.input_arc(p, t1, 1);
+        let t2 = b.immediate("t2", 1, 1.0);
+        b.input_arc(p, t2, 1);
+        let net = b.build().unwrap();
+        let cs = conflict_sets(&net);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].1.len(), 2);
+        assert!(is_free_choice(&net), "pure conflict is free choice");
+        assert!(!is_marked_graph(&net));
+        // Both are sinks (no outputs).
+        assert_eq!(sink_transitions(&net).len(), 2);
+    }
+
+    #[test]
+    fn context_breaks_free_choice() {
+        // t2 has a second input → choice between t1/t2 depends on context.
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 1);
+        let q = b.place("Q", 1);
+        let t1 = b.immediate("t1", 1, 1.0);
+        b.input_arc(p, t1, 1);
+        let t2 = b.immediate("t2", 1, 1.0);
+        b.input_arc(p, t2, 1);
+        b.input_arc(q, t2, 1);
+        let net = b.build().unwrap();
+        assert!(!is_free_choice(&net));
+    }
+
+    #[test]
+    fn sources_sinks_isolated() {
+        let mut b = NetBuilder::new();
+        let _lonely = b.place("Lonely", 3);
+        let q = b.place("Q", 0);
+        let src = b.exponential("src", 1.0);
+        b.output_arc(src, q, 1);
+        let sink = b.exponential("sink", 1.0);
+        b.input_arc(q, sink, 1);
+        let net = b.build().unwrap();
+        assert_eq!(source_transitions(&net).len(), 1);
+        assert_eq!(sink_transitions(&net).len(), 1);
+        assert_eq!(isolated_places(&net).len(), 1);
+        assert!(!is_state_machine(&net), "source has no input");
+    }
+
+    #[test]
+    fn paper_net_is_not_free_choice() {
+        // The Fig. 3 net needs priorities + inhibitors precisely because it
+        // is not free choice: T2/T5/PDT all compete for CPU_ON in context.
+        let mut b = NetBuilder::new();
+        let on = b.place("CPU_ON", 1);
+        let buf = b.place("Buf", 1);
+        let p6 = b.place("P6", 1);
+        let t2 = b.immediate("T2", 1, 1.0);
+        b.input_arc(on, t2, 1);
+        b.input_arc(buf, t2, 1);
+        b.output_arc(t2, on, 1);
+        let t5 = b.immediate("T5", 2, 1.0);
+        b.input_arc(on, t5, 1);
+        b.input_arc(p6, t5, 1);
+        b.output_arc(t5, on, 1);
+        let pdt = b.deterministic("PDT", 0.5);
+        b.input_arc(on, pdt, 1);
+        b.inhibitor_arc(buf, pdt, 1);
+        let net = b.build().unwrap();
+        assert!(!is_free_choice(&net));
+        let cs = conflict_sets(&net);
+        assert!(cs.iter().any(|(p, ts)| {
+            net.place_name(*p) == "CPU_ON" && ts.len() == 3
+        }));
+    }
+
+    #[test]
+    fn inhibitors_alone_break_free_choice() {
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 1);
+        let q = b.place("Q", 0);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(p, t, 1);
+        b.inhibitor_arc(q, t, 1);
+        let net = b.build().unwrap();
+        assert!(!is_free_choice(&net));
+    }
+}

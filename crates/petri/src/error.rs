@@ -1,0 +1,189 @@
+//! EDSPN engine error type.
+
+use std::fmt;
+
+use wsnem_markov::MarkovError;
+use wsnem_stats::StatsError;
+
+/// Errors raised by net construction, simulation and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PetriError {
+    /// A distribution parameter was invalid.
+    Stats(StatsError),
+    /// An error bubbled up from the CTMC layer.
+    Markov(MarkovError),
+    /// Two places or two transitions share a name.
+    DuplicateName(String),
+    /// The same arc (kind, place, transition) was added twice.
+    DuplicateArc {
+        /// Transition name.
+        transition: String,
+        /// Place name.
+        place: String,
+    },
+    /// An immediate transition has a non-positive or non-finite weight.
+    InvalidWeight {
+        /// Transition name.
+        transition: String,
+        /// Offending weight.
+        weight: f64,
+    },
+    /// An arc multiplicity / inhibitor threshold of zero.
+    InvalidMultiplicity {
+        /// Transition name.
+        transition: String,
+        /// Place name.
+        place: String,
+    },
+    /// A name lookup failed (spec deserialization).
+    UnknownName(String),
+    /// A simulation config value was out of domain.
+    InvalidConfig {
+        /// Parameter name.
+        what: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Immediate transitions kept firing without reaching a tangible
+    /// marking (an immediate cycle pumping tokens).
+    VanishingLoop {
+        /// Simulation time at which the loop was detected.
+        time: f64,
+    },
+    /// Timed transitions kept firing without the clock advancing
+    /// (zero-delay cycle).
+    ZenoLoop {
+        /// Simulation time at which the loop was detected.
+        time: f64,
+        /// The transition fired when the guard tripped.
+        transition: String,
+    },
+    /// Reachability exploration exceeded the per-place token bound.
+    Unbounded {
+        /// Offending place name.
+        place: String,
+        /// The configured bound.
+        bound: u32,
+    },
+    /// Reachability exploration exceeded the marking budget.
+    TooManyMarkings {
+        /// The configured budget.
+        limit: usize,
+    },
+    /// CTMC export requires every timed transition to be exponential.
+    NonExponentialTimed {
+        /// Offending transition name.
+        transition: String,
+    },
+    /// Vanishing-marking resolution hit a cycle of immediate firings.
+    VanishingCycle {
+        /// Debug rendering of the cycling marking.
+        marking: String,
+    },
+    /// Invariant computation exceeded its row budget.
+    InvariantExplosion {
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::Stats(e) => write!(f, "distribution error: {e}"),
+            PetriError::Markov(e) => write!(f, "markov error: {e}"),
+            PetriError::DuplicateName(n) => write!(f, "duplicate name: {n}"),
+            PetriError::DuplicateArc { transition, place } => {
+                write!(f, "duplicate arc between {place} and {transition}")
+            }
+            PetriError::InvalidWeight { transition, weight } => {
+                write!(f, "immediate transition {transition}: invalid weight {weight}")
+            }
+            PetriError::InvalidMultiplicity { transition, place } => {
+                write!(f, "zero multiplicity on arc {place} <-> {transition}")
+            }
+            PetriError::UnknownName(n) => write!(f, "unknown name: {n}"),
+            PetriError::InvalidConfig {
+                what,
+                constraint,
+                value,
+            } => write!(f, "{what}: value {value} violates {constraint}"),
+            PetriError::VanishingLoop { time } => {
+                write!(f, "immediate transitions loop forever at t = {time}")
+            }
+            PetriError::ZenoLoop { time, transition } => {
+                write!(f, "zero-delay timed loop at t = {time} (transition {transition})")
+            }
+            PetriError::Unbounded { place, bound } => {
+                write!(f, "place {place} exceeds token bound {bound} (net may be unbounded)")
+            }
+            PetriError::TooManyMarkings { limit } => {
+                write!(f, "reachability graph exceeds {limit} markings")
+            }
+            PetriError::NonExponentialTimed { transition } => write!(
+                f,
+                "CTMC export needs exponential timed transitions; {transition} is not"
+            ),
+            PetriError::VanishingCycle { marking } => {
+                write!(f, "cycle among vanishing markings at {marking}")
+            }
+            PetriError::InvariantExplosion { limit } => {
+                write!(f, "invariant computation exceeded {limit} intermediate rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PetriError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PetriError::Stats(e) => Some(e),
+            PetriError::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for PetriError {
+    fn from(e: StatsError) -> Self {
+        PetriError::Stats(e)
+    }
+}
+
+impl From<MarkovError> for PetriError {
+    fn from(e: MarkovError) -> Self {
+        PetriError::Markov(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: PetriError = StatsError::InsufficientData {
+            what: "x",
+            needed: 1,
+            got: 0,
+        }
+        .into();
+        assert!(e.to_string().contains("distribution error"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: PetriError = MarkovError::Empty.into();
+        assert!(e.to_string().contains("markov"));
+
+        assert!(PetriError::VanishingLoop { time: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(PetriError::Unbounded {
+            place: "Q".into(),
+            bound: 64
+        }
+        .to_string()
+        .contains("Q"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Token markings.
+
+use crate::net::PlaceId;
+
+/// A marking: the token count of every place, indexed by [`PlaceId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking(pub(crate) Vec<u32>);
+
+impl Marking {
+    /// A marking with the given per-place counts.
+    pub fn new(tokens: Vec<u32>) -> Self {
+        Self(tokens)
+    }
+
+    /// Token count of `place`.
+    #[inline]
+    pub fn tokens(&self, place: PlaceId) -> u32 {
+        self.0[place.index()]
+    }
+
+    /// Set the token count of `place`.
+    #[inline]
+    pub fn set_tokens(&mut self, place: PlaceId, tokens: u32) {
+        self.0[place.index()] = tokens;
+    }
+
+    /// Number of places.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for a zero-place marking.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Total tokens across all places.
+    pub fn total_tokens(&self) -> u64 {
+        self.0.iter().map(|&t| t as u64).sum()
+    }
+
+    /// Raw slice view (index = place index).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Weighted token sum `Σ w_p · m(p)` — evaluates a P-invariant.
+    pub fn weighted_sum(&self, weights: &[u64]) -> u64 {
+        self.0
+            .iter()
+            .zip(weights)
+            .map(|(&m, &w)| m as u64 * w)
+            .sum()
+    }
+}
+
+impl std::fmt::Display for Marking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut m = Marking::new(vec![1, 0, 3]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.total_tokens(), 4);
+        assert_eq!(m.tokens(PlaceId(2)), 3);
+        m.set_tokens(PlaceId(1), 7);
+        assert_eq!(m.tokens(PlaceId(1)), 7);
+        assert_eq!(m.as_slice(), &[1, 7, 3]);
+        assert_eq!(m.to_string(), "[1 7 3]");
+    }
+
+    #[test]
+    fn weighted_sum_evaluates_invariants() {
+        let m = Marking::new(vec![2, 1, 0]);
+        assert_eq!(m.weighted_sum(&[1, 1, 1]), 3);
+        assert_eq!(m.weighted_sum(&[0, 5, 9]), 5);
+    }
+}

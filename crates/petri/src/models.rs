@@ -1,0 +1,161 @@
+//! A library of classic nets used by tests, examples and benchmarks.
+
+use crate::error::PetriError;
+use crate::net::{NetBuilder, PetriNet, PlaceId};
+
+/// An unbounded M/M/1 queue: `arrive` (exp λ, source) feeds `Queue`;
+/// `serve` (exp μ) drains it. Returns the net and the queue place.
+pub fn mm1_net(lambda: f64, mu: f64) -> Result<(PetriNet, PlaceId), PetriError> {
+    let mut b = NetBuilder::new();
+    let q = b.place("Queue", 0);
+    let arrive = b.exponential("arrive", lambda);
+    b.output_arc(arrive, q, 1);
+    let serve = b.exponential("serve", mu);
+    b.input_arc(q, serve, 1);
+    Ok((b.build()?, q))
+}
+
+/// An M/M/1/K queue: as [`mm1_net`] plus an inhibitor that blocks arrivals
+/// at `k` jobs.
+pub fn mm1k_net(lambda: f64, mu: f64, k: u32) -> Result<(PetriNet, PlaceId), PetriError> {
+    let mut b = NetBuilder::new();
+    let q = b.place("Queue", 0);
+    let arrive = b.exponential("arrive", lambda);
+    b.output_arc(arrive, q, 1);
+    b.inhibitor_arc(q, arrive, k);
+    let serve = b.exponential("serve", mu);
+    b.input_arc(q, serve, 1);
+    Ok((b.build()?, q))
+}
+
+/// A bounded producer–consumer: `produce` (exp) fills `Buffer` while
+/// `FreeSlots` last; `consume` (exp) drains it and returns the slot.
+/// Returns `(net, buffer, free_slots)`.
+pub fn producer_consumer_net(
+    capacity: u32,
+    produce_rate: f64,
+    consume_rate: f64,
+) -> Result<(PetriNet, PlaceId, PlaceId), PetriError> {
+    let mut b = NetBuilder::new();
+    let buffer = b.place("Buffer", 0);
+    let free = b.place("FreeSlots", capacity);
+    let produce = b.exponential("produce", produce_rate);
+    b.input_arc(free, produce, 1);
+    b.output_arc(produce, buffer, 1);
+    let consume = b.exponential("consume", consume_rate);
+    b.input_arc(buffer, consume, 1);
+    b.output_arc(consume, free, 1);
+    Ok((b.build()?, buffer, free))
+}
+
+/// A fork–join: `fork` (immediate) splits a token into `n` branches, each
+/// completing after an exponential delay; `join` (immediate) requires all
+/// branches done and restarts the cycle. Returns `(net, done_places)`.
+pub fn fork_join_net(n: u32, branch_rate: f64) -> Result<(PetriNet, Vec<PlaceId>), PetriError> {
+    assert!(n >= 1, "need at least one branch");
+    let mut b = NetBuilder::new();
+    let start = b.place("Start", 1);
+    let fork = b.immediate("fork", 1, 1.0);
+    b.input_arc(start, fork, 1);
+    let join = b.immediate("join", 1, 1.0);
+    b.output_arc(join, start, 1);
+    let mut done_places = Vec::new();
+    for i in 0..n {
+        let work = b.place(format!("Work{i}"), 0);
+        let done = b.place(format!("Done{i}"), 0);
+        b.output_arc(fork, work, 1);
+        let run = b.exponential(format!("run{i}"), branch_rate);
+        b.input_arc(work, run, 1);
+        b.output_arc(run, done, 1);
+        b.input_arc(done, join, 1);
+        done_places.push(done);
+    }
+    Ok((b.build()?, done_places))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{explore, p_semiflows, tangible_chain, ReachOptions};
+    use crate::sim::{simulate, SimConfig};
+    use wsnem_stats::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn mm1_net_simulates_to_theory() {
+        let (net, q) = mm1_net(1.0, 2.0).unwrap();
+        let cfg = SimConfig {
+            horizon: 60_000.0,
+            warmup: 1000.0,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let out = simulate(&net, &cfg, &[], &mut rng).unwrap();
+        assert!((out.place_means[q.index()] - 1.0).abs() < 0.08);
+    }
+
+    #[test]
+    fn mm1k_exact_blocking() {
+        let (net, q) = mm1k_net(2.0, 1.0, 3).unwrap();
+        let chain = tangible_chain(&net, ReachOptions::default()).unwrap();
+        let pi = chain.steady_state().unwrap();
+        let closed = wsnem_markov::mm1k(2.0, 1.0, 3).unwrap();
+        let block: f64 = chain
+            .markings
+            .iter()
+            .zip(&pi)
+            .filter(|(m, _)| m.tokens(q) == 3)
+            .map(|(_, p)| p)
+            .sum();
+        assert!((block - closed.blocking_probability()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn producer_consumer_conservation() {
+        let (net, buffer, free) = producer_consumer_net(5, 2.0, 3.0).unwrap();
+        // Buffer + FreeSlots = capacity is a P-invariant.
+        let inv = p_semiflows(&net).unwrap();
+        assert!(inv.iter().any(|x| {
+            x[buffer.index()] == 1 && x[free.index()] == 1
+        }));
+        let g = explore(&net, ReachOptions::default()).unwrap();
+        assert_eq!(g.len(), 6, "markings 0..=5 buffered");
+        // CTMC equals M/M/1/K=5 with λ=2, μ=3.
+        let chain = tangible_chain(&net, ReachOptions::default()).unwrap();
+        let pi = chain.steady_state().unwrap();
+        let l = chain.expected_tokens(&pi, buffer);
+        let closed = wsnem_markov::mm1k(2.0, 3.0, 5).unwrap();
+        assert!((l - closed.mean_jobs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_join_cycles() {
+        let (net, done) = fork_join_net(3, 4.0).unwrap();
+        let cfg = SimConfig::for_horizon(2000.0);
+        let mut rng = Xoshiro256PlusPlus::new(9);
+        let out = simulate(&net, &cfg, &[], &mut rng).unwrap();
+        // The join fired many times (cycle completes).
+        let join_idx = net.find_transition("join").unwrap().index();
+        assert!(out.firings[join_idx] > 100);
+        // No tokens stuck: each done place holds < 1 token on average.
+        for d in done {
+            assert!(out.place_means[d.index()] < 1.0);
+        }
+        // All-branch conservation: each branch cycle is a P-invariant of 1.
+        let inv = p_semiflows(&net).unwrap();
+        assert!(!inv.is_empty());
+    }
+
+    #[test]
+    fn mm1_net_unbounded_for_reachability() {
+        let (net, _) = mm1_net(1.0, 2.0).unwrap();
+        let err = explore(
+            &net,
+            ReachOptions {
+                max_markings: 1_000_000,
+                max_tokens: 32,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PetriError::Unbounded { .. }));
+    }
+}

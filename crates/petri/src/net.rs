@@ -1,0 +1,747 @@
+//! Net structure: places, transitions, arcs, builder and serializable spec.
+
+use serde::{Deserialize, Serialize};
+
+use wsnem_stats::dist::Dist;
+
+use crate::error::PetriError;
+use crate::marking::Marking;
+
+/// Identifier of a place (index into the net's place table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub(crate) u32);
+
+impl PlaceId {
+    /// Index into per-place vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a transition (index into the net's transition table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransitionId(pub(crate) u32);
+
+impl TransitionId {
+    /// Index into per-transition vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What happens to a timed transition's sampled firing time when the
+/// transition is disabled before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TimedPolicy {
+    /// Race with resampling (a.k.a. *enabling memory*): the clock is
+    /// discarded on disabling and freshly sampled on the next enabling.
+    /// This is the TimeNET default and what the paper's Power-Down-Threshold
+    /// timer needs (arrivals reset the countdown).
+    #[default]
+    RaceResample,
+    /// Age memory: the remaining time is frozen while disabled and resumes
+    /// on re-enabling (pre-emptive resume semantics).
+    AgeMemory,
+}
+
+/// Kind and parameters of a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TransitionKind {
+    /// Fires in zero time once enabled. Among simultaneously enabled
+    /// immediates, the highest `priority` fires first; ties are resolved
+    /// randomly proportional to `weight`.
+    Immediate {
+        /// Priority (higher fires first).
+        priority: u8,
+        /// Conflict-resolution weight (> 0).
+        weight: f64,
+    },
+    /// Fires after a random (or constant) delay drawn from `dist`.
+    Timed {
+        /// Firing-delay distribution.
+        dist: Dist,
+        /// Clock behaviour on disabling.
+        policy: TimedPolicy,
+    },
+}
+
+impl TransitionKind {
+    /// Immediate transition with priority and weight 1.
+    pub fn immediate(priority: u8) -> Self {
+        TransitionKind::Immediate {
+            priority,
+            weight: 1.0,
+        }
+    }
+
+    /// Exponentially-timed transition (race/enabling-memory policy).
+    pub fn exponential(rate: f64) -> Self {
+        TransitionKind::Timed {
+            dist: Dist::Exponential { rate },
+            policy: TimedPolicy::RaceResample,
+        }
+    }
+
+    /// Deterministically-timed transition (race/enabling-memory policy).
+    pub fn deterministic(delay: f64) -> Self {
+        TransitionKind::Timed {
+            dist: Dist::Deterministic(delay),
+            policy: TimedPolicy::RaceResample,
+        }
+    }
+
+    /// Generally-timed transition (race/enabling-memory policy).
+    pub fn timed(dist: Dist) -> Self {
+        TransitionKind::Timed {
+            dist,
+            policy: TimedPolicy::RaceResample,
+        }
+    }
+
+    /// True for immediate transitions.
+    pub fn is_immediate(&self) -> bool {
+        matches!(self, TransitionKind::Immediate { .. })
+    }
+}
+
+/// Arc sets of one transition (compact adjacency).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct TransitionArcs {
+    /// `(place, multiplicity)` consumed on firing; all must be marked.
+    pub inputs: Vec<(u32, u32)>,
+    /// `(place, multiplicity)` produced on firing.
+    pub outputs: Vec<(u32, u32)>,
+    /// `(place, threshold)`: transition disabled while `m(place) >= threshold`.
+    pub inhibitors: Vec<(u32, u32)>,
+}
+
+/// Incremental net constructor.
+#[derive(Debug, Default)]
+pub struct NetBuilder {
+    place_names: Vec<String>,
+    initial: Vec<u32>,
+    trans_names: Vec<String>,
+    kinds: Vec<TransitionKind>,
+    arcs: Vec<TransitionArcs>,
+}
+
+impl NetBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a place with an initial token count.
+    pub fn place(&mut self, name: impl Into<String>, initial_tokens: u32) -> PlaceId {
+        self.place_names.push(name.into());
+        self.initial.push(initial_tokens);
+        PlaceId((self.place_names.len() - 1) as u32)
+    }
+
+    /// Add a transition of the given kind.
+    pub fn transition(&mut self, name: impl Into<String>, kind: TransitionKind) -> TransitionId {
+        self.trans_names.push(name.into());
+        self.kinds.push(kind);
+        self.arcs.push(TransitionArcs::default());
+        TransitionId((self.trans_names.len() - 1) as u32)
+    }
+
+    /// Shorthand: immediate transition with priority and weight.
+    pub fn immediate(
+        &mut self,
+        name: impl Into<String>,
+        priority: u8,
+        weight: f64,
+    ) -> TransitionId {
+        self.transition(name, TransitionKind::Immediate { priority, weight })
+    }
+
+    /// Shorthand: exponential transition.
+    pub fn exponential(&mut self, name: impl Into<String>, rate: f64) -> TransitionId {
+        self.transition(name, TransitionKind::exponential(rate))
+    }
+
+    /// Shorthand: deterministic transition.
+    pub fn deterministic(&mut self, name: impl Into<String>, delay: f64) -> TransitionId {
+        self.transition(name, TransitionKind::deterministic(delay))
+    }
+
+    /// Input arc: firing `t` consumes `multiplicity` tokens from `p`.
+    pub fn input_arc(&mut self, p: PlaceId, t: TransitionId, multiplicity: u32) -> &mut Self {
+        self.arcs[t.index()].inputs.push((p.0, multiplicity));
+        self
+    }
+
+    /// Output arc: firing `t` produces `multiplicity` tokens into `p`.
+    pub fn output_arc(&mut self, t: TransitionId, p: PlaceId, multiplicity: u32) -> &mut Self {
+        self.arcs[t.index()].outputs.push((p.0, multiplicity));
+        self
+    }
+
+    /// Inhibitor arc: `t` is disabled while `m(p) >= threshold` (the "small
+    /// circle" arcs of the paper's Fig. 3).
+    pub fn inhibitor_arc(&mut self, p: PlaceId, t: TransitionId, threshold: u32) -> &mut Self {
+        self.arcs[t.index()].inhibitors.push((p.0, threshold));
+        self
+    }
+
+    /// Validate and freeze into a [`PetriNet`].
+    pub fn build(self) -> Result<PetriNet, PetriError> {
+        // Unique names.
+        let mut seen = std::collections::HashSet::new();
+        for n in self.place_names.iter().chain(&self.trans_names) {
+            if !seen.insert(n.as_str()) {
+                return Err(PetriError::DuplicateName(n.clone()));
+            }
+        }
+        // Kinds and arcs.
+        for (ti, kind) in self.kinds.iter().enumerate() {
+            match kind {
+                TransitionKind::Immediate { weight, .. } => {
+                    if !(*weight > 0.0) || !weight.is_finite() {
+                        return Err(PetriError::InvalidWeight {
+                            transition: self.trans_names[ti].clone(),
+                            weight: *weight,
+                        });
+                    }
+                }
+                TransitionKind::Timed { dist, .. } => dist.validate()?,
+            }
+            let arcs = &self.arcs[ti];
+            for (kind_arcs, _is_inhib) in
+                [(&arcs.inputs, false), (&arcs.outputs, false), (&arcs.inhibitors, true)]
+            {
+                let mut places = std::collections::HashSet::new();
+                for &(p, mult) in kind_arcs.iter() {
+                    if mult == 0 {
+                        return Err(PetriError::InvalidMultiplicity {
+                            transition: self.trans_names[ti].clone(),
+                            place: self.place_names[p as usize].clone(),
+                        });
+                    }
+                    if !places.insert(p) {
+                        return Err(PetriError::DuplicateArc {
+                            transition: self.trans_names[ti].clone(),
+                            place: self.place_names[p as usize].clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // place -> transitions whose enabling depends on it.
+        let mut affecting: Vec<Vec<u32>> = vec![Vec::new(); self.place_names.len()];
+        for (ti, arcs) in self.arcs.iter().enumerate() {
+            for &(p, _) in arcs.inputs.iter().chain(&arcs.inhibitors) {
+                let list = &mut affecting[p as usize];
+                if !list.contains(&(ti as u32)) {
+                    list.push(ti as u32);
+                }
+            }
+        }
+
+        let immediates: Vec<u32> = self
+            .kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_immediate())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let timed: Vec<u32> = self
+            .kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !k.is_immediate())
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        Ok(PetriNet {
+            place_names: self.place_names,
+            initial: self.initial,
+            trans_names: self.trans_names,
+            kinds: self.kinds,
+            arcs: self.arcs,
+            affecting,
+            immediates,
+            timed,
+        })
+    }
+}
+
+/// An immutable, validated Petri net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PetriNet {
+    place_names: Vec<String>,
+    initial: Vec<u32>,
+    trans_names: Vec<String>,
+    kinds: Vec<TransitionKind>,
+    arcs: Vec<TransitionArcs>,
+    /// place index → transitions having it as input or inhibitor.
+    affecting: Vec<Vec<u32>>,
+    /// Indices of immediate transitions.
+    immediates: Vec<u32>,
+    /// Indices of timed transitions.
+    timed: Vec<u32>,
+}
+
+impl PetriNet {
+    /// Number of places.
+    pub fn n_places(&self) -> usize {
+        self.place_names.len()
+    }
+
+    /// Number of transitions.
+    pub fn n_transitions(&self) -> usize {
+        self.trans_names.len()
+    }
+
+    /// All place ids.
+    pub fn places(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.place_names.len() as u32).map(PlaceId)
+    }
+
+    /// All transition ids.
+    pub fn transitions(&self) -> impl Iterator<Item = TransitionId> {
+        (0..self.trans_names.len() as u32).map(TransitionId)
+    }
+
+    /// Name of a place.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.place_names[p.index()]
+    }
+
+    /// Name of a transition.
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        &self.trans_names[t.index()]
+    }
+
+    /// Kind of a transition.
+    pub fn kind(&self, t: TransitionId) -> TransitionKind {
+        self.kinds[t.index()]
+    }
+
+    /// Look a place up by name.
+    pub fn find_place(&self, name: &str) -> Option<PlaceId> {
+        self.place_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| PlaceId(i as u32))
+    }
+
+    /// Look a transition up by name.
+    pub fn find_transition(&self, name: &str) -> Option<TransitionId> {
+        self.trans_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| TransitionId(i as u32))
+    }
+
+    /// The initial marking.
+    pub fn initial_marking(&self) -> Marking {
+        Marking::new(self.initial.clone())
+    }
+
+    /// Input arcs of `t` as `(place, multiplicity)`.
+    pub fn inputs(&self, t: TransitionId) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.arcs[t.index()]
+            .inputs
+            .iter()
+            .map(|&(p, m)| (PlaceId(p), m))
+    }
+
+    /// Output arcs of `t` as `(place, multiplicity)`.
+    pub fn outputs(&self, t: TransitionId) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.arcs[t.index()]
+            .outputs
+            .iter()
+            .map(|&(p, m)| (PlaceId(p), m))
+    }
+
+    /// Inhibitor arcs of `t` as `(place, threshold)`.
+    pub fn inhibitors(&self, t: TransitionId) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.arcs[t.index()]
+            .inhibitors
+            .iter()
+            .map(|&(p, m)| (PlaceId(p), m))
+    }
+
+    /// Transitions whose enabling can change when `p`'s marking changes.
+    pub(crate) fn affected_by(&self, p: u32) -> &[u32] {
+        &self.affecting[p as usize]
+    }
+
+    /// Indices of immediate transitions (ascending).
+    pub(crate) fn immediate_indices(&self) -> &[u32] {
+        &self.immediates
+    }
+
+    /// Indices of timed transitions (ascending).
+    pub(crate) fn timed_indices(&self) -> &[u32] {
+        &self.timed
+    }
+
+    /// Whether `t` is enabled in `marking` (inputs satisfied, no inhibitor
+    /// tripped).
+    pub fn is_enabled(&self, marking: &Marking, t: TransitionId) -> bool {
+        let arcs = &self.arcs[t.index()];
+        for &(p, mult) in &arcs.inputs {
+            if marking.0[p as usize] < mult {
+                return false;
+            }
+        }
+        for &(p, thresh) in &arcs.inhibitors {
+            if marking.0[p as usize] >= thresh {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All transitions enabled in `marking`.
+    pub fn enabled_transitions(&self, marking: &Marking) -> Vec<TransitionId> {
+        self.transitions()
+            .filter(|&t| self.is_enabled(marking, t))
+            .collect()
+    }
+
+    /// Fire `t` in `marking` (must be enabled), mutating it in place and
+    /// recording changed place indices into `changed` (cleared first).
+    pub(crate) fn fire_into(&self, marking: &mut Marking, t: u32, changed: &mut Vec<u32>) {
+        changed.clear();
+        let arcs = &self.arcs[t as usize];
+        for &(p, mult) in &arcs.inputs {
+            debug_assert!(marking.0[p as usize] >= mult, "firing disabled transition");
+            marking.0[p as usize] -= mult;
+            changed.push(p);
+        }
+        for &(p, mult) in &arcs.outputs {
+            marking.0[p as usize] += mult;
+            if !changed.contains(&p) {
+                changed.push(p);
+            }
+        }
+    }
+
+    /// Fire `t` on a copy of `marking` and return the successor (must be
+    /// enabled).
+    pub fn fire(&self, marking: &Marking, t: TransitionId) -> Marking {
+        let mut next = marking.clone();
+        let mut scratch = Vec::new();
+        self.fire_into(&mut next, t.0, &mut scratch);
+        next
+    }
+
+    /// Serializable specification of this net.
+    pub fn to_spec(&self) -> NetSpec {
+        let mut arcs = Vec::new();
+        for t in self.transitions() {
+            for (p, m) in self.inputs(t) {
+                arcs.push(ArcSpec {
+                    kind: ArcKind::Input,
+                    place: self.place_name(p).to_owned(),
+                    transition: self.transition_name(t).to_owned(),
+                    multiplicity: m,
+                });
+            }
+            for (p, m) in self.outputs(t) {
+                arcs.push(ArcSpec {
+                    kind: ArcKind::Output,
+                    place: self.place_name(p).to_owned(),
+                    transition: self.transition_name(t).to_owned(),
+                    multiplicity: m,
+                });
+            }
+            for (p, m) in self.inhibitors(t) {
+                arcs.push(ArcSpec {
+                    kind: ArcKind::Inhibitor,
+                    place: self.place_name(p).to_owned(),
+                    transition: self.transition_name(t).to_owned(),
+                    multiplicity: m,
+                });
+            }
+        }
+        NetSpec {
+            places: self
+                .places()
+                .map(|p| PlaceSpec {
+                    name: self.place_name(p).to_owned(),
+                    initial: self.initial[p.index()],
+                })
+                .collect(),
+            transitions: self
+                .transitions()
+                .map(|t| TransSpec {
+                    name: self.transition_name(t).to_owned(),
+                    kind: self.kind(t),
+                })
+                .collect(),
+            arcs,
+        }
+    }
+}
+
+/// Arc direction/kind in a [`NetSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArcKind {
+    /// Place → transition, consumed on firing.
+    Input,
+    /// Transition → place, produced on firing.
+    Output,
+    /// Place —o transition, disables at or above the threshold.
+    Inhibitor,
+}
+
+/// One place in a [`NetSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlaceSpec {
+    /// Place name (unique).
+    pub name: String,
+    /// Initial token count.
+    pub initial: u32,
+}
+
+/// One transition in a [`NetSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransSpec {
+    /// Transition name (unique).
+    pub name: String,
+    /// Kind and parameters.
+    pub kind: TransitionKind,
+}
+
+/// One arc in a [`NetSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArcSpec {
+    /// Arc kind.
+    pub kind: ArcKind,
+    /// Place name.
+    pub place: String,
+    /// Transition name.
+    pub transition: String,
+    /// Multiplicity (inputs/outputs) or threshold (inhibitors).
+    pub multiplicity: u32,
+}
+
+/// Serializable net description (names instead of indices) — the exchange
+/// format for nets on disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetSpec {
+    /// Places.
+    pub places: Vec<PlaceSpec>,
+    /// Transitions.
+    pub transitions: Vec<TransSpec>,
+    /// Arcs.
+    pub arcs: Vec<ArcSpec>,
+}
+
+impl NetSpec {
+    /// Resolve names and build the net.
+    pub fn build(&self) -> Result<PetriNet, PetriError> {
+        let mut b = NetBuilder::new();
+        for p in &self.places {
+            b.place(p.name.clone(), p.initial);
+        }
+        for t in &self.transitions {
+            b.transition(t.name.clone(), t.kind);
+        }
+        // Need id lookup before build(); replicate the index mapping.
+        let place_of = |name: &str| -> Result<PlaceId, PetriError> {
+            self.places
+                .iter()
+                .position(|p| p.name == name)
+                .map(|i| PlaceId(i as u32))
+                .ok_or_else(|| PetriError::UnknownName(name.to_owned()))
+        };
+        let trans_of = |name: &str| -> Result<TransitionId, PetriError> {
+            self.transitions
+                .iter()
+                .position(|t| t.name == name)
+                .map(|i| TransitionId(i as u32))
+                .ok_or_else(|| PetriError::UnknownName(name.to_owned()))
+        };
+        for a in &self.arcs {
+            let p = place_of(&a.place)?;
+            let t = trans_of(&a.transition)?;
+            match a.kind {
+                ArcKind::Input => b.input_arc(p, t, a.multiplicity),
+                ArcKind::Output => b.output_arc(t, p, a.multiplicity),
+                ArcKind::Inhibitor => b.inhibitor_arc(p, t, a.multiplicity),
+            };
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// P0 --(t: exp)-- P1 with an inhibitor from P1 (threshold 2).
+    fn tiny() -> PetriNet {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t = b.exponential("t", 2.0);
+        b.input_arc(p0, t, 1);
+        b.output_arc(t, p1, 1);
+        b.inhibitor_arc(p1, t, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let net = tiny();
+        assert_eq!(net.n_places(), 2);
+        assert_eq!(net.n_transitions(), 1);
+        let p0 = net.find_place("P0").unwrap();
+        let t = net.find_transition("t").unwrap();
+        assert_eq!(net.place_name(p0), "P0");
+        assert_eq!(net.transition_name(t), "t");
+        assert!(net.find_place("nope").is_none());
+        assert!(net.find_transition("nope").is_none());
+        assert_eq!(net.inputs(t).collect::<Vec<_>>(), vec![(p0, 1)]);
+        assert!(matches!(
+            net.kind(t),
+            TransitionKind::Timed {
+                dist: Dist::Exponential { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn enabling_and_firing() {
+        let net = tiny();
+        let t = net.find_transition("t").unwrap();
+        let m0 = net.initial_marking();
+        assert!(net.is_enabled(&m0, t));
+        let m1 = net.fire(&m0, t);
+        assert_eq!(m1.as_slice(), &[0, 1]);
+        assert!(!net.is_enabled(&m1, t), "input empty");
+        assert_eq!(net.enabled_transitions(&m0), vec![t]);
+        assert!(net.enabled_transitions(&m1).is_empty());
+    }
+
+    #[test]
+    fn inhibitor_disables() {
+        let net = tiny();
+        let t = net.find_transition("t").unwrap();
+        let m = Marking::new(vec![5, 2]);
+        assert!(!net.is_enabled(&m, t), "P1 at threshold trips inhibitor");
+        let m = Marking::new(vec![5, 1]);
+        assert!(net.is_enabled(&m, t));
+    }
+
+    #[test]
+    fn source_transition_always_enabled() {
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 0);
+        let t = b.exponential("src", 1.0);
+        b.output_arc(t, p, 1);
+        let net = b.build().unwrap();
+        let t = net.find_transition("src").unwrap();
+        assert!(net.is_enabled(&net.initial_marking(), t));
+    }
+
+    #[test]
+    fn multiplicity_arithmetic() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("in", 5);
+        let p1 = b.place("out", 0);
+        let t = b.immediate("t", 1, 1.0);
+        b.input_arc(p0, t, 3);
+        b.output_arc(t, p1, 2);
+        let net = b.build().unwrap();
+        let t = net.find_transition("t").unwrap();
+        let m = net.fire(&net.initial_marking(), t);
+        assert_eq!(m.as_slice(), &[2, 2]);
+        // Needs 3 tokens: disabled at 2.
+        assert!(!net.is_enabled(&m, t));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_and_invalids() {
+        let mut b = NetBuilder::new();
+        b.place("X", 0);
+        b.place("X", 0);
+        assert!(matches!(b.build(), Err(PetriError::DuplicateName(_))));
+
+        let mut b = NetBuilder::new();
+        b.place("P", 0);
+        b.transition("P", TransitionKind::immediate(1));
+        assert!(matches!(b.build(), Err(PetriError::DuplicateName(_))));
+
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 0);
+        let t = b.immediate("t", 1, 0.0);
+        b.input_arc(p, t, 1);
+        assert!(matches!(b.build(), Err(PetriError::InvalidWeight { .. })));
+
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 0);
+        let t = b.immediate("t", 1, 1.0);
+        b.input_arc(p, t, 0);
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::InvalidMultiplicity { .. })
+        ));
+
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 0);
+        let t = b.immediate("t", 1, 1.0);
+        b.input_arc(p, t, 1);
+        b.input_arc(p, t, 1);
+        assert!(matches!(b.build(), Err(PetriError::DuplicateArc { .. })));
+
+        let mut b = NetBuilder::new();
+        b.exponential("t", -1.0);
+        assert!(matches!(b.build(), Err(PetriError::Stats(_))));
+    }
+
+    #[test]
+    fn input_and_output_to_same_place_allowed() {
+        // Self-loop place (read arc pattern): consume and reproduce.
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 1);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(p, t, 1);
+        b.output_arc(t, p, 1);
+        let net = b.build().unwrap();
+        let t = net.find_transition("t").unwrap();
+        let m = net.fire(&net.initial_marking(), t);
+        assert_eq!(m.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let net = tiny();
+        let spec = net.to_spec();
+        let rebuilt = spec.build().unwrap();
+        assert_eq!(net, rebuilt);
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: NetSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.build().unwrap(), net);
+    }
+
+    #[test]
+    fn spec_unknown_names_rejected() {
+        let mut spec = tiny().to_spec();
+        spec.arcs[0].place = "ghost".into();
+        assert!(matches!(spec.build(), Err(PetriError::UnknownName(_))));
+        let mut spec = tiny().to_spec();
+        spec.arcs[0].transition = "ghost".into();
+        assert!(matches!(spec.build(), Err(PetriError::UnknownName(_))));
+    }
+
+    #[test]
+    fn affected_by_index() {
+        let net = tiny();
+        // P0 is input of t; P1 is inhibitor of t — both affect t.
+        assert_eq!(net.affected_by(0), &[0]);
+        assert_eq!(net.affected_by(1), &[0]);
+        assert_eq!(net.immediate_indices(), &[] as &[u32]);
+        assert_eq!(net.timed_indices(), &[0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Sequential stopping: replicate until the reward estimates stabilize.
+//!
+//! The paper (§2, §6) notes that Petri nets "require that the modeled
+//! system be simulated for extended periods of time so that the steady
+//! state probability is reached" — but never says how long is long enough.
+//! This module makes that precise: replications are added in rounds until
+//! every watched reward's Student-t confidence interval is relatively
+//! tighter than a target, or the replication budget runs out.
+//!
+//! Stopping decisions look only at replication means (which are i.i.d.), so
+//! the procedure stays statistically honest and — because replication `i`
+//! always consumes stream `i` — fully deterministic.
+
+use wsnem_stats::ci::ConfidenceInterval;
+
+use crate::error::PetriError;
+use crate::net::PetriNet;
+use crate::sim::replication::{simulate_replications, PnReplicationSummary};
+use crate::sim::{Reward, SimConfig};
+
+/// Stopping rule for [`simulate_until_precise`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionTarget {
+    /// Confidence level of the intervals (e.g. 0.95).
+    pub level: f64,
+    /// Target relative half-width (half-width / |mean|).
+    pub rel_half_width: f64,
+    /// Rewards with |mean| below this are judged by *absolute* half-width
+    /// instead (relative precision is meaningless at ≈0 means, e.g. the
+    /// PowerUp fraction at D = 1 ms).
+    pub near_zero: f64,
+    /// Replications per round.
+    pub batch: usize,
+    /// Minimum total replications before stopping is allowed.
+    pub min_replications: usize,
+    /// Hard cap on total replications.
+    pub max_replications: usize,
+}
+
+impl Default for PrecisionTarget {
+    fn default() -> Self {
+        Self {
+            level: 0.95,
+            rel_half_width: 0.05,
+            near_zero: 1e-3,
+            batch: 8,
+            min_replications: 8,
+            max_replications: 512,
+        }
+    }
+}
+
+impl PrecisionTarget {
+    /// Validate the target.
+    pub fn validate(&self) -> Result<(), PetriError> {
+        if !(0.0 < self.level && self.level < 1.0) {
+            return Err(PetriError::InvalidConfig {
+                what: "precision.level",
+                constraint: "in (0, 1)",
+                value: self.level,
+            });
+        }
+        if !(self.rel_half_width > 0.0) {
+            return Err(PetriError::InvalidConfig {
+                what: "precision.rel_half_width",
+                constraint: "> 0",
+                value: self.rel_half_width,
+            });
+        }
+        if self.batch == 0 || self.max_replications < self.min_replications.max(2) {
+            return Err(PetriError::InvalidConfig {
+                what: "precision.budget",
+                constraint: "batch >= 1, max >= max(min, 2)",
+                value: self.batch as f64,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a sequential-precision run.
+#[derive(Debug, Clone)]
+pub struct ConvergedRun {
+    /// The final cross-replication summary.
+    pub summary: PnReplicationSummary,
+    /// Whether every watched reward met the target (false ⇒ budget ran out).
+    pub converged: bool,
+    /// Confidence intervals of each reward at stop time.
+    pub intervals: Vec<ConfidenceInterval>,
+}
+
+/// Replicate `net` in rounds until every reward in `rewards` meets the
+/// precision target (or the budget caps out).
+pub fn simulate_until_precise(
+    net: &PetriNet,
+    cfg: &SimConfig,
+    rewards: &[Reward],
+    target: PrecisionTarget,
+    master_seed: u64,
+    threads: Option<usize>,
+) -> Result<ConvergedRun, PetriError> {
+    target.validate()?;
+    cfg.validate()?;
+    let mut n = target.min_replications.max(2);
+    loop {
+        // Re-simulating from replication 0 keeps the estimate a pure
+        // function of (seed, n); stream i is cached work we accept to redo
+        // for simplicity — rounds grow geometrically so total work is at
+        // most 2× the final run. (simulate_replications is itself parallel.)
+        let summary = simulate_replications(net, cfg, rewards, n, master_seed, threads)?;
+        let mut intervals = Vec::with_capacity(rewards.len());
+        let mut all_met = true;
+        for stats in &summary.reward_stats {
+            let ci = ConfidenceInterval::from_welford(stats, target.level)
+                .map_err(PetriError::Stats)?;
+            let met = if ci.mean.abs() < target.near_zero {
+                ci.half_width <= target.near_zero
+            } else {
+                ci.relative_half_width() <= target.rel_half_width
+            };
+            all_met &= met;
+            intervals.push(ci);
+        }
+        if all_met || n >= target.max_replications {
+            return Ok(ConvergedRun {
+                summary,
+                converged: all_met,
+                intervals,
+            });
+        }
+        // Geometric growth (at least one batch) bounds total redone work.
+        n = (n + target.batch).max(n * 2).min(target.max_replications);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mm1_net;
+    use crate::sim::Reward;
+
+    fn busy_reward(net: &PetriNet) -> Reward {
+        let q = net.find_place("Queue").unwrap();
+        Reward::indicator("busy", move |m| m.tokens(q) > 0)
+    }
+
+    #[test]
+    fn converges_on_mm1_utilization() {
+        let (net, _) = mm1_net(1.0, 2.0).unwrap();
+        let rewards = vec![busy_reward(&net)];
+        let cfg = SimConfig {
+            horizon: 2000.0,
+            warmup: 100.0,
+            ..SimConfig::default()
+        };
+        let run = simulate_until_precise(
+            &net,
+            &cfg,
+            &rewards,
+            PrecisionTarget::default(),
+            7,
+            None,
+        )
+        .unwrap();
+        assert!(run.converged);
+        let ci = &run.intervals[0];
+        assert!(ci.contains(0.5), "ρ CI [{}, {}]", ci.low(), ci.high());
+        assert!(ci.relative_half_width() <= 0.05);
+        assert!(run.summary.replications() >= 8);
+    }
+
+    #[test]
+    fn budget_cap_reports_unconverged() {
+        let (net, _) = mm1_net(1.0, 1.05).unwrap(); // ρ ≈ 0.95: noisy
+        let rewards = vec![busy_reward(&net)];
+        let cfg = SimConfig::for_horizon(50.0); // tiny horizon → high variance
+        let target = PrecisionTarget {
+            rel_half_width: 0.001,
+            max_replications: 8,
+            min_replications: 4,
+            ..PrecisionTarget::default()
+        };
+        let run =
+            simulate_until_precise(&net, &cfg, &rewards, target, 3, Some(2)).unwrap();
+        assert!(!run.converged, "impossible target must hit the cap");
+        assert_eq!(run.summary.replications(), 8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, _) = mm1_net(1.0, 2.0).unwrap();
+        let rewards = vec![busy_reward(&net)];
+        let cfg = SimConfig::for_horizon(500.0);
+        let target = PrecisionTarget {
+            rel_half_width: 0.1,
+            ..PrecisionTarget::default()
+        };
+        let a = simulate_until_precise(&net, &cfg, &rewards, target, 42, Some(1)).unwrap();
+        let b = simulate_until_precise(&net, &cfg, &rewards, target, 42, Some(4)).unwrap();
+        assert_eq!(a.summary.outputs, b.summary.outputs);
+        assert_eq!(a.converged, b.converged);
+    }
+
+    #[test]
+    fn near_zero_rewards_judged_absolutely() {
+        // A reward that is almost always 0 (queue beyond 50 jobs at ρ=0.5)
+        // would never meet a *relative* target; the absolute rule handles it.
+        let (net, q) = mm1_net(1.0, 2.0).unwrap();
+        let deep = Reward::indicator("deep", move |m| m.tokens(q) > 50);
+        let cfg = SimConfig::for_horizon(500.0);
+        let run = simulate_until_precise(
+            &net,
+            &cfg,
+            &[deep],
+            PrecisionTarget::default(),
+            1,
+            Some(2),
+        )
+        .unwrap();
+        assert!(run.converged);
+        assert!(run.intervals[0].mean < 1e-3);
+    }
+
+    #[test]
+    fn target_validation() {
+        assert!(PrecisionTarget {
+            level: 1.5,
+            ..PrecisionTarget::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PrecisionTarget {
+            rel_half_width: 0.0,
+            ..PrecisionTarget::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PrecisionTarget {
+            batch: 0,
+            ..PrecisionTarget::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PrecisionTarget {
+            min_replications: 100,
+            max_replications: 10,
+            ..PrecisionTarget::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,641 @@
+//! The EDSPN token game.
+//!
+//! Execution alternates two phases:
+//!
+//! 1. **Vanishing resolution** — while any immediate transition is enabled,
+//!    fire one (highest priority first; weight-proportional choice among
+//!    ties) without advancing the clock. A chain longer than
+//!    `max_vanishing_chain` aborts with [`PetriError::VanishingLoop`].
+//! 2. **Tangible step** — every enabled timed transition holds a sampled
+//!    firing time; the earliest fires and the clock advances. The race
+//!    policy decides what happens to clocks on disabling
+//!    ([`TimedPolicy::RaceResample`] discards, [`TimedPolicy::AgeMemory`]
+//!    freezes the remaining time).
+//!
+//! Statistics (place token averages, marking rewards) integrate the
+//! piecewise-constant tangible marking exactly between events; vanishing
+//! markings have zero width and contribute nothing, matching standard
+//! GSPN/EDSPN semantics.
+
+use wsnem_stats::dist::Sample;
+use wsnem_stats::rng::Rng64;
+
+use crate::error::PetriError;
+use crate::net::{PetriNet, TimedPolicy, TransitionKind};
+use crate::sim::{Reward, SimConfig, SimOutput};
+
+/// Run one replication of the token game.
+pub fn simulate<R: Rng64 + ?Sized>(
+    net: &PetriNet,
+    cfg: &SimConfig,
+    rewards: &[Reward],
+    rng: &mut R,
+) -> Result<SimOutput, PetriError> {
+    cfg.validate()?;
+    Engine::new(net, cfg, rewards, rng).run()
+}
+
+struct Engine<'a, R: Rng64 + ?Sized> {
+    net: &'a PetriNet,
+    cfg: &'a SimConfig,
+    rewards: &'a [Reward],
+    rng: &'a mut R,
+
+    marking: crate::marking::Marking,
+    now: f64,
+    enabled: Vec<bool>,
+    /// Sampled absolute firing time per transition (timed only).
+    timers: Vec<Option<f64>>,
+    /// Frozen remaining delay for AgeMemory transitions while disabled.
+    age_left: Vec<Option<f64>>,
+
+    // Statistics.
+    stats_start: f64,
+    place_integral: Vec<f64>,
+    reward_integral: Vec<f64>,
+    reward_value: Vec<f64>,
+    firings: Vec<u64>,
+    warmup_done: bool,
+
+    // Scratch buffers (no allocation in the hot loop).
+    changed: Vec<u32>,
+    candidates: Vec<u32>,
+}
+
+impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
+    fn new(net: &'a PetriNet, cfg: &'a SimConfig, rewards: &'a [Reward], rng: &'a mut R) -> Self {
+        let marking = net.initial_marking();
+        let nt = net.n_transitions();
+        Self {
+            net,
+            cfg,
+            rewards,
+            rng,
+            marking,
+            now: 0.0,
+            enabled: vec![false; nt],
+            timers: vec![None; nt],
+            age_left: vec![None; nt],
+            stats_start: 0.0,
+            place_integral: vec![0.0; net.n_places()],
+            reward_integral: vec![0.0; rewards.len()],
+            reward_value: vec![0.0; rewards.len()],
+            firings: vec![0; nt],
+            warmup_done: cfg.warmup == 0.0,
+            changed: Vec::with_capacity(8),
+            candidates: Vec::with_capacity(8),
+        }
+    }
+
+    /// Recompute enabling of transition `t` and maintain its timer according
+    /// to the race policy.
+    fn refresh_transition(&mut self, t: u32) {
+        let ti = crate::net::TransitionId(t);
+        let was = self.enabled[t as usize];
+        let is = self.net.is_enabled(&self.marking, ti);
+        if was == is {
+            return;
+        }
+        self.enabled[t as usize] = is;
+        match self.net.kind(ti) {
+            TransitionKind::Immediate { .. } => {}
+            TransitionKind::Timed { dist, policy } => {
+                if is {
+                    let delay = match policy {
+                        TimedPolicy::RaceResample => dist.sample(self.rng).max(0.0),
+                        TimedPolicy::AgeMemory => self
+                            .age_left[t as usize]
+                            .take()
+                            .unwrap_or_else(|| dist.sample(self.rng).max(0.0)),
+                    };
+                    self.timers[t as usize] = Some(self.now + delay);
+                } else {
+                    let fire_at = self.timers[t as usize].take();
+                    if policy == TimedPolicy::AgeMemory {
+                        if let Some(at) = fire_at {
+                            self.age_left[t as usize] = Some((at - self.now).max(0.0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Refresh all transitions (used at start-up).
+    fn refresh_all(&mut self) {
+        for t in 0..self.net.n_transitions() as u32 {
+            self.refresh_transition(t);
+        }
+    }
+
+    /// After firing, refresh the fired transition and everything adjacent to
+    /// the changed places.
+    fn propagate(&mut self, fired: u32) {
+        // The fired transition consumed its own timer; force recompute.
+        self.enabled[fired as usize] = false;
+        self.timers[fired as usize] = None;
+        self.refresh_transition(fired);
+        // Enabling of neighbours of changed places may have flipped.
+        let mut i = 0;
+        while i < self.changed.len() {
+            let p = self.changed[i];
+            for &t in self.net.affected_by(p) {
+                if t != fired {
+                    self.refresh_transition(t);
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Fire one enabled immediate transition if any; returns whether one
+    /// fired.
+    fn fire_one_immediate(&mut self) -> bool {
+        self.candidates.clear();
+        let mut best_priority = 0u8;
+        for &t in self.net.immediate_indices() {
+            if !self.enabled[t as usize] {
+                continue;
+            }
+            let TransitionKind::Immediate { priority, .. } = self.net.kind(crate::net::TransitionId(t))
+            else {
+                unreachable!("immediate_indices only lists immediates");
+            };
+            if self.candidates.is_empty() || priority > best_priority {
+                self.candidates.clear();
+                self.candidates.push(t);
+                best_priority = priority;
+            } else if priority == best_priority {
+                self.candidates.push(t);
+            }
+        }
+        let chosen = match self.candidates.len() {
+            0 => return false,
+            1 => self.candidates[0],
+            _ => {
+                // Weight-proportional random choice.
+                let total: f64 = self
+                    .candidates
+                    .iter()
+                    .map(|&t| match self.net.kind(crate::net::TransitionId(t)) {
+                        TransitionKind::Immediate { weight, .. } => weight,
+                        _ => unreachable!(),
+                    })
+                    .sum();
+                let mut u = self.rng.next_f64() * total;
+                let mut pick = self.candidates[self.candidates.len() - 1];
+                for &t in &self.candidates {
+                    let TransitionKind::Immediate { weight, .. } =
+                        self.net.kind(crate::net::TransitionId(t))
+                    else {
+                        unreachable!()
+                    };
+                    if u < weight {
+                        pick = t;
+                        break;
+                    }
+                    u -= weight;
+                }
+                pick
+            }
+        };
+        let marking = &mut self.marking;
+        self.net.fire_into(marking, chosen, &mut self.changed);
+        if self.warmup_done {
+            self.firings[chosen as usize] += 1;
+        }
+        self.propagate(chosen);
+        true
+    }
+
+    /// Exhaust immediate transitions (vanishing resolution).
+    fn settle(&mut self) -> Result<(), PetriError> {
+        let mut steps = 0usize;
+        while self.fire_one_immediate() {
+            steps += 1;
+            if steps > self.cfg.max_vanishing_chain {
+                return Err(PetriError::VanishingLoop { time: self.now });
+            }
+        }
+        // The tangible marking determines reward values until the next event.
+        for (v, r) in self.reward_value.iter_mut().zip(self.rewards) {
+            *v = r.eval(&self.marking);
+        }
+        Ok(())
+    }
+
+    /// Integrate statistics over `[self.now, t)` (marking constant there).
+    fn accrue(&mut self, t: f64) {
+        let dt = t - self.now;
+        if dt <= 0.0 {
+            return;
+        }
+        for (acc, &m) in self.place_integral.iter_mut().zip(self.marking.as_slice()) {
+            *acc += m as f64 * dt;
+        }
+        for (acc, &v) in self.reward_integral.iter_mut().zip(&self.reward_value) {
+            *acc += v * dt;
+        }
+    }
+
+    fn reset_statistics(&mut self) {
+        self.place_integral.iter_mut().for_each(|x| *x = 0.0);
+        self.reward_integral.iter_mut().for_each(|x| *x = 0.0);
+        self.firings.iter_mut().for_each(|x| *x = 0);
+        self.stats_start = self.cfg.warmup;
+        self.warmup_done = true;
+    }
+
+    /// Advance the clock to `t`, splitting the integration at the warm-up
+    /// boundary if it lies inside `(now, t]`.
+    fn advance_to(&mut self, t: f64) {
+        if !self.warmup_done && t >= self.cfg.warmup {
+            self.accrue(self.cfg.warmup);
+            self.now = self.cfg.warmup;
+            self.reset_statistics();
+        }
+        self.accrue(t);
+        self.now = t;
+    }
+
+    fn run(mut self) -> Result<SimOutput, PetriError> {
+        self.refresh_all();
+        self.settle()?;
+
+        let horizon = self.cfg.horizon;
+        let mut zeno_streak = 0usize;
+        loop {
+            // Earliest timed firing.
+            let mut next: Option<(f64, u32)> = None;
+            for &t in self.net.timed_indices() {
+                if let Some(at) = self.timers[t as usize] {
+                    debug_assert!(self.enabled[t as usize]);
+                    match next {
+                        Some((best, _)) if at >= best => {}
+                        _ => next = Some((at, t)),
+                    }
+                }
+            }
+            let Some((at, t)) = next else {
+                break; // dead marking: idle to the horizon
+            };
+            if at > horizon {
+                break;
+            }
+            if at <= self.now {
+                zeno_streak += 1;
+                if zeno_streak > self.cfg.zeno_guard {
+                    return Err(PetriError::ZenoLoop {
+                        time: self.now,
+                        transition: self
+                            .net
+                            .transition_name(crate::net::TransitionId(t))
+                            .to_owned(),
+                    });
+                }
+            } else {
+                zeno_streak = 0;
+            }
+            self.advance_to(at);
+            let marking = &mut self.marking;
+            self.net.fire_into(marking, t, &mut self.changed);
+            if self.warmup_done {
+                self.firings[t as usize] += 1;
+            }
+            self.propagate(t);
+            self.settle()?;
+        }
+        self.advance_to(horizon);
+
+        let observed = horizon - self.stats_start;
+        let inv = if observed > 0.0 { 1.0 / observed } else { 0.0 };
+        Ok(SimOutput {
+            time_observed: observed,
+            place_means: self.place_integral.iter().map(|x| x * inv).collect(),
+            reward_means: self.reward_integral.iter().map(|x| x * inv).collect(),
+            firings: self.firings,
+            final_marking: self.marking,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, PlaceId, TransitionKind};
+    use crate::sim::Reward;
+    use wsnem_stats::dist::Dist;
+    use wsnem_stats::rng::Xoshiro256PlusPlus;
+
+    fn run(
+        net: &PetriNet,
+        horizon: f64,
+        rewards: &[Reward],
+        seed: u64,
+    ) -> SimOutput {
+        let cfg = SimConfig::for_horizon(horizon);
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        simulate(net, &cfg, rewards, &mut rng).unwrap()
+    }
+
+    /// The paper's Fig. 1: P0 --T0--> P1, one token.
+    #[test]
+    fn fig1_single_transition() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t0 = b.exponential("T0", 2.0);
+        b.input_arc(p0, t0, 1);
+        b.output_arc(t0, p1, 1);
+        let net = b.build().unwrap();
+        let out = run(&net, 100.0, &[], 1);
+        assert_eq!(out.final_marking.as_slice(), &[0, 1]);
+        assert_eq!(out.firings, vec![1]);
+        // P1 holds its token for ~(100 - Exp(2)) of 100 s.
+        assert!(out.place_means[1] > 0.9);
+        assert!((out.place_means[0] + out.place_means[1] - 1.0).abs() < 1e-9);
+    }
+
+    /// Two-state cycle: token alternates P0 -> P1 -> P0; mean tokens in P0
+    /// must equal b/(a+b) (the CTMC stationary probability).
+    #[test]
+    fn two_state_cycle_matches_ctmc() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t01 = b.exponential("t01", 2.0);
+        let t10 = b.exponential("t10", 3.0);
+        b.input_arc(p0, t01, 1);
+        b.output_arc(t01, p1, 1);
+        b.input_arc(p1, t10, 1);
+        b.output_arc(t10, p0, 1);
+        let net = b.build().unwrap();
+        let cfg = SimConfig {
+            horizon: 50_000.0,
+            warmup: 100.0,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(42);
+        let out = simulate(&net, &cfg, &[], &mut rng).unwrap();
+        assert!((out.place_means[0] - 0.6).abs() < 0.01, "{}", out.place_means[0]);
+        assert!((out.place_means[1] - 0.4).abs() < 0.01);
+        // Throughputs of the two transitions must match (flow balance) and
+        // equal a·π0 = 1.2/s.
+        assert!((out.throughput(0) - 1.2).abs() < 0.05);
+        assert!((out.throughput(1) - 1.2).abs() < 0.05);
+    }
+
+    /// M/M/1 as a net: source (exp λ, no inputs) feeds Queue; server (exp μ)
+    /// drains it. Mean queue ≈ ρ/(1−ρ), utilization ≈ ρ.
+    #[test]
+    fn mm1_net_matches_theory() {
+        let mut b = NetBuilder::new();
+        let q = b.place("Queue", 0);
+        let arrive = b.exponential("arrive", 1.0);
+        let serve = b.exponential("serve", 2.0);
+        b.output_arc(arrive, q, 1);
+        b.input_arc(q, serve, 1);
+        let net = b.build().unwrap();
+        let busy = Reward::indicator("busy", move |m| m.tokens(q) > 0);
+        let cfg = SimConfig {
+            horizon: 100_000.0,
+            warmup: 1000.0,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        let out = simulate(&net, &cfg, &[busy], &mut rng).unwrap();
+        assert!((out.place_means[0] - 1.0).abs() < 0.08, "L = {}", out.place_means[0]);
+        assert!((out.reward_means[0] - 0.5).abs() < 0.02, "ρ̂ = {}", out.reward_means[0]);
+    }
+
+    /// Deterministic transitions fire after exactly their delay.
+    #[test]
+    fn deterministic_timing_exact() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t = b.deterministic("t", 2.5);
+        b.input_arc(p0, t, 1);
+        b.output_arc(t, p1, 1);
+        let net = b.build().unwrap();
+        // Horizon 2.4: must NOT have fired.
+        let out = run(&net, 2.4, &[], 1);
+        assert_eq!(out.final_marking.as_slice(), &[1, 0]);
+        // Horizon 2.6: must have fired; P1 occupied for 0.1/2.6 of the run.
+        let out = run(&net, 2.6, &[], 1);
+        assert_eq!(out.final_marking.as_slice(), &[0, 1]);
+        assert!((out.place_means[1] - 0.1 / 2.6).abs() < 1e-9);
+    }
+
+    /// RaceResample (enabling memory): disabling resets a deterministic
+    /// clock. An inhibited deterministic transition never fires if it is
+    /// re-disabled faster than its delay.
+    #[test]
+    fn race_resample_resets_clock() {
+        // "timer" (det 1.0) moves token P->Done but is inhibited by Busy.
+        // "poke" (det 0.6) refills Busy; "drain" (det 0.3) empties Busy.
+        // Busy is occupied during [poke, poke+0.3) every 0.6 s, so "timer"
+        // is disabled every 0.6 s — it can never accumulate 1.0 s enabled.
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 1);
+        let done = b.place("Done", 0);
+        let busy = b.place("Busy", 0);
+        let gen = b.place("Gen", 1);
+        let timer = b.deterministic("timer", 1.0);
+        b.input_arc(p, timer, 1);
+        b.output_arc(timer, done, 1);
+        b.inhibitor_arc(busy, timer, 1);
+        let poke = b.deterministic("poke", 0.6);
+        b.input_arc(gen, poke, 1);
+        b.output_arc(poke, busy, 1);
+        let drain = b.deterministic("drain", 0.3);
+        b.input_arc(busy, drain, 1);
+        b.output_arc(drain, gen, 1);
+        let net = b.build().unwrap();
+        let out = run(&net, 100.0, &[], 5);
+        assert_eq!(
+            out.final_marking.tokens(done),
+            0,
+            "enabling-memory timer must keep resetting"
+        );
+    }
+
+    /// AgeMemory: the same structure, but the timer keeps its progress
+    /// across disablings, so it eventually fires.
+    #[test]
+    fn age_memory_accumulates_progress() {
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 1);
+        let done = b.place("Done", 0);
+        let busy = b.place("Busy", 0);
+        let gen = b.place("Gen", 1);
+        let timer = b.transition(
+            "timer",
+            TransitionKind::Timed {
+                dist: Dist::Deterministic(1.0),
+                policy: crate::net::TimedPolicy::AgeMemory,
+            },
+        );
+        b.input_arc(p, timer, 1);
+        b.output_arc(timer, done, 1);
+        b.inhibitor_arc(busy, timer, 1);
+        let poke = b.deterministic("poke", 0.6);
+        b.input_arc(gen, poke, 1);
+        b.output_arc(poke, busy, 1);
+        let drain = b.deterministic("drain", 0.3);
+        b.input_arc(busy, drain, 1);
+        b.output_arc(drain, gen, 1);
+        let net = b.build().unwrap();
+        let out = run(&net, 100.0, &[], 5);
+        assert_eq!(out.final_marking.tokens(done), 1, "age memory must fire");
+    }
+
+    /// Immediate priorities: the higher-priority immediate always wins.
+    #[test]
+    fn immediate_priority_wins() {
+        let mut b = NetBuilder::new();
+        let src = b.place("Src", 0);
+        let hi = b.place("Hi", 0);
+        let lo = b.place("Lo", 0);
+        let feed = b.exponential("feed", 1.0);
+        b.output_arc(feed, src, 1);
+        let t_hi = b.immediate("t_hi", 5, 1.0);
+        b.input_arc(src, t_hi, 1);
+        b.output_arc(t_hi, hi, 1);
+        let t_lo = b.immediate("t_lo", 1, 1000.0);
+        b.input_arc(src, t_lo, 1);
+        b.output_arc(t_lo, lo, 1);
+        let net = b.build().unwrap();
+        let out = run(&net, 500.0, &[], 11);
+        assert!(out.firings[1] > 100, "t_hi fired {}", out.firings[1]);
+        assert_eq!(out.firings[2], 0, "low priority starves despite weight");
+        assert_eq!(out.final_marking.tokens(lo), 0);
+    }
+
+    /// Equal-priority immediates split by weight.
+    #[test]
+    fn immediate_weights_split_probabilistically() {
+        let mut b = NetBuilder::new();
+        let src = b.place("Src", 0);
+        let a = b.place("A", 0);
+        let c = b.place("C", 0);
+        let feed = b.exponential("feed", 10.0);
+        b.output_arc(feed, src, 1);
+        let ta = b.immediate("ta", 1, 3.0);
+        b.input_arc(src, ta, 1);
+        b.output_arc(ta, a, 1);
+        let tc = b.immediate("tc", 1, 1.0);
+        b.input_arc(src, tc, 1);
+        b.output_arc(tc, c, 1);
+        let net = b.build().unwrap();
+        let out = run(&net, 3000.0, &[], 13);
+        let total = (out.firings[1] + out.firings[2]) as f64;
+        let frac_a = out.firings[1] as f64 / total;
+        assert!((frac_a - 0.75).abs() < 0.02, "weight split {frac_a}");
+    }
+
+    /// A vanishing loop (two immediates feeding each other) is detected.
+    #[test]
+    fn vanishing_loop_detected() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t01 = b.immediate("t01", 1, 1.0);
+        b.input_arc(p0, t01, 1);
+        b.output_arc(t01, p1, 1);
+        let t10 = b.immediate("t10", 1, 1.0);
+        b.input_arc(p1, t10, 1);
+        b.output_arc(t10, p0, 1);
+        let net = b.build().unwrap();
+        let cfg = SimConfig {
+            horizon: 10.0,
+            max_vanishing_chain: 1000,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        assert!(matches!(
+            simulate(&net, &cfg, &[], &mut rng),
+            Err(PetriError::VanishingLoop { .. })
+        ));
+    }
+
+    /// A zero-delay timed self-loop trips the Zeno guard.
+    #[test]
+    fn zeno_loop_detected() {
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 1);
+        let t = b.deterministic("t", 0.0);
+        b.input_arc(p, t, 1);
+        b.output_arc(t, p, 1);
+        let net = b.build().unwrap();
+        let cfg = SimConfig {
+            horizon: 10.0,
+            zeno_guard: 1000,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        assert!(matches!(
+            simulate(&net, &cfg, &[], &mut rng),
+            Err(PetriError::ZenoLoop { .. })
+        ));
+    }
+
+    /// Dead nets idle to the horizon with constant statistics.
+    #[test]
+    fn dead_marking_idles() {
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 3);
+        let _unused = b.place("Q", 0);
+        let t = b.exponential("t", 1.0);
+        // t needs Q which is empty → dead immediately.
+        let q = PlaceId(1);
+        b.input_arc(q, t, 1);
+        let net = b.build().unwrap();
+        let _ = p;
+        let out = run(&net, 50.0, &[Reward::tokens("p", PlaceId(0))], 9);
+        assert_eq!(out.place_means[0], 3.0);
+        assert_eq!(out.reward_means[0], 3.0);
+        assert_eq!(out.firings, vec![0]);
+        assert_eq!(out.time_observed, 50.0);
+    }
+
+    /// Warm-up removes the initial transient from the averages.
+    #[test]
+    fn warmup_truncation() {
+        // Token starts in P0, moves to P1 after exactly 10 s and stays.
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t = b.deterministic("t", 10.0);
+        b.input_arc(p0, t, 1);
+        b.output_arc(t, p1, 1);
+        let net = b.build().unwrap();
+        let cfg = SimConfig {
+            horizon: 100.0,
+            warmup: 20.0,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let out = simulate(&net, &cfg, &[], &mut rng).unwrap();
+        assert_eq!(out.place_means[1], 1.0, "transient excluded");
+        assert_eq!(out.time_observed, 80.0);
+        assert_eq!(out.firings, vec![0], "firing happened pre-warmup");
+    }
+
+    /// Determinism: same seed, same everything.
+    #[test]
+    fn deterministic_replication() {
+        let mut b = NetBuilder::new();
+        let q = b.place("Queue", 0);
+        let arrive = b.exponential("arrive", 1.0);
+        let serve = b.exponential("serve", 1.5);
+        b.output_arc(arrive, q, 1);
+        b.input_arc(q, serve, 1);
+        let net = b.build().unwrap();
+        let a = run(&net, 1000.0, &[], 123);
+        let b2 = run(&net, 1000.0, &[], 123);
+        assert_eq!(a, b2);
+        let c = run(&net, 1000.0, &[], 124);
+        assert_ne!(a.place_means, c.place_means);
+    }
+}

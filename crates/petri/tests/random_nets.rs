@@ -1,0 +1,202 @@
+//! Property-based tests over randomly generated nets: the engine must
+//! either simulate correctly (preserving every structural invariant) or
+//! fail with one of its documented loop/bound errors — never panic, never
+//! break a P-semiflow.
+
+use proptest::prelude::*;
+
+use wsnem_petri::analysis::{explore, p_semiflows, ReachOptions};
+use wsnem_petri::{
+    simulate, NetBuilder, PetriError, PetriNet, SimConfig, TransitionKind,
+};
+use wsnem_stats::dist::Dist;
+use wsnem_stats::rng::Xoshiro256PlusPlus;
+
+/// Compact random net description.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    n_places: usize,
+    initial: Vec<u32>,
+    transitions: Vec<TransSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct TransSpec {
+    kind_sel: u8,
+    priority: u8,
+    rate: f64,
+    delay: f64,
+    inputs: Vec<(usize, u32)>,
+    outputs: Vec<(usize, u32)>,
+    inhibitor: Option<(usize, u32)>,
+}
+
+fn arb_trans(n_places: usize) -> impl Strategy<Value = TransSpec> {
+    let arc = (0..n_places, 1u32..3);
+    (
+        0u8..3,
+        1u8..4,
+        0.5f64..5.0,
+        0.05f64..1.0,
+        proptest::collection::vec(arc.clone(), 1..3),
+        proptest::collection::vec(arc.clone(), 0..3),
+        proptest::option::of((0..n_places, 1u32..4)),
+    )
+        .prop_map(
+            |(kind_sel, priority, rate, delay, inputs, outputs, inhibitor)| TransSpec {
+                kind_sel,
+                priority,
+                rate,
+                delay,
+                inputs,
+                outputs,
+                inhibitor,
+            },
+        )
+}
+
+fn arb_net() -> impl Strategy<Value = NetSpec> {
+    (2usize..6)
+        .prop_flat_map(|n_places| {
+            (
+                Just(n_places),
+                proptest::collection::vec(0u32..4, n_places),
+                proptest::collection::vec(arb_trans(n_places), 1..6),
+            )
+        })
+        .prop_map(|(n_places, initial, transitions)| NetSpec {
+            n_places,
+            initial,
+            transitions,
+        })
+}
+
+fn build(spec: &NetSpec) -> PetriNet {
+    let mut b = NetBuilder::new();
+    let places: Vec<_> = (0..spec.n_places)
+        .map(|i| b.place(format!("p{i}"), spec.initial[i]))
+        .collect();
+    for (ti, t) in spec.transitions.iter().enumerate() {
+        let kind = match t.kind_sel {
+            0 => TransitionKind::Immediate {
+                priority: t.priority,
+                weight: 1.0,
+            },
+            1 => TransitionKind::exponential(t.rate),
+            _ => TransitionKind::Timed {
+                dist: Dist::Deterministic(t.delay),
+                policy: wsnem_petri::TimedPolicy::RaceResample,
+            },
+        };
+        let tid = b.transition(format!("t{ti}"), kind);
+        // Dedupe arcs per kind (builder rejects duplicates by design).
+        let mut seen = std::collections::HashSet::new();
+        for &(p, m) in &t.inputs {
+            if seen.insert(p) {
+                b.input_arc(places[p], tid, m);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &(p, m) in &t.outputs {
+            if seen.insert(p) {
+                b.output_arc(tid, places[p], m);
+            }
+        }
+        if let Some((p, thresh)) = t.inhibitor {
+            b.inhibitor_arc(places[p], tid, thresh);
+        }
+    }
+    b.build().expect("generated nets are structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine never panics; success preserves all P-semiflows.
+    #[test]
+    fn simulation_is_total_and_conserves_invariants(spec in arb_net(), seed in 0u64..1000) {
+        let net = build(&spec);
+        let invariants = p_semiflows(&net).unwrap();
+        let m0 = net.initial_marking();
+        let expected: Vec<u64> = invariants.iter().map(|x| m0.weighted_sum(x)).collect();
+
+        let cfg = SimConfig {
+            horizon: 50.0,
+            max_vanishing_chain: 10_000,
+            zeno_guard: 10_000,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        match simulate(&net, &cfg, &[], &mut rng) {
+            Ok(out) => {
+                for (x, e) in invariants.iter().zip(&expected) {
+                    prop_assert_eq!(
+                        out.final_marking.weighted_sum(x), *e,
+                        "P-invariant broken: weights {:?}", x
+                    );
+                }
+                // Time accounting is exact.
+                prop_assert!((out.time_observed - 50.0).abs() < 1e-9);
+                // Mean token counts are non-negative and bounded by the
+                // invariant value where one applies.
+                for mean in &out.place_means {
+                    prop_assert!(*mean >= 0.0);
+                }
+            }
+            Err(PetriError::VanishingLoop { .. }) | Err(PetriError::ZenoLoop { .. }) => {
+                // Documented failure modes for degenerate random nets.
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// When bounded exploration succeeds, the simulator's final marking is
+    /// one of the reachable markings (engine and reachability agree on
+    /// semantics).
+    #[test]
+    fn final_marking_is_reachable(spec in arb_net(), seed in 0u64..1000) {
+        let net = build(&spec);
+        let opts = ReachOptions {
+            max_markings: 20_000,
+            max_tokens: 64,
+        };
+        let Ok(graph) = explore(&net, opts) else {
+            return Ok(()); // unbounded / too large — nothing to check
+        };
+        let cfg = SimConfig {
+            horizon: 20.0,
+            max_vanishing_chain: 10_000,
+            zeno_guard: 10_000,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let Ok(out) = simulate(&net, &cfg, &[], &mut rng) else {
+            return Ok(());
+        };
+        prop_assert!(
+            graph.markings.contains(&out.final_marking),
+            "final marking {} not in the {}-marking reachability graph",
+            out.final_marking,
+            graph.len()
+        );
+    }
+
+    /// Reward means are convex combinations: an indicator reward's time
+    /// average lies in [0, 1] for any net and seed.
+    #[test]
+    fn indicator_rewards_bounded(spec in arb_net(), seed in 0u64..1000) {
+        let net = build(&spec);
+        let p0 = net.places().next().expect("at least two places");
+        let reward = wsnem_petri::Reward::indicator("p0 marked", move |m| m.tokens(p0) > 0);
+        let cfg = SimConfig {
+            horizon: 30.0,
+            max_vanishing_chain: 10_000,
+            zeno_guard: 10_000,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        if let Ok(out) = simulate(&net, &cfg, &[reward], &mut rng) {
+            prop_assert!((0.0..=1.0).contains(&out.reward_means[0]));
+        }
+    }
+}

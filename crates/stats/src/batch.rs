@@ -1,0 +1,190 @@
+//! Batch-means steady-state estimation.
+//!
+//! Petri-net and DES runs produce *correlated* within-run observations; the
+//! batch-means method groups consecutive observations into batches whose
+//! means are approximately independent, enabling honest confidence intervals
+//! — this is how "simulate until the percentages stabilize" (paper §2/§6) is
+//! made precise.
+
+use crate::ci::ConfidenceInterval;
+use crate::error::StatsError;
+use crate::online::Welford;
+
+/// Fixed-batch-size batch-means accumulator.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current: Welford,
+    batches: Vec<f64>,
+    overall: Welford,
+}
+
+impl BatchMeans {
+    /// Create an accumulator with the given (positive) batch size.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            batch_size,
+            current: Welford::new(),
+            batches: Vec::new(),
+            overall: Welford::new(),
+        }
+    }
+
+    /// Add one raw observation.
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current.push(x);
+        if self.current.count() as usize == self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of complete batches.
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Total raw observations pushed.
+    pub fn observation_count(&self) -> u64 {
+        self.overall.count()
+    }
+
+    /// Overall (raw) mean.
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// The completed batch means.
+    pub fn batch_means(&self) -> &[f64] {
+        &self.batches
+    }
+
+    /// Lag-1 autocorrelation of the batch means — values near 0 indicate the
+    /// batches are long enough to be treated as independent.
+    pub fn lag1_autocorrelation(&self) -> Result<f64, StatsError> {
+        let n = self.batches.len();
+        if n < 3 {
+            return Err(StatsError::InsufficientData {
+                what: "lag1_autocorrelation",
+                needed: 3,
+                got: n,
+            });
+        }
+        let mean: f64 = self.batches.iter().sum::<f64>() / n as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..n {
+            let d = self.batches[i] - mean;
+            den += d * d;
+            if i + 1 < n {
+                num += d * (self.batches[i + 1] - mean);
+            }
+        }
+        if den == 0.0 {
+            Ok(0.0)
+        } else {
+            Ok(num / den)
+        }
+    }
+
+    /// Confidence interval over the batch means.
+    pub fn confidence_interval(&self, level: f64) -> Result<ConfidenceInterval, StatsError> {
+        ConfidenceInterval::from_samples(&self.batches, level)
+    }
+
+    /// True once the relative CI half-width over batch means is below
+    /// `rel_precision` (with at least `min_batches` batches).
+    pub fn converged(&self, level: f64, rel_precision: f64, min_batches: usize) -> bool {
+        if self.batches.len() < min_batches.max(2) {
+            return false;
+        }
+        match self.confidence_interval(level) {
+            Ok(ci) => ci.relative_half_width() <= rel_precision,
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Sample};
+    use crate::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn batches_form_correctly() {
+        let mut bm = BatchMeans::new(4);
+        for i in 0..10 {
+            bm.push(i as f64);
+        }
+        // Batches: [0..4) mean 1.5, [4..8) mean 5.5; 2 observations pending.
+        assert_eq!(bm.batch_count(), 2);
+        assert_eq!(bm.batch_means(), &[1.5, 5.5]);
+        assert_eq!(bm.observation_count(), 10);
+        assert!((bm.mean() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn iid_data_converges() {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::new(42);
+        let mut bm = BatchMeans::new(100);
+        for _ in 0..20_000 {
+            bm.push(d.sample(&mut rng));
+        }
+        assert!(bm.converged(0.95, 0.05, 10));
+        let ci = bm.confidence_interval(0.95).unwrap();
+        assert!(ci.contains(1.0), "CI [{}, {}]", ci.low(), ci.high());
+        let rho = bm.lag1_autocorrelation().unwrap();
+        assert!(rho.abs() < 0.2, "iid batch means, rho = {rho}");
+    }
+
+    #[test]
+    fn correlated_data_higher_autocorrelation_with_small_batches() {
+        // AR(1)-ish sequence: batch size 1 keeps the correlation; large
+        // batches wash it out.
+        let mut rng = Xoshiro256PlusPlus::new(7);
+        let mut small = BatchMeans::new(1);
+        let mut large = BatchMeans::new(200);
+        let mut x = 0.0f64;
+        use crate::rng::Rng64;
+        for _ in 0..40_000 {
+            x = 0.95 * x + rng.next_f64() - 0.5;
+            small.push(x);
+            large.push(x);
+        }
+        let rho_small = small.lag1_autocorrelation().unwrap();
+        let rho_large = large.lag1_autocorrelation().unwrap();
+        assert!(rho_small > 0.8, "rho_small = {rho_small}");
+        assert!(rho_large < rho_small, "{rho_large} !< {rho_small}");
+    }
+
+    #[test]
+    fn insufficient_batches_errors() {
+        let mut bm = BatchMeans::new(5);
+        for i in 0..9 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batch_count(), 1);
+        assert!(bm.lag1_autocorrelation().is_err());
+        assert!(bm.confidence_interval(0.95).is_err());
+        assert!(!bm.converged(0.95, 0.1, 2));
+    }
+
+    #[test]
+    fn constant_data_zero_autocorrelation() {
+        let mut bm = BatchMeans::new(2);
+        for _ in 0..20 {
+            bm.push(5.0);
+        }
+        assert_eq!(bm.lag1_autocorrelation().unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Series-comparison metrics.
+//!
+//! The paper's Tables 4 and 5 report the *average absolute difference*
+//! between model predictions across a parameter sweep (Sim-vs-Markov,
+//! Sim-vs-PN, Markov-vs-PN). These helpers compute exactly those deltas.
+
+use crate::error::StatsError;
+
+fn check_lengths(a: &[f64], b: &[f64]) -> Result<(), StatsError> {
+    if a.len() != b.len() {
+        return Err(StatsError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.is_empty() {
+        return Err(StatsError::InsufficientData {
+            what: "series comparison",
+            needed: 1,
+            got: 0,
+        });
+    }
+    Ok(())
+}
+
+/// Mean absolute error between two equal-length series.
+pub fn mean_abs_error(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    check_lengths(a, b)?;
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .sum::<f64>()
+        / a.len() as f64)
+}
+
+/// Root-mean-square error between two equal-length series.
+pub fn rmse(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    check_lengths(a, b)?;
+    Ok((a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64)
+        .sqrt())
+}
+
+/// Maximum absolute error between two equal-length series.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    check_lengths(a, b)?;
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max))
+}
+
+/// Mean absolute *percentage* error (skips points where the reference is 0).
+///
+/// Returns `None` when every reference point is zero.
+pub fn mape(reference: &[f64], other: &[f64]) -> Result<Option<f64>, StatsError> {
+    check_lengths(reference, other)?;
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (r, o) in reference.iter().zip(other) {
+        if *r != 0.0 {
+            total += ((r - o) / r).abs();
+            n += 1;
+        }
+    }
+    Ok((n > 0).then(|| 100.0 * total / n as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_zero_error() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(mean_abs_error(&a, &a).unwrap(), 0.0);
+        assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+        assert_eq!(max_abs_error(&a, &a).unwrap(), 0.0);
+        assert_eq!(mape(&a, &a).unwrap(), Some(0.0));
+    }
+
+    #[test]
+    fn known_deltas() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [1.0, -1.0, 3.0, -3.0];
+        assert_eq!(mean_abs_error(&a, &b).unwrap(), 2.0);
+        assert_eq!(max_abs_error(&a, &b).unwrap(), 3.0);
+        assert!((rmse(&a, &b).unwrap() - (5.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let a = [1.0, 5.0, 2.0, 8.0];
+        let b = [2.0, 3.0, 2.5, 4.0];
+        assert!(rmse(&a, &b).unwrap() >= mean_abs_error(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn mape_skips_zero_reference() {
+        let r = [0.0, 2.0];
+        let o = [5.0, 3.0];
+        assert_eq!(mape(&r, &o).unwrap(), Some(50.0));
+        assert_eq!(mape(&[0.0], &[1.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(mean_abs_error(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(rmse(&[], &[]).is_err());
+        assert!(max_abs_error(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(mape(&[1.0], &[]).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Fixed-width histograms with under/overflow tracking.
+//!
+//! Used by the experiment harness to summarize job-latency distributions and
+//! by tests to sanity-check samplers.
+
+/// A histogram over `[low, high)` with equal-width bins, plus explicit
+/// underflow/overflow counters so no observation is silently dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[low, high)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `high <= low`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(high > low, "high must exceed low");
+        Self {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record an observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.low {
+            self.underflow += 1;
+        } else if x >= self.high {
+            self.overflow += 1;
+        } else {
+            let w = (self.high - self.low) / self.bins.len() as f64;
+            let idx = ((x - self.low) / w) as usize;
+            // Floating error at the upper edge can index one past the end.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below `low`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above `high`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `[start, end)` interval of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.high - self.low) / self.bins.len() as f64;
+        (self.low + i as f64 * w, self.low + (i + 1) as f64 * w)
+    }
+
+    /// Fraction of in-range observations in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        let in_range = self.count - self.underflow - self.overflow;
+        if in_range == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / in_range as f64
+        }
+    }
+
+    /// Approximate quantile from bin midpoints (in-range data only).
+    ///
+    /// Returns `None` if no in-range observations exist or `q` ∉ [0, 1].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let in_range = self.count - self.underflow - self.overflow;
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                let (a, b) = self.bin_range(i);
+                return Some(0.5 * (a + b));
+            }
+        }
+        let (a, b) = self.bin_range(self.bins.len() - 1);
+        Some(0.5 * (a + b))
+    }
+
+    /// Merge another histogram with identical binning.
+    ///
+    /// # Panics
+    /// Panics if the bin layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.low, other.low, "histogram low bounds differ");
+        assert_eq!(self.high, other.high, "histogram high bounds differ");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin counts differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_receive_correct_values() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert_eq!(h.counts(), &[1u64; 10][..]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.count(), 10);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(h.num_bins(), 10);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-0.1);
+        h.push(1.0); // boundary → overflow (interval is half-open)
+        h.push(2.0);
+        h.push(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn bin_ranges_partition_domain() {
+        let h = Histogram::new(2.0, 6.0, 4);
+        assert_eq!(h.bin_range(0), (2.0, 3.0));
+        assert_eq!(h.bin_range(3), (5.0, 6.0));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        for i in 0..100 {
+            h.push((i as f64) / 100.0);
+        }
+        let total: f64 = (0..5).map(|i| h.fraction(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_reasonable() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..1000 {
+            h.push((i % 100) as f64);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 50.0).abs() < 2.0, "median {med}");
+        assert!(h.quantile(1.5).is_none());
+        assert!(Histogram::new(0.0, 1.0, 2).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        a.push(0.25);
+        b.push(0.75);
+        b.push(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts(), &[1, 1]);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin counts differ")]
+    fn merge_rejects_mismatched() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 1.0, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn edge_value_near_high_boundary() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.push(0.9999999999999999); // rounds into the last bin, not past it
+        assert_eq!(h.counts()[2], 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # wsnem-stats
+//!
+//! Self-contained randomness and statistics substrate for the wsnem
+//! simulators (EDSPN engine, discrete-event simulator, experiment harness).
+//!
+//! The crate deliberately avoids external RNG/distribution crates so that a
+//! `(master seed, stream id)` pair reproduces **bit-identical** sample paths
+//! on every platform and for the lifetime of this repository — a property the
+//! cross-model comparison experiments of the paper rely on.
+//!
+//! Contents:
+//!
+//! * [`rng`] — SplitMix64 and xoshiro256++ generators, the [`Rng64`]
+//!   abstraction and [`StreamFactory`] for independent replication streams.
+//! * [`dist`] — continuous and discrete distributions with analytic moments,
+//!   sampled by inversion / Box–Muller / Marsaglia–Tsang.
+//! * [`online`] — Welford mean/variance, extremes, covariance.
+//! * [`timeweighted`] — time-integrals of piecewise-constant signals (the
+//!   backbone of "percentage of time in state X" measures).
+//! * [`batch`] — batch-means steady-state estimation with lag-1 diagnostics.
+//! * [`ci`] — normal / Student-t quantiles and confidence intervals.
+//! * [`histogram`] — fixed-width histograms with summary statistics.
+//! * [`mser`] — MSER-style warm-up (initial transient) truncation.
+//! * [`compare`] — series-comparison metrics (MAE, RMSE, max-abs) used to
+//!   regenerate the paper's Δ tables.
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards deliberately reject NaN together with the
+// out-of-domain values; `partial_cmp` rewrites would lose that property.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod ci;
+pub mod compare;
+pub mod dist;
+pub mod error;
+pub mod histogram;
+pub mod mser;
+pub mod online;
+pub mod rng;
+pub mod timeweighted;
+
+pub use batch::BatchMeans;
+pub use ci::{normal_quantile, t_quantile, ConfidenceInterval};
+pub use compare::{max_abs_error, mean_abs_error, rmse};
+pub use dist::{Dist, Sample};
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use online::{MinMax, Welford};
+pub use rng::{Rng64, SplitMix64, StreamFactory, Xoshiro256PlusPlus};
+pub use timeweighted::TimeWeighted;

@@ -1,0 +1,142 @@
+//! MSER (Marginal Standard Error Rule) warm-up truncation.
+//!
+//! Steady-state estimates from a single simulation run are biased by the
+//! initial transient (the CPU starts in StandBy with an empty queue). The
+//! MSER rule picks the truncation point `d*` that minimizes the width of the
+//! marginal confidence interval of the truncated mean — a standard, fully
+//! automatic initial-transient deletion heuristic.
+
+use crate::error::StatsError;
+
+/// Result of an MSER truncation analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MserResult {
+    /// Optimal number of leading observations to discard.
+    pub truncate: usize,
+    /// Mean of the retained suffix.
+    pub mean: f64,
+    /// The minimized MSER statistic (variance of the suffix mean).
+    pub statistic: f64,
+}
+
+/// Apply the MSER rule to a series, searching truncation points in the first
+/// half of the data (the conventional restriction that keeps the estimate
+/// from being dominated by tiny suffixes).
+///
+/// `batch` groups the raw series into batch averages first (MSER-5 uses
+/// `batch = 5`), which smooths high-frequency noise.
+pub fn mser(series: &[f64], batch: usize) -> Result<MserResult, StatsError> {
+    if batch == 0 {
+        return Err(StatsError::InvalidParameter {
+            what: "mser",
+            constraint: "batch >= 1",
+            value: 0.0,
+        });
+    }
+    let batched: Vec<f64> = series
+        .chunks_exact(batch)
+        .map(|c| c.iter().sum::<f64>() / batch as f64)
+        .collect();
+    let n = batched.len();
+    if n < 4 {
+        return Err(StatsError::InsufficientData {
+            what: "mser",
+            needed: 4 * batch,
+            got: series.len(),
+        });
+    }
+
+    // Suffix sums let every candidate truncation be evaluated in O(1).
+    let mut suffix_sum = vec![0.0f64; n + 1];
+    let mut suffix_sq = vec![0.0f64; n + 1];
+    for i in (0..n).rev() {
+        suffix_sum[i] = suffix_sum[i + 1] + batched[i];
+        suffix_sq[i] = suffix_sq[i + 1] + batched[i] * batched[i];
+    }
+
+    let mut best = MserResult {
+        truncate: 0,
+        mean: suffix_sum[0] / n as f64,
+        statistic: f64::INFINITY,
+    };
+    for d in 0..n / 2 {
+        let m = (n - d) as f64;
+        let mean = suffix_sum[d] / m;
+        let var = (suffix_sq[d] / m - mean * mean).max(0.0);
+        let stat = var / m; // squared std-error of the truncated mean
+        if stat < best.statistic {
+            best = MserResult {
+                truncate: d * batch,
+                mean,
+                statistic: stat,
+            };
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng64, Xoshiro256PlusPlus};
+
+    #[test]
+    fn stationary_series_keeps_everything_ish() {
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        let series: Vec<f64> = (0..2000).map(|_| rng.next_f64()).collect();
+        let r = mser(&series, 5).unwrap();
+        // No transient → truncation should be small.
+        assert!(
+            r.truncate < series.len() / 4,
+            "truncated {} of {}",
+            r.truncate,
+            series.len()
+        );
+        assert!((r.mean - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn obvious_transient_is_cut() {
+        // 200 samples of a decaying transient, then stationary noise at 1.0.
+        let mut rng = Xoshiro256PlusPlus::new(2);
+        let mut series = Vec::new();
+        for i in 0..200 {
+            series.push(10.0 * (-(i as f64) / 40.0).exp() + rng.next_f64() * 0.1);
+        }
+        for _ in 0..1800 {
+            series.push(1.0 + (rng.next_f64() - 0.5) * 0.1);
+        }
+        let r = mser(&series, 5).unwrap();
+        assert!(r.truncate >= 50, "truncate = {}", r.truncate);
+        assert!((r.mean - 1.0).abs() < 0.3, "mean = {}", r.mean);
+    }
+
+    #[test]
+    fn truncated_mean_less_biased_than_raw() {
+        let mut rng = Xoshiro256PlusPlus::new(3);
+        let mut series = Vec::new();
+        for _ in 0..300 {
+            series.push(50.0 + rng.next_f64());
+        }
+        for _ in 0..1700 {
+            series.push(1.0 + rng.next_f64());
+        }
+        let raw_mean = series.iter().sum::<f64>() / series.len() as f64;
+        let r = mser(&series, 5).unwrap();
+        assert!((r.mean - 1.5).abs() < (raw_mean - 1.5).abs());
+    }
+
+    #[test]
+    fn errors_on_tiny_or_bad_input() {
+        assert!(mser(&[1.0, 2.0], 1).is_err());
+        assert!(mser(&[1.0; 100], 0).is_err());
+        assert!(mser(&[1.0; 10], 5).is_err()); // only 2 batches
+    }
+
+    #[test]
+    fn constant_series_zero_statistic() {
+        let r = mser(&[3.0; 100], 5).unwrap();
+        assert_eq!(r.mean, 3.0);
+        assert!(r.statistic.abs() < 1e-18);
+    }
+}

@@ -1,0 +1,359 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Two well-known generators are implemented from their reference C sources:
+//!
+//! * [`SplitMix64`] (Steele, Lea & Flood) — used for seed expansion only.
+//! * [`Xoshiro256PlusPlus`] (Blackman & Vigna) — the workhorse generator for
+//!   all simulations, with `jump`/`long_jump` for 2^128 / 2^192 stream
+//!   separation.
+//!
+//! [`StreamFactory`] turns a single master seed into an unbounded family of
+//! statistically independent streams, one per replication, so that parallel
+//! replication schedules are reproducible regardless of thread interleaving.
+
+/// Minimal trait for a 64-bit PRNG used throughout the workspace.
+///
+/// Deliberately small: the simulators only ever need raw `u64`s, uniform
+/// `f64`s in `[0, 1)`, and bounded integers.
+pub trait Rng64 {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scaling gives the canonical [0,1) double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the open interval `(0, 1)` — safe as an argument to
+    /// `ln` when inverting CDFs.
+    #[inline]
+    fn next_open_f64(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift method
+    /// with rejection to remove modulo bias.
+    #[inline]
+    fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// SplitMix64: a tiny, very fast generator whose primary role here is to
+/// expand seeds (it equidistributes any 64-bit seed, including 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from any 64-bit seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 — the default all-purpose generator.
+///
+/// Period 2^256 − 1; passes BigCrush; `jump()` advances 2^128 steps so
+/// non-overlapping substreams are cheap to create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Seed via SplitMix64 expansion (the seeding recommended by the authors).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // The all-zero state is invalid (fixed point); SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        Self { s }
+    }
+
+    /// Construct directly from raw state words (must not be all zero).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0, 0, 0, 0], "xoshiro state must be non-zero");
+        Self { s }
+    }
+
+    /// Jump ahead 2^128 steps — generates non-overlapping sequences for up to
+    /// 2^128 parallel streams.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180EC6D33CFD0ABA,
+            0xD5A61266F0C9392C,
+            0xA9582618E03FC9AA,
+            0x39ABDC4529B1661C,
+        ];
+        self.apply_jump(&JUMP);
+    }
+
+    /// Jump ahead 2^192 steps — for separating *groups* of streams.
+    pub fn long_jump(&mut self) {
+        const LONG_JUMP: [u64; 4] = [
+            0x76E15D3EFEFDCBBF,
+            0xC5004E441C522FB3,
+            0x77710069854EE241,
+            0x39109BB02ACBE635,
+        ];
+        self.apply_jump(&LONG_JUMP);
+    }
+
+    fn apply_jump(&mut self, table: &[u64; 4]) {
+        let mut s0 = 0u64;
+        let mut s1 = 0u64;
+        let mut s2 = 0u64;
+        let mut s3 = 0u64;
+        for &word in table {
+            for b in 0..64 {
+                if (word & (1u64 << b)) != 0 {
+                    s0 ^= self.s[0];
+                    s1 ^= self.s[1];
+                    s2 ^= self.s[2];
+                    s3 ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = [s0, s1, s2, s3];
+    }
+}
+
+impl Rng64 for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Factory producing statistically independent, reproducible RNG streams.
+///
+/// Stream `i` is derived as `xoshiro256++(splitmix64(master)^i-th output)`
+/// followed by `i` applications of nothing — i.e. each stream gets a fresh,
+/// independently expanded seed. Seed expansion (rather than jumping a single
+/// stream) keeps stream creation O(1) in the stream index, which matters when
+/// a sweep wants stream 40 000 without instantiating its predecessors.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamFactory {
+    master: u64,
+}
+
+impl StreamFactory {
+    /// Create a factory from a master seed.
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The master seed this factory was built from.
+    pub fn master_seed(&self) -> u64 {
+        self.master
+    }
+
+    /// Derive the 64-bit seed of stream `index` (pure function).
+    pub fn seed_of(&self, index: u64) -> u64 {
+        // Two rounds of SplitMix over (master, index) — a keyed bijection with
+        // good avalanche, so nearby indices map to unrelated seeds.
+        let mut sm = SplitMix64::new(self.master ^ index.wrapping_mul(0xA24BAED4963EE407));
+        sm.next_u64();
+        sm.next_u64()
+    }
+
+    /// Materialize stream `index`.
+    pub fn stream(&self, index: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::new(self.seed_of(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(1234567);
+        let expected = [
+            6457827717110365317u64,
+            3203168211198807973,
+            9817491932198370423,
+        ];
+        for &e in &expected {
+            assert_eq!(sm.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256PlusPlus::new(42);
+        let mut b = Xoshiro256PlusPlus::new(42);
+        let mut c = Xoshiro256PlusPlus::new(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ from the canonical state [1,2,3,4].
+        let mut x = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        assert_eq!(x.next_u64(), 41943041);
+        assert_eq!(x.next_u64(), 58720359);
+        assert_eq!(x.next_u64(), 3588806011781223);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut x = Xoshiro256PlusPlus::new(7);
+        for _ in 0..10_000 {
+            let u = x.next_f64();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn open_f64_never_zero() {
+        let mut x = Xoshiro256PlusPlus::new(7);
+        for _ in 0..10_000 {
+            let u = x.next_open_f64();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn bounded_is_unbiased_ish_and_in_range() {
+        let mut x = Xoshiro256PlusPlus::new(99);
+        let bound = 7u64;
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            let v = x.next_bounded(bound);
+            assert!(v < bound);
+            counts[v as usize] += 1;
+        }
+        let expect = n as f64 / bound as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * expect.sqrt() + 50.0,
+                "count {c} too far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn jump_produces_disjoint_prefixes() {
+        let mut a = Xoshiro256PlusPlus::new(5);
+        let mut b = a;
+        b.jump();
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+        // No overlap in a short window.
+        for w in &vb {
+            assert!(!va.contains(w));
+        }
+    }
+
+    #[test]
+    fn long_jump_differs_from_jump() {
+        let base = Xoshiro256PlusPlus::new(5);
+        let mut j = base;
+        j.jump();
+        let mut lj = base;
+        lj.long_jump();
+        assert_ne!(j, lj);
+    }
+
+    #[test]
+    fn stream_factory_reproducible_and_distinct() {
+        let f = StreamFactory::new(2024);
+        let mut s0a = f.stream(0);
+        let mut s0b = f.stream(0);
+        let mut s1 = f.stream(1);
+        assert_eq!(s0a.next_u64(), s0b.next_u64());
+        // Streams with adjacent indices must diverge immediately.
+        let a: Vec<u64> = (0..4).map(|_| s0a.next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|_| s1.next_u64()).collect();
+        assert_ne!(a, b);
+        assert_eq!(f.master_seed(), 2024);
+    }
+
+    #[test]
+    fn mean_of_uniform_near_half() {
+        let mut x = Xoshiro256PlusPlus::new(31415);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| x.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn bounded_zero_panics() {
+        let mut x = Xoshiro256PlusPlus::new(1);
+        let _ = x.next_bounded(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256PlusPlus::from_state([0; 4]);
+    }
+}

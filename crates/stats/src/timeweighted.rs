@@ -1,0 +1,204 @@
+//! Time-weighted statistics of piecewise-constant signals.
+//!
+//! Both simulators express "fraction of time the CPU spends in state X" and
+//! "mean number of tokens in place P" as time integrals of a step function.
+//! [`TimeWeighted`] accumulates ∫x dt exactly between updates.
+
+/// Accumulates the time integral (and square integral) of a piecewise
+/// constant signal, yielding time-averaged mean and variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    start: f64,
+    last_t: f64,
+    value: f64,
+    integral: f64,
+    integral_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Start observing at time `t0` with initial signal value `v0`.
+    pub fn new(t0: f64, v0: f64) -> Self {
+        Self {
+            start: t0,
+            last_t: t0,
+            value: v0,
+            integral: 0.0,
+            integral_sq: 0.0,
+            min: v0,
+            max: v0,
+        }
+    }
+
+    /// Record that the signal changed to `v` at time `t` (must be ≥ the last
+    /// update time; equal timestamps are fine — zero-width steps contribute
+    /// nothing).
+    #[inline]
+    pub fn update(&mut self, t: f64, v: f64) {
+        debug_assert!(
+            t >= self.last_t,
+            "time went backwards: {t} < {}",
+            self.last_t
+        );
+        let dt = t - self.last_t;
+        self.integral += self.value * dt;
+        self.integral_sq += self.value * self.value * dt;
+        self.last_t = t;
+        self.value = v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Advance the clock to `t` without changing the value.
+    #[inline]
+    pub fn advance_to(&mut self, t: f64) {
+        let v = self.value;
+        self.update(t, v);
+    }
+
+    /// Current signal value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Total observed span (last update − start).
+    pub fn elapsed(&self) -> f64 {
+        self.last_t - self.start
+    }
+
+    /// ∫ x dt up to the last update.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Time-averaged mean up to time `t` (advances a copy; 0 if no time has
+    /// passed).
+    pub fn mean_at(&self, t: f64) -> f64 {
+        let mut c = *self;
+        c.advance_to(t);
+        c.mean()
+    }
+
+    /// Time-averaged mean over the observed span (0 if the span is empty).
+    pub fn mean(&self) -> f64 {
+        let dt = self.elapsed();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.integral / dt
+        }
+    }
+
+    /// Time-averaged variance over the observed span.
+    pub fn variance(&self) -> f64 {
+        let dt = self.elapsed();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        let m = self.integral / dt;
+        (self.integral_sq / dt - m * m).max(0.0)
+    }
+
+    /// Minimum value seen.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum value seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Reset the observation window at time `t`, keeping the current value —
+    /// used for warm-up truncation: statistics restart but the signal doesn't.
+    pub fn reset_window(&mut self, t: f64) {
+        self.advance_to(t);
+        self.start = t;
+        self.integral = 0.0;
+        self.integral_sq = 0.0;
+        self.min = self.value;
+        self.max = self.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_mean_is_value() {
+        let mut tw = TimeWeighted::new(0.0, 3.0);
+        tw.advance_to(10.0);
+        assert!((tw.mean() - 3.0).abs() < 1e-12);
+        assert!(tw.variance() < 1e-12);
+        assert_eq!(tw.min(), 3.0);
+        assert_eq!(tw.max(), 3.0);
+    }
+
+    #[test]
+    fn step_signal_mean() {
+        // 1 for [0,2), 5 for [2,4) → mean 3, variance 4.
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(2.0, 5.0);
+        tw.advance_to(4.0);
+        assert!((tw.mean() - 3.0).abs() < 1e-12);
+        assert!((tw.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(tw.min(), 1.0);
+        assert_eq!(tw.max(), 5.0);
+        assert!((tw.integral() - 12.0).abs() < 1e-12);
+        assert!((tw.elapsed() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_width_steps_no_contribution() {
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.update(1.0, 10.0); // 0 over [0,1)
+        tw.update(1.0, 0.0); // 10 for zero width
+        tw.advance_to(2.0); // 0 over [1,2)
+        assert!((tw.mean() - 0.0).abs() < 1e-12);
+        assert_eq!(tw.max(), 10.0, "extremes still see the spike");
+    }
+
+    #[test]
+    fn mean_at_future_time() {
+        let mut tw = TimeWeighted::new(0.0, 2.0);
+        tw.update(5.0, 0.0);
+        // At t=10: 2*5 + 0*5 over 10 = 1.0
+        assert!((tw.mean_at(10.0) - 1.0).abs() < 1e-12);
+        // The original is untouched.
+        assert!((tw.elapsed() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_mean_zero() {
+        let tw = TimeWeighted::new(7.0, 9.0);
+        assert_eq!(tw.mean(), 0.0);
+        assert_eq!(tw.variance(), 0.0);
+        assert_eq!(tw.value(), 9.0);
+    }
+
+    #[test]
+    fn reset_window_truncates_history() {
+        let mut tw = TimeWeighted::new(0.0, 100.0);
+        tw.update(10.0, 1.0); // huge warm-up value for [0,10)
+        tw.reset_window(10.0);
+        tw.advance_to(20.0);
+        assert!((tw.mean() - 1.0).abs() < 1e-12, "warm-up forgotten");
+        assert_eq!(tw.min(), 1.0);
+        assert_eq!(tw.max(), 1.0);
+    }
+
+    #[test]
+    fn nonnegative_variance_after_reset() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(1.0, 1.0);
+        tw.reset_window(1.0);
+        tw.advance_to(1.0);
+        assert!(tw.variance() >= 0.0);
+    }
+}

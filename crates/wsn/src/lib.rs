@@ -1,0 +1,32 @@
+//! # wsnem-wsn
+//!
+//! Sensor-node and network-level energy studies built on the CPU models —
+//! the application layer the paper's introduction motivates (surveillance,
+//! habitat/temperature monitoring).
+//!
+//! * [`radio`] — a duty-cycled radio energy model (synthetic CC2420-class
+//!   power numbers, documented as such; the paper models only the CPU and
+//!   notes communication dominates — this crate lets examples weigh both).
+//! * [`node`] — a sensor node: sensing workload → CPU jobs (+ radio
+//!   traffic), evaluated with any [`wsnem_core::CpuModel`], yielding power
+//!   breakdown and battery lifetime.
+//! * [`network`] — star-topology networks of heterogeneous nodes: first-node
+//!   death, mean lifetime, per-node breakdown.
+//! * [`tuning`] — pick the energy-optimal Power Down Threshold for a
+//!   workload (the design question the paper's Fig. 5 poses).
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards deliberately reject NaN together with the
+// out-of-domain values; `partial_cmp` rewrites would lose that property.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod node;
+pub mod radio;
+pub mod tuning;
+
+pub use network::{NetworkAnalysis, StarNetwork};
+pub use node::{CpuBackend, NodeAnalysis, NodeConfig};
+pub use radio::RadioModel;
+pub use tuning::{optimize_threshold, ThresholdChoice};

@@ -1,0 +1,128 @@
+//! Star-topology sensor networks.
+
+use crate::node::{CpuBackend, NodeAnalysis, NodeConfig};
+
+/// A star network: leaf nodes reporting to a mains-powered sink (the sink is
+/// not modeled; leaves transmit directly to it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarNetwork {
+    /// The leaf nodes.
+    pub nodes: Vec<NodeConfig>,
+}
+
+/// Evaluated network energy budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkAnalysis {
+    /// Per-node results, in configuration order.
+    pub per_node: Vec<NodeAnalysis>,
+}
+
+impl StarNetwork {
+    /// A homogeneous star of `n` monitoring nodes at the given sensing
+    /// period.
+    pub fn homogeneous(n: usize, period_s: f64) -> Self {
+        Self {
+            nodes: (0..n)
+                .map(|i| NodeConfig::monitoring(format!("node-{i}"), period_s))
+                .collect(),
+        }
+    }
+
+    /// Analyze every node (parallel across nodes).
+    pub fn analyze(&self, backend: CpuBackend) -> Result<NetworkAnalysis, wsnem_core::CoreError> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Ok(NetworkAnalysis {
+                per_node: Vec::new(),
+            });
+        }
+        let mut slots: Vec<Option<Result<NodeAnalysis, wsnem_core::CoreError>>> = vec![None; n];
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .clamp(1, n.max(1));
+        let chunk = n.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                let nodes = &self.nodes;
+                scope.spawn(move |_| {
+                    for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                        *slot = Some(nodes[k * chunk + j].analyze(backend));
+                    }
+                });
+            }
+        })
+        .expect("network analysis worker panicked");
+        let mut per_node = Vec::with_capacity(n);
+        for s in slots {
+            per_node.push(s.expect("all nodes analyzed")?);
+        }
+        Ok(NetworkAnalysis { per_node })
+    }
+}
+
+impl NetworkAnalysis {
+    /// Lifetime until the first node dies (days) — the usual WSN lifetime
+    /// metric.
+    pub fn first_death_days(&self) -> f64 {
+        self.per_node
+            .iter()
+            .map(|n| n.lifetime_days)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean node lifetime (days).
+    pub fn mean_lifetime_days(&self) -> f64 {
+        if self.per_node.is_empty() {
+            return 0.0;
+        }
+        self.per_node.iter().map(|n| n.lifetime_days).sum::<f64>() / self.per_node.len() as f64
+    }
+
+    /// Total network power (mW).
+    pub fn total_power_mw(&self) -> f64 {
+        self.per_node.iter().map(|n| n.total_power_mw).sum()
+    }
+
+    /// The node with the shortest lifetime.
+    pub fn bottleneck(&self) -> Option<&NodeAnalysis> {
+        self.per_node
+            .iter()
+            .min_by(|a, b| a.lifetime_days.total_cmp(&b.lifetime_days))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_star_uniform_lifetimes() {
+        let net = StarNetwork::homogeneous(4, 10.0);
+        let a = net.analyze(CpuBackend::Markov).unwrap();
+        assert_eq!(a.per_node.len(), 4);
+        let first = a.first_death_days();
+        let mean = a.mean_lifetime_days();
+        assert!((first - mean).abs() < 1e-9, "homogeneous nodes die together");
+        assert!(a.total_power_mw() > 0.0);
+        assert!(a.bottleneck().is_some());
+    }
+
+    #[test]
+    fn heterogeneous_bottleneck_is_busiest() {
+        let mut net = StarNetwork::homogeneous(3, 30.0);
+        net.nodes[1] = NodeConfig::monitoring("hot", 0.5);
+        let a = net.analyze(CpuBackend::Markov).unwrap();
+        assert_eq!(a.bottleneck().unwrap().name, "hot");
+        assert!(a.first_death_days() < a.mean_lifetime_days());
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = StarNetwork { nodes: vec![] };
+        let a = net.analyze(CpuBackend::Markov).unwrap();
+        assert_eq!(a.mean_lifetime_days(), 0.0);
+        assert!(a.first_death_days().is_infinite());
+        assert!(a.bottleneck().is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! A sensor node: sensing workload → CPU model + radio traffic + battery.
+
+use wsnem_core::{
+    CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel, PhaseCpuModel,
+};
+use wsnem_energy::{Battery, PowerProfile, StateFractions};
+
+use crate::radio::RadioModel;
+
+/// Which CPU model evaluates the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuBackend {
+    /// Closed-form supplementary-variable model (instant; small-D regime).
+    Markov,
+    /// Erlang-phase CTMC (analytic AND accurate for large delays; needs
+    /// strictly positive `T` and `D`).
+    ErlangPhase,
+    /// EDSPN simulation (accurate for any delay).
+    PetriNet,
+    /// Discrete-event simulation (ground truth).
+    Des,
+}
+
+/// Node configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfig {
+    /// Human-readable node name.
+    pub name: String,
+    /// Sensing events per second; each event is one CPU job and (optionally)
+    /// one transmitted packet.
+    pub event_rate: f64,
+    /// CPU parameters (λ is overridden by `event_rate`).
+    pub cpu: CpuModelParams,
+    /// CPU power profile.
+    pub cpu_profile: PowerProfile,
+    /// Radio model.
+    pub radio: RadioModel,
+    /// Packets transmitted per sensing event.
+    pub tx_per_event: f64,
+    /// Packets received per second (e.g. forwarded traffic).
+    pub rx_rate: f64,
+    /// Battery.
+    pub battery: Battery,
+}
+
+impl NodeConfig {
+    /// A periodic environmental-monitoring node (habitat-monitoring style):
+    /// one reading per `period_s`, one packet per reading, PXA271 CPU,
+    /// CC2420-class radio, two AA cells.
+    pub fn monitoring(name: impl Into<String>, period_s: f64) -> Self {
+        Self {
+            name: name.into(),
+            event_rate: 1.0 / period_s,
+            cpu: CpuModelParams::paper_defaults(),
+            cpu_profile: PowerProfile::pxa271(),
+            radio: RadioModel::cc2420_class(),
+            tx_per_event: 1.0,
+            rx_rate: 0.0,
+            battery: Battery::two_aa(),
+        }
+    }
+
+    /// Effective CPU parameters (event rate wired into λ).
+    pub fn cpu_params(&self) -> CpuModelParams {
+        self.cpu.with_lambda(self.event_rate)
+    }
+}
+
+/// Evaluated node energy budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAnalysis {
+    /// Node name.
+    pub name: String,
+    /// CPU steady-state occupancy.
+    pub cpu_fractions: StateFractions,
+    /// Mean CPU power (mW).
+    pub cpu_power_mw: f64,
+    /// Mean radio power (mW).
+    pub radio_power_mw: f64,
+    /// Total mean power (mW).
+    pub total_power_mw: f64,
+    /// Expected battery lifetime (days).
+    pub lifetime_days: f64,
+}
+
+impl NodeConfig {
+    /// Evaluate the node with the chosen CPU backend.
+    pub fn analyze(&self, backend: CpuBackend) -> Result<NodeAnalysis, wsnem_core::CoreError> {
+        let params = self.cpu_params();
+        let eval = match backend {
+            CpuBackend::Markov => MarkovCpuModel::new(params).evaluate()?,
+            CpuBackend::ErlangPhase => PhaseCpuModel::new(params).evaluate()?,
+            CpuBackend::PetriNet => PetriCpuModel::new(params).evaluate()?,
+            CpuBackend::Des => DesCpuModel::new(params).evaluate()?,
+        };
+        let cpu_power = self.cpu_profile.mean_power_mw(&eval.fractions);
+        let radio_power = self
+            .radio
+            .mean_power_mw(self.event_rate * self.tx_per_event, self.rx_rate);
+        let total = cpu_power + radio_power;
+        Ok(NodeAnalysis {
+            name: self.name.clone(),
+            cpu_fractions: eval.fractions,
+            cpu_power_mw: cpu_power,
+            radio_power_mw: radio_power,
+            total_power_mw: total,
+            lifetime_days: self.battery.lifetime_days(total),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monitoring_node_analyzes() {
+        let node = NodeConfig::monitoring("n0", 10.0);
+        let a = node.analyze(CpuBackend::Markov).unwrap();
+        assert!(a.cpu_fractions.is_normalized(1e-9));
+        assert!(a.cpu_power_mw > 0.0);
+        assert!(a.radio_power_mw > 0.0);
+        assert!((a.total_power_mw - a.cpu_power_mw - a.radio_power_mw).abs() < 1e-12);
+        assert!(a.lifetime_days > 0.0 && a.lifetime_days.is_finite());
+        assert_eq!(a.name, "n0");
+    }
+
+    #[test]
+    fn backends_agree_for_small_delay() {
+        let mut node = NodeConfig::monitoring("n", 5.0);
+        node.cpu = node
+            .cpu
+            .with_replications(6)
+            .with_horizon(3000.0)
+            .with_warmup(100.0);
+        let m = node.analyze(CpuBackend::Markov).unwrap();
+        let e = node.analyze(CpuBackend::ErlangPhase).unwrap();
+        let p = node.analyze(CpuBackend::PetriNet).unwrap();
+        let d = node.analyze(CpuBackend::Des).unwrap();
+        assert!(
+            m.cpu_fractions.mean_abs_delta_pct(&p.cpu_fractions) < 2.0,
+            "markov vs pn"
+        );
+        assert!(
+            m.cpu_fractions.mean_abs_delta_pct(&d.cpu_fractions) < 2.0,
+            "markov vs des"
+        );
+        assert!(
+            m.cpu_fractions.mean_abs_delta_pct(&e.cpu_fractions) < 2.0,
+            "markov vs erlang-phase"
+        );
+    }
+
+    #[test]
+    fn busier_node_dies_sooner() {
+        let lazy = NodeConfig::monitoring("lazy", 60.0)
+            .analyze(CpuBackend::Markov)
+            .unwrap();
+        let busy = NodeConfig::monitoring("busy", 0.5)
+            .analyze(CpuBackend::Markov)
+            .unwrap();
+        assert!(lazy.lifetime_days > busy.lifetime_days);
+    }
+
+    #[test]
+    fn event_rate_overrides_lambda() {
+        let node = NodeConfig::monitoring("n", 4.0);
+        assert!((node.cpu_params().lambda - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Duty-cycled radio energy model.
+//!
+//! A low-power-listening MAC: the radio sleeps, waking every `period`
+//! seconds for a `listen` window; transmissions and receptions add airtime
+//! on top. Power numbers default to a CC2420-class transceiver (synthetic
+//! composite of datasheet figures — NOT a measured artifact of the paper,
+//! which models the CPU only).
+
+/// Radio parameters and per-state power draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioModel {
+    /// Sleep power (mW).
+    pub sleep_mw: f64,
+    /// Listen/receive power (mW).
+    pub listen_mw: f64,
+    /// Transmit power (mW).
+    pub tx_mw: f64,
+    /// Wake-up period of the duty cycle (s).
+    pub period_s: f64,
+    /// Listen window per wake-up (s).
+    pub listen_s: f64,
+    /// Airtime per transmitted packet (s).
+    pub tx_airtime_s: f64,
+    /// Airtime per received packet (s).
+    pub rx_airtime_s: f64,
+}
+
+impl RadioModel {
+    /// CC2420-class defaults at 3 V: sleep ≈ 0.06 mW, listen/RX ≈ 56 mW,
+    /// TX (0 dBm) ≈ 52 mW; 128-byte packet at 250 kbps ≈ 4.1 ms airtime;
+    /// 100 ms wake-up period with a 5 ms listen window.
+    pub fn cc2420_class() -> Self {
+        Self {
+            sleep_mw: 0.06,
+            listen_mw: 56.0,
+            tx_mw: 52.0,
+            period_s: 0.1,
+            listen_s: 0.005,
+            tx_airtime_s: 0.0041,
+            rx_airtime_s: 0.0041,
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.period_s > 0.0) {
+            return Err(format!("period must be positive, got {}", self.period_s));
+        }
+        if !(0.0..=self.period_s).contains(&self.listen_s) {
+            return Err(format!(
+                "listen window {} must fit in the period {}",
+                self.listen_s, self.period_s
+            ));
+        }
+        for (name, v) in [
+            ("sleep_mw", self.sleep_mw),
+            ("listen_mw", self.listen_mw),
+            ("tx_mw", self.tx_mw),
+            ("tx_airtime_s", self.tx_airtime_s),
+            ("rx_airtime_s", self.rx_airtime_s),
+        ] {
+            if !(v >= 0.0) || !v.is_finite() {
+                return Err(format!("{name} must be >= 0 and finite, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of time spent listening due to the duty cycle alone.
+    pub fn duty_cycle(&self) -> f64 {
+        self.listen_s / self.period_s
+    }
+
+    /// Mean radio power (mW) at the given traffic, assuming airtime steals
+    /// from sleep time (light-traffic regime; saturates at full-on power).
+    pub fn mean_power_mw(&self, tx_packets_per_s: f64, rx_packets_per_s: f64) -> f64 {
+        let mut tx_frac = tx_packets_per_s * self.tx_airtime_s;
+        let mut rx_frac = rx_packets_per_s * self.rx_airtime_s;
+        let air = tx_frac + rx_frac;
+        if air > 1.0 {
+            // Saturated channel: airtime shares scale proportionally.
+            tx_frac /= air;
+            rx_frac /= air;
+        }
+        let listen_frac = self.duty_cycle().min(1.0 - tx_frac - rx_frac);
+        let sleep_frac = (1.0 - tx_frac - rx_frac - listen_frac).max(0.0);
+        self.tx_mw * tx_frac
+            + self.listen_mw * (rx_frac + listen_frac)
+            + self.sleep_mw * sleep_frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        let r = RadioModel::cc2420_class();
+        r.validate().unwrap();
+        assert!((r.duty_cycle() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_radio_draws_duty_cycle_power() {
+        let r = RadioModel::cc2420_class();
+        let p = r.mean_power_mw(0.0, 0.0);
+        // 5% listen at 56 mW + 95% sleep at 0.06 mW ≈ 2.857 mW.
+        let expect = 0.05 * 56.0 + 0.95 * 0.06;
+        assert!((p - expect).abs() < 1e-9, "{p} vs {expect}");
+    }
+
+    #[test]
+    fn traffic_increases_power_monotonically() {
+        let r = RadioModel::cc2420_class();
+        let p0 = r.mean_power_mw(0.0, 0.0);
+        let p1 = r.mean_power_mw(10.0, 0.0);
+        let p2 = r.mean_power_mw(10.0, 10.0);
+        assert!(p0 < p1 && p1 < p2);
+    }
+
+    #[test]
+    fn saturation_bounded_by_full_on() {
+        let r = RadioModel::cc2420_class();
+        let p = r.mean_power_mw(1e6, 1e6);
+        assert!(p <= r.tx_mw.max(r.listen_mw) + 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut r = RadioModel::cc2420_class();
+        r.period_s = 0.0;
+        assert!(r.validate().is_err());
+        let mut r = RadioModel::cc2420_class();
+        r.listen_s = 1.0; // longer than the period
+        assert!(r.validate().is_err());
+        let mut r = RadioModel::cc2420_class();
+        r.tx_mw = -1.0;
+        assert!(r.validate().is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: evaluate the same processor with all three models and turn
+//! the result into energy and battery lifetime.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wsnem::core::{
+    CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel,
+};
+use wsnem::energy::{Battery, PowerProfile};
+
+fn main() {
+    // The paper's setup: λ = 1 job/s, mean service 0.1 s, power-down after
+    // T = 0.5 s idle, power-up takes D = 1 ms (paper Table 2 / Fig. 4).
+    let params = CpuModelParams::paper_defaults()
+        .with_power_down_threshold(0.5)
+        .with_replications(16)
+        .with_horizon(2000.0)
+        .with_warmup(100.0);
+
+    let markov = MarkovCpuModel::new(params).evaluate().expect("markov evaluates");
+    let petri = PetriCpuModel::new(params).evaluate().expect("petri evaluates");
+    let des = DesCpuModel::new(params).evaluate().expect("des evaluates");
+
+    println!("Steady-state occupancy (λ=1/s, μ=10/s, T=0.5 s, D=1 ms):\n");
+    for eval in [&des, &markov, &petri] {
+        println!(
+            "  {:<10} {}   [evaluated in {:.3} ms]",
+            eval.kind.to_string(),
+            eval.fractions,
+            eval.eval_seconds * 1000.0
+        );
+    }
+
+    let pxa = PowerProfile::pxa271();
+    println!("\nEnergy over 1000 s on an Intel PXA271 (paper Table 3 rates):");
+    for eval in [&des, &markov, &petri] {
+        println!(
+            "  {:<10} {:>8.2} J  (mean draw {:>6.2} mW)",
+            eval.kind.to_string(),
+            eval.energy_joules(&pxa, 1000.0),
+            eval.mean_power_mw(&pxa)
+        );
+    }
+
+    let battery = Battery::two_aa();
+    println!("\nBattery lifetime on 2×AA cells at that draw:");
+    for eval in [&des, &markov, &petri] {
+        let days = battery.lifetime_days(eval.mean_power_mw(&pxa));
+        println!("  {:<10} {days:>7.1} days", eval.kind.to_string());
+    }
+
+    println!("\nQueueing view (Markov closed forms, Eqs. 21–22):");
+    let m = MarkovCpuModel::new(params).inner().expect("valid params");
+    println!("  mean jobs in system L(1) = {:.4}", m.mean_jobs());
+    println!("  mean latency     τ = L/λ = {:.4} s", m.mean_latency());
+}

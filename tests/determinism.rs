@@ -1,0 +1,63 @@
+//! Reproducibility contract: identical results for identical seeds,
+//! regardless of thread count, across every simulation layer.
+
+use wsnem::core::experiments::ThresholdSweep;
+use wsnem::core::{CpuModel, CpuModelParams, DesCpuModel, PetriCpuModel};
+use wsnem::des::cpu::{CpuDes, CpuSimParams};
+use wsnem::des::replication::run_replications;
+use wsnem::des::workload::Workload;
+
+fn params() -> CpuModelParams {
+    CpuModelParams::paper_defaults()
+        .with_replications(6)
+        .with_horizon(400.0)
+}
+
+#[test]
+fn des_layer_thread_invariant() {
+    let sim = CpuDes::new(
+        CpuSimParams::exponential_service(10.0, 0.5, 0.001),
+        Workload::open_poisson(1.0),
+    )
+    .unwrap();
+    let a = run_replications(&sim, 9, 7, Some(1));
+    let b = run_replications(&sim, 9, 7, Some(3));
+    let c = run_replications(&sim, 9, 7, Some(9));
+    assert_eq!(a.reports, b.reports);
+    assert_eq!(b.reports, c.reports);
+}
+
+#[test]
+fn model_layer_thread_invariant() {
+    for threads in [Some(1), Some(2), None] {
+        let pn = PetriCpuModel::new(params()).with_threads(threads).evaluate().unwrap();
+        let des = DesCpuModel::new(params()).with_threads(threads).evaluate().unwrap();
+        let pn1 = PetriCpuModel::new(params()).with_threads(Some(1)).evaluate().unwrap();
+        let des1 = DesCpuModel::new(params()).with_threads(Some(1)).evaluate().unwrap();
+        assert_eq!(pn.fractions, pn1.fractions, "threads = {threads:?}");
+        assert_eq!(des.fractions, des1.fractions, "threads = {threads:?}");
+    }
+}
+
+#[test]
+fn sweep_layer_reproducible() {
+    let sweep = ThresholdSweep {
+        params: params().with_replications(3).with_horizon(200.0),
+        t_values: vec![0.1, 0.6],
+    };
+    let a = sweep.run().unwrap();
+    let b = sweep.run().unwrap();
+    assert_eq!(a.points.len(), b.points.len());
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.petri.fractions, y.petri.fractions);
+        assert_eq!(x.des.fractions, y.des.fractions);
+        assert_eq!(x.markov.fractions, y.markov.fractions);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = DesCpuModel::new(params().with_seed(1)).evaluate().unwrap();
+    let b = DesCpuModel::new(params().with_seed(2)).evaluate().unwrap();
+    assert_ne!(a.fractions, b.fractions);
+}

@@ -1,0 +1,122 @@
+//! Exact-solution cross-checks: closed forms ↔ CTMC solvers ↔ token game ↔
+//! DES, spanning four crates.
+
+use wsnem::markov::{mm1, mm1k, PhaseCpuChain, SteadyStateMethod};
+use wsnem::petri::analysis::{tangible_chain, ReachOptions};
+use wsnem::petri::models::{mm1k_net, mm1_net, producer_consumer_net};
+use wsnem::petri::{simulate, SimConfig};
+use wsnem::stats::rng::Xoshiro256PlusPlus;
+
+/// M/M/1/K: closed form == net-CTMC == net-simulation.
+#[test]
+fn mm1k_three_ways() {
+    let (lam, mu, k) = (2.0, 3.0, 6u32);
+    let closed = mm1k(lam, mu, k).unwrap();
+    let (net, q) = mm1k_net(lam, mu, k).unwrap();
+
+    // Exact via vanishing elimination.
+    let chain = tangible_chain(&net, ReachOptions::default()).unwrap();
+    let pi = chain.steady_state().unwrap();
+    let l_exact = chain.expected_tokens(&pi, q);
+    assert!((l_exact - closed.mean_jobs()).abs() < 1e-9);
+
+    // Simulated.
+    let cfg = SimConfig {
+        horizon: 50_000.0,
+        warmup: 1000.0,
+        ..SimConfig::default()
+    };
+    let mut rng = Xoshiro256PlusPlus::new(11);
+    let out = simulate(&net, &cfg, &[], &mut rng).unwrap();
+    assert!(
+        (out.place_means[q.index()] - closed.mean_jobs()).abs() < 0.05,
+        "sim {} vs exact {}",
+        out.place_means[q.index()],
+        closed.mean_jobs()
+    );
+}
+
+/// Unbounded M/M/1 net simulation matches the closed form.
+#[test]
+fn mm1_simulation_matches_closed_form() {
+    let closed = mm1(1.0, 2.5).unwrap();
+    let (net, q) = mm1_net(1.0, 2.5).unwrap();
+    let cfg = SimConfig {
+        horizon: 80_000.0,
+        warmup: 2000.0,
+        ..SimConfig::default()
+    };
+    let mut rng = Xoshiro256PlusPlus::new(5);
+    let out = simulate(&net, &cfg, &[], &mut rng).unwrap();
+    assert!(
+        (out.place_means[q.index()] - closed.mean_jobs()).abs() < 0.05,
+        "L sim {} vs {}",
+        out.place_means[q.index()],
+        closed.mean_jobs()
+    );
+    // Arrival throughput equals λ.
+    let arrive = net.find_transition("arrive").unwrap();
+    assert!((out.throughput(arrive.index()) - 1.0).abs() < 0.02);
+}
+
+/// Producer–consumer: the GSPN bridge and birth–death closed form agree.
+#[test]
+fn producer_consumer_is_a_birth_death_chain() {
+    let (net, buffer, _) = producer_consumer_net(4, 1.5, 2.0).unwrap();
+    let chain = tangible_chain(&net, ReachOptions::default()).unwrap();
+    let pi = chain.steady_state().unwrap();
+    let closed = mm1k(1.5, 2.0, 4).unwrap();
+    let l = chain.expected_tokens(&pi, buffer);
+    assert!((l - closed.mean_jobs()).abs() < 1e-9);
+}
+
+/// The Erlang-phase CPU chain converges to the DES truth as phases grow —
+/// and with enough phases it beats the paper's supplementary-variable
+/// approximation at a moderately large D.
+#[test]
+fn phase_chain_converges_to_des() {
+    use wsnem::core::{CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel};
+    let params = CpuModelParams::paper_defaults()
+        .with_power_up_delay(1.0)
+        .with_replications(8)
+        .with_horizon(6000.0)
+        .with_warmup(300.0);
+    let des = DesCpuModel::new(params).evaluate().unwrap();
+    let sv = MarkovCpuModel::new(params).evaluate().unwrap();
+    let sv_err = des.fractions.mean_abs_delta_pct(&sv.fractions);
+
+    let mut last_err = f64::INFINITY;
+    for k in [1u32, 4, 16] {
+        let chain = PhaseCpuChain::new(1.0, 10.0, 0.5, 1.0, k, k, 0).unwrap();
+        let err = des
+            .fractions
+            .mean_abs_delta_pct(&chain.fractions().unwrap());
+        assert!(
+            err < last_err + 0.3,
+            "k={k}: error {err} should not regress from {last_err}"
+        );
+        last_err = err;
+    }
+    assert!(
+        last_err < sv_err,
+        "16 phases ({last_err} pp) must beat the supplementary-variable \
+         approximation ({sv_err} pp) at D = 1 s"
+    );
+}
+
+/// The CTMC solvers agree with each other on the phase chain.
+#[test]
+fn solvers_agree_on_phase_chain() {
+    let chain = PhaseCpuChain::new(1.0, 10.0, 0.5, 0.3, 4, 4, 0).unwrap();
+    let ctmc = chain.build().unwrap();
+    let dense = ctmc.steady_state(SteadyStateMethod::Dense).unwrap();
+    let gs = ctmc
+        .steady_state(SteadyStateMethod::GaussSeidel {
+            max_iter: 200_000,
+            tol: 1e-13,
+        })
+        .unwrap();
+    for (a, b) in dense.iter().zip(&gs) {
+        assert!((a - b).abs() < 1e-7);
+    }
+}
