@@ -3,8 +3,9 @@
 //!
 //! These quantify the substrate costs behind the §6 trade-off discussion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use wsnem_bench::harness::{BenchmarkId, Criterion, Throughput};
+use wsnem_bench::{criterion_group, criterion_main};
 
 use wsnem_core::build_cpu_edspn;
 use wsnem_des::cpu::{CpuDes, CpuSimParams};
@@ -102,7 +103,13 @@ fn bench_ctmc_solvers(c: &mut Criterion) {
         }
         let chain = b.build().expect("chain builds");
         g.bench_with_input(BenchmarkId::new("dense", n), &chain, |bch, chain| {
-            bch.iter(|| black_box(chain.steady_state(SteadyStateMethod::Dense).expect("solves")));
+            bch.iter(|| {
+                black_box(
+                    chain
+                        .steady_state(SteadyStateMethod::Dense)
+                        .expect("solves"),
+                )
+            });
         });
         g.bench_with_input(BenchmarkId::new("gauss_seidel", n), &chain, |bch, chain| {
             bch.iter(|| {

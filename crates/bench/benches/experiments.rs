@@ -4,8 +4,9 @@
 //! trade-off claim ("Petri nets need long simulation; Markov models evaluate
 //! an expression").
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wsnem_bench::harness::Criterion;
+use wsnem_bench::{criterion_group, criterion_main};
 
 use wsnem_core::experiments::{table4, table5, ThresholdSweep};
 use wsnem_core::{CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel};
@@ -71,9 +72,7 @@ fn bench_table5(c: &mut Criterion) {
     g.sample_size(10);
     let profile = PowerProfile::pxa271();
     g.bench_function("delta_energy_reduced", |b| {
-        b.iter(|| {
-            black_box(table5(reduced_params(), &[0.001, 0.3], &profile).expect("table5"))
-        });
+        b.iter(|| black_box(table5(reduced_params(), &[0.001, 0.3], &profile).expect("table5")));
     });
     g.finish();
 }

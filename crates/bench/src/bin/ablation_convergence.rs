@@ -46,7 +46,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["horizon (s)", "replications", "Δ vs reference (pp)", "wall time (s)"],
+            &[
+                "horizon (s)",
+                "replications",
+                "Δ vs reference (pp)",
+                "wall time (s)"
+            ],
             &printable
         )
     );

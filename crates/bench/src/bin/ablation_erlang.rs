@@ -25,7 +25,9 @@ fn main() {
     };
 
     let (des, rows) = erlang_ablation(params, phase_counts).expect("ablation runs");
-    let sv = MarkovCpuModel::new(params).evaluate().expect("markov evaluates");
+    let sv = MarkovCpuModel::new(params)
+        .evaluate()
+        .expect("markov evaluates");
     let sv_delta = sv.fractions.mean_abs_delta_pct(&des);
 
     println!("Ablation E7 — Erlang-k phase expansion of the deterministic delays");

@@ -22,8 +22,10 @@ fn main() {
 
     let rows = delay_sweep(params, &d_values).expect("sweep runs");
 
-    println!("Extension E9 — model error vs Power Up Delay (T = {} s, λ = {}/s)",
-        params.power_down_threshold, params.lambda);
+    println!(
+        "Extension E9 — model error vs Power Up Delay (T = {} s, λ = {}/s)",
+        params.power_down_threshold, params.lambda
+    );
     println!("errors are mean |Δ| vs DES over the four states, percentage points\n");
     let printable: Vec<Vec<String>> = rows
         .iter()

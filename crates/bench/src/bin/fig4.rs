@@ -24,10 +24,7 @@ fn main() {
         params.lambda, params.mu, params.horizon, params.replications
     );
 
-    for (state_idx, state) in ["Standby", "PowerUp", "Idle", "Active"]
-        .iter()
-        .enumerate()
-    {
+    for (state_idx, state) in ["Standby", "PowerUp", "Idle", "Active"].iter().enumerate() {
         // Canonical order is [standby, powerup, idle, active].
         println!("State: {state} (%)");
         let sim = sweep.percent_series(ModelKind::Des, state_idx);
@@ -37,9 +34,7 @@ fn main() {
             .t_values()
             .iter()
             .enumerate()
-            .map(|(i, t)| {
-                vec![f(*t, 1), f(sim[i], 3), f(mar[i], 3), f(pn[i], 3)]
-            })
+            .map(|(i, t)| vec![f(*t, 1), f(sim[i], 3), f(mar[i], 3), f(pn[i], 3)])
             .collect();
         println!(
             "{}",

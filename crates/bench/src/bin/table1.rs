@@ -28,9 +28,11 @@ fn main() {
                     format!("rate {rate}/s"),
                     "NA".to_owned(),
                 ),
-                Dist::Deterministic(d) => {
-                    ("Deterministic".to_owned(), format!("{d} s"), "NA".to_owned())
-                }
+                Dist::Deterministic(d) => (
+                    "Deterministic".to_owned(),
+                    format!("{d} s"),
+                    "NA".to_owned(),
+                ),
                 other => (format!("{other:?}"), "-".to_owned(), "NA".to_owned()),
             },
         };
@@ -38,7 +40,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Transition", "Firing Distribution", "Delay", "Priority"], &rows)
+        render_table(
+            &["Transition", "Firing Distribution", "Delay", "Priority"],
+            &rows
+        )
     );
 
     println!("Structural P-invariants (Farkas analysis):");

@@ -51,7 +51,5 @@ fn main() {
             &printable
         )
     );
-    println!(
-        "Paper's qualitative claim: Sim-PN stays small while Sim-Markov explodes as D grows."
-    );
+    println!("Paper's qualitative claim: Sim-PN stays small while Sim-Markov explodes as D grows.");
 }

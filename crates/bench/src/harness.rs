@@ -1,0 +1,213 @@
+//! A tiny benchmark harness exposing the subset of the `criterion` API the
+//! bench targets use (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput::Elements`), so the workspace builds and
+//! benches offline, without external crates.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until a wall-clock budget is spent, reporting the per-iteration
+//! mean, min and (when a throughput was declared) elements/second. Run with
+//! `cargo bench`, or with `WSNEM_BENCH_QUICK=1` for a fast smoke pass.
+
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(func: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{func}/{param}"),
+        }
+    }
+}
+
+/// Top-level driver (mirror of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            throughput: None,
+            budget: if quick() {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(500)
+            },
+        }
+    }
+}
+
+fn quick() -> bool {
+    std::env::var_os("WSNEM_BENCH_QUICK").is_some() || std::env::args().any(|a| a == "--quick")
+}
+
+/// A group of related benchmarks sharing throughput/size settings.
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+    budget: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for criterion compatibility; the wall-clock budget already
+    /// bounds sampling, so the sample count is informational only.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.budget,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&name.to_string(), self.throughput);
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            budget: self.budget,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&id.name, self.throughput);
+    }
+
+    /// End the group (mirror of criterion; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly until the group's wall-clock budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (fills caches, faults pages).
+        std::hint::black_box(f());
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() >= self.budget || self.samples.len() >= 10_000 {
+                return;
+            }
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().unwrap();
+        let mut line = format!(
+            "{name:<40} {:>12} mean  {:>12} min  ({} iters)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            self.samples.len()
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            let rate = n as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  {:.3e} elem/s", rate));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($fn_:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $fn_(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(10);
+        let mut calls = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        g.finish();
+        assert!(calls > 1, "iter ran the closure repeatedly");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains("s"));
+    }
+}

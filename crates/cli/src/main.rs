@@ -1,0 +1,342 @@
+//! `wsnem` — the batch scenario runner.
+//!
+//! ```text
+//! wsnem list                              # show the built-in scenario library
+//! wsnem run --all                         # run every built-in scenario
+//! wsnem run my.toml other.json            # run user-authored scenario files
+//! wsnem run --builtin paper-defaults      # run one built-in by name
+//! wsnem run --all --format json -o out.json
+//! wsnem run --all --format csv            # flat per-backend rows
+//! wsnem validate my.toml                  # parse + validate without running
+//! wsnem export paper-defaults --format toml   # print a built-in as a file
+//! ```
+//!
+//! Scenarios in one invocation run in parallel across OS threads
+//! (`--threads N` pins the count). Argument parsing is hand-rolled — the
+//! workspace builds offline, without clap.
+
+use std::process::ExitCode;
+
+use wsnem_scenario::{builtin, files, run_batch, FileFormat, Scenario, ScenarioReport};
+
+/// Write to stdout, treating a closed pipe (`wsnem list | head`) as a normal
+/// end of output rather than a panic.
+fn out(text: &str) {
+    use std::io::Write;
+    let mut stdout = std::io::stdout();
+    if stdout
+        .write_all(text.as_bytes())
+        .and_then(|()| stdout.flush())
+        .is_err()
+    {
+        std::process::exit(0);
+    }
+}
+
+macro_rules! outln {
+    () => { out("\n") };
+    ($($arg:tt)*) => { out(&format!("{}\n", format_args!($($arg)*))) };
+}
+
+const USAGE: &str = "wsnem — energy-model scenario runner
+
+USAGE:
+    wsnem <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                       List built-in scenarios
+    run [FILES..] [OPTIONS]    Run scenario files and/or built-ins
+    validate <FILES..>         Parse and validate scenario files
+    export <NAME> [OPTIONS]    Print a built-in scenario as a file
+    help                       Show this help
+
+RUN OPTIONS:
+    --all                 Run every built-in scenario
+    --builtin <NAME>      Run one built-in (repeatable)
+    --format <FMT>        Output format: summary (default), json, csv
+    --out, -o <FILE>      Write the report there instead of stdout
+    --threads <N>         Parallelism across scenarios (default: all cores)
+    --quick               Shrink replications/horizons for a fast smoke run
+
+EXPORT OPTIONS:
+    --format <FMT>        File format: toml (default), json
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        Some((c, rest)) => (c.as_str(), rest),
+    };
+    let result = match command {
+        "list" => cmd_list(),
+        "run" => cmd_run(rest),
+        "validate" => cmd_validate(rest),
+        "export" => cmd_export(rest),
+        "help" | "--help" | "-h" => {
+            out(USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let scenarios = builtin::all();
+    outln!("{} built-in scenarios:\n", scenarios.len());
+    for s in &scenarios {
+        let features: Vec<&str> = [
+            s.sweep.as_ref().map(|_| "sweep"),
+            s.network.as_ref().map(|_| "network"),
+            s.workload
+                .as_ref()
+                .filter(|w| !w.is_poisson())
+                .map(|_| "non-poisson workload"),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let backends: Vec<String> = s.backends.iter().map(|b| b.to_string()).collect();
+        outln!("  {}", s.name);
+        outln!("      backends: {}", backends.join(", "));
+        if !features.is_empty() {
+            outln!("      features: {}", features.join(", "));
+        }
+        for line in wrap(&s.description, 72) {
+            outln!("      {line}");
+        }
+        outln!();
+    }
+    outln!("Run them with `wsnem run --all` or `wsnem run --builtin <name>`;");
+    outln!("export one as a starting point with `wsnem export <name>`.");
+    Ok(())
+}
+
+#[derive(Default)]
+struct RunOptions {
+    files: Vec<String>,
+    builtins: Vec<String>,
+    all: bool,
+    format: String,
+    out: Option<String>,
+    threads: Option<usize>,
+    quick: bool,
+}
+
+fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
+    let mut o = RunOptions {
+        format: "summary".into(),
+        ..RunOptions::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => o.all = true,
+            "--quick" => o.quick = true,
+            "--builtin" => o.builtins.push(required(&mut it, "--builtin <NAME>")?),
+            "--format" => o.format = required(&mut it, "--format <FMT>")?,
+            "--out" | "-o" => o.out = Some(required(&mut it, "--out <FILE>")?),
+            "--threads" => {
+                let v = required(&mut it, "--threads <N>")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads expects a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                o.threads = Some(n);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            file => o.files.push(file.to_owned()),
+        }
+    }
+    if !matches!(o.format.as_str(), "summary" | "json" | "csv") {
+        return Err(format!(
+            "unknown format `{}` (expected summary, json or csv)",
+            o.format
+        ));
+    }
+    Ok(o)
+}
+
+fn required(it: &mut std::slice::Iter<'_, String>, what: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("missing value for {what}"))
+}
+
+/// Shrink a scenario for smoke runs (`--quick`): fewer replications,
+/// shorter horizons, thinner sweeps.
+fn shrink(mut s: Scenario) -> Scenario {
+    s.cpu = s
+        .cpu
+        .with_replications(2)
+        .with_horizon(300.0)
+        .with_warmup(s.cpu.warmup.min(30.0));
+    if let Some(sweep) = &mut s.sweep {
+        if sweep.values.len() > 3 {
+            let n = sweep.values.len();
+            sweep.values = vec![sweep.values[0], sweep.values[n / 2], sweep.values[n - 1]];
+        }
+    }
+    s
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let o = parse_run_options(args)?;
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    if o.all {
+        scenarios.extend(builtin::all());
+    }
+    for name in &o.builtins {
+        scenarios.push(builtin::find(name).map_err(|e| e.to_string())?);
+    }
+    for file in &o.files {
+        scenarios.push(files::load(file).map_err(|e| e.to_string())?);
+    }
+    if scenarios.is_empty() {
+        return Err("nothing to run: pass scenario files, --builtin <name> or --all".into());
+    }
+    if o.quick {
+        scenarios = scenarios.into_iter().map(shrink).collect();
+    }
+
+    let results = run_batch(&scenarios, o.threads);
+    let mut reports = Vec::new();
+    let mut failures = Vec::new();
+    for (s, r) in scenarios.iter().zip(results) {
+        match r {
+            Ok(report) => reports.push(report),
+            Err(e) => failures.push(format!("{}: {e}", s.name)),
+        }
+    }
+
+    let rendered = render(&reports, &o.format)?;
+    match &o.out {
+        None => out(&rendered),
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {} report(s) to {path} ({} format)",
+                reports.len(),
+                o.format
+            );
+        }
+    }
+
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} of {} scenario(s) failed:\n  {}",
+            failures.len(),
+            scenarios.len(),
+            failures.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
+fn render(reports: &[ScenarioReport], format: &str) -> Result<String, String> {
+    match format {
+        "json" => serde_json::to_string_pretty(&reports.to_vec())
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| e.to_string()),
+        "csv" => {
+            let mut out = String::from(ScenarioReport::CSV_HEADER);
+            out.push('\n');
+            for r in reports {
+                for row in r.csv_rows() {
+                    out.push_str(&row);
+                    out.push('\n');
+                }
+            }
+            Ok(out)
+        }
+        _ => {
+            let mut out = String::new();
+            for r in reports {
+                out.push_str(&r.summary());
+                out.push('\n');
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("validate expects at least one scenario file".into());
+    }
+    let mut bad = 0usize;
+    for file in args {
+        match files::load(file) {
+            Ok(s) => outln!("{file}: ok (scenario `{}`)", s.name),
+            Err(e) => {
+                bad += 1;
+                outln!("{file}: INVALID — {e}");
+            }
+        }
+    }
+    if bad > 0 {
+        Err(format!("{bad} of {} file(s) invalid", args.len()))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let mut name: Option<String> = None;
+    let mut format = "toml".to_owned();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => format = required(&mut it, "--format <FMT>")?,
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            n if name.is_none() => name = Some(n.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let name = name.ok_or("export expects a built-in scenario name")?;
+    let scenario = builtin::find(&name).map_err(|e| e.to_string())?;
+    let format = match format.as_str() {
+        "toml" => FileFormat::Toml,
+        "json" => FileFormat::Json,
+        other => return Err(format!("unknown format `{other}` (expected toml or json)")),
+    };
+    let text = files::to_string(&scenario, format).map_err(|e| e.to_string())?;
+    out(&text);
+    if !text.ends_with('\n') {
+        outln!();
+    }
+    Ok(())
+}
+
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        if !line.is_empty() && line.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut line));
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(word);
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
+}

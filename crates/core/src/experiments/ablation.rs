@@ -148,8 +148,7 @@ mod tests {
     #[test]
     fn convergence_improves_with_budget() {
         let params = CpuModelParams::paper_defaults();
-        let (reference, rows) =
-            convergence_ablation(params, &[(200.0, 2), (5000.0, 8)]).unwrap();
+        let (reference, rows) = convergence_ablation(params, &[(200.0, 2), (5000.0, 8)]).unwrap();
         assert!(reference.is_normalized(1e-6));
         assert_eq!(rows.len(), 2);
         assert!(

@@ -42,23 +42,25 @@ pub fn delay_sweep(
 ) -> Result<Vec<DelaySweepRow>, CoreError> {
     params.validate()?;
     let n = d_values.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
     let mut slots: Vec<Option<Result<DelaySweepRow, CoreError>>> = vec![None; n];
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .clamp(1, n.max(1));
     let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (j, slot) in chunk_slots.iter_mut().enumerate() {
                     let d = d_values[k * chunk + j];
                     *slot = Some(sweep_point(params, d));
                 }
             });
         }
-    })
-    .expect("delay sweep worker panicked");
+    });
     let mut rows = Vec::with_capacity(n);
     for s in slots {
         rows.push(s.expect("all points evaluated")?);
@@ -138,5 +140,13 @@ mod tests {
         let boundary = markov_validity_boundary(&rows, 1.0);
         assert_eq!(boundary, Some(2.0), "rows: {rows:?}");
         assert_eq!(markov_validity_boundary(&rows, 1e9), None);
+    }
+
+    #[test]
+    fn empty_delay_sweep_returns_empty_vec() {
+        let params = CpuModelParams::paper_defaults()
+            .with_replications(1)
+            .with_horizon(50.0);
+        assert!(delay_sweep(params, &[]).unwrap().is_empty());
     }
 }

@@ -91,25 +91,30 @@ impl ThresholdSweep {
     pub fn run(&self) -> Result<SweepResult, CoreError> {
         self.params.validate()?;
         let n = self.t_values.len();
+        if n == 0 {
+            return Ok(SweepResult {
+                params: self.params,
+                points: Vec::new(),
+            });
+        }
         let mut slots: Vec<Option<Result<SweepPoint, CoreError>>> = vec![None; n];
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
             .clamp(1, n.max(1));
         let chunk = n.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
                 let t_values = &self.t_values;
                 let params = self.params;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, slot) in chunk_slots.iter_mut().enumerate() {
                         let t = t_values[k * chunk + j];
                         *slot = Some(evaluate_point(params, t));
                     }
                 });
             }
-        })
-        .expect("sweep worker panicked");
+        });
 
         let mut points = Vec::with_capacity(n);
         for slot in slots {
@@ -203,5 +208,17 @@ mod tests {
             assert!(d1 < 3.0, "T={}: sim-markov Δ={d1}", pt.t);
             assert!(d2 < 3.0, "T={}: sim-pn Δ={d2}", pt.t);
         }
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty_result() {
+        let sweep = ThresholdSweep {
+            params: CpuModelParams::paper_defaults()
+                .with_replications(1)
+                .with_horizon(50.0),
+            t_values: vec![],
+        };
+        let r = sweep.run().unwrap();
+        assert!(r.points.is_empty());
     }
 }

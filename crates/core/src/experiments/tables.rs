@@ -3,8 +3,8 @@
 use wsnem_energy::PowerProfile;
 
 use crate::error::CoreError;
-use crate::experiments::sweep::{SweepResult, ThresholdSweep};
 use crate::evaluation::ModelKind;
+use crate::experiments::sweep::{SweepResult, ThresholdSweep};
 use crate::params::CpuModelParams;
 
 /// One row of Table 4/5: pairwise model deltas at a given `D`, averaged over
@@ -51,10 +51,7 @@ fn pairwise_energy_delta(
 /// aggregate differently (its values scale with the sweep size) but the
 /// *ordering* — Sim–PN ≪ Sim–Markov for large `D`, comparable at
 /// `D = 0.001` — is the claim under reproduction (see EXPERIMENTS.md).
-pub fn table4(
-    params: CpuModelParams,
-    d_values: &[f64],
-) -> Result<Vec<DeltaRow>, CoreError> {
+pub fn table4(params: CpuModelParams, d_values: &[f64]) -> Result<Vec<DeltaRow>, CoreError> {
     let mut rows = Vec::with_capacity(d_values.len());
     for &d in d_values {
         let sweep = ThresholdSweep::paper(params, d).run()?;
@@ -133,12 +130,7 @@ mod tests {
 
     #[test]
     fn table5_headline_claim() {
-        let rows = table5(
-            quick_params(),
-            &[0.001, 10.0],
-            &PowerProfile::pxa271(),
-        )
-        .unwrap();
+        let rows = table5(quick_params(), &[0.001, 10.0], &PowerProfile::pxa271()).unwrap();
         let small_d = &rows[0];
         let large_d = &rows[1];
         assert!(small_d.sim_markov < 2.0, "{}", small_d.sim_markov);

@@ -113,8 +113,14 @@ mod tests {
         let params = CpuModelParams::paper_defaults()
             .with_replications(6)
             .with_horizon(300.0);
-        let a = DesCpuModel::new(params).with_threads(Some(1)).evaluate().unwrap();
-        let b = DesCpuModel::new(params).with_threads(Some(3)).evaluate().unwrap();
+        let a = DesCpuModel::new(params)
+            .with_threads(Some(1))
+            .evaluate()
+            .unwrap();
+        let b = DesCpuModel::new(params)
+            .with_threads(Some(3))
+            .evaluate()
+            .unwrap();
         assert_eq!(a.fractions, b.fractions);
     }
 

@@ -30,9 +30,7 @@
 use std::time::Instant;
 
 use wsnem_energy::StateFractions;
-use wsnem_petri::{
-    simulate_replications, NetBuilder, PetriNet, PlaceId, Reward, SimConfig,
-};
+use wsnem_petri::{simulate_replications, NetBuilder, PetriNet, PlaceId, Reward, SimConfig};
 
 use crate::error::CoreError;
 use crate::evaluation::{CpuModel, ModelEvaluation, ModelKind};
@@ -236,8 +234,7 @@ impl CpuModel for PetriCpuModel {
         // Mean jobs in system = buffered + in service.
         let buffer_idx = handles.cpu_buffer.index();
         let active_idx = handles.active.index();
-        let mean_jobs =
-            summary.place_mean(buffer_idx) + summary.place_mean(active_idx);
+        let mean_jobs = summary.place_mean(buffer_idx) + summary.place_mean(active_idx);
         Ok(ModelEvaluation {
             kind: ModelKind::PetriNet,
             fractions,
@@ -303,9 +300,7 @@ mod tests {
         // Service unit: Idle + Active = 1.
         assert!(
             inv.iter().any(|x| {
-                x[h.idle.index()] == 1
-                    && x[h.active.index()] == 1
-                    && x.iter().sum::<u64>() == 2
+                x[h.idle.index()] == 1 && x[h.active.index()] == 1 && x.iter().sum::<u64>() == 2
             }),
             "service-unit invariant missing: {inv:?}"
         );
@@ -368,7 +363,11 @@ mod tests {
             "active = {}",
             pn.fractions.active
         );
-        assert!(pn.fractions.powerup > 0.2, "powerup = {}", pn.fractions.powerup);
+        assert!(
+            pn.fractions.powerup > 0.2,
+            "powerup = {}",
+            pn.fractions.powerup
+        );
     }
 
     #[test]
@@ -403,7 +402,10 @@ mod tests {
         // The open workload grows CPU_Buffer beyond any bound eventually.
         match g {
             Err(wsnem_petri::PetriError::Unbounded { place, .. }) => {
-                assert!(place == "CPU_Buffer" || place == "P6", "unbounded at {place}");
+                assert!(
+                    place == "CPU_Buffer" || place == "P6",
+                    "unbounded at {place}"
+                );
             }
             Ok(g) => {
                 // If exploration completed within 12 tokens, invariant places

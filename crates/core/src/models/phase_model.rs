@@ -117,7 +117,10 @@ mod tests {
         let phase_err = des.fractions.mean_abs_delta_pct(&phase.fractions);
         let sv_err = des.fractions.mean_abs_delta_pct(&sv.fractions);
         assert!(phase_err < 2.0, "phase error {phase_err} pp");
-        assert!(sv_err > 10.0 * phase_err, "sv {sv_err} vs phase {phase_err}");
+        assert!(
+            sv_err > 10.0 * phase_err,
+            "sv {sv_err} vs phase {phase_err}"
+        );
     }
 
     #[test]

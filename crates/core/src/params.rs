@@ -1,5 +1,6 @@
 //! Shared parameters of the CPU models.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
@@ -12,7 +13,8 @@ use crate::error::CoreError;
 /// μ = 0.1/s would be an unstable queue incompatible with the paper's own
 /// stability requirement (Eq. 17 needs ρ < 1) and with Fig. 4's ≈10% Active
 /// line.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct CpuModelParams {
     /// Poisson arrival rate λ (jobs/s). Paper: 1/s.
     pub lambda: f64,
@@ -102,7 +104,12 @@ impl CpuModelParams {
 
     /// Validate the full parameter set.
     pub fn validate(&self) -> Result<(), CoreError> {
-        fn check(what: &'static str, ok: bool, constraint: &'static str, value: f64) -> Result<(), CoreError> {
+        fn check(
+            what: &'static str,
+            ok: bool,
+            constraint: &'static str,
+            value: f64,
+        ) -> Result<(), CoreError> {
             if ok {
                 Ok(())
             } else {
@@ -113,8 +120,18 @@ impl CpuModelParams {
                 })
             }
         }
-        check("lambda", self.lambda > 0.0 && self.lambda.is_finite(), "> 0 and finite", self.lambda)?;
-        check("mu", self.mu > 0.0 && self.mu.is_finite(), "> 0 and finite", self.mu)?;
+        check(
+            "lambda",
+            self.lambda > 0.0 && self.lambda.is_finite(),
+            "> 0 and finite",
+            self.lambda,
+        )?;
+        check(
+            "mu",
+            self.mu > 0.0 && self.mu.is_finite(),
+            "> 0 and finite",
+            self.mu,
+        )?;
         check("rho", self.rho() < 1.0, "< 1 (stable queue)", self.rho())?;
         check(
             "power_down_threshold",
@@ -128,14 +145,24 @@ impl CpuModelParams {
             ">= 0 and finite",
             self.power_up_delay,
         )?;
-        check("horizon", self.horizon > 0.0 && self.horizon.is_finite(), "> 0 and finite", self.horizon)?;
+        check(
+            "horizon",
+            self.horizon > 0.0 && self.horizon.is_finite(),
+            "> 0 and finite",
+            self.horizon,
+        )?;
         check(
             "warmup",
             (0.0..self.horizon).contains(&self.warmup),
             "0 <= warmup < horizon",
             self.warmup,
         )?;
-        check("replications", self.replications >= 1, ">= 1", self.replications as f64)?;
+        check(
+            "replications",
+            self.replications >= 1,
+            ">= 1",
+            self.replications as f64,
+        )?;
         Ok(())
     }
 }
@@ -189,6 +216,7 @@ mod tests {
         assert!(base.with_replications(0).validate().is_err());
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_round_trip() {
         let p = CpuModelParams::paper_defaults();

@@ -572,10 +572,7 @@ mod tests {
         let r = sim.run_with_seed(3);
         assert!(r.fractions.idle < 1e-9, "idle = {}", r.fractions.idle);
         assert!(r.power_up_cycles > 100);
-        assert!(
-            r.power_up_cycles
-                <= r.power_down_cycles + 1
-        );
+        assert!(r.power_up_cycles <= r.power_down_cycles + 1);
         assert!(r.fractions.standby > 0.5);
     }
 
@@ -604,7 +601,11 @@ mod tests {
             "active = {}",
             r.fractions.active
         );
-        assert!(r.fractions.powerup > 0.2, "powerup = {}", r.fractions.powerup);
+        assert!(
+            r.fractions.powerup > 0.2,
+            "powerup = {}",
+            r.fractions.powerup
+        );
         assert!(r.mean_latency > 1.0, "waking costs latency");
     }
 

@@ -87,9 +87,9 @@ pub fn run_replications(
         // Static block partition: thread k owns a contiguous chunk. Each
         // chunk is an exclusive &mut slice, so no locks in the hot path.
         let chunk = n.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (k, slots) in reports.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, slot) in slots.iter_mut().enumerate() {
                         let rep = k * chunk + j;
                         let mut rng = factory.stream(rep as u64);
@@ -97,8 +97,7 @@ pub fn run_replications(
                     }
                 });
             }
-        })
-        .expect("replication worker panicked");
+        });
     }
 
     // Ordered, deterministic reduction.

@@ -228,7 +228,11 @@ impl WorkloadGen {
     /// Next interarrival gap (time from the previous arrival to the next).
     pub fn next_gap<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> f64 {
         match &self.spec {
-            OpenWorkload::Renewal(d) => d.sample(rng),
+            OpenWorkload::Renewal(d) => {
+                // Clamp like the service/think sites: a distribution with
+                // negative support must not rewind simulation time.
+                d.sample(rng).max(0.0)
+            }
             OpenWorkload::Mmpp2 {
                 rate0,
                 rate1,

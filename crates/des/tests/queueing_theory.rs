@@ -40,7 +40,11 @@ fn dd1_is_exact() {
     let wl = Workload::Open(OpenWorkload::Renewal(Dist::Deterministic(1.0)));
     let sim = CpuDes::new(params, wl).unwrap();
     let r = sim.run_with_seed(1);
-    assert!((r.fractions.active - 0.4).abs() < 1e-3, "{}", r.fractions.active);
+    assert!(
+        (r.fractions.active - 0.4).abs() < 1e-3,
+        "{}",
+        r.fractions.active
+    );
     assert!((r.mean_latency - 0.4).abs() < 1e-9);
     assert!(r.latency_variance < 1e-12, "no latency jitter in D/D/1");
     assert!((r.mean_jobs_in_system - 0.4).abs() < 1e-3);
@@ -80,7 +84,11 @@ fn mg1_hyperexponential_tail_heavier_than_md1() {
     };
     // Check the mean really is 0.5 before relying on it.
     use wsnem_stats::dist::Sample;
-    assert!((lognormal.mean() - 0.5).abs() < 1e-9, "{}", lognormal.mean());
+    assert!(
+        (lognormal.mean() - 0.5).abs() < 1e-9,
+        "{}",
+        lognormal.mean()
+    );
 
     let det = CpuDes::new(
         queue_only_params(Dist::Deterministic(0.5), 40_000.0, 1000.0),

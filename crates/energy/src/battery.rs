@@ -5,6 +5,7 @@
 //! capacity into an expected lifetime; the WSN examples use it to rank
 //! power-down-threshold policies.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::profile::PowerProfile;
@@ -14,7 +15,8 @@ use crate::state::StateFractions;
 ///
 /// (No rate-capacity or recovery effects; adequate at the mW-scale steady
 /// loads considered here, where discharge curves are close to linear.)
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Battery {
     /// Rated capacity in milliamp-hours.
     pub capacity_mah: f64,
@@ -117,6 +119,8 @@ mod tests {
 
     #[test]
     fn preset_batteries_sane() {
-        assert!(Battery::two_aa().usable_energy_joules() > Battery::cr2032().usable_energy_joules());
+        assert!(
+            Battery::two_aa().usable_energy_joules() > Battery::cr2032().usable_energy_joules()
+        );
     }
 }

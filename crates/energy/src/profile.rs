@@ -5,12 +5,14 @@
 //! assembled from public datasheets; they exist so the example applications
 //! can compare processor classes, and they are clearly labeled as such.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use crate::state::{CpuState, StateFractions};
 
 /// Power draw (milliwatts) in each CPU power state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PowerProfile {
     /// Profile name, e.g. `"PXA271"`.
     pub name: String,
@@ -197,7 +199,10 @@ mod tests {
 
     #[test]
     fn synthetic_profiles_are_labeled_and_ordered() {
-        for p in [PowerProfile::msp430_class(), PowerProfile::atmega128l_class()] {
+        for p in [
+            PowerProfile::msp430_class(),
+            PowerProfile::atmega128l_class(),
+        ] {
             assert!(p.name.contains("synthetic"));
             p.validate().unwrap();
             assert!(p.standby_mw < p.idle_mw);
@@ -205,6 +210,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_round_trip() {
         let p = PowerProfile::pxa271();

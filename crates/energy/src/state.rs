@@ -1,12 +1,14 @@
 //! The four-state power taxonomy and steady-state occupancy fractions.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Power state of the modeled CPU.
 ///
 /// The ordering/indices are stable and shared by all models: they are used to
 /// index [`StateFractions::as_array`] and per-state power tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum CpuState {
     /// Deep low-power mode; the CPU must power up before serving jobs.
     Standby,
@@ -57,7 +59,8 @@ impl std::fmt::Display for CpuState {
 
 /// Fractions of time spent in each power state (the "steady state
 /// percentages" of the paper, expressed in `[0, 1]`).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct StateFractions {
     /// Fraction of time in [`CpuState::Standby`].
     pub standby: f64,
@@ -107,7 +110,9 @@ impl StateFractions {
 
     /// True when every fraction is in `[0, 1]` and they sum to 1 ± `tol`.
     pub fn is_normalized(&self, tol: f64) -> bool {
-        self.as_array().iter().all(|&p| (0.0..=1.0 + tol).contains(&p))
+        self.as_array()
+            .iter()
+            .all(|&p| (0.0..=1.0 + tol).contains(&p))
             && (self.total() - 1.0).abs() <= tol
     }
 

@@ -113,7 +113,9 @@ mod tests {
         }
         .to_string()
         .contains('5'));
-        assert!(MarkovError::Reducible { state: 3 }.to_string().contains('3'));
+        assert!(MarkovError::Reducible { state: 3 }
+            .to_string()
+            .contains('3'));
         assert!(MarkovError::InvalidParameter {
             what: "lambda",
             constraint: "> 0",

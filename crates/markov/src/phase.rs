@@ -309,7 +309,10 @@ mod tests {
         let e8 = (f8.idle - exact.idle).abs();
         let e32 = (f32.idle - exact.idle).abs();
         assert!(e8 < e1, "8 phases ({e8}) should beat 1 phase ({e1})");
-        assert!(e32 < e8 * 1.5, "32 phases ({e32}) should not regress vs 8 ({e8})");
+        assert!(
+            e32 < e8 * 1.5,
+            "32 phases ({e32}) should not regress vs 8 ({e8})"
+        );
     }
 
     #[test]

@@ -175,7 +175,6 @@ impl SupplementaryVariableModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn paper_model(t: f64, d: f64) -> SupplementaryVariableModel {
         // λ = 1/s, mean service 0.1 s (μ = 10/s) — see DESIGN.md on Table 2.
@@ -201,11 +200,7 @@ mod tests {
             for d in [0.0, 0.001, 0.3, 10.0] {
                 let m = SupplementaryVariableModel::new(1.0, 10.0, t, d).unwrap();
                 let f = m.fractions();
-                assert!(
-                    f.is_normalized(1e-12),
-                    "T={t} D={d}: total {}",
-                    f.total()
-                );
+                assert!(f.is_normalized(1e-12), "T={t} D={d}: total {}", f.total());
             }
         }
     }
@@ -280,45 +275,73 @@ mod tests {
         assert_eq!(m.mu(), 10.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_normalized_for_all_parameters(
-            lambda in 0.05f64..5.0,
-            ratio in 0.05f64..0.95,   // ρ
-            t in 0.0f64..5.0,
-            d in 0.0f64..20.0,
-        ) {
+    // Hand-rolled property tests (the workspace builds offline, without
+    // proptest): a SplitMix64 stream drives uniform draws over the same
+    // parameter boxes the old proptest strategies used.
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(state: &mut u64, lo: f64, hi: f64) -> f64 {
+        let u = (splitmix(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+
+    #[test]
+    fn prop_normalized_for_all_parameters() {
+        let mut s = 0x5EED_0001u64;
+        for _ in 0..100 {
+            let lambda = uniform(&mut s, 0.05, 5.0);
+            let ratio = uniform(&mut s, 0.05, 0.95); // ρ
+            let t = uniform(&mut s, 0.0, 5.0);
+            let d = uniform(&mut s, 0.0, 20.0);
             let mu = lambda / ratio;
             let m = SupplementaryVariableModel::new(lambda, mu, t, d).unwrap();
             let f = m.fractions();
-            prop_assert!(f.is_normalized(1e-9), "total = {}", f.total());
-            prop_assert!(m.mean_jobs() >= 0.0);
-            prop_assert!(m.mean_latency() >= 0.0);
+            assert!(
+                f.is_normalized(1e-9),
+                "λ={lambda} ρ={ratio} T={t} D={d}: total = {}",
+                f.total()
+            );
+            assert!(m.mean_jobs() >= 0.0);
+            assert!(m.mean_latency() >= 0.0);
         }
+    }
 
-        #[test]
-        fn prop_monotone_idle_in_threshold(
-            t1 in 0.0f64..2.0,
-            dt in 0.01f64..2.0,
-        ) {
+    #[test]
+    fn prop_monotone_idle_in_threshold() {
+        let mut s = 0x5EED_0002u64;
+        for _ in 0..100 {
+            let t1 = uniform(&mut s, 0.0, 2.0);
+            let dt = uniform(&mut s, 0.01, 2.0);
             let a = SupplementaryVariableModel::new(1.0, 10.0, t1, 0.01).unwrap();
             let b = SupplementaryVariableModel::new(1.0, 10.0, t1 + dt, 0.01).unwrap();
-            prop_assert!(b.p_idle() >= a.p_idle());
-            prop_assert!(b.p_standby() <= a.p_standby());
+            assert!(b.p_idle() >= a.p_idle(), "T={t1} dT={dt}");
+            assert!(b.p_standby() <= a.p_standby(), "T={t1} dT={dt}");
         }
+    }
 
-        #[test]
-        fn prop_energy_nonnegative_and_time_linear(
-            t in 0.0f64..1.0,
-            d in 0.0f64..1.0,
-            horizon in 1.0f64..10_000.0,
-        ) {
+    #[test]
+    fn prop_energy_nonnegative_and_time_linear() {
+        let mut s = 0x5EED_0003u64;
+        for _ in 0..100 {
+            let t = uniform(&mut s, 0.0, 1.0);
+            let d = uniform(&mut s, 0.0, 1.0);
+            let horizon = uniform(&mut s, 1.0, 10_000.0);
             let m = SupplementaryVariableModel::new(1.0, 10.0, t, d).unwrap();
             let p = PowerProfile::pxa271();
             let e = m.energy_eq25(&p, horizon);
-            prop_assert!(e.total_joules() >= 0.0);
+            assert!(e.total_joules() >= 0.0);
             let e2 = m.energy_eq25(&p, 2.0 * horizon);
-            prop_assert!((e2.total_mj - 2.0 * e.total_mj).abs() < 1e-6 * e.total_mj.max(1.0));
+            assert!(
+                (e2.total_mj - 2.0 * e.total_mj).abs() < 1e-6 * e.total_mj.max(1.0),
+                "T={t} D={d} horizon={horizon}"
+            );
         }
     }
 }

@@ -67,18 +67,12 @@ fn farkas(matrix: &[Vec<i64>], row_budget: usize) -> Result<Vec<Vec<u64>>, Petri
                 let b = n.0[c].unsigned_abs();
                 let g = gcd(a, b);
                 let (ca, cb) = ((b / g) as i64, (a / g) as i64);
-                let cons: Vec<i64> = p
-                    .0
-                    .iter()
-                    .zip(&n.0)
-                    .map(|(x, y)| ca * x + cb * y)
-                    .collect();
-                let id: Vec<u64> = p
-                    .1
-                    .iter()
-                    .zip(&n.1)
-                    .map(|(x, y)| ca as u64 * x + cb as u64 * y)
-                    .collect();
+                let cons: Vec<i64> = p.0.iter().zip(&n.0).map(|(x, y)| ca * x + cb * y).collect();
+                let id: Vec<u64> =
+                    p.1.iter()
+                        .zip(&n.1)
+                        .map(|(x, y)| ca as u64 * x + cb as u64 * y)
+                        .collect();
                 debug_assert_eq!(cons[c], 0);
                 zero.push((cons, id));
                 if zero.len() > row_budget {

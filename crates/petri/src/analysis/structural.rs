@@ -80,7 +80,10 @@ pub fn is_marked_graph(net: &PetriNet) -> bool {
 /// is their only input (conflicts are resolved by pure chance, never by
 /// context). Inhibitor arcs break free choice by definition.
 pub fn is_free_choice(net: &PetriNet) -> bool {
-    if net.transitions().any(|t| net.inhibitors(t).next().is_some()) {
+    if net
+        .transitions()
+        .any(|t| net.inhibitors(t).next().is_some())
+    {
         return false;
     }
     for (_, competitors) in conflict_sets(net) {
@@ -195,9 +198,9 @@ mod tests {
         let net = b.build().unwrap();
         assert!(!is_free_choice(&net));
         let cs = conflict_sets(&net);
-        assert!(cs.iter().any(|(p, ts)| {
-            net.place_name(*p) == "CPU_ON" && ts.len() == 3
-        }));
+        assert!(cs
+            .iter()
+            .any(|(p, ts)| { net.place_name(*p) == "CPU_ON" && ts.len() == 3 }));
     }
 
     #[test]

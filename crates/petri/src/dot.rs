@@ -44,11 +44,19 @@ pub fn to_dot(net: &PetriNet) -> String {
     }
     for t in net.transitions() {
         for (p, m) in net.inputs(t) {
-            let lbl = if m > 1 { format!(" [label=\"{m}\"]") } else { String::new() };
+            let lbl = if m > 1 {
+                format!(" [label=\"{m}\"]")
+            } else {
+                String::new()
+            };
             out.push_str(&format!("  P{} -> T{}{lbl};\n", p.index(), t.index()));
         }
         for (p, m) in net.outputs(t) {
-            let lbl = if m > 1 { format!(" [label=\"{m}\"]") } else { String::new() };
+            let lbl = if m > 1 {
+                format!(" [label=\"{m}\"]")
+            } else {
+                String::new()
+            };
             out.push_str(&format!("  T{} -> P{}{lbl};\n", t.index(), p.index()));
         }
         for (p, m) in net.inhibitors(t) {

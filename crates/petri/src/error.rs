@@ -99,7 +99,10 @@ impl fmt::Display for PetriError {
                 write!(f, "duplicate arc between {place} and {transition}")
             }
             PetriError::InvalidWeight { transition, weight } => {
-                write!(f, "immediate transition {transition}: invalid weight {weight}")
+                write!(
+                    f,
+                    "immediate transition {transition}: invalid weight {weight}"
+                )
             }
             PetriError::InvalidMultiplicity { transition, place } => {
                 write!(f, "zero multiplicity on arc {place} <-> {transition}")
@@ -114,10 +117,16 @@ impl fmt::Display for PetriError {
                 write!(f, "immediate transitions loop forever at t = {time}")
             }
             PetriError::ZenoLoop { time, transition } => {
-                write!(f, "zero-delay timed loop at t = {time} (transition {transition})")
+                write!(
+                    f,
+                    "zero-delay timed loop at t = {time} (transition {transition})"
+                )
             }
             PetriError::Unbounded { place, bound } => {
-                write!(f, "place {place} exceeds token bound {bound} (net may be unbounded)")
+                write!(
+                    f,
+                    "place {place} exceeds token bound {bound} (net may be unbounded)"
+                )
             }
             PetriError::TooManyMarkings { limit } => {
                 write!(f, "reachability graph exceeds {limit} markings")
@@ -130,7 +139,10 @@ impl fmt::Display for PetriError {
                 write!(f, "cycle among vanishing markings at {marking}")
             }
             PetriError::InvariantExplosion { limit } => {
-                write!(f, "invariant computation exceeded {limit} intermediate rows")
+                write!(
+                    f,
+                    "invariant computation exceeded {limit} intermediate rows"
+                )
             }
         }
     }

@@ -114,9 +114,9 @@ mod tests {
         let (net, buffer, free) = producer_consumer_net(5, 2.0, 3.0).unwrap();
         // Buffer + FreeSlots = capacity is a P-invariant.
         let inv = p_semiflows(&net).unwrap();
-        assert!(inv.iter().any(|x| {
-            x[buffer.index()] == 1 && x[free.index()] == 1
-        }));
+        assert!(inv
+            .iter()
+            .any(|x| { x[buffer.index()] == 1 && x[free.index()] == 1 }));
         let g = explore(&net, ReachOptions::default()).unwrap();
         assert_eq!(g.len(), 6, "markings 0..=5 buffered");
         // CTMC equals M/M/1/K=5 with λ=2, μ=3.

@@ -1,5 +1,6 @@
 //! Net structure: places, transitions, arcs, builder and serializable spec.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 use wsnem_stats::dist::Dist;
@@ -33,7 +34,8 @@ impl TransitionId {
 
 /// What happens to a timed transition's sampled firing time when the
 /// transition is disabled before it fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum TimedPolicy {
     /// Race with resampling (a.k.a. *enabling memory*): the clock is
     /// discarded on disabling and freshly sampled on the next enabling.
@@ -47,7 +49,8 @@ pub enum TimedPolicy {
 }
 
 /// Kind and parameters of a transition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum TransitionKind {
     /// Fires in zero time once enabled. Among simultaneously enabled
     /// immediates, the highest `priority` fires first; ties are resolved
@@ -210,9 +213,11 @@ impl NetBuilder {
                 TransitionKind::Timed { dist, .. } => dist.validate()?,
             }
             let arcs = &self.arcs[ti];
-            for (kind_arcs, _is_inhib) in
-                [(&arcs.inputs, false), (&arcs.outputs, false), (&arcs.inhibitors, true)]
-            {
+            for (kind_arcs, _is_inhib) in [
+                (&arcs.inputs, false),
+                (&arcs.outputs, false),
+                (&arcs.inhibitors, true),
+            ] {
                 let mut places = std::collections::HashSet::new();
                 for &(p, mult) in kind_arcs.iter() {
                     if mult == 0 {
@@ -483,7 +488,8 @@ impl PetriNet {
 }
 
 /// Arc direction/kind in a [`NetSpec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ArcKind {
     /// Place → transition, consumed on firing.
     Input,
@@ -494,7 +500,8 @@ pub enum ArcKind {
 }
 
 /// One place in a [`NetSpec`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PlaceSpec {
     /// Place name (unique).
     pub name: String,
@@ -503,7 +510,8 @@ pub struct PlaceSpec {
 }
 
 /// One transition in a [`NetSpec`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TransSpec {
     /// Transition name (unique).
     pub name: String,
@@ -512,7 +520,8 @@ pub struct TransSpec {
 }
 
 /// One arc in a [`NetSpec`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ArcSpec {
     /// Arc kind.
     pub kind: ArcKind,
@@ -526,7 +535,8 @@ pub struct ArcSpec {
 
 /// Serializable net description (names instead of indices) — the exchange
 /// format for nets on disk.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct NetSpec {
     /// Places.
     pub places: Vec<PlaceSpec>,

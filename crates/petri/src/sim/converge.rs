@@ -111,8 +111,8 @@ pub fn simulate_until_precise(
         let mut intervals = Vec::with_capacity(rewards.len());
         let mut all_met = true;
         for stats in &summary.reward_stats {
-            let ci = ConfidenceInterval::from_welford(stats, target.level)
-                .map_err(PetriError::Stats)?;
+            let ci =
+                ConfidenceInterval::from_welford(stats, target.level).map_err(PetriError::Stats)?;
             let met = if ci.mean.abs() < target.near_zero {
                 ci.half_width <= target.near_zero
             } else {
@@ -153,15 +153,8 @@ mod tests {
             warmup: 100.0,
             ..SimConfig::default()
         };
-        let run = simulate_until_precise(
-            &net,
-            &cfg,
-            &rewards,
-            PrecisionTarget::default(),
-            7,
-            None,
-        )
-        .unwrap();
+        let run = simulate_until_precise(&net, &cfg, &rewards, PrecisionTarget::default(), 7, None)
+            .unwrap();
         assert!(run.converged);
         let ci = &run.intervals[0];
         assert!(ci.contains(0.5), "ρ CI [{}, {}]", ci.low(), ci.high());
@@ -180,8 +173,7 @@ mod tests {
             min_replications: 4,
             ..PrecisionTarget::default()
         };
-        let run =
-            simulate_until_precise(&net, &cfg, &rewards, target, 3, Some(2)).unwrap();
+        let run = simulate_until_precise(&net, &cfg, &rewards, target, 3, Some(2)).unwrap();
         assert!(!run.converged, "impossible target must hit the cap");
         assert_eq!(run.summary.replications(), 8);
     }
@@ -208,15 +200,9 @@ mod tests {
         let (net, q) = mm1_net(1.0, 2.0).unwrap();
         let deep = Reward::indicator("deep", move |m| m.tokens(q) > 50);
         let cfg = SimConfig::for_horizon(500.0);
-        let run = simulate_until_precise(
-            &net,
-            &cfg,
-            &[deep],
-            PrecisionTarget::default(),
-            1,
-            Some(2),
-        )
-        .unwrap();
+        let run =
+            simulate_until_precise(&net, &cfg, &[deep], PrecisionTarget::default(), 1, Some(2))
+                .unwrap();
         assert!(run.converged);
         assert!(run.intervals[0].mean < 1e-3);
     }

@@ -103,8 +103,7 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
                 if is {
                     let delay = match policy {
                         TimedPolicy::RaceResample => dist.sample(self.rng).max(0.0),
-                        TimedPolicy::AgeMemory => self
-                            .age_left[t as usize]
+                        TimedPolicy::AgeMemory => self.age_left[t as usize]
                             .take()
                             .unwrap_or_else(|| dist.sample(self.rng).max(0.0)),
                     };
@@ -157,7 +156,8 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
             if !self.enabled[t as usize] {
                 continue;
             }
-            let TransitionKind::Immediate { priority, .. } = self.net.kind(crate::net::TransitionId(t))
+            let TransitionKind::Immediate { priority, .. } =
+                self.net.kind(crate::net::TransitionId(t))
             else {
                 unreachable!("immediate_indices only lists immediates");
             };
@@ -327,12 +327,7 @@ mod tests {
     use wsnem_stats::dist::Dist;
     use wsnem_stats::rng::Xoshiro256PlusPlus;
 
-    fn run(
-        net: &PetriNet,
-        horizon: f64,
-        rewards: &[Reward],
-        seed: u64,
-    ) -> SimOutput {
+    fn run(net: &PetriNet, horizon: f64, rewards: &[Reward], seed: u64) -> SimOutput {
         let cfg = SimConfig::for_horizon(horizon);
         let mut rng = Xoshiro256PlusPlus::new(seed);
         simulate(net, &cfg, rewards, &mut rng).unwrap()
@@ -377,7 +372,11 @@ mod tests {
         };
         let mut rng = Xoshiro256PlusPlus::new(42);
         let out = simulate(&net, &cfg, &[], &mut rng).unwrap();
-        assert!((out.place_means[0] - 0.6).abs() < 0.01, "{}", out.place_means[0]);
+        assert!(
+            (out.place_means[0] - 0.6).abs() < 0.01,
+            "{}",
+            out.place_means[0]
+        );
         assert!((out.place_means[1] - 0.4).abs() < 0.01);
         // Throughputs of the two transitions must match (flow balance) and
         // equal a·π0 = 1.2/s.
@@ -404,8 +403,16 @@ mod tests {
         };
         let mut rng = Xoshiro256PlusPlus::new(7);
         let out = simulate(&net, &cfg, &[busy], &mut rng).unwrap();
-        assert!((out.place_means[0] - 1.0).abs() < 0.08, "L = {}", out.place_means[0]);
-        assert!((out.reward_means[0] - 0.5).abs() < 0.02, "ρ̂ = {}", out.reward_means[0]);
+        assert!(
+            (out.place_means[0] - 1.0).abs() < 0.08,
+            "L = {}",
+            out.place_means[0]
+        );
+        assert!(
+            (out.reward_means[0] - 0.5).abs() < 0.02,
+            "ρ̂ = {}",
+            out.reward_means[0]
+        );
     }
 
     /// Deterministic transitions fire after exactly their delay.

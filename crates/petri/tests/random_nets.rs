@@ -2,15 +2,14 @@
 //! either simulate correctly (preserving every structural invariant) or
 //! fail with one of its documented loop/bound errors — never panic, never
 //! break a P-semiflow.
-
-use proptest::prelude::*;
+//!
+//! Random generation is hand-rolled over the workspace RNG (the build is
+//! offline, without proptest); each case is reproducible from its index.
 
 use wsnem_petri::analysis::{explore, p_semiflows, ReachOptions};
-use wsnem_petri::{
-    simulate, NetBuilder, PetriError, PetriNet, SimConfig, TransitionKind,
-};
+use wsnem_petri::{simulate, NetBuilder, PetriError, PetriNet, SimConfig, TransitionKind};
 use wsnem_stats::dist::Dist;
-use wsnem_stats::rng::Xoshiro256PlusPlus;
+use wsnem_stats::rng::{Rng64, StreamFactory, Xoshiro256PlusPlus};
 
 /// Compact random net description.
 #[derive(Debug, Clone)]
@@ -31,44 +30,45 @@ struct TransSpec {
     inhibitor: Option<(usize, u32)>,
 }
 
-fn arb_trans(n_places: usize) -> impl Strategy<Value = TransSpec> {
-    let arc = (0..n_places, 1u32..3);
-    (
-        0u8..3,
-        1u8..4,
-        0.5f64..5.0,
-        0.05f64..1.0,
-        proptest::collection::vec(arc.clone(), 1..3),
-        proptest::collection::vec(arc.clone(), 0..3),
-        proptest::option::of((0..n_places, 1u32..4)),
-    )
-        .prop_map(
-            |(kind_sel, priority, rate, delay, inputs, outputs, inhibitor)| TransSpec {
-                kind_sel,
-                priority,
-                rate,
-                delay,
-                inputs,
-                outputs,
-                inhibitor,
-            },
-        )
+fn uniform_f64<R: Rng64>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
 }
 
-fn arb_net() -> impl Strategy<Value = NetSpec> {
-    (2usize..6)
-        .prop_flat_map(|n_places| {
+fn arb_trans<R: Rng64>(rng: &mut R, n_places: usize) -> TransSpec {
+    let arc = |rng: &mut R| {
+        (
+            rng.next_bounded(n_places as u64) as usize,
+            1 + rng.next_bounded(2) as u32,
+        )
+    };
+    let n_inputs = 1 + rng.next_bounded(2) as usize;
+    let n_outputs = rng.next_bounded(3) as usize;
+    TransSpec {
+        kind_sel: rng.next_bounded(3) as u8,
+        priority: 1 + rng.next_bounded(3) as u8,
+        rate: uniform_f64(rng, 0.5, 5.0),
+        delay: uniform_f64(rng, 0.05, 1.0),
+        inputs: (0..n_inputs).map(|_| arc(rng)).collect(),
+        outputs: (0..n_outputs).map(|_| arc(rng)).collect(),
+        inhibitor: rng.next_bool(0.5).then(|| {
             (
-                Just(n_places),
-                proptest::collection::vec(0u32..4, n_places),
-                proptest::collection::vec(arb_trans(n_places), 1..6),
+                rng.next_bounded(n_places as u64) as usize,
+                1 + rng.next_bounded(3) as u32,
             )
-        })
-        .prop_map(|(n_places, initial, transitions)| NetSpec {
-            n_places,
-            initial,
-            transitions,
-        })
+        }),
+    }
+}
+
+fn arb_net<R: Rng64>(rng: &mut R) -> NetSpec {
+    let n_places = 2 + rng.next_bounded(4) as usize;
+    let initial = (0..n_places).map(|_| rng.next_bounded(4) as u32).collect();
+    let n_trans = 1 + rng.next_bounded(5) as usize;
+    let transitions = (0..n_trans).map(|_| arb_trans(rng, n_places)).collect();
+    NetSpec {
+        n_places,
+        initial,
+        transitions,
+    }
 }
 
 fn build(spec: &NetSpec) -> PetriNet {
@@ -109,12 +109,22 @@ fn build(spec: &NetSpec) -> PetriNet {
     b.build().expect("generated nets are structurally valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// The engine never panics; success preserves all P-semiflows.
-    #[test]
-    fn simulation_is_total_and_conserves_invariants(spec in arb_net(), seed in 0u64..1000) {
+/// One reproducible (net, sim-seed) pair per case index.
+fn case(i: u64) -> (NetSpec, u64) {
+    let factory = StreamFactory::new(0x9A9D_0001);
+    let mut rng = factory.stream(i);
+    let spec = arb_net(&mut rng);
+    let seed = rng.next_bounded(1000);
+    (spec, seed)
+}
+
+/// The engine never panics; success preserves all P-semiflows.
+#[test]
+fn simulation_is_total_and_conserves_invariants() {
+    for i in 0..CASES {
+        let (spec, seed) = case(i);
         let net = build(&spec);
         let invariants = p_semiflows(&net).unwrap();
         let m0 = net.initial_marking();
@@ -130,38 +140,42 @@ proptest! {
         match simulate(&net, &cfg, &[], &mut rng) {
             Ok(out) => {
                 for (x, e) in invariants.iter().zip(&expected) {
-                    prop_assert_eq!(
-                        out.final_marking.weighted_sum(x), *e,
-                        "P-invariant broken: weights {:?}", x
+                    assert_eq!(
+                        out.final_marking.weighted_sum(x),
+                        *e,
+                        "case {i}: P-invariant broken: weights {x:?}"
                     );
                 }
                 // Time accounting is exact.
-                prop_assert!((out.time_observed - 50.0).abs() < 1e-9);
+                assert!((out.time_observed - 50.0).abs() < 1e-9, "case {i}");
                 // Mean token counts are non-negative and bounded by the
                 // invariant value where one applies.
                 for mean in &out.place_means {
-                    prop_assert!(*mean >= 0.0);
+                    assert!(*mean >= 0.0, "case {i}");
                 }
             }
             Err(PetriError::VanishingLoop { .. }) | Err(PetriError::ZenoLoop { .. }) => {
                 // Documented failure modes for degenerate random nets.
             }
-            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            Err(other) => panic!("case {i}: unexpected error: {other}"),
         }
     }
+}
 
-    /// When bounded exploration succeeds, the simulator's final marking is
-    /// one of the reachable markings (engine and reachability agree on
-    /// semantics).
-    #[test]
-    fn final_marking_is_reachable(spec in arb_net(), seed in 0u64..1000) {
+/// When bounded exploration succeeds, the simulator's final marking is
+/// one of the reachable markings (engine and reachability agree on
+/// semantics).
+#[test]
+fn final_marking_is_reachable() {
+    for i in 0..CASES {
+        let (spec, seed) = case(i);
         let net = build(&spec);
         let opts = ReachOptions {
             max_markings: 20_000,
             max_tokens: 64,
         };
         let Ok(graph) = explore(&net, opts) else {
-            return Ok(()); // unbounded / too large — nothing to check
+            continue; // unbounded / too large — nothing to check
         };
         let cfg = SimConfig {
             horizon: 20.0,
@@ -171,20 +185,23 @@ proptest! {
         };
         let mut rng = Xoshiro256PlusPlus::new(seed);
         let Ok(out) = simulate(&net, &cfg, &[], &mut rng) else {
-            return Ok(());
+            continue;
         };
-        prop_assert!(
+        assert!(
             graph.markings.contains(&out.final_marking),
-            "final marking {} not in the {}-marking reachability graph",
+            "case {i}: final marking {} not in the {}-marking reachability graph",
             out.final_marking,
             graph.len()
         );
     }
+}
 
-    /// Reward means are convex combinations: an indicator reward's time
-    /// average lies in [0, 1] for any net and seed.
-    #[test]
-    fn indicator_rewards_bounded(spec in arb_net(), seed in 0u64..1000) {
+/// Reward means are convex combinations: an indicator reward's time
+/// average lies in [0, 1] for any net and seed.
+#[test]
+fn indicator_rewards_bounded() {
+    for i in 0..CASES {
+        let (spec, seed) = case(i);
         let net = build(&spec);
         let p0 = net.places().next().expect("at least two places");
         let reward = wsnem_petri::Reward::indicator("p0 marked", move |m| m.tokens(p0) > 0);
@@ -196,7 +213,11 @@ proptest! {
         };
         let mut rng = Xoshiro256PlusPlus::new(seed);
         if let Ok(out) = simulate(&net, &cfg, &[reward], &mut rng) {
-            prop_assert!((0.0..=1.0).contains(&out.reward_means[0]));
+            assert!(
+                (0.0..=1.0).contains(&out.reward_means[0]),
+                "case {i}: reward mean {}",
+                out.reward_means[0]
+            );
         }
     }
 }

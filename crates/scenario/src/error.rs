@@ -1,0 +1,80 @@
+//! Error type of the scenario subsystem.
+
+use std::fmt;
+
+/// Errors from loading, validating or running scenarios.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The file's schema version is newer than this binary understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this binary supports.
+        supported: u32,
+    },
+    /// A structurally valid file described an invalid scenario.
+    Invalid(String),
+    /// The file could not be parsed.
+    Parse(String),
+    /// Filesystem error.
+    Io(String),
+    /// No built-in scenario with the given name.
+    UnknownBuiltin(String),
+    /// A model backend failed to evaluate.
+    Eval(wsnem_core::CoreError),
+    /// The DES kernel rejected a workload/parameter combination.
+    Des(wsnem_des::DesError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "scenario schema version {found} is not supported (this build understands {supported})"
+            ),
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            ScenarioError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ScenarioError::Io(msg) => write!(f, "io error: {msg}"),
+            ScenarioError::UnknownBuiltin(name) => {
+                write!(f, "no built-in scenario named `{name}` (see `wsnem list`)")
+            }
+            ScenarioError::Eval(e) => write!(f, "model evaluation failed: {e}"),
+            ScenarioError::Des(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<wsnem_core::CoreError> for ScenarioError {
+    fn from(e: wsnem_core::CoreError) -> Self {
+        ScenarioError::Eval(e)
+    }
+}
+
+impl From<wsnem_des::DesError> for ScenarioError {
+    fn from(e: wsnem_des::DesError) -> Self {
+        ScenarioError::Des(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ScenarioError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(ScenarioError::UnknownBuiltin("x".into())
+            .to_string()
+            .contains("wsnem list"));
+        assert!(ScenarioError::Invalid("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Loading and saving scenario files (JSON and TOML).
+
+use std::path::Path;
+
+use crate::error::ScenarioError;
+use crate::schema::Scenario;
+
+/// On-disk scenario file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileFormat {
+    /// JSON (`.json`).
+    Json,
+    /// TOML (`.toml`) — the default for hand-authored files.
+    Toml,
+}
+
+impl FileFormat {
+    /// Infer the format from a path's extension (defaults to TOML).
+    pub fn from_path(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") => FileFormat::Json,
+            _ => FileFormat::Toml,
+        }
+    }
+}
+
+/// Parse a scenario from a string in the given format and validate it.
+pub fn from_str(content: &str, format: FileFormat) -> Result<Scenario, ScenarioError> {
+    let scenario: Scenario = match format {
+        FileFormat::Json => {
+            serde_json::from_str(content).map_err(|e| ScenarioError::Parse(e.to_string()))?
+        }
+        FileFormat::Toml => {
+            toml::from_str(content).map_err(|e| ScenarioError::Parse(e.to_string()))?
+        }
+    };
+    scenario.validate()?;
+    Ok(scenario)
+}
+
+/// Load and validate a scenario file, inferring the format from the
+/// extension.
+pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
+    let path = path.as_ref();
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+    from_str(&content, FileFormat::from_path(path)).map_err(|e| match e {
+        ScenarioError::Parse(msg) => ScenarioError::Parse(format!("{}: {msg}", path.display())),
+        other => other,
+    })
+}
+
+/// Render a scenario in the given format.
+pub fn to_string(scenario: &Scenario, format: FileFormat) -> Result<String, ScenarioError> {
+    match format {
+        FileFormat::Json => {
+            serde_json::to_string_pretty(scenario).map_err(|e| ScenarioError::Parse(e.to_string()))
+        }
+        FileFormat::Toml => {
+            toml::to_string(scenario).map_err(|e| ScenarioError::Parse(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    #[test]
+    fn format_inference() {
+        assert_eq!(FileFormat::from_path(Path::new("a.json")), FileFormat::Json);
+        assert_eq!(FileFormat::from_path(Path::new("a.toml")), FileFormat::Toml);
+        assert_eq!(FileFormat::from_path(Path::new("a")), FileFormat::Toml);
+    }
+
+    #[test]
+    fn every_builtin_round_trips_through_both_formats() {
+        for s in builtin::all() {
+            for format in [FileFormat::Json, FileFormat::Toml] {
+                let text = to_string(&s, format).unwrap();
+                let back = from_str(&text, format)
+                    .unwrap_or_else(|e| panic!("{} ({format:?}): {e}\n{text}", s.name));
+                assert_eq!(back, s, "{} via {format:?}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn load_reads_files_and_reports_path_in_errors() {
+        let dir = std::env::temp_dir().join("wsnem-scenario-files-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s.toml");
+        let s = builtin::paper_defaults();
+        std::fs::write(&path, to_string(&s, FileFormat::Toml).unwrap()).unwrap();
+        assert_eq!(load(&path).unwrap(), s);
+
+        let bad = dir.join("bad.toml");
+        std::fs::write(&bad, "this is not toml = = =").unwrap();
+        let err = load(&bad).unwrap_err().to_string();
+        assert!(err.contains("bad.toml"), "{err}");
+
+        assert!(matches!(
+            load(dir.join("missing.toml")),
+            Err(ScenarioError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_scenarios_rejected_at_load() {
+        // Parses fine but fails validation (no backends).
+        let mut s = builtin::paper_defaults();
+        s.backends.clear();
+        let text = to_string(&s, FileFormat::Json).unwrap();
+        assert!(matches!(
+            from_str(&text, FileFormat::Json),
+            Err(ScenarioError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! # wsnem-scenario
+//!
+//! Declarative, versioned scenario definitions for the wsnem energy models —
+//! the layer that turns the paper's hard-coded experiment functions into
+//! data: a [`Scenario`] file (JSON or TOML) names the CPU parameters, power
+//! profile, battery, arrival workload, the model backends to compare
+//! (Markov / Erlang-phase / Petri net / DES), optional sweep axes and an
+//! optional star network; the [`runner`] evaluates it — in parallel across
+//! scenarios for batches — into a structured [`ScenarioReport`] with
+//! per-state energy breakdowns, battery lifetimes and cross-backend
+//! agreement checks.
+//!
+//! A [`builtin`] library of six scenarios (paper baseline, threshold-tuning
+//! sweep, bursty surveillance traffic, habitat monitoring, a heterogeneous
+//! star, the large-D stress case) ships in the binary, so the `wsnem` CLI
+//! works with no files at all.
+//!
+//! ```
+//! use wsnem_scenario::{builtin, runner};
+//!
+//! let mut scenario = builtin::find("paper-defaults").unwrap();
+//! scenario.cpu = scenario.cpu.with_replications(2).with_horizon(200.0);
+//! let report = runner::run_scenario(&scenario).unwrap();
+//! assert_eq!(report.backends.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+// `!(x > 0.0)`-style guards deliberately reject NaN together with the
+// out-of-domain values; `partial_cmp` rewrites would lose that property.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod error;
+pub mod files;
+pub mod report;
+pub mod runner;
+pub mod schema;
+
+pub use error::ScenarioError;
+pub use files::{load, FileFormat};
+pub use report::{AgreementCheck, BackendReport, EnergyReport, ScenarioReport};
+pub use runner::{run_batch, run_scenario};
+pub use schema::{
+    Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, Scenario, SweepAxis,
+    SweepSpec, WorkloadSpec, SCHEMA_VERSION,
+};

@@ -1,0 +1,438 @@
+//! Structured, serializable scenario reports.
+//!
+//! Everything the runner measures lands in a [`ScenarioReport`]: one
+//! [`BackendReport`] per model (state occupancy, per-state energy breakdown,
+//! mean power, battery lifetime), pairwise [`AgreementCheck`]s against the
+//! reference backend, and optional sweep/network sections. Reports serialize
+//! to JSON (`wsnem run --format json`) and flatten to CSV rows.
+
+use serde::{Deserialize, Serialize};
+use wsnem_energy::{Battery, EnergyBreakdown, PowerProfile, StateFractions};
+
+use crate::schema::Backend;
+
+/// Per-state energy breakdown in serializable form (mirrors
+/// [`EnergyBreakdown`] with named fields).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Energy spent in Standby (mJ).
+    pub standby_mj: f64,
+    /// Energy spent powering up (mJ).
+    pub powerup_mj: f64,
+    /// Energy spent in Idle (mJ).
+    pub idle_mj: f64,
+    /// Energy spent in Active (mJ).
+    pub active_mj: f64,
+    /// Total energy (mJ).
+    pub total_mj: f64,
+    /// Horizon the breakdown integrates over (s).
+    pub time_s: f64,
+}
+
+impl EnergyReport {
+    /// Convert from the energy crate's breakdown.
+    pub fn from_breakdown(e: &EnergyBreakdown) -> Self {
+        Self {
+            standby_mj: e.per_state_mj[0],
+            powerup_mj: e.per_state_mj[1],
+            idle_mj: e.per_state_mj[2],
+            active_mj: e.per_state_mj[3],
+            total_mj: e.total_mj,
+            time_s: e.time_s,
+        }
+    }
+
+    /// Total in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_mj / 1000.0
+    }
+}
+
+/// One backend's verdict on the scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendReport {
+    /// Which backend produced this.
+    pub backend: Backend,
+    /// Steady-state occupancy of the four power states.
+    pub fractions: StateFractions,
+    /// Mean power draw (mW) under the scenario profile.
+    pub mean_power_mw: f64,
+    /// Per-state energy over the report horizon.
+    pub energy: EnergyReport,
+    /// Expected battery lifetime (days) at the mean power draw.
+    pub battery_lifetime_days: f64,
+    /// Mean jobs in system, when the backend provides it.
+    pub mean_jobs: Option<f64>,
+    /// Mean job latency (s), when the backend provides it.
+    pub mean_latency: Option<f64>,
+    /// Wall-clock evaluation cost (s) — the paper's §6 trade-off, measured.
+    pub eval_seconds: f64,
+    /// True when this backend models Poisson arrivals although the scenario
+    /// declares a different workload (its numbers are then the *Poisson
+    /// approximation*, and the agreement section quantifies the distortion).
+    pub poisson_approximation: bool,
+}
+
+impl BackendReport {
+    /// Assemble a report from occupancy fractions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        backend: Backend,
+        fractions: StateFractions,
+        profile: &PowerProfile,
+        battery: &Battery,
+        energy_horizon_s: f64,
+        mean_jobs: Option<f64>,
+        mean_latency: Option<f64>,
+        eval_seconds: f64,
+        poisson_approximation: bool,
+    ) -> Self {
+        let energy = wsnem_energy::energy_eq25(&fractions, profile, energy_horizon_s);
+        let mean_power_mw = profile.mean_power_mw(&fractions);
+        Self {
+            backend,
+            fractions,
+            mean_power_mw,
+            energy: EnergyReport::from_breakdown(&energy),
+            battery_lifetime_days: battery.lifetime_days(mean_power_mw),
+            mean_jobs,
+            mean_latency,
+            eval_seconds,
+            poisson_approximation,
+        }
+    }
+}
+
+/// Pairwise agreement between a backend and the reference backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgreementCheck {
+    /// The backend under comparison.
+    pub backend: Backend,
+    /// The reference backend (DES when present, else the first).
+    pub reference: Backend,
+    /// Mean absolute state-occupancy delta in percentage points — the
+    /// paper's Table 4 metric.
+    pub mean_abs_delta_pp: f64,
+    /// Relative energy difference (fraction of the reference total).
+    pub energy_rel_error: f64,
+    /// Verdict against the scenario's tolerance (`None` when the scenario
+    /// sets no tolerance).
+    pub within_tolerance: Option<bool>,
+}
+
+/// One evaluated sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPointReport {
+    /// The swept value.
+    pub value: f64,
+    /// Per-backend results at this value.
+    pub backends: Vec<BackendReport>,
+}
+
+/// Sweep section of a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Axis label (e.g. `power_down_threshold`).
+    pub axis: String,
+    /// Evaluated points, in scenario order.
+    pub points: Vec<SweepPointReport>,
+    /// Swept value minimizing the first backend's mean power.
+    pub best_value: f64,
+    /// Mean power (mW) at `best_value`.
+    pub best_power_mw: f64,
+}
+
+/// One node's line in a network report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// Node name.
+    pub name: String,
+    /// CPU occupancy.
+    pub cpu_fractions: StateFractions,
+    /// Mean CPU power (mW).
+    pub cpu_power_mw: f64,
+    /// Mean radio power (mW).
+    pub radio_power_mw: f64,
+    /// Total mean power (mW).
+    pub total_power_mw: f64,
+    /// Expected battery lifetime (days).
+    pub lifetime_days: f64,
+}
+
+/// Network section of a report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Per-node results.
+    pub nodes: Vec<NodeReport>,
+    /// Days until the first node dies.
+    pub first_death_days: f64,
+    /// Mean node lifetime (days).
+    pub mean_lifetime_days: f64,
+    /// Name of the shortest-lived node.
+    pub bottleneck: String,
+}
+
+/// The complete result of running one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Schema version the scenario was defined against.
+    pub schema_version: u32,
+    /// Per-backend results at the scenario's base parameters.
+    pub backends: Vec<BackendReport>,
+    /// Cross-backend agreement, relative to the reference backend.
+    pub agreement: Vec<AgreementCheck>,
+    /// Sweep section, when the scenario declares one.
+    pub sweep: Option<SweepReport>,
+    /// Network section, when the scenario declares one.
+    pub network: Option<NetworkReport>,
+    /// Total wall-clock time to run the scenario (s).
+    pub elapsed_seconds: f64,
+}
+
+impl ScenarioReport {
+    /// CSV header matching [`ScenarioReport::csv_rows`].
+    pub const CSV_HEADER: &'static str = "scenario,backend,sweep_axis,sweep_value,\
+        standby_frac,powerup_frac,idle_frac,active_frac,mean_power_mw,\
+        standby_mj,powerup_mj,idle_mj,active_mj,total_mj,energy_horizon_s,\
+        battery_lifetime_days,mean_jobs,mean_latency_s,eval_seconds,poisson_approximation";
+
+    /// Flatten the report into CSV rows (one per backend evaluation,
+    /// including sweep points).
+    pub fn csv_rows(&self) -> Vec<String> {
+        fn opt(v: Option<f64>) -> String {
+            v.map(|x| format!("{x}")).unwrap_or_default()
+        }
+        /// RFC 4180 quoting for user-controlled fields (scenario names may
+        /// contain commas, quotes or newlines).
+        fn csv_field(s: &str) -> String {
+            if s.contains(['"', ',', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        fn row(scenario: &str, axis: &str, value: &str, b: &BackendReport) -> String {
+            let f = b.fractions;
+            let scenario = csv_field(scenario);
+            format!(
+                "{scenario},{backend},{axis},{value},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                f.standby,
+                f.powerup,
+                f.idle,
+                f.active,
+                b.mean_power_mw,
+                b.energy.standby_mj,
+                b.energy.powerup_mj,
+                b.energy.idle_mj,
+                b.energy.active_mj,
+                b.energy.total_mj,
+                b.energy.time_s,
+                b.battery_lifetime_days,
+                opt(b.mean_jobs),
+                opt(b.mean_latency),
+                b.eval_seconds,
+                b.poisson_approximation,
+                backend = b.backend,
+            )
+        }
+        let mut rows = Vec::new();
+        for b in &self.backends {
+            rows.push(row(&self.scenario, "", "", b));
+        }
+        if let Some(sweep) = &self.sweep {
+            for p in &sweep.points {
+                for b in &p.backends {
+                    rows.push(row(&self.scenario, &sweep.axis, &p.value.to_string(), b));
+                }
+            }
+        }
+        rows
+    }
+
+    /// A short human-readable summary block.
+    pub fn summary(&self) -> String {
+        let mut out = format!("scenario: {}\n", self.scenario);
+        for b in &self.backends {
+            out.push_str(&format!(
+                "  {:<12} {}  power {:>8.3} mW  energy {:>10.2} mJ / {:.0} s  lifetime {:>8.2} d{}\n",
+                b.backend.to_string(),
+                b.fractions,
+                b.mean_power_mw,
+                b.energy.total_mj,
+                b.energy.time_s,
+                b.battery_lifetime_days,
+                if b.poisson_approximation {
+                    "  [Poisson approximation]"
+                } else {
+                    ""
+                },
+            ));
+        }
+        for a in &self.agreement {
+            out.push_str(&format!(
+                "  Δ({} vs {}) = {:.3} pp, energy {:+.2}%{}\n",
+                a.backend,
+                a.reference,
+                a.mean_abs_delta_pp,
+                100.0 * a.energy_rel_error,
+                match a.within_tolerance {
+                    Some(true) => "  [ok]",
+                    Some(false) => "  [EXCEEDS TOLERANCE]",
+                    None => "",
+                }
+            ));
+        }
+        if let Some(s) = &self.sweep {
+            out.push_str(&format!(
+                "  sweep over {}: best {} = {} at {:.3} mW ({} points)\n",
+                s.axis,
+                s.axis,
+                s.best_value,
+                s.best_power_mw,
+                s.points.len()
+            ));
+        }
+        if let Some(n) = &self.network {
+            out.push_str(&format!(
+                "  network: {} nodes, first death {:.1} d (bottleneck `{}`), mean {:.1} d\n",
+                n.nodes.len(),
+                n.first_death_days,
+                n.bottleneck,
+                n.mean_lifetime_days
+            ));
+        }
+        out.push_str(&format!("  elapsed: {:.3} s\n", self.elapsed_seconds));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_backend_report() -> BackendReport {
+        BackendReport::new(
+            Backend::Markov,
+            StateFractions::new(0.4, 0.0, 0.5, 0.1),
+            &PowerProfile::pxa271(),
+            &Battery::two_aa(),
+            1000.0,
+            Some(0.2),
+            None,
+            0.001,
+            false,
+        )
+    }
+
+    #[test]
+    fn backend_report_derives_power_energy_lifetime() {
+        let r = sample_backend_report();
+        // 0.4×17 + 0.5×88 + 0.1×193 = 70.1 mW.
+        assert!((r.mean_power_mw - 70.1).abs() < 1e-9);
+        assert!((r.energy.total_mj - 70.1 * 1000.0).abs() < 1e-6);
+        assert!((r.energy.total_joules() - 70.1).abs() < 1e-9);
+        assert!(r.battery_lifetime_days > 0.0);
+        assert_eq!(r.mean_jobs, Some(0.2));
+        assert_eq!(r.mean_latency, None);
+    }
+
+    #[test]
+    fn csv_rows_cover_backends_and_sweep_points() {
+        let b = sample_backend_report();
+        let report = ScenarioReport {
+            scenario: "s".into(),
+            schema_version: 1,
+            backends: vec![b.clone()],
+            agreement: vec![],
+            sweep: Some(SweepReport {
+                axis: "lambda".into(),
+                points: vec![SweepPointReport {
+                    value: 0.5,
+                    backends: vec![b.clone(), b.clone()],
+                }],
+                best_value: 0.5,
+                best_power_mw: 70.1,
+            }),
+            network: None,
+            elapsed_seconds: 0.0,
+        };
+        let rows = report.csv_rows();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].starts_with("s,Markov,,,"));
+        assert!(rows[1].contains(",lambda,0.5,"));
+        assert_eq!(
+            ScenarioReport::CSV_HEADER.split(',').count(),
+            rows[0].split(',').count()
+        );
+        // Empty optional columns stay empty, not NaN.
+        assert!(rows[0].contains(",,") || !rows[0].contains("NaN"));
+    }
+
+    #[test]
+    fn csv_quotes_user_controlled_scenario_names() {
+        let b = sample_backend_report();
+        let report = ScenarioReport {
+            scenario: "thr=0.5, D=10 \"final\"".into(),
+            schema_version: 1,
+            backends: vec![b],
+            agreement: vec![],
+            sweep: None,
+            network: None,
+            elapsed_seconds: 0.0,
+        };
+        let row = &report.csv_rows()[0];
+        assert!(
+            row.starts_with("\"thr=0.5, D=10 \"\"final\"\"\",Markov,"),
+            "{row}"
+        );
+        // Quoted field keeps the column count aligned with the header: the
+        // only unquoted commas are the 19 separators.
+        let outside_quotes = {
+            let mut inside = false;
+            row.chars()
+                .filter(|&c| {
+                    if c == '"' {
+                        inside = !inside;
+                    }
+                    c == ',' && !inside
+                })
+                .count()
+        };
+        assert_eq!(
+            outside_quotes + 1,
+            ScenarioReport::CSV_HEADER.split(',').count()
+        );
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let b = sample_backend_report();
+        let report = ScenarioReport {
+            scenario: "paper".into(),
+            schema_version: 1,
+            backends: vec![b],
+            agreement: vec![AgreementCheck {
+                backend: Backend::Markov,
+                reference: Backend::Des,
+                mean_abs_delta_pp: 0.4,
+                energy_rel_error: -0.01,
+                within_tolerance: Some(true),
+            }],
+            sweep: None,
+            network: Some(NetworkReport {
+                nodes: vec![],
+                first_death_days: 12.0,
+                mean_lifetime_days: 14.0,
+                bottleneck: "hot".into(),
+            }),
+            elapsed_seconds: 0.25,
+        };
+        let s = report.summary();
+        assert!(s.contains("paper"));
+        assert!(s.contains("Markov"));
+        assert!(s.contains("[ok]"));
+        assert!(s.contains("bottleneck `hot`"));
+    }
+}

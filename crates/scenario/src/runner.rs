@@ -1,0 +1,480 @@
+//! Scenario execution: evaluate every requested backend, check cross-backend
+//! agreement, walk sweeps and analyze networks — in parallel across
+//! scenarios for batch runs.
+
+use std::time::Instant;
+
+use wsnem_core::{
+    CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel, PhaseCpuModel,
+};
+use wsnem_des::cpu::{CpuDes, CpuSimParams};
+use wsnem_des::replication::run_replications;
+use wsnem_energy::{Battery, PowerProfile, StateFractions};
+use wsnem_stats::dist::Dist;
+use wsnem_stats::online::Welford;
+use wsnem_wsn::{CpuBackend, NodeConfig, RadioModel, StarNetwork};
+
+use crate::error::ScenarioError;
+use crate::report::{
+    AgreementCheck, BackendReport, NetworkReport, NodeReport, ScenarioReport, SweepPointReport,
+    SweepReport,
+};
+use crate::schema::{Backend, Scenario, WorkloadSpec};
+
+/// Run one scenario with default parallelism (DES/PN replications spread
+/// over all cores).
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
+    run_scenario_with_threads(scenario, None)
+}
+
+/// Run one scenario, pinning the *inner* (per-backend replication) thread
+/// count — the batch runner pins this to 1 because it already parallelizes
+/// across scenarios.
+pub fn run_scenario_with_threads(
+    scenario: &Scenario,
+    inner_threads: Option<usize>,
+) -> Result<ScenarioReport, ScenarioError> {
+    scenario.validate()?;
+    let started = Instant::now();
+    let profile = scenario.profile.build()?;
+    let battery = scenario.battery.build()?;
+
+    let backends = eval_backends(scenario, scenario.cpu, &profile, &battery, inner_threads)?;
+    let agreement = agreement_checks(scenario, &backends);
+
+    let sweep = match &scenario.sweep {
+        None => None,
+        Some(spec) => {
+            let mut points = Vec::with_capacity(spec.values.len());
+            for &v in &spec.values {
+                let params = spec.axis.apply(scenario.cpu, v);
+                let reports = eval_backends(scenario, params, &profile, &battery, inner_threads)?;
+                points.push(SweepPointReport {
+                    value: v,
+                    backends: reports,
+                });
+            }
+            let (best_value, best_power_mw) = points
+                .iter()
+                .map(|p| (p.value, p.backends[0].mean_power_mw))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("validated non-empty sweep");
+            Some(SweepReport {
+                axis: spec.axis.label().to_owned(),
+                points,
+                best_value,
+                best_power_mw,
+            })
+        }
+    };
+
+    let network = match &scenario.network {
+        None => None,
+        Some(spec) => Some(analyze_network(
+            scenario,
+            spec,
+            &profile,
+            &battery,
+            inner_threads,
+        )?),
+    };
+
+    Ok(ScenarioReport {
+        scenario: scenario.name.clone(),
+        schema_version: scenario.schema_version,
+        backends,
+        agreement,
+        sweep,
+        network,
+        elapsed_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Run many scenarios, parallelized across OS threads (`None` = available
+/// parallelism). Results come back in input order; per-scenario failures do
+/// not abort the batch.
+pub fn run_batch(
+    scenarios: &[Scenario],
+    threads: Option<usize>,
+) -> Vec<Result<ScenarioReport, ScenarioError>> {
+    let n = scenarios.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+    if threads == 1 || n == 1 {
+        return scenarios.iter().map(run_scenario).collect();
+    }
+    // Across-scenario parallelism: pin each scenario's inner replication
+    // fan-out to one thread so the batch does not oversubscribe cores.
+    let mut slots: Vec<Option<Result<ScenarioReport, ScenarioError>>> =
+        (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                    *slot = Some(run_scenario_with_threads(
+                        &scenarios[k * chunk + j],
+                        Some(1),
+                    ));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all scenarios ran"))
+        .collect()
+}
+
+fn eval_backends(
+    scenario: &Scenario,
+    params: CpuModelParams,
+    profile: &PowerProfile,
+    battery: &Battery,
+    inner_threads: Option<usize>,
+) -> Result<Vec<BackendReport>, ScenarioError> {
+    scenario
+        .backends
+        .iter()
+        .map(|&b| eval_backend(b, scenario, params, profile, battery, inner_threads))
+        .collect()
+}
+
+fn eval_backend(
+    backend: Backend,
+    scenario: &Scenario,
+    params: CpuModelParams,
+    profile: &PowerProfile,
+    battery: &Battery,
+    inner_threads: Option<usize>,
+) -> Result<BackendReport, ScenarioError> {
+    let custom_workload = scenario.workload.as_ref().filter(|w| !w.is_poisson());
+    let poisson_approximation = custom_workload.is_some() && backend.assumes_poisson();
+
+    let (fractions, mean_jobs, mean_latency, eval_seconds) = match backend {
+        Backend::Markov => {
+            let e = MarkovCpuModel::new(params).evaluate()?;
+            (e.fractions, e.mean_jobs, e.mean_latency, e.eval_seconds)
+        }
+        Backend::ErlangPhase => {
+            let e = PhaseCpuModel::new(params).evaluate()?;
+            (e.fractions, e.mean_jobs, e.mean_latency, e.eval_seconds)
+        }
+        Backend::PetriNet => {
+            let e = PetriCpuModel::new(params)
+                .with_threads(inner_threads)
+                .evaluate()?;
+            (e.fractions, e.mean_jobs, e.mean_latency, e.eval_seconds)
+        }
+        Backend::Des => match custom_workload {
+            None => {
+                let e = DesCpuModel::new(params)
+                    .with_threads(inner_threads)
+                    .evaluate()?;
+                (e.fractions, e.mean_jobs, e.mean_latency, e.eval_seconds)
+            }
+            Some(w) => des_with_workload(w, params, inner_threads)?,
+        },
+    };
+
+    Ok(BackendReport::new(
+        backend,
+        fractions,
+        profile,
+        battery,
+        scenario.report.energy_horizon_s,
+        mean_jobs,
+        mean_latency,
+        eval_seconds,
+        poisson_approximation,
+    ))
+}
+
+/// Ground-truth DES under a non-Poisson workload — the capability the
+/// analytic backends lack, and the reason the agreement section exists.
+fn des_with_workload(
+    workload: &WorkloadSpec,
+    params: CpuModelParams,
+    inner_threads: Option<usize>,
+) -> Result<(StateFractions, Option<f64>, Option<f64>, f64), ScenarioError> {
+    let started = Instant::now();
+    params.validate().map_err(ScenarioError::Eval)?;
+    let sim_params = CpuSimParams {
+        service: Dist::Exponential { rate: params.mu },
+        power_down_threshold: params.power_down_threshold,
+        power_up_delay: params.power_up_delay,
+        horizon: params.horizon,
+        warmup: params.warmup,
+        max_queue: None,
+    };
+    let sim = CpuDes::new(sim_params, workload.build(params.lambda))?;
+    let summary = run_replications(&sim, params.replications, params.master_seed, inner_threads);
+    let mut jobs = Welford::new();
+    let mut latency = Welford::new();
+    for r in &summary.reports {
+        jobs.push(r.mean_jobs_in_system);
+        latency.push(r.mean_latency);
+    }
+    Ok((
+        summary.mean_fractions(),
+        Some(jobs.mean()),
+        Some(latency.mean()),
+        started.elapsed().as_secs_f64(),
+    ))
+}
+
+fn agreement_checks(scenario: &Scenario, backends: &[BackendReport]) -> Vec<AgreementCheck> {
+    if backends.len() < 2 {
+        return Vec::new();
+    }
+    // Reference: the DES ground truth when present, else the first backend.
+    let reference = backends
+        .iter()
+        .find(|b| b.backend == Backend::Des)
+        .unwrap_or(&backends[0]);
+    backends
+        .iter()
+        .filter(|b| b.backend != reference.backend)
+        .map(|b| {
+            let delta = b.fractions.mean_abs_delta_pct(&reference.fractions);
+            let energy_rel_error = if reference.energy.total_mj != 0.0 {
+                (b.energy.total_mj - reference.energy.total_mj) / reference.energy.total_mj
+            } else {
+                0.0
+            };
+            AgreementCheck {
+                backend: b.backend,
+                reference: reference.backend,
+                mean_abs_delta_pp: delta,
+                energy_rel_error,
+                within_tolerance: scenario
+                    .report
+                    .agreement_tolerance_pp
+                    .map(|tol| delta <= tol),
+            }
+        })
+        .collect()
+}
+
+fn analyze_network(
+    scenario: &Scenario,
+    spec: &crate::schema::NetworkSpec,
+    profile: &PowerProfile,
+    battery: &Battery,
+    inner_threads: Option<usize>,
+) -> Result<NetworkReport, ScenarioError> {
+    // The network layer evaluates one node at a time; pick the cheapest
+    // backend the scenario requested (analytic over simulated).
+    let backend = scenario
+        .backends
+        .iter()
+        .copied()
+        .min_by_key(|b| match b {
+            Backend::Markov => 0,
+            Backend::ErlangPhase => 1,
+            Backend::PetriNet => 2,
+            Backend::Des => 3,
+        })
+        .expect("validated non-empty backends");
+    let cpu_backend = match backend {
+        Backend::Markov => CpuBackend::Markov,
+        Backend::ErlangPhase => CpuBackend::ErlangPhase,
+        Backend::PetriNet => CpuBackend::PetriNet,
+        Backend::Des => CpuBackend::Des,
+    };
+    let net = StarNetwork {
+        nodes: spec
+            .nodes
+            .iter()
+            .map(|n| NodeConfig {
+                name: n.name.clone(),
+                event_rate: n.event_rate,
+                cpu: scenario.cpu,
+                cpu_profile: profile.clone(),
+                radio: RadioModel::cc2420_class(),
+                tx_per_event: n.tx_per_event,
+                rx_rate: n.rx_rate,
+                battery: *battery,
+            })
+            .collect(),
+    };
+    let analysis = net.analyze_with_threads(cpu_backend, inner_threads)?;
+    let bottleneck = analysis
+        .bottleneck()
+        .map(|n| n.name.clone())
+        .unwrap_or_default();
+    Ok(NetworkReport {
+        nodes: analysis
+            .per_node
+            .iter()
+            .map(|n| NodeReport {
+                name: n.name.clone(),
+                cpu_fractions: n.cpu_fractions,
+                cpu_power_mw: n.cpu_power_mw,
+                radio_power_mw: n.radio_power_mw,
+                total_power_mw: n.total_power_mw,
+                lifetime_days: n.lifetime_days,
+            })
+            .collect(),
+        first_death_days: analysis.first_death_days(),
+        mean_lifetime_days: analysis.mean_lifetime_days(),
+        bottleneck,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{NetworkSpec, NodeSpec, ReportSpec, SweepAxis, SweepSpec};
+
+    fn quick_scenario() -> Scenario {
+        let mut s = Scenario::paper_template("quick");
+        s.cpu = s
+            .cpu
+            .with_replications(2)
+            .with_horizon(300.0)
+            .with_warmup(20.0);
+        s
+    }
+
+    #[test]
+    fn runs_all_three_backends_and_agrees() {
+        let report = run_scenario(&quick_scenario()).unwrap();
+        assert_eq!(report.backends.len(), 3);
+        for b in &report.backends {
+            assert!(b.fractions.is_normalized(1e-6), "{:?}", b.fractions);
+            assert!(b.mean_power_mw > 0.0);
+            assert!(b.energy.total_mj > 0.0);
+            assert!(b.battery_lifetime_days > 0.0);
+            assert!(!b.poisson_approximation);
+        }
+        // Reference is DES; two checks (Markov, PetriNet).
+        assert_eq!(report.agreement.len(), 2);
+        for a in &report.agreement {
+            assert_eq!(a.reference, Backend::Des);
+            assert!(a.mean_abs_delta_pp < 3.0, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_reports_best_point() {
+        let mut s = quick_scenario();
+        s.backends = vec![Backend::Markov];
+        s.sweep = Some(SweepSpec {
+            axis: SweepAxis::PowerDownThreshold,
+            values: vec![0.1, 0.5, 1.0],
+        });
+        let report = run_scenario(&s).unwrap();
+        let sweep = report.sweep.unwrap();
+        assert_eq!(sweep.points.len(), 3);
+        // PXA271, light load: energy rises with T → smallest T wins (Fig. 5).
+        assert_eq!(sweep.best_value, 0.1);
+        assert_eq!(sweep.axis, "power_down_threshold");
+    }
+
+    #[test]
+    fn bursty_workload_marks_poisson_approximation() {
+        let mut s = quick_scenario();
+        s.workload = Some(WorkloadSpec::BurstyOnOff {
+            on: Dist::Deterministic(4.0),
+            off: Dist::Deterministic(20.0),
+            rate_on: 6.0,
+        });
+        s.report = ReportSpec {
+            energy_horizon_s: 1000.0,
+            agreement_tolerance_pp: Some(50.0),
+        };
+        let report = run_scenario(&s).unwrap();
+        let markov = report
+            .backends
+            .iter()
+            .find(|b| b.backend == Backend::Markov)
+            .unwrap();
+        let des = report
+            .backends
+            .iter()
+            .find(|b| b.backend == Backend::Des)
+            .unwrap();
+        assert!(markov.poisson_approximation);
+        assert!(!des.poisson_approximation);
+        // Long quiet gaps → more standby than the Poisson approximation.
+        assert!(des.fractions.standby > markov.fractions.standby);
+    }
+
+    #[test]
+    fn network_section_finds_bottleneck() {
+        let mut s = quick_scenario();
+        s.backends = vec![Backend::Markov];
+        s.network = Some(NetworkSpec {
+            nodes: vec![
+                NodeSpec {
+                    name: "lazy".into(),
+                    event_rate: 0.02,
+                    tx_per_event: 1.0,
+                    rx_rate: 0.0,
+                },
+                NodeSpec {
+                    name: "hot".into(),
+                    event_rate: 2.0,
+                    tx_per_event: 1.0,
+                    rx_rate: 0.5,
+                },
+            ],
+        });
+        let report = run_scenario(&s).unwrap();
+        let net = report.network.unwrap();
+        assert_eq!(net.nodes.len(), 2);
+        assert_eq!(net.bottleneck, "hot");
+        assert!(net.first_death_days <= net.mean_lifetime_days);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_keeps_order() {
+        let mut a = quick_scenario();
+        a.name = "a".into();
+        a.backends = vec![Backend::Markov, Backend::Des];
+        let mut b = quick_scenario();
+        b.name = "b".into();
+        b.backends = vec![Backend::Markov];
+        b.cpu = b.cpu.with_power_down_threshold(0.1);
+        let scenarios = vec![a, b];
+
+        let parallel = run_batch(&scenarios, Some(2));
+        let sequential = run_batch(&scenarios, Some(1));
+        assert_eq!(parallel.len(), 2);
+        for (p, s) in parallel.iter().zip(&sequential) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.scenario, s.scenario);
+            // Replication streams are keyed by (seed, index), so thread
+            // count must not change the numbers.
+            for (pb, sb) in p.backends.iter().zip(&s.backends) {
+                assert_eq!(pb.fractions, sb.fractions, "{}", p.scenario);
+            }
+        }
+        assert_eq!(parallel[0].as_ref().unwrap().scenario, "a");
+        assert_eq!(parallel[1].as_ref().unwrap().scenario, "b");
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(run_batch(&[], None).is_empty());
+    }
+
+    #[test]
+    fn invalid_scenario_fails_cleanly_in_batch() {
+        let mut bad = quick_scenario();
+        bad.backends.clear();
+        let good = quick_scenario();
+        let results = run_batch(&[bad, good], Some(2));
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+    }
+}

@@ -1,0 +1,596 @@
+//! The versioned, serde-backed scenario schema.
+//!
+//! A [`Scenario`] is a declarative description of one energy-modeling
+//! experiment: CPU parameters, a power profile, a battery, an arrival
+//! workload, the set of model backends to evaluate, optional sweep axes and
+//! an optional star network — everything the paper's hard-coded experiment
+//! functions took as Rust arguments, now loadable from JSON or TOML files.
+//!
+//! The schema is versioned ([`SCHEMA_VERSION`]); loaders reject files from a
+//! newer schema instead of misinterpreting them.
+
+use serde::{Deserialize, Serialize};
+use wsnem_core::CpuModelParams;
+use wsnem_energy::{Battery, PowerProfile};
+use wsnem_stats::dist::Dist;
+
+use crate::error::ScenarioError;
+
+/// Current scenario schema version. Bump on breaking format changes and
+/// keep the golden-file test (`tests/golden_schema.rs`) in sync.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A declarative scenario definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Schema version this file was written against (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Unique scenario name (kebab-case by convention).
+    pub name: String,
+    /// One-paragraph human description.
+    pub description: String,
+    /// Shared CPU model parameters (λ, μ, T, D, horizon, replications, seed).
+    pub cpu: CpuModelParams,
+    /// CPU power profile.
+    pub profile: ProfileSpec,
+    /// Battery powering the node.
+    pub battery: BatterySpec,
+    /// Arrival workload. `None` means the paper's default: open Poisson
+    /// arrivals at rate `cpu.lambda` (the only workload the analytic
+    /// backends model; richer workloads drive the DES backend and the
+    /// cross-backend agreement report quantifies the distortion).
+    pub workload: Option<WorkloadSpec>,
+    /// Model backends to evaluate, in order.
+    pub backends: Vec<Backend>,
+    /// Report settings (energy horizon, agreement tolerance).
+    pub report: ReportSpec,
+    /// Optional one-axis parameter sweep.
+    pub sweep: Option<SweepSpec>,
+    /// Optional star network of nodes sharing this scenario's CPU/profile/
+    /// battery but with per-node sensing rates and radio traffic.
+    pub network: Option<NetworkSpec>,
+}
+
+/// Which CPU model evaluates the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// Supplementary-variable closed forms (paper §4.1).
+    Markov,
+    /// Erlang-phase CTMC approximation of the deterministic delays.
+    ErlangPhase,
+    /// EDSPN token-game simulation (paper Fig. 3).
+    PetriNet,
+    /// Discrete-event simulation — ground truth.
+    Des,
+}
+
+impl Backend {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Markov => "Markov",
+            Backend::ErlangPhase => "ErlangPhase",
+            Backend::PetriNet => "PetriNet",
+            Backend::Des => "Des",
+        }
+    }
+
+    /// True for the backends that assume Poisson arrivals regardless of the
+    /// scenario workload.
+    pub fn assumes_poisson(self) -> bool {
+        !matches!(self, Backend::Des)
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Power profile selection: a named preset or custom per-state rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProfileSpec {
+    /// Intel PXA271 — the paper's Table 3.
+    Pxa271,
+    /// TI MSP430-class synthetic composite.
+    Msp430Class,
+    /// ATmega128L-class synthetic composite.
+    Atmega128lClass,
+    /// Custom per-state power rates (mW).
+    Custom {
+        /// Profile name.
+        name: String,
+        /// Standby power (mW).
+        standby_mw: f64,
+        /// Power-up power (mW).
+        powerup_mw: f64,
+        /// Idle power (mW).
+        idle_mw: f64,
+        /// Active power (mW).
+        active_mw: f64,
+    },
+}
+
+impl ProfileSpec {
+    /// Materialize the [`PowerProfile`].
+    pub fn build(&self) -> Result<PowerProfile, ScenarioError> {
+        match self {
+            ProfileSpec::Pxa271 => Ok(PowerProfile::pxa271()),
+            ProfileSpec::Msp430Class => Ok(PowerProfile::msp430_class()),
+            ProfileSpec::Atmega128lClass => Ok(PowerProfile::atmega128l_class()),
+            ProfileSpec::Custom {
+                name,
+                standby_mw,
+                powerup_mw,
+                idle_mw,
+                active_mw,
+            } => PowerProfile::new(name.clone(), *standby_mw, *powerup_mw, *idle_mw, *active_mw)
+                .map_err(|e| ScenarioError::Invalid(format!("profile: {e}"))),
+        }
+    }
+}
+
+/// Battery selection: a named preset or custom capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatterySpec {
+    /// Two AA alkaline cells in series.
+    TwoAa,
+    /// CR2032 coin cell.
+    Cr2032,
+    /// Custom battery.
+    Custom {
+        /// Rated capacity (mAh).
+        capacity_mah: f64,
+        /// Nominal voltage (V).
+        voltage_v: f64,
+        /// Usable fraction of rated capacity in `(0, 1]`.
+        usable_fraction: f64,
+    },
+}
+
+impl BatterySpec {
+    /// Materialize the [`Battery`].
+    pub fn build(&self) -> Result<Battery, ScenarioError> {
+        match *self {
+            BatterySpec::TwoAa => Ok(Battery::two_aa()),
+            BatterySpec::Cr2032 => Ok(Battery::cr2032()),
+            BatterySpec::Custom {
+                capacity_mah,
+                voltage_v,
+                usable_fraction,
+            } => {
+                if !(capacity_mah > 0.0) || !(voltage_v > 0.0) {
+                    return Err(ScenarioError::Invalid(
+                        "battery: capacity and voltage must be > 0".into(),
+                    ));
+                }
+                if !(usable_fraction > 0.0 && usable_fraction <= 1.0) {
+                    return Err(ScenarioError::Invalid(
+                        "battery: usable_fraction must be in (0, 1]".into(),
+                    ));
+                }
+                Ok(Battery {
+                    capacity_mah,
+                    voltage_v,
+                    usable_fraction,
+                })
+            }
+        }
+    }
+}
+
+/// Arrival workload specification (mirrors `wsnem_des::OpenWorkload` /
+/// `ClosedWorkload`, in serializable form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Open Poisson arrivals at `cpu.lambda` — the paper's generator.
+    Poisson,
+    /// Renewal process with i.i.d. interarrival gaps.
+    Renewal {
+        /// Interarrival-gap distribution.
+        interarrival: Dist,
+    },
+    /// On-off bursts: silent `off` periods, Poisson arrivals at `rate_on`
+    /// during `on` periods (surveillance target transits).
+    BurstyOnOff {
+        /// On-period duration distribution.
+        on: Dist,
+        /// Off-period duration distribution.
+        off: Dist,
+        /// Poisson arrival rate while on.
+        rate_on: f64,
+    },
+    /// 2-state Markov-modulated Poisson process (day/night modulation).
+    Mmpp2 {
+        /// Arrival rate in modulating state 0.
+        rate0: f64,
+        /// Arrival rate in modulating state 1.
+        rate1: f64,
+        /// Switching rate 0 → 1.
+        switch01: f64,
+        /// Switching rate 1 → 0.
+        switch10: f64,
+    },
+    /// Replay a fixed cycle of interarrival gaps.
+    Trace {
+        /// Interarrival gaps (s), replayed cyclically.
+        gaps: Vec<f64>,
+    },
+    /// Closed finite-population workload.
+    Closed {
+        /// Circulating customers.
+        population: u32,
+        /// Think-time distribution.
+        think: Dist,
+    },
+}
+
+impl WorkloadSpec {
+    /// Build the DES workload for a scenario with arrival rate `lambda`.
+    pub fn build(&self, lambda: f64) -> wsnem_des::Workload {
+        use wsnem_des::{ClosedWorkload, OpenWorkload, Workload};
+        match self {
+            WorkloadSpec::Poisson => Workload::open_poisson(lambda),
+            WorkloadSpec::Renewal { interarrival } => {
+                Workload::Open(OpenWorkload::Renewal(*interarrival))
+            }
+            WorkloadSpec::BurstyOnOff { on, off, rate_on } => {
+                Workload::Open(OpenWorkload::BurstyOnOff {
+                    on: *on,
+                    off: *off,
+                    rate_on: *rate_on,
+                })
+            }
+            WorkloadSpec::Mmpp2 {
+                rate0,
+                rate1,
+                switch01,
+                switch10,
+            } => Workload::Open(OpenWorkload::Mmpp2 {
+                rate0: *rate0,
+                rate1: *rate1,
+                switch01: *switch01,
+                switch10: *switch10,
+            }),
+            WorkloadSpec::Trace { gaps } => Workload::Open(OpenWorkload::Trace(gaps.clone())),
+            WorkloadSpec::Closed { population, think } => Workload::Closed(ClosedWorkload {
+                population: *population,
+                think: *think,
+            }),
+        }
+    }
+
+    /// True when this workload is (equivalent to) the analytic backends'
+    /// Poisson assumption.
+    pub fn is_poisson(&self) -> bool {
+        matches!(self, WorkloadSpec::Poisson)
+    }
+}
+
+/// Report settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportSpec {
+    /// Horizon (s) the energy breakdown integrates over (paper: 1000 s).
+    pub energy_horizon_s: f64,
+    /// Cross-backend agreement tolerance in percentage points of mean
+    /// absolute state-occupancy delta (`None` = report deltas without a
+    /// pass/fail verdict).
+    pub agreement_tolerance_pp: Option<f64>,
+}
+
+impl Default for ReportSpec {
+    fn default() -> Self {
+        Self {
+            energy_horizon_s: 1000.0,
+            agreement_tolerance_pp: Some(2.0),
+        }
+    }
+}
+
+/// The swept parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Power Down Threshold `T` (s) — the paper's Fig. 4/5 axis.
+    PowerDownThreshold,
+    /// Power Up Delay `D` (s) — the Table 4/5 axis.
+    PowerUpDelay,
+    /// Arrival rate λ (jobs/s).
+    Lambda,
+}
+
+impl SweepAxis {
+    /// Axis label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepAxis::PowerDownThreshold => "power_down_threshold",
+            SweepAxis::PowerUpDelay => "power_up_delay",
+            SweepAxis::Lambda => "lambda",
+        }
+    }
+
+    /// Apply a swept value to the base parameters.
+    pub fn apply(self, params: CpuModelParams, value: f64) -> CpuModelParams {
+        match self {
+            SweepAxis::PowerDownThreshold => params.with_power_down_threshold(value),
+            SweepAxis::PowerUpDelay => params.with_power_up_delay(value),
+            SweepAxis::Lambda => params.with_lambda(value),
+        }
+    }
+}
+
+/// A one-axis sweep: evaluate the scenario's backends at each value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// The swept parameter.
+    pub axis: SweepAxis,
+    /// Values to evaluate (must be non-empty).
+    pub values: Vec<f64>,
+}
+
+/// A star network whose nodes share the scenario CPU/profile/battery but
+/// differ in sensing rate and radio traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// The leaf nodes.
+    pub nodes: Vec<NodeSpec>,
+}
+
+/// One node of a [`NetworkSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Node name.
+    pub name: String,
+    /// Sensing events per second (wired into the CPU's λ).
+    pub event_rate: f64,
+    /// Packets transmitted per sensing event.
+    pub tx_per_event: f64,
+    /// Packets received per second (forwarded traffic).
+    pub rx_rate: f64,
+}
+
+impl Scenario {
+    /// Validate the complete scenario (schema version, parameters, specs).
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(ScenarioError::UnsupportedVersion {
+                found: self.schema_version,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        if self.name.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "scenario name must be non-empty".into(),
+            ));
+        }
+        if self.backends.is_empty() {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: at least one backend required",
+                self.name
+            )));
+        }
+        self.cpu
+            .validate()
+            .map_err(|e| ScenarioError::Invalid(format!("scenario `{}`: cpu: {e}", self.name)))?;
+        self.profile.build()?;
+        self.battery.build()?;
+        if let Some(w) = &self.workload {
+            w.build(self.cpu.lambda).validate().map_err(|e| {
+                ScenarioError::Invalid(format!("scenario `{}`: workload: {e}", self.name))
+            })?;
+        }
+        if !(self.report.energy_horizon_s > 0.0) {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: report.energy_horizon_s must be > 0",
+                self.name
+            )));
+        }
+        if let Some(sweep) = &self.sweep {
+            if sweep.axis == SweepAxis::Lambda
+                && self.workload.as_ref().is_some_and(|w| !w.is_poisson())
+            {
+                return Err(ScenarioError::Invalid(format!(
+                    "scenario `{}`: a Lambda sweep requires the Poisson workload \
+                     (non-Poisson workloads do not take their rate from cpu.lambda, \
+                     so the DES backend would not actually be swept)",
+                    self.name
+                )));
+            }
+            if sweep.values.is_empty() {
+                return Err(ScenarioError::Invalid(format!(
+                    "scenario `{}`: sweep.values must be non-empty",
+                    self.name
+                )));
+            }
+            for &v in &sweep.values {
+                sweep.axis.apply(self.cpu, v).validate().map_err(|e| {
+                    ScenarioError::Invalid(format!(
+                        "scenario `{}`: sweep value {v}: {e}",
+                        self.name
+                    ))
+                })?;
+            }
+        }
+        if let Some(net) = &self.network {
+            if net.nodes.is_empty() {
+                return Err(ScenarioError::Invalid(format!(
+                    "scenario `{}`: network.nodes must be non-empty",
+                    self.name
+                )));
+            }
+            for n in &net.nodes {
+                if !(n.event_rate > 0.0) || !(n.tx_per_event >= 0.0) || !(n.rx_rate >= 0.0) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "scenario `{}`: node `{}`: rates must be positive/non-negative",
+                        self.name, n.name
+                    )));
+                }
+                self.cpu.with_lambda(n.event_rate).validate().map_err(|e| {
+                    ScenarioError::Invalid(format!(
+                        "scenario `{}`: node `{}`: {e}",
+                        self.name, n.name
+                    ))
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A minimal valid scenario with the paper's defaults — the starting
+    /// point for programmatic construction and the `export` CLI command.
+    pub fn paper_template(name: impl Into<String>) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            name: name.into(),
+            description: String::new(),
+            cpu: CpuModelParams::paper_defaults(),
+            profile: ProfileSpec::Pxa271,
+            battery: BatterySpec::TwoAa,
+            workload: None,
+            backends: vec![Backend::Markov, Backend::PetriNet, Backend::Des],
+            report: ReportSpec::default(),
+            sweep: None,
+            network: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_validates() {
+        let s = Scenario::paper_template("t");
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut s = Scenario::paper_template("t");
+        s.schema_version = 999;
+        assert!(matches!(
+            s.validate(),
+            Err(ScenarioError::UnsupportedVersion { found: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_pieces_rejected() {
+        let mut s = Scenario::paper_template("t");
+        s.backends.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_template("t");
+        s.cpu = s.cpu.with_lambda(100.0); // unstable queue
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_template("t");
+        s.profile = ProfileSpec::Custom {
+            name: "bad".into(),
+            standby_mw: -1.0,
+            powerup_mw: 0.0,
+            idle_mw: 0.0,
+            active_mw: 0.0,
+        };
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_template("t");
+        s.battery = BatterySpec::Custom {
+            capacity_mah: 100.0,
+            voltage_v: 3.0,
+            usable_fraction: 1.5,
+        };
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_template("t");
+        s.sweep = Some(SweepSpec {
+            axis: SweepAxis::PowerDownThreshold,
+            values: vec![],
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_template("t");
+        s.sweep = Some(SweepSpec {
+            axis: SweepAxis::Lambda,
+            values: vec![0.5, -1.0],
+        });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_template("t");
+        s.network = Some(NetworkSpec { nodes: vec![] });
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_template("t");
+        s.workload = Some(WorkloadSpec::Trace { gaps: vec![] });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn lambda_sweep_requires_poisson_workload() {
+        let mut s = Scenario::paper_template("t");
+        s.workload = Some(WorkloadSpec::Mmpp2 {
+            rate0: 2.0,
+            rate1: 0.5,
+            switch01: 0.1,
+            switch10: 0.1,
+        });
+        s.sweep = Some(SweepSpec {
+            axis: SweepAxis::Lambda,
+            values: vec![0.5, 1.0],
+        });
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("Lambda sweep"), "{err}");
+        // Other axes stay allowed with non-Poisson workloads.
+        s.sweep = Some(SweepSpec {
+            axis: SweepAxis::PowerDownThreshold,
+            values: vec![0.5, 1.0],
+        });
+        s.validate().unwrap();
+        // And a Lambda sweep with the explicit Poisson workload is fine.
+        s.workload = Some(WorkloadSpec::Poisson);
+        s.sweep = Some(SweepSpec {
+            axis: SweepAxis::Lambda,
+            values: vec![0.5, 1.0],
+        });
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn specs_materialize() {
+        assert_eq!(ProfileSpec::Pxa271.build().unwrap().name, "PXA271");
+        assert!(ProfileSpec::Msp430Class.build().unwrap().standby_mw < 1.0);
+        let b = BatterySpec::Cr2032.build().unwrap();
+        assert_eq!(b.capacity_mah, 225.0);
+        let w = WorkloadSpec::Poisson.build(2.0);
+        w.validate().unwrap();
+        let c = WorkloadSpec::Closed {
+            population: 3,
+            think: Dist::Exponential { rate: 1.0 },
+        }
+        .build(1.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn sweep_axes_apply() {
+        let p = CpuModelParams::paper_defaults();
+        assert_eq!(
+            SweepAxis::PowerDownThreshold
+                .apply(p, 0.7)
+                .power_down_threshold,
+            0.7
+        );
+        assert_eq!(SweepAxis::PowerUpDelay.apply(p, 0.2).power_up_delay, 0.2);
+        assert_eq!(SweepAxis::Lambda.apply(p, 0.3).lambda, 0.3);
+        assert_eq!(SweepAxis::Lambda.label(), "lambda");
+    }
+
+    #[test]
+    fn backend_metadata() {
+        assert!(Backend::Markov.assumes_poisson());
+        assert!(Backend::PetriNet.assumes_poisson());
+        assert!(!Backend::Des.assumes_poisson());
+        assert_eq!(Backend::ErlangPhase.to_string(), "ErlangPhase");
+    }
+}

@@ -1,0 +1,443 @@
+//! A small, source-compatible subset of the `serde` API, implemented
+//! in-workspace so the repository builds with **zero network access**.
+//!
+//! The real `serde` abstracts over serializer implementations with a visitor
+//! architecture; this subset instead round-trips every type through one
+//! self-describing [`Value`] tree, which `serde_json` and `toml` (the
+//! in-workspace siblings) render and parse. The public surface used by this
+//! workspace is identical to upstream serde:
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//!
+//! #[derive(Debug, PartialEq, Serialize, Deserialize)]
+//! struct P { x: f64, name: String }
+//! ```
+//!
+//! Supported derive shapes: named-field structs, unit enum variants, newtype
+//! variants and struct variants (externally tagged, like upstream serde's
+//! default representation). Generic types are not supported by the derive.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing data tree — the interchange point between typed Rust
+/// values and concrete formats (JSON, TOML).
+///
+/// Maps preserve insertion order so that serialized output is stable and
+/// golden files are meaningful.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent/None.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered key → value map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short human-readable description of the value's kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self {
+            msg: format!("expected {what}, found {}", found.kind()),
+        }
+    }
+
+    /// Missing map field.
+    pub fn missing_field(name: &str) -> Self {
+        Self {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch a required field from map entries (helper for derived code).
+pub fn map_field<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::missing_field(name))
+}
+
+/// Fetch an optional field from map entries (helper for derived code):
+/// missing keys and explicit nulls both deserialize as `None` for
+/// `Option<T>` fields.
+pub fn map_field_opt<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 && v > i64::MAX as i128 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(v as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match *v {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::custom(format!("integer {i} out of range for {}", stringify!($t)))),
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::custom(format!("integer {u} out of range for {}", stringify!($t)))),
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(53) => {
+                        <$t>::try_from(f as i64)
+                            .map_err(|_| Error::custom(format!("number {f} out of range for {}", stringify!($t))))
+                    }
+                    _ => Err(Error::expected("integer", v)),
+                }?;
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+ser_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if *self > i64::MAX as u64 {
+            Value::UInt(*self)
+        } else {
+            Value::Int(*self as i64)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Int(i) if i >= 0 => Ok(i as u64),
+            Value::Int(i) => Err(Error::custom(format!("integer {i} out of range for u64"))),
+            Value::UInt(u) => Ok(u),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f < 2f64.powi(53) => Ok(f as u64),
+            _ => Err(Error::expected("integer", v)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            Value::UInt(u) => Ok(u as f64),
+            // Non-finite floats serialize as strings in JSON (which has no
+            // literal for them); accept the symmetric spellings here.
+            Value::Str(ref s) => match s.as_str() {
+                "Infinity" | "inf" | "+inf" => Ok(f64::INFINITY),
+                "-Infinity" | "-inf" => Ok(f64::NEG_INFINITY),
+                "NaN" | "nan" => Ok(f64::NAN),
+                _ => Err(Error::expected("number", v)),
+            },
+            _ => Err(Error::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::expected("sequence", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_seq().ok_or_else(|| Error::expected("2-tuple", v))?;
+        if s.len() != 2 {
+            return Err(Error::expected("2-tuple", v));
+        }
+        Ok((A::from_value(&s[0])?, B::from_value(&s[1])?))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::expected("map", v))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<u32> = Deserialize::from_value(&vec![1u32, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        // Integers read back as floats and vice versa (lossless cases only).
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+        assert_eq!(u32::from_value(&Value::Float(4.0)).unwrap(), 4);
+        assert!(u32::from_value(&Value::Float(4.5)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(u64::from_value(&Value::UInt(u64::MAX)).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn nonfinite_floats_via_strings() {
+        assert!(f64::from_value(&Value::Str("Infinity".into()))
+            .unwrap()
+            .is_infinite());
+        assert!(f64::from_value(&Value::Str("NaN".into())).unwrap().is_nan());
+        assert!(f64::from_value(&Value::Str("pony".into())).is_err());
+    }
+
+    #[test]
+    fn option_null_handling() {
+        let none: Option<f64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Float(2.0)).unwrap(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn map_helpers() {
+        let m = vec![("a".to_string(), Value::Int(1))];
+        assert_eq!(map_field(&m, "a").unwrap(), &Value::Int(1));
+        assert!(map_field(&m, "b").is_err());
+        assert!(map_field_opt(&m, "b").is_none());
+        let v = Value::Map(m);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.kind(), "map");
+    }
+}

@@ -1,0 +1,378 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-workspace
+//! serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`) so
+//! the workspace builds without network access. Supported input shapes:
+//!
+//! * structs with named fields,
+//! * enums whose variants are unit, newtype (one unnamed field) or
+//!   struct-like (named fields),
+//!
+//! serialized in serde's default externally-tagged representation. Generics
+//! are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item.shape, which) {
+        (Shape::Struct(fields), Which::Serialize) => ser_struct(&item.name, fields),
+        (Shape::Struct(fields), Which::Deserialize) => de_struct(&item.name, fields),
+        (Shape::Enum(variants), Which::Serialize) => ser_enum(&item.name, variants),
+        (Shape::Enum(variants), Which::Deserialize) => de_enum(&item.name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named fields.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// One unnamed field.
+    Newtype,
+    /// Named fields.
+    Struct(Vec<String>),
+}
+
+fn ident_name(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Strip a raw-identifier prefix for use as a string key.
+fn key_of(ident: &str) -> &str {
+    ident.strip_prefix("r#").unwrap_or(ident)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility up to `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("derive input ended before `struct`/`enum`".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub`, `crate`, ...
+            }
+            Some(TokenTree::Group(_)) => i += 1, // `pub(crate)` restriction
+            Some(_) => i += 1,
+        }
+    };
+    let name = tokens
+        .get(i)
+        .and_then(ident_name)
+        .ok_or("expected a type name after `struct`/`enum`")?;
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive (in-workspace subset) does not support generic type `{name}`"
+        ));
+    }
+    // Find the brace group with the body (skips `where` clauses, which we
+    // don't otherwise need to understand).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("`{name}`: tuple/unit shapes are not supported by this derive"))?;
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_named_fields(body)?)
+    } else {
+        Shape::Enum(parse_variants(body)?)
+    };
+    Ok(Item { name, shape })
+}
+
+/// Split a brace-group body into top-level comma-separated chunks,
+/// accounting for `<...>` nesting (delimiter groups already hide their own
+/// commas).
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Skip leading attributes and visibility inside a field/variant chunk.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match chunk.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    chunk.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            _ => return &chunk[i..],
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(body) {
+        let rest = skip_attrs_and_vis(&chunk);
+        let name = rest
+            .first()
+            .and_then(ident_name)
+            .ok_or("expected a field name")?;
+        if !matches!(rest.get(1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!(
+                "field `{name}`: only named fields are supported by this derive"
+            ));
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(body) {
+        let rest = skip_attrs_and_vis(&chunk);
+        let name = rest
+            .first()
+            .and_then(ident_name)
+            .ok_or("expected a variant name")?;
+        let kind = match rest.get(1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit, // discriminant
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n_fields = split_top_level(g.stream()).len();
+                if n_fields != 1 {
+                    return Err(format!(
+                        "variant `{name}`: only newtype tuple variants are supported"
+                    ));
+                }
+                VariantKind::Newtype
+            }
+            Some(other) => return Err(format!("variant `{name}`: unexpected token `{other}`")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn fields_to_map(receiver: &str, fields: &[String]) -> String {
+    let mut out = String::from(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let key = key_of(f);
+        out.push_str(&format!(
+            "__m.push(({key:?}.to_string(), ::serde::Serialize::to_value(&{receiver}{f})));\n"
+        ));
+    }
+    out.push_str("::serde::Value::Map(__m)");
+    out
+}
+
+fn fields_from_map(fields: &[String]) -> String {
+    // Missing keys deserialize from `Null` so `Option` fields default to
+    // `None`; a required field then reports `missing field` instead.
+    fields
+        .iter()
+        .map(|f| {
+            let key = key_of(f);
+            format!(
+                "{f}: match ::serde::map_field_opt(__m, {key:?}) {{\n\
+                 Some(__f) => ::serde::Deserialize::from_value(__f).map_err(|e| \
+                 ::serde::Error::custom(format!(\"field `{key}`: {{e}}\")))?,\n\
+                 None => ::serde::Deserialize::from_value(&::serde::Value::Null)\
+                 .map_err(|_| ::serde::Error::missing_field({key:?}))?,\n\
+                 }},\n"
+            )
+        })
+        .collect()
+}
+
+fn ser_struct(name: &str, fields: &[String]) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{}\n}}\n}}\n",
+        fields_to_map("self.", fields)
+    )
+}
+
+fn de_struct(name: &str, fields: &[String]) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         let __m = __v.as_map().ok_or_else(|| ::serde::Error::expected({expect:?}, __v))?;\n\
+         ::std::result::Result::Ok({name} {{\n{body}}})\n}}\n}}\n",
+        expect = format!("struct {name}"),
+        body = fields_from_map(fields)
+    )
+}
+
+fn ser_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = key_of(vname);
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::Str({key:?}.to_string()),\n"
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "{name}::{vname}(__x) => ::serde::Value::Map(vec![({key:?}.to_string(), \
+                 ::serde::Serialize::to_value(__x))]),\n"
+            )),
+            VariantKind::Struct(fields) => {
+                let bindings = fields.join(", ");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {bindings} }} => {{\n{to_map}\n\
+                     ::serde::Value::Map(vec![({key:?}.to_string(), ::serde::Value::Map(__m))])\n}}\n",
+                    to_map = {
+                        // Bindings are references in a match on `&self`-like
+                        // value; build the inner map from them.
+                        let mut s = String::from(
+                            "let mut __m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            let fkey = key_of(f);
+                            s.push_str(&format!(
+                                "__m.push(({fkey:?}.to_string(), \
+                                 ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        s
+                    }
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn de_enum(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut map_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = key_of(vname);
+        match &v.kind {
+            VariantKind::Unit => {
+                str_arms.push_str(&format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+                map_arms.push_str(&format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantKind::Newtype => map_arms.push_str(&format!(
+                "{key:?} => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            VariantKind::Struct(fields) => map_arms.push_str(&format!(
+                "{key:?} => {{\n\
+                 let __m = __inner.as_map().ok_or_else(|| \
+                 ::serde::Error::expected({expect:?}, __inner))?;\n\
+                 ::std::result::Result::Ok({name}::{vname} {{\n{body}}})\n}}\n",
+                expect = format!("map for variant {name}::{vname}"),
+                body = fields_from_map(fields)
+            )),
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+         ::serde::Value::Map(__map) if __map.len() == 1 => {{\n\
+         let (__tag, __inner) = &__map[0];\n\
+         let _ = __inner;\n\
+         match __tag.as_str() {{\n{map_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+         __other => ::std::result::Result::Err(::serde::Error::expected(\
+         {expect:?}, __other)),\n}}\n}}\n}}\n",
+        expect = format!("enum {name} (string or single-entry map)")
+    )
+}

@@ -26,22 +26,13 @@ fn check_lengths(a: &[f64], b: &[f64]) -> Result<(), StatsError> {
 /// Mean absolute error between two equal-length series.
 pub fn mean_abs_error(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
     check_lengths(a, b)?;
-    Ok(a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .sum::<f64>()
-        / a.len() as f64)
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64)
 }
 
 /// Root-mean-square error between two equal-length series.
 pub fn rmse(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
     check_lengths(a, b)?;
-    Ok((a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        / a.len() as f64)
-        .sqrt())
+    Ok((a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt())
 }
 
 /// Maximum absolute error between two equal-length series.

@@ -1,0 +1,540 @@
+//! Continuous distributions with analytic moments, sampled by inversion,
+//! Box–Muller and Marsaglia–Tsang.
+//!
+//! Two layers:
+//!
+//! * [`Dist`] — a `Copy` enum describing a firing-time / service-time /
+//!   interarrival distribution. This is what net specs, workloads and
+//!   scenario files store (it is serializable behind the `serde` feature).
+//! * Dedicated structs ([`Exponential`], [`Normal`]) for hot paths and tests
+//!   that want a validated distribution without the enum dispatch.
+//!
+//! All samplers draw from a [`Rng64`] and are deterministic per stream: a
+//! `(master seed, stream id)` pair reproduces bit-identical sample paths.
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+use crate::rng::Rng64;
+
+/// A value that can be sampled from and has analytic first/second moments.
+pub trait Sample {
+    /// Draw one observation.
+    fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Analytic mean.
+    fn mean(&self) -> f64;
+
+    /// Analytic variance.
+    fn variance(&self) -> f64;
+}
+
+/// A distribution description: the closed set of firing/service/interarrival
+/// laws understood by the simulators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum Dist {
+    /// Exponential with the given rate (mean `1/rate`). Sampled by
+    /// inversion.
+    Exponential {
+        /// Rate parameter (> 0).
+        rate: f64,
+    },
+    /// A constant (degenerate) delay — the paper's Power Down Threshold and
+    /// Power Up Delay.
+    Deterministic(f64),
+    /// Erlang: sum of `k` i.i.d. exponentials of the given rate
+    /// (mean `k/rate`, variance `k/rate²`).
+    Erlang {
+        /// Number of phases (>= 1).
+        k: u32,
+        /// Per-phase rate (> 0).
+        rate: f64,
+    },
+    /// Gamma with shape and rate (mean `shape/rate`). Sampled by
+    /// Marsaglia–Tsang.
+    Gamma {
+        /// Shape parameter (> 0).
+        shape: f64,
+        /// Rate parameter (> 0).
+        rate: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma²))`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal (> 0).
+        sigma: f64,
+    },
+    /// Uniform on `[low, high)`.
+    Uniform {
+        /// Lower bound.
+        low: f64,
+        /// Upper bound (> low).
+        high: f64,
+    },
+}
+
+impl Dist {
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<(), StatsError> {
+        fn positive(what: &'static str, v: f64) -> Result<(), StatsError> {
+            if !(v > 0.0) || !v.is_finite() {
+                return Err(StatsError::InvalidParameter {
+                    what,
+                    constraint: "> 0 and finite",
+                    value: v,
+                });
+            }
+            Ok(())
+        }
+        match *self {
+            Dist::Exponential { rate } => positive("Exponential", rate),
+            Dist::Deterministic(delay) => {
+                if !(delay >= 0.0) || !delay.is_finite() {
+                    return Err(StatsError::InvalidParameter {
+                        what: "Deterministic",
+                        constraint: ">= 0 and finite",
+                        value: delay,
+                    });
+                }
+                Ok(())
+            }
+            Dist::Erlang { k, rate } => {
+                if k == 0 {
+                    return Err(StatsError::InvalidParameter {
+                        what: "Erlang",
+                        constraint: "k >= 1",
+                        value: 0.0,
+                    });
+                }
+                positive("Erlang", rate)
+            }
+            Dist::Gamma { shape, rate } => {
+                positive("Gamma", shape)?;
+                positive("Gamma", rate)
+            }
+            Dist::LogNormal { mu, sigma } => {
+                if !mu.is_finite() {
+                    return Err(StatsError::InvalidParameter {
+                        what: "LogNormal",
+                        constraint: "mu finite",
+                        value: mu,
+                    });
+                }
+                positive("LogNormal", sigma)
+            }
+            Dist::Uniform { low, high } => {
+                if !low.is_finite() || !high.is_finite() || !(high > low) {
+                    return Err(StatsError::InvalidParameter {
+                        what: "Uniform",
+                        constraint: "low < high, both finite",
+                        value: high - low,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Squared coefficient of variation `Cs² = Var/Mean²` (the P-K formula's
+    /// variability knob). `NaN` for zero-mean distributions.
+    pub fn cv2(&self) -> f64 {
+        let m = self.mean();
+        self.variance() / (m * m)
+    }
+
+    /// True for [`Dist::Exponential`].
+    pub fn is_exponential(&self) -> bool {
+        matches!(self, Dist::Exponential { .. })
+    }
+
+    /// True for [`Dist::Deterministic`].
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, Dist::Deterministic(_))
+    }
+}
+
+impl Sample for Dist {
+    fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Exponential { rate } => sample_exponential(rate, rng),
+            Dist::Deterministic(delay) => delay,
+            Dist::Erlang { k, rate } => {
+                // Exact: sum of k exponential phases (k is small in practice).
+                let mut acc = 0.0;
+                for _ in 0..k {
+                    acc += sample_exponential(rate, rng);
+                }
+                acc
+            }
+            Dist::Gamma { shape, rate } => sample_gamma(shape, rng) / rate,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sample_standard_normal(rng)).exp(),
+            Dist::Uniform { low, high } => low + (high - low) * rng.next_f64(),
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        match *self {
+            Dist::Exponential { rate } => 1.0 / rate,
+            Dist::Deterministic(delay) => delay,
+            Dist::Erlang { k, rate } => k as f64 / rate,
+            Dist::Gamma { shape, rate } => shape / rate,
+            Dist::LogNormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
+            Dist::Uniform { low, high } => 0.5 * (low + high),
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        match *self {
+            Dist::Exponential { rate } => 1.0 / (rate * rate),
+            Dist::Deterministic(_) => 0.0,
+            Dist::Erlang { k, rate } => k as f64 / (rate * rate),
+            Dist::Gamma { shape, rate } => shape / (rate * rate),
+            Dist::LogNormal { mu, sigma } => {
+                let s2 = sigma * sigma;
+                (s2.exp() - 1.0) * (2.0 * mu + s2).exp()
+            }
+            Dist::Uniform { low, high } => {
+                let w = high - low;
+                w * w / 12.0
+            }
+        }
+    }
+}
+
+/// Inversion: `-ln(U)/rate` with `U` in the open unit interval.
+#[inline]
+fn sample_exponential<R: Rng64 + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    -rng.next_open_f64().ln() / rate
+}
+
+/// Box–Muller (the sine branch is discarded to keep the sampler stateless;
+/// two uniforms per observation).
+#[inline]
+fn sample_standard_normal<R: Rng64 + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = rng.next_open_f64();
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Marsaglia–Tsang for `Gamma(shape, 1)`; the `shape < 1` boost uses the
+/// standard `U^(1/shape)` augmentation.
+fn sample_gamma<R: Rng64 + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        let u = rng.next_open_f64();
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = rng.next_open_f64();
+        if u < 1.0 - 0.0331 * x * x * x * x {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// A validated exponential distribution (struct form for hot paths).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Validated constructor (`rate > 0`).
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        Dist::Exponential { rate }.validate()?;
+        Ok(Self { rate })
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Sample for Exponential {
+    #[inline]
+    fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        sample_exponential(self.rate, rng)
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+/// A validated normal distribution (struct form; used by CI coverage tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Validated constructor (`sigma > 0`, `mu` finite).
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "Normal",
+                constraint: "mu finite",
+                value: mu,
+            });
+        }
+        if !(sigma > 0.0) || !sigma.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "Normal",
+                constraint: "sigma > 0 and finite",
+                value: sigma,
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Sample for Normal {
+    #[inline]
+    fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * sample_standard_normal(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    fn sample_mean_var(d: &impl Sample, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn validation_accepts_good_rejects_bad() {
+        assert!(Dist::Exponential { rate: 2.0 }.validate().is_ok());
+        assert!(Dist::Exponential { rate: 0.0 }.validate().is_err());
+        assert!(Dist::Exponential { rate: -1.0 }.validate().is_err());
+        assert!(Dist::Exponential { rate: f64::NAN }.validate().is_err());
+        assert!(Dist::Deterministic(0.0).validate().is_ok());
+        assert!(Dist::Deterministic(-0.1).validate().is_err());
+        assert!(Dist::Deterministic(f64::INFINITY).validate().is_err());
+        assert!(Dist::Erlang { k: 2, rate: 4.0 }.validate().is_ok());
+        assert!(Dist::Erlang { k: 0, rate: 4.0 }.validate().is_err());
+        assert!(Dist::Gamma {
+            shape: 0.5,
+            rate: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(Dist::Gamma {
+            shape: 0.0,
+            rate: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::LogNormal {
+            mu: 0.0,
+            sigma: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::Uniform {
+            low: 0.0,
+            high: 1.0
+        }
+        .validate()
+        .is_ok());
+        assert!(Dist::Uniform {
+            low: 1.0,
+            high: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn analytic_moments() {
+        assert_eq!(Dist::Exponential { rate: 4.0 }.mean(), 0.25);
+        assert_eq!(Dist::Exponential { rate: 4.0 }.variance(), 0.0625);
+        assert_eq!(Dist::Deterministic(0.7).mean(), 0.7);
+        assert_eq!(Dist::Deterministic(0.7).variance(), 0.0);
+        assert_eq!(Dist::Erlang { k: 2, rate: 4.0 }.mean(), 0.5);
+        // Erlang-k has Cs² = 1/k.
+        assert!((Dist::Erlang { k: 2, rate: 4.0 }.cv2() - 0.5).abs() < 1e-12);
+        assert_eq!(
+            Dist::Gamma {
+                shape: 2.5,
+                rate: 5.0
+            }
+            .mean(),
+            0.5
+        );
+        assert_eq!(
+            Dist::Uniform {
+                low: 1.0,
+                high: 3.0
+            }
+            .mean(),
+            2.0
+        );
+        assert!(
+            (Dist::Uniform {
+                low: 1.0,
+                high: 3.0
+            }
+            .variance()
+                - 1.0 / 3.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn samplers_match_their_moments() {
+        let n = 200_000;
+        let cases: Vec<Dist> = vec![
+            Dist::Exponential { rate: 2.0 },
+            Dist::Erlang { k: 3, rate: 6.0 },
+            Dist::Gamma {
+                shape: 2.5,
+                rate: 1.0,
+            },
+            Dist::Gamma {
+                shape: 0.5,
+                rate: 2.0,
+            },
+            Dist::LogNormal {
+                mu: -1.0,
+                sigma: 0.5,
+            },
+            Dist::Uniform {
+                low: -1.0,
+                high: 2.0,
+            },
+        ];
+        for (i, d) in cases.iter().enumerate() {
+            let (mean, var) = sample_mean_var(d, n, 1000 + i as u64);
+            let m_tol = 4.0 * (d.variance() / n as f64).sqrt() + 1e-12;
+            assert!(
+                (mean - d.mean()).abs() < m_tol,
+                "{d:?}: sample mean {mean} vs {}",
+                d.mean()
+            );
+            assert!(
+                (var - d.variance()).abs() < 0.1 * d.variance().max(0.05),
+                "{d:?}: sample var {var} vs {}",
+                d.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Dist::Deterministic(0.25);
+        let mut rng = Xoshiro256PlusPlus::new(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0.25);
+        }
+    }
+
+    #[test]
+    fn samples_are_nonnegative_where_required() {
+        let mut rng = Xoshiro256PlusPlus::new(9);
+        for d in [
+            Dist::Exponential { rate: 0.5 },
+            Dist::Erlang { k: 4, rate: 1.0 },
+            Dist::Gamma {
+                shape: 0.3,
+                rate: 1.0,
+            },
+            Dist::LogNormal {
+                mu: 0.0,
+                sigma: 2.0,
+            },
+        ] {
+            for _ in 0..10_000 {
+                assert!(d.sample(&mut rng) >= 0.0, "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn struct_forms_agree_with_enum() {
+        let e = Exponential::new(3.0).unwrap();
+        assert_eq!(e.rate(), 3.0);
+        assert_eq!(e.mean(), Dist::Exponential { rate: 3.0 }.mean());
+        assert!(Exponential::new(0.0).is_err());
+        let n = Normal::new(1.0, 2.0).unwrap();
+        assert_eq!(n.mean(), 1.0);
+        assert_eq!(n.variance(), 4.0);
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        let (mean, var) = sample_mean_var(&n, 100_000, 5);
+        assert!((mean - 1.0).abs() < 0.05, "{mean}");
+        assert!((var - 4.0).abs() < 0.2, "{var}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let d = Dist::Gamma {
+            shape: 1.7,
+            rate: 2.0,
+        };
+        let mut a = Xoshiro256PlusPlus::new(123);
+        let mut b = Xoshiro256PlusPlus::new(123);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut a).to_bits(), d.sample(&mut b).to_bits());
+        }
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn dist_serde_round_trip() {
+        use serde::{Deserialize as _, Serialize as _};
+        for d in [
+            Dist::Exponential { rate: 2.0 },
+            Dist::Deterministic(0.5),
+            Dist::Erlang { k: 3, rate: 6.0 },
+            Dist::LogNormal {
+                mu: -0.5,
+                sigma: 0.8,
+            },
+        ] {
+            let v = d.to_value();
+            let back = Dist::from_value(&v).unwrap();
+            assert_eq!(d, back);
+        }
+    }
+}

@@ -226,8 +226,7 @@ mod tests {
             w.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.variance() - var).abs() < 1e-12);
         assert_eq!(w.count(), 8);
@@ -286,7 +285,11 @@ mod tests {
         for i in 0..1000 {
             w.push(1e9 + (i % 2) as f64);
         }
-        assert!((w.variance() - 0.2502502502502503).abs() < 1e-6, "{}", w.variance());
+        assert!(
+            (w.variance() - 0.2502502502502503).abs() < 1e-6,
+            "{}",
+            w.variance()
+        );
     }
 
     #[test]

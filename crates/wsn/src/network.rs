@@ -5,6 +5,7 @@ use crate::node::{CpuBackend, NodeAnalysis, NodeConfig};
 /// A star network: leaf nodes reporting to a mains-powered sink (the sink is
 /// not modeled; leaves transmit directly to it).
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StarNetwork {
     /// The leaf nodes.
     pub nodes: Vec<NodeConfig>,
@@ -28,8 +29,19 @@ impl StarNetwork {
         }
     }
 
-    /// Analyze every node (parallel across nodes).
+    /// Analyze every node, parallelizing across all cores.
     pub fn analyze(&self, backend: CpuBackend) -> Result<NetworkAnalysis, wsnem_core::CoreError> {
+        self.analyze_with_threads(backend, None)
+    }
+
+    /// Analyze every node on a pinned number of worker threads (`None` =
+    /// available parallelism). Callers that already parallelize across
+    /// networks/scenarios pass `Some(1)` to avoid oversubscribing cores.
+    pub fn analyze_with_threads(
+        &self,
+        backend: CpuBackend,
+        threads: Option<usize>,
+    ) -> Result<NetworkAnalysis, wsnem_core::CoreError> {
         let n = self.nodes.len();
         if n == 0 {
             return Ok(NetworkAnalysis {
@@ -37,22 +49,24 @@ impl StarNetwork {
             });
         }
         let mut slots: Vec<Option<Result<NodeAnalysis, wsnem_core::CoreError>>> = vec![None; n];
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        let threads = threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
             .clamp(1, n.max(1));
         let chunk = n.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
                 let nodes = &self.nodes;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, slot) in chunk_slots.iter_mut().enumerate() {
                         *slot = Some(nodes[k * chunk + j].analyze(backend));
                     }
                 });
             }
-        })
-        .expect("network analysis worker panicked");
+        });
         let mut per_node = Vec::with_capacity(n);
         for s in slots {
             per_node.push(s.expect("all nodes analyzed")?);
@@ -103,7 +117,10 @@ mod tests {
         assert_eq!(a.per_node.len(), 4);
         let first = a.first_death_days();
         let mean = a.mean_lifetime_days();
-        assert!((first - mean).abs() < 1e-9, "homogeneous nodes die together");
+        assert!(
+            (first - mean).abs() < 1e-9,
+            "homogeneous nodes die together"
+        );
         assert!(a.total_power_mw() > 0.0);
         assert!(a.bottleneck().is_some());
     }
@@ -124,5 +141,15 @@ mod tests {
         assert_eq!(a.mean_lifetime_days(), 0.0);
         assert!(a.first_death_days().is_infinite());
         assert!(a.bottleneck().is_none());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn network_serde_round_trip() {
+        let mut net = StarNetwork::homogeneous(2, 10.0);
+        net.nodes[1].rx_rate = 0.5;
+        let json = serde_json::to_string(&net).unwrap();
+        let back: StarNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, net);
     }
 }

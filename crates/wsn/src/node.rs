@@ -23,6 +23,7 @@ pub enum CpuBackend {
 
 /// Node configuration.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeConfig {
     /// Human-readable node name.
     pub name: String,

@@ -6,8 +6,12 @@
 //! composite of datasheet figures — NOT a measured artifact of the paper,
 //! which models the CPU only).
 
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
 /// Radio parameters and per-state power draw.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct RadioModel {
     /// Sleep power (mW).
     pub sleep_mw: f64,
@@ -84,9 +88,7 @@ impl RadioModel {
         }
         let listen_frac = self.duty_cycle().min(1.0 - tx_frac - rx_frac);
         let sleep_frac = (1.0 - tx_frac - rx_frac - listen_frac).max(0.0);
-        self.tx_mw * tx_frac
-            + self.listen_mw * (rx_frac + listen_frac)
-            + self.sleep_mw * sleep_frac
+        self.tx_mw * tx_frac + self.listen_mw * (rx_frac + listen_frac) + self.sleep_mw * sleep_frac
     }
 }
 

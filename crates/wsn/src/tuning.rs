@@ -76,12 +76,8 @@ mod tests {
     fn small_threshold_wins_for_pxa271_light_load() {
         // Fig. 5 regime: energy rises with T, so the smallest candidate wins.
         let params = CpuModelParams::paper_defaults();
-        let choice = optimize_threshold(
-            params,
-            &PowerProfile::pxa271(),
-            &[0.05, 0.2, 0.5, 1.0],
-        )
-        .unwrap();
+        let choice =
+            optimize_threshold(params, &PowerProfile::pxa271(), &[0.05, 0.2, 0.5, 1.0]).unwrap();
         assert_eq!(choice.best_threshold(), 0.05);
         assert!(choice.best_power_mw() < choice.mean_power_mw[3]);
         // Power is monotone over the candidates in this regime.
@@ -99,12 +95,7 @@ mod tests {
             .with_replications(8)
             .with_horizon(4000.0)
             .with_warmup(200.0);
-        let choice = optimize_threshold(
-            params,
-            &PowerProfile::pxa271(),
-            &[0.0, 5.0],
-        )
-        .unwrap();
+        let choice = optimize_threshold(params, &PowerProfile::pxa271(), &[0.0, 5.0]).unwrap();
         assert_eq!(
             choice.best_threshold(),
             5.0,

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example converged_estimation`
 
-use wsnem::core::{build_cpu_edspn, CpuModel, MarkovCpuModel, CpuModelParams};
+use wsnem::core::{build_cpu_edspn, CpuModel, CpuModelParams, MarkovCpuModel};
 use wsnem::petri::analysis::{conflict_sets, is_free_choice};
 use wsnem::petri::sim::{simulate_until_precise, PrecisionTarget};
 use wsnem::petri::{to_dot, Reward, SimConfig};
@@ -51,8 +51,8 @@ fn main() {
         rel_half_width: 0.02,
         ..PrecisionTarget::default()
     };
-    let run = simulate_until_precise(&net, &cfg, &rewards, target, 2008, None)
-        .expect("simulation runs");
+    let run =
+        simulate_until_precise(&net, &cfg, &rewards, target, 2008, None).expect("simulation runs");
 
     println!(
         "\nConverged after {} replications of {} s (converged = {}):",
@@ -73,7 +73,10 @@ fn main() {
     let exact = MarkovCpuModel::new(params)
         .evaluate()
         .expect("markov evaluates");
-    println!("\nClosed-form (supplementary variables): {}", exact.fractions);
+    println!(
+        "\nClosed-form (supplementary variables): {}",
+        exact.fractions
+    );
 
     println!("\nGraphviz source (render with `dot -Tpng`):\n");
     let dot = to_dot(&net);

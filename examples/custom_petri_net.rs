@@ -11,8 +11,7 @@ use wsnem::petri::{simulate_replications, Reward, SimConfig};
 
 fn main() {
     let capacity = 8;
-    let (net, buffer, free) =
-        producer_consumer_net(capacity, 3.0, 4.0).expect("net builds");
+    let (net, buffer, free) = producer_consumer_net(capacity, 3.0, 4.0).expect("net builds");
 
     // 1. Structure: the Farkas analyzer proves Buffer + FreeSlots = capacity.
     println!("P-invariants of the producer-consumer net:");
@@ -42,8 +41,7 @@ fn main() {
         warmup: 500.0,
         ..SimConfig::default()
     };
-    let summary = simulate_replications(&net, &cfg, &[full], 8, 42, None)
-        .expect("simulation runs");
+    let summary = simulate_replications(&net, &cfg, &[full], 8, 42, None).expect("simulation runs");
     println!(
         "Simulated mean buffer occupancy:         {:.5}  (8 replications x 20000 s)",
         summary.place_mean(buffer.index())

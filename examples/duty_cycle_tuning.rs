@@ -17,11 +17,14 @@ fn main() {
 
     // Case 1: the paper's processor — waking is essentially free (1 ms).
     let cheap_wake = CpuModelParams::paper_defaults().with_power_up_delay(0.001);
-    let choice = optimize_threshold(cheap_wake, &profile, &candidates)
-        .expect("optimization runs");
+    let choice = optimize_threshold(cheap_wake, &profile, &candidates).expect("optimization runs");
     println!("Cheap wake-up (D = 1 ms):");
     for (t, p) in choice.candidates.iter().zip(&choice.mean_power_mw) {
-        let marker = if *t == choice.best_threshold() { "  <== best" } else { "" };
+        let marker = if *t == choice.best_threshold() {
+            "  <== best"
+        } else {
+            ""
+        };
         println!("  T = {t:>5.2} s  ->  {p:>7.3} mW{marker}");
     }
     println!(
@@ -37,11 +40,14 @@ fn main() {
         .with_replications(12)
         .with_horizon(6000.0)
         .with_warmup(300.0);
-    let choice = optimize_threshold(costly_wake, &profile, &candidates)
-        .expect("optimization runs");
+    let choice = optimize_threshold(costly_wake, &profile, &candidates).expect("optimization runs");
     println!("Costly wake-up (D = 2 s):");
     for (t, p) in choice.candidates.iter().zip(&choice.mean_power_mw) {
-        let marker = if *t == choice.best_threshold() { "  <== best" } else { "" };
+        let marker = if *t == choice.best_threshold() {
+            "  <== best"
+        } else {
+            ""
+        };
         println!("  T = {t:>5.2} s  ->  {p:>7.3} mW{marker}");
     }
     println!(

@@ -30,7 +30,9 @@ fn main() {
     let net = build_network(0.5);
     let analysis = net.analyze(CpuBackend::Markov).expect("analysis runs");
 
-    println!("Habitat-monitoring star network (8 nodes, 2xAA each, PXA271 + CC2420-class radio):\n");
+    println!(
+        "Habitat-monitoring star network (8 nodes, 2xAA each, PXA271 + CC2420-class radio):\n"
+    );
     println!(
         "  {:<16} {:>10} {:>10} {:>10} {:>12}",
         "node", "cpu (mW)", "radio (mW)", "total (mW)", "life (days)"

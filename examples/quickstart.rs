@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use wsnem::core::{
-    CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel,
-};
+use wsnem::core::{CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel};
 use wsnem::energy::{Battery, PowerProfile};
 
 fn main() {
@@ -17,8 +15,12 @@ fn main() {
         .with_horizon(2000.0)
         .with_warmup(100.0);
 
-    let markov = MarkovCpuModel::new(params).evaluate().expect("markov evaluates");
-    let petri = PetriCpuModel::new(params).evaluate().expect("petri evaluates");
+    let markov = MarkovCpuModel::new(params)
+        .evaluate()
+        .expect("markov evaluates");
+    let petri = PetriCpuModel::new(params)
+        .evaluate()
+        .expect("petri evaluates");
     let des = DesCpuModel::new(params).evaluate().expect("des evaluates");
 
     println!("Steady-state occupancy (λ=1/s, μ=10/s, T=0.5 s, D=1 ms):\n");

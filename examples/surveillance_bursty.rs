@@ -1,72 +1,60 @@
 //! Domain scenario 4 — surveillance traffic is bursty, not Poisson (the
 //! VigilNet setting the paper's introduction cites [6]).
 //!
-//! A surveillance node sees nothing for minutes, then a target transit
-//! produces a burst of detections. The closed-form models assume Poisson
-//! arrivals; the DES substrate can simulate the real burst process. This
-//! example measures how much the Poisson assumption distorts the energy
-//! estimate at equal mean rate.
+//! The workload itself now lives in the scenario library as the built-in
+//! `surveillance-bursty` scenario (see `wsnem list` / `wsnem run --builtin
+//! surveillance-bursty`); this example drives it through the scenario
+//! runner and reads the distortion off the agreement report, then adds the
+//! MMPP day/night variant by editing the scenario in place — the
+//! "re-parameterize without recompiling" workflow the subsystem exists for.
 //!
 //! Run with: `cargo run --release --example surveillance_bursty`
 
-use wsnem::des::cpu::{CpuDes, CpuSimParams};
-use wsnem::des::replication::run_replications;
-use wsnem::des::workload::{OpenWorkload, Workload};
-use wsnem::energy::PowerProfile;
-use wsnem::stats::dist::Dist;
+use wsnem_scenario::{builtin, runner, Backend, ScenarioReport, WorkloadSpec};
 
-fn evaluate(workload: Workload, label: &str, profile: &PowerProfile) -> f64 {
-    let params = CpuSimParams {
-        horizon: 20_000.0,
-        warmup: 1000.0,
-        ..CpuSimParams::exponential_service(10.0, 0.5, 0.001)
-    };
-    let sim = CpuDes::new(params, workload).expect("sim builds");
-    let summary = run_replications(&sim, 16, 7, None);
-    let fr = summary.mean_fractions();
-    let power = profile.mean_power_mw(&fr);
+fn backend_of(report: &ScenarioReport, backend: Backend) -> &wsnem_scenario::BackendReport {
+    report
+        .backends
+        .iter()
+        .find(|b| b.backend == backend)
+        .expect("backend present")
+}
+
+fn print_line(label: &str, b: &wsnem_scenario::BackendReport) {
     println!(
-        "  {label:<34} standby {:>5.1}%  idle {:>5.1}%  active {:>4.1}%  ->  {power:>6.2} mW",
-        fr.standby * 100.0,
-        fr.powerup * 100.0 + fr.idle * 100.0,
-        fr.active * 100.0
+        "  {label:<34} standby {:>5.1}%  idle {:>5.1}%  active {:>4.1}%  ->  {:>6.2} mW",
+        b.fractions.standby * 100.0,
+        (b.fractions.powerup + b.fractions.idle) * 100.0,
+        b.fractions.active * 100.0,
+        b.mean_power_mw,
     );
-    power
 }
 
 fn main() {
-    let profile = PowerProfile::pxa271();
+    let scenario = builtin::find("surveillance-bursty").expect("built-in scenario");
     println!("Surveillance node, mean arrival rate 1 detection/s, T = 0.5 s, D = 1 ms:\n");
 
-    // Poisson baseline (what the Markov and PN models assume).
-    let poisson = evaluate(
-        Workload::open_poisson(1.0),
-        "Poisson arrivals",
-        &profile,
-    );
+    let report = runner::run_scenario(&scenario).expect("scenario runs");
+    let markov = backend_of(&report, Backend::Markov); // Poisson approximation
+    let des = backend_of(&report, Backend::Des); // real burst process
+    print_line("Poisson arrivals (Markov model)", markov);
+    print_line("Bursty on-off (target transits)", des);
+    let (poisson, bursty) = (markov.mean_power_mw, des.mean_power_mw);
 
-    // Bursty: 20 s quiet, 4 s transits at 6 detections/s (same mean ~1/s).
-    let bursty = evaluate(
-        Workload::Open(OpenWorkload::BurstyOnOff {
-            on: Dist::Deterministic(4.0),
-            off: Dist::Deterministic(20.0),
-            rate_on: 6.0,
-        }),
-        "Bursty on-off (target transits)",
-        &profile,
-    );
-
-    // MMPP: a smoother two-mode day/night pattern, same mean rate.
-    let mmpp = evaluate(
-        Workload::Open(OpenWorkload::Mmpp2 {
-            rate0: 1.8,
-            rate1: 0.2,
-            switch01: 0.01,
-            switch10: 0.01,
-        }),
-        "MMPP day/night modulation",
-        &profile,
-    );
+    // MMPP day/night variant: same scenario, different workload — in the
+    // file-based workflow this is a one-line edit, no recompilation.
+    let mut mmpp_scenario = scenario.clone();
+    mmpp_scenario.name = "surveillance-mmpp".into();
+    mmpp_scenario.workload = Some(WorkloadSpec::Mmpp2 {
+        rate0: 1.8,
+        rate1: 0.2,
+        switch01: 0.01,
+        switch10: 0.01,
+    });
+    let mmpp_report = runner::run_scenario(&mmpp_scenario).expect("scenario runs");
+    let mmpp_des = backend_of(&mmpp_report, Backend::Des);
+    print_line("MMPP day/night modulation", mmpp_des);
+    let mmpp = mmpp_des.mean_power_mw;
 
     println!("\nAt equal mean load, burstiness changes the power picture:");
     println!(
@@ -77,6 +65,15 @@ fn main() {
         "  MMPP  vs Poisson: {:+.1}%",
         (mmpp / poisson - 1.0) * 100.0
     );
+    for a in &report.agreement {
+        println!(
+            "  agreement report: Δ({} vs {}) = {:.1} pp, energy {:+.1}%",
+            a.backend,
+            a.reference,
+            a.mean_abs_delta_pp,
+            100.0 * a.energy_rel_error
+        );
+    }
     println!("\nA model calibrated on Poisson arrivals would misbudget the battery —");
-    println!("this is why the repository ships workload generators beyond the paper's.");
+    println!("this is why the scenario library ships workload generators beyond the paper's.");
 }

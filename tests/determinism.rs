@@ -30,10 +30,22 @@ fn des_layer_thread_invariant() {
 #[test]
 fn model_layer_thread_invariant() {
     for threads in [Some(1), Some(2), None] {
-        let pn = PetriCpuModel::new(params()).with_threads(threads).evaluate().unwrap();
-        let des = DesCpuModel::new(params()).with_threads(threads).evaluate().unwrap();
-        let pn1 = PetriCpuModel::new(params()).with_threads(Some(1)).evaluate().unwrap();
-        let des1 = DesCpuModel::new(params()).with_threads(Some(1)).evaluate().unwrap();
+        let pn = PetriCpuModel::new(params())
+            .with_threads(threads)
+            .evaluate()
+            .unwrap();
+        let des = DesCpuModel::new(params())
+            .with_threads(threads)
+            .evaluate()
+            .unwrap();
+        let pn1 = PetriCpuModel::new(params())
+            .with_threads(Some(1))
+            .evaluate()
+            .unwrap();
+        let des1 = DesCpuModel::new(params())
+            .with_threads(Some(1))
+            .evaluate()
+            .unwrap();
         assert_eq!(pn.fractions, pn1.fractions, "threads = {threads:?}");
         assert_eq!(des.fractions, des1.fractions, "threads = {threads:?}");
     }

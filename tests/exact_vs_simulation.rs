@@ -3,7 +3,7 @@
 
 use wsnem::markov::{mm1, mm1k, PhaseCpuChain, SteadyStateMethod};
 use wsnem::petri::analysis::{tangible_chain, ReachOptions};
-use wsnem::petri::models::{mm1k_net, mm1_net, producer_consumer_net};
+use wsnem::petri::models::{mm1_net, mm1k_net, producer_consumer_net};
 use wsnem::petri::{simulate, SimConfig};
 use wsnem::stats::rng::Xoshiro256PlusPlus;
 

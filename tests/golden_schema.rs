@@ -1,0 +1,113 @@
+//! Golden-file test pinning scenario schema v1.
+//!
+//! `tests/golden/scenario_v1.json` is the canonical serialized form of a
+//! fixed scenario. If this test fails, the on-disk scenario format changed:
+//! either revert the accidental change, or — for an intentional format
+//! change — bump `wsnem_scenario::SCHEMA_VERSION`, regenerate the golden
+//! file (`WSNEM_BLESS=1 cargo test -p wsnem --test golden_schema`) and add a
+//! migration note to README.md.
+
+use wsnem_scenario::{files, FileFormat, Scenario, SCHEMA_VERSION};
+
+const GOLDEN_PATH: &str = "tests/golden/scenario_v1.json";
+
+/// The fixed scenario the golden file pins. Touches every schema section:
+/// custom profile/battery, a non-Poisson workload, a sweep and a network.
+fn pinned_scenario() -> Scenario {
+    use wsnem::stats::dist::Dist;
+    use wsnem_scenario::{
+        Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, SweepAxis, SweepSpec,
+        WorkloadSpec,
+    };
+
+    let mut s = Scenario::paper_template("golden-v1");
+    s.description = "fixture covering every schema section".into();
+    s.cpu = s.cpu.with_seed(42);
+    s.profile = ProfileSpec::Custom {
+        name: "golden-cpu".into(),
+        standby_mw: 1.5,
+        powerup_mw: 20.0,
+        idle_mw: 10.0,
+        active_mw: 25.0,
+    };
+    s.battery = BatterySpec::Custom {
+        capacity_mah: 1000.0,
+        voltage_v: 3.0,
+        usable_fraction: 0.9,
+    };
+    s.workload = Some(WorkloadSpec::BurstyOnOff {
+        on: Dist::Deterministic(2.0),
+        off: Dist::Exponential { rate: 0.1 },
+        rate_on: 5.0,
+    });
+    s.backends = vec![
+        Backend::Markov,
+        Backend::ErlangPhase,
+        Backend::PetriNet,
+        Backend::Des,
+    ];
+    s.report = ReportSpec {
+        energy_horizon_s: 2000.0,
+        agreement_tolerance_pp: Some(2.5),
+    };
+    s.sweep = Some(SweepSpec {
+        axis: SweepAxis::PowerDownThreshold,
+        values: vec![0.1, 0.25, 0.5],
+    });
+    s.network = Some(NetworkSpec {
+        nodes: vec![NodeSpec {
+            name: "n0".into(),
+            event_rate: 0.5,
+            tx_per_event: 1.0,
+            rx_rate: 0.25,
+        }],
+    });
+    s
+}
+
+#[test]
+fn schema_version_is_pinned() {
+    // Bumping this constant is a format break: regenerate the golden file
+    // and document the migration.
+    assert_eq!(SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn golden_file_matches_serialization() {
+    let scenario = pinned_scenario();
+    let serialized = files::to_string(&scenario, FileFormat::Json).unwrap() + "\n";
+
+    if std::env::var_os("WSNEM_BLESS").is_some() {
+        std::fs::create_dir_all("tests/golden").unwrap();
+        std::fs::write(GOLDEN_PATH, &serialized).unwrap();
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with WSNEM_BLESS=1 to create it");
+    assert_eq!(
+        serialized, golden,
+        "scenario schema drifted from the v1 golden file; \
+         see the module docs for the intended workflow"
+    );
+}
+
+#[test]
+fn golden_file_parses_and_validates() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
+    assert_eq!(scenario, pinned_scenario());
+    assert_eq!(scenario.schema_version, SCHEMA_VERSION);
+}
+
+#[test]
+fn newer_schema_versions_are_rejected_not_misread() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    let bumped = golden.replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+    assert_ne!(golden, bumped, "fixture must contain the version field");
+    let err = files::from_str(&bumped, FileFormat::Json).unwrap_err();
+    assert!(
+        err.to_string().contains("schema version 2"),
+        "unexpected error: {err}"
+    );
+}

@@ -1,128 +1,187 @@
-//! Cross-crate property-based tests (proptest): invariants that must hold
-//! for *any* parameter combination, not just the paper's.
-
-use proptest::prelude::*;
+//! Cross-crate property-based tests: invariants that must hold for *any*
+//! parameter combination, not just the paper's.
+//!
+//! Random parameter draws are hand-rolled over the workspace RNG (the build
+//! is offline, without proptest); each case is reproducible from its index.
 
 use wsnem::core::{CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel};
 use wsnem::energy::{energy_eq25, PowerProfile, StateFractions};
 use wsnem::petri::analysis::{incidence_matrix, p_semiflows};
+use wsnem::stats::rng::{Rng64, StreamFactory};
 
 mod helpers {
     pub use wsnem::core::build_cpu_edspn;
 }
 
-fn arb_params() -> impl Strategy<Value = CpuModelParams> {
-    (
-        0.2f64..2.0,   // lambda
-        0.05f64..0.8,  // rho
-        0.0f64..1.5,   // T
-        0.0f64..2.0,   // D
-        1u64..1000,    // seed
-    )
-        .prop_map(|(lambda, rho, t, d, seed)| {
-            CpuModelParams::paper_defaults()
-                .with_lambda(lambda)
-                .with_mu(lambda / rho)
-                .with_power_down_threshold(t)
-                .with_power_up_delay(d)
-                .with_replications(2)
-                .with_horizon(300.0)
-                .with_warmup(20.0)
-                .with_seed(seed)
-        })
+fn uniform<R: Rng64>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn arb_params<R: Rng64>(rng: &mut R) -> CpuModelParams {
+    let lambda = uniform(rng, 0.2, 2.0);
+    let rho = uniform(rng, 0.05, 0.8);
+    let t = uniform(rng, 0.0, 1.5);
+    let d = uniform(rng, 0.0, 2.0);
+    let seed = 1 + rng.next_bounded(999);
+    CpuModelParams::paper_defaults()
+        .with_lambda(lambda)
+        .with_mu(lambda / rho)
+        .with_power_down_threshold(t)
+        .with_power_up_delay(d)
+        .with_replications(2)
+        .with_horizon(300.0)
+        .with_warmup(20.0)
+        .with_seed(seed)
+}
 
-    /// Every model yields normalized fractions for any stable parameters.
-    #[test]
-    fn all_models_normalize(params in arb_params()) {
+fn cases(stream: u64, n: u64) -> impl Iterator<Item = (u64, CpuModelParams)> {
+    let factory = StreamFactory::new(0x5EED_C0DE ^ stream);
+    (0..n).map(move |i| {
+        let mut rng = factory.stream(i);
+        (i, arb_params(&mut rng))
+    })
+}
+
+/// Every model yields normalized fractions for any stable parameters.
+#[test]
+fn all_models_normalize() {
+    for (i, params) in cases(1, 24) {
         let m = MarkovCpuModel::new(params).evaluate().unwrap();
-        prop_assert!(m.fractions.is_normalized(1e-9), "markov: {:?}", m.fractions);
-        let d = DesCpuModel::new(params).with_threads(Some(1)).evaluate().unwrap();
-        prop_assert!(d.fractions.is_normalized(1e-6), "des: {:?}", d.fractions);
-        let p = PetriCpuModel::new(params).with_threads(Some(1)).evaluate().unwrap();
-        prop_assert!(p.fractions.is_normalized(1e-6), "petri: {:?}", p.fractions);
+        assert!(
+            m.fractions.is_normalized(1e-9),
+            "case {i} markov: {:?}",
+            m.fractions
+        );
+        let d = DesCpuModel::new(params)
+            .with_threads(Some(1))
+            .evaluate()
+            .unwrap();
+        assert!(
+            d.fractions.is_normalized(1e-6),
+            "case {i} des: {:?}",
+            d.fractions
+        );
+        let p = PetriCpuModel::new(params)
+            .with_threads(Some(1))
+            .evaluate()
+            .unwrap();
+        assert!(
+            p.fractions.is_normalized(1e-6),
+            "case {i} petri: {:?}",
+            p.fractions
+        );
     }
+}
 
-    /// Energy is bounded by the extreme state powers times the horizon.
-    #[test]
-    fn energy_physically_bounded(params in arb_params(), horizon in 1.0f64..5000.0) {
+/// Energy is bounded by the extreme state powers times the horizon.
+#[test]
+fn energy_physically_bounded() {
+    let factory = StreamFactory::new(0x5EED_C0DE ^ 2);
+    for i in 0..24 {
+        let mut rng = factory.stream(i);
+        let params = arb_params(&mut rng);
+        let horizon = uniform(&mut rng, 1.0, 5000.0);
         let profile = PowerProfile::pxa271();
         let eval = MarkovCpuModel::new(params).evaluate().unwrap();
         let e = eval.energy_joules(&profile, horizon);
         let lo = 17.0 * horizon / 1000.0;
         let hi = 193.0 * horizon / 1000.0;
-        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "e = {e}, bounds [{lo}, {hi}]");
-    }
-
-    /// The DES keeps utilization within noise of ρ whenever the system is
-    /// stable — regardless of T and D (all work is eventually served).
-    #[test]
-    fn des_utilization_tracks_rho(params in arb_params()) {
-        let params = params.with_horizon(2000.0).with_replications(3);
-        let d = DesCpuModel::new(params).with_threads(Some(1)).evaluate().unwrap();
-        let rho = params.rho();
-        prop_assert!(
-            (d.fractions.active - rho).abs() < 0.05 + 0.1 * rho,
-            "active {} vs rho {rho}", d.fractions.active
+        assert!(
+            e >= lo - 1e-9 && e <= hi + 1e-9,
+            "case {i}: e = {e}, bounds [{lo}, {hi}]"
         );
     }
+}
 
-    /// Fig. 3 net invariants hold for every parameterization.
-    #[test]
-    fn cpu_net_invariants_parameter_free(
-        lambda in 0.1f64..3.0,
-        mu in 4.0f64..40.0,
-        t in 0.001f64..2.0,
-        d in 0.001f64..2.0,
-    ) {
+/// The DES keeps utilization within noise of ρ whenever the system is
+/// stable — regardless of T and D (all work is eventually served).
+#[test]
+fn des_utilization_tracks_rho() {
+    for (i, params) in cases(3, 24) {
+        let params = params.with_horizon(2000.0).with_replications(3);
+        let d = DesCpuModel::new(params)
+            .with_threads(Some(1))
+            .evaluate()
+            .unwrap();
+        let rho = params.rho();
+        assert!(
+            (d.fractions.active - rho).abs() < 0.05 + 0.1 * rho,
+            "case {i}: active {} vs rho {rho}",
+            d.fractions.active
+        );
+    }
+}
+
+/// Fig. 3 net invariants hold for every parameterization.
+#[test]
+fn cpu_net_invariants_parameter_free() {
+    let factory = StreamFactory::new(0x5EED_C0DE ^ 4);
+    for i in 0..24 {
+        let mut rng = factory.stream(i);
+        let lambda = uniform(&mut rng, 0.1, 3.0);
+        let mu = uniform(&mut rng, 4.0, 40.0);
+        let t = uniform(&mut rng, 0.001, 2.0);
+        let d = uniform(&mut rng, 0.001, 2.0);
         let (net, _) = helpers::build_cpu_edspn(lambda, mu, t, d).unwrap();
         let inv = p_semiflows(&net).unwrap();
-        prop_assert_eq!(inv.len(), 3, "exactly three minimal P-invariants");
+        assert_eq!(inv.len(), 3, "case {i}: exactly three minimal P-invariants");
         // Each invariant annihilates the incidence matrix.
         let c = incidence_matrix(&net);
         for x in &inv {
             for tcol in 0..net.n_transitions() {
                 let dot: i64 = c.iter().zip(x).map(|(row, &w)| w as i64 * row[tcol]).sum();
-                prop_assert_eq!(dot, 0);
+                assert_eq!(dot, 0, "case {i}");
             }
         }
     }
+}
 
-    /// The Petri net and the DES are independent implementations of the
-    /// same stochastic system: their occupancy estimates must agree within
-    /// Monte-Carlo noise for ANY stable parameter set.
-    #[test]
-    fn petri_and_des_statistically_equivalent(params in arb_params()) {
+/// The Petri net and the DES are independent implementations of the
+/// same stochastic system: their occupancy estimates must agree within
+/// Monte-Carlo noise for ANY stable parameter set.
+#[test]
+fn petri_and_des_statistically_equivalent() {
+    for (i, params) in cases(5, 24) {
         let params = params.with_horizon(1500.0).with_replications(3);
-        let pn = PetriCpuModel::new(params).with_threads(Some(1)).evaluate().unwrap();
-        let des = DesCpuModel::new(params).with_threads(Some(1)).evaluate().unwrap();
+        let pn = PetriCpuModel::new(params)
+            .with_threads(Some(1))
+            .evaluate()
+            .unwrap();
+        let des = DesCpuModel::new(params)
+            .with_threads(Some(1))
+            .evaluate()
+            .unwrap();
         let delta = pn.fractions.mean_abs_delta_pct(&des.fractions);
-        prop_assert!(
+        assert!(
             delta < 4.0,
-            "PN {:?} vs DES {:?} -> {delta} pp",
+            "case {i}: PN {:?} vs DES {:?} -> {delta} pp",
             pn.fractions,
             des.fractions
         );
     }
+}
 
-    /// Eq. 25 is linear in time and monotone in occupancy-weighted power.
-    #[test]
-    fn eq25_linearity(
-        s in 0.0f64..1.0,
-        pu in 0.0f64..1.0,
-        time in 0.1f64..1e4,
-    ) {
+/// Eq. 25 is linear in time and monotone in occupancy-weighted power.
+#[test]
+fn eq25_linearity() {
+    let factory = StreamFactory::new(0x5EED_C0DE ^ 6);
+    for i in 0..24 {
+        let mut rng = factory.stream(i);
+        let s = uniform(&mut rng, 0.0, 1.0);
+        let pu = uniform(&mut rng, 0.0, 1.0);
+        let time = uniform(&mut rng, 0.1, 1e4);
         let total = s + pu;
-        let (s, pu) = if total > 1.0 { (s / total, pu / total) } else { (s, pu) };
+        let (s, pu) = if total > 1.0 {
+            (s / total, pu / total)
+        } else {
+            (s, pu)
+        };
         let idle = (1.0 - s - pu).max(0.0) * 0.5;
         let active = (1.0 - s - pu).max(0.0) * 0.5;
         let fr = StateFractions::new(s, pu, idle, active);
         let p = PowerProfile::pxa271();
         let e1 = energy_eq25(&fr, &p, time).total_mj;
         let e2 = energy_eq25(&fr, &p, 2.0 * time).total_mj;
-        prop_assert!((e2 - 2.0 * e1).abs() < 1e-9 * e1.abs().max(1.0));
+        assert!((e2 - 2.0 * e1).abs() < 1e-9 * e1.abs().max(1.0), "case {i}");
     }
 }
