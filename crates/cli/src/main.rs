@@ -9,6 +9,7 @@
 //! wsnem run --all --format csv            # flat per-backend rows
 //! wsnem validate my.toml                  # parse + validate without running
 //! wsnem export paper-defaults --format toml   # print a built-in as a file
+//! wsnem topology --builtin tree-collection    # inspect multi-hop routing
 //! ```
 //!
 //! Scenarios in one invocation run in parallel across OS threads
@@ -48,6 +49,10 @@ COMMANDS:
     run [FILES..] [OPTIONS]    Run scenario files and/or built-ins
     validate <FILES..>         Parse and validate scenario files
     export <NAME> [OPTIONS]    Print a built-in scenario as a file
+    topology [FILE] [--builtin <NAME>]
+                               Inspect a scenario's multi-hop routing:
+                               per-node next hop, hop depth, subtree size
+                               and forwarding load (no model evaluation)
     help                       Show this help
 
 RUN OPTIONS:
@@ -76,6 +81,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "validate" => cmd_validate(rest),
         "export" => cmd_export(rest),
+        "topology" => cmd_topology(rest),
         "help" | "--help" | "-h" => {
             out(USAGE);
             Ok(())
@@ -98,6 +104,10 @@ fn cmd_list() -> Result<(), String> {
         let features: Vec<&str> = [
             s.sweep.as_ref().map(|_| "sweep"),
             s.network.as_ref().map(|_| "network"),
+            s.network
+                .as_ref()
+                .and_then(|n| n.topology.as_ref())
+                .map(|t| t.label()),
             s.workload
                 .as_ref()
                 .filter(|w| !w.is_poisson())
@@ -319,6 +329,90 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     out(&text);
     if !text.ends_with('\n') {
         outln!();
+    }
+    Ok(())
+}
+
+fn cmd_topology(args: &[String]) -> Result<(), String> {
+    let mut file: Option<String> = None;
+    let mut builtin_name: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--builtin" => builtin_name = Some(required(&mut it, "--builtin <NAME>")?),
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            f if file.is_none() => file = Some(f.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let scenario = match (file, builtin_name) {
+        (Some(_), Some(_)) => {
+            return Err("pass either a scenario file or --builtin <NAME>, not both".into())
+        }
+        (None, None) => return Err("topology expects a scenario file or --builtin <NAME>".into()),
+        (Some(f), None) => files::load(&f).map_err(|e| e.to_string())?,
+        (None, Some(n)) => builtin::find(&n).map_err(|e| e.to_string())?,
+    };
+    let spec = scenario
+        .network
+        .as_ref()
+        .ok_or_else(|| format!("scenario `{}` declares no network", scenario.name))?;
+    let profile = scenario.profile.build().map_err(|e| e.to_string())?;
+    let battery = scenario.battery.build().map_err(|e| e.to_string())?;
+    let net = spec
+        .build_network(scenario.cpu, &profile, &battery)
+        .map_err(|e| e.to_string())?;
+    net.validate()
+        .map_err(|e| format!("scenario `{}`: invalid topology: {e}", scenario.name))?;
+    let routing = net.routing().map_err(|e| e.to_string())?;
+    let (depths, forwarded, sizes) = (&routing.depths, &routing.forwarded, &routing.subtree_sizes);
+
+    let shape = spec.topology.as_ref().map(|t| t.label()).unwrap_or("star");
+    outln!(
+        "scenario `{}`: {shape} topology, {} node(s), max depth {}, sink inflow {:.3} pkt/s\n",
+        scenario.name,
+        net.nodes.len(),
+        depths.iter().max().copied().unwrap_or(0),
+        net.sink_arrival_pkts_s()
+    );
+    outln!(
+        "  {:<16} {:<16} {:>5} {:>8} {:>12} {:>12} {:>12}",
+        "node",
+        "next hop",
+        "depth",
+        "subtree",
+        "own tx/s",
+        "fwd rx/s",
+        "cpu load/s"
+    );
+    for (i, node) in net.nodes.iter().enumerate() {
+        let next = match net.next_hop[i] {
+            wsnem_scenario::NextHop::Sink => "(sink)".to_owned(),
+            wsnem_scenario::NextHop::Node(j) => net.nodes[j].name.clone(),
+        };
+        outln!(
+            "  {:<16} {:<16} {:>5} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            node.name,
+            next,
+            depths[i],
+            sizes[i],
+            node.own_tx_rate(),
+            forwarded[i],
+            node.event_rate + forwarded[i]
+        );
+    }
+    if let Some((i, _)) = forwarded
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| **f > 0.0)
+        .max_by(|a, b| a.1.total_cmp(b.1))
+    {
+        outln!(
+            "\n  bottleneck relay: `{}` forwards {:.3} pkt/s for {} node(s)",
+            net.nodes[i].name,
+            forwarded[i],
+            sizes[i] - 1
+        );
     }
     Ok(())
 }

@@ -1,0 +1,263 @@
+//! End-to-end tests of the `wsnem` binary: multi-hop CSV columns, RFC 4180
+//! quoting, the `topology` inspector, and the non-zero exit paths for
+//! invalid (cyclic / orphaned) topologies.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn wsnem(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wsnem"))
+        .args(args)
+        .output()
+        .expect("spawn wsnem")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_file(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("wsnem-cli-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+/// Split one CSV record into fields, honoring RFC 4180 quoting.
+fn csv_fields(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut inside = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if inside && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => inside = !inside,
+            ',' if !inside => fields.push(std::mem::take(&mut cur)),
+            other => cur.push(other),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[test]
+fn tree_builtin_csv_has_topology_columns() {
+    let out = wsnem(&[
+        "run",
+        "--builtin",
+        "tree-collection",
+        "--quick",
+        "--format",
+        "csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    let header: Vec<String> = csv_fields(lines.next().expect("header"));
+    for col in [
+        "node",
+        "hop_depth",
+        "forwarded_rx_pkts_s",
+        "is_bottleneck_relay",
+    ] {
+        assert!(
+            header.iter().any(|h| h.trim() == col),
+            "missing column `{col}` in {header:?}"
+        );
+    }
+    let node_col = header.iter().position(|h| h.trim() == "node").unwrap();
+    let depth_col = header.iter().position(|h| h.trim() == "hop_depth").unwrap();
+    let relay_col = header
+        .iter()
+        .position(|h| h.trim() == "is_bottleneck_relay")
+        .unwrap();
+    let rows: Vec<Vec<String>> = lines.map(csv_fields).collect();
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), header.len(), "row {i} column count: {row:?}");
+    }
+    let node_rows: Vec<&Vec<String>> = rows.iter().filter(|r| !r[node_col].is_empty()).collect();
+    assert_eq!(node_rows.len(), 7, "one CSV row per tree node");
+    let root = node_rows.iter().find(|r| r[node_col] == "root").unwrap();
+    assert_eq!(root[depth_col], "1");
+    assert_eq!(root[relay_col], "true");
+    let leaf = node_rows.iter().find(|r| r[node_col] == "leaf-3").unwrap();
+    assert_eq!(leaf[depth_col], "3");
+    assert_eq!(leaf[relay_col], "false");
+}
+
+#[test]
+fn csv_quoting_survives_comma_in_scenario_and_node_names() {
+    let scenario = r#"
+schema_version = 2
+name = "field, north"
+description = "comma-named scenario"
+profile = "Pxa271"
+battery = "TwoAa"
+backends = ["Markov"]
+
+[cpu]
+lambda = 0.5
+mu = 10.0
+power_down_threshold = 0.5
+power_up_delay = 0.001
+horizon = 300.0
+warmup = 0.0
+replications = 2
+master_seed = 7
+
+[report]
+energy_horizon_s = 1000.0
+
+[[network.nodes]]
+name = "relay, east"
+event_rate = 0.5
+tx_per_event = 1.0
+rx_rate = 0.0
+
+[[network.nodes]]
+name = "leaf"
+event_rate = 0.5
+tx_per_event = 1.0
+rx_rate = 0.0
+
+[network.topology]
+Chain = {}
+"#;
+    let path = temp_file("comma.toml", scenario);
+    let out = wsnem(&["run", path.to_str().unwrap(), "--format", "csv"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let header_cols = csv_fields(text.lines().next().unwrap()).len();
+    for line in text.lines().skip(1) {
+        let fields = csv_fields(line);
+        assert_eq!(fields.len(), header_cols, "mis-quoted row: {line}");
+        assert_eq!(fields[0], "field, north", "scenario name field: {line}");
+    }
+    assert!(
+        text.contains("\"field, north\""),
+        "scenario name must be quoted: {text}"
+    );
+    assert!(
+        text.contains("\"relay, east\""),
+        "node name must be quoted: {text}"
+    );
+}
+
+#[test]
+fn topology_subcommand_prints_routing_table() {
+    let out = wsnem(&["topology", "--builtin", "tree-collection"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("tree topology"), "{text}");
+    assert!(text.contains("max depth 3"), "{text}");
+    assert!(text.contains("bottleneck relay: `root`"), "{text}");
+    assert!(text.contains("(sink)"), "{text}");
+}
+
+fn mesh_scenario_with_routes(routes: &str) -> String {
+    format!(
+        r#"
+schema_version = 2
+name = "bad-topo"
+description = "invalid routing"
+profile = "Pxa271"
+battery = "TwoAa"
+backends = ["Markov"]
+
+[cpu]
+lambda = 0.5
+mu = 10.0
+power_down_threshold = 0.5
+power_up_delay = 0.001
+horizon = 300.0
+warmup = 0.0
+replications = 2
+master_seed = 7
+
+[report]
+energy_horizon_s = 1000.0
+
+[[network.nodes]]
+name = "a"
+event_rate = 0.5
+tx_per_event = 1.0
+rx_rate = 0.0
+
+[[network.nodes]]
+name = "b"
+event_rate = 0.5
+tx_per_event = 1.0
+rx_rate = 0.0
+
+{routes}
+"#
+    )
+}
+
+#[test]
+fn cyclic_topology_fails_with_nonzero_exit() {
+    let path = temp_file(
+        "cycle.toml",
+        &mesh_scenario_with_routes(
+            r#"
+[network.topology.Mesh]
+routes = [
+    {from = "a", to = "b"},
+    {from = "b", to = "a"},
+]
+"#,
+        ),
+    );
+    let out = wsnem(&["run", path.to_str().unwrap()]);
+    assert!(!out.status.success(), "a routing cycle must fail the run");
+    assert!(stderr(&out).contains("cycle"), "stderr: {}", stderr(&out));
+
+    let out = wsnem(&["topology", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cycle"), "stderr: {}", stderr(&out));
+}
+
+#[test]
+fn orphan_topology_fails_with_nonzero_exit() {
+    let path = temp_file(
+        "orphan.toml",
+        &mesh_scenario_with_routes(
+            r#"
+[network.topology.Mesh]
+routes = [
+    {from = "a", to = "sink"},
+]
+"#,
+        ),
+    );
+    for subcommand in ["run", "validate", "topology"] {
+        let out = wsnem(&[subcommand, path.to_str().unwrap()]);
+        assert!(
+            !out.status.success(),
+            "{subcommand}: an orphan node must fail"
+        );
+        let all = format!("{}{}", stdout(&out), stderr(&out));
+        assert!(all.contains("orphan"), "{subcommand}: {all}");
+    }
+}
+
+#[test]
+fn quick_smoke_runs_every_builtin_including_multihop() {
+    let out = wsnem(&["run", "--all", "--quick"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for name in ["tree-collection", "chain-3hop", "mesh-field"] {
+        assert!(text.contains(name), "summary missing `{name}`");
+    }
+    assert!(text.contains("network[tree, Markov]"), "{text}");
+    assert!(text.contains("bottleneck relay `root`"), "{text}");
+}

@@ -97,6 +97,23 @@ impl CpuModelParams {
         self
     }
 
+    /// Effective parameters for a relay node: its own sensing rate plus the
+    /// traffic it forwards for its subtree, wired into λ. With
+    /// `forwarded = 0` this is exactly `with_lambda(own_rate)` — the
+    /// single-hop case.
+    pub fn with_forwarding(self, own_rate: f64, forwarded: f64) -> Self {
+        self.with_lambda(own_rate + forwarded)
+    }
+
+    /// The largest arrival rate these parameters can absorb while the queue
+    /// stays stable (ρ < 1) — the headroom check multi-hop relays need,
+    /// since forwarding load raises a relay's effective λ above its own
+    /// sensing rate. Rates strictly below this validate; `max_stable_lambda`
+    /// itself does not.
+    pub fn max_stable_lambda(&self) -> f64 {
+        self.mu
+    }
+
     /// Offered load ρ = λ/μ.
     pub fn rho(&self) -> f64 {
         self.lambda / self.mu
@@ -201,6 +218,21 @@ mod tests {
         assert_eq!(p.warmup, 50.0);
         assert_eq!(p.replications, 4);
         assert_eq!(p.master_seed, 7);
+    }
+
+    #[test]
+    fn forwarding_plumbs_into_lambda() {
+        let p = CpuModelParams::paper_defaults();
+        assert_eq!(p.with_forwarding(0.4, 0.0), p.with_lambda(0.4));
+        let relay = p.with_forwarding(0.4, 2.1);
+        assert!((relay.lambda - 2.5).abs() < 1e-12);
+        relay.validate().unwrap();
+        assert_eq!(p.max_stable_lambda(), 10.0);
+        assert!(p.with_lambda(p.max_stable_lambda()).validate().is_err());
+        assert!(p
+            .with_lambda(0.99 * p.max_stable_lambda())
+            .validate()
+            .is_ok());
     }
 
     #[test]

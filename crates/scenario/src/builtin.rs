@@ -1,19 +1,30 @@
 //! The built-in scenario library.
 //!
-//! Six ready-to-run scenarios ship with the binary so `wsnem list` /
+//! Nine ready-to-run scenarios ship with the binary so `wsnem list` /
 //! `wsnem run --all` work out of the box. They cover the paper's baseline,
 //! both evaluation axes (Fig. 4/5's threshold sweep, Table 4/5's power-up
 //! delay stress), the bursty-arrivals study from the surveillance domain,
-//! and two application-layer studies (habitat monitoring, a heterogeneous
-//! star network).
+//! two application-layer studies (habitat monitoring, a heterogeneous star
+//! network), and three multi-hop topologies (schema v2): a data-collection
+//! tree, a 3-hop chain and a static-route mesh, where forwarding load
+//! concentrates on sink-adjacent relays and shortens their lifetime.
 
 use wsnem_stats::dist::Dist;
 
 use crate::error::ScenarioError;
 use crate::schema::{
-    Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, Scenario, SweepAxis,
-    SweepSpec, WorkloadSpec,
+    Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, RouteSpec, Scenario,
+    SweepAxis, SweepSpec, TopologySpec, WorkloadSpec,
 };
+
+fn plain_node(name: impl Into<String>, event_rate: f64) -> NodeSpec {
+    NodeSpec {
+        name: name.into(),
+        event_rate,
+        tx_per_event: 1.0,
+        rx_rate: 0.0,
+    }
+}
 
 /// The paper's Table 2 baseline: λ = 1/s, μ = 10/s, T = 0.5 s, D = 1 ms,
 /// PXA271, all three backends with a 2 pp agreement gate.
@@ -138,6 +149,116 @@ pub fn heterogeneous_star() -> Scenario {
                 rx_rate: 2.5,
             },
         ],
+        topology: None,
+    });
+    s
+}
+
+/// A binary data-collection tree: forwarding load concentrates on the
+/// sink-adjacent root relay, which therefore dies first — the
+/// routing-induced load imbalance that determines multi-hop network
+/// lifetime.
+pub fn tree_collection() -> Scenario {
+    let mut s = Scenario::paper_template("tree-collection");
+    s.description = "Seven identical sampling nodes in a complete binary collection tree \
+                     (depth 3). Every node senses at the same rate, but the root relay \
+                     carries its whole subtree's traffic sink-ward, so its CPU arrival \
+                     rate is 7x a leaf's and its battery dies first — the relay \
+                     bottleneck that sizes multi-hop WSN lifetimes."
+        .into();
+    s.backends = vec![Backend::Markov];
+    s.network = Some(NetworkSpec {
+        nodes: (0..7)
+            .map(|i| {
+                let role = match i {
+                    0 => "root".to_owned(),
+                    1 | 2 => format!("relay-{i}"),
+                    _ => format!("leaf-{i}"),
+                };
+                plain_node(role, 0.5)
+            })
+            .collect(),
+        topology: Some(TopologySpec::Tree { fanout: 2 }),
+    });
+    s
+}
+
+/// A 3-hop chain evaluated by every backend — the cross-backend agreement
+/// study on a topology where each node sees a different effective load.
+pub fn chain_3hop() -> Scenario {
+    let mut s = Scenario::paper_template("chain-3hop");
+    s.description = "Three nodes in a line: the sink-adjacent relay forwards for the two \
+                     behind it, so effective arrival rates are 2.4/1.6/0.8 jobs per \
+                     second at hop depths 1/2/3. All four backends evaluate the base \
+                     parameters; the network section uses the analytic Markov model \
+                     per node. Agreement must hold within the paper's 2 pp tolerance."
+        .into();
+    s.cpu = s.cpu.with_lambda(0.8).with_replications(8);
+    s.backends = vec![
+        Backend::Markov,
+        Backend::ErlangPhase,
+        Backend::PetriNet,
+        Backend::Des,
+    ];
+    s.network = Some(NetworkSpec {
+        nodes: vec![
+            plain_node("relay", 0.8),
+            plain_node("mid", 0.8),
+            plain_node("leaf", 0.8),
+        ],
+        topology: Some(TopologySpec::Chain),
+    });
+    s
+}
+
+/// A mesh with explicit static routes: two branches of unequal depth merge
+/// at different relays, so the forwarding load is asymmetric.
+pub fn mesh_field() -> Scenario {
+    let mut s = Scenario::paper_template("mesh-field");
+    s.description = "A five-node field deployment with hand-written static routes: a \
+                     gateway and a second sink-adjacent node, a camera feeding the \
+                     gateway directly and two samplers routed through an intermediate \
+                     hop. The explicit edge list is the mesh case of the topology \
+                     schema; the report shows where the forwarding load lands."
+        .into();
+    s.backends = vec![Backend::Markov];
+    s.network = Some(NetworkSpec {
+        nodes: vec![
+            plain_node("gateway", 0.2),
+            NodeSpec {
+                name: "camera".into(),
+                event_rate: 1.5,
+                tx_per_event: 2.0,
+                rx_rate: 0.0,
+            },
+            plain_node("west-relay", 0.3),
+            plain_node("sampler-a", 0.4),
+            plain_node("sampler-b", 0.6),
+        ],
+        topology: Some(TopologySpec::Mesh {
+            routes: vec![
+                RouteSpec {
+                    from: "gateway".into(),
+                    to: "sink".into(),
+                },
+                RouteSpec {
+                    from: "camera".into(),
+                    to: "gateway".into(),
+                },
+                RouteSpec {
+                    from: "west-relay".into(),
+                    to: "sink".into(),
+                },
+                RouteSpec {
+                    from: "sampler-a".into(),
+                    to: "west-relay".into(),
+                },
+                RouteSpec {
+                    from: "sampler-b".into(),
+                    to: "west-relay".into(),
+                },
+            ],
+        }),
     });
     s
 }
@@ -179,6 +300,9 @@ pub fn all() -> Vec<Scenario> {
         surveillance_bursty(),
         habitat_monitoring(),
         heterogeneous_star(),
+        tree_collection(),
+        chain_3hop(),
+        mesh_field(),
         powerup_delay_stress(),
     ]
 }
@@ -249,5 +373,56 @@ mod tests {
                 .any(|s| s.backends.contains(&Backend::ErlangPhase)),
             "an Erlang-phase scenario"
         );
+        let topologies: Vec<&str> = scenarios
+            .iter()
+            .filter_map(|s| s.network.as_ref())
+            .filter_map(|n| n.topology.as_ref())
+            .map(|t| t.label())
+            .collect();
+        for shape in ["tree", "chain", "mesh"] {
+            assert!(topologies.contains(&shape), "a {shape} topology scenario");
+        }
+    }
+
+    #[test]
+    fn tree_collection_shows_relay_bottleneck() {
+        // Acceptance criterion: in the built-in tree, the sink-adjacent
+        // relay's lifetime is strictly shorter than every leaf's.
+        let mut s = tree_collection();
+        s.cpu = s.cpu.with_replications(2).with_horizon(300.0);
+        let report = crate::runner::run_scenario(&s).unwrap();
+        let net = report.network.unwrap();
+        assert_eq!(net.bottleneck, "root");
+        assert_eq!(net.bottleneck_relay, "root");
+        assert_eq!(net.max_hop_depth, 3);
+        let root = net.nodes.iter().find(|n| n.name == "root").unwrap();
+        assert!((root.forwarded_rx_pkts_s - 3.0).abs() < 1e-12);
+        for leaf in net.nodes.iter().filter(|n| n.name.starts_with("leaf")) {
+            assert!(
+                root.lifetime_days < leaf.lifetime_days,
+                "root {} vs {} {}",
+                root.lifetime_days,
+                leaf.name,
+                leaf.lifetime_days
+            );
+        }
+        // Conservation at the sink: 7 nodes x 0.5 pkt/s.
+        assert!((net.sink_arrival_pkts_s - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_field_routes_resolve() {
+        let mut s = mesh_field();
+        s.cpu = s.cpu.with_replications(2).with_horizon(300.0);
+        let report = crate::runner::run_scenario(&s).unwrap();
+        let net = report.network.unwrap();
+        assert_eq!(net.topology, "mesh");
+        assert_eq!(net.max_hop_depth, 2);
+        let gateway = net.nodes.iter().find(|n| n.name == "gateway").unwrap();
+        let west = net.nodes.iter().find(|n| n.name == "west-relay").unwrap();
+        // camera: 1.5 ev/s x 2 pkts; samplers: 0.4 + 0.6 pkt/s.
+        assert!((gateway.forwarded_rx_pkts_s - 3.0).abs() < 1e-12);
+        assert!((west.forwarded_rx_pkts_s - 1.0).abs() < 1e-12);
+        assert_eq!(net.bottleneck_relay, "gateway");
     }
 }

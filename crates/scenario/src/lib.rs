@@ -10,10 +10,17 @@
 //! per-state energy breakdowns, battery lifetimes and cross-backend
 //! agreement checks.
 //!
-//! A [`builtin`] library of six scenarios (paper baseline, threshold-tuning
+//! Schema v2 adds multi-hop topologies: a scenario network can declare a
+//! [`schema::TopologySpec`] (star, chain, tree with configurable fan-out, or
+//! an explicit static-route mesh) and the runner propagates each subtree's
+//! packet rate sink-ward, so relay nodes carry their forwarding load in both
+//! CPU arrival rate and radio traffic — the load imbalance that determines
+//! network lifetime. v1 files keep loading unchanged.
+//!
+//! A [`builtin`] library of nine scenarios (paper baseline, threshold-tuning
 //! sweep, bursty surveillance traffic, habitat monitoring, a heterogeneous
-//! star, the large-D stress case) ships in the binary, so the `wsnem` CLI
-//! works with no files at all.
+//! star, three multi-hop topologies, the large-D stress case) ships in the
+//! binary, so the `wsnem` CLI works with no files at all.
 //!
 //! ```
 //! use wsnem_scenario::{builtin, runner};
@@ -39,9 +46,14 @@ pub mod schema;
 
 pub use error::ScenarioError;
 pub use files::{load, FileFormat};
-pub use report::{AgreementCheck, BackendReport, EnergyReport, ScenarioReport};
+// Re-exported so consumers of `TopologySpec::build_next_hops` /
+// `NetworkSpec::build_network` (e.g. the CLI) need no direct wsn dependency.
+pub use report::{
+    AgreementCheck, BackendReport, EnergyReport, NetworkReport, NodeReport, ScenarioReport,
+};
 pub use runner::{run_batch, run_scenario};
 pub use schema::{
-    Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, Scenario, SweepAxis,
-    SweepSpec, WorkloadSpec, SCHEMA_VERSION,
+    Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, RouteSpec, Scenario,
+    SweepAxis, SweepSpec, TopologySpec, WorkloadSpec, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
+pub use wsnem_wsn::{Network, NextHop};

@@ -157,11 +157,20 @@ pub struct NodeReport {
     pub total_power_mw: f64,
     /// Expected battery lifetime (days).
     pub lifetime_days: f64,
+    /// Hops to the sink (1 = sink-adjacent; always 1 in a star).
+    pub hop_depth: u32,
+    /// Forwarded traffic this node relays for its subtree (packets/s; 0 in
+    /// a star).
+    pub forwarded_rx_pkts_s: f64,
 }
 
 /// Network section of a report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkReport {
+    /// Backend that evaluated the per-node CPU models.
+    pub backend: Backend,
+    /// Topology shape label (`star`, `chain`, `tree`, `mesh`).
+    pub topology: String,
     /// Per-node results.
     pub nodes: Vec<NodeReport>,
     /// Days until the first node dies.
@@ -170,6 +179,13 @@ pub struct NetworkReport {
     pub mean_lifetime_days: f64,
     /// Name of the shortest-lived node.
     pub bottleneck: String,
+    /// Deepest hop count in the network (1 for a star).
+    pub max_hop_depth: u32,
+    /// Name of the node carrying the largest forwarded load — the routing
+    /// hot spot (empty when nothing forwards, e.g. a star).
+    pub bottleneck_relay: String,
+    /// Total packet rate entering the sink (packets/s).
+    pub sink_arrival_pkts_s: f64,
 }
 
 /// The complete result of running one scenario.
@@ -192,20 +208,24 @@ pub struct ScenarioReport {
 }
 
 impl ScenarioReport {
-    /// CSV header matching [`ScenarioReport::csv_rows`].
+    /// CSV header matching [`ScenarioReport::csv_rows`]. The four trailing
+    /// columns describe network-node rows (one per node when the scenario
+    /// declares a network) and stay empty on backend rows.
     pub const CSV_HEADER: &'static str = "scenario,backend,sweep_axis,sweep_value,\
         standby_frac,powerup_frac,idle_frac,active_frac,mean_power_mw,\
         standby_mj,powerup_mj,idle_mj,active_mj,total_mj,energy_horizon_s,\
-        battery_lifetime_days,mean_jobs,mean_latency_s,eval_seconds,poisson_approximation";
+        battery_lifetime_days,mean_jobs,mean_latency_s,eval_seconds,poisson_approximation,\
+        node,hop_depth,forwarded_rx_pkts_s,is_bottleneck_relay";
 
-    /// Flatten the report into CSV rows (one per backend evaluation,
-    /// including sweep points).
+    /// Flatten the report into CSV rows: one per backend evaluation
+    /// (including sweep points), then one per network node when the
+    /// scenario declares a network.
     pub fn csv_rows(&self) -> Vec<String> {
         fn opt(v: Option<f64>) -> String {
             v.map(|x| format!("{x}")).unwrap_or_default()
         }
-        /// RFC 4180 quoting for user-controlled fields (scenario names may
-        /// contain commas, quotes or newlines).
+        /// RFC 4180 quoting for user-controlled fields (scenario and node
+        /// names may contain commas, quotes or newlines).
         fn csv_field(s: &str) -> String {
             if s.contains(['"', ',', '\n', '\r']) {
                 format!("\"{}\"", s.replace('"', "\"\""))
@@ -217,7 +237,7 @@ impl ScenarioReport {
             let f = b.fractions;
             let scenario = csv_field(scenario);
             format!(
-                "{scenario},{backend},{axis},{value},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{scenario},{backend},{axis},{value},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},,,,",
                 f.standby,
                 f.powerup,
                 f.idle,
@@ -237,6 +257,26 @@ impl ScenarioReport {
                 backend = b.backend,
             )
         }
+        fn node_row(scenario: &str, net: &NetworkReport, n: &NodeReport) -> String {
+            let f = n.cpu_fractions;
+            let scenario = csv_field(scenario);
+            let name = csv_field(&n.name);
+            // Energy/jobs/latency/eval columns do not apply to node rows
+            // and stay empty; mean_power_mw is the node's total (CPU+radio).
+            format!(
+                "{scenario},{backend},,,{},{},{},{},{},,,,,,,{},,,,,{name},{},{},{}",
+                f.standby,
+                f.powerup,
+                f.idle,
+                f.active,
+                n.total_power_mw,
+                n.lifetime_days,
+                n.hop_depth,
+                n.forwarded_rx_pkts_s,
+                !net.bottleneck_relay.is_empty() && n.name == net.bottleneck_relay,
+                backend = net.backend,
+            )
+        }
         let mut rows = Vec::new();
         for b in &self.backends {
             rows.push(row(&self.scenario, "", "", b));
@@ -246,6 +286,11 @@ impl ScenarioReport {
                 for b in &p.backends {
                     rows.push(row(&self.scenario, &sweep.axis, &p.value.to_string(), b));
                 }
+            }
+        }
+        if let Some(net) = &self.network {
+            for n in &net.nodes {
+                rows.push(node_row(&self.scenario, net, n));
             }
         }
         rows
@@ -296,12 +341,34 @@ impl ScenarioReport {
         }
         if let Some(n) = &self.network {
             out.push_str(&format!(
-                "  network: {} nodes, first death {:.1} d (bottleneck `{}`), mean {:.1} d\n",
+                "  network[{}, {}]: {} nodes, depth {}, sink inflow {:.3} pkt/s, \
+                 first death {:.1} d (bottleneck `{}`), mean {:.1} d\n",
+                n.topology,
+                n.backend,
                 n.nodes.len(),
+                n.max_hop_depth,
+                n.sink_arrival_pkts_s,
                 n.first_death_days,
                 n.bottleneck,
                 n.mean_lifetime_days
             ));
+            if !n.bottleneck_relay.is_empty() {
+                out.push_str(&format!(
+                    "    bottleneck relay `{}` (largest forwarded load)\n",
+                    n.bottleneck_relay
+                ));
+            }
+            for node in &n.nodes {
+                out.push_str(&format!(
+                    "    {:<12} hop {}  fwd {:>7.3} pkt/s  power {:>8.3} mW  \
+                     lifetime {:>8.2} d\n",
+                    node.name,
+                    node.hop_depth,
+                    node.forwarded_rx_pkts_s,
+                    node.total_power_mw,
+                    node.lifetime_days
+                ));
+            }
         }
         out.push_str(&format!("  elapsed: {:.3} s\n", self.elapsed_seconds));
         out
@@ -422,10 +489,24 @@ mod tests {
             }],
             sweep: None,
             network: Some(NetworkReport {
-                nodes: vec![],
+                backend: Backend::Markov,
+                topology: "chain".into(),
+                nodes: vec![NodeReport {
+                    name: "hot".into(),
+                    cpu_fractions: StateFractions::new(0.4, 0.0, 0.5, 0.1),
+                    cpu_power_mw: 70.1,
+                    radio_power_mw: 3.0,
+                    total_power_mw: 73.1,
+                    lifetime_days: 12.0,
+                    hop_depth: 1,
+                    forwarded_rx_pkts_s: 1.5,
+                }],
                 first_death_days: 12.0,
                 mean_lifetime_days: 14.0,
                 bottleneck: "hot".into(),
+                max_hop_depth: 3,
+                bottleneck_relay: "hot".into(),
+                sink_arrival_pkts_s: 2.0,
             }),
             elapsed_seconds: 0.25,
         };
@@ -434,5 +515,54 @@ mod tests {
         assert!(s.contains("Markov"));
         assert!(s.contains("[ok]"));
         assert!(s.contains("bottleneck `hot`"));
+        assert!(s.contains("network[chain, Markov]"));
+        assert!(s.contains("depth 3"));
+        assert!(s.contains("bottleneck relay `hot`"));
+        assert!(s.contains("hop 1"));
+    }
+
+    #[test]
+    fn csv_network_rows_carry_topology_columns() {
+        let b = sample_backend_report();
+        let node = |name: &str, depth: u32, fwd: f64| NodeReport {
+            name: name.into(),
+            cpu_fractions: StateFractions::new(0.4, 0.0, 0.5, 0.1),
+            cpu_power_mw: 70.1,
+            radio_power_mw: 3.0,
+            total_power_mw: 73.1,
+            lifetime_days: 9.5,
+            hop_depth: depth,
+            forwarded_rx_pkts_s: fwd,
+        };
+        let report = ScenarioReport {
+            scenario: "tree".into(),
+            schema_version: 2,
+            backends: vec![b],
+            agreement: vec![],
+            sweep: None,
+            network: Some(NetworkReport {
+                backend: Backend::Markov,
+                topology: "tree".into(),
+                nodes: vec![node("root", 1, 1.0), node("leaf, deep", 2, 0.0)],
+                first_death_days: 9.5,
+                mean_lifetime_days: 9.5,
+                bottleneck: "root".into(),
+                max_hop_depth: 2,
+                bottleneck_relay: "root".into(),
+                sink_arrival_pkts_s: 1.5,
+            }),
+            elapsed_seconds: 0.0,
+        };
+        let rows = report.csv_rows();
+        assert_eq!(rows.len(), 3, "{rows:?}");
+        let header_cols = ScenarioReport::CSV_HEADER.split(',').count();
+        // Backend rows leave the node columns empty.
+        assert_eq!(rows[0].split(',').count(), header_cols, "{}", rows[0]);
+        assert!(rows[0].ends_with(",,,,"), "{}", rows[0]);
+        // Node rows fill them: name, hop depth, forwarded load, bottleneck.
+        assert!(rows[1].contains(",root,1,1,true"), "{}", rows[1]);
+        assert_eq!(rows[1].split(',').count(), header_cols, "{}", rows[1]);
+        // RFC 4180: a node name with a comma stays one quoted field.
+        assert!(rows[2].contains("\"leaf, deep\",2,0,false"), "{}", rows[2]);
     }
 }

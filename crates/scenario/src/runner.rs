@@ -12,7 +12,7 @@ use wsnem_des::replication::run_replications;
 use wsnem_energy::{Battery, PowerProfile, StateFractions};
 use wsnem_stats::dist::Dist;
 use wsnem_stats::online::Welford;
-use wsnem_wsn::{CpuBackend, NodeConfig, RadioModel, StarNetwork};
+use wsnem_wsn::CpuBackend;
 
 use crate::error::ScenarioError;
 use crate::report::{
@@ -290,43 +290,49 @@ fn analyze_network(
         Backend::PetriNet => CpuBackend::PetriNet,
         Backend::Des => CpuBackend::Des,
     };
-    let net = StarNetwork {
-        nodes: spec
-            .nodes
-            .iter()
-            .map(|n| NodeConfig {
-                name: n.name.clone(),
-                event_rate: n.event_rate,
-                cpu: scenario.cpu,
-                cpu_profile: profile.clone(),
-                radio: RadioModel::cc2420_class(),
-                tx_per_event: n.tx_per_event,
-                rx_rate: n.rx_rate,
-                battery: *battery,
-            })
-            .collect(),
-    };
-    let analysis = net.analyze_with_threads(cpu_backend, inner_threads)?;
+    // Stars and routed topologies share one code path: a star is a routed
+    // network whose forwarding loads are all zero, so the per-node numbers
+    // are bit-identical to the v1 star analysis.
+    let net = spec.build_network(scenario.cpu, profile, battery)?;
+    let analysis = net
+        .analyze_with_threads(cpu_backend, inner_threads)
+        .map_err(|e| ScenarioError::Invalid(format!("scenario `{}`: {e}", scenario.name)))?;
     let bottleneck = analysis
         .bottleneck()
-        .map(|n| n.name.clone())
+        .map(|n| n.analysis.name.clone())
+        .unwrap_or_default();
+    let bottleneck_relay = analysis
+        .bottleneck_relay()
+        .map(|n| n.analysis.name.clone())
         .unwrap_or_default();
     Ok(NetworkReport {
+        backend,
+        topology: spec
+            .topology
+            .as_ref()
+            .map(|t| t.label())
+            .unwrap_or("star")
+            .to_owned(),
         nodes: analysis
             .per_node
             .iter()
             .map(|n| NodeReport {
-                name: n.name.clone(),
-                cpu_fractions: n.cpu_fractions,
-                cpu_power_mw: n.cpu_power_mw,
-                radio_power_mw: n.radio_power_mw,
-                total_power_mw: n.total_power_mw,
-                lifetime_days: n.lifetime_days,
+                name: n.analysis.name.clone(),
+                cpu_fractions: n.analysis.cpu_fractions,
+                cpu_power_mw: n.analysis.cpu_power_mw,
+                radio_power_mw: n.analysis.radio_power_mw,
+                total_power_mw: n.analysis.total_power_mw,
+                lifetime_days: n.analysis.lifetime_days,
+                hop_depth: n.hop_depth,
+                forwarded_rx_pkts_s: n.forwarded_rx_pkts_s,
             })
             .collect(),
         first_death_days: analysis.first_death_days(),
         mean_lifetime_days: analysis.mean_lifetime_days(),
         bottleneck,
+        max_hop_depth: analysis.max_hop_depth(),
+        bottleneck_relay,
+        sink_arrival_pkts_s: analysis.sink_arrival_pkts_s,
     })
 }
 
@@ -428,12 +434,50 @@ mod tests {
                     rx_rate: 0.5,
                 },
             ],
+            topology: None,
         });
         let report = run_scenario(&s).unwrap();
         let net = report.network.unwrap();
         assert_eq!(net.nodes.len(), 2);
         assert_eq!(net.bottleneck, "hot");
         assert!(net.first_death_days <= net.mean_lifetime_days);
+        // v1 star semantics: one hop, nothing forwarded, no relay hot spot.
+        assert_eq!(net.topology, "star");
+        assert_eq!(net.max_hop_depth, 1);
+        assert_eq!(net.bottleneck_relay, "");
+        assert!(net.nodes.iter().all(|n| n.forwarded_rx_pkts_s == 0.0));
+    }
+
+    #[test]
+    fn chain_topology_propagates_forwarding_load() {
+        let mut s = quick_scenario();
+        s.backends = vec![Backend::Markov];
+        let node = |name: &str| NodeSpec {
+            name: name.into(),
+            event_rate: 0.8,
+            tx_per_event: 1.0,
+            rx_rate: 0.0,
+        };
+        s.network = Some(NetworkSpec {
+            nodes: vec![node("relay"), node("mid"), node("leaf")],
+            topology: Some(crate::schema::TopologySpec::Chain),
+        });
+        let report = run_scenario(&s).unwrap();
+        let net = report.network.unwrap();
+        assert_eq!(net.topology, "chain");
+        assert_eq!(net.max_hop_depth, 3);
+        assert_eq!(net.bottleneck, "relay");
+        assert_eq!(net.bottleneck_relay, "relay");
+        assert!((net.sink_arrival_pkts_s - 2.4).abs() < 1e-12);
+        let by_name = |n: &str| net.nodes.iter().find(|x| x.name == n).unwrap().clone();
+        let (relay, mid, leaf) = (by_name("relay"), by_name("mid"), by_name("leaf"));
+        assert_eq!((relay.hop_depth, mid.hop_depth, leaf.hop_depth), (1, 2, 3));
+        assert!((relay.forwarded_rx_pkts_s - 1.6).abs() < 1e-12);
+        assert!((mid.forwarded_rx_pkts_s - 0.8).abs() < 1e-12);
+        assert_eq!(leaf.forwarded_rx_pkts_s, 0.0);
+        // The load imbalance shows up as strictly ordered lifetimes.
+        assert!(relay.lifetime_days < mid.lifetime_days);
+        assert!(mid.lifetime_days < leaf.lifetime_days);
     }
 
     #[test]

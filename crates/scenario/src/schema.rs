@@ -7,7 +7,9 @@
 //! functions took as Rust arguments, now loadable from JSON or TOML files.
 //!
 //! The schema is versioned ([`SCHEMA_VERSION`]); loaders reject files from a
-//! newer schema instead of misinterpreting them.
+//! newer schema instead of misinterpreting them, while files back to
+//! [`MIN_SCHEMA_VERSION`] keep loading (v2 added the optional
+//! `network.topology` section; a v1 file is a valid v2 file without it).
 
 use serde::{Deserialize, Serialize};
 use wsnem_core::CpuModelParams;
@@ -18,7 +20,17 @@ use crate::error::ScenarioError;
 
 /// Current scenario schema version. Bump on breaking format changes and
 /// keep the golden-file test (`tests/golden_schema.rs`) in sync.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — the original schema: cpu/profile/battery/workload/backends/
+///   report/sweep plus an optional star `network`.
+/// * **2** — `network` gains an optional `topology` section (star / chain /
+///   tree / mesh with static routes) with forwarding-load propagation.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version this build still loads. v1 files parse unchanged
+/// (the v2 additions are optional) and produce identical results.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// A declarative scenario definition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -328,12 +340,125 @@ pub struct SweepSpec {
     pub values: Vec<f64>,
 }
 
-/// A star network whose nodes share the scenario CPU/profile/battery but
-/// differ in sensing rate and radio traffic.
+/// A network whose nodes share the scenario CPU/profile/battery but differ
+/// in sensing rate and radio traffic. Without a [`TopologySpec`] this is the
+/// v1 star (every node transmits straight to the sink and `rx_rate` is
+/// exogenous); with one, forwarding load propagates sink-ward and feeds each
+/// relay's CPU arrival rate and radio traffic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkSpec {
-    /// The leaf nodes.
+    /// The sensor nodes.
     pub nodes: Vec<NodeSpec>,
+    /// Multi-hop routing (schema v2). `None` keeps the v1 star semantics.
+    pub topology: Option<TopologySpec>,
+}
+
+/// How nodes route toward the sink (schema v2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// Every node transmits directly to the sink. Unlike the `None`
+    /// topology, this runs through the routed analysis (forwarding loads
+    /// are all zero, so the numbers match the v1 star exactly).
+    Star,
+    /// A linear chain in node-list order: the first node is sink-adjacent
+    /// and relays everything behind it.
+    Chain,
+    /// A complete tree in breadth-first node-list order: the first node is
+    /// the sink-adjacent root; node `i` forwards to node `(i - 1) / fanout`.
+    Tree {
+        /// Children per parent (≥ 1).
+        fanout: usize,
+    },
+    /// An explicit static route set (the mesh case): every node names its
+    /// next hop once; `to = "sink"` exits the network.
+    Mesh {
+        /// One route per node.
+        routes: Vec<RouteSpec>,
+    },
+}
+
+/// One static route of a [`TopologySpec::Mesh`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteSpec {
+    /// Name of the forwarding node.
+    pub from: String,
+    /// Name of the next hop: another node, or the literal `"sink"`.
+    pub to: String,
+}
+
+impl TopologySpec {
+    /// Resolve this topology into per-node next hops over `nodes`. Fails on
+    /// unknown/duplicate/missing route endpoints; cycle detection happens in
+    /// `wsnem_wsn::Network::validate`.
+    pub fn build_next_hops(
+        &self,
+        nodes: &[NodeSpec],
+    ) -> Result<Vec<wsnem_wsn::NextHop>, ScenarioError> {
+        use wsnem_wsn::NextHop;
+        let n = nodes.len();
+        match self {
+            TopologySpec::Star => Ok(wsnem_wsn::topology::star_next_hops(n)),
+            TopologySpec::Chain => Ok(wsnem_wsn::topology::chain_next_hops(n)),
+            TopologySpec::Tree { fanout } => {
+                if *fanout == 0 {
+                    return Err(ScenarioError::Invalid(
+                        "topology: tree fanout must be >= 1".into(),
+                    ));
+                }
+                Ok(wsnem_wsn::topology::tree_next_hops(n, *fanout))
+            }
+            TopologySpec::Mesh { routes } => {
+                let index_of = |name: &str| nodes.iter().position(|node| node.name == name);
+                let mut next: Vec<Option<NextHop>> = vec![None; n];
+                for r in routes {
+                    let from = index_of(&r.from).ok_or_else(|| {
+                        ScenarioError::Invalid(format!(
+                            "topology: route from unknown node `{}`",
+                            r.from
+                        ))
+                    })?;
+                    if next[from].is_some() {
+                        return Err(ScenarioError::Invalid(format!(
+                            "topology: node `{}` has more than one route",
+                            r.from
+                        )));
+                    }
+                    let hop = if r.to == "sink" {
+                        NextHop::Sink
+                    } else {
+                        NextHop::Node(index_of(&r.to).ok_or_else(|| {
+                            ScenarioError::Invalid(format!(
+                                "topology: route from `{}` to unknown node `{}`",
+                                r.from, r.to
+                            ))
+                        })?)
+                    };
+                    next[from] = Some(hop);
+                }
+                next.iter()
+                    .enumerate()
+                    .map(|(i, hop)| {
+                        hop.ok_or_else(|| {
+                            ScenarioError::Invalid(format!(
+                                "topology: node `{}` has no route (orphan)",
+                                nodes[i].name
+                            ))
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Short display label for listings and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologySpec::Star => "star",
+            TopologySpec::Chain => "chain",
+            TopologySpec::Tree { .. } => "tree",
+            TopologySpec::Mesh { .. } => "mesh",
+        }
+    }
 }
 
 /// One node of a [`NetworkSpec`].
@@ -349,10 +474,42 @@ pub struct NodeSpec {
     pub rx_rate: f64,
 }
 
+impl NetworkSpec {
+    /// Materialize the routed `wsnem_wsn::Network` this spec describes
+    /// (shared by validation, the runner and the CLI `topology` command).
+    /// A missing topology builds as a star.
+    pub fn build_network(
+        &self,
+        cpu: CpuModelParams,
+        profile: &PowerProfile,
+        battery: &Battery,
+    ) -> Result<wsnem_wsn::Network, ScenarioError> {
+        let nodes: Vec<wsnem_wsn::NodeConfig> = self
+            .nodes
+            .iter()
+            .map(|n| wsnem_wsn::NodeConfig {
+                name: n.name.clone(),
+                event_rate: n.event_rate,
+                cpu,
+                cpu_profile: profile.clone(),
+                radio: wsnem_wsn::RadioModel::cc2420_class(),
+                tx_per_event: n.tx_per_event,
+                rx_rate: n.rx_rate,
+                battery: *battery,
+            })
+            .collect();
+        let next_hop = match &self.topology {
+            None => vec![wsnem_wsn::NextHop::Sink; nodes.len()],
+            Some(t) => t.build_next_hops(&self.nodes)?,
+        };
+        Ok(wsnem_wsn::Network { nodes, next_hop })
+    }
+}
+
 impl Scenario {
     /// Validate the complete scenario (schema version, parameters, specs).
     pub fn validate(&self) -> Result<(), ScenarioError> {
-        if self.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&self.schema_version) {
             return Err(ScenarioError::UnsupportedVersion {
                 found: self.schema_version,
                 supported: SCHEMA_VERSION,
@@ -432,6 +589,54 @@ impl Scenario {
                     ))
                 })?;
             }
+            if net.topology.is_some() {
+                if self.schema_version < 2 {
+                    return Err(ScenarioError::Invalid(format!(
+                        "scenario `{}`: network.topology requires schema_version >= 2 \
+                         (found {})",
+                        self.name, self.schema_version
+                    )));
+                }
+                let mut seen = std::collections::BTreeSet::new();
+                for n in &net.nodes {
+                    if n.name == "sink" {
+                        return Err(ScenarioError::Invalid(format!(
+                            "scenario `{}`: `sink` is a reserved node name in routed \
+                             topologies",
+                            self.name
+                        )));
+                    }
+                    if !seen.insert(n.name.as_str()) {
+                        return Err(ScenarioError::Invalid(format!(
+                            "scenario `{}`: duplicate node name `{}` in a routed topology",
+                            self.name, n.name
+                        )));
+                    }
+                }
+                let profile = self.profile.build()?;
+                let battery = self.battery.build()?;
+                let network = net.build_network(self.cpu, &profile, &battery)?;
+                network.validate().map_err(|e| {
+                    ScenarioError::Invalid(format!("scenario `{}`: {e}", self.name))
+                })?;
+                // Forwarding load raises relay arrival rates: check every
+                // node's *effective* λ still describes a stable queue.
+                let forwarded = network.forwarded_rates().map_err(|e| {
+                    ScenarioError::Invalid(format!("scenario `{}`: {e}", self.name))
+                })?;
+                for (n, &fwd) in net.nodes.iter().zip(&forwarded) {
+                    self.cpu
+                        .with_forwarding(n.event_rate, fwd)
+                        .validate()
+                        .map_err(|e| {
+                            ScenarioError::Invalid(format!(
+                                "scenario `{}`: node `{}` (forwarding {fwd:.3} pkt/s \
+                                 for its subtree): {e}",
+                                self.name, n.name
+                            ))
+                        })?;
+                }
+            }
         }
         Ok(())
     }
@@ -473,6 +678,14 @@ mod tests {
             s.validate(),
             Err(ScenarioError::UnsupportedVersion { found: 999, .. })
         ));
+        s.schema_version = 0;
+        assert!(matches!(
+            s.validate(),
+            Err(ScenarioError::UnsupportedVersion { found: 0, .. })
+        ));
+        // v1 files stay loadable.
+        s.schema_version = 1;
+        s.validate().unwrap();
     }
 
     #[test]
@@ -518,7 +731,10 @@ mod tests {
         assert!(s.validate().is_err());
 
         let mut s = Scenario::paper_template("t");
-        s.network = Some(NetworkSpec { nodes: vec![] });
+        s.network = Some(NetworkSpec {
+            nodes: vec![],
+            topology: None,
+        });
         assert!(s.validate().is_err());
 
         let mut s = Scenario::paper_template("t");
@@ -592,5 +808,189 @@ mod tests {
         assert!(Backend::PetriNet.assumes_poisson());
         assert!(!Backend::Des.assumes_poisson());
         assert_eq!(Backend::ErlangPhase.to_string(), "ErlangPhase");
+    }
+
+    fn node(name: &str, event_rate: f64) -> NodeSpec {
+        NodeSpec {
+            name: name.into(),
+            event_rate,
+            tx_per_event: 1.0,
+            rx_rate: 0.0,
+        }
+    }
+
+    fn topology_scenario(nodes: Vec<NodeSpec>, topology: TopologySpec) -> Scenario {
+        let mut s = Scenario::paper_template("topo");
+        s.network = Some(NetworkSpec {
+            nodes,
+            topology: Some(topology),
+        });
+        s
+    }
+
+    #[test]
+    fn topology_specs_resolve_next_hops() {
+        use wsnem_wsn::NextHop;
+        let nodes = vec![node("a", 0.5), node("b", 0.5), node("c", 0.5)];
+        assert_eq!(
+            TopologySpec::Star.build_next_hops(&nodes).unwrap(),
+            vec![NextHop::Sink; 3]
+        );
+        assert_eq!(
+            TopologySpec::Chain.build_next_hops(&nodes).unwrap(),
+            vec![NextHop::Sink, NextHop::Node(0), NextHop::Node(1)]
+        );
+        assert_eq!(
+            TopologySpec::Tree { fanout: 2 }
+                .build_next_hops(&nodes)
+                .unwrap(),
+            vec![NextHop::Sink, NextHop::Node(0), NextHop::Node(0)]
+        );
+        let mesh = TopologySpec::Mesh {
+            routes: vec![
+                RouteSpec {
+                    from: "b".into(),
+                    to: "a".into(),
+                },
+                RouteSpec {
+                    from: "a".into(),
+                    to: "sink".into(),
+                },
+                RouteSpec {
+                    from: "c".into(),
+                    to: "a".into(),
+                },
+            ],
+        };
+        assert_eq!(
+            mesh.build_next_hops(&nodes).unwrap(),
+            vec![NextHop::Sink, NextHop::Node(0), NextHop::Node(0)]
+        );
+        assert_eq!(mesh.label(), "mesh");
+        assert_eq!(TopologySpec::Tree { fanout: 3 }.label(), "tree");
+    }
+
+    #[test]
+    fn topology_requires_schema_v2() {
+        let mut s = topology_scenario(vec![node("a", 0.5)], TopologySpec::Star);
+        s.validate().unwrap();
+        s.schema_version = 1;
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("schema_version >= 2"), "{err}");
+    }
+
+    #[test]
+    fn mesh_validation_rejects_bad_route_sets() {
+        let nodes = || vec![node("a", 0.5), node("b", 0.5)];
+        let cases: Vec<(Vec<RouteSpec>, &str)> = vec![
+            (
+                vec![RouteSpec {
+                    from: "a".into(),
+                    to: "sink".into(),
+                }],
+                "orphan",
+            ),
+            (
+                vec![
+                    RouteSpec {
+                        from: "a".into(),
+                        to: "sink".into(),
+                    },
+                    RouteSpec {
+                        from: "a".into(),
+                        to: "sink".into(),
+                    },
+                    RouteSpec {
+                        from: "b".into(),
+                        to: "a".into(),
+                    },
+                ],
+                "more than one route",
+            ),
+            (
+                vec![
+                    RouteSpec {
+                        from: "a".into(),
+                        to: "sink".into(),
+                    },
+                    RouteSpec {
+                        from: "b".into(),
+                        to: "ghost".into(),
+                    },
+                ],
+                "unknown node `ghost`",
+            ),
+            (
+                vec![
+                    RouteSpec {
+                        from: "ghost".into(),
+                        to: "sink".into(),
+                    },
+                    RouteSpec {
+                        from: "b".into(),
+                        to: "a".into(),
+                    },
+                ],
+                "unknown node `ghost`",
+            ),
+            (
+                vec![
+                    RouteSpec {
+                        from: "a".into(),
+                        to: "b".into(),
+                    },
+                    RouteSpec {
+                        from: "b".into(),
+                        to: "a".into(),
+                    },
+                ],
+                "cycle",
+            ),
+        ];
+        for (routes, needle) in cases {
+            let s = topology_scenario(nodes(), TopologySpec::Mesh { routes });
+            let err = s.validate().unwrap_err().to_string();
+            assert!(err.contains(needle), "expected `{needle}` in `{err}`");
+        }
+    }
+
+    #[test]
+    fn topology_rejects_reserved_and_duplicate_names() {
+        let s = topology_scenario(vec![node("sink", 0.5)], TopologySpec::Star);
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("reserved"), "{err}");
+
+        let s = topology_scenario(vec![node("a", 0.5), node("a", 0.5)], TopologySpec::Chain);
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("duplicate"), "{err}");
+
+        // Without a topology, duplicate names stay legal (v1 semantics).
+        let mut s = Scenario::paper_template("t");
+        s.network = Some(NetworkSpec {
+            nodes: vec![node("a", 0.5), node("a", 0.5)],
+            topology: None,
+        });
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn topology_rejects_unstable_relays() {
+        // 9 leaves at 1.5 ev/s into one relay: effective λ = 0.5 + 13.5 > μ.
+        let mut nodes = vec![node("relay", 0.5)];
+        nodes.extend((0..9).map(|i| node(&format!("leaf-{i}"), 1.5)));
+        let s = topology_scenario(nodes, TopologySpec::Tree { fanout: 9 });
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("relay") && err.contains("forwarding"), "{err}");
+        assert!(err.contains("rho"), "{err}");
+    }
+
+    #[test]
+    fn tree_fanout_zero_rejected() {
+        let s = topology_scenario(
+            vec![node("a", 0.5), node("b", 0.5)],
+            TopologySpec::Tree { fanout: 0 },
+        );
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("fanout"), "{err}");
     }
 }

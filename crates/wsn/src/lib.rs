@@ -12,6 +12,9 @@
 //!   breakdown and battery lifetime.
 //! * [`network`] — star-topology networks of heterogeneous nodes: first-node
 //!   death, mean lifetime, per-node breakdown.
+//! * [`topology`] — multi-hop routed networks (chain/tree/mesh with static
+//!   routes): per-node forwarding load propagated sink-ward, hop depths,
+//!   relay-bottleneck identification.
 //! * [`tuning`] — pick the energy-optimal Power Down Threshold for a
 //!   workload (the design question the paper's Fig. 5 poses).
 
@@ -24,9 +27,13 @@
 pub mod network;
 pub mod node;
 pub mod radio;
+pub mod topology;
 pub mod tuning;
 
 pub use network::{NetworkAnalysis, StarNetwork};
 pub use node::{CpuBackend, NodeAnalysis, NodeConfig};
 pub use radio::RadioModel;
+pub use topology::{
+    Network, NetworkError, NextHop, RoutedAnalysis, RoutedNodeAnalysis, RoutingTable,
+};
 pub use tuning::{optimize_threshold, ThresholdChoice};

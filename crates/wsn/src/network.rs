@@ -42,37 +42,51 @@ impl StarNetwork {
         backend: CpuBackend,
         threads: Option<usize>,
     ) -> Result<NetworkAnalysis, wsnem_core::CoreError> {
-        let n = self.nodes.len();
-        if n == 0 {
-            return Ok(NetworkAnalysis {
-                per_node: Vec::new(),
-            });
-        }
-        let mut slots: Vec<Option<Result<NodeAnalysis, wsnem_core::CoreError>>> = vec![None; n];
-        let threads = threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            })
-            .clamp(1, n.max(1));
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
-                let nodes = &self.nodes;
-                scope.spawn(move || {
-                    for (j, slot) in chunk_slots.iter_mut().enumerate() {
-                        *slot = Some(nodes[k * chunk + j].analyze(backend));
-                    }
-                });
-            }
+        let results = parallel_node_map(self.nodes.len(), threads, |i| {
+            self.nodes[i].analyze(backend)
         });
-        let mut per_node = Vec::with_capacity(n);
-        for s in slots {
-            per_node.push(s.expect("all nodes analyzed")?);
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        for r in results {
+            per_node.push(r?);
         }
         Ok(NetworkAnalysis { per_node })
     }
+}
+
+/// Evaluate `f(0..n)` across a scoped thread pool, preserving index order.
+/// `threads = None` uses available parallelism; callers that already
+/// parallelize at a higher level pass `Some(1)`.
+pub(crate) fn parallel_node_map<T, F>(n: usize, threads: Option<usize>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                for (j, slot) in chunk_slots.iter_mut().enumerate() {
+                    *slot = Some(f(k * chunk + j));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all indices evaluated"))
+        .collect()
 }
 
 impl NetworkAnalysis {

@@ -65,6 +65,12 @@ impl NodeConfig {
     pub fn cpu_params(&self) -> CpuModelParams {
         self.cpu.with_lambda(self.event_rate)
     }
+
+    /// Packets per second this node originates itself (excluding traffic it
+    /// forwards for others).
+    pub fn own_tx_rate(&self) -> f64 {
+        self.event_rate * self.tx_per_event
+    }
 }
 
 /// Evaluated node energy budget.
@@ -87,7 +93,19 @@ pub struct NodeAnalysis {
 impl NodeConfig {
     /// Evaluate the node with the chosen CPU backend.
     pub fn analyze(&self, backend: CpuBackend) -> Result<NodeAnalysis, wsnem_core::CoreError> {
-        let params = self.cpu_params();
+        self.analyze_with_forwarding(backend, 0.0)
+    }
+
+    /// Evaluate the node as a relay carrying `forwarded_rx` extra packets
+    /// per second on top of its own sensing work: each forwarded packet is
+    /// one additional CPU job, one radio reception *and* one retransmission.
+    /// `forwarded_rx = 0` is exactly [`NodeConfig::analyze`].
+    pub fn analyze_with_forwarding(
+        &self,
+        backend: CpuBackend,
+        forwarded_rx: f64,
+    ) -> Result<NodeAnalysis, wsnem_core::CoreError> {
+        let params = self.cpu.with_forwarding(self.event_rate, forwarded_rx);
         let eval = match backend {
             CpuBackend::Markov => MarkovCpuModel::new(params).evaluate()?,
             CpuBackend::ErlangPhase => PhaseCpuModel::new(params).evaluate()?,
@@ -95,9 +113,10 @@ impl NodeConfig {
             CpuBackend::Des => DesCpuModel::new(params).evaluate()?,
         };
         let cpu_power = self.cpu_profile.mean_power_mw(&eval.fractions);
-        let radio_power = self
-            .radio
-            .mean_power_mw(self.event_rate * self.tx_per_event, self.rx_rate);
+        let radio_power = self.radio.mean_power_mw(
+            self.own_tx_rate() + forwarded_rx,
+            self.rx_rate + forwarded_rx,
+        );
         let total = cpu_power + radio_power;
         Ok(NodeAnalysis {
             name: self.name.clone(),

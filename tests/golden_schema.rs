@@ -1,19 +1,26 @@
-//! Golden-file test pinning scenario schema v1.
+//! Golden-file tests pinning the scenario schema.
 //!
-//! `tests/golden/scenario_v1.json` is the canonical serialized form of a
-//! fixed scenario. If this test fails, the on-disk scenario format changed:
-//! either revert the accidental change, or — for an intentional format
-//! change — bump `wsnem_scenario::SCHEMA_VERSION`, regenerate the golden
-//! file (`WSNEM_BLESS=1 cargo test -p wsnem --test golden_schema`) and add a
-//! migration note to README.md.
+//! `tests/golden/scenario_v2.json` is the canonical serialized form of a
+//! fixed scenario under the current schema. If the byte-match test fails,
+//! the on-disk format changed: either revert the accidental change, or —
+//! for an intentional format change — bump `wsnem_scenario::SCHEMA_VERSION`,
+//! regenerate the golden file (`WSNEM_BLESS=1 cargo test -p wsnem --test
+//! golden_schema`) and add a migration note to README.md.
+//!
+//! `tests/golden/scenario_v1.json` is frozen at the v1 bytes forever: it is
+//! the back-compat fixture proving that files written before the topology
+//! extension keep loading, validating and analyzing unchanged.
 
-use wsnem_scenario::{files, FileFormat, Scenario, SCHEMA_VERSION};
+use wsnem_scenario::{
+    builtin, files, runner, FileFormat, Scenario, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
 
-const GOLDEN_PATH: &str = "tests/golden/scenario_v1.json";
+const GOLDEN_V1_PATH: &str = "tests/golden/scenario_v1.json";
+const GOLDEN_V2_PATH: &str = "tests/golden/scenario_v2.json";
 
-/// The fixed scenario the golden file pins. Touches every schema section:
-/// custom profile/battery, a non-Poisson workload, a sweep and a network.
-fn pinned_scenario() -> Scenario {
+/// The fixed scenario the v1 golden file pins (as written by the v1 code:
+/// no `topology` key). Touches every v1 schema section.
+fn pinned_scenario_v1() -> Scenario {
     use wsnem::stats::dist::Dist;
     use wsnem_scenario::{
         Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, SweepAxis, SweepSpec,
@@ -21,6 +28,7 @@ fn pinned_scenario() -> Scenario {
     };
 
     let mut s = Scenario::paper_template("golden-v1");
+    s.schema_version = 1;
     s.description = "fixture covering every schema section".into();
     s.cpu = s.cpu.with_seed(42);
     s.profile = ProfileSpec::Custom {
@@ -61,53 +69,181 @@ fn pinned_scenario() -> Scenario {
             tx_per_event: 1.0,
             rx_rate: 0.25,
         }],
+        topology: None,
+    });
+    s
+}
+
+/// The fixed scenario the v2 golden file pins: the v1 sections plus the
+/// schema v2 addition — a routed topology with static mesh routes.
+fn pinned_scenario_v2() -> Scenario {
+    use wsnem_scenario::{NetworkSpec, NodeSpec, RouteSpec, TopologySpec};
+
+    let mut s = pinned_scenario_v1();
+    s.schema_version = SCHEMA_VERSION;
+    s.name = "golden-v2".into();
+    let node = |name: &str, event_rate: f64| NodeSpec {
+        name: name.into(),
+        event_rate,
+        tx_per_event: 1.0,
+        rx_rate: 0.0,
+    };
+    s.network = Some(NetworkSpec {
+        nodes: vec![node("relay", 0.5), node("mid", 0.4), node("leaf", 0.3)],
+        topology: Some(TopologySpec::Mesh {
+            routes: vec![
+                RouteSpec {
+                    from: "relay".into(),
+                    to: "sink".into(),
+                },
+                RouteSpec {
+                    from: "mid".into(),
+                    to: "relay".into(),
+                },
+                RouteSpec {
+                    from: "leaf".into(),
+                    to: "mid".into(),
+                },
+            ],
+        }),
     });
     s
 }
 
 #[test]
 fn schema_version_is_pinned() {
-    // Bumping this constant is a format break: regenerate the golden file
-    // and document the migration.
-    assert_eq!(SCHEMA_VERSION, 1);
+    // Bumping either constant is a format event: regenerate/add golden
+    // files and document the migration.
+    assert_eq!(SCHEMA_VERSION, 2);
+    assert_eq!(MIN_SCHEMA_VERSION, 1);
 }
 
 #[test]
-fn golden_file_matches_serialization() {
-    let scenario = pinned_scenario();
+fn golden_v2_file_matches_serialization() {
+    let scenario = pinned_scenario_v2();
     let serialized = files::to_string(&scenario, FileFormat::Json).unwrap() + "\n";
 
     if std::env::var_os("WSNEM_BLESS").is_some() {
         std::fs::create_dir_all("tests/golden").unwrap();
-        std::fs::write(GOLDEN_PATH, &serialized).unwrap();
+        std::fs::write(GOLDEN_V2_PATH, &serialized).unwrap();
         return;
     }
 
-    let golden = std::fs::read_to_string(GOLDEN_PATH)
+    let golden = std::fs::read_to_string(GOLDEN_V2_PATH)
         .expect("golden file missing — run with WSNEM_BLESS=1 to create it");
     assert_eq!(
         serialized, golden,
-        "scenario schema drifted from the v1 golden file; \
+        "scenario schema drifted from the v2 golden file; \
          see the module docs for the intended workflow"
     );
 }
 
 #[test]
-fn golden_file_parses_and_validates() {
-    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+fn golden_v2_file_parses_and_validates() {
+    let golden = std::fs::read_to_string(GOLDEN_V2_PATH).expect("golden file present");
     let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
-    assert_eq!(scenario, pinned_scenario());
+    assert_eq!(scenario, pinned_scenario_v2());
     assert_eq!(scenario.schema_version, SCHEMA_VERSION);
+}
+
+/// The v1 golden bytes must keep loading forever — they stand in for every
+/// scenario file users wrote before the topology extension.
+#[test]
+fn golden_v1_file_still_loads_unchanged() {
+    let golden = std::fs::read_to_string(GOLDEN_V1_PATH).expect("v1 golden file present");
+    assert!(
+        !golden.contains("topology"),
+        "the v1 fixture must stay a genuine v1 file; never regenerate it"
+    );
+    let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
+    assert_eq!(scenario, pinned_scenario_v1());
+    assert_eq!(scenario.schema_version, 1);
+    // And the loaded v1 network still analyzes: no topology → star.
+    let mut quick = scenario;
+    quick.cpu = quick.cpu.with_replications(2).with_horizon(300.0);
+    quick.backends = vec![wsnem_scenario::Backend::Markov];
+    quick.sweep = None;
+    quick.workload = None;
+    let report = runner::run_scenario(&quick).unwrap();
+    let net = report.network.unwrap();
+    assert_eq!(net.topology, "star");
+    assert_eq!(net.max_hop_depth, 1);
 }
 
 #[test]
 fn newer_schema_versions_are_rejected_not_misread() {
-    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
-    let bumped = golden.replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
+    let golden = std::fs::read_to_string(GOLDEN_V2_PATH).expect("golden file present");
+    let future = SCHEMA_VERSION + 1;
+    let bumped = golden.replacen(
+        &format!("\"schema_version\": {SCHEMA_VERSION}"),
+        &format!("\"schema_version\": {future}"),
+        1,
+    );
     assert_ne!(golden, bumped, "fixture must contain the version field");
     let err = files::from_str(&bumped, FileFormat::Json).unwrap_err();
     assert!(
-        err.to_string().contains("schema version 2"),
+        err.to_string()
+            .contains(&format!("schema version {future}")),
         "unexpected error: {err}"
     );
+}
+
+/// v1 → v2 compatibility: every builtin that uses no v2-only feature, when
+/// rewritten as a v1 file, loads and analyzes to *identical* results —
+/// replication streams included.
+#[test]
+fn v1_builtins_round_trip_and_analyze_identically() {
+    let mut checked = 0;
+    for scenario in builtin::all() {
+        if scenario
+            .network
+            .as_ref()
+            .is_some_and(|n| n.topology.is_some())
+        {
+            continue; // v2-only feature; cannot be expressed as v1
+        }
+        let mut quick = scenario;
+        quick.cpu = quick
+            .cpu
+            .with_replications(2)
+            .with_horizon(300.0)
+            .with_warmup(quick.cpu.warmup.min(30.0));
+        if let Some(sweep) = &mut quick.sweep {
+            sweep.values.truncate(2);
+        }
+
+        let mut v1 = quick.clone();
+        v1.schema_version = 1;
+        for format in [FileFormat::Json, FileFormat::Toml] {
+            let text = files::to_string(&v1, format).unwrap();
+            let loaded = files::from_str(&text, format)
+                .unwrap_or_else(|e| panic!("{} as v1 {format:?}: {e}\n{text}", v1.name));
+            assert_eq!(loaded, v1, "{} via {format:?}", v1.name);
+        }
+
+        let v2_report = runner::run_scenario(&quick).unwrap();
+        let v1_report = runner::run_scenario(&v1).unwrap();
+        assert_eq!(v1_report.schema_version, 1);
+        for (a, b) in v2_report.backends.iter().zip(&v1_report.backends) {
+            assert_eq!(a.backend, b.backend, "{}", quick.name);
+            assert_eq!(a.fractions, b.fractions, "{}", quick.name);
+            assert_eq!(a.energy, b.energy, "{}", quick.name);
+            assert_eq!(
+                a.battery_lifetime_days, b.battery_lifetime_days,
+                "{}",
+                quick.name
+            );
+        }
+        match (&v2_report.network, &v1_report.network) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.nodes, b.nodes, "{}", quick.name);
+                assert_eq!(a.first_death_days, b.first_death_days, "{}", quick.name);
+                assert_eq!(a.bottleneck, b.bottleneck, "{}", quick.name);
+            }
+            _ => panic!("{}: network sections differ", quick.name),
+        }
+        checked += 1;
+    }
+    assert!(checked >= 5, "expected most builtins to be v1-expressible");
 }
