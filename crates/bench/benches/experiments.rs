@@ -47,9 +47,9 @@ fn bench_fig5(c: &mut Criterion) {
     g.bench_function("energy_series_from_sweep", |b| {
         b.iter(|| {
             for kind in [
-                wsnem_core::ModelKind::Des,
-                wsnem_core::ModelKind::Markov,
-                wsnem_core::ModelKind::PetriNet,
+                wsnem_core::BackendId::Des,
+                wsnem_core::BackendId::Markov,
+                wsnem_core::BackendId::PetriNet,
             ] {
                 black_box(sweep.energy_series(kind, &profile));
             }

@@ -6,7 +6,7 @@
 
 use wsnem_bench::{f, quick_mode, render_table};
 use wsnem_core::experiments::ThresholdSweep;
-use wsnem_core::{CpuModelParams, ModelKind};
+use wsnem_core::{BackendId, CpuModelParams};
 
 fn main() {
     let quick = quick_mode();
@@ -27,9 +27,9 @@ fn main() {
     for (state_idx, state) in ["Standby", "PowerUp", "Idle", "Active"].iter().enumerate() {
         // Canonical order is [standby, powerup, idle, active].
         println!("State: {state} (%)");
-        let sim = sweep.percent_series(ModelKind::Des, state_idx);
-        let mar = sweep.percent_series(ModelKind::Markov, state_idx);
-        let pn = sweep.percent_series(ModelKind::PetriNet, state_idx);
+        let sim = sweep.percent_series(BackendId::Des, state_idx);
+        let mar = sweep.percent_series(BackendId::Markov, state_idx);
+        let pn = sweep.percent_series(BackendId::PetriNet, state_idx);
         let rows: Vec<Vec<String>> = sweep
             .t_values()
             .iter()

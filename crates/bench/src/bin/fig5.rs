@@ -8,7 +8,7 @@
 
 use wsnem_bench::{f, quick_mode, render_table};
 use wsnem_core::experiments::ThresholdSweep;
-use wsnem_core::{CpuModelParams, MarkovCpuModel, ModelKind};
+use wsnem_core::{BackendId, CpuModelParams, MarkovCpuModel};
 use wsnem_energy::PowerProfile;
 
 fn main() {
@@ -28,9 +28,9 @@ fn main() {
         params.lambda, params.mu, params.horizon
     );
 
-    let sim = sweep.energy_series(ModelKind::Des, &profile);
-    let mar = sweep.energy_series(ModelKind::Markov, &profile);
-    let pn = sweep.energy_series(ModelKind::PetriNet, &profile);
+    let sim = sweep.energy_series(BackendId::Des, &profile);
+    let mar = sweep.energy_series(BackendId::Markov, &profile);
+    let pn = sweep.energy_series(BackendId::PetriNet, &profile);
     let n_jobs = params.lambda * params.horizon;
     let rows: Vec<Vec<String>> = sweep
         .t_values()

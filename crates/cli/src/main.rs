@@ -7,6 +7,7 @@
 //! wsnem run --builtin paper-defaults      # run one built-in by name
 //! wsnem run --all --format json -o out.json
 //! wsnem run --all --format csv            # flat per-backend rows
+//! wsnem compare --builtin paper-defaults  # Table 4/5 matrix: every backend
 //! wsnem validate my.toml                  # parse + validate without running
 //! wsnem export paper-defaults --format toml   # print a built-in as a file
 //! wsnem topology --builtin tree-collection    # inspect multi-hop routing
@@ -47,6 +48,11 @@ USAGE:
 COMMANDS:
     list                       List built-in scenarios
     run [FILES..] [OPTIONS]    Run scenario files and/or built-ins
+    compare [FILE] [OPTIONS]   Run EVERY registered backend over a scenario's
+                               base point and sweep, and emit the paper's
+                               Table 4/5 cross-backend comparison matrix
+                               (per-state deltas in percentage points plus
+                               wall-clock cost per backend)
     validate <FILES..>         Parse and validate scenario files
     export <NAME> [OPTIONS]    Print a built-in scenario as a file
     topology [FILE] [--builtin <NAME>]
@@ -62,6 +68,15 @@ RUN OPTIONS:
     --out, -o <FILE>      Write the report there instead of stdout
     --threads <N>         Parallelism across scenarios (default: all cores)
     --quick               Shrink replications/horizons for a fast smoke run
+
+COMPARE OPTIONS:
+    --builtin <NAME>      Compare a built-in scenario
+    --format <FMT>        Output format: summary (default), json, csv
+    --out, -o <FILE>      Write the matrix there instead of stdout
+    --threads <N>         Replication worker threads (default: all cores)
+    --quick               Shrink replications/horizons for a fast smoke run
+    --max-delta-pp <PP>   Exit non-zero if any backend's mean |Δ| vs the
+                          reference exceeds PP percentage points
 
 EXPORT OPTIONS:
     --format <FMT>        File format: toml (default), json
@@ -79,6 +94,7 @@ fn main() -> ExitCode {
     let result = match command {
         "list" => cmd_list(),
         "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
         "validate" => cmd_validate(rest),
         "export" => cmd_export(rest),
         "topology" => cmd_topology(rest),
@@ -112,6 +128,10 @@ fn cmd_list() -> Result<(), String> {
                 .as_ref()
                 .filter(|w| !w.is_poisson())
                 .map(|_| "non-poisson workload"),
+            s.service
+                .as_ref()
+                .filter(|d| !d.is_exponential())
+                .map(|_| "non-exponential service"),
         ]
         .into_iter()
         .flatten()
@@ -283,6 +303,113 @@ fn render(reports: &[ScenarioReport], format: &str) -> Result<String, String> {
             Ok(out)
         }
     }
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let mut file: Option<String> = None;
+    let mut builtin_name: Option<String> = None;
+    let mut format = "summary".to_owned();
+    let mut out_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut quick = false;
+    let mut max_delta_pp: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--builtin" => builtin_name = Some(required(&mut it, "--builtin <NAME>")?),
+            "--format" => format = required(&mut it, "--format <FMT>")?,
+            "--out" | "-o" => out_path = Some(required(&mut it, "--out <FILE>")?),
+            "--quick" => quick = true,
+            "--threads" => {
+                let v = required(&mut it, "--threads <N>")?;
+                threads =
+                    Some(v.parse().ok().filter(|&n: &usize| n >= 1).ok_or_else(|| {
+                        format!("--threads expects a positive integer, got `{v}`")
+                    })?);
+            }
+            "--max-delta-pp" => {
+                let v = required(&mut it, "--max-delta-pp <PP>")?;
+                max_delta_pp =
+                    Some(v.parse().ok().filter(|x: &f64| *x > 0.0).ok_or_else(|| {
+                        format!("--max-delta-pp expects a positive number, got `{v}`")
+                    })?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            f if file.is_none() => file = Some(f.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let mut scenario = match (file, builtin_name) {
+        (Some(_), Some(_)) => {
+            return Err("pass either a scenario file or --builtin <NAME>, not both".into())
+        }
+        (None, None) => return Err("compare expects a scenario file or --builtin <NAME>".into()),
+        (Some(f), None) => files::load(&f).map_err(|e| e.to_string())?,
+        (None, Some(n)) => builtin::find(&n).map_err(|e| e.to_string())?,
+    };
+    if quick {
+        // Slightly larger smoke budget than `run --quick`: the matrix gates
+        // on 2 pp agreement, which 2 replications of 300 s cannot promise.
+        scenario.cpu = scenario
+            .cpu
+            .with_replications(4)
+            .with_horizon(1500.0)
+            .with_warmup(scenario.cpu.warmup.clamp(50.0, 100.0));
+        if let Some(sweep) = &mut scenario.sweep {
+            sweep.values.truncate(2);
+        }
+    }
+
+    let report = wsnem_scenario::compare_scenario_with(
+        &scenario,
+        wsnem_scenario::global_registry(),
+        threads,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let rendered = match format.as_str() {
+        "summary" => report.summary(),
+        "json" => {
+            let mut s = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+            s.push('\n');
+            s
+        }
+        "csv" => {
+            let mut s = String::from(wsnem_scenario::CompareReport::CSV_HEADER);
+            s.push('\n');
+            for row in report.csv_rows() {
+                s.push_str(&row);
+                s.push('\n');
+            }
+            s
+        }
+        other => {
+            return Err(format!(
+                "unknown format `{other}` (expected summary, json or csv)"
+            ))
+        }
+    };
+    match &out_path {
+        None => out(&rendered),
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote comparison matrix to {path} ({format} format)");
+        }
+    }
+
+    if let Some(tol) = max_delta_pp {
+        if report.max_mean_abs_delta_pp > tol {
+            return Err(format!(
+                "comparison matrix exceeds tolerance: max mean |Δ| = {:.3} pp > {tol} pp",
+                report.max_mean_abs_delta_pp
+            ));
+        }
+        eprintln!(
+            "max mean |Δ| = {:.3} pp within tolerance {tol} pp",
+            report.max_mean_abs_delta_pp
+        );
+    }
+    Ok(())
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {

@@ -251,6 +251,125 @@ routes = [
 }
 
 #[test]
+fn compare_emits_full_backend_matrix_within_tolerance() {
+    // The acceptance criterion: `wsnem compare` on a built-in scenario
+    // emits a Table 4/5-style matrix covering all four backends with
+    // per-state deltas within the paper's 2 pp tolerance.
+    let out = wsnem(&[
+        "compare",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+        "--max-delta-pp",
+        "2",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for backend in ["Markov", "ErlangPhase", "PetriNet", "Des"] {
+        assert!(text.contains(backend), "matrix missing `{backend}`: {text}");
+    }
+    assert!(text.contains("reference Des"), "{text}");
+    assert!(text.contains("max mean |Δ|"), "{text}");
+    assert!(text.contains("wall-clock per backend"), "{text}");
+    assert!(
+        stderr(&out).contains("within tolerance"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn compare_csv_and_json_formats() {
+    let out = wsnem(&[
+        "compare",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+        "--format",
+        "csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    let header = csv_fields(lines.next().expect("header"));
+    assert!(
+        header.iter().any(|h| h == "mean_abs_delta_pp"),
+        "{header:?}"
+    );
+    assert!(header.iter().any(|h| h == "d_active_pp"), "{header:?}");
+    let rows: Vec<Vec<String>> = lines.map(csv_fields).collect();
+    assert_eq!(rows.len(), 4, "one row per backend: {text}");
+    for row in &rows {
+        assert_eq!(row.len(), header.len(), "{row:?}");
+    }
+
+    let out = wsnem(&[
+        "compare",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"max_mean_abs_delta_pp\""), "{text}");
+    assert!(text.contains("\"backend_seconds\""), "{text}");
+}
+
+#[test]
+fn compare_max_delta_gate_fails_when_exceeded() {
+    // An absurdly tight tolerance must turn Monte-Carlo noise into a
+    // non-zero exit — the CI gate's failure path.
+    let out = wsnem(&[
+        "compare",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+        "--max-delta-pp",
+        "0.000001",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("exceeds tolerance"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unknown_backend_in_scenario_file_gets_did_you_mean() {
+    let scenario = r#"
+schema_version = 3
+name = "typo"
+description = "backend name typo"
+profile = "Pxa271"
+battery = "TwoAa"
+backends = ["Markvo"]
+
+[cpu]
+lambda = 0.5
+mu = 10.0
+power_down_threshold = 0.5
+power_up_delay = 0.001
+horizon = 300.0
+warmup = 0.0
+replications = 2
+master_seed = 7
+
+[report]
+energy_horizon_s = 1000.0
+"#;
+    let path = temp_file("typo.toml", scenario);
+    let out = wsnem(&["validate", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let all = format!("{}{}", stdout(&out), stderr(&out));
+    assert!(all.contains("unknown backend `Markvo`"), "{all}");
+    assert!(all.contains("did you mean `Markov`?"), "{all}");
+    assert!(all.contains("registered backends"), "{all}");
+}
+
+#[test]
 fn quick_smoke_runs_every_builtin_including_multihop() {
     let out = wsnem(&["run", "--all", "--quick"]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));

@@ -24,6 +24,29 @@ pub enum CoreError {
         /// Offending value.
         value: f64,
     },
+    /// A capability the backend does not provide was requested (e.g. a
+    /// non-exponential service distribution from an analytic backend).
+    /// Raised instead of silently falling back to wrong numbers.
+    Unsupported {
+        /// The backend that rejected the request.
+        backend: crate::backend::BackendId,
+        /// What was requested.
+        what: String,
+    },
+    /// The requested service-time distribution is itself out of domain.
+    InvalidService {
+        /// The stats layer's description of what is wrong.
+        detail: String,
+    },
+    /// A backend name did not resolve against the registry.
+    UnknownBackend {
+        /// The name as given.
+        name: String,
+        /// Closest registered name, when one is plausibly close.
+        did_you_mean: Option<String>,
+        /// Every registered backend name (registry-driven, never stale).
+        registered: Vec<String>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +60,25 @@ impl fmt::Display for CoreError {
                 constraint,
                 value,
             } => write!(f, "{what}: value {value} violates {constraint}"),
+            CoreError::InvalidService { detail } => {
+                write!(f, "service distribution: {detail}")
+            }
+            CoreError::Unsupported { backend, what } => write!(
+                f,
+                "backend `{backend}` does not support {what} \
+                 (see its Capabilities descriptor)"
+            ),
+            CoreError::UnknownBackend {
+                name,
+                did_you_mean,
+                registered,
+            } => {
+                write!(f, "unknown backend `{name}`")?;
+                if let Some(s) = did_you_mean {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                write!(f, "; registered backends: {}", registered.join(", "))
+            }
         }
     }
 }
@@ -47,7 +89,10 @@ impl std::error::Error for CoreError {
             CoreError::Markov(e) => Some(e),
             CoreError::Petri(e) => Some(e),
             CoreError::Des(e) => Some(e),
-            CoreError::InvalidParameter { .. } => None,
+            CoreError::InvalidParameter { .. }
+            | CoreError::InvalidService { .. }
+            | CoreError::Unsupported { .. }
+            | CoreError::UnknownBackend { .. } => None,
         }
     }
 }

@@ -1,42 +1,20 @@
-//! The common evaluation interface of the three CPU models.
+//! The common evaluation interface of the CPU models.
 
 use wsnem_energy::{EnergyBreakdown, PowerProfile, StateFractions};
 
+use crate::backend::BackendId;
 use crate::error::CoreError;
 
-/// Which model produced an evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ModelKind {
-    /// Supplementary-variable Markov closed forms.
-    Markov,
-    /// EDSPN token-game simulation.
-    PetriNet,
-    /// Discrete-event simulation (ground truth).
-    Des,
-}
-
-impl ModelKind {
-    /// Display name matching the paper's figure legends.
-    pub fn name(self) -> &'static str {
-        match self {
-            ModelKind::Markov => "Markov",
-            ModelKind::PetriNet => "Petri Net",
-            ModelKind::Des => "Simulation",
-        }
-    }
-}
-
-impl std::fmt::Display for ModelKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+/// Deprecated alias of [`BackendId`], kept so pre-registry code compiles
+/// unchanged. Use [`BackendId`] in new code; `ModelKind`'s paper-legend
+/// display names now live in [`BackendId::paper_label`].
+pub type ModelKind = BackendId;
 
 /// A model's steady-state verdict on the CPU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelEvaluation {
-    /// Which model produced this.
-    pub kind: ModelKind,
+    /// Which backend produced this.
+    pub kind: BackendId,
     /// Steady-state occupancy of the four power states.
     pub fractions: StateFractions,
     /// Mean number of jobs in the system, when the model provides it.
@@ -66,9 +44,12 @@ impl ModelEvaluation {
 }
 
 /// A CPU model that can be evaluated to steady-state fractions.
+///
+/// This is the typed, by-value API; the object-safe registry counterpart is
+/// [`crate::backend::CpuSolver`].
 pub trait CpuModel {
-    /// The model's kind/label.
-    fn kind(&self) -> ModelKind;
+    /// The backend this model implements.
+    fn kind(&self) -> BackendId;
 
     /// Evaluate the model.
     fn evaluate(&self) -> Result<ModelEvaluation, CoreError>;
@@ -79,16 +60,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn kind_names_match_paper_legends() {
+    fn paper_legends_live_on_paper_label() {
+        // ModelKind is a deprecated alias of BackendId: canonical names for
+        // Display/serialization, the paper's figure legends via
+        // `paper_label`.
         assert_eq!(ModelKind::Markov.to_string(), "Markov");
-        assert_eq!(ModelKind::PetriNet.to_string(), "Petri Net");
-        assert_eq!(ModelKind::Des.to_string(), "Simulation");
+        assert_eq!(ModelKind::PetriNet.to_string(), "PetriNet");
+        assert_eq!(ModelKind::Des.to_string(), "Des");
+        assert_eq!(ModelKind::PetriNet.paper_label(), "Petri Net");
+        assert_eq!(ModelKind::Des.paper_label(), "Simulation");
     }
 
     #[test]
     fn evaluation_energy_helpers() {
         let eval = ModelEvaluation {
-            kind: ModelKind::Markov,
+            kind: BackendId::Markov,
             fractions: StateFractions::new(1.0, 0.0, 0.0, 0.0),
             mean_jobs: None,
             mean_latency: None,

@@ -51,8 +51,8 @@ mod tests {
         for e in [&m, &p, &d] {
             assert!(e.fractions.is_normalized(1e-6));
         }
-        assert_eq!(m.kind, crate::ModelKind::Markov);
-        assert_eq!(p.kind, crate::ModelKind::PetriNet);
-        assert_eq!(d.kind, crate::ModelKind::Des);
+        assert_eq!(m.kind, crate::BackendId::Markov);
+        assert_eq!(p.kind, crate::BackendId::PetriNet);
+        assert_eq!(d.kind, crate::BackendId::Des);
     }
 }

@@ -2,8 +2,9 @@
 
 use wsnem_energy::PowerProfile;
 
+use crate::backend::BackendId;
 use crate::error::CoreError;
-use crate::evaluation::{CpuModel, ModelEvaluation, ModelKind};
+use crate::evaluation::{CpuModel, ModelEvaluation};
 use crate::models::des_model::DesCpuModel;
 use crate::models::markov_model::MarkovCpuModel;
 use crate::models::petri_model::PetriCpuModel;
@@ -23,13 +24,13 @@ pub struct SweepPoint {
 }
 
 impl SweepPoint {
-    /// Evaluation of the given model kind.
-    pub fn of(&self, kind: ModelKind) -> &ModelEvaluation {
-        match kind {
-            ModelKind::Markov => &self.markov,
-            ModelKind::PetriNet => &self.petri,
-            ModelKind::Des => &self.des,
-        }
+    /// Evaluation of the given backend. Panics for a backend this sweep did
+    /// not run (the paper's sweeps cover Markov, PetriNet and Des).
+    pub fn of(&self, kind: BackendId) -> &ModelEvaluation {
+        [&self.markov, &self.petri, &self.des]
+            .into_iter()
+            .find(|e| e.kind == kind)
+            .unwrap_or_else(|| panic!("backend `{kind}` is not part of a threshold sweep"))
     }
 }
 
@@ -45,7 +46,7 @@ pub struct SweepResult {
 impl SweepResult {
     /// The per-point percentages of one state (canonical index 0..4) for one
     /// model — a single curve of Fig. 4.
-    pub fn percent_series(&self, kind: ModelKind, state_index: usize) -> Vec<f64> {
+    pub fn percent_series(&self, kind: BackendId, state_index: usize) -> Vec<f64> {
         self.points
             .iter()
             .map(|p| p.of(kind).fractions.as_percentages()[state_index])
@@ -54,7 +55,7 @@ impl SweepResult {
 
     /// Energy (J) over the sweep for one model — a curve of Fig. 5
     /// (Eq. 25 with the configured horizon).
-    pub fn energy_series(&self, kind: ModelKind, profile: &PowerProfile) -> Vec<f64> {
+    pub fn energy_series(&self, kind: BackendId, profile: &PowerProfile) -> Vec<f64> {
         self.points
             .iter()
             .map(|p| p.of(kind).energy_joules(profile, self.params.horizon))
@@ -164,7 +165,7 @@ mod tests {
         let res = quick_sweep();
         assert_eq!(res.t_values(), vec![0.0, 0.25, 0.5, 1.0]);
         // Idle rises with T, standby falls — for every model.
-        for kind in [ModelKind::Markov, ModelKind::PetriNet, ModelKind::Des] {
+        for kind in [BackendId::Markov, BackendId::PetriNet, BackendId::Des] {
             let idle = res.percent_series(kind, 2);
             let standby = res.percent_series(kind, 0);
             assert!(
@@ -186,7 +187,7 @@ mod tests {
     fn energy_rises_with_threshold_fig5_shape() {
         let res = quick_sweep();
         let p = PowerProfile::pxa271();
-        for kind in [ModelKind::Markov, ModelKind::PetriNet, ModelKind::Des] {
+        for kind in [BackendId::Markov, BackendId::PetriNet, BackendId::Des] {
             let e = res.energy_series(kind, &p);
             assert!(
                 e.last().unwrap() > e.first().unwrap(),

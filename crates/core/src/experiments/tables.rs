@@ -2,8 +2,8 @@
 
 use wsnem_energy::PowerProfile;
 
+use crate::backend::BackendId;
 use crate::error::CoreError;
-use crate::evaluation::ModelKind;
 use crate::experiments::sweep::{SweepResult, ThresholdSweep};
 use crate::params::CpuModelParams;
 
@@ -23,7 +23,7 @@ pub struct DeltaRow {
     pub sweep: SweepResult,
 }
 
-fn pairwise_pct_delta(sweep: &SweepResult, a: ModelKind, b: ModelKind) -> f64 {
+fn pairwise_pct_delta(sweep: &SweepResult, a: BackendId, b: BackendId) -> f64 {
     let n = sweep.points.len() as f64;
     sweep
         .points
@@ -35,8 +35,8 @@ fn pairwise_pct_delta(sweep: &SweepResult, a: ModelKind, b: ModelKind) -> f64 {
 
 fn pairwise_energy_delta(
     sweep: &SweepResult,
-    a: ModelKind,
-    b: ModelKind,
+    a: BackendId,
+    b: BackendId,
     profile: &PowerProfile,
 ) -> f64 {
     let ea = sweep.energy_series(a, profile);
@@ -57,9 +57,9 @@ pub fn table4(params: CpuModelParams, d_values: &[f64]) -> Result<Vec<DeltaRow>,
         let sweep = ThresholdSweep::paper(params, d).run()?;
         rows.push(DeltaRow {
             d,
-            sim_markov: pairwise_pct_delta(&sweep, ModelKind::Des, ModelKind::Markov),
-            sim_pn: pairwise_pct_delta(&sweep, ModelKind::Des, ModelKind::PetriNet),
-            markov_pn: pairwise_pct_delta(&sweep, ModelKind::Markov, ModelKind::PetriNet),
+            sim_markov: pairwise_pct_delta(&sweep, BackendId::Des, BackendId::Markov),
+            sim_pn: pairwise_pct_delta(&sweep, BackendId::Des, BackendId::PetriNet),
+            markov_pn: pairwise_pct_delta(&sweep, BackendId::Markov, BackendId::PetriNet),
             sweep,
         });
     }
@@ -77,12 +77,12 @@ pub fn table5(
         let sweep = ThresholdSweep::paper(params, d).run()?;
         rows.push(DeltaRow {
             d,
-            sim_markov: pairwise_energy_delta(&sweep, ModelKind::Des, ModelKind::Markov, profile),
-            sim_pn: pairwise_energy_delta(&sweep, ModelKind::Des, ModelKind::PetriNet, profile),
+            sim_markov: pairwise_energy_delta(&sweep, BackendId::Des, BackendId::Markov, profile),
+            sim_pn: pairwise_energy_delta(&sweep, BackendId::Des, BackendId::PetriNet, profile),
             markov_pn: pairwise_energy_delta(
                 &sweep,
-                ModelKind::Markov,
-                ModelKind::PetriNet,
+                BackendId::Markov,
+                BackendId::PetriNet,
                 profile,
             ),
             sweep,

@@ -14,6 +14,12 @@
 //! regenerates every table and figure of the evaluation section (Fig. 4,
 //! Fig. 5, Table 4, Table 5) and the ablations DESIGN.md adds (Erlang-phase
 //! Markov chains, convergence studies).
+//!
+//! The [`backend`] module is the unified solver API: one [`BackendId`]
+//! shared by every layer, an object-safe [`CpuSolver`] trait with a
+//! per-backend [`Capabilities`] descriptor, and the [`BackendRegistry`]
+//! through which the node/network layer, the scenario runner and the CLI
+//! dispatch — the workspace's single backend-dispatch site.
 
 #![forbid(unsafe_code)]
 // `!(x > 0.0)`-style guards deliberately reject NaN together with the
@@ -21,16 +27,20 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod error;
 pub mod evaluation;
 pub mod experiments;
 pub mod models;
 pub mod params;
 
+pub use backend::{BackendId, BackendRegistry, Capabilities, CpuSolver, EvalOptions, ServiceDist};
 pub use error::CoreError;
 pub use evaluation::{CpuModel, ModelEvaluation, ModelKind};
-pub use models::des_model::DesCpuModel;
-pub use models::markov_model::MarkovCpuModel;
-pub use models::petri_model::{build_cpu_edspn, CpuNetHandles, PetriCpuModel};
-pub use models::phase_model::PhaseCpuModel;
+pub use models::des_model::{DesCpuModel, DesSolver};
+pub use models::markov_model::{MarkovCpuModel, MarkovSolver};
+pub use models::petri_model::{
+    build_cpu_edspn, build_cpu_edspn_with_service, CpuNetHandles, PetriCpuModel, PetriSolver,
+};
+pub use models::phase_model::{ErlangPhaseSolver, PhaseCpuModel};
 pub use params::CpuModelParams;

@@ -8,8 +8,9 @@ use wsnem_des::workload::Workload;
 use wsnem_stats::dist::Dist;
 use wsnem_stats::online::Welford;
 
+use crate::backend::{BackendId, Capabilities, CpuSolver, EvalOptions};
 use crate::error::CoreError;
-use crate::evaluation::{CpuModel, ModelEvaluation, ModelKind};
+use crate::evaluation::{CpuModel, ModelEvaluation};
 use crate::params::CpuModelParams;
 
 /// Paper §5's benchmark: the event simulator (Matlab in the paper, Rust
@@ -43,50 +44,106 @@ impl DesCpuModel {
 
     fn sim(&self) -> Result<CpuDes, CoreError> {
         self.params.validate()?;
-        let sim_params = CpuSimParams {
-            service: Dist::Exponential {
-                rate: self.params.mu,
-            },
-            power_down_threshold: self.params.power_down_threshold,
-            power_up_delay: self.params.power_up_delay,
-            horizon: self.params.horizon,
-            warmup: self.params.warmup,
-            max_queue: None,
-        };
         Ok(CpuDes::new(
-            sim_params,
+            cpu_sim_params(
+                &self.params,
+                Dist::Exponential {
+                    rate: self.params.mu,
+                },
+            ),
             Workload::open_poisson(self.params.lambda),
         )?)
     }
 }
 
+/// The single place the shared model parameters are wired into the DES
+/// kernel's [`CpuSimParams`] (used by both the typed model and the registry
+/// solver).
+fn cpu_sim_params(params: &CpuModelParams, service: Dist) -> CpuSimParams {
+    CpuSimParams {
+        service,
+        power_down_threshold: params.power_down_threshold,
+        power_up_delay: params.power_up_delay,
+        horizon: params.horizon,
+        warmup: params.warmup,
+        max_queue: None,
+    }
+}
+
 impl CpuModel for DesCpuModel {
-    fn kind(&self) -> ModelKind {
-        ModelKind::Des
+    fn kind(&self) -> BackendId {
+        BackendId::Des
     }
 
     fn evaluate(&self) -> Result<ModelEvaluation, CoreError> {
-        let start = Instant::now();
         let sim = self.sim()?;
-        let summary = run_replications(
-            &sim,
-            self.params.replications,
-            self.params.master_seed,
-            self.threads,
-        );
-        let mut jobs = Welford::new();
-        let mut latency = Welford::new();
-        for r in &summary.reports {
-            jobs.push(r.mean_jobs_in_system);
-            latency.push(r.mean_latency);
+        evaluate_sim(&sim, self.params, self.threads)
+    }
+}
+
+/// Run a configured simulator's replications and reduce them into the
+/// shared evaluation shape.
+fn evaluate_sim(
+    sim: &CpuDes,
+    params: CpuModelParams,
+    threads: Option<usize>,
+) -> Result<ModelEvaluation, CoreError> {
+    let start = Instant::now();
+    let summary = run_replications(sim, params.replications, params.master_seed, threads);
+    let mut jobs = Welford::new();
+    let mut latency = Welford::new();
+    for r in &summary.reports {
+        jobs.push(r.mean_jobs_in_system);
+        latency.push(r.mean_latency);
+    }
+    Ok(ModelEvaluation {
+        kind: BackendId::Des,
+        fractions: summary.mean_fractions(),
+        mean_jobs: Some(jobs.mean()),
+        mean_latency: Some(latency.mean()),
+        eval_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// The registry solver for [`BackendId::Des`] — the ground truth. Unlike
+/// the typed [`DesCpuModel`], it honors both [`EvalOptions::service`] and
+/// [`EvalOptions::workload`] (the capabilities the analytic backends lack).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesSolver;
+
+impl CpuSolver for DesSolver {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            id: BackendId::Des,
+            analytic: false,
+            ground_truth: true,
+            assumes_poisson: false,
+            supports_service_dist: true,
+            provides_mean_jobs: true,
+            provides_latency: true,
+            uses_seed: true,
+            requires_positive_delays: false,
+            cost_rank: 3,
         }
-        Ok(ModelEvaluation {
-            kind: ModelKind::Des,
-            fractions: summary.mean_fractions(),
-            mean_jobs: Some(jobs.mean()),
-            mean_latency: Some(latency.mean()),
-            eval_seconds: start.elapsed().as_secs_f64(),
-        })
+    }
+
+    fn solve(
+        &self,
+        params: &CpuModelParams,
+        opts: &EvalOptions,
+    ) -> Result<ModelEvaluation, CoreError> {
+        let params = opts.apply(*params);
+        params.validate()?;
+        opts.service.validate(params.mu)?;
+        let workload = opts
+            .workload
+            .clone()
+            .unwrap_or_else(|| Workload::open_poisson(params.lambda));
+        let sim = CpuDes::new(
+            cpu_sim_params(&params, opts.service.to_dist(params.mu)),
+            workload,
+        )?;
+        evaluate_sim(&sim, params, opts.threads)
     }
 }
 
@@ -101,7 +158,7 @@ mod tests {
             .with_horizon(500.0);
         let m = DesCpuModel::new(params);
         let eval = m.evaluate().unwrap();
-        assert_eq!(eval.kind, ModelKind::Des);
+        assert_eq!(eval.kind, BackendId::Des);
         assert!(eval.fractions.is_normalized(1e-6));
         assert!(eval.mean_jobs.unwrap() >= 0.0);
         assert!(eval.mean_latency.unwrap() > 0.0);

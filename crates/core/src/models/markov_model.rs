@@ -4,8 +4,11 @@ use std::time::Instant;
 
 use wsnem_markov::SupplementaryVariableModel;
 
+use crate::backend::{
+    require_exponential_service, BackendId, Capabilities, CpuSolver, EvalOptions,
+};
 use crate::error::CoreError;
-use crate::evaluation::{CpuModel, ModelEvaluation, ModelKind};
+use crate::evaluation::{CpuModel, ModelEvaluation};
 use crate::params::CpuModelParams;
 
 /// Paper §4.1: the closed-form Markov model (Eqs. 11–24).
@@ -38,8 +41,8 @@ impl MarkovCpuModel {
 }
 
 impl CpuModel for MarkovCpuModel {
-    fn kind(&self) -> ModelKind {
-        ModelKind::Markov
+    fn kind(&self) -> BackendId {
+        BackendId::Markov
     }
 
     fn evaluate(&self) -> Result<ModelEvaluation, CoreError> {
@@ -47,12 +50,42 @@ impl CpuModel for MarkovCpuModel {
         let m = self.inner()?;
         let fractions = m.fractions();
         Ok(ModelEvaluation {
-            kind: ModelKind::Markov,
+            kind: BackendId::Markov,
             fractions,
             mean_jobs: Some(m.mean_jobs()),
             mean_latency: Some(m.mean_latency()),
             eval_seconds: start.elapsed().as_secs_f64(),
         })
+    }
+}
+
+/// The registry solver for [`BackendId::Markov`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarkovSolver;
+
+impl CpuSolver for MarkovSolver {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            id: BackendId::Markov,
+            analytic: true,
+            ground_truth: false,
+            assumes_poisson: true,
+            supports_service_dist: false,
+            provides_mean_jobs: true,
+            provides_latency: true,
+            uses_seed: false,
+            requires_positive_delays: false,
+            cost_rank: 0,
+        }
+    }
+
+    fn solve(
+        &self,
+        params: &CpuModelParams,
+        opts: &EvalOptions,
+    ) -> Result<ModelEvaluation, CoreError> {
+        require_exponential_service(BackendId::Markov, opts)?;
+        MarkovCpuModel::new(opts.apply(*params)).evaluate()
     }
 }
 
@@ -64,7 +97,7 @@ mod tests {
     fn evaluates_paper_defaults() {
         let m = MarkovCpuModel::new(CpuModelParams::paper_defaults());
         let eval = m.evaluate().unwrap();
-        assert_eq!(eval.kind, ModelKind::Markov);
+        assert_eq!(eval.kind, BackendId::Markov);
         assert!(eval.fractions.is_normalized(1e-9));
         assert!(eval.mean_jobs.unwrap() > 0.0);
         assert!(eval.mean_latency.unwrap() > 0.0);

@@ -31,9 +31,11 @@ use std::time::Instant;
 
 use wsnem_energy::StateFractions;
 use wsnem_petri::{simulate_replications, NetBuilder, PetriNet, PlaceId, Reward, SimConfig};
+use wsnem_stats::dist::Dist;
 
+use crate::backend::{BackendId, Capabilities, CpuSolver, EvalOptions};
 use crate::error::CoreError;
-use crate::evaluation::{CpuModel, ModelEvaluation, ModelKind};
+use crate::evaluation::{CpuModel, ModelEvaluation};
 use crate::params::CpuModelParams;
 
 /// Handles to the places (and transition names) of the Fig. 3 net.
@@ -59,10 +61,29 @@ pub struct CpuNetHandles {
     pub active: PlaceId,
 }
 
-/// Build the paper's EDSPN for the given parameters.
+/// Build the paper's EDSPN for the given parameters (exponential service at
+/// rate `mu`, as in Table 1).
 pub fn build_cpu_edspn(
     lambda: f64,
     mu: f64,
+    power_down_threshold: f64,
+    power_up_delay: f64,
+) -> Result<(PetriNet, CpuNetHandles), CoreError> {
+    build_cpu_edspn_with_service(
+        lambda,
+        Dist::Exponential { rate: mu },
+        power_down_threshold,
+        power_up_delay,
+    )
+}
+
+/// Build the paper's EDSPN with a general service-time distribution on the
+/// `SR` transition — the token game executes any [`Dist`], which is what
+/// lets this backend (unlike the analytic ones) honor a non-exponential
+/// [`crate::ServiceDist`].
+pub fn build_cpu_edspn_with_service(
+    lambda: f64,
+    service: Dist,
     power_down_threshold: f64,
     power_up_delay: f64,
 ) -> Result<(PetriNet, CpuNetHandles), CoreError> {
@@ -119,8 +140,10 @@ pub fn build_cpu_edspn(
     b.output_arc(t2, cpu_on, 1);
     b.output_arc(t2, active, 1);
 
-    // SR: exponential service (step 6).
-    let sr = b.exponential("SR", mu);
+    // SR: service (step 6) — exponential in the paper; any distribution
+    // under the generalized builder. SR is never disabled mid-service
+    // (Active only drains through SR), so the race policy is irrelevant.
+    let sr = b.transition("SR", wsnem_petri::TransitionKind::timed(service));
     b.input_arc(active, sr, 1);
     b.output_arc(sr, idle, 1);
 
@@ -168,6 +191,8 @@ pub fn state_rewards(h: &CpuNetHandles) -> Vec<Reward> {
 pub struct PetriCpuModel {
     params: CpuModelParams,
     threads: Option<usize>,
+    /// `None` = exponential service at `params.mu` (the paper's net).
+    service: Option<Dist>,
 }
 
 impl PetriCpuModel {
@@ -176,6 +201,7 @@ impl PetriCpuModel {
         Self {
             params,
             threads: None,
+            service: None,
         }
     }
 
@@ -183,6 +209,13 @@ impl PetriCpuModel {
     /// parallel sweep).
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Replace the service-time distribution of the `SR` transition
+    /// (`None` = exponential at `params.mu`).
+    pub fn with_service(mut self, service: Option<Dist>) -> Self {
+        self.service = service;
         self
     }
 
@@ -194,9 +227,11 @@ impl PetriCpuModel {
     /// Build the underlying net.
     pub fn net(&self) -> Result<(PetriNet, CpuNetHandles), CoreError> {
         self.params.validate()?;
-        build_cpu_edspn(
+        build_cpu_edspn_with_service(
             self.params.lambda,
-            self.params.mu,
+            self.service.unwrap_or(Dist::Exponential {
+                rate: self.params.mu,
+            }),
             self.params.power_down_threshold,
             self.params.power_up_delay,
         )
@@ -204,8 +239,8 @@ impl PetriCpuModel {
 }
 
 impl CpuModel for PetriCpuModel {
-    fn kind(&self) -> ModelKind {
-        ModelKind::PetriNet
+    fn kind(&self) -> BackendId {
+        BackendId::PetriNet
     }
 
     fn evaluate(&self) -> Result<ModelEvaluation, CoreError> {
@@ -236,12 +271,47 @@ impl CpuModel for PetriCpuModel {
         let active_idx = handles.active.index();
         let mean_jobs = summary.place_mean(buffer_idx) + summary.place_mean(active_idx);
         Ok(ModelEvaluation {
-            kind: ModelKind::PetriNet,
+            kind: BackendId::PetriNet,
             fractions,
             mean_jobs: Some(mean_jobs),
             mean_latency: Some(mean_jobs / self.params.lambda), // Little's law
             eval_seconds: start.elapsed().as_secs_f64(),
         })
+    }
+}
+
+/// The registry solver for [`BackendId::PetriNet`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PetriSolver;
+
+impl CpuSolver for PetriSolver {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            id: BackendId::PetriNet,
+            analytic: false,
+            ground_truth: false,
+            assumes_poisson: true,
+            supports_service_dist: true,
+            provides_mean_jobs: true,
+            provides_latency: true,
+            uses_seed: true,
+            requires_positive_delays: false,
+            cost_rank: 2,
+        }
+    }
+
+    fn solve(
+        &self,
+        params: &CpuModelParams,
+        opts: &EvalOptions,
+    ) -> Result<ModelEvaluation, CoreError> {
+        let params = opts.apply(*params);
+        opts.service.validate(params.mu)?;
+        let service = (!opts.service.is_exponential()).then(|| opts.service.to_dist(params.mu));
+        PetriCpuModel::new(params)
+            .with_threads(opts.threads)
+            .with_service(service)
+            .evaluate()
     }
 }
 
@@ -340,7 +410,7 @@ mod tests {
             .with_horizon(3000.0)
             .with_warmup(100.0);
         let pn = PetriCpuModel::new(params).evaluate().unwrap();
-        assert_eq!(pn.kind, ModelKind::PetriNet);
+        assert_eq!(pn.kind, BackendId::PetriNet);
         assert!(pn.fractions.is_normalized(1e-6), "{:?}", pn.fractions);
         let markov = crate::MarkovCpuModel::new(params).evaluate().unwrap();
         let delta = pn.fractions.mean_abs_delta_pct(&markov.fractions);

@@ -13,8 +13,11 @@ use std::time::Instant;
 
 use wsnem_markov::PhaseCpuChain;
 
+use crate::backend::{
+    require_exponential_service, BackendId, Capabilities, CpuSolver, EvalOptions,
+};
 use crate::error::CoreError;
-use crate::evaluation::{CpuModel, ModelEvaluation, ModelKind};
+use crate::evaluation::{CpuModel, ModelEvaluation};
 use crate::params::CpuModelParams;
 
 /// Phase-expanded Markov model of the CPU.
@@ -64,8 +67,8 @@ impl PhaseCpuModel {
 }
 
 impl CpuModel for PhaseCpuModel {
-    fn kind(&self) -> ModelKind {
-        ModelKind::Markov
+    fn kind(&self) -> BackendId {
+        BackendId::ErlangPhase
     }
 
     fn evaluate(&self) -> Result<ModelEvaluation, CoreError> {
@@ -74,12 +77,42 @@ impl CpuModel for PhaseCpuModel {
         let fractions = chain.fractions()?;
         let mean_jobs = chain.mean_jobs()?;
         Ok(ModelEvaluation {
-            kind: ModelKind::Markov,
+            kind: BackendId::ErlangPhase,
             fractions,
             mean_jobs: Some(mean_jobs),
             mean_latency: Some(mean_jobs / self.params.lambda),
             eval_seconds: start.elapsed().as_secs_f64(),
         })
+    }
+}
+
+/// The registry solver for [`BackendId::ErlangPhase`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErlangPhaseSolver;
+
+impl CpuSolver for ErlangPhaseSolver {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            id: BackendId::ErlangPhase,
+            analytic: true,
+            ground_truth: false,
+            assumes_poisson: true,
+            supports_service_dist: false,
+            provides_mean_jobs: true,
+            provides_latency: true,
+            uses_seed: false,
+            requires_positive_delays: true,
+            cost_rank: 1,
+        }
+    }
+
+    fn solve(
+        &self,
+        params: &CpuModelParams,
+        opts: &EvalOptions,
+    ) -> Result<ModelEvaluation, CoreError> {
+        require_exponential_service(BackendId::ErlangPhase, opts)?;
+        PhaseCpuModel::new(opts.apply(*params)).evaluate()
     }
 }
 

@@ -57,28 +57,65 @@ impl TangibleChain {
     }
 }
 
-/// Immediate successors of a vanishing marking with branching probabilities.
-fn immediate_branches(net: &PetriNet, m: &Marking) -> Vec<(Marking, f64)> {
+/// Reusable buffers for the vanishing-marking resolution path. Firing an
+/// immediate used to allocate a winners vector, a fresh `fire` scratch and
+/// an accumulation `HashMap` per marking; these are now reused across every
+/// firing of the elimination (the ROADMAP's per-firing-allocation item), so
+/// the only allocations left are the successor markings themselves — which
+/// escape into the cache/CTMC and are inherent.
+#[derive(Default)]
+struct VanishingBufs {
+    /// Maximal-priority enabled immediates of the marking under resolution.
+    winners: Vec<(crate::net::TransitionId, f64)>,
+    /// `fire_into` changed-place scratch.
+    changed: Vec<u32>,
+    /// Pool of branch/accumulation vectors recycled across recursion levels.
+    pool: Vec<Vec<(Marking, f64)>>,
+}
+
+impl VanishingBufs {
+    fn take_vec(&mut self) -> Vec<(Marking, f64)> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    fn put_vec(&mut self, mut v: Vec<(Marking, f64)>) {
+        v.clear();
+        self.pool.push(v);
+    }
+}
+
+/// Immediate successors of a vanishing marking with branching
+/// probabilities, written into `out` (cleared first) without per-firing
+/// allocations beyond the successor markings.
+fn immediate_branches_into(
+    net: &PetriNet,
+    m: &Marking,
+    bufs: &mut VanishingBufs,
+    out: &mut Vec<(Marking, f64)>,
+) {
     let mut best_priority = 0u8;
-    let mut winners: Vec<(crate::net::TransitionId, f64)> = Vec::new();
+    bufs.winners.clear();
     for t in net.transitions() {
         if let TransitionKind::Immediate { priority, weight } = net.kind(t) {
             if net.is_enabled(m, t) {
-                if winners.is_empty() || priority > best_priority {
-                    winners.clear();
-                    winners.push((t, weight));
+                if bufs.winners.is_empty() || priority > best_priority {
+                    bufs.winners.clear();
+                    bufs.winners.push((t, weight));
                     best_priority = priority;
                 } else if priority == best_priority {
-                    winners.push((t, weight));
+                    bufs.winners.push((t, weight));
                 }
             }
         }
     }
-    let total: f64 = winners.iter().map(|(_, w)| w).sum();
-    winners
-        .into_iter()
-        .map(|(t, w)| (net.fire(m, t), w / total))
-        .collect()
+    let total: f64 = bufs.winners.iter().map(|(_, w)| w).sum();
+    out.clear();
+    for i in 0..bufs.winners.len() {
+        let (t, w) = bufs.winners[i];
+        let mut next = m.clone();
+        net.fire_into(&mut next, t.index() as u32, &mut bufs.changed);
+        out.push((next, w / total));
+    }
 }
 
 /// Resolve a (possibly vanishing) marking into a distribution over tangible
@@ -88,6 +125,7 @@ fn resolve(
     m: &Marking,
     cache: &mut HashMap<Marking, Vec<(Marking, f64)>>,
     stack: &mut Vec<Marking>,
+    bufs: &mut VanishingBufs,
 ) -> Result<Vec<(Marking, f64)>, PetriError> {
     if !is_vanishing(net, m) {
         return Ok(vec![(m.clone(), 1.0)]);
@@ -101,18 +139,36 @@ fn resolve(
         });
     }
     stack.push(m.clone());
-    let mut acc: HashMap<Marking, f64> = HashMap::new();
-    for (next, p) in immediate_branches(net, m) {
-        for (tang, q) in resolve(net, &next, cache, stack)? {
-            *acc.entry(tang).or_insert(0.0) += p * q;
+    let mut branches = bufs.take_vec();
+    immediate_branches_into(net, m, bufs, &mut branches);
+    // Accumulate tangible probabilities with linear-search dedup: branch
+    // sets are tiny (one entry per maximal-priority immediate), so this
+    // beats a per-call HashMap — and the vector is recycled via the pool.
+    let mut acc = bufs.take_vec();
+    let mut resolution = Ok(());
+    'outer: for (next, p) in branches.drain(..) {
+        match resolve(net, &next, cache, stack, bufs) {
+            Err(e) => {
+                resolution = Err(e);
+                break 'outer;
+            }
+            Ok(tangibles) => {
+                for (tang, q) in tangibles {
+                    match acc.iter_mut().find(|(t, _)| *t == tang) {
+                        Some((_, prob)) => *prob += p * q,
+                        None => acc.push((tang, p * q)),
+                    }
+                }
+            }
         }
     }
+    bufs.put_vec(branches);
     stack.pop();
-    let mut result: Vec<(Marking, f64)> = acc.into_iter().collect();
+    resolution?;
     // Deterministic order for reproducible CTMC construction.
-    result.sort_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
-    cache.insert(m.clone(), result.clone());
-    Ok(result)
+    acc.sort_by(|a, b| a.0.as_slice().cmp(b.0.as_slice()));
+    cache.insert(m.clone(), acc.clone());
+    Ok(acc)
 }
 
 /// Build the tangible CTMC of `net`.
@@ -139,6 +195,7 @@ pub fn tangible_chain(net: &PetriNet, opts: ReachOptions) -> Result<TangibleChai
 
     let mut cache: HashMap<Marking, Vec<(Marking, f64)>> = HashMap::new();
     let mut stack: Vec<Marking> = Vec::new();
+    let mut bufs = VanishingBufs::default();
 
     let mut markings: Vec<Marking> = Vec::new();
     let mut index: HashMap<Marking, u32> = HashMap::new();
@@ -169,7 +226,13 @@ pub fn tangible_chain(net: &PetriNet, opts: ReachOptions) -> Result<TangibleChai
     };
 
     // Initial distribution over tangible states.
-    let init_branches = resolve(net, &net.initial_marking(), &mut cache, &mut stack)?;
+    let init_branches = resolve(
+        net,
+        &net.initial_marking(),
+        &mut cache,
+        &mut stack,
+        &mut bufs,
+    )?;
     let mut init_pairs: Vec<(u32, f64)> = Vec::new();
     for (m, p) in init_branches {
         let i = intern(m, &mut markings, &mut index)?;
@@ -188,8 +251,9 @@ pub fn tangible_chain(net: &PetriNet, opts: ReachOptions) -> Result<TangibleChai
             if !net.is_enabled(&m, t) {
                 continue;
             }
-            let next = net.fire(&m, t);
-            for (tang, p) in resolve(net, &next, &mut cache, &mut stack)? {
+            let mut next = m.clone();
+            net.fire_into(&mut next, t.index() as u32, &mut bufs.changed);
+            for (tang, p) in resolve(net, &next, &mut cache, &mut stack, &mut bufs)? {
                 let j = intern(tang, &mut markings, &mut index)?;
                 if j != frontier as u32 {
                     triplets.push((frontier as u32, j, rate * p));

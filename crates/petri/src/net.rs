@@ -247,13 +247,23 @@ impl NetBuilder {
             }
         }
 
-        let immediates: Vec<u32> = self
+        // Highest priority first (stable, so equal priorities keep index
+        // order and weight-tie RNG draws are unchanged): the simulator's
+        // vanishing resolution can then stop scanning at the end of the
+        // first priority group containing an enabled transition.
+        let mut immediates: Vec<u32> = self
             .kinds
             .iter()
             .enumerate()
             .filter(|(_, k)| k.is_immediate())
             .map(|(i, _)| i as u32)
             .collect();
+        immediates.sort_by_key(|&t| {
+            std::cmp::Reverse(match self.kinds[t as usize] {
+                TransitionKind::Immediate { priority, .. } => priority,
+                TransitionKind::Timed { .. } => unreachable!("filtered to immediates"),
+            })
+        });
         let timed: Vec<u32> = self
             .kinds
             .iter()
@@ -377,7 +387,8 @@ impl PetriNet {
         &self.affecting[p as usize]
     }
 
-    /// Indices of immediate transitions (ascending).
+    /// Indices of immediate transitions, highest priority first (equal
+    /// priorities in ascending index order).
     pub(crate) fn immediate_indices(&self) -> &[u32] {
         &self.immediates
     }

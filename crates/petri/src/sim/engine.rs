@@ -152,6 +152,9 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
     fn fire_one_immediate(&mut self) -> bool {
         self.candidates.clear();
         let mut best_priority = 0u8;
+        // `immediate_indices` is sorted highest priority first, so the
+        // first enabled transition fixes the winning priority group and the
+        // scan stops at the group's end instead of walking every immediate.
         for &t in self.net.immediate_indices() {
             if !self.enabled[t as usize] {
                 continue;
@@ -161,12 +164,13 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
             else {
                 unreachable!("immediate_indices only lists immediates");
             };
-            if self.candidates.is_empty() || priority > best_priority {
-                self.candidates.clear();
+            if self.candidates.is_empty() {
                 self.candidates.push(t);
                 best_priority = priority;
             } else if priority == best_priority {
                 self.candidates.push(t);
+            } else {
+                break;
             }
         }
         let chosen = match self.candidates.len() {

@@ -9,12 +9,13 @@
 //! tree, a 3-hop chain and a static-route mesh, where forwarding load
 //! concentrates on sink-adjacent relays and shortens their lifetime.
 
+use wsnem_core::{BackendId, ServiceDist};
 use wsnem_stats::dist::Dist;
 
 use crate::error::ScenarioError;
 use crate::schema::{
-    Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, RouteSpec, Scenario,
-    SweepAxis, SweepSpec, TopologySpec, WorkloadSpec,
+    BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, RouteSpec, Scenario, SweepAxis,
+    SweepSpec, TopologySpec, WorkloadSpec,
 };
 
 fn plain_node(name: impl Into<String>, event_rate: f64) -> NodeSpec {
@@ -46,7 +47,7 @@ pub fn threshold_tuning() -> Scenario {
                      Markov backend (exact in this small-D regime) and reports the \
                      best point."
         .into();
-    s.backends = vec![Backend::Markov];
+    s.backends = vec![BackendId::Markov];
     s.sweep = Some(SweepSpec {
         axis: SweepAxis::PowerDownThreshold,
         values: (1..=10).map(|i| i as f64 / 10.0).collect(),
@@ -75,7 +76,7 @@ pub fn surveillance_bursty() -> Scenario {
         off: Dist::Deterministic(20.0),
         rate_on: 6.0,
     });
-    s.backends = vec![Backend::Markov, Backend::Des];
+    s.backends = vec![BackendId::Markov, BackendId::Des];
     // The distortion is the point — report deltas without a pass/fail gate.
     s.report = ReportSpec {
         energy_horizon_s: 1000.0,
@@ -102,7 +103,7 @@ pub fn habitat_monitoring() -> Scenario {
         .with_warmup(500.0);
     s.profile = ProfileSpec::Msp430Class;
     s.battery = BatterySpec::Cr2032;
-    s.backends = vec![Backend::Markov, Backend::Des];
+    s.backends = vec![BackendId::Markov, BackendId::Des];
     s
 }
 
@@ -115,7 +116,7 @@ pub fn heterogeneous_star() -> Scenario {
                      packets. Reports per-node power budgets, the network's \
                      first-node-death lifetime and its bottleneck."
         .into();
-    s.backends = vec![Backend::Markov];
+    s.backends = vec![BackendId::Markov];
     s.network = Some(NetworkSpec {
         nodes: vec![
             NodeSpec {
@@ -166,7 +167,7 @@ pub fn tree_collection() -> Scenario {
                      rate is 7x a leaf's and its battery dies first — the relay \
                      bottleneck that sizes multi-hop WSN lifetimes."
         .into();
-    s.backends = vec![Backend::Markov];
+    s.backends = vec![BackendId::Markov];
     s.network = Some(NetworkSpec {
         nodes: (0..7)
             .map(|i| {
@@ -195,10 +196,10 @@ pub fn chain_3hop() -> Scenario {
         .into();
     s.cpu = s.cpu.with_lambda(0.8).with_replications(8);
     s.backends = vec![
-        Backend::Markov,
-        Backend::ErlangPhase,
-        Backend::PetriNet,
-        Backend::Des,
+        BackendId::Markov,
+        BackendId::ErlangPhase,
+        BackendId::PetriNet,
+        BackendId::Des,
     ];
     s.network = Some(NetworkSpec {
         nodes: vec![
@@ -221,7 +222,7 @@ pub fn mesh_field() -> Scenario {
                      hop. The explicit edge list is the mesh case of the topology \
                      schema; the report shows where the forwarding load lands."
         .into();
-    s.backends = vec![Backend::Markov];
+    s.backends = vec![BackendId::Markov];
     s.network = Some(NetworkSpec {
         nodes: vec![
             plain_node("gateway", 0.2),
@@ -280,15 +281,37 @@ pub fn powerup_delay_stress() -> Scenario {
         .with_horizon(5000.0)
         .with_warmup(500.0);
     s.backends = vec![
-        Backend::Markov,
-        Backend::ErlangPhase,
-        Backend::PetriNet,
-        Backend::Des,
+        BackendId::Markov,
+        BackendId::ErlangPhase,
+        BackendId::PetriNet,
+        BackendId::Des,
     ];
     s.report = ReportSpec {
         energy_horizon_s: 1000.0,
         agreement_tolerance_pp: None,
     };
+    s
+}
+
+/// Schema v3's service-time axis: deterministic (fixed-length) jobs instead
+/// of exponential service — only the backends whose capabilities advertise
+/// `supports_service_dist` can model it.
+pub fn deterministic_service() -> Scenario {
+    let mut s = Scenario::paper_template("deterministic-service");
+    s.description = "Sensor firmware often runs a fixed-length processing routine per \
+                     reading, not an exponentially distributed one. This scenario keeps \
+                     the paper's operating point but makes service deterministic at \
+                     0.1 s (schema v3 `service` section). Only the Petri net and the \
+                     DES can model it — the analytic backends would reject the request \
+                     as Unsupported rather than report exponential numbers."
+        .into();
+    s.cpu = s
+        .cpu
+        .with_replications(8)
+        .with_horizon(2000.0)
+        .with_warmup(100.0);
+    s.service = Some(ServiceDist::Deterministic);
+    s.backends = vec![BackendId::PetriNet, BackendId::Des];
     s
 }
 
@@ -304,6 +327,7 @@ pub fn all() -> Vec<Scenario> {
         chain_3hop(),
         mesh_field(),
         powerup_delay_stress(),
+        deterministic_service(),
     ]
 }
 
@@ -370,8 +394,14 @@ mod tests {
         assert!(
             scenarios
                 .iter()
-                .any(|s| s.backends.contains(&Backend::ErlangPhase)),
+                .any(|s| s.backends.contains(&BackendId::ErlangPhase)),
             "an Erlang-phase scenario"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.service.as_ref().is_some_and(|d| !d.is_exponential())),
+            "a non-exponential service scenario"
         );
         let topologies: Vec<&str> = scenarios
             .iter()
@@ -408,6 +438,25 @@ mod tests {
         }
         // Conservation at the sink: 7 nodes x 0.5 pkt/s.
         assert!((net.sink_arrival_pkts_s - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_service_runs_on_capable_backends() {
+        let mut s = deterministic_service();
+        s.cpu = s.cpu.with_replications(3).with_horizon(800.0);
+        let report = crate::runner::run_scenario(&s).unwrap();
+        assert_eq!(report.backends.len(), 2);
+        // Fixed-length jobs: utilization stays ρ, and the two capable
+        // backends agree with each other.
+        for b in &report.backends {
+            assert!((b.fractions.active - 0.1).abs() < 0.02, "{:?}", b);
+        }
+        assert_eq!(report.agreement.len(), 1);
+        assert!(
+            report.agreement[0].mean_abs_delta_pp < 2.0,
+            "{:?}",
+            report.agreement[0]
+        );
     }
 
     #[test]

@@ -17,10 +17,19 @@
 //! CPU arrival rate and radio traffic — the load imbalance that determines
 //! network lifetime. v1 files keep loading unchanged.
 //!
-//! A [`builtin`] library of nine scenarios (paper baseline, threshold-tuning
+//! Schema v3 unifies backend selection on [`wsnem_core::BackendId`] (the
+//! schema's `Backend` is now a deprecated alias) and adds an optional
+//! `service` section — a serializable service-time distribution for the
+//! backends whose [`wsnem_core::Capabilities`] allow it. The [`compare`]
+//! module runs *every registered backend* over a scenario's sweep and emits
+//! the paper's Table 4/5 as a cross-backend comparison matrix
+//! (`wsnem compare`).
+//!
+//! A [`builtin`] library of ten scenarios (paper baseline, threshold-tuning
 //! sweep, bursty surveillance traffic, habitat monitoring, a heterogeneous
-//! star, three multi-hop topologies, the large-D stress case) ships in the
-//! binary, so the `wsnem` CLI works with no files at all.
+//! star, three multi-hop topologies, the large-D stress case, a
+//! deterministic-service study) ships in the binary, so the `wsnem` CLI
+//! works with no files at all.
 //!
 //! ```
 //! use wsnem_scenario::{builtin, runner};
@@ -38,12 +47,14 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+pub mod compare;
 pub mod error;
 pub mod files;
 pub mod report;
 pub mod runner;
 pub mod schema;
 
+pub use compare::{compare_scenario, compare_scenario_with, CompareReport};
 pub use error::ScenarioError;
 pub use files::{load, FileFormat};
 // Re-exported so consumers of `TopologySpec::build_next_hops` /
@@ -56,4 +67,6 @@ pub use schema::{
     Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, RouteSpec, Scenario,
     SweepAxis, SweepSpec, TopologySpec, WorkloadSpec, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
+pub use wsnem_core::backend::global as global_registry;
+pub use wsnem_core::{BackendId, BackendRegistry, Capabilities, ServiceDist};
 pub use wsnem_wsn::{Network, NextHop};

@@ -9,7 +9,23 @@
 use serde::{Deserialize, Serialize};
 use wsnem_energy::{Battery, EnergyBreakdown, PowerProfile, StateFractions};
 
-use crate::schema::Backend;
+use wsnem_core::BackendId;
+
+/// Render an optional number as a CSV cell (empty when absent, never NaN).
+pub(crate) fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x}")).unwrap_or_default()
+}
+
+/// RFC 4180 quoting for user-controlled fields (scenario and node names may
+/// contain commas, quotes or newlines). Shared by every CSV emitter in the
+/// crate so the escaping rules cannot diverge.
+pub(crate) fn csv_field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
 
 /// Per-state energy breakdown in serializable form (mirrors
 /// [`EnergyBreakdown`] with named fields).
@@ -52,7 +68,7 @@ impl EnergyReport {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BackendReport {
     /// Which backend produced this.
-    pub backend: Backend,
+    pub backend: BackendId,
     /// Steady-state occupancy of the four power states.
     pub fractions: StateFractions,
     /// Mean power draw (mW) under the scenario profile.
@@ -77,7 +93,7 @@ impl BackendReport {
     /// Assemble a report from occupancy fractions.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        backend: Backend,
+        backend: BackendId,
         fractions: StateFractions,
         profile: &PowerProfile,
         battery: &Battery,
@@ -107,9 +123,9 @@ impl BackendReport {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AgreementCheck {
     /// The backend under comparison.
-    pub backend: Backend,
+    pub backend: BackendId,
     /// The reference backend (DES when present, else the first).
-    pub reference: Backend,
+    pub reference: BackendId,
     /// Mean absolute state-occupancy delta in percentage points — the
     /// paper's Table 4 metric.
     pub mean_abs_delta_pp: f64,
@@ -168,7 +184,7 @@ pub struct NodeReport {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkReport {
     /// Backend that evaluated the per-node CPU models.
-    pub backend: Backend,
+    pub backend: BackendId,
     /// Topology shape label (`star`, `chain`, `tree`, `mesh`).
     pub topology: String,
     /// Per-node results.
@@ -221,18 +237,6 @@ impl ScenarioReport {
     /// (including sweep points), then one per network node when the
     /// scenario declares a network.
     pub fn csv_rows(&self) -> Vec<String> {
-        fn opt(v: Option<f64>) -> String {
-            v.map(|x| format!("{x}")).unwrap_or_default()
-        }
-        /// RFC 4180 quoting for user-controlled fields (scenario and node
-        /// names may contain commas, quotes or newlines).
-        fn csv_field(s: &str) -> String {
-            if s.contains(['"', ',', '\n', '\r']) {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_owned()
-            }
-        }
         fn row(scenario: &str, axis: &str, value: &str, b: &BackendReport) -> String {
             let f = b.fractions;
             let scenario = csv_field(scenario);
@@ -381,7 +385,7 @@ mod tests {
 
     fn sample_backend_report() -> BackendReport {
         BackendReport::new(
-            Backend::Markov,
+            BackendId::Markov,
             StateFractions::new(0.4, 0.0, 0.5, 0.1),
             &PowerProfile::pxa271(),
             &Battery::two_aa(),
@@ -481,15 +485,15 @@ mod tests {
             schema_version: 1,
             backends: vec![b],
             agreement: vec![AgreementCheck {
-                backend: Backend::Markov,
-                reference: Backend::Des,
+                backend: BackendId::Markov,
+                reference: BackendId::Des,
                 mean_abs_delta_pp: 0.4,
                 energy_rel_error: -0.01,
                 within_tolerance: Some(true),
             }],
             sweep: None,
             network: Some(NetworkReport {
-                backend: Backend::Markov,
+                backend: BackendId::Markov,
                 topology: "chain".into(),
                 nodes: vec![NodeReport {
                     name: "hot".into(),
@@ -541,7 +545,7 @@ mod tests {
             agreement: vec![],
             sweep: None,
             network: Some(NetworkReport {
-                backend: Backend::Markov,
+                backend: BackendId::Markov,
                 topology: "tree".into(),
                 nodes: vec![node("root", 1, 1.0), node("leaf, deep", 2, 0.0)],
                 first_death_days: 9.5,

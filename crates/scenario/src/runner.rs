@@ -4,22 +4,15 @@
 
 use std::time::Instant;
 
-use wsnem_core::{
-    CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel, PhaseCpuModel,
-};
-use wsnem_des::cpu::{CpuDes, CpuSimParams};
-use wsnem_des::replication::run_replications;
-use wsnem_energy::{Battery, PowerProfile, StateFractions};
-use wsnem_stats::dist::Dist;
-use wsnem_stats::online::Welford;
-use wsnem_wsn::CpuBackend;
+use wsnem_core::{backend, BackendId, CpuModelParams, EvalOptions};
+use wsnem_energy::{Battery, PowerProfile};
 
 use crate::error::ScenarioError;
 use crate::report::{
     AgreementCheck, BackendReport, NetworkReport, NodeReport, ScenarioReport, SweepPointReport,
     SweepReport,
 };
-use crate::schema::{Backend, Scenario, WorkloadSpec};
+use crate::schema::Scenario;
 
 /// Run one scenario with default parallelism (DES/PN replications spread
 /// over all cores).
@@ -148,98 +141,78 @@ fn eval_backends(
         .collect()
 }
 
+/// Assemble the per-evaluation options a scenario implies: inner-thread
+/// pinning, the (schema v3) service distribution and — for backends that
+/// honor it — the non-Poisson arrival workload.
+pub(crate) fn scenario_eval_options(
+    scenario: &Scenario,
+    params: CpuModelParams,
+    inner_threads: Option<usize>,
+) -> EvalOptions {
+    let custom_workload = scenario.workload.as_ref().filter(|w| !w.is_poisson());
+    EvalOptions::default()
+        .with_threads(inner_threads)
+        .with_service(scenario.service.unwrap_or_default())
+        .with_workload(custom_workload.map(|w| w.build(params.lambda)))
+}
+
 fn eval_backend(
-    backend: Backend,
+    id: BackendId,
     scenario: &Scenario,
     params: CpuModelParams,
     profile: &PowerProfile,
     battery: &Battery,
     inner_threads: Option<usize>,
 ) -> Result<BackendReport, ScenarioError> {
+    let registry = backend::global();
+    let solver = registry.get(id).ok_or_else(|| {
+        ScenarioError::Invalid(format!(
+            "scenario `{}`: backend `{id}` is not registered",
+            scenario.name
+        ))
+    })?;
+    // A backend that assumes Poisson arrivals ignores the workload override;
+    // its numbers are then the Poisson *approximation* and the agreement
+    // section quantifies the distortion (the paper's §5 methodology).
     let custom_workload = scenario.workload.as_ref().filter(|w| !w.is_poisson());
-    let poisson_approximation = custom_workload.is_some() && backend.assumes_poisson();
+    let poisson_approximation = custom_workload.is_some() && solver.capabilities().assumes_poisson;
 
-    let (fractions, mean_jobs, mean_latency, eval_seconds) = match backend {
-        Backend::Markov => {
-            let e = MarkovCpuModel::new(params).evaluate()?;
-            (e.fractions, e.mean_jobs, e.mean_latency, e.eval_seconds)
-        }
-        Backend::ErlangPhase => {
-            let e = PhaseCpuModel::new(params).evaluate()?;
-            (e.fractions, e.mean_jobs, e.mean_latency, e.eval_seconds)
-        }
-        Backend::PetriNet => {
-            let e = PetriCpuModel::new(params)
-                .with_threads(inner_threads)
-                .evaluate()?;
-            (e.fractions, e.mean_jobs, e.mean_latency, e.eval_seconds)
-        }
-        Backend::Des => match custom_workload {
-            None => {
-                let e = DesCpuModel::new(params)
-                    .with_threads(inner_threads)
-                    .evaluate()?;
-                (e.fractions, e.mean_jobs, e.mean_latency, e.eval_seconds)
-            }
-            Some(w) => des_with_workload(w, params, inner_threads)?,
-        },
-    };
+    let opts = scenario_eval_options(scenario, params, inner_threads);
+    let e = solver.solve(&params, &opts)?;
 
     Ok(BackendReport::new(
-        backend,
-        fractions,
+        id,
+        e.fractions,
         profile,
         battery,
         scenario.report.energy_horizon_s,
-        mean_jobs,
-        mean_latency,
-        eval_seconds,
+        e.mean_jobs,
+        e.mean_latency,
+        e.eval_seconds,
         poisson_approximation,
     ))
 }
 
-/// Ground-truth DES under a non-Poisson workload — the capability the
-/// analytic backends lack, and the reason the agreement section exists.
-fn des_with_workload(
-    workload: &WorkloadSpec,
-    params: CpuModelParams,
-    inner_threads: Option<usize>,
-) -> Result<(StateFractions, Option<f64>, Option<f64>, f64), ScenarioError> {
-    let started = Instant::now();
-    params.validate().map_err(ScenarioError::Eval)?;
-    let sim_params = CpuSimParams {
-        service: Dist::Exponential { rate: params.mu },
-        power_down_threshold: params.power_down_threshold,
-        power_up_delay: params.power_up_delay,
-        horizon: params.horizon,
-        warmup: params.warmup,
-        max_queue: None,
-    };
-    let sim = CpuDes::new(sim_params, workload.build(params.lambda))?;
-    let summary = run_replications(&sim, params.replications, params.master_seed, inner_threads);
-    let mut jobs = Welford::new();
-    let mut latency = Welford::new();
-    for r in &summary.reports {
-        jobs.push(r.mean_jobs_in_system);
-        latency.push(r.mean_latency);
-    }
-    Ok((
-        summary.mean_fractions(),
-        Some(jobs.mean()),
-        Some(latency.mean()),
-        started.elapsed().as_secs_f64(),
-    ))
+/// The agreement reference: the registered ground-truth backend when the
+/// scenario ran it, else the first backend (capability-driven — no enum
+/// match).
+pub(crate) fn reference_backend(backends: &[BackendReport]) -> &BackendReport {
+    let registry = backend::global();
+    backends
+        .iter()
+        .find(|b| {
+            registry
+                .capabilities_of(b.backend)
+                .is_some_and(|c| c.ground_truth)
+        })
+        .unwrap_or(&backends[0])
 }
 
 fn agreement_checks(scenario: &Scenario, backends: &[BackendReport]) -> Vec<AgreementCheck> {
     if backends.len() < 2 {
         return Vec::new();
     }
-    // Reference: the DES ground truth when present, else the first backend.
-    let reference = backends
-        .iter()
-        .find(|b| b.backend == Backend::Des)
-        .unwrap_or(&backends[0]);
+    let reference = reference_backend(backends);
     backends
         .iter()
         .filter(|b| b.backend != reference.backend)
@@ -272,30 +245,26 @@ fn analyze_network(
     inner_threads: Option<usize>,
 ) -> Result<NetworkReport, ScenarioError> {
     // The network layer evaluates one node at a time; pick the cheapest
-    // backend the scenario requested (analytic over simulated).
+    // backend the scenario requested, by capability cost rank (analytic
+    // over simulated) — no enum match, so custom backends slot in.
+    let registry = backend::global();
     let backend = scenario
         .backends
         .iter()
         .copied()
-        .min_by_key(|b| match b {
-            Backend::Markov => 0,
-            Backend::ErlangPhase => 1,
-            Backend::PetriNet => 2,
-            Backend::Des => 3,
+        .min_by_key(|&b| {
+            registry
+                .capabilities_of(b)
+                .map(|c| c.cost_rank)
+                .unwrap_or(u8::MAX)
         })
         .expect("validated non-empty backends");
-    let cpu_backend = match backend {
-        Backend::Markov => CpuBackend::Markov,
-        Backend::ErlangPhase => CpuBackend::ErlangPhase,
-        Backend::PetriNet => CpuBackend::PetriNet,
-        Backend::Des => CpuBackend::Des,
-    };
     // Stars and routed topologies share one code path: a star is a routed
     // network whose forwarding loads are all zero, so the per-node numbers
     // are bit-identical to the v1 star analysis.
     let net = spec.build_network(scenario.cpu, profile, battery)?;
     let analysis = net
-        .analyze_with_threads(cpu_backend, inner_threads)
+        .analyze_with_threads(backend, inner_threads)
         .map_err(|e| ScenarioError::Invalid(format!("scenario `{}`: {e}", scenario.name)))?;
     let bottleneck = analysis
         .bottleneck()
@@ -339,7 +308,8 @@ fn analyze_network(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{NetworkSpec, NodeSpec, ReportSpec, SweepAxis, SweepSpec};
+    use crate::schema::{NetworkSpec, NodeSpec, ReportSpec, SweepAxis, SweepSpec, WorkloadSpec};
+    use wsnem_stats::dist::Dist;
 
     fn quick_scenario() -> Scenario {
         let mut s = Scenario::paper_template("quick");
@@ -365,7 +335,7 @@ mod tests {
         // Reference is DES; two checks (Markov, PetriNet).
         assert_eq!(report.agreement.len(), 2);
         for a in &report.agreement {
-            assert_eq!(a.reference, Backend::Des);
+            assert_eq!(a.reference, BackendId::Des);
             assert!(a.mean_abs_delta_pp < 3.0, "{a:?}");
         }
     }
@@ -373,7 +343,7 @@ mod tests {
     #[test]
     fn sweep_reports_best_point() {
         let mut s = quick_scenario();
-        s.backends = vec![Backend::Markov];
+        s.backends = vec![BackendId::Markov];
         s.sweep = Some(SweepSpec {
             axis: SweepAxis::PowerDownThreshold,
             values: vec![0.1, 0.5, 1.0],
@@ -402,12 +372,12 @@ mod tests {
         let markov = report
             .backends
             .iter()
-            .find(|b| b.backend == Backend::Markov)
+            .find(|b| b.backend == BackendId::Markov)
             .unwrap();
         let des = report
             .backends
             .iter()
-            .find(|b| b.backend == Backend::Des)
+            .find(|b| b.backend == BackendId::Des)
             .unwrap();
         assert!(markov.poisson_approximation);
         assert!(!des.poisson_approximation);
@@ -418,7 +388,7 @@ mod tests {
     #[test]
     fn network_section_finds_bottleneck() {
         let mut s = quick_scenario();
-        s.backends = vec![Backend::Markov];
+        s.backends = vec![BackendId::Markov];
         s.network = Some(NetworkSpec {
             nodes: vec![
                 NodeSpec {
@@ -451,7 +421,7 @@ mod tests {
     #[test]
     fn chain_topology_propagates_forwarding_load() {
         let mut s = quick_scenario();
-        s.backends = vec![Backend::Markov];
+        s.backends = vec![BackendId::Markov];
         let node = |name: &str| NodeSpec {
             name: name.into(),
             event_rate: 0.8,
@@ -484,10 +454,10 @@ mod tests {
     fn batch_matches_sequential_and_keeps_order() {
         let mut a = quick_scenario();
         a.name = "a".into();
-        a.backends = vec![Backend::Markov, Backend::Des];
+        a.backends = vec![BackendId::Markov, BackendId::Des];
         let mut b = quick_scenario();
         b.name = "b".into();
-        b.backends = vec![Backend::Markov];
+        b.backends = vec![BackendId::Markov];
         b.cpu = b.cpu.with_power_down_threshold(0.1);
         let scenarios = vec![a, b];
 

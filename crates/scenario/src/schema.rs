@@ -12,7 +12,7 @@
 //! `network.topology` section; a v1 file is a valid v2 file without it).
 
 use serde::{Deserialize, Serialize};
-use wsnem_core::CpuModelParams;
+use wsnem_core::{backend, BackendId, CpuModelParams, ServiceDist};
 use wsnem_energy::{Battery, PowerProfile};
 use wsnem_stats::dist::Dist;
 
@@ -26,7 +26,12 @@ use crate::error::ScenarioError;
 ///   report/sweep plus an optional star `network`.
 /// * **2** — `network` gains an optional `topology` section (star / chain /
 ///   tree / mesh with static routes) with forwarding-load propagation.
-pub const SCHEMA_VERSION: u32 = 2;
+/// * **3** — optional `service` section: a [`ServiceDist`] unpinning the
+///   historical "exponential service at `cpu.mu`" assumption for the
+///   backends whose capabilities allow it (PetriNet, Des); backend names
+///   are now validated against the solver registry with did-you-mean
+///   errors.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest schema version this build still loads. v1 files parse unchanged
 /// (the v2 additions are optional) and produce identical results.
@@ -52,8 +57,14 @@ pub struct Scenario {
     /// backends model; richer workloads drive the DES backend and the
     /// cross-backend agreement report quantifies the distortion).
     pub workload: Option<WorkloadSpec>,
+    /// Service-time distribution (schema v3). `None` keeps the paper's
+    /// exponential service at rate `cpu.mu`. A non-exponential choice
+    /// restricts `backends` to those whose capabilities advertise
+    /// `supports_service_dist` — requesting it from an analytic backend is
+    /// a validation error, never a silent exponential fallback.
+    pub service: Option<ServiceDist>,
     /// Model backends to evaluate, in order.
-    pub backends: Vec<Backend>,
+    pub backends: Vec<BackendId>,
     /// Report settings (energy horizon, agreement tolerance).
     pub report: ReportSpec,
     /// Optional one-axis parameter sweep.
@@ -63,42 +74,11 @@ pub struct Scenario {
     pub network: Option<NetworkSpec>,
 }
 
-/// Which CPU model evaluates the scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Backend {
-    /// Supplementary-variable closed forms (paper §4.1).
-    Markov,
-    /// Erlang-phase CTMC approximation of the deterministic delays.
-    ErlangPhase,
-    /// EDSPN token-game simulation (paper Fig. 3).
-    PetriNet,
-    /// Discrete-event simulation — ground truth.
-    Des,
-}
-
-impl Backend {
-    /// Display name matching the paper's legends.
-    pub fn name(self) -> &'static str {
-        match self {
-            Backend::Markov => "Markov",
-            Backend::ErlangPhase => "ErlangPhase",
-            Backend::PetriNet => "PetriNet",
-            Backend::Des => "Des",
-        }
-    }
-
-    /// True for the backends that assume Poisson arrivals regardless of the
-    /// scenario workload.
-    pub fn assumes_poisson(self) -> bool {
-        !matches!(self, Backend::Des)
-    }
-}
-
-impl std::fmt::Display for Backend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+/// Deprecated alias of [`BackendId`], kept so pre-registry code compiles
+/// unchanged and schema v1/v2 files keep loading byte-identically (the
+/// serialized names are the same). The old `Backend::assumes_poisson`
+/// metadata now lives in each solver's [`wsnem_core::Capabilities`].
+pub type Backend = BackendId;
 
 /// Power profile selection: a named preset or custom per-state rates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -507,8 +487,18 @@ impl NetworkSpec {
 }
 
 impl Scenario {
-    /// Validate the complete scenario (schema version, parameters, specs).
+    /// Validate the complete scenario (schema version, parameters, specs)
+    /// against the built-in solver registry.
     pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.validate_with(backend::global())
+    }
+
+    /// Validate against an explicit registry — the one that will actually
+    /// solve, so custom solvers' capabilities are honored.
+    pub fn validate_with(
+        &self,
+        registry: &wsnem_core::BackendRegistry,
+    ) -> Result<(), ScenarioError> {
         if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&self.schema_version) {
             return Err(ScenarioError::UnsupportedVersion {
                 found: self.schema_version,
@@ -526,9 +516,46 @@ impl Scenario {
                 self.name
             )));
         }
+        for &b in &self.backends {
+            if registry.get(b).is_none() {
+                return Err(ScenarioError::Invalid(format!(
+                    "scenario `{}`: backend `{b}` is not registered",
+                    self.name
+                )));
+            }
+        }
         self.cpu
             .validate()
             .map_err(|e| ScenarioError::Invalid(format!("scenario `{}`: cpu: {e}", self.name)))?;
+        if let Some(service) = &self.service {
+            if self.schema_version < 3 {
+                return Err(ScenarioError::Invalid(format!(
+                    "scenario `{}`: service requires schema_version >= 3 (found {})",
+                    self.name, self.schema_version
+                )));
+            }
+            service.validate(self.cpu.mu).map_err(|e| {
+                ScenarioError::Invalid(format!("scenario `{}`: service: {e}", self.name))
+            })?;
+            if !service.is_exponential() {
+                // Capability gate, driven by the registry: analytic backends
+                // cannot model a general service law — fail loudly here
+                // instead of letting them compute exponential numbers.
+                for &b in &self.backends {
+                    let caps = registry.capabilities_of(b).expect("checked above");
+                    if !caps.supports_service_dist {
+                        return Err(ScenarioError::Invalid(format!(
+                            "scenario `{}`: backend `{b}` does not support the \
+                             non-exponential service distribution ({}); request only \
+                             backends whose capabilities include supports_service_dist \
+                             (e.g. PetriNet, Des)",
+                            self.name,
+                            service.label()
+                        )));
+                    }
+                }
+            }
+        }
         self.profile.build()?;
         self.battery.build()?;
         if let Some(w) = &self.workload {
@@ -652,7 +679,8 @@ impl Scenario {
             profile: ProfileSpec::Pxa271,
             battery: BatterySpec::TwoAa,
             workload: None,
-            backends: vec![Backend::Markov, Backend::PetriNet, Backend::Des],
+            service: None,
+            backends: vec![BackendId::Markov, BackendId::PetriNet, BackendId::Des],
             report: ReportSpec::default(),
             sweep: None,
             network: None,
@@ -803,11 +831,73 @@ mod tests {
     }
 
     #[test]
-    fn backend_metadata() {
-        assert!(Backend::Markov.assumes_poisson());
-        assert!(Backend::PetriNet.assumes_poisson());
-        assert!(!Backend::Des.assumes_poisson());
+    fn backend_metadata_is_capability_driven() {
+        // The old `Backend::assumes_poisson` now lives on Capabilities; the
+        // deprecated alias still gives the canonical serialized names.
+        let caps = |b: BackendId| backend::global().capabilities_of(b).unwrap();
+        assert!(caps(BackendId::Markov).assumes_poisson);
+        assert!(caps(BackendId::PetriNet).assumes_poisson);
+        assert!(!caps(BackendId::Des).assumes_poisson);
         assert_eq!(Backend::ErlangPhase.to_string(), "ErlangPhase");
+    }
+
+    #[test]
+    fn service_dist_validation_rules() {
+        // Needs schema v3.
+        let mut s = Scenario::paper_template("svc");
+        s.service = Some(ServiceDist::Exponential);
+        s.validate().unwrap();
+        s.schema_version = 2;
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("schema_version >= 3"), "{err}");
+
+        // Non-exponential service restricted to capable backends.
+        let mut s = Scenario::paper_template("svc");
+        s.service = Some(ServiceDist::Deterministic);
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("`Markov`"), "{err}");
+        assert!(err.contains("supports_service_dist"), "{err}");
+        s.backends = vec![BackendId::PetriNet, BackendId::Des];
+        s.validate().unwrap();
+
+        // Invalid service parameters rejected.
+        let mut s = Scenario::paper_template("svc");
+        s.backends = vec![BackendId::Des];
+        s.service = Some(ServiceDist::Erlang { k: 0 });
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("service"), "{err}");
+    }
+
+    #[test]
+    fn unknown_backend_name_gets_did_you_mean() {
+        // The satellite bugfix: a typo'd backend name in a scenario file
+        // surfaces as a did-you-mean error listing the registered backends,
+        // driven by the registry so it can never go stale.
+        let good = crate::files::to_string(
+            &Scenario::paper_template("typo"),
+            crate::files::FileFormat::Json,
+        )
+        .unwrap();
+        let bad = good.replacen("\"Markov\"", "\"Markvo\"", 1);
+        let err = crate::files::from_str(&bad, crate::files::FileFormat::Json)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown backend `Markvo`"), "{err}");
+        assert!(err.contains("did you mean `Markov`?"), "{err}");
+        for id in backend::global().ids() {
+            assert!(err.contains(id.name()), "{err} missing {id}");
+        }
+        // Same behaviour through the TOML path.
+        let good = crate::files::to_string(
+            &Scenario::paper_template("typo"),
+            crate::files::FileFormat::Toml,
+        )
+        .unwrap();
+        let bad = good.replacen("\"PetriNet\"", "\"PetriNte\"", 1);
+        let err = crate::files::from_str(&bad, crate::files::FileFormat::Toml)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("did you mean `PetriNet`?"), "{err}");
     }
 
     fn node(name: &str, event_rate: f64) -> NodeSpec {

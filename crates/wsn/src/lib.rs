@@ -30,6 +30,8 @@ pub mod radio;
 pub mod topology;
 pub mod tuning;
 
+// `BackendId` (and the deprecated `CpuBackend` alias) re-exported so node
+// and network analysis callers need no direct wsnem-core dependency.
 pub use network::{NetworkAnalysis, StarNetwork};
 pub use node::{CpuBackend, NodeAnalysis, NodeConfig};
 pub use radio::RadioModel;
@@ -37,3 +39,4 @@ pub use topology::{
     Network, NetworkError, NextHop, RoutedAnalysis, RoutedNodeAnalysis, RoutingTable,
 };
 pub use tuning::{optimize_threshold, ThresholdChoice};
+pub use wsnem_core::BackendId;

@@ -1,6 +1,8 @@
 //! Star-topology sensor networks.
 
-use crate::node::{CpuBackend, NodeAnalysis, NodeConfig};
+use wsnem_core::BackendId;
+
+use crate::node::{NodeAnalysis, NodeConfig};
 
 /// A star network: leaf nodes reporting to a mains-powered sink (the sink is
 /// not modeled; leaves transmit directly to it).
@@ -30,7 +32,7 @@ impl StarNetwork {
     }
 
     /// Analyze every node, parallelizing across all cores.
-    pub fn analyze(&self, backend: CpuBackend) -> Result<NetworkAnalysis, wsnem_core::CoreError> {
+    pub fn analyze(&self, backend: BackendId) -> Result<NetworkAnalysis, wsnem_core::CoreError> {
         self.analyze_with_threads(backend, None)
     }
 
@@ -39,7 +41,7 @@ impl StarNetwork {
     /// networks/scenarios pass `Some(1)` to avoid oversubscribing cores.
     pub fn analyze_with_threads(
         &self,
-        backend: CpuBackend,
+        backend: BackendId,
         threads: Option<usize>,
     ) -> Result<NetworkAnalysis, wsnem_core::CoreError> {
         let results = parallel_node_map(self.nodes.len(), threads, |i| {
@@ -127,7 +129,7 @@ mod tests {
     #[test]
     fn homogeneous_star_uniform_lifetimes() {
         let net = StarNetwork::homogeneous(4, 10.0);
-        let a = net.analyze(CpuBackend::Markov).unwrap();
+        let a = net.analyze(BackendId::Markov).unwrap();
         assert_eq!(a.per_node.len(), 4);
         let first = a.first_death_days();
         let mean = a.mean_lifetime_days();
@@ -143,7 +145,7 @@ mod tests {
     fn heterogeneous_bottleneck_is_busiest() {
         let mut net = StarNetwork::homogeneous(3, 30.0);
         net.nodes[1] = NodeConfig::monitoring("hot", 0.5);
-        let a = net.analyze(CpuBackend::Markov).unwrap();
+        let a = net.analyze(BackendId::Markov).unwrap();
         assert_eq!(a.bottleneck().unwrap().name, "hot");
         assert!(a.first_death_days() < a.mean_lifetime_days());
     }
@@ -151,7 +153,7 @@ mod tests {
     #[test]
     fn empty_network() {
         let net = StarNetwork { nodes: vec![] };
-        let a = net.analyze(CpuBackend::Markov).unwrap();
+        let a = net.analyze(BackendId::Markov).unwrap();
         assert_eq!(a.mean_lifetime_days(), 0.0);
         assert!(a.first_death_days().is_infinite());
         assert!(a.bottleneck().is_none());

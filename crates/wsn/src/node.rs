@@ -1,25 +1,15 @@
 //! A sensor node: sensing workload → CPU model + radio traffic + battery.
 
-use wsnem_core::{
-    CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel, PhaseCpuModel,
-};
+use wsnem_core::{backend, BackendId, BackendRegistry, CpuModelParams, EvalOptions};
 use wsnem_energy::{Battery, PowerProfile, StateFractions};
 
 use crate::radio::RadioModel;
 
-/// Which CPU model evaluates the node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CpuBackend {
-    /// Closed-form supplementary-variable model (instant; small-D regime).
-    Markov,
-    /// Erlang-phase CTMC (analytic AND accurate for large delays; needs
-    /// strictly positive `T` and `D`).
-    ErlangPhase,
-    /// EDSPN simulation (accurate for any delay).
-    PetriNet,
-    /// Discrete-event simulation (ground truth).
-    Des,
-}
+/// Deprecated alias of [`BackendId`], kept so pre-registry code (and the
+/// scenario schema) compiles unchanged. Use [`BackendId`] in new code — node
+/// analysis now dispatches through the [`wsnem_core::BackendRegistry`]
+/// instead of matching on this enum.
+pub type CpuBackend = BackendId;
 
 /// Node configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,8 +81,9 @@ pub struct NodeAnalysis {
 }
 
 impl NodeConfig {
-    /// Evaluate the node with the chosen CPU backend.
-    pub fn analyze(&self, backend: CpuBackend) -> Result<NodeAnalysis, wsnem_core::CoreError> {
+    /// Evaluate the node with the chosen CPU backend (via the built-in
+    /// solver registry with default options).
+    pub fn analyze(&self, backend: BackendId) -> Result<NodeAnalysis, wsnem_core::CoreError> {
         self.analyze_with_forwarding(backend, 0.0)
     }
 
@@ -102,16 +93,30 @@ impl NodeConfig {
     /// `forwarded_rx = 0` is exactly [`NodeConfig::analyze`].
     pub fn analyze_with_forwarding(
         &self,
-        backend: CpuBackend,
+        backend: BackendId,
+        forwarded_rx: f64,
+    ) -> Result<NodeAnalysis, wsnem_core::CoreError> {
+        self.analyze_with(
+            backend::global(),
+            backend,
+            &EvalOptions::default(),
+            forwarded_rx,
+        )
+    }
+
+    /// Full-control evaluation: an explicit solver registry (e.g. one with
+    /// custom backends registered) and per-evaluation [`EvalOptions`]
+    /// (seed/replication overrides, a non-exponential service distribution
+    /// for the backends whose capabilities allow it).
+    pub fn analyze_with(
+        &self,
+        registry: &BackendRegistry,
+        backend: BackendId,
+        opts: &EvalOptions,
         forwarded_rx: f64,
     ) -> Result<NodeAnalysis, wsnem_core::CoreError> {
         let params = self.cpu.with_forwarding(self.event_rate, forwarded_rx);
-        let eval = match backend {
-            CpuBackend::Markov => MarkovCpuModel::new(params).evaluate()?,
-            CpuBackend::ErlangPhase => PhaseCpuModel::new(params).evaluate()?,
-            CpuBackend::PetriNet => PetriCpuModel::new(params).evaluate()?,
-            CpuBackend::Des => DesCpuModel::new(params).evaluate()?,
-        };
+        let eval = registry.solve(backend, &params, opts)?;
         let cpu_power = self.cpu_profile.mean_power_mw(&eval.fractions);
         let radio_power = self.radio.mean_power_mw(
             self.own_tx_rate() + forwarded_rx,
@@ -136,7 +141,7 @@ mod tests {
     #[test]
     fn monitoring_node_analyzes() {
         let node = NodeConfig::monitoring("n0", 10.0);
-        let a = node.analyze(CpuBackend::Markov).unwrap();
+        let a = node.analyze(BackendId::Markov).unwrap();
         assert!(a.cpu_fractions.is_normalized(1e-9));
         assert!(a.cpu_power_mw > 0.0);
         assert!(a.radio_power_mw > 0.0);
@@ -153,10 +158,10 @@ mod tests {
             .with_replications(6)
             .with_horizon(3000.0)
             .with_warmup(100.0);
-        let m = node.analyze(CpuBackend::Markov).unwrap();
-        let e = node.analyze(CpuBackend::ErlangPhase).unwrap();
-        let p = node.analyze(CpuBackend::PetriNet).unwrap();
-        let d = node.analyze(CpuBackend::Des).unwrap();
+        let m = node.analyze(BackendId::Markov).unwrap();
+        let e = node.analyze(BackendId::ErlangPhase).unwrap();
+        let p = node.analyze(BackendId::PetriNet).unwrap();
+        let d = node.analyze(BackendId::Des).unwrap();
         assert!(
             m.cpu_fractions.mean_abs_delta_pct(&p.cpu_fractions) < 2.0,
             "markov vs pn"
@@ -174,10 +179,10 @@ mod tests {
     #[test]
     fn busier_node_dies_sooner() {
         let lazy = NodeConfig::monitoring("lazy", 60.0)
-            .analyze(CpuBackend::Markov)
+            .analyze(BackendId::Markov)
             .unwrap();
         let busy = NodeConfig::monitoring("busy", 0.5)
-            .analyze(CpuBackend::Markov)
+            .analyze(BackendId::Markov)
             .unwrap();
         assert!(lazy.lifetime_days > busy.lifetime_days);
     }
@@ -186,5 +191,61 @@ mod tests {
     fn event_rate_overrides_lambda() {
         let node = NodeConfig::monitoring("n", 4.0);
         assert!((node.cpu_params().lambda - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deprecated_cpu_backend_alias_still_works() {
+        // Downstream code written against the pre-registry API keeps
+        // compiling: `CpuBackend` is `BackendId`.
+        let alias: CpuBackend = CpuBackend::Markov;
+        let direct: BackendId = BackendId::Markov;
+        assert_eq!(alias, direct);
+        let node = NodeConfig::monitoring("compat", 10.0);
+        assert_eq!(node.analyze(alias).unwrap(), node.analyze(direct).unwrap());
+    }
+
+    #[test]
+    fn explicit_registry_and_options() {
+        use wsnem_core::ServiceDist;
+        let node = NodeConfig::monitoring("opt", 5.0);
+        let registry = wsnem_core::BackendRegistry::builtin();
+        // Seed/replication overrides flow through.
+        let a = node
+            .analyze_with(
+                &registry,
+                BackendId::Des,
+                &EvalOptions::default()
+                    .with_replications(2)
+                    .with_horizon(300.0)
+                    .with_seed(1),
+                0.0,
+            )
+            .unwrap();
+        let b = node
+            .analyze_with(
+                &registry,
+                BackendId::Des,
+                &EvalOptions::default()
+                    .with_replications(2)
+                    .with_horizon(300.0)
+                    .with_seed(2),
+                0.0,
+            )
+            .unwrap();
+        assert_ne!(a.cpu_fractions, b.cpu_fractions, "seed override applies");
+        // Capability gate: non-exponential service on an analytic backend
+        // errors instead of silently computing exponential numbers.
+        let err = node
+            .analyze_with(
+                &registry,
+                BackendId::Markov,
+                &EvalOptions::default().with_service(ServiceDist::Deterministic),
+                0.0,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, wsnem_core::CoreError::Unsupported { .. }),
+            "{err}"
+        );
     }
 }

@@ -15,7 +15,9 @@
 //! dropped en route), and the accompanying test battery pins that invariant
 //! for random trees and meshes.
 
-use crate::node::{CpuBackend, NodeAnalysis, NodeConfig};
+use wsnem_core::BackendId;
+
+use crate::node::{NodeAnalysis, NodeConfig};
 
 /// Where a node forwards its collected traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -265,7 +267,7 @@ impl Network {
 
     /// Analyze every node with forwarding loads applied, parallelizing
     /// across all cores.
-    pub fn analyze(&self, backend: CpuBackend) -> Result<RoutedAnalysis, NetworkError> {
+    pub fn analyze(&self, backend: BackendId) -> Result<RoutedAnalysis, NetworkError> {
         self.analyze_with_threads(backend, None)
     }
 
@@ -273,7 +275,7 @@ impl Network {
     /// parallelism; batch runners pass `Some(1)`).
     pub fn analyze_with_threads(
         &self,
-        backend: CpuBackend,
+        backend: BackendId,
         threads: Option<usize>,
     ) -> Result<RoutedAnalysis, NetworkError> {
         let RoutingTable {
@@ -405,8 +407,8 @@ mod tests {
         assert_eq!(routed.forwarded_rates().unwrap(), vec![0.0; 3]);
 
         let star = crate::StarNetwork { nodes };
-        let a = star.analyze(CpuBackend::Markov).unwrap();
-        let r = routed.analyze(CpuBackend::Markov).unwrap();
+        let a = star.analyze(BackendId::Markov).unwrap();
+        let r = routed.analyze(BackendId::Markov).unwrap();
         for (s, r) in a.per_node.iter().zip(&r.per_node) {
             assert_eq!(s, &r.analysis, "star and routed-star must agree exactly");
         }
@@ -444,7 +446,7 @@ mod tests {
     #[test]
     fn relay_dies_first_in_a_chain() {
         let net = Network::chain(monitoring_nodes(3, 1.0));
-        let a = net.analyze(CpuBackend::Markov).unwrap();
+        let a = net.analyze(BackendId::Markov).unwrap();
         let relay = &a.per_node[0];
         assert_eq!(a.bottleneck().unwrap().analysis.name, "node-0");
         assert_eq!(a.bottleneck_relay().unwrap().analysis.name, "node-0");
@@ -479,7 +481,7 @@ mod tests {
         assert!(net.validate().is_err());
         // A hand-built network that skipped validate() must error from the
         // analysis entry points too, not panic on the short routing table.
-        let err = net.analyze(CpuBackend::Markov).unwrap_err();
+        let err = net.analyze(BackendId::Markov).unwrap_err();
         assert!(err.to_string().contains("1 entries for 2 nodes"), "{err}");
         assert!(net.hop_depths().is_err());
         assert!(net.forwarded_rates().is_err());
@@ -491,7 +493,7 @@ mod tests {
         // exceeds μ = 10 → unstable queue, reported against the relay.
         let nodes = monitoring_nodes(10, 1.0 / 1.5);
         let net = Network::tree(nodes, 9);
-        let err = net.analyze(CpuBackend::Markov).unwrap_err();
+        let err = net.analyze(BackendId::Markov).unwrap_err();
         match &err {
             NetworkError::Node { node, .. } => assert_eq!(node, "node-0"),
             other => panic!("expected node error, got {other}"),

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example habitat_monitoring`
 
-use wsnem::wsn::node::CpuBackend;
+use wsnem::wsn::BackendId;
 use wsnem::wsn::{NodeConfig, StarNetwork};
 
 fn build_network(station_period: f64) -> StarNetwork {
@@ -28,7 +28,7 @@ fn build_network(station_period: f64) -> StarNetwork {
 
 fn main() {
     let net = build_network(0.5);
-    let analysis = net.analyze(CpuBackend::Markov).expect("analysis runs");
+    let analysis = net.analyze(BackendId::Markov).expect("analysis runs");
 
     println!(
         "Habitat-monitoring star network (8 nodes, 2xAA each, PXA271 + CC2420-class radio):\n"
@@ -56,7 +56,7 @@ fn main() {
 
     // What-if: halve the weather station's sampling rate.
     let slower = build_network(1.0);
-    let slower_analysis = slower.analyze(CpuBackend::Markov).expect("analysis runs");
+    let slower_analysis = slower.analyze(BackendId::Markov).expect("analysis runs");
     println!(
         "\nWhat-if: weather station samples at 1 Hz instead of 2 Hz:\n  network lifetime {:.1} -> {:.1} days ({:+.1}%)",
         analysis.first_death_days(),

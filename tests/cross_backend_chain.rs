@@ -3,7 +3,7 @@
 //! absolute state-occupancy delta), even though every hop sees a different
 //! effective arrival rate (own sensing + forwarded subtree traffic).
 
-use wsnem::wsn::{CpuBackend, Network, NodeConfig};
+use wsnem::wsn::{BackendId, Network, NodeConfig};
 
 const TOLERANCE_PP: f64 = 2.0; // the runner's default agreement gate
 
@@ -26,11 +26,11 @@ fn three_hop_chain() -> Network {
 #[test]
 fn all_backends_agree_per_node_on_the_chain() {
     let net = three_hop_chain();
-    let reference = net.analyze(CpuBackend::Des).unwrap();
+    let reference = net.analyze(BackendId::Des).unwrap();
     for backend in [
-        CpuBackend::Markov,
-        CpuBackend::ErlangPhase,
-        CpuBackend::PetriNet,
+        BackendId::Markov,
+        BackendId::ErlangPhase,
+        BackendId::PetriNet,
     ] {
         let result = net.analyze(backend).unwrap();
         for (r, d) in result.per_node.iter().zip(&reference.per_node) {
@@ -62,10 +62,10 @@ fn all_backends_agree_per_node_on_the_chain() {
 fn structure_is_backend_invariant_and_relay_dies_first() {
     let net = three_hop_chain();
     for backend in [
-        CpuBackend::Markov,
-        CpuBackend::ErlangPhase,
-        CpuBackend::PetriNet,
-        CpuBackend::Des,
+        BackendId::Markov,
+        BackendId::ErlangPhase,
+        BackendId::PetriNet,
+        BackendId::Des,
     ] {
         let a = net.analyze(backend).unwrap();
         let depths: Vec<u32> = a.per_node.iter().map(|n| n.hop_depth).collect();

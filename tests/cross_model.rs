@@ -3,7 +3,7 @@
 
 use wsnem::core::experiments::{table4, ThresholdSweep};
 use wsnem::core::{
-    CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, ModelKind, PetriCpuModel,
+    BackendId, CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel,
 };
 use wsnem::energy::PowerProfile;
 
@@ -69,13 +69,13 @@ fn energy_curves_consistent() {
     .run()
     .unwrap();
     let profile = PowerProfile::pxa271();
-    for kind in [ModelKind::Des, ModelKind::Markov, ModelKind::PetriNet] {
+    for kind in [BackendId::Des, BackendId::Markov, BackendId::PetriNet] {
         let e = sweep.energy_series(kind, &profile);
         assert!(e[0] < e[1] && e[1] < e[2], "{kind}: {e:?}");
     }
-    let sim = sweep.energy_series(ModelKind::Des, &profile);
-    let mar = sweep.energy_series(ModelKind::Markov, &profile);
-    let pn = sweep.energy_series(ModelKind::PetriNet, &profile);
+    let sim = sweep.energy_series(BackendId::Des, &profile);
+    let mar = sweep.energy_series(BackendId::Markov, &profile);
+    let pn = sweep.energy_series(BackendId::PetriNet, &profile);
     for i in 0..sim.len() {
         assert!((sim[i] - mar[i]).abs() < 2.0);
         assert!((sim[i] - pn[i]).abs() < 2.0);

@@ -1,15 +1,17 @@
 //! Golden-file tests pinning the scenario schema.
 //!
-//! `tests/golden/scenario_v2.json` is the canonical serialized form of a
+//! `tests/golden/scenario_v3.json` is the canonical serialized form of a
 //! fixed scenario under the current schema. If the byte-match test fails,
 //! the on-disk format changed: either revert the accidental change, or —
 //! for an intentional format change — bump `wsnem_scenario::SCHEMA_VERSION`,
 //! regenerate the golden file (`WSNEM_BLESS=1 cargo test -p wsnem --test
 //! golden_schema`) and add a migration note to README.md.
 //!
-//! `tests/golden/scenario_v1.json` is frozen at the v1 bytes forever: it is
-//! the back-compat fixture proving that files written before the topology
-//! extension keep loading, validating and analyzing unchanged.
+//! `tests/golden/scenario_v1.json` and `tests/golden/scenario_v2.json` are
+//! frozen at their original bytes forever: they are the back-compat
+//! fixtures proving that files written before the topology extension (v2)
+//! and before the unified-backend/service extension (v3) keep loading,
+//! validating and analyzing unchanged.
 
 use wsnem_scenario::{
     builtin, files, runner, FileFormat, Scenario, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
@@ -17,6 +19,7 @@ use wsnem_scenario::{
 
 const GOLDEN_V1_PATH: &str = "tests/golden/scenario_v1.json";
 const GOLDEN_V2_PATH: &str = "tests/golden/scenario_v2.json";
+const GOLDEN_V3_PATH: &str = "tests/golden/scenario_v3.json";
 
 /// The fixed scenario the v1 golden file pins (as written by the v1 code:
 /// no `topology` key). Touches every v1 schema section.
@@ -75,12 +78,13 @@ fn pinned_scenario_v1() -> Scenario {
 }
 
 /// The fixed scenario the v2 golden file pins: the v1 sections plus the
-/// schema v2 addition — a routed topology with static mesh routes.
+/// schema v2 addition — a routed topology with static mesh routes. Frozen
+/// at schema_version 2 (as written by the v2 code).
 fn pinned_scenario_v2() -> Scenario {
     use wsnem_scenario::{NetworkSpec, NodeSpec, RouteSpec, TopologySpec};
 
     let mut s = pinned_scenario_v1();
-    s.schema_version = SCHEMA_VERSION;
+    s.schema_version = 2;
     s.name = "golden-v2".into();
     let node = |name: &str, event_rate: f64| NodeSpec {
         name: name.into(),
@@ -110,40 +114,78 @@ fn pinned_scenario_v2() -> Scenario {
     s
 }
 
+/// The fixed scenario the v3 golden file pins: the v2 sections plus the
+/// schema v3 addition — a non-exponential service distribution (restricted
+/// to the backends whose capabilities support it).
+fn pinned_scenario_v3() -> Scenario {
+    use wsnem_scenario::{BackendId, ServiceDist};
+
+    let mut s = pinned_scenario_v2();
+    s.schema_version = SCHEMA_VERSION;
+    s.name = "golden-v3".into();
+    s.service = Some(ServiceDist::Erlang { k: 3 });
+    s.backends = vec![BackendId::PetriNet, BackendId::Des];
+    s
+}
+
 #[test]
 fn schema_version_is_pinned() {
     // Bumping either constant is a format event: regenerate/add golden
     // files and document the migration.
-    assert_eq!(SCHEMA_VERSION, 2);
+    assert_eq!(SCHEMA_VERSION, 3);
     assert_eq!(MIN_SCHEMA_VERSION, 1);
 }
 
 #[test]
-fn golden_v2_file_matches_serialization() {
-    let scenario = pinned_scenario_v2();
+fn golden_v3_file_matches_serialization() {
+    let scenario = pinned_scenario_v3();
     let serialized = files::to_string(&scenario, FileFormat::Json).unwrap() + "\n";
 
     if std::env::var_os("WSNEM_BLESS").is_some() {
         std::fs::create_dir_all("tests/golden").unwrap();
-        std::fs::write(GOLDEN_V2_PATH, &serialized).unwrap();
+        std::fs::write(GOLDEN_V3_PATH, &serialized).unwrap();
         return;
     }
 
-    let golden = std::fs::read_to_string(GOLDEN_V2_PATH)
+    let golden = std::fs::read_to_string(GOLDEN_V3_PATH)
         .expect("golden file missing — run with WSNEM_BLESS=1 to create it");
     assert_eq!(
         serialized, golden,
-        "scenario schema drifted from the v2 golden file; \
+        "scenario schema drifted from the v3 golden file; \
          see the module docs for the intended workflow"
     );
 }
 
 #[test]
-fn golden_v2_file_parses_and_validates() {
-    let golden = std::fs::read_to_string(GOLDEN_V2_PATH).expect("golden file present");
+fn golden_v3_file_parses_and_validates() {
+    let golden = std::fs::read_to_string(GOLDEN_V3_PATH).expect("golden file present");
+    let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
+    assert_eq!(scenario, pinned_scenario_v3());
+    assert_eq!(scenario.schema_version, SCHEMA_VERSION);
+}
+
+/// The v2 golden bytes must keep loading forever — they stand in for every
+/// scenario file written before the unified-backend/service extension.
+#[test]
+fn golden_v2_file_still_loads_unchanged() {
+    let golden = std::fs::read_to_string(GOLDEN_V2_PATH).expect("v2 golden file present");
+    assert!(
+        !golden.contains("service"),
+        "the v2 fixture must stay a genuine v2 file; never regenerate it"
+    );
     let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
     assert_eq!(scenario, pinned_scenario_v2());
-    assert_eq!(scenario.schema_version, SCHEMA_VERSION);
+    assert_eq!(scenario.schema_version, 2);
+    // And it still analyzes: same backends, same routed topology semantics.
+    let mut quick = scenario;
+    quick.cpu = quick.cpu.with_replications(2).with_horizon(300.0);
+    quick.backends = vec![wsnem_scenario::BackendId::Markov];
+    quick.sweep = None;
+    quick.workload = None;
+    let report = runner::run_scenario(&quick).unwrap();
+    let net = report.network.unwrap();
+    assert_eq!(net.topology, "mesh");
+    assert_eq!(net.max_hop_depth, 3);
 }
 
 /// The v1 golden bytes must keep loading forever — they stand in for every
@@ -172,7 +214,7 @@ fn golden_v1_file_still_loads_unchanged() {
 
 #[test]
 fn newer_schema_versions_are_rejected_not_misread() {
-    let golden = std::fs::read_to_string(GOLDEN_V2_PATH).expect("golden file present");
+    let golden = std::fs::read_to_string(GOLDEN_V3_PATH).expect("golden file present");
     let future = SCHEMA_VERSION + 1;
     let bumped = golden.replacen(
         &format!("\"schema_version\": {SCHEMA_VERSION}"),
@@ -201,6 +243,9 @@ fn v1_builtins_round_trip_and_analyze_identically() {
             .is_some_and(|n| n.topology.is_some())
         {
             continue; // v2-only feature; cannot be expressed as v1
+        }
+        if scenario.service.is_some() {
+            continue; // v3-only feature; cannot be expressed as v1
         }
         let mut quick = scenario;
         quick.cpu = quick

@@ -4,7 +4,7 @@
 //! reproducible from its stream index).
 
 use wsnem::stats::rng::{Rng64, StreamFactory};
-use wsnem::wsn::{CpuBackend, Network, NextHop, NodeConfig};
+use wsnem::wsn::{BackendId, Network, NextHop, NodeConfig};
 
 fn uniform<R: Rng64>(rng: &mut R, lo: f64, hi: f64) -> f64 {
     lo + (hi - lo) * rng.next_f64()
@@ -184,7 +184,7 @@ fn random_cycles_are_rejected() {
         let err = net.validate().unwrap_err();
         assert!(err.contains("cycle"), "case {i}: {err}");
         assert!(net.forwarded_rates().is_err(), "case {i}");
-        assert!(net.analyze(CpuBackend::Markov).is_err(), "case {i}");
+        assert!(net.analyze(BackendId::Markov).is_err(), "case {i}");
     }
 }
 
@@ -200,8 +200,8 @@ fn routed_star_matches_legacy_star_exactly() {
         let star = wsnem::wsn::StarNetwork {
             nodes: nodes.clone(),
         };
-        let legacy = star.analyze(CpuBackend::Markov).unwrap();
-        let routed = Network::star(nodes).analyze(CpuBackend::Markov).unwrap();
+        let legacy = star.analyze(BackendId::Markov).unwrap();
+        let routed = Network::star(nodes).analyze(BackendId::Markov).unwrap();
         assert_eq!(legacy.per_node.len(), routed.per_node.len());
         for (a, b) in legacy.per_node.iter().zip(&routed.per_node) {
             assert_eq!(a, &b.analysis, "case {i}: star analyses must be identical");
