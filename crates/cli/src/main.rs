@@ -11,6 +11,8 @@
 //! wsnem validate my.toml                  # parse + validate without running
 //! wsnem export paper-defaults --format toml   # print a built-in as a file
 //! wsnem topology --builtin tree-collection    # inspect multi-hop routing
+//! wsnem radio --preset cc2420-class           # inspect a duty-cycle MAC
+//! wsnem radio --builtin mac-heterogeneous-tree    # ...or a scenario's radios
 //! ```
 //!
 //! Scenarios in one invocation run in parallel across OS threads
@@ -57,8 +59,14 @@ COMMANDS:
     export <NAME> [OPTIONS]    Print a built-in scenario as a file
     topology [FILE] [--builtin <NAME>]
                                Inspect a scenario's multi-hop routing:
-                               per-node next hop, hop depth, subtree size
-                               and forwarding load (no model evaluation)
+                               per-node next hop, hop depth, subtree size,
+                               forwarding load and radio MAC (no model
+                               evaluation)
+    radio [FILE] [--builtin <NAME> | --preset <NAME>]
+                               Inspect duty-cycle radio/MAC specs: lowered
+                               timing numbers, derived duty cycle, the
+                               per-state power split and a
+                               lifetime-vs-traffic table
     help                       Show this help
 
 RUN OPTIONS:
@@ -98,6 +106,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(rest),
         "export" => cmd_export(rest),
         "topology" => cmd_topology(rest),
+        "radio" => cmd_radio(rest),
         "help" | "--help" | "-h" => {
             out(USAGE);
             Ok(())
@@ -203,6 +212,26 @@ fn required(it: &mut std::slice::Iter<'_, String>, what: &str) -> Result<String,
     it.next()
         .cloned()
         .ok_or_else(|| format!("missing value for {what}"))
+}
+
+/// Resolve the one scenario a subcommand operates on: a file path or a
+/// `--builtin` name, mutually exclusive. `command` names the caller in the
+/// nothing-given error (shared by `compare`, `topology` and `radio`).
+fn resolve_scenario(
+    file: Option<String>,
+    builtin_name: Option<String>,
+    command: &str,
+) -> Result<Scenario, String> {
+    match (file, builtin_name) {
+        (Some(_), Some(_)) => {
+            Err("pass either a scenario file or --builtin <NAME>, not both".into())
+        }
+        (None, None) => Err(format!(
+            "{command} expects a scenario file or --builtin <NAME>"
+        )),
+        (Some(f), None) => files::load(&f).map_err(|e| e.to_string()),
+        (None, Some(n)) => builtin::find(&n).map_err(|e| e.to_string()),
+    }
 }
 
 /// Shrink a scenario for smoke runs (`--quick`): fewer replications,
@@ -339,14 +368,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
     }
-    let mut scenario = match (file, builtin_name) {
-        (Some(_), Some(_)) => {
-            return Err("pass either a scenario file or --builtin <NAME>, not both".into())
-        }
-        (None, None) => return Err("compare expects a scenario file or --builtin <NAME>".into()),
-        (Some(f), None) => files::load(&f).map_err(|e| e.to_string())?,
-        (None, Some(n)) => builtin::find(&n).map_err(|e| e.to_string())?,
-    };
+    let mut scenario = resolve_scenario(file, builtin_name, "compare")?;
     if quick {
         // Slightly larger smoke budget than `run --quick`: the matrix gates
         // on 2 pp agreement, which 2 replications of 300 s cannot promise.
@@ -472,14 +494,7 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
     }
-    let scenario = match (file, builtin_name) {
-        (Some(_), Some(_)) => {
-            return Err("pass either a scenario file or --builtin <NAME>, not both".into())
-        }
-        (None, None) => return Err("topology expects a scenario file or --builtin <NAME>".into()),
-        (Some(f), None) => files::load(&f).map_err(|e| e.to_string())?,
-        (None, Some(n)) => builtin::find(&n).map_err(|e| e.to_string())?,
-    };
+    let scenario = resolve_scenario(file, builtin_name, "topology")?;
     let spec = scenario
         .network
         .as_ref()
@@ -503,29 +518,36 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
         net.sink_arrival_pkts_s()
     );
     outln!(
-        "  {:<16} {:<16} {:>5} {:>8} {:>12} {:>12} {:>12}",
+        "  {:<16} {:<16} {:>5} {:>8} {:>12} {:>12} {:>12}  {:<20}",
         "node",
         "next hop",
         "depth",
         "subtree",
         "own tx/s",
         "fwd rx/s",
-        "cpu load/s"
+        "cpu load/s",
+        "radio (duty)"
     );
     for (i, node) in net.nodes.iter().enumerate() {
         let next = match net.next_hop[i] {
             wsnem_scenario::NextHop::Sink => "(sink)".to_owned(),
             wsnem_scenario::NextHop::Node(j) => net.nodes[j].name.clone(),
         };
+        let radio = format!(
+            "{} ({:.2}%)",
+            spec.radio_spec_for(i).label(),
+            100.0 * node.radio.duty_cycle()
+        );
         outln!(
-            "  {:<16} {:<16} {:>5} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            "  {:<16} {:<16} {:>5} {:>8} {:>12.3} {:>12.3} {:>12.3}  {:<20}",
             node.name,
             next,
             depths[i],
             sizes[i],
             node.own_tx_rate(),
             forwarded[i],
-            node.event_rate + forwarded[i]
+            node.event_rate + forwarded[i],
+            radio
         );
     }
     if let Some((i, _)) = forwarded
@@ -534,11 +556,148 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
         .filter(|(_, f)| **f > 0.0)
         .max_by(|a, b| a.1.total_cmp(b.1))
     {
+        // This inspector runs no model, so it can only rank relays by
+        // load; the *lifetime* bottleneck relay (MAC-sensitive with
+        // per-node radio overrides) comes from `wsnem run`.
         outln!(
-            "\n  bottleneck relay: `{}` forwards {:.3} pkt/s for {} node(s)",
+            "\n  heaviest relay: `{}` forwards {:.3} pkt/s for {} node(s) \
+             (lifetime bottleneck: see `wsnem run`)",
             net.nodes[i].name,
             forwarded[i],
             sizes[i] - 1
+        );
+    }
+    Ok(())
+}
+
+fn cmd_radio(args: &[String]) -> Result<(), String> {
+    use wsnem_scenario::{Battery, RadioSpec};
+
+    let mut file: Option<String> = None;
+    let mut builtin_name: Option<String> = None;
+    let mut preset: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--builtin" => builtin_name = Some(required(&mut it, "--builtin <NAME>")?),
+            "--preset" => preset = Some(required(&mut it, "--preset <NAME>")?),
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            f if file.is_none() => file = Some(f.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    // Collect (role, spec) pairs plus the battery that sizes the lifetime
+    // column: a bare preset inspects on two AA cells; a scenario inspects
+    // its own network's specs on its own battery.
+    let (specs, battery): (Vec<(String, RadioSpec)>, Battery) = match (preset, file, builtin_name) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+            return Err("pass either --preset <NAME> or a scenario, not both".into())
+        }
+        (Some(name), None, None) => (
+            vec![("preset".to_owned(), RadioSpec::Preset(name))],
+            Battery::two_aa(),
+        ),
+        (None, None, None) => {
+            return Err(
+                "radio expects a scenario file, --builtin <NAME> or --preset <NAME> \
+                 (e.g. `wsnem radio --preset cc2420-class`)"
+                    .into(),
+            )
+        }
+        (None, f, b) => {
+            let scenario = resolve_scenario(f, b, "radio")?;
+            let battery = scenario.battery.build().map_err(|e| e.to_string())?;
+            let mut specs: Vec<(String, RadioSpec)> = Vec::new();
+            match &scenario.network {
+                None => specs.push((
+                    "default (scenario declares no network)".to_owned(),
+                    RadioSpec::default(),
+                )),
+                Some(net) => {
+                    specs.push((
+                        if net.radio.is_some() {
+                            "network default".to_owned()
+                        } else {
+                            "network default (implicit)".to_owned()
+                        },
+                        net.radio.clone().unwrap_or_default(),
+                    ));
+                    for n in &net.nodes {
+                        if let Some(r) = &n.radio {
+                            // One block per distinct override; name every
+                            // node that runs it.
+                            match specs.iter_mut().find(|(_, s)| s == r) {
+                                Some((role, _)) => role.push_str(&format!(", node `{}`", n.name)),
+                                None => {
+                                    specs.push((format!("node `{}` override", n.name), r.clone()))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            outln!(
+                "scenario `{}`: {} distinct radio spec(s)\n",
+                scenario.name,
+                specs.len()
+            );
+            (specs, battery)
+        }
+    };
+
+    for (i, (role, spec)) in specs.iter().enumerate() {
+        if i > 0 {
+            outln!();
+        }
+        let model = spec.lower().map_err(|e| e.to_string())?;
+        outln!("radio `{}` — {role}", spec.label());
+        outln!(
+            "  power:  sleep {:.3} mW   listen/rx {:.3} mW   tx {:.3} mW",
+            model.sleep_mw,
+            model.listen_mw,
+            model.tx_mw
+        );
+        outln!(
+            "  timing: wake-up period {:.4} s, listen window {:.4} s  ->  duty cycle {:.2}%",
+            model.period_s,
+            model.listen_s,
+            100.0 * model.duty_cycle()
+        );
+        outln!(
+            "  airtime/packet: tx {:.4} s, rx {:.4} s (MAC overhead included)",
+            model.tx_airtime_s,
+            model.rx_airtime_s
+        );
+        outln!();
+        outln!(
+            "  {:>14}  {:>7} {:>7} {:>7} {:>7}  {:>10}  {:>16}",
+            "pkt/s (tx=rx)",
+            "tx%",
+            "rx%",
+            "listen%",
+            "sleep%",
+            "mean mW",
+            "lifetime (days)"
+        );
+        for rate in [0.0, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0] {
+            let split = model.time_split(rate, rate);
+            let power = model.mean_power_mw(rate, rate);
+            outln!(
+                "  {:>14} {:>7.2} {:>7.2} {:>8.2} {:>7.2}  {:>10.3}  {:>16.1}",
+                rate,
+                100.0 * split.tx,
+                100.0 * split.rx,
+                100.0 * split.listen,
+                100.0 * split.sleep,
+                power,
+                battery.lifetime_days(power)
+            );
+        }
+        outln!(
+            "  (lifetime = radio draw alone on a {:.0} mAh / {:.1} V battery; CPU not \
+             included)",
+            battery.capacity_mah,
+            battery.voltage_v
         );
     }
     Ok(())

@@ -159,8 +159,12 @@ fn topology_subcommand_prints_routing_table() {
     let text = stdout(&out);
     assert!(text.contains("tree topology"), "{text}");
     assert!(text.contains("max depth 3"), "{text}");
-    assert!(text.contains("bottleneck relay: `root`"), "{text}");
+    // Load-ranked (this inspector runs no model — the lifetime-ranked
+    // bottleneck relay is `wsnem run`'s job).
+    assert!(text.contains("heaviest relay: `root`"), "{text}");
     assert!(text.contains("(sink)"), "{text}");
+    assert!(text.contains("radio (duty)"), "{text}");
+    assert!(text.contains("cc2420-class (5.00%)"), "{text}");
 }
 
 fn mesh_scenario_with_routes(routes: &str) -> String {
@@ -370,13 +374,170 @@ energy_horizon_s = 1000.0
 }
 
 #[test]
+fn radio_preset_inspector_prints_power_split_and_lifetime_table() {
+    let out = wsnem(&["radio", "--preset", "cc2420-class"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("radio `cc2420-class`"), "{text}");
+    assert!(text.contains("duty cycle 5.00%"), "{text}");
+    for col in ["tx%", "rx%", "listen%", "sleep%", "mean mW", "lifetime"] {
+        assert!(text.contains(col), "missing `{col}`: {text}");
+    }
+    // The lifetime-vs-traffic table actually varies with traffic.
+    assert!(text.contains("93.0"), "idle lifetime row: {text}");
+    assert!(text.contains("52.4"), "busy lifetime row: {text}");
+}
+
+#[test]
+fn radio_inspector_reads_scenario_specs_and_overrides() {
+    let out = wsnem(&["radio", "--builtin", "mac-heterogeneous-tree"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 distinct radio spec(s)"), "{text}");
+    assert!(text.contains("radio `x-mac` — network default"), "{text}");
+    assert!(
+        text.contains("radio `cc2420-always-on` — node `root` override"),
+        "{text}"
+    );
+    assert!(text.contains("duty cycle 100.00%"), "{text}");
+}
+
+#[test]
+fn radio_inspector_rejects_unknown_presets() {
+    let out = wsnem(&["radio", "--preset", "cc9999"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown radio preset `cc9999`"), "{err}");
+    assert!(err.contains("cc2420-class"), "{err}");
+}
+
+#[test]
+fn lpl_sweep_csv_carries_radio_columns_and_the_tradeoff() {
+    // Acceptance criterion: the builtin LPL period sweep shows the
+    // listen-vs-preamble tradeoff end to end, with per-node duty-cycle and
+    // radio columns in the run CSV.
+    let out = wsnem(&[
+        "run",
+        "--builtin",
+        "lpl-period-sweep",
+        "--quick",
+        "--format",
+        "csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    let header: Vec<String> = csv_fields(lines.next().expect("header"));
+    for col in ["radio_spec", "radio_duty_cycle", "radio_power_mw"] {
+        assert!(
+            header.iter().any(|h| h.trim() == col),
+            "missing column `{col}` in {header:?}"
+        );
+    }
+    let col = |name: &str| header.iter().position(|h| h.trim() == name).unwrap();
+    let (node_col, spec_col, duty_col, radio_mw_col) = (
+        col("node"),
+        col("radio_spec"),
+        col("radio_duty_cycle"),
+        col("radio_power_mw"),
+    );
+    let rows: Vec<Vec<String>> = lines.map(csv_fields).collect();
+    let node_rows: Vec<&Vec<String>> = rows.iter().filter(|r| !r[node_col].is_empty()).collect();
+    assert_eq!(node_rows.len(), 6, "one CSV row per sweep point");
+    let by_name = |n: &str| *node_rows.iter().find(|r| r[node_col] == n).unwrap();
+    let radio_mw = |n: &str| by_name(n)[radio_mw_col].parse::<f64>().unwrap();
+    // Duty cycle falls with the period; radio power is U-shaped.
+    assert_eq!(by_name("p-20ms")[spec_col], "b-mac");
+    assert_eq!(by_name("p-20ms")[duty_col], "0.125");
+    assert_eq!(by_name("p-1s")[duty_col], "0.0025");
+    assert!(radio_mw("p-20ms") > radio_mw("p-100ms"), "listen slope");
+    assert!(radio_mw("p-1s") > radio_mw("p-250ms"), "preamble slope");
+    assert!(radio_mw("p-250ms") > radio_mw("p-100ms"), "preamble slope");
+}
+
+#[test]
+fn v4_toml_file_with_radio_sections_loads_and_runs() {
+    let scenario = r#"
+schema_version = 4
+name = "radio-overrides"
+description = "hand-authored v4 file with a network MAC and a node override"
+profile = "Pxa271"
+battery = "TwoAa"
+backends = ["Markov"]
+
+[cpu]
+lambda = 0.5
+mu = 10.0
+power_down_threshold = 0.5
+power_up_delay = 0.001
+horizon = 300.0
+warmup = 0.0
+replications = 2
+master_seed = 7
+
+[report]
+energy_horizon_s = 1000.0
+
+[[network.nodes]]
+name = "relay"
+event_rate = 0.5
+tx_per_event = 1.0
+rx_rate = 0.0
+radio = { Preset = "cc2420-always-on" }
+
+[[network.nodes]]
+name = "leaf"
+event_rate = 0.5
+tx_per_event = 1.0
+rx_rate = 0.0
+
+[network.topology]
+Chain = {}
+
+[network.radio.XMac]
+check_interval_s = 0.5
+strobe_s = 0.004
+ack_s = 0.001
+"#;
+    let path = temp_file("radio-v4.toml", scenario);
+    let out = wsnem(&["run", path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("radio x-mac"), "{text}");
+    assert!(text.contains("radio cc2420-always-on"), "{text}");
+    // The always-on relay is both the routing and lifetime hot spot.
+    assert!(text.contains("bottleneck `relay`"), "{text}");
+
+    // The same file downgraded to v3 must be rejected, not misread.
+    let v3 = scenario.replace("schema_version = 4", "schema_version = 3");
+    let path = temp_file("radio-v3.toml", &v3);
+    let out = wsnem(&["validate", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let all = format!("{}{}", stdout(&out), stderr(&out));
+    assert!(all.contains("schema_version >= 4"), "{all}");
+}
+
+#[test]
 fn quick_smoke_runs_every_builtin_including_multihop() {
     let out = wsnem(&["run", "--all", "--quick"]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let text = stdout(&out);
-    for name in ["tree-collection", "chain-3hop", "mesh-field"] {
+    for name in [
+        "tree-collection",
+        "chain-3hop",
+        "mesh-field",
+        "lpl-period-sweep",
+        "mac-heterogeneous-tree",
+    ] {
         assert!(text.contains(name), "summary missing `{name}`");
     }
-    assert!(text.contains("network[tree, Markov]"), "{text}");
+    assert!(
+        text.contains("network[tree, Markov, radio cc2420-class]"),
+        "{text}"
+    );
+    assert!(
+        text.contains("network[tree, Markov, radio x-mac]"),
+        "{text}"
+    );
     assert!(text.contains("bottleneck relay `root`"), "{text}");
 }

@@ -1,16 +1,20 @@
 //! The built-in scenario library.
 //!
-//! Nine ready-to-run scenarios ship with the binary so `wsnem list` /
+//! Twelve ready-to-run scenarios ship with the binary so `wsnem list` /
 //! `wsnem run --all` work out of the box. They cover the paper's baseline,
 //! both evaluation axes (Fig. 4/5's threshold sweep, Table 4/5's power-up
 //! delay stress), the bursty-arrivals study from the surveillance domain,
 //! two application-layer studies (habitat monitoring, a heterogeneous star
-//! network), and three multi-hop topologies (schema v2): a data-collection
+//! network), three multi-hop topologies (schema v2): a data-collection
 //! tree, a 3-hop chain and a static-route mesh, where forwarding load
-//! concentrates on sink-adjacent relays and shortens their lifetime.
+//! concentrates on sink-adjacent relays and shortens their lifetime — and
+//! two radio/MAC studies (schema v4): an LPL check-interval sweep exposing
+//! the listen-vs-preamble energy tradeoff and a mixed-MAC collection tree
+//! whose always-on root relay pays for everyone else's duty cycling.
 
 use wsnem_core::{BackendId, ServiceDist};
 use wsnem_stats::dist::Dist;
+use wsnem_wsn::RadioSpec;
 
 use crate::error::ScenarioError;
 use crate::schema::{
@@ -24,6 +28,7 @@ fn plain_node(name: impl Into<String>, event_rate: f64) -> NodeSpec {
         event_rate,
         tx_per_event: 1.0,
         rx_rate: 0.0,
+        radio: None,
     }
 }
 
@@ -124,33 +129,39 @@ pub fn heterogeneous_star() -> Scenario {
                 event_rate: 0.05,
                 tx_per_event: 1.0,
                 rx_rate: 0.0,
+                radio: None,
             },
             NodeSpec {
                 name: "sampler-1".into(),
                 event_rate: 0.05,
                 tx_per_event: 1.0,
                 rx_rate: 0.0,
+                radio: None,
             },
             NodeSpec {
                 name: "sampler-2".into(),
                 event_rate: 0.1,
                 tx_per_event: 1.0,
                 rx_rate: 0.0,
+                radio: None,
             },
             NodeSpec {
                 name: "camera".into(),
                 event_rate: 2.0,
                 tx_per_event: 4.0,
                 rx_rate: 0.0,
+                radio: None,
             },
             NodeSpec {
                 name: "relay".into(),
                 event_rate: 0.2,
                 tx_per_event: 1.0,
                 rx_rate: 2.5,
+                radio: None,
             },
         ],
         topology: None,
+        radio: None,
     });
     s
 }
@@ -180,6 +191,7 @@ pub fn tree_collection() -> Scenario {
             })
             .collect(),
         topology: Some(TopologySpec::Tree { fanout: 2 }),
+        radio: None,
     });
     s
 }
@@ -208,6 +220,7 @@ pub fn chain_3hop() -> Scenario {
             plain_node("leaf", 0.8),
         ],
         topology: Some(TopologySpec::Chain),
+        radio: None,
     });
     s
 }
@@ -231,6 +244,7 @@ pub fn mesh_field() -> Scenario {
                 event_rate: 1.5,
                 tx_per_event: 2.0,
                 rx_rate: 0.0,
+                radio: None,
             },
             plain_node("west-relay", 0.3),
             plain_node("sampler-a", 0.4),
@@ -260,6 +274,7 @@ pub fn mesh_field() -> Scenario {
                 },
             ],
         }),
+        radio: None,
     });
     s
 }
@@ -315,6 +330,83 @@ pub fn deterministic_service() -> Scenario {
     s
 }
 
+/// Schema v4's radio axis, part 1: sweep the LPL check interval (wake-up
+/// period) across otherwise identical nodes and watch the documented
+/// listen-vs-preamble tradeoff — short periods burn idle listening, long
+/// periods burn transmit preambles, and the energy optimum sits in between.
+pub fn lpl_period_sweep() -> Scenario {
+    let mut s = Scenario::paper_template("lpl-period-sweep");
+    s.description = "Six identical sampling nodes (0.5 readings/s), each on a B-MAC-style \
+                     full-preamble LPL radio with a different check interval: 20 ms to \
+                     1 s, preamble = period. Short periods listen too often (idle cost \
+                     ~ sample/period), long periods pay a full preamble per packet \
+                     (tx cost ~ rate x period), so mean radio power is U-shaped in the \
+                     period and the per-node CSV duty-cycle/radio columns show both \
+                     slopes. The 1 s node dies first; the optimum sits near 100 ms."
+        .into();
+    s.backends = vec![BackendId::Markov];
+    let point = |name: &str, period_s: f64| NodeSpec {
+        name: name.into(),
+        event_rate: 0.5,
+        tx_per_event: 1.0,
+        rx_rate: 0.0,
+        radio: Some(RadioSpec::BMac {
+            check_interval_s: period_s,
+            preamble_s: period_s,
+        }),
+    };
+    s.network = Some(NetworkSpec {
+        nodes: vec![
+            point("p-20ms", 0.02),
+            point("p-50ms", 0.05),
+            point("p-100ms", 0.1),
+            point("p-250ms", 0.25),
+            point("p-500ms", 0.5),
+            point("p-1s", 1.0),
+        ],
+        topology: None,
+        radio: None,
+    });
+    s
+}
+
+/// Schema v4's radio axis, part 2: heterogeneous MACs in one collection
+/// tree — leaves strobe (X-MAC), the root relay overrides to an always-on
+/// radio and pays for the whole network's rendezvous.
+pub fn mac_heterogeneous_tree() -> Scenario {
+    let mut s = Scenario::paper_template("mac-heterogeneous-tree");
+    s.description = "The tree-collection deployment with a schema v4 radio section: the \
+                     network default is a strobed-preamble X-MAC (0.5 s check interval, \
+                     ~1% duty cycle), but the sink-adjacent root overrides to an \
+                     always-on cc2420 so it never misses a strobe from its busy \
+                     subtree. The override makes the bottleneck-relay metric \
+                     MAC-sensitive: the root's radio, not its forwarded packet count, \
+                     is what kills it first."
+        .into();
+    s.backends = vec![BackendId::Markov];
+    let mut nodes: Vec<NodeSpec> = (0..7)
+        .map(|i| {
+            let role = match i {
+                0 => "root".to_owned(),
+                1 | 2 => format!("relay-{i}"),
+                _ => format!("leaf-{i}"),
+            };
+            plain_node(role, 0.5)
+        })
+        .collect();
+    nodes[0].radio = Some(RadioSpec::Preset("cc2420-always-on".into()));
+    s.network = Some(NetworkSpec {
+        nodes,
+        topology: Some(TopologySpec::Tree { fanout: 2 }),
+        radio: Some(RadioSpec::XMac {
+            check_interval_s: 0.5,
+            strobe_s: 0.004,
+            ack_s: 0.001,
+        }),
+    });
+    s
+}
+
 /// All built-in scenarios, in presentation order.
 pub fn all() -> Vec<Scenario> {
     vec![
@@ -328,6 +420,8 @@ pub fn all() -> Vec<Scenario> {
         mesh_field(),
         powerup_delay_stress(),
         deterministic_service(),
+        lpl_period_sweep(),
+        mac_heterogeneous_tree(),
     ]
 }
 
@@ -403,6 +497,14 @@ mod tests {
                 .any(|s| s.service.as_ref().is_some_and(|d| !d.is_exponential())),
             "a non-exponential service scenario"
         );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.network.as_ref().is_some_and(
+                    |n| n.radio.is_some() && n.nodes.iter().any(|x| x.radio.is_some())
+                )),
+            "a scenario with both a network radio and a per-node override"
+        );
         let topologies: Vec<&str> = scenarios
             .iter()
             .filter_map(|s| s.network.as_ref())
@@ -457,6 +559,78 @@ mod tests {
             "{:?}",
             report.agreement[0]
         );
+    }
+
+    #[test]
+    fn lpl_period_sweep_shows_listen_vs_preamble_tradeoff() {
+        // Acceptance criterion: the period sweep is U-shaped — the shortest
+        // period loses to idle listening, the longest to transmit
+        // preambles, and an interior point wins.
+        let mut s = lpl_period_sweep();
+        s.cpu = s.cpu.with_replications(2).with_horizon(300.0);
+        let report = crate::runner::run_scenario(&s).unwrap();
+        let net = report.network.unwrap();
+        let power = |n: &str| {
+            net.nodes
+                .iter()
+                .find(|x| x.name == n)
+                .unwrap()
+                .total_power_mw
+        };
+        // Left slope: idle listening falls as the period grows.
+        assert!(power("p-20ms") > power("p-50ms"), "listen cost slope");
+        // Right slope: preamble cost rises with the period.
+        assert!(power("p-250ms") < power("p-500ms"), "preamble cost slope");
+        assert!(power("p-500ms") < power("p-1s"), "preamble cost slope");
+        // Interior optimum: both extremes lose to the middle.
+        let best = net
+            .nodes
+            .iter()
+            .min_by(|a, b| a.total_power_mw.total_cmp(&b.total_power_mw))
+            .unwrap();
+        assert!(
+            best.name == "p-50ms" || best.name == "p-100ms",
+            "optimum should be interior, got {}",
+            best.name
+        );
+        // The long-period node dies first.
+        assert_eq!(net.bottleneck, "p-1s");
+        // Duty cycles fall monotonically with the period in the CSV-visible
+        // columns: 2.5 ms sample over the period.
+        let duty = |n: &str| {
+            net.nodes
+                .iter()
+                .find(|x| x.name == n)
+                .unwrap()
+                .radio_duty_cycle
+        };
+        assert!((duty("p-20ms") - 0.125).abs() < 1e-12);
+        assert!((duty("p-1s") - 0.0025).abs() < 1e-12);
+        for n in &net.nodes {
+            assert_eq!(n.radio_spec, "b-mac");
+        }
+    }
+
+    #[test]
+    fn mac_heterogeneous_tree_root_pays_for_the_override() {
+        let mut s = mac_heterogeneous_tree();
+        s.cpu = s.cpu.with_replications(2).with_horizon(300.0);
+        let report = crate::runner::run_scenario(&s).unwrap();
+        let net = report.network.unwrap();
+        assert_eq!(net.radio, "x-mac");
+        let root = net.nodes.iter().find(|n| n.name == "root").unwrap();
+        assert_eq!(root.radio_spec, "cc2420-always-on");
+        assert_eq!(root.radio_duty_cycle, 1.0);
+        // The always-on override dominates the root's budget: its radio
+        // out-draws every strobing node — including the mid relays, whose
+        // strobed preambles carry three times the root's *own* traffic.
+        for other in net.nodes.iter().filter(|n| n.name != "root") {
+            assert_eq!(other.radio_spec, "x-mac");
+            assert!((other.radio_duty_cycle - 0.01).abs() < 1e-12);
+            assert!(root.radio_power_mw > 2.0 * other.radio_power_mw);
+        }
+        assert_eq!(net.bottleneck, "root");
+        assert_eq!(net.bottleneck_relay, "root");
     }
 
     #[test]

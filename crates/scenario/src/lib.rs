@@ -25,11 +25,20 @@
 //! the paper's Table 4/5 as a cross-backend comparison matrix
 //! (`wsnem compare`).
 //!
-//! A [`builtin`] library of ten scenarios (paper baseline, threshold-tuning
-//! sweep, bursty surveillance traffic, habitat monitoring, a heterogeneous
-//! star, three multi-hop topologies, the large-D stress case, a
-//! deterministic-service study) ships in the binary, so the `wsnem` CLI
-//! works with no files at all.
+//! Schema v4 makes the radio a first-class model input: a network can name
+//! a duty-cycle MAC ([`RadioSpec`] — presets, LPL, B-MAC-style full
+//! preambles, X-MAC-style strobed preambles, custom numbers) and individual
+//! nodes can override it, so relay duty cycles are co-tuned with routing
+//! and CPU power management. Reports gain per-node radio spec / duty-cycle
+//! columns; files that name no radio keep the historical `cc2420-class`
+//! preset and analyze identically.
+//!
+//! A [`builtin`] library of twelve scenarios (paper baseline,
+//! threshold-tuning sweep, bursty surveillance traffic, habitat monitoring,
+//! a heterogeneous star, three multi-hop topologies, the large-D stress
+//! case, a deterministic-service study, an LPL period sweep and a
+//! mixed-MAC tree) ships in the binary, so the `wsnem` CLI works with no
+//! files at all.
 //!
 //! ```
 //! use wsnem_scenario::{builtin, runner};
@@ -69,4 +78,5 @@ pub use schema::{
 };
 pub use wsnem_core::backend::global as global_registry;
 pub use wsnem_core::{BackendId, BackendRegistry, Capabilities, ServiceDist};
-pub use wsnem_wsn::{Network, NextHop};
+pub use wsnem_energy::Battery;
+pub use wsnem_wsn::{Network, NextHop, RadioModel, RadioSpec, DEFAULT_RADIO_PRESET};

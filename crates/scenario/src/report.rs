@@ -178,6 +178,11 @@ pub struct NodeReport {
     /// Forwarded traffic this node relays for its subtree (packets/s; 0 in
     /// a star).
     pub forwarded_rx_pkts_s: f64,
+    /// Label of the duty-cycle MAC this node runs (schema v4): a preset
+    /// name, `lpl` / `b-mac` / `x-mac`, or `custom`.
+    pub radio_spec: String,
+    /// The radio's scheduled duty cycle (listen window / wake-up period).
+    pub radio_duty_cycle: f64,
 }
 
 /// Network section of a report.
@@ -197,11 +202,15 @@ pub struct NetworkReport {
     pub bottleneck: String,
     /// Deepest hop count in the network (1 for a star).
     pub max_hop_depth: u32,
-    /// Name of the node carrying the largest forwarded load — the routing
-    /// hot spot (empty when nothing forwards, e.g. a star).
+    /// Name of the shortest-lived forwarding node — the routing hot spot
+    /// (empty when nothing forwards, e.g. a star). MAC-sensitive: per-node
+    /// radio overrides can move it off the most-loaded relay.
     pub bottleneck_relay: String,
     /// Total packet rate entering the sink (packets/s).
     pub sink_arrival_pkts_s: f64,
+    /// Label of the network-level duty-cycle MAC (`cc2420-class` when the
+    /// scenario names none); individual nodes may override it.
+    pub radio: String,
 }
 
 /// The complete result of running one scenario.
@@ -224,14 +233,15 @@ pub struct ScenarioReport {
 }
 
 impl ScenarioReport {
-    /// CSV header matching [`ScenarioReport::csv_rows`]. The four trailing
+    /// CSV header matching [`ScenarioReport::csv_rows`]. The seven trailing
     /// columns describe network-node rows (one per node when the scenario
     /// declares a network) and stay empty on backend rows.
     pub const CSV_HEADER: &'static str = "scenario,backend,sweep_axis,sweep_value,\
         standby_frac,powerup_frac,idle_frac,active_frac,mean_power_mw,\
         standby_mj,powerup_mj,idle_mj,active_mj,total_mj,energy_horizon_s,\
         battery_lifetime_days,mean_jobs,mean_latency_s,eval_seconds,poisson_approximation,\
-        node,hop_depth,forwarded_rx_pkts_s,is_bottleneck_relay";
+        node,hop_depth,forwarded_rx_pkts_s,is_bottleneck_relay,\
+        radio_spec,radio_duty_cycle,radio_power_mw";
 
     /// Flatten the report into CSV rows: one per backend evaluation
     /// (including sweep points), then one per network node when the
@@ -241,7 +251,7 @@ impl ScenarioReport {
             let f = b.fractions;
             let scenario = csv_field(scenario);
             format!(
-                "{scenario},{backend},{axis},{value},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},,,,",
+                "{scenario},{backend},{axis},{value},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},,,,,,,",
                 f.standby,
                 f.powerup,
                 f.idle,
@@ -267,8 +277,9 @@ impl ScenarioReport {
             let name = csv_field(&n.name);
             // Energy/jobs/latency/eval columns do not apply to node rows
             // and stay empty; mean_power_mw is the node's total (CPU+radio).
+            let radio_spec = csv_field(&n.radio_spec);
             format!(
-                "{scenario},{backend},,,{},{},{},{},{},,,,,,,{},,,,,{name},{},{},{}",
+                "{scenario},{backend},,,{},{},{},{},{},,,,,,,{},,,,,{name},{},{},{},{radio_spec},{},{}",
                 f.standby,
                 f.powerup,
                 f.idle,
@@ -278,6 +289,8 @@ impl ScenarioReport {
                 n.hop_depth,
                 n.forwarded_rx_pkts_s,
                 !net.bottleneck_relay.is_empty() && n.name == net.bottleneck_relay,
+                n.radio_duty_cycle,
+                n.radio_power_mw,
                 backend = net.backend,
             )
         }
@@ -345,10 +358,11 @@ impl ScenarioReport {
         }
         if let Some(n) = &self.network {
             out.push_str(&format!(
-                "  network[{}, {}]: {} nodes, depth {}, sink inflow {:.3} pkt/s, \
+                "  network[{}, {}, radio {}]: {} nodes, depth {}, sink inflow {:.3} pkt/s, \
                  first death {:.1} d (bottleneck `{}`), mean {:.1} d\n",
                 n.topology,
                 n.backend,
+                n.radio,
                 n.nodes.len(),
                 n.max_hop_depth,
                 n.sink_arrival_pkts_s,
@@ -358,17 +372,20 @@ impl ScenarioReport {
             ));
             if !n.bottleneck_relay.is_empty() {
                 out.push_str(&format!(
-                    "    bottleneck relay `{}` (largest forwarded load)\n",
+                    "    bottleneck relay `{}` (shortest-lived forwarder)\n",
                     n.bottleneck_relay
                 ));
             }
             for node in &n.nodes {
                 out.push_str(&format!(
-                    "    {:<12} hop {}  fwd {:>7.3} pkt/s  power {:>8.3} mW  \
-                     lifetime {:>8.2} d\n",
+                    "    {:<12} hop {}  fwd {:>7.3} pkt/s  radio {} (duty {:>5.1}%, \
+                     {:>7.3} mW)  power {:>8.3} mW  lifetime {:>8.2} d\n",
                     node.name,
                     node.hop_depth,
                     node.forwarded_rx_pkts_s,
+                    node.radio_spec,
+                    100.0 * node.radio_duty_cycle,
+                    node.radio_power_mw,
                     node.total_power_mw,
                     node.lifetime_days
                 ));
@@ -504,6 +521,8 @@ mod tests {
                     lifetime_days: 12.0,
                     hop_depth: 1,
                     forwarded_rx_pkts_s: 1.5,
+                    radio_spec: "x-mac".into(),
+                    radio_duty_cycle: 0.01,
                 }],
                 first_death_days: 12.0,
                 mean_lifetime_days: 14.0,
@@ -511,6 +530,7 @@ mod tests {
                 max_hop_depth: 3,
                 bottleneck_relay: "hot".into(),
                 sink_arrival_pkts_s: 2.0,
+                radio: "b-mac".into(),
             }),
             elapsed_seconds: 0.25,
         };
@@ -519,10 +539,11 @@ mod tests {
         assert!(s.contains("Markov"));
         assert!(s.contains("[ok]"));
         assert!(s.contains("bottleneck `hot`"));
-        assert!(s.contains("network[chain, Markov]"));
+        assert!(s.contains("network[chain, Markov, radio b-mac]"));
         assert!(s.contains("depth 3"));
         assert!(s.contains("bottleneck relay `hot`"));
         assert!(s.contains("hop 1"));
+        assert!(s.contains("radio x-mac (duty   1.0%"), "{s}");
     }
 
     #[test]
@@ -537,6 +558,8 @@ mod tests {
             lifetime_days: 9.5,
             hop_depth: depth,
             forwarded_rx_pkts_s: fwd,
+            radio_spec: "cc2420-class".into(),
+            radio_duty_cycle: 0.05,
         };
         let report = ScenarioReport {
             scenario: "tree".into(),
@@ -554,6 +577,7 @@ mod tests {
                 max_hop_depth: 2,
                 bottleneck_relay: "root".into(),
                 sink_arrival_pkts_s: 1.5,
+                radio: "cc2420-class".into(),
             }),
             elapsed_seconds: 0.0,
         };
@@ -562,9 +586,14 @@ mod tests {
         let header_cols = ScenarioReport::CSV_HEADER.split(',').count();
         // Backend rows leave the node columns empty.
         assert_eq!(rows[0].split(',').count(), header_cols, "{}", rows[0]);
-        assert!(rows[0].ends_with(",,,,"), "{}", rows[0]);
-        // Node rows fill them: name, hop depth, forwarded load, bottleneck.
-        assert!(rows[1].contains(",root,1,1,true"), "{}", rows[1]);
+        assert!(rows[0].ends_with(",,,,,,,"), "{}", rows[0]);
+        // Node rows fill them: name, hop depth, forwarded load, bottleneck,
+        // then the radio spec / duty cycle / radio power.
+        assert!(
+            rows[1].contains(",root,1,1,true,cc2420-class,0.05,3"),
+            "{}",
+            rows[1]
+        );
         assert_eq!(rows[1].split(',').count(), header_cols, "{}", rows[1]);
         // RFC 4180: a node name with a comma stays one quoted field.
         assert!(rows[2].contains("\"leaf, deep\",2,0,false"), "{}", rows[2]);

@@ -285,7 +285,8 @@ fn analyze_network(
         nodes: analysis
             .per_node
             .iter()
-            .map(|n| NodeReport {
+            .enumerate()
+            .map(|(i, n)| NodeReport {
                 name: n.analysis.name.clone(),
                 cpu_fractions: n.analysis.cpu_fractions,
                 cpu_power_mw: n.analysis.cpu_power_mw,
@@ -294,6 +295,8 @@ fn analyze_network(
                 lifetime_days: n.analysis.lifetime_days,
                 hop_depth: n.hop_depth,
                 forwarded_rx_pkts_s: n.forwarded_rx_pkts_s,
+                radio_spec: spec.radio_spec_for(i).label().to_owned(),
+                radio_duty_cycle: n.analysis.radio_duty_cycle,
             })
             .collect(),
         first_death_days: analysis.first_death_days(),
@@ -302,6 +305,11 @@ fn analyze_network(
         max_hop_depth: analysis.max_hop_depth(),
         bottleneck_relay,
         sink_arrival_pkts_s: analysis.sink_arrival_pkts_s,
+        radio: spec
+            .radio
+            .as_ref()
+            .map(|r| r.label().to_owned())
+            .unwrap_or_else(|| wsnem_wsn::DEFAULT_RADIO_PRESET.to_owned()),
     })
 }
 
@@ -396,15 +404,18 @@ mod tests {
                     event_rate: 0.02,
                     tx_per_event: 1.0,
                     rx_rate: 0.0,
+                    radio: None,
                 },
                 NodeSpec {
                     name: "hot".into(),
                     event_rate: 2.0,
                     tx_per_event: 1.0,
                     rx_rate: 0.5,
+                    radio: None,
                 },
             ],
             topology: None,
+            radio: None,
         });
         let report = run_scenario(&s).unwrap();
         let net = report.network.unwrap();
@@ -427,10 +438,12 @@ mod tests {
             event_rate: 0.8,
             tx_per_event: 1.0,
             rx_rate: 0.0,
+            radio: None,
         };
         s.network = Some(NetworkSpec {
             nodes: vec![node("relay"), node("mid"), node("leaf")],
             topology: Some(crate::schema::TopologySpec::Chain),
+            radio: None,
         });
         let report = run_scenario(&s).unwrap();
         let net = report.network.unwrap();

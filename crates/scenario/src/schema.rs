@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use wsnem_core::{backend, BackendId, CpuModelParams, ServiceDist};
 use wsnem_energy::{Battery, PowerProfile};
 use wsnem_stats::dist::Dist;
+use wsnem_wsn::RadioSpec;
 
 use crate::error::ScenarioError;
 
@@ -31,7 +32,13 @@ use crate::error::ScenarioError;
 ///   backends whose capabilities allow it (PetriNet, Des); backend names
 ///   are now validated against the solver registry with did-you-mean
 ///   errors.
-pub const SCHEMA_VERSION: u32 = 3;
+/// * **4** — optional `network.radio` section plus per-node `radio`
+///   overrides: a serializable duty-cycle MAC description
+///   ([`wsnem_wsn::RadioSpec`] — presets / LPL / B-MAC / X-MAC / custom)
+///   replacing the fixed CC2420-class radio every node used before.
+///   Omitting both keeps the historical `cc2420-class` preset, so v1–v3
+///   files load and analyze identically.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Oldest schema version this build still loads. v1 files parse unchanged
 /// (the v2 additions are optional) and produce identical results.
@@ -331,6 +338,10 @@ pub struct NetworkSpec {
     pub nodes: Vec<NodeSpec>,
     /// Multi-hop routing (schema v2). `None` keeps the v1 star semantics.
     pub topology: Option<TopologySpec>,
+    /// Network-wide duty-cycle MAC (schema v4). `None` keeps the
+    /// historical `cc2420-class` preset; individual nodes may override it
+    /// via [`NodeSpec::radio`].
+    pub radio: Option<RadioSpec>,
 }
 
 /// How nodes route toward the sink (schema v2).
@@ -452,12 +463,30 @@ pub struct NodeSpec {
     pub tx_per_event: f64,
     /// Packets received per second (forwarded traffic).
     pub rx_rate: f64,
+    /// Per-node duty-cycle MAC override (schema v4). `None` inherits the
+    /// network-level [`NetworkSpec::radio`] (or the `cc2420-class` preset
+    /// when that is also absent). Relays often override: an always-on or
+    /// short-check-interval radio on the sink-ward path trades the relay's
+    /// battery for everyone else's preamble cost.
+    pub radio: Option<RadioSpec>,
 }
 
 impl NetworkSpec {
+    /// The duty-cycle MAC node `i` runs: its own override when present,
+    /// else the network-level default, else the `cc2420-class` preset
+    /// (exactly the radio every node ran before schema v4).
+    pub fn radio_spec_for(&self, node: usize) -> RadioSpec {
+        self.nodes
+            .get(node)
+            .and_then(|n| n.radio.clone())
+            .or_else(|| self.radio.clone())
+            .unwrap_or_default()
+    }
+
     /// Materialize the routed `wsnem_wsn::Network` this spec describes
-    /// (shared by validation, the runner and the CLI `topology` command).
-    /// A missing topology builds as a star.
+    /// (shared by validation, the runner and the CLI `topology` / `radio`
+    /// commands). A missing topology builds as a star; missing radio
+    /// sections lower to the `cc2420-class` preset.
     pub fn build_network(
         &self,
         cpu: CpuModelParams,
@@ -467,17 +496,23 @@ impl NetworkSpec {
         let nodes: Vec<wsnem_wsn::NodeConfig> = self
             .nodes
             .iter()
-            .map(|n| wsnem_wsn::NodeConfig {
-                name: n.name.clone(),
-                event_rate: n.event_rate,
-                cpu,
-                cpu_profile: profile.clone(),
-                radio: wsnem_wsn::RadioModel::cc2420_class(),
-                tx_per_event: n.tx_per_event,
-                rx_rate: n.rx_rate,
-                battery: *battery,
+            .enumerate()
+            .map(|(i, n)| {
+                let radio = self.radio_spec_for(i).lower().map_err(|e| {
+                    ScenarioError::Invalid(format!("node `{}`: radio: {e}", n.name))
+                })?;
+                Ok(wsnem_wsn::NodeConfig {
+                    name: n.name.clone(),
+                    event_rate: n.event_rate,
+                    cpu,
+                    cpu_profile: profile.clone(),
+                    radio,
+                    tx_per_event: n.tx_per_event,
+                    rx_rate: n.rx_rate,
+                    battery: *battery,
+                })
             })
-            .collect();
+            .collect::<Result<_, ScenarioError>>()?;
         let next_hop = match &self.topology {
             None => vec![wsnem_wsn::NextHop::Sink; nodes.len()],
             Some(t) => t.build_next_hops(&self.nodes)?,
@@ -615,6 +650,33 @@ impl Scenario {
                         self.name, n.name
                     ))
                 })?;
+            }
+            if net.radio.is_some() || net.nodes.iter().any(|n| n.radio.is_some()) {
+                if self.schema_version < 4 {
+                    return Err(ScenarioError::Invalid(format!(
+                        "scenario `{}`: network.radio / per-node radio overrides require \
+                         schema_version >= 4 (found {})",
+                        self.name, self.schema_version
+                    )));
+                }
+                if let Some(radio) = &net.radio {
+                    radio.validate().map_err(|e| {
+                        ScenarioError::Invalid(format!(
+                            "scenario `{}`: network.radio: {e}",
+                            self.name
+                        ))
+                    })?;
+                }
+                for n in &net.nodes {
+                    if let Some(radio) = &n.radio {
+                        radio.validate().map_err(|e| {
+                            ScenarioError::Invalid(format!(
+                                "scenario `{}`: node `{}`: radio: {e}",
+                                self.name, n.name
+                            ))
+                        })?;
+                    }
+                }
             }
             if net.topology.is_some() {
                 if self.schema_version < 2 {
@@ -762,6 +824,7 @@ mod tests {
         s.network = Some(NetworkSpec {
             nodes: vec![],
             topology: None,
+            radio: None,
         });
         assert!(s.validate().is_err());
 
@@ -906,6 +969,7 @@ mod tests {
             event_rate,
             tx_per_event: 1.0,
             rx_rate: 0.0,
+            radio: None,
         }
     }
 
@@ -914,6 +978,7 @@ mod tests {
         s.network = Some(NetworkSpec {
             nodes,
             topology: Some(topology),
+            radio: None,
         });
         s
     }
@@ -1059,6 +1124,7 @@ mod tests {
         s.network = Some(NetworkSpec {
             nodes: vec![node("a", 0.5), node("a", 0.5)],
             topology: None,
+            radio: None,
         });
         s.validate().unwrap();
     }
@@ -1072,6 +1138,106 @@ mod tests {
         let err = s.validate().unwrap_err().to_string();
         assert!(err.contains("relay") && err.contains("forwarding"), "{err}");
         assert!(err.contains("rho"), "{err}");
+    }
+
+    #[test]
+    fn radio_section_requires_schema_v4() {
+        let mut s = Scenario::paper_template("radio");
+        s.network = Some(NetworkSpec {
+            nodes: vec![node("a", 0.5)],
+            topology: None,
+            radio: Some(RadioSpec::default()),
+        });
+        s.validate().unwrap();
+        s.schema_version = 3;
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("schema_version >= 4"), "{err}");
+
+        // A per-node override alone also gates on v4.
+        let mut s = Scenario::paper_template("radio");
+        let mut n = node("a", 0.5);
+        n.radio = Some(RadioSpec::Lpl {
+            period_s: 0.2,
+            listen_s: 0.004,
+        });
+        s.network = Some(NetworkSpec {
+            nodes: vec![n],
+            topology: None,
+            radio: None,
+        });
+        s.validate().unwrap();
+        s.schema_version = 3;
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("schema_version >= 4"), "{err}");
+    }
+
+    #[test]
+    fn invalid_radio_specs_rejected_with_context() {
+        // Network-level: unknown preset.
+        let mut s = Scenario::paper_template("radio");
+        s.network = Some(NetworkSpec {
+            nodes: vec![node("a", 0.5)],
+            topology: None,
+            radio: Some(RadioSpec::Preset("cc9999".into())),
+        });
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("network.radio"), "{err}");
+        assert!(err.contains("unknown radio preset `cc9999`"), "{err}");
+        assert!(err.contains("cc2420-class"), "{err}");
+
+        // Node-level: B-MAC preamble shorter than the check interval.
+        let mut s = Scenario::paper_template("radio");
+        let mut n = node("a", 0.5);
+        n.radio = Some(RadioSpec::BMac {
+            check_interval_s: 0.2,
+            preamble_s: 0.1,
+        });
+        s.network = Some(NetworkSpec {
+            nodes: vec![n],
+            topology: None,
+            radio: None,
+        });
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("node `a`: radio"), "{err}");
+        assert!(err.contains("preamble"), "{err}");
+    }
+
+    #[test]
+    fn radio_resolution_prefers_node_over_network_over_default() {
+        let lpl = RadioSpec::Lpl {
+            period_s: 0.2,
+            listen_s: 0.004,
+        };
+        let xmac = RadioSpec::XMac {
+            check_interval_s: 0.5,
+            strobe_s: 0.004,
+            ack_s: 0.001,
+        };
+        let mut override_node = node("b", 0.5);
+        override_node.radio = Some(xmac.clone());
+        let spec = NetworkSpec {
+            nodes: vec![node("a", 0.5), override_node],
+            topology: None,
+            radio: Some(lpl.clone()),
+        };
+        assert_eq!(spec.radio_spec_for(0), lpl);
+        assert_eq!(spec.radio_spec_for(1), xmac);
+        // No network radio → the historical preset.
+        let spec = NetworkSpec {
+            nodes: vec![node("a", 0.5)],
+            topology: None,
+            radio: None,
+        };
+        assert_eq!(spec.radio_spec_for(0), RadioSpec::default());
+        // And the built network carries the lowered models.
+        let net = spec
+            .build_network(
+                CpuModelParams::paper_defaults(),
+                &PowerProfile::pxa271(),
+                &Battery::two_aa(),
+            )
+            .unwrap();
+        assert_eq!(net.nodes[0].radio, wsnem_wsn::RadioModel::cc2420_class());
     }
 
     #[test]

@@ -4,19 +4,44 @@
 //! the application layer the paper's introduction motivates (surveillance,
 //! habitat/temperature monitoring).
 //!
-//! * [`radio`] — a duty-cycled radio energy model (synthetic CC2420-class
-//!   power numbers, documented as such; the paper models only the CPU and
-//!   notes communication dominates — this crate lets examples weigh both).
+//! * [`radio`] — duty-cycle MAC radio models: a serializable [`RadioSpec`]
+//!   (named presets, LPL, B-MAC-style full preambles, X-MAC-style strobed
+//!   preambles, raw custom numbers) lowering to the shared [`RadioModel`]
+//!   mean-power evaluation. The power figures are synthetic datasheet
+//!   composites, documented as such; the paper models only the CPU and
+//!   notes communication dominates — this crate lets studies weigh both.
 //! * [`node`] — a sensor node: sensing workload → CPU jobs (+ radio
-//!   traffic), evaluated with any [`wsnem_core::CpuModel`], yielding power
+//!   traffic), evaluated with any registered CPU backend, yielding power
 //!   breakdown and battery lifetime.
-//! * [`network`] — star-topology networks of heterogeneous nodes: first-node
-//!   death, mean lifetime, per-node breakdown.
+//! * [`network`] — star-topology networks of heterogeneous nodes:
+//!   first-node death, mean lifetime, per-node breakdown.
 //! * [`topology`] — multi-hop routed networks (chain/tree/mesh with static
 //!   routes): per-node forwarding load propagated sink-ward, hop depths,
-//!   relay-bottleneck identification.
+//!   relay-bottleneck identification (lifetime-ranked, so per-node radio
+//!   overrides shift the hot spot).
 //! * [`tuning`] — pick the energy-optimal Power Down Threshold for a
 //!   workload (the design question the paper's Fig. 5 poses).
+//!
+//! # Examples
+//!
+//! Co-tune the radio MAC with the sensing workload:
+//!
+//! ```
+//! use wsnem_wsn::{BackendId, NodeConfig, RadioSpec};
+//!
+//! let mut node = NodeConfig::monitoring("lab-7", 30.0);
+//! let default_radio = node.analyze(BackendId::Markov).unwrap();
+//! node.radio = RadioSpec::XMac {
+//!     check_interval_s: 0.5,
+//!     strobe_s: 0.004,
+//!     ack_s: 0.001,
+//! }
+//! .lower()
+//! .unwrap();
+//! let strobed = node.analyze(BackendId::Markov).unwrap();
+//! // At one reading per 30 s the strobed MAC out-lives the 5% LPL default.
+//! assert!(strobed.lifetime_days > default_radio.lifetime_days);
+//! ```
 
 #![forbid(unsafe_code)]
 // `!(x > 0.0)`-style guards deliberately reject NaN together with the
@@ -34,7 +59,7 @@ pub mod tuning;
 // and network analysis callers need no direct wsnem-core dependency.
 pub use network::{NetworkAnalysis, StarNetwork};
 pub use node::{CpuBackend, NodeAnalysis, NodeConfig};
-pub use radio::RadioModel;
+pub use radio::{RadioModel, RadioSpec, RadioTimeSplit, DEFAULT_RADIO_PRESET};
 pub use topology::{
     Network, NetworkError, NextHop, RoutedAnalysis, RoutedNodeAnalysis, RoutingTable,
 };

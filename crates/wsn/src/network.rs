@@ -1,4 +1,20 @@
 //! Star-topology sensor networks.
+//!
+//! The simplest deployment shape: heterogeneous leaves reporting straight
+//! to a mains-powered sink. For multi-hop routing with forwarding-load
+//! propagation see [`crate::topology`], whose star constructor reproduces
+//! these numbers exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsnem_wsn::{BackendId, StarNetwork};
+//!
+//! let net = StarNetwork::homogeneous(4, 10.0);
+//! let a = net.analyze(BackendId::Markov).unwrap();
+//! // Identical nodes die together: first death == mean lifetime.
+//! assert!((a.first_death_days() - a.mean_lifetime_days()).abs() < 1e-9);
+//! ```
 
 use wsnem_core::BackendId;
 

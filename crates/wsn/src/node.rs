@@ -1,4 +1,29 @@
 //! A sensor node: sensing workload → CPU model + radio traffic + battery.
+//!
+//! [`NodeConfig`] bundles everything one mote needs for an energy verdict —
+//! a sensing rate driving the CPU queue, a CPU power profile, a
+//! [`RadioModel`] (usually lowered from a [`crate::RadioSpec`]) and a
+//! battery — and [`NodeConfig::analyze`] evaluates it with any registered
+//! CPU backend into a [`NodeAnalysis`]: per-state CPU occupancy, CPU and
+//! radio mean power, and the expected battery lifetime.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsnem_wsn::{BackendId, NodeConfig, RadioSpec};
+//!
+//! // One reading every 10 s on the paper's PXA271, CC2420-class radio.
+//! let mut node = NodeConfig::monitoring("n0", 10.0);
+//! let base = node.analyze(BackendId::Markov).unwrap();
+//!
+//! // Re-fit the radio with a slower LPL wake-up: less idle listening.
+//! node.radio = RadioSpec::Lpl { period_s: 0.5, listen_s: 0.005 }
+//!     .lower()
+//!     .unwrap();
+//! let tuned = node.analyze(BackendId::Markov).unwrap();
+//! assert!(tuned.radio_power_mw < base.radio_power_mw);
+//! assert!(tuned.lifetime_days > base.lifetime_days);
+//! ```
 
 use wsnem_core::{backend, BackendId, BackendRegistry, CpuModelParams, EvalOptions};
 use wsnem_energy::{Battery, PowerProfile, StateFractions};
@@ -74,6 +99,10 @@ pub struct NodeAnalysis {
     pub cpu_power_mw: f64,
     /// Mean radio power (mW).
     pub radio_power_mw: f64,
+    /// The radio's scheduled duty cycle (listen window over wake-up
+    /// period), before traffic airtime — the MAC knob the radio layer
+    /// tunes.
+    pub radio_duty_cycle: f64,
     /// Total mean power (mW).
     pub total_power_mw: f64,
     /// Expected battery lifetime (days).
@@ -128,6 +157,7 @@ impl NodeConfig {
             cpu_fractions: eval.fractions,
             cpu_power_mw: cpu_power,
             radio_power_mw: radio_power,
+            radio_duty_cycle: self.radio.duty_cycle().min(1.0),
             total_power_mw: total,
             lifetime_days: self.battery.lifetime_days(total),
         })
@@ -145,6 +175,7 @@ mod tests {
         assert!(a.cpu_fractions.is_normalized(1e-9));
         assert!(a.cpu_power_mw > 0.0);
         assert!(a.radio_power_mw > 0.0);
+        assert!((a.radio_duty_cycle - 0.05).abs() < 1e-12);
         assert!((a.total_power_mw - a.cpu_power_mw - a.radio_power_mw).abs() < 1e-12);
         assert!(a.lifetime_days > 0.0 && a.lifetime_days.is_finite());
         assert_eq!(a.name, "n0");

@@ -14,6 +14,29 @@
 //! equals the sum of every node's own transmit rate (nothing is created or
 //! dropped en route), and the accompanying test battery pins that invariant
 //! for random trees and meshes.
+//!
+//! Nodes are heterogeneous, radios included: a relay can run a different
+//! duty-cycle MAC (a [`crate::RadioSpec`] override) than its leaves, which
+//! is why [`RoutedAnalysis::bottleneck_relay`] ranks forwarding nodes by
+//! *lifetime* rather than raw forwarded load — the energy price of carrying
+//! a subtree depends on the MAC carrying it.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsnem_wsn::{BackendId, Network, NodeConfig};
+//!
+//! // A 3-hop chain sensing once every 2 s per node.
+//! let nodes: Vec<NodeConfig> = (0..3)
+//!     .map(|i| NodeConfig::monitoring(format!("n{i}"), 2.0))
+//!     .collect();
+//! let net = Network::chain(nodes);
+//! // The sink-adjacent relay carries the other two nodes' packets...
+//! assert_eq!(net.forwarded_rates().unwrap(), vec![1.0, 0.5, 0.0]);
+//! // ...so it burns more power and dies first.
+//! let analysis = net.analyze(BackendId::Markov).unwrap();
+//! assert_eq!(analysis.bottleneck_relay().unwrap().analysis.name, "n0");
+//! ```
 
 use wsnem_core::BackendId;
 
@@ -373,13 +396,23 @@ impl RoutedAnalysis {
         })
     }
 
-    /// The routing hot spot: the node carrying the largest forwarded load
-    /// (`None` when nothing forwards, e.g. a star).
+    /// The routing hot spot: the *shortest-lived* forwarding node (`None`
+    /// when nothing forwards, e.g. a star).
+    ///
+    /// Lifetime-ranked rather than load-ranked because the metric is
+    /// MAC-sensitive: with per-node radio overrides, a relay on an
+    /// expensive MAC (long preambles, high duty cycle) can be the hot spot
+    /// even though another relay carries more packets. In homogeneous
+    /// networks the two rankings coincide.
     pub fn bottleneck_relay(&self) -> Option<&RoutedNodeAnalysis> {
         self.per_node
             .iter()
             .filter(|n| n.forwarded_rx_pkts_s > 0.0)
-            .max_by(|a, b| a.forwarded_rx_pkts_s.total_cmp(&b.forwarded_rx_pkts_s))
+            .min_by(|a, b| {
+                a.analysis
+                    .lifetime_days
+                    .total_cmp(&b.analysis.lifetime_days)
+            })
     }
 
     /// The deepest hop count in the network (0 for an empty network).
@@ -457,6 +490,31 @@ mod tests {
             );
         }
         assert_eq!(a.max_hop_depth(), 3);
+    }
+
+    #[test]
+    fn bottleneck_relay_is_mac_sensitive() {
+        // Chain n0 <- n1 <- n2: n0 forwards 1.0 pkt/s, n1 forwards 0.5.
+        // With homogeneous radios the heaviest relay (n0) is the hot spot;
+        // putting the mid relay on an always-on radio (duty cycle 1) makes
+        // *it* the shortest-lived forwarder despite carrying less traffic.
+        let mut nodes = monitoring_nodes(3, 2.0);
+        let homogeneous = Network::chain(nodes.clone());
+        let a = homogeneous.analyze(BackendId::Markov).unwrap();
+        assert_eq!(a.bottleneck_relay().unwrap().analysis.name, "node-0");
+
+        nodes[1].radio = crate::RadioSpec::Preset("cc2420-always-on".into())
+            .lower()
+            .unwrap();
+        let heterogeneous = Network::chain(nodes);
+        let a = heterogeneous.analyze(BackendId::Markov).unwrap();
+        let hot = a.bottleneck_relay().unwrap();
+        assert_eq!(hot.analysis.name, "node-1");
+        assert_eq!(hot.analysis.radio_duty_cycle, 1.0);
+        assert!(
+            hot.forwarded_rx_pkts_s < a.per_node[0].forwarded_rx_pkts_s,
+            "the hot spot forwards less than n0 — it is the MAC, not the load"
+        );
     }
 
     #[test]

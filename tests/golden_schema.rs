@@ -1,17 +1,18 @@
 //! Golden-file tests pinning the scenario schema.
 //!
-//! `tests/golden/scenario_v3.json` is the canonical serialized form of a
+//! `tests/golden/scenario_v4.json` is the canonical serialized form of a
 //! fixed scenario under the current schema. If the byte-match test fails,
 //! the on-disk format changed: either revert the accidental change, or —
 //! for an intentional format change — bump `wsnem_scenario::SCHEMA_VERSION`,
 //! regenerate the golden file (`WSNEM_BLESS=1 cargo test -p wsnem --test
 //! golden_schema`) and add a migration note to README.md.
 //!
-//! `tests/golden/scenario_v1.json` and `tests/golden/scenario_v2.json` are
-//! frozen at their original bytes forever: they are the back-compat
-//! fixtures proving that files written before the topology extension (v2)
-//! and before the unified-backend/service extension (v3) keep loading,
-//! validating and analyzing unchanged.
+//! `tests/golden/scenario_v1.json`, `tests/golden/scenario_v2.json` and
+//! `tests/golden/scenario_v3.json` are frozen at their original bytes
+//! forever: they are the back-compat fixtures proving that files written
+//! before the topology extension (v2), before the unified-backend/service
+//! extension (v3) and before the duty-cycle radio extension (v4) keep
+//! loading, validating and analyzing unchanged.
 
 use wsnem_scenario::{
     builtin, files, runner, FileFormat, Scenario, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
@@ -20,6 +21,7 @@ use wsnem_scenario::{
 const GOLDEN_V1_PATH: &str = "tests/golden/scenario_v1.json";
 const GOLDEN_V2_PATH: &str = "tests/golden/scenario_v2.json";
 const GOLDEN_V3_PATH: &str = "tests/golden/scenario_v3.json";
+const GOLDEN_V4_PATH: &str = "tests/golden/scenario_v4.json";
 
 /// The fixed scenario the v1 golden file pins (as written by the v1 code:
 /// no `topology` key). Touches every v1 schema section.
@@ -71,8 +73,10 @@ fn pinned_scenario_v1() -> Scenario {
             event_rate: 0.5,
             tx_per_event: 1.0,
             rx_rate: 0.25,
+            radio: None,
         }],
         topology: None,
+        radio: None,
     });
     s
 }
@@ -91,6 +95,7 @@ fn pinned_scenario_v2() -> Scenario {
         event_rate,
         tx_per_event: 1.0,
         rx_rate: 0.0,
+        radio: None,
     };
     s.network = Some(NetworkSpec {
         nodes: vec![node("relay", 0.5), node("mid", 0.4), node("leaf", 0.3)],
@@ -110,21 +115,47 @@ fn pinned_scenario_v2() -> Scenario {
                 },
             ],
         }),
+        radio: None,
     });
     s
 }
 
 /// The fixed scenario the v3 golden file pins: the v2 sections plus the
 /// schema v3 addition — a non-exponential service distribution (restricted
-/// to the backends whose capabilities support it).
+/// to the backends whose capabilities support it). Frozen at
+/// schema_version 3 (as written by the v3 code).
 fn pinned_scenario_v3() -> Scenario {
     use wsnem_scenario::{BackendId, ServiceDist};
 
     let mut s = pinned_scenario_v2();
-    s.schema_version = SCHEMA_VERSION;
+    s.schema_version = 3;
     s.name = "golden-v3".into();
     s.service = Some(ServiceDist::Erlang { k: 3 });
     s.backends = vec![BackendId::PetriNet, BackendId::Des];
+    s
+}
+
+/// The fixed scenario the v4 golden file pins: the v3 sections plus the
+/// schema v4 addition — a network-wide duty-cycle MAC with a per-node
+/// override.
+fn pinned_scenario_v4() -> Scenario {
+    use wsnem_scenario::RadioSpec;
+
+    let mut s = pinned_scenario_v3();
+    s.schema_version = SCHEMA_VERSION;
+    s.name = "golden-v4".into();
+    let net = s.network.as_mut().expect("v3 fixture has a network");
+    net.radio = Some(RadioSpec::BMac {
+        check_interval_s: 0.1,
+        preamble_s: 0.1,
+    });
+    // The sink-adjacent relay overrides the network MAC: strobed preambles
+    // keep its heavy forwarded traffic affordable.
+    net.nodes[0].radio = Some(RadioSpec::XMac {
+        check_interval_s: 0.1,
+        strobe_s: 0.004,
+        ack_s: 0.001,
+    });
     s
 }
 
@@ -132,36 +163,65 @@ fn pinned_scenario_v3() -> Scenario {
 fn schema_version_is_pinned() {
     // Bumping either constant is a format event: regenerate/add golden
     // files and document the migration.
-    assert_eq!(SCHEMA_VERSION, 3);
+    assert_eq!(SCHEMA_VERSION, 4);
     assert_eq!(MIN_SCHEMA_VERSION, 1);
 }
 
 #[test]
-fn golden_v3_file_matches_serialization() {
-    let scenario = pinned_scenario_v3();
+fn golden_v4_file_matches_serialization() {
+    let scenario = pinned_scenario_v4();
     let serialized = files::to_string(&scenario, FileFormat::Json).unwrap() + "\n";
 
     if std::env::var_os("WSNEM_BLESS").is_some() {
         std::fs::create_dir_all("tests/golden").unwrap();
-        std::fs::write(GOLDEN_V3_PATH, &serialized).unwrap();
+        std::fs::write(GOLDEN_V4_PATH, &serialized).unwrap();
         return;
     }
 
-    let golden = std::fs::read_to_string(GOLDEN_V3_PATH)
+    let golden = std::fs::read_to_string(GOLDEN_V4_PATH)
         .expect("golden file missing — run with WSNEM_BLESS=1 to create it");
     assert_eq!(
         serialized, golden,
-        "scenario schema drifted from the v3 golden file; \
+        "scenario schema drifted from the v4 golden file; \
          see the module docs for the intended workflow"
     );
 }
 
 #[test]
-fn golden_v3_file_parses_and_validates() {
-    let golden = std::fs::read_to_string(GOLDEN_V3_PATH).expect("golden file present");
+fn golden_v4_file_parses_and_validates() {
+    let golden = std::fs::read_to_string(GOLDEN_V4_PATH).expect("golden file present");
+    let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
+    assert_eq!(scenario, pinned_scenario_v4());
+    assert_eq!(scenario.schema_version, SCHEMA_VERSION);
+}
+
+/// The v3 golden bytes must keep loading forever — they stand in for every
+/// scenario file written before the duty-cycle radio extension.
+#[test]
+fn golden_v3_file_still_loads_unchanged() {
+    let golden = std::fs::read_to_string(GOLDEN_V3_PATH).expect("v3 golden file present");
+    assert!(
+        !golden.contains("\"radio\""),
+        "the v3 fixture must stay a genuine v3 file; never regenerate it"
+    );
     let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
     assert_eq!(scenario, pinned_scenario_v3());
-    assert_eq!(scenario.schema_version, SCHEMA_VERSION);
+    assert_eq!(scenario.schema_version, 3);
+    // And it still analyzes — on the same cc2420-class radio every pre-v4
+    // file implied.
+    let mut quick = scenario;
+    quick.cpu = quick.cpu.with_replications(2).with_horizon(300.0);
+    quick.backends = vec![wsnem_scenario::BackendId::Markov];
+    quick.sweep = None;
+    quick.workload = None;
+    quick.service = None;
+    let report = runner::run_scenario(&quick).unwrap();
+    let net = report.network.unwrap();
+    assert_eq!(net.topology, "mesh");
+    for node in &net.nodes {
+        assert_eq!(node.radio_spec, "cc2420-class");
+        assert!((node.radio_duty_cycle - 0.05).abs() < 1e-12);
+    }
 }
 
 /// The v2 golden bytes must keep loading forever — they stand in for every
@@ -214,7 +274,7 @@ fn golden_v1_file_still_loads_unchanged() {
 
 #[test]
 fn newer_schema_versions_are_rejected_not_misread() {
-    let golden = std::fs::read_to_string(GOLDEN_V3_PATH).expect("golden file present");
+    let golden = std::fs::read_to_string(GOLDEN_V4_PATH).expect("golden file present");
     let future = SCHEMA_VERSION + 1;
     let bumped = golden.replacen(
         &format!("\"schema_version\": {SCHEMA_VERSION}"),
@@ -246,6 +306,13 @@ fn v1_builtins_round_trip_and_analyze_identically() {
         }
         if scenario.service.is_some() {
             continue; // v3-only feature; cannot be expressed as v1
+        }
+        if scenario
+            .network
+            .as_ref()
+            .is_some_and(|n| n.radio.is_some() || n.nodes.iter().any(|node| node.radio.is_some()))
+        {
+            continue; // v4-only feature; cannot be expressed as v1
         }
         let mut quick = scenario;
         quick.cpu = quick
