@@ -7,13 +7,14 @@ use std::hint::black_box;
 use wsnem_bench::harness::{BenchmarkId, Criterion, Throughput};
 use wsnem_bench::{criterion_group, criterion_main};
 
+use wsnem_bench::nets::{relay_ring_net, vanishing_pipeline_net};
 use wsnem_core::build_cpu_edspn;
 use wsnem_des::cpu::{CpuDes, CpuSimParams};
 use wsnem_des::workload::Workload;
 use wsnem_markov::{CtmcBuilder, SteadyStateMethod};
 use wsnem_petri::analysis::{tangible_chain, ReachOptions};
 use wsnem_petri::models::mm1k_net;
-use wsnem_petri::{simulate, NetBuilder, PetriNet, SimConfig};
+use wsnem_petri::{simulate, SimConfig};
 use wsnem_stats::dist::{Dist, Sample};
 use wsnem_stats::rng::{Rng64, Xoshiro256PlusPlus};
 
@@ -88,34 +89,25 @@ fn bench_petri_engine(c: &mut Criterion) {
     g.bench_function("vanishing_pipeline_tangible_chain", |b| {
         b.iter(|| black_box(tangible_chain(&net, ReachOptions::default()).expect("eliminates")));
     });
-    g.finish();
-}
-
-/// An exp source feeding a `k`-stage chain of immediate transitions (each
-/// stage at its own priority) into a bounded queue with an exp server —
-/// every arrival resolves `k` vanishing markings.
-fn vanishing_pipeline_net(k: u8) -> PetriNet {
-    let mut b = NetBuilder::new();
-    let first = b.place("V0", 0);
-    let queue = b.place("Q", 0);
-    let src = b.exponential("src", 1.0);
-    b.output_arc(src, first, 1);
-    b.inhibitor_arc(queue, src, 6);
-    let mut prev = first;
-    for i in 1..=k {
-        let next = if i == k {
-            queue
-        } else {
-            b.place(format!("V{i}"), 0)
-        };
-        let t = b.immediate(format!("t{i}"), k - i + 1, 1.0);
-        b.input_arc(prev, t, 1);
-        b.output_arc(t, next, 1);
-        prev = next;
+    // Many-timed-transition stress: a closed relay ring with every hop
+    // enabled all the time. Event count is held at ~n·horizon = 8192
+    // across sizes, so the per-event cost scaling is what the numbers show
+    // (the scan engine was O(n) per event here, the heap is O(log n)).
+    for n in [32usize, 128, 256] {
+        let net = relay_ring_net(n);
+        let horizon = 8192.0 / n as f64;
+        g.throughput(Throughput::Elements(8192));
+        g.bench_with_input(BenchmarkId::new("relay_ring", n), &horizon, |b, &h| {
+            let cfg = SimConfig::for_horizon(h);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = Xoshiro256PlusPlus::new(seed);
+                black_box(simulate(&net, &cfg, &[], &mut rng).expect("simulates"))
+            });
+        });
     }
-    let serve = b.exponential("serve", 2.0);
-    b.input_arc(queue, serve, 1);
-    b.build().expect("pipeline net builds")
+    g.finish();
 }
 
 fn bench_des_engine(c: &mut Criterion) {

@@ -1,0 +1,147 @@
+//! Tracked performance baseline: times the key engine benches and writes a
+//! machine-readable JSON snapshot (`BENCH_5.json` by default) so future PRs
+//! have a perf trajectory to compare against.
+//!
+//! ```text
+//! cargo run --release -p wsnem-bench --bin perf_baseline            # full
+//! cargo run --release -p wsnem-bench --bin perf_baseline -- --quick # CI
+//! cargo run --release -p wsnem-bench --bin perf_baseline -- -o out.json
+//! ```
+//!
+//! Numbers are per-iteration nanoseconds (min and mean over a wall-clock
+//! budget, min being the noise-robust figure). The bench set mirrors
+//! `benches/engine.rs`: the paper's CPU EDSPN, the vanishing-resolution
+//! pipeline (simulation and GSPN→CTMC elimination), the M/M/1/K token game
+//! and the many-timed relay rings that exercise the event-driven engine.
+
+use std::time::{Duration, Instant};
+
+use wsnem_bench::nets::{relay_ring_net, vanishing_pipeline_net};
+use wsnem_bench::{quick_mode, render_table};
+use wsnem_core::build_cpu_edspn;
+use wsnem_petri::analysis::{tangible_chain, ReachOptions};
+use wsnem_petri::models::mm1k_net;
+use wsnem_petri::{simulate, SimConfig};
+use wsnem_stats::rng::Xoshiro256PlusPlus;
+
+struct Measurement {
+    name: &'static str,
+    min_ns: u128,
+    mean_ns: u128,
+    iters: usize,
+}
+
+/// Time `f` repeatedly until `budget` is spent (one untimed warm-up call).
+fn measure<O, F: FnMut() -> O>(name: &'static str, budget: Duration, mut f: F) -> Measurement {
+    std::hint::black_box(f());
+    let started = Instant::now();
+    let mut iters = 0usize;
+    let mut total_ns = 0u128;
+    let mut min_ns = u128::MAX;
+    loop {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let ns = t0.elapsed().as_nanos();
+        iters += 1;
+        total_ns += ns;
+        min_ns = min_ns.min(ns);
+        if started.elapsed() >= budget || iters >= 20_000 {
+            break;
+        }
+    }
+    Measurement {
+        name,
+        min_ns,
+        mean_ns: total_ns / iters as u128,
+        iters,
+    }
+}
+
+fn sim_bench<'a>(
+    net: &'a wsnem_petri::PetriNet,
+    horizon: f64,
+) -> impl FnMut() -> wsnem_petri::SimOutput + 'a {
+    let cfg = SimConfig::for_horizon(horizon);
+    let mut seed = 0u64;
+    move || {
+        seed += 1;
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        simulate(net, &cfg, &[], &mut rng).expect("simulates")
+    }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "-o" || a == "--output")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_5.json".to_owned())
+    };
+    let budget = if quick {
+        Duration::from_millis(80)
+    } else {
+        Duration::from_millis(1500)
+    };
+
+    let (paper_net, _) = build_cpu_edspn(1.0, 10.0, 0.5, 0.001).expect("paper net builds");
+    let (mm1k, _) = mm1k_net(1.0, 2.0, 10).expect("mm1k builds");
+    let pipeline = vanishing_pipeline_net(8);
+    let ring128 = relay_ring_net(128);
+    let ring256 = relay_ring_net(256);
+
+    let mut results = Vec::new();
+    results.push(measure(
+        "paper_cpu_edspn_1000s",
+        budget,
+        sim_bench(&paper_net, 1000.0),
+    ));
+    results.push(measure("mm1k_10000s", budget, sim_bench(&mm1k, 10_000.0)));
+    results.push(measure(
+        "vanishing_pipeline_sim_1000s",
+        budget,
+        sim_bench(&pipeline, 1000.0),
+    ));
+    results.push(measure("vanishing_pipeline_tangible_chain", budget, || {
+        tangible_chain(&pipeline, ReachOptions::default()).expect("eliminates")
+    }));
+    // ~8192 events each: per-event cost comparable across ring sizes.
+    results.push(measure("relay_ring_128", budget, sim_bench(&ring128, 64.0)));
+    results.push(measure("relay_ring_256", budget, sim_bench(&ring256, 32.0)));
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_owned(),
+                format!("{:.2}", m.min_ns as f64 / 1e3),
+                format!("{:.2}", m.mean_ns as f64 / 1e3),
+                m.iters.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["bench", "min µs", "mean µs", "iters"], &rows)
+    );
+
+    // Flat, dependency-free JSON (keys are known identifiers, no escaping
+    // needed).
+    let mut json = String::from("{\n  \"schema\": 1,\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"unit\": \"ns_per_iteration\",\n  \"benches\": {\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"min_ns\": {}, \"mean_ns\": {}, \"iters\": {}}}{}\n",
+            m.name,
+            m.min_ns,
+            m.mean_ns,
+            m.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("wrote {out_path}");
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod nets;
 
 /// Render an aligned ASCII table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -28,7 +28,8 @@ pub enum PetriError {
         /// Offending weight.
         weight: f64,
     },
-    /// An arc multiplicity / inhibitor threshold of zero.
+    /// An arc multiplicity / inhibitor threshold of zero (meaningless) or
+    /// `>= 2^31` (reserved by the packed enabling-condition layout).
     InvalidMultiplicity {
         /// Transition name.
         transition: String,
@@ -105,7 +106,10 @@ impl fmt::Display for PetriError {
                 )
             }
             PetriError::InvalidMultiplicity { transition, place } => {
-                write!(f, "zero multiplicity on arc {place} <-> {transition}")
+                write!(
+                    f,
+                    "multiplicity out of domain (zero or >= 2^31) on arc {place} <-> {transition}"
+                )
             }
             PetriError::UnknownName(n) => write!(f, "unknown name: {n}"),
             PetriError::InvalidConfig {

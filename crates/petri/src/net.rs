@@ -120,6 +120,58 @@ pub(crate) struct TransitionArcs {
     pub inhibitors: Vec<(u32, u32)>,
 }
 
+/// One enabling condition of a transition, attached to the place it reads.
+///
+/// A transition is enabled iff every one of its conditions is satisfied:
+/// input arcs require `m(place) >= bound`, inhibitor arcs require
+/// `m(place) < bound`. The simulator keeps a per-transition count of
+/// *unsatisfied* conditions and updates it incrementally from marking
+/// deltas, so enabling flips are detected in O(conditions touching the
+/// changed places) instead of re-walking every arc of every neighbour.
+///
+/// Packed to 8 bytes for cache density on the delta hot path: the high bit
+/// of `bound_inh` marks an inhibitor, the low 31 bits hold the bound.
+/// Either kind flips exactly when `tokens >= bound` changes truth value
+/// (the inhibitor bit only decides which side is the satisfied one), so
+/// delta processing is branch-free on the arc kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct EnablingCond {
+    /// Transition whose enabling this condition gates.
+    pub trans: u32,
+    bound_inh: u32,
+}
+
+const INHIBITOR_BIT: u32 = 1 << 31;
+
+impl EnablingCond {
+    #[inline]
+    pub fn new(trans: u32, bound: u32, inhibitor: bool) -> Self {
+        debug_assert!(bound < INHIBITOR_BIT, "bound exceeds 2^31 - 1");
+        Self {
+            trans,
+            bound_inh: bound | if inhibitor { INHIBITOR_BIT } else { 0 },
+        }
+    }
+
+    /// Input multiplicity or inhibitor threshold.
+    #[inline]
+    pub fn bound(&self) -> u32 {
+        self.bound_inh & !INHIBITOR_BIT
+    }
+
+    /// True for inhibitor conditions (`m < bound` satisfies).
+    #[inline]
+    pub fn inhibitor(&self) -> bool {
+        self.bound_inh & INHIBITOR_BIT != 0
+    }
+
+    /// Whether `tokens` satisfies this condition.
+    #[inline]
+    pub fn satisfied(&self, tokens: u32) -> bool {
+        (tokens >= self.bound()) != self.inhibitor()
+    }
+}
+
 /// Incremental net constructor.
 #[derive(Debug, Default)]
 pub struct NetBuilder {
@@ -220,7 +272,10 @@ impl NetBuilder {
             ] {
                 let mut places = std::collections::HashSet::new();
                 for &(p, mult) in kind_arcs.iter() {
-                    if mult == 0 {
+                    // Zero is meaningless; the top bit is reserved by the
+                    // packed enabling-condition layout (`EnablingCond`),
+                    // where it would silently flip the arc kind.
+                    if mult == 0 || mult >= INHIBITOR_BIT {
                         return Err(PetriError::InvalidMultiplicity {
                             transition: self.trans_names[ti].clone(),
                             place: self.place_names[p as usize].clone(),
@@ -272,6 +327,52 @@ impl NetBuilder {
             .map(|(i, _)| i as u32)
             .collect();
 
+        // CSR of enabling conditions grouped by place: `cond_start[p] ..
+        // cond_start[p + 1]` indexes the conditions reading place `p`.
+        // Two passes: count per place, then fill at the running offsets.
+        let n_places = self.place_names.len();
+        let mut cond_start = vec![0u32; n_places + 1];
+        for arcs in &self.arcs {
+            for &(p, _) in arcs.inputs.iter().chain(&arcs.inhibitors) {
+                cond_start[p as usize + 1] += 1;
+            }
+        }
+        for p in 0..n_places {
+            cond_start[p + 1] += cond_start[p];
+        }
+        let mut fill = cond_start.clone();
+        let mut conds = vec![EnablingCond::new(0, 0, false); cond_start[n_places] as usize];
+        for (ti, arcs) in self.arcs.iter().enumerate() {
+            for &(p, bound) in &arcs.inputs {
+                conds[fill[p as usize] as usize] = EnablingCond::new(ti as u32, bound, false);
+                fill[p as usize] += 1;
+            }
+            for &(p, bound) in &arcs.inhibitors {
+                conds[fill[p as usize] as usize] = EnablingCond::new(ti as u32, bound, true);
+                fill[p as usize] += 1;
+            }
+        }
+
+        // Flat immediate priority/weight side tables (timed slots unused):
+        // the vanishing loop reads these instead of matching `kind()` per
+        // candidate.
+        let imm_priority: Vec<u8> = self
+            .kinds
+            .iter()
+            .map(|k| match k {
+                TransitionKind::Immediate { priority, .. } => *priority,
+                TransitionKind::Timed { .. } => 0,
+            })
+            .collect();
+        let imm_weight: Vec<f64> = self
+            .kinds
+            .iter()
+            .map(|k| match k {
+                TransitionKind::Immediate { weight, .. } => *weight,
+                TransitionKind::Timed { .. } => 0.0,
+            })
+            .collect();
+
         Ok(PetriNet {
             place_names: self.place_names,
             initial: self.initial,
@@ -281,6 +382,10 @@ impl NetBuilder {
             affecting,
             immediates,
             timed,
+            cond_start,
+            conds,
+            imm_priority,
+            imm_weight,
         })
     }
 }
@@ -299,6 +404,14 @@ pub struct PetriNet {
     immediates: Vec<u32>,
     /// Indices of timed transitions.
     timed: Vec<u32>,
+    /// CSR offsets into `conds`, one run per place (len `n_places + 1`).
+    cond_start: Vec<u32>,
+    /// Enabling conditions grouped by place (see [`EnablingCond`]).
+    conds: Vec<EnablingCond>,
+    /// Per-transition immediate priority (0 for timed transitions).
+    imm_priority: Vec<u8>,
+    /// Per-transition immediate weight (0.0 for timed transitions).
+    imm_weight: Vec<f64>,
 }
 
 impl PetriNet {
@@ -398,6 +511,41 @@ impl PetriNet {
         &self.timed
     }
 
+    /// Enabling conditions reading place `p` (CSR slice).
+    #[inline]
+    pub(crate) fn conds_of(&self, p: u32) -> &[EnablingCond] {
+        &self.conds[self.cond_start[p as usize] as usize..self.cond_start[p as usize + 1] as usize]
+    }
+
+    /// Count each transition's unsatisfied enabling conditions in `marking`
+    /// into `unsat` (one slot per transition, zeroed first). A transition is
+    /// enabled iff its count is zero — the simulator seeds its incremental
+    /// counters with this and then maintains them from marking deltas.
+    pub(crate) fn count_unsat(&self, marking: &Marking, unsat: &mut [u32]) {
+        debug_assert_eq!(unsat.len(), self.n_transitions());
+        unsat.iter_mut().for_each(|u| *u = 0);
+        for p in 0..self.place_names.len() {
+            let tokens = marking.0[p];
+            for c in self.conds_of(p as u32) {
+                if !c.satisfied(tokens) {
+                    unsat[c.trans as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// Immediate priority of transition `t` (side table; 0 for timed).
+    #[inline]
+    pub(crate) fn imm_priority(&self, t: u32) -> u8 {
+        self.imm_priority[t as usize]
+    }
+
+    /// Immediate weight of transition `t` (side table; 0.0 for timed).
+    #[inline]
+    pub(crate) fn imm_weight(&self, t: u32) -> f64 {
+        self.imm_weight[t as usize]
+    }
+
     /// Whether `t` is enabled in `marking` (inputs satisfied, no inhibitor
     /// tripped).
     pub fn is_enabled(&self, marking: &Marking, t: TransitionId) -> bool {
@@ -438,6 +586,18 @@ impl PetriNet {
                 changed.push(p);
             }
         }
+    }
+
+    /// Raw input arcs of `t` as `(place, multiplicity)` (engine hot path).
+    #[inline]
+    pub(crate) fn input_arcs(&self, t: u32) -> &[(u32, u32)] {
+        &self.arcs[t as usize].inputs
+    }
+
+    /// Raw output arcs of `t` as `(place, multiplicity)` (engine hot path).
+    #[inline]
+    pub(crate) fn output_arcs(&self, t: u32) -> &[(u32, u32)] {
+        &self.arcs[t as usize].outputs
     }
 
     /// Fire `t` on a copy of `marking` and return the successor (must be
@@ -709,6 +869,26 @@ mod tests {
             Err(PetriError::InvalidMultiplicity { .. })
         ));
 
+        // The packed enabling-condition layout reserves the top bit, so
+        // 2^31 and above must be rejected at build time (not silently
+        // reinterpreted as an inhibitor in release builds).
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 0);
+        let t = b.immediate("t", 1, 1.0);
+        b.input_arc(p, t, 1 << 31);
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::InvalidMultiplicity { .. })
+        ));
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 0);
+        let t = b.immediate("t", 1, 1.0);
+        b.inhibitor_arc(p, t, u32::MAX);
+        assert!(matches!(
+            b.build(),
+            Err(PetriError::InvalidMultiplicity { .. })
+        ));
+
         let mut b = NetBuilder::new();
         let p = b.place("P", 0);
         let t = b.immediate("t", 1, 1.0);
@@ -754,6 +934,65 @@ mod tests {
         let mut spec = tiny().to_spec();
         spec.arcs[0].transition = "ghost".into();
         assert!(matches!(spec.build(), Err(PetriError::UnknownName(_))));
+    }
+
+    #[test]
+    fn enabling_conditions_csr_matches_is_enabled() {
+        let net = tiny();
+        // P0 carries t's input condition (bound 1), P1 its inhibitor
+        // (bound 2).
+        assert_eq!(net.conds_of(0), &[EnablingCond::new(0, 1, false)]);
+        assert_eq!(net.conds_of(1), &[EnablingCond::new(0, 2, true)]);
+        assert_eq!(net.conds_of(0)[0].bound(), 1);
+        assert!(!net.conds_of(0)[0].inhibitor());
+        assert_eq!(net.conds_of(1)[0].bound(), 2);
+        assert!(net.conds_of(1)[0].inhibitor());
+        let mut unsat = vec![0u32; net.n_transitions()];
+        for m in [
+            Marking::new(vec![1, 0]),
+            Marking::new(vec![0, 1]),
+            Marking::new(vec![5, 2]),
+            Marking::new(vec![0, 3]),
+        ] {
+            net.count_unsat(&m, &mut unsat);
+            let t = TransitionId(0);
+            assert_eq!(unsat[0] == 0, net.is_enabled(&m, t), "marking {m:?}");
+        }
+    }
+
+    #[test]
+    fn immediate_side_tables() {
+        let mut b = NetBuilder::new();
+        let p = b.place("P", 1);
+        let timed = b.exponential("timed", 1.0);
+        b.input_arc(p, timed, 1);
+        let imm = b.immediate("imm", 3, 2.5);
+        b.input_arc(p, imm, 1);
+        let net = b.build().unwrap();
+        assert_eq!(net.imm_priority(imm.0), 3);
+        assert_eq!(net.imm_weight(imm.0), 2.5);
+        assert_eq!(net.imm_priority(timed.0), 0);
+        assert_eq!(net.imm_weight(timed.0), 0.0);
+    }
+
+    #[test]
+    fn raw_arc_slices_match_iterators() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("in", 5);
+        let p1 = b.place("out", 2);
+        let t = b.immediate("t", 1, 1.0);
+        b.input_arc(p0, t, 3);
+        b.output_arc(t, p0, 1);
+        b.output_arc(t, p1, 2);
+        let net = b.build().unwrap();
+        assert_eq!(net.input_arcs(0), &[(0, 3)]);
+        assert_eq!(net.output_arcs(0), &[(0, 1), (1, 2)]);
+        assert_eq!(
+            net.inputs(TransitionId(0))
+                .map(|(p, m)| (p.0, m))
+                .collect::<Vec<_>>(),
+            net.input_arcs(0)
+        );
     }
 
     #[test]

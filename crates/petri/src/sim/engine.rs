@@ -16,13 +16,53 @@
 //! piecewise-constant tangible marking exactly between events; vanishing
 //! markings have zero width and contribute nothing, matching standard
 //! GSPN/EDSPN semantics.
+//!
+//! # Event-driven execution
+//!
+//! For nets above [`SCAN_THRESHOLD`] transitions the engine runs
+//! event-driven rather than scan-driven; per event it pays O(log T + Δ)
+//! instead of O(T + arcs):
+//!
+//! * **Incremental enabling counts** — the net precomputes a CSR of
+//!   enabling conditions grouped by place ([`PetriNet::conds_of`]); the
+//!   engine keeps one *unsatisfied-condition count* per transition and
+//!   updates it from the `(place, old, new)` deltas of each firing, so
+//!   enabling flips surface without re-reading the marking or re-walking
+//!   arcs. The flip pass visits the exact transition sequence the
+//!   full-recheck visits (fired first, then neighbours of changed places
+//!   in order), so the RNG draw order — and therefore every trajectory —
+//!   is preserved seed-for-seed.
+//! * **Tombstone timer heap** — pending timed firings live in the shared
+//!   [`wsnem_stats::pq::EventQueue`] (O(log T) schedule/pop, O(1) cancel),
+//!   keyed by transition index so equal-time ties resolve exactly like a
+//!   linear scan's "lowest index wins" rule.
+//!
+//! Small nets (the paper's CPU net has 8 transitions; M/M/1-style models
+//! have 2) keep the direct path — `is_enabled` recheck plus a linear timer
+//! scan — because measured constant factors dominate there: counting
+//! deltas and heap slab bookkeeping cost more than walking two arcs.
+//! Both strategies share tie-break rules and RNG draw order, so the
+//! chosen mode changes wall-clock only, never the trajectory.
+//!
+//! A scan-driven reference implementation is retained under `#[cfg(test)]`
+//! (`sim::reference`) and a randomized battery (covering nets on both
+//! sides of the threshold) asserts bit-identical outputs against it.
 
 use wsnem_stats::dist::Sample;
+use wsnem_stats::pq::{EventId, EventQueue};
 use wsnem_stats::rng::Rng64;
 
 use crate::error::PetriError;
 use crate::net::{PetriNet, TimedPolicy, TransitionKind};
 use crate::sim::{Reward, SimConfig, SimOutput};
+
+/// Above this many transitions the engine switches to event-driven
+/// execution (incremental enabling counts + tombstone timer heap); at or
+/// below it, the direct `is_enabled` recheck and a linear minimum scan of
+/// the timer vector are faster (fewer branches, no slab bookkeeping, no
+/// count maintenance). Both strategies share tie-break rules and RNG draw
+/// order, so the trajectory is identical — only the wall-clock changes.
+const SCAN_THRESHOLD: usize = 16;
 
 /// Run one replication of the token game.
 pub fn simulate<R: Rng64 + ?Sized>(
@@ -32,10 +72,17 @@ pub fn simulate<R: Rng64 + ?Sized>(
     rng: &mut R,
 ) -> Result<SimOutput, PetriError> {
     cfg.validate()?;
-    Engine::new(net, cfg, rewards, rng).run()
+    // Monomorphized per mode: zero runtime dispatch inside the hot loop.
+    if net.n_transitions() > SCAN_THRESHOLD {
+        Engine::<R, true>::new(net, cfg, rewards, rng).run()
+    } else {
+        Engine::<R, false>::new(net, cfg, rewards, rng).run()
+    }
 }
 
-struct Engine<'a, R: Rng64 + ?Sized> {
+/// `ED` (event-driven) selects the mode at compile time: `true` runs
+/// incremental counts + timer heap, `false` the small-net direct path.
+struct Engine<'a, R: Rng64 + ?Sized, const ED: bool> {
     net: &'a PetriNet,
     cfg: &'a SimConfig,
     rewards: &'a [Reward],
@@ -44,10 +91,20 @@ struct Engine<'a, R: Rng64 + ?Sized> {
     marking: crate::marking::Marking,
     now: f64,
     enabled: Vec<bool>,
-    /// Sampled absolute firing time per transition (timed only).
+    /// Sampled absolute firing time per transition while scheduled (timed
+    /// only) — read back when AgeMemory freezes the remaining delay.
     timers: Vec<Option<f64>>,
     /// Frozen remaining delay for AgeMemory transitions while disabled.
     age_left: Vec<Option<f64>>,
+    /// Unsatisfied enabling-condition count per transition; enabled iff 0
+    /// (event-driven mode only).
+    unsat: Vec<u32>,
+    /// Heap handle of the pending firing per transition (event-driven mode
+    /// only).
+    timer_ids: Vec<Option<EventId>>,
+    /// Pending timed firings, keyed by transition index for tie-breaks
+    /// (event-driven mode only).
+    queue: EventQueue<u32>,
 
     // Statistics.
     stats_start: f64,
@@ -62,10 +119,15 @@ struct Engine<'a, R: Rng64 + ?Sized> {
     candidates: Vec<u32>,
 }
 
-impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
+impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
     fn new(net: &'a PetriNet, cfg: &'a SimConfig, rewards: &'a [Reward], rng: &'a mut R) -> Self {
         let marking = net.initial_marking();
         let nt = net.n_transitions();
+        let mut unsat = vec![0u32; nt];
+        if ED {
+            net.count_unsat(&marking, &mut unsat);
+        }
+        let n_timed = net.timed_indices().len();
         Self {
             net,
             cfg,
@@ -74,7 +136,10 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
             marking,
             now: 0.0,
             enabled: vec![false; nt],
+            unsat,
             timers: vec![None; nt],
+            timer_ids: vec![None; nt],
+            queue: EventQueue::with_capacity(if ED { n_timed } else { 0 }),
             age_left: vec![None; nt],
             stats_start: 0.0,
             place_integral: vec![0.0; net.n_places()],
@@ -87,17 +152,47 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
         }
     }
 
-    /// Recompute enabling of transition `t` and maintain its timer according
-    /// to the race policy.
-    fn refresh_transition(&mut self, t: u32) {
-        let ti = crate::net::TransitionId(t);
+    /// Fold one place's marking delta into the unsatisfied-condition counts.
+    ///
+    /// A condition of either kind flips exactly when `tokens >= bound`
+    /// changes truth value; the inhibitor bit only decides the sign. Both
+    /// are computed without branching on the arc kind.
+    #[inline]
+    fn apply_delta(&mut self, p: u32, old: u32, new: u32) {
+        let net = self.net;
+        for c in net.conds_of(p) {
+            let ge_old = old >= c.bound();
+            let ge_new = new >= c.bound();
+            if ge_old != ge_new {
+                // Became satisfied iff `tokens >= bound` now lands on the
+                // satisfied side (inputs: true; inhibitors: false).
+                if ge_new != c.inhibitor() {
+                    self.unsat[c.trans as usize] -= 1;
+                } else {
+                    self.unsat[c.trans as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// React to a (possible) enabling flip of transition `t`: sync the
+    /// cached `enabled` bit with the unsatisfied count and maintain the
+    /// timer according to the race policy. The RNG is touched only on a
+    /// real flip of an enabled timed transition — exactly when the old
+    /// full-recheck engine touched it, keeping trajectories seed-identical.
+    fn flip_check(&mut self, t: u32) {
         let was = self.enabled[t as usize];
-        let is = self.net.is_enabled(&self.marking, ti);
+        let is = if ED {
+            self.unsat[t as usize] == 0
+        } else {
+            self.net
+                .is_enabled(&self.marking, crate::net::TransitionId(t))
+        };
         if was == is {
             return;
         }
         self.enabled[t as usize] = is;
-        match self.net.kind(ti) {
+        match self.net.kind(crate::net::TransitionId(t)) {
             TransitionKind::Immediate { .. } => {}
             TransitionKind::Timed { dist, policy } => {
                 if is {
@@ -107,9 +202,19 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
                             .take()
                             .unwrap_or_else(|| dist.sample(self.rng).max(0.0)),
                     };
-                    self.timers[t as usize] = Some(self.now + delay);
+                    let at = self.now + delay;
+                    self.timers[t as usize] = Some(at);
+                    if ED {
+                        self.timer_ids[t as usize] =
+                            Some(self.queue.schedule_keyed(at, t as u64, t));
+                    }
                 } else {
                     let fire_at = self.timers[t as usize].take();
+                    if ED {
+                        if let Some(id) = self.timer_ids[t as usize].take() {
+                            self.queue.cancel(id);
+                        }
+                    }
                     if policy == TimedPolicy::AgeMemory {
                         if let Some(at) = fire_at {
                             self.age_left[t as usize] = Some((at - self.now).max(0.0));
@@ -120,30 +225,63 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
         }
     }
 
-    /// Refresh all transitions (used at start-up).
-    fn refresh_all(&mut self) {
-        for t in 0..self.net.n_transitions() as u32 {
-            self.refresh_transition(t);
+    /// Fire `t`: move tokens and fold each place's delta into the enabling
+    /// counts in one pass (no second traversal, no old-value snapshots).
+    /// Records the changed places for the flip pass in `propagate`.
+    fn fire_transition(&mut self, t: u32) {
+        self.changed.clear();
+        let net = self.net;
+        if ED {
+            for &(p, mult) in net.input_arcs(t) {
+                let old = self.marking.0[p as usize];
+                debug_assert!(old >= mult, "firing disabled transition");
+                let new = old - mult;
+                self.marking.0[p as usize] = new;
+                self.apply_delta(p, old, new);
+                self.changed.push(p);
+            }
+            for &(p, mult) in net.output_arcs(t) {
+                let old = self.marking.0[p as usize];
+                let new = old + mult;
+                self.marking.0[p as usize] = new;
+                self.apply_delta(p, old, new);
+                if !self.changed.contains(&p) {
+                    self.changed.push(p);
+                }
+            }
+        } else {
+            // Small-net path: flips are rechecked directly from the
+            // marking, so no count maintenance.
+            net.fire_into(&mut self.marking, t, &mut self.changed);
+        }
+        if self.warmup_done {
+            self.firings[t as usize] += 1;
         }
     }
 
-    /// After firing, refresh the fired transition and everything adjacent to
-    /// the changed places.
+    /// After firing, run flip checks over the fired transition and
+    /// everything adjacent to the changed places (the same visit order —
+    /// and therefore RNG draw order — the scan engine used).
     fn propagate(&mut self, fired: u32) {
-        // The fired transition consumed its own timer; force recompute.
+        // The fired transition consumed its own timer; force recompute
+        // (without AgeMemory freezing — the clock was spent by firing).
         self.enabled[fired as usize] = false;
         self.timers[fired as usize] = None;
-        self.refresh_transition(fired);
+        if ED {
+            if let Some(id) = self.timer_ids[fired as usize].take() {
+                self.queue.cancel(id);
+            }
+        }
+        self.flip_check(fired);
         // Enabling of neighbours of changed places may have flipped.
-        let mut i = 0;
-        while i < self.changed.len() {
+        let net = self.net;
+        for i in 0..self.changed.len() {
             let p = self.changed[i];
-            for &t in self.net.affected_by(p) {
+            for &t in net.affected_by(p) {
                 if t != fired {
-                    self.refresh_transition(t);
+                    self.flip_check(t);
                 }
             }
-            i += 1;
         }
     }
 
@@ -155,15 +293,13 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
         // `immediate_indices` is sorted highest priority first, so the
         // first enabled transition fixes the winning priority group and the
         // scan stops at the group's end instead of walking every immediate.
+        // Priorities and weights come from the net's flat side tables — no
+        // enum match per candidate.
         for &t in self.net.immediate_indices() {
             if !self.enabled[t as usize] {
                 continue;
             }
-            let TransitionKind::Immediate { priority, .. } =
-                self.net.kind(crate::net::TransitionId(t))
-            else {
-                unreachable!("immediate_indices only lists immediates");
-            };
+            let priority = self.net.imm_priority(t);
             if self.candidates.is_empty() {
                 self.candidates.push(t);
                 best_priority = priority;
@@ -181,19 +317,12 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
                 let total: f64 = self
                     .candidates
                     .iter()
-                    .map(|&t| match self.net.kind(crate::net::TransitionId(t)) {
-                        TransitionKind::Immediate { weight, .. } => weight,
-                        _ => unreachable!(),
-                    })
+                    .map(|&t| self.net.imm_weight(t))
                     .sum();
                 let mut u = self.rng.next_f64() * total;
                 let mut pick = self.candidates[self.candidates.len() - 1];
                 for &t in &self.candidates {
-                    let TransitionKind::Immediate { weight, .. } =
-                        self.net.kind(crate::net::TransitionId(t))
-                    else {
-                        unreachable!()
-                    };
+                    let weight = self.net.imm_weight(t);
                     if u < weight {
                         pick = t;
                         break;
@@ -203,11 +332,7 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
                 pick
             }
         };
-        let marking = &mut self.marking;
-        self.net.fire_into(marking, chosen, &mut self.changed);
-        if self.warmup_done {
-            self.firings[chosen as usize] += 1;
-        }
+        self.fire_transition(chosen);
         self.propagate(chosen);
         true
     }
@@ -263,26 +388,45 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
     }
 
     fn run(mut self) -> Result<SimOutput, PetriError> {
-        self.refresh_all();
+        // Start-up flip pass in transition-index order (the order the old
+        // full refresh sampled initial timers in).
+        for t in 0..self.net.n_transitions() as u32 {
+            self.flip_check(t);
+        }
         self.settle()?;
 
         let horizon = self.cfg.horizon;
         let mut zeno_streak = 0usize;
         loop {
-            // Earliest timed firing.
-            let mut next: Option<(f64, u32)> = None;
-            for &t in self.net.timed_indices() {
-                if let Some(at) = self.timers[t as usize] {
-                    debug_assert!(self.enabled[t as usize]);
-                    match next {
-                        Some((best, _)) if at >= best => {}
-                        _ => next = Some((at, t)),
+            // Earliest timed firing, ties to the lowest transition index:
+            // O(log T) heap pop for many-timer nets, linear minimum scan
+            // for small ones (same rule, so the same trajectory).
+            let next = if ED {
+                self.queue.pop()
+            } else {
+                let mut next: Option<(f64, u32)> = None;
+                for &t in self.net.timed_indices() {
+                    if let Some(at) = self.timers[t as usize] {
+                        match next {
+                            Some((best, _)) if at >= best => {}
+                            _ => next = Some((at, t)),
+                        }
                     }
                 }
-            }
+                next
+            };
             let Some((at, t)) = next else {
                 break; // dead marking: idle to the horizon
             };
+            debug_assert!(self.enabled[t as usize]);
+            debug_assert_eq!(self.timers[t as usize], Some(at));
+            // This event is consumed (the heap already dropped its entry);
+            // clear the per-transition handle so propagate's forced
+            // recompute doesn't chase a stale id.
+            self.timers[t as usize] = None;
+            if ED {
+                self.timer_ids[t as usize] = None;
+            }
             if at > horizon {
                 break;
             }
@@ -301,11 +445,7 @@ impl<'a, R: Rng64 + ?Sized> Engine<'a, R> {
                 zeno_streak = 0;
             }
             self.advance_to(at);
-            let marking = &mut self.marking;
-            self.net.fire_into(marking, t, &mut self.changed);
-            if self.warmup_done {
-                self.firings[t as usize] += 1;
-            }
+            self.fire_transition(t);
             self.propagate(t);
             self.settle()?;
         }

@@ -3,6 +3,8 @@
 
 mod converge;
 mod engine;
+#[cfg(test)]
+mod reference;
 mod replication;
 
 pub use converge::{simulate_until_precise, ConvergedRun, PrecisionTarget};

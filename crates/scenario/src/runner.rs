@@ -106,19 +106,35 @@ pub fn run_batch(
     }
     // Across-scenario parallelism: pin each scenario's inner replication
     // fan-out to one thread so the batch does not oversubscribe cores.
+    //
+    // Scenarios are claimed from an atomic work queue rather than split
+    // into static contiguous chunks: costs vary wildly (a DES-heavy
+    // scenario runs orders of magnitude longer than an analytic one), and
+    // static partitioning left every other worker idle at the tail while
+    // one thread drained the expensive chunk.
+    let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<Result<ScenarioReport, ScenarioError>>> =
         (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads);
     std::thread::scope(|scope| {
-        for (k, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || {
-                for (j, slot) in chunk_slots.iter_mut().enumerate() {
-                    *slot = Some(run_scenario_with_threads(
-                        &scenarios[k * chunk + j],
-                        Some(1),
-                    ));
-                }
-            });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, run_scenario_with_threads(&scenarios[i], Some(1))));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for w in workers {
+            for (i, result) in w.join().expect("scenario worker panicked") {
+                slots[i] = Some(result);
+            }
         }
     });
     slots
@@ -493,6 +509,34 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         assert!(run_batch(&[], None).is_empty());
+    }
+
+    #[test]
+    fn work_queue_drains_uneven_batches_in_order() {
+        // More scenarios than workers, with wildly uneven costs (the
+        // DES-backed ones dominate): the dynamic queue must return every
+        // result, in input order, identical to the sequential run.
+        let mut scenarios = Vec::new();
+        for i in 0..7 {
+            let mut s = quick_scenario();
+            s.name = format!("s{i}");
+            s.backends = if i % 3 == 0 {
+                vec![BackendId::Des]
+            } else {
+                vec![BackendId::Markov]
+            };
+            scenarios.push(s);
+        }
+        let parallel = run_batch(&scenarios, Some(3));
+        let sequential = run_batch(&scenarios, Some(1));
+        assert_eq!(parallel.len(), 7);
+        for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.scenario, format!("s{i}"));
+            for (pb, sb) in p.backends.iter().zip(&s.backends) {
+                assert_eq!(pb.fractions, sb.fractions, "{}", p.scenario);
+            }
+        }
     }
 
     #[test]

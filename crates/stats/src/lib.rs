@@ -23,6 +23,8 @@
 //! * [`mser`] — MSER-style warm-up (initial transient) truncation.
 //! * [`compare`] — series-comparison metrics (MAE, RMSE, max-abs) used to
 //!   regenerate the paper's Δ tables.
+//! * [`pq`] — the cancellable tombstone timer heap shared by the DES kernel
+//!   and the EDSPN token-game engine (O(log n) schedule/pop, O(1) cancel).
 
 #![forbid(unsafe_code)]
 // `!(x > 0.0)`-style guards deliberately reject NaN together with the
@@ -38,6 +40,7 @@ pub mod error;
 pub mod histogram;
 pub mod mser;
 pub mod online;
+pub mod pq;
 pub mod rng;
 pub mod timeweighted;
 
@@ -48,5 +51,6 @@ pub use dist::{Dist, Sample};
 pub use error::StatsError;
 pub use histogram::Histogram;
 pub use online::{MinMax, Welford};
+pub use pq::{EventId, EventQueue};
 pub use rng::{Rng64, SplitMix64, StreamFactory, Xoshiro256PlusPlus};
 pub use timeweighted::TimeWeighted;
