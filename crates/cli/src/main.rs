@@ -19,9 +19,13 @@
 //! (`--threads N` pins the count). Argument parsing is hand-rolled — the
 //! workspace builds offline, without clap.
 
+use std::io::IsTerminal;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use wsnem_scenario::{builtin, files, run_batch, FileFormat, Scenario, ScenarioReport};
+use wsnem_scenario::{
+    builtin, files, run_batch_with_metrics, BatchMetrics, FileFormat, Scenario, ScenarioReport,
+};
 
 /// Write to stdout, treating a closed pipe (`wsnem list | head`) as a normal
 /// end of output rather than a panic.
@@ -55,6 +59,15 @@ COMMANDS:
                                Table 4/5 cross-backend comparison matrix
                                (per-state deltas in percentage points plus
                                wall-clock cost per backend)
+    trace [FILE] [OPTIONS]     Run one scenario's CPU model with a trace
+                               observer attached and emit an NDJSON event
+                               stream (firings, state changes, queue depths);
+                               attaching the tracer never perturbs the run
+    profile [FILES..] [OPTIONS]
+                               Run scenarios and print a wall-clock profile:
+                               per-scenario phase timings (base / sweep /
+                               network), per-backend solver cost and batch
+                               worker utilization
     validate <FILES..>         Parse and validate scenario files
     export <NAME> [OPTIONS]    Print a built-in scenario as a file
     topology [FILE] [--builtin <NAME>]
@@ -74,6 +87,23 @@ RUN OPTIONS:
     --builtin <NAME>      Run one built-in (repeatable)
     --format <FMT>        Output format: summary (default), json, csv
     --out, -o <FILE>      Write the report there instead of stdout
+    --threads <N>         Parallelism across scenarios (default: all cores)
+    --quick               Shrink replications/horizons for a fast smoke run
+    --verbose, -v         Show the live progress line even without a TTY and
+                          print batch metrics (workers, utilization) at the end
+    --quiet, -q           Suppress the progress line and informational stderr
+
+TRACE OPTIONS:
+    --builtin <NAME>      Trace a built-in scenario's CPU parameters
+    --backend <B>         Kernel to trace: des (default) or petri
+    --out, -o <FILE>      Write the NDJSON stream there instead of stdout
+    --limit <N>           Stop recording after N trace records
+    --sample <N>          Record every N-th admissible event only
+    --seed <N>            RNG seed (default: the scenario's master seed)
+
+PROFILE OPTIONS:
+    --all                 Profile every built-in scenario
+    --builtin <NAME>      Profile one built-in (repeatable)
     --threads <N>         Parallelism across scenarios (default: all cores)
     --quick               Shrink replications/horizons for a fast smoke run
 
@@ -102,6 +132,8 @@ fn main() -> ExitCode {
     let result = match command {
         "list" => cmd_list(),
         "run" => cmd_run(rest),
+        "trace" => cmd_trace(rest),
+        "profile" => cmd_profile(rest),
         "compare" => cmd_compare(rest),
         "validate" => cmd_validate(rest),
         "export" => cmd_export(rest),
@@ -170,6 +202,8 @@ struct RunOptions {
     out: Option<String>,
     threads: Option<usize>,
     quick: bool,
+    verbose: bool,
+    quiet: bool,
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
@@ -182,6 +216,8 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         match a.as_str() {
             "--all" => o.all = true,
             "--quick" => o.quick = true,
+            "--verbose" | "-v" => o.verbose = true,
+            "--quiet" | "-q" => o.quiet = true,
             "--builtin" => o.builtins.push(required(&mut it, "--builtin <NAME>")?),
             "--format" => o.format = required(&mut it, "--format <FMT>")?,
             "--out" | "-o" => o.out = Some(required(&mut it, "--out <FILE>")?),
@@ -251,8 +287,7 @@ fn shrink(mut s: Scenario) -> Scenario {
     s
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let o = parse_run_options(args)?;
+fn gather_scenarios(o: &RunOptions, command: &str) -> Result<Vec<Scenario>, String> {
     let mut scenarios: Vec<Scenario> = Vec::new();
     if o.all {
         scenarios.extend(builtin::all());
@@ -264,13 +299,71 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         scenarios.push(files::load(file).map_err(|e| e.to_string())?);
     }
     if scenarios.is_empty() {
-        return Err("nothing to run: pass scenario files, --builtin <name> or --all".into());
+        return Err(format!(
+            "nothing to {command}: pass scenario files, --builtin <name> or --all"
+        ));
     }
-    if o.quick {
-        scenarios = scenarios.into_iter().map(shrink).collect();
-    }
+    Ok(if o.quick {
+        scenarios.into_iter().map(shrink).collect()
+    } else {
+        scenarios
+    })
+}
 
-    let results = run_batch(&scenarios, o.threads);
+/// One-line batch metrics footer shared by the summary format, `-v` and
+/// `profile`.
+fn batch_line(m: &BatchMetrics) -> String {
+    format!(
+        "batch: {} scenario(s) in {:.3} s — {} worker(s), utilization {:.0}%, {:.2} scenarios/s",
+        m.scenarios,
+        m.wall_seconds,
+        m.workers,
+        100.0 * m.utilization,
+        m.scenarios_per_second
+    )
+}
+
+/// Run a gathered batch with the live progress line (TTY or `-v`, unless
+/// `-q`): `[done/total] name (ETA ...)`, rewritten in place on stderr.
+fn run_with_progress(
+    scenarios: &[Scenario],
+    o: &RunOptions,
+) -> (
+    Vec<Result<ScenarioReport, wsnem_scenario::ScenarioError>>,
+    BatchMetrics,
+) {
+    let show_progress = !o.quiet && (o.verbose || std::io::stderr().is_terminal());
+    let started = Instant::now();
+    let progress = move |done: usize, total: usize, name: &str| {
+        let elapsed = started.elapsed().as_secs_f64();
+        let eta = if done > 0 {
+            elapsed / done as f64 * (total - done) as f64
+        } else {
+            0.0
+        };
+        eprint!("\r[{done}/{total}] {name:<32} (elapsed {elapsed:.1} s, ETA {eta:.1} s)  ");
+        let _ = std::io::Write::flush(&mut std::io::stderr());
+    };
+    let (results, metrics) = run_batch_with_metrics(
+        scenarios,
+        o.threads,
+        show_progress.then_some(&progress as &(dyn Fn(usize, usize, &str) + Sync)),
+    );
+    if show_progress {
+        // Clear the progress line so reports start on a clean row.
+        eprint!("\r{:<80}\r", "");
+        let _ = std::io::Write::flush(&mut std::io::stderr());
+    }
+    if o.verbose && !o.quiet {
+        eprintln!("{}", batch_line(&metrics));
+    }
+    (results, metrics)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let o = parse_run_options(args)?;
+    let scenarios = gather_scenarios(&o, "run")?;
+    let (results, metrics) = run_with_progress(&scenarios, &o);
     let mut reports = Vec::new();
     let mut failures = Vec::new();
     for (s, r) in scenarios.iter().zip(results) {
@@ -280,17 +373,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let rendered = render(&reports, &o.format)?;
+    let rendered = render(&reports, &metrics, &o.format)?;
     match &o.out {
         None => out(&rendered),
         Some(path) => {
             std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
-            eprintln!(
-                "wrote {} report(s) to {path} ({} format)",
-                reports.len(),
-                o.format
-            );
+            if !o.quiet {
+                eprintln!(
+                    "wrote {} report(s) to {path} ({} format)",
+                    reports.len(),
+                    o.format
+                );
+            }
         }
+    }
+    // The CSV body must stay aligned with its header, so batch metrics go
+    // to stderr there (JSON and summary carry them inline).
+    if o.format == "csv" && !o.quiet {
+        eprintln!("{}", batch_line(&metrics));
     }
 
     if !failures.is_empty() {
@@ -304,14 +404,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn render(reports: &[ScenarioReport], format: &str) -> Result<String, String> {
+/// JSON envelope for `wsnem run --format json`: the report list plus the
+/// batch metrics.
+#[derive(serde::Serialize)]
+struct RunOutput {
+    batch: BatchMetrics,
+    reports: Vec<ScenarioReport>,
+}
+
+fn render(
+    reports: &[ScenarioReport],
+    metrics: &BatchMetrics,
+    format: &str,
+) -> Result<String, String> {
     match format {
-        "json" => serde_json::to_string_pretty(&reports.to_vec())
-            .map(|mut s| {
-                s.push('\n');
-                s
-            })
-            .map_err(|e| e.to_string()),
+        "json" => serde_json::to_string_pretty(&RunOutput {
+            batch: *metrics,
+            reports: reports.to_vec(),
+        })
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| e.to_string()),
         "csv" => {
             let mut out = String::from(ScenarioReport::CSV_HEADER);
             out.push('\n');
@@ -329,9 +444,211 @@ fn render(reports: &[ScenarioReport], format: &str) -> Result<String, String> {
                 out.push_str(&r.summary());
                 out.push('\n');
             }
+            out.push_str(&batch_line(metrics));
+            out.push('\n');
             Ok(out)
         }
     }
+}
+
+/// The canonical CPU state labels, in [`wsnem_energy::CpuState::index`]
+/// order — also the order of `StateFractions::as_array`.
+const STATE_LABELS: [&str; 4] = ["standby", "powerup", "idle", "active"];
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use wsnem_obs::{StateTimeline, Tee, TraceWriter};
+
+    let mut file: Option<String> = None;
+    let mut builtin_name: Option<String> = None;
+    let mut backend = "des".to_owned();
+    let mut out_path: Option<String> = None;
+    let mut limit: Option<usize> = None;
+    let mut sample: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--builtin" => builtin_name = Some(required(&mut it, "--builtin <NAME>")?),
+            "--backend" => backend = required(&mut it, "--backend <B>")?,
+            "--out" | "-o" => out_path = Some(required(&mut it, "--out <FILE>")?),
+            "--limit" => {
+                let v = required(&mut it, "--limit <N>")?;
+                limit = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| format!("--limit expects a positive integer, got `{v}`"))?,
+                );
+            }
+            "--sample" => {
+                let v = required(&mut it, "--sample <N>")?;
+                sample =
+                    Some(v.parse().ok().filter(|&n: &usize| n >= 1).ok_or_else(|| {
+                        format!("--sample expects a positive integer, got `{v}`")
+                    })?);
+            }
+            "--seed" => {
+                let v = required(&mut it, "--seed <N>")?;
+                seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seed expects an integer, got `{v}`"))?,
+                );
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            f if file.is_none() => file = Some(f.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let scenario = resolve_scenario(file, builtin_name, "trace")?;
+    let cpu = scenario.cpu;
+    let seed = seed.unwrap_or(cpu.master_seed);
+    // The trace covers one replication from time zero with no warm-up
+    // truncation, so the per-state sojourn fractions accumulated from the
+    // stream reproduce the reported time-in-state split exactly.
+    let mut tracer = TraceWriter::new(Vec::new());
+    if let Some(n) = limit {
+        tracer = tracer.with_limit(n);
+    }
+    if let Some(n) = sample {
+        tracer = tracer.with_sampling(n);
+    }
+    let mut rng = wsnem_stats::rng::Xoshiro256PlusPlus::new(seed);
+
+    let (bytes, summary) = match backend.as_str() {
+        "des" => {
+            tracer = tracer.with_state_labels(STATE_LABELS.map(str::to_owned).to_vec());
+            let params = wsnem_des::CpuSimParams {
+                service: wsnem_stats::dist::Dist::Exponential { rate: cpu.mu },
+                power_down_threshold: cpu.power_down_threshold,
+                power_up_delay: cpu.power_up_delay,
+                horizon: cpu.horizon,
+                warmup: 0.0,
+                max_queue: None,
+            };
+            let sim = wsnem_des::CpuDes::new(params, wsnem_des::Workload::open_poisson(cpu.lambda))
+                .map_err(|e| e.to_string())?;
+            let mut obs = Tee::new(tracer, StateTimeline::new());
+            let report = sim.run_observed(&mut rng, &mut obs);
+            let Tee {
+                a: tracer,
+                b: timeline,
+            } = obs;
+            let mut summary = format!(
+                "traced `{}` on the des kernel: horizon {} s, seed {seed}, {} record(s)\n",
+                scenario.name,
+                cpu.horizon,
+                tracer.records_written()
+            );
+            let reported = report.fractions.as_array();
+            for (i, label) in STATE_LABELS.iter().enumerate() {
+                summary.push_str(&format!(
+                    "  state {label:<8} trace {:.9}  report {:.9}\n",
+                    timeline.fraction(i as u8),
+                    reported[i]
+                ));
+            }
+            (tracer.finish().map_err(|e| e.to_string())?, summary)
+        }
+        "petri" => {
+            let (net, handles) = wsnem_core::build_cpu_edspn(
+                cpu.lambda,
+                cpu.mu,
+                cpu.power_down_threshold,
+                cpu.power_up_delay,
+            )
+            .map_err(|e| e.to_string())?;
+            let labels: Vec<String> = net
+                .transitions()
+                .map(|t| net.transition_name(t).to_owned())
+                .collect();
+            tracer = tracer.with_transition_labels(labels);
+            let rewards = wsnem_core::state_rewards(&handles);
+            let cfg = wsnem_petri::SimConfig {
+                horizon: cpu.horizon,
+                warmup: 0.0,
+                ..wsnem_petri::SimConfig::default()
+            };
+            let out = wsnem_petri::simulate_observed(&net, &cfg, &rewards, &mut rng, &mut tracer)
+                .map_err(|e| e.to_string())?;
+            let mut summary = format!(
+                "traced `{}` on the petri kernel: horizon {} s, seed {seed}, {} record(s)\n",
+                scenario.name,
+                cpu.horizon,
+                tracer.records_written()
+            );
+            for (i, label) in STATE_LABELS.iter().enumerate() {
+                summary.push_str(&format!(
+                    "  state {label:<8} report {:.9}\n",
+                    out.reward_means[i]
+                ));
+            }
+            (tracer.finish().map_err(|e| e.to_string())?, summary)
+        }
+        other => return Err(format!("unknown backend `{other}` (expected des or petri)")),
+    };
+
+    match &out_path {
+        None => out(std::str::from_utf8(&bytes).map_err(|e| e.to_string())?),
+        Some(path) => std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?,
+    }
+    eprint!("{summary}");
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut o = parse_run_options(args)?;
+    if o.format != "summary" {
+        return Err("profile has no --format; its output is the timing table".into());
+    }
+    if o.out.is_some() {
+        return Err("profile prints to stdout; redirect it instead of --out".into());
+    }
+    // The profile table is the output; keep stderr quiet unless asked.
+    o.quiet = !o.verbose;
+    let scenarios = gather_scenarios(&o, "profile")?;
+    let (results, metrics) = run_with_progress(&scenarios, &o);
+
+    outln!(
+        "  {:<28} {:>9} {:>9} {:>9} {:>9}  solver seconds (base point)",
+        "scenario",
+        "base s",
+        "sweep s",
+        "net s",
+        "total s"
+    );
+    let mut failures = Vec::new();
+    for (s, r) in scenarios.iter().zip(&results) {
+        match r {
+            Err(e) => failures.push(format!("{}: {e}", s.name)),
+            Ok(report) => {
+                let p = report.phase_seconds;
+                let solvers: Vec<String> = report
+                    .backends
+                    .iter()
+                    .map(|b| format!("{} {:.4}", b.backend, b.eval_seconds))
+                    .collect();
+                outln!(
+                    "  {:<28} {:>9.4} {:>9.4} {:>9.4} {:>9.4}  {}",
+                    report.scenario,
+                    p.base_seconds,
+                    p.sweep_seconds,
+                    p.network_seconds,
+                    report.elapsed_seconds,
+                    solvers.join(", ")
+                );
+            }
+        }
+    }
+    outln!("{}", batch_line(&metrics));
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} of {} scenario(s) failed:\n  {}",
+            failures.len(),
+            scenarios.len(),
+            failures.join("\n  ")
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {

@@ -517,6 +517,209 @@ ack_s = 0.001
     assert!(all.contains("schema_version >= 4"), "{all}");
 }
 
+/// Minimal NDJSON validity check: every line is one JSON object that
+/// `serde_json` parses. Returns the parsed values.
+fn parse_ndjson(text: &str) -> Vec<serde_json::Value> {
+    text.lines()
+        .map(|line| {
+            serde_json::parse(line).unwrap_or_else(|e| panic!("invalid NDJSON line `{line}`: {e}"))
+        })
+        .collect()
+}
+
+/// Numeric field of a parsed JSON object (integers and floats both count).
+fn num(v: &serde_json::Value, key: &str) -> f64 {
+    match v.get(key) {
+        Some(serde_json::Value::Int(i)) => *i as f64,
+        Some(serde_json::Value::UInt(u)) => *u as f64,
+        Some(serde_json::Value::Float(f)) => *f,
+        other => panic!("field `{key}` is not a number: {other:?}"),
+    }
+}
+
+#[test]
+fn trace_emits_ndjson_whose_sojourns_match_the_report() {
+    // Acceptance criterion: the traced per-state sojourn fractions must
+    // reproduce the reported time-in-state split on the paper CPU model.
+    let path = std::env::temp_dir().join("wsnem-cli-integration-trace.ndjson");
+    let out = wsnem(&[
+        "trace",
+        "--builtin",
+        "paper-defaults",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&path).unwrap();
+    let records = parse_ndjson(&text);
+    assert!(records.len() > 100, "only {} records", records.len());
+
+    // Accumulate sojourn per state index from the stream.
+    let mut sojourn = [0.0f64; 4];
+    for r in &records {
+        if r.get("ev").and_then(|v| v.as_str()) == Some("state_exit") {
+            sojourn[num(r, "state") as usize] += num(r, "sojourn");
+        }
+    }
+    let total: f64 = sojourn.iter().sum();
+    assert!(total > 0.0);
+
+    // The stderr summary reports `state <name> trace <frac> report <frac>`;
+    // all three numbers must agree.
+    let err = stderr(&out);
+    for (i, name) in ["standby", "powerup", "idle", "active"].iter().enumerate() {
+        let line = err
+            .lines()
+            .find(|l| l.contains(&format!("state {name}")))
+            .unwrap_or_else(|| panic!("missing state `{name}` in stderr: {err}"));
+        let nums: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|w| w.parse().ok())
+            .collect();
+        assert_eq!(nums.len(), 2, "{line}");
+        let (traced, reported) = (nums[0], nums[1]);
+        assert!(
+            (traced - reported).abs() < 1e-9,
+            "{name}: trace {traced} vs report {reported}"
+        );
+        assert!(
+            (sojourn[i] / total - reported).abs() < 1e-6,
+            "{name}: NDJSON fraction {} vs report {reported}",
+            sojourn[i] / total
+        );
+    }
+
+    // The closing record carries the stream accounting.
+    let end = records.last().unwrap();
+    assert_eq!(end.get("ev").and_then(|v| v.as_str()), Some("trace_end"));
+    assert!(num(end, "rng_draws") > 0.0);
+}
+
+#[test]
+fn trace_petri_backend_labels_transitions_and_honors_limit() {
+    let out = wsnem(&[
+        "trace",
+        "--builtin",
+        "paper-defaults",
+        "--backend",
+        "petri",
+        "--limit",
+        "50",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let records = parse_ndjson(&stdout(&out));
+    // 50 trace records plus the trace_end marker.
+    assert_eq!(records.len(), 51, "{}", stdout(&out));
+    let firing = records
+        .iter()
+        .find(|r| r.get("ev").and_then(|v| v.as_str()) == Some("firing"))
+        .expect("at least one firing traced");
+    let label = firing.get("label").and_then(|v| v.as_str()).unwrap();
+    assert!(
+        ["AR", "T1", "T2", "T5", "T6", "PUT", "SR", "PDT"].contains(&label),
+        "unexpected transition label `{label}`"
+    );
+    assert!(stderr(&out).contains("petri kernel"), "{}", stderr(&out));
+}
+
+#[test]
+fn profile_prints_phase_and_solver_timing_table() {
+    let out = wsnem(&["profile", "--builtin", "paper-defaults", "--quick"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for col in ["base s", "sweep s", "net s", "total s", "solver seconds"] {
+        assert!(text.contains(col), "missing `{col}`: {text}");
+    }
+    assert!(text.contains("paper-defaults"), "{text}");
+    for backend in ["Markov", "PetriNet", "Des"] {
+        assert!(text.contains(backend), "missing solver `{backend}`: {text}");
+    }
+    assert!(text.contains("batch: 1 scenario(s)"), "{text}");
+    assert!(text.contains("utilization"), "{text}");
+}
+
+#[test]
+fn run_csv_carries_scenario_elapsed_and_compare_csv_carries_backend_wall_clock() {
+    // Satellite fix: `wsnem compare --format csv` used to drop the
+    // per-backend wall-clock totals that JSON and summary carried.
+    let out = wsnem(&[
+        "compare",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+        "--format",
+        "csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    let header = csv_fields(lines.next().unwrap());
+    let col = header
+        .iter()
+        .position(|h| h.trim() == "backend_total_seconds")
+        .unwrap_or_else(|| panic!("missing backend_total_seconds in {header:?}"));
+    for line in lines {
+        let v: f64 = csv_fields(line)[col]
+            .parse()
+            .unwrap_or_else(|e| panic!("bad wall clock in `{line}`: {e}"));
+        assert!(v > 0.0, "{line}");
+    }
+
+    let out = wsnem(&[
+        "run",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+        "--format",
+        "csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    let header = csv_fields(lines.next().unwrap());
+    let col = header
+        .iter()
+        .position(|h| h.trim() == "scenario_elapsed_seconds")
+        .unwrap_or_else(|| panic!("missing scenario_elapsed_seconds in {header:?}"));
+    for line in lines {
+        let v: f64 = csv_fields(line)[col]
+            .parse()
+            .unwrap_or_else(|e| panic!("bad elapsed in `{line}`: {e}"));
+        assert!(v > 0.0, "{line}");
+    }
+    // Batch metrics stay off the CSV body (stderr only).
+    assert!(stderr(&out).contains("batch:"), "{}", stderr(&out));
+}
+
+#[test]
+fn verbosity_flags_gate_batch_metrics_on_stderr() {
+    let verbose = wsnem(&["run", "--builtin", "paper-defaults", "--quick", "-v"]);
+    assert!(verbose.status.success());
+    assert!(stderr(&verbose).contains("batch:"), "{}", stderr(&verbose));
+    // The summary format carries the batch line on stdout too.
+    assert!(stdout(&verbose).contains("batch:"), "{}", stdout(&verbose));
+
+    let quiet = wsnem(&["run", "--builtin", "paper-defaults", "--quick", "-q"]);
+    assert!(quiet.status.success());
+    assert!(!stderr(&quiet).contains("batch:"), "{}", stderr(&quiet));
+
+    let json = wsnem(&[
+        "run",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+        "-q",
+        "--format",
+        "json",
+    ]);
+    assert!(json.status.success());
+    let v = serde_json::parse(&stdout(&json)).unwrap();
+    let batch = v.get("batch").expect("json output carries batch metrics");
+    assert!(num(batch, "utilization") > 0.0);
+    assert!(num(batch, "scenarios_per_second") > 0.0);
+    assert_eq!(v.get("reports").and_then(|r| r.as_seq()).unwrap().len(), 1);
+}
+
 #[test]
 fn quick_smoke_runs_every_builtin_including_multihop() {
     let out = wsnem(&["run", "--all", "--quick"]);

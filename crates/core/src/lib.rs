@@ -40,7 +40,8 @@ pub use evaluation::{CpuModel, ModelEvaluation, ModelKind};
 pub use models::des_model::{DesCpuModel, DesSolver};
 pub use models::markov_model::{MarkovCpuModel, MarkovSolver};
 pub use models::petri_model::{
-    build_cpu_edspn, build_cpu_edspn_with_service, CpuNetHandles, PetriCpuModel, PetriSolver,
+    build_cpu_edspn, build_cpu_edspn_with_service, state_rewards, CpuNetHandles, PetriCpuModel,
+    PetriSolver,
 };
 pub use models::phase_model::{ErlangPhaseSolver, PhaseCpuModel};
 pub use params::CpuModelParams;

@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use wsnem_energy::{CpuState, EnergyBreakdown, PowerProfile, StateFractions};
+use wsnem_obs::{NoopObserver, Observer};
 use wsnem_stats::dist::{Dist, Sample};
 use wsnem_stats::online::Welford;
 use wsnem_stats::rng::{Rng64, Xoshiro256PlusPlus};
@@ -189,7 +190,27 @@ impl CpuDes {
 
     /// Execute one replication.
     pub fn run<R: Rng64 + ?Sized>(&self, rng: &mut R) -> CpuRunReport {
-        Runner::new(&self.params, &self.workload, rng).run(None)
+        Runner::new(&self.params, &self.workload, rng, &mut NoopObserver).run(None)
+    }
+
+    /// Execute one replication with an attached
+    /// [`Observer`].
+    ///
+    /// The observer sees every dispatched event (`event`), the pending-queue
+    /// depth after each pop (`queue_depth`), every CPU power-state change
+    /// (`state_enter`/`state_exit`, with states indexed in the
+    /// `[standby, powerup, idle, active]` order of
+    /// [`CpuState::index`](wsnem_energy::CpuState::index)), and every RNG
+    /// draw (`rng_draw`). Attaching an observer never perturbs the run: RNG
+    /// draw order is identical with and without instrumentation, and with
+    /// [`NoopObserver`] every hook compiles away to [`run`](Self::run)'s
+    /// exact code.
+    pub fn run_observed<R: Rng64 + ?Sized, O: Observer>(
+        &self,
+        rng: &mut R,
+        obs: &mut O,
+    ) -> CpuRunReport {
+        Runner::new(&self.params, &self.workload, rng, obs).run(None)
     }
 
     /// Execute one replication, additionally binning every post-warmup job
@@ -200,14 +221,19 @@ impl CpuDes {
         rng: &mut R,
         histogram: &mut wsnem_stats::Histogram,
     ) -> CpuRunReport {
-        Runner::new(&self.params, &self.workload, rng).run(Some(histogram))
+        Runner::new(&self.params, &self.workload, rng, &mut NoopObserver).run(Some(histogram))
     }
 }
 
 /// Per-run mutable state, split out so `CpuDes` stays reusable/shareable.
-struct Runner<'a, R: Rng64 + ?Sized> {
+struct Runner<'a, R: Rng64 + ?Sized, O: Observer> {
     params: &'a CpuSimParams,
     rng: &'a mut R,
+    obs: &'a mut O,
+    /// Last state reported to the observer (instrumented runs only).
+    obs_state: CpuState,
+    /// When `obs_state` was entered.
+    obs_entered: f64,
     queue: EventQueue<Ev>,
     open_gen: Option<WorkloadGen>,
     think: Option<Dist>,
@@ -228,20 +254,26 @@ struct Runner<'a, R: Rng64 + ?Sized> {
     power_downs: u64,
 }
 
-impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
-    fn new(params: &'a CpuSimParams, workload: &Workload, rng: &'a mut R) -> Self {
+impl<'a, R: Rng64 + ?Sized, O: Observer> Runner<'a, R, O> {
+    fn new(params: &'a CpuSimParams, workload: &Workload, rng: &'a mut R, obs: &'a mut O) -> Self {
         let mut queue = EventQueue::with_capacity(64);
         let mut open_gen = None;
         let mut think = None;
         match workload {
             Workload::Open(spec) => {
                 let mut g = WorkloadGen::new(spec.clone()).expect("validated in CpuDes::new");
+                if O::ENABLED {
+                    obs.rng_draw();
+                }
                 let first = g.next_gap(rng);
                 queue.schedule(first, Ev::Arrival);
                 open_gen = Some(g);
             }
             Workload::Closed(c) => {
                 for _ in 0..c.population {
+                    if O::ENABLED {
+                        obs.rng_draw();
+                    }
                     let t = c.think.sample(rng);
                     queue.schedule(t, Ev::ClosedArrival);
                 }
@@ -254,6 +286,9 @@ impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
         Self {
             params,
             rng,
+            obs,
+            obs_state: CpuState::Standby,
+            obs_entered: 0.0,
             queue,
             open_gen,
             think,
@@ -300,6 +335,25 @@ impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
         self.last_change = t;
     }
 
+    /// Report a power-state change to the observer, if any happened since
+    /// the last call. Compiles away entirely for disabled observers.
+    #[inline]
+    fn note_state(&mut self) {
+        if O::ENABLED {
+            let state = self.current_state();
+            if state != self.obs_state {
+                self.obs.state_exit(
+                    self.now,
+                    self.obs_state.index() as u8,
+                    self.now - self.obs_entered,
+                );
+                self.obs.state_enter(self.now, state.index() as u8);
+                self.obs_state = state;
+                self.obs_entered = self.now;
+            }
+        }
+    }
+
     #[inline]
     fn touch_population(&mut self) {
         let n = self.buffer.len() + usize::from(self.serving.is_some());
@@ -310,6 +364,9 @@ impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
         debug_assert!(self.power == Power::On && self.serving.is_none());
         if let Some(arrived) = self.buffer.pop_front() {
             self.serving = Some(arrived);
+            if O::ENABLED {
+                self.obs.rng_draw();
+            }
             let s = self.params.service.sample(self.rng).max(0.0);
             self.queue.schedule(self.now + s, Ev::Departure);
         }
@@ -337,6 +394,9 @@ impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
                 // A dropped closed-workload customer goes straight back to
                 // thinking.
                 if let Some(think) = self.think {
+                    if O::ENABLED {
+                        self.obs.rng_draw();
+                    }
                     let gap = think.sample(self.rng).max(0.0);
                     self.queue.schedule(self.now + gap, Ev::ClosedArrival);
                 }
@@ -376,6 +436,9 @@ impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
         }
         self.touch_population();
         if let Some(think) = self.think {
+            if O::ENABLED {
+                self.obs.rng_draw();
+            }
             let gap = think.sample(self.rng).max(0.0);
             self.queue.schedule(self.now + gap, Ev::ClosedArrival);
         }
@@ -423,15 +486,33 @@ impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
 
     fn run(mut self, mut histogram: Option<&mut wsnem_stats::Histogram>) -> CpuRunReport {
         let horizon = self.params.horizon;
+        if O::ENABLED {
+            self.obs.state_enter(0.0, self.obs_state.index() as u8);
+        }
         while let Some((t, ev)) = self.queue.pop() {
             if t > horizon {
                 break;
             }
             self.accrue(t);
             self.now = t;
+            if O::ENABLED {
+                let kind = match ev {
+                    Ev::Arrival => "arrival",
+                    Ev::ClosedArrival => "closed_arrival",
+                    Ev::Departure => "departure",
+                    Ev::PowerDownTimeout => "power_down_timeout",
+                    Ev::PowerUpDone => "power_up_done",
+                    Ev::WarmupEnd => "warmup_end",
+                };
+                self.obs.event(t, kind);
+                self.obs.queue_depth(t, self.queue.len());
+            }
             match ev {
                 Ev::Arrival => {
                     self.handle_job_arrival();
+                    if O::ENABLED {
+                        self.obs.rng_draw();
+                    }
                     let gap = self
                         .open_gen
                         .as_mut()
@@ -445,10 +526,19 @@ impl<'a, R: Rng64 + ?Sized> Runner<'a, R> {
                 Ev::PowerUpDone => self.handle_power_up_done(),
                 Ev::WarmupEnd => self.reset_statistics(),
             }
+            self.note_state();
         }
         // Close the books exactly at the horizon.
         self.accrue(horizon);
         self.now = horizon;
+        if O::ENABLED {
+            // Close the final sojourn so timeline totals span the full run.
+            self.obs.state_exit(
+                horizon,
+                self.obs_state.index() as u8,
+                horizon - self.obs_entered,
+            );
+        }
         self.jobs_in_system.advance_to(horizon);
 
         let observed = horizon - self.window_start;
@@ -717,6 +807,84 @@ mod tests {
         let mut rng2 = Xoshiro256PlusPlus::new(77);
         let r2 = sim.run(&mut rng2);
         assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn observers_do_not_perturb_runs() {
+        use wsnem_obs::{Counters, NoopObserver, StateTimeline, Tee, TraceWriter};
+
+        let configs = [
+            (paper_params(0.5, 0.001), Workload::open_poisson(1.0)),
+            (paper_params(0.0, 0.05), Workload::open_poisson(1.0)),
+            (
+                {
+                    let mut p = paper_params(0.4, 0.3);
+                    p.warmup = 1000.0;
+                    p.max_queue = Some(2);
+                    p
+                },
+                Workload::open_poisson(2.0),
+            ),
+            (
+                paper_params(0.5, 0.01),
+                Workload::Closed(ClosedWorkload {
+                    population: 3,
+                    think: Dist::Exponential { rate: 1.0 },
+                }),
+            ),
+        ];
+        for (i, (params, wl)) in configs.into_iter().enumerate() {
+            let sim = CpuDes::new(params, wl).unwrap();
+            for seed in [7u64, 99] {
+                let mut rng_base = Xoshiro256PlusPlus::new(seed);
+                let base = sim.run(&mut rng_base);
+
+                let mut trace = TraceWriter::new(Vec::new()).with_limit(500);
+                let mut rng = Xoshiro256PlusPlus::new(seed);
+                let r = sim.run_observed(&mut rng, &mut trace);
+                assert_eq!(r, base, "config {i} seed {seed}: TraceWriter");
+                assert_eq!(rng, rng_base, "config {i} seed {seed}: TraceWriter RNG");
+                assert!(trace.records_written() > 0);
+
+                let mut timeline = StateTimeline::new();
+                let mut rng = Xoshiro256PlusPlus::new(seed);
+                let r = sim.run_observed(&mut rng, &mut timeline);
+                assert_eq!(r, base, "config {i} seed {seed}: StateTimeline");
+                assert_eq!(rng, rng_base, "config {i} seed {seed}: StateTimeline RNG");
+
+                let mut counters = Counters::new();
+                let mut rng = Xoshiro256PlusPlus::new(seed);
+                let r = sim.run_observed(&mut rng, &mut counters);
+                assert_eq!(r, base, "config {i} seed {seed}: Counters");
+                let snap = counters.snapshot();
+                assert!(snap.events > 0 && snap.rng_draws > 0);
+
+                let mut tee = Tee::new(StateTimeline::new(), NoopObserver);
+                let mut rng = Xoshiro256PlusPlus::new(seed);
+                let r = sim.run_observed(&mut rng, &mut tee);
+                assert_eq!(r, base, "config {i} seed {seed}: Tee");
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_sojourn_fractions_match_report() {
+        // With warmup = 0 the observer's per-state sojourn totals span the
+        // whole run, so its fractions must equal the report's exactly.
+        use wsnem_obs::StateTimeline;
+        let sim = CpuDes::new(paper_params(0.5, 0.001), Workload::open_poisson(1.0)).unwrap();
+        let mut timeline = StateTimeline::new();
+        let mut rng = Xoshiro256PlusPlus::new(42);
+        let r = sim.run_observed(&mut rng, &mut timeline);
+        assert!((timeline.total_time() - r.time_observed).abs() < 1e-9);
+        let fr = r.fractions.as_array();
+        for (state, &want) in fr.iter().enumerate() {
+            let got = timeline.fraction(state as u8);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "state {state}: timeline {got} vs report {want}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,804 @@
+//! Zero-cost simulation observability.
+//!
+//! Both simulation kernels in the workspace — the EDSPN token game in
+//! `wsnem-petri` and the discrete-event CPU simulator in `wsnem-des` — are
+//! generic over an [`Observer`]. The observer receives a callback at every
+//! interesting point of a trajectory: transition firings, marking updates,
+//! event dispatches, queue/heap depths, per-state enter/exit, and RNG draws.
+//!
+//! The hook is *zero-cost* in the literal sense: every call site in the
+//! engines is guarded by `if O::ENABLED { ... }` where
+//! [`Observer::ENABLED`] is an associated `const`. For the default
+//! [`NoopObserver`] (`ENABLED = false`) the guard is a compile-time constant
+//! and the whole branch — including any argument computation — is removed by
+//! the compiler, leaving the exact pre-observability machine code. The perf
+//! baseline (`BENCH_6.json`) is tracked in CI to keep this true.
+//!
+//! Observers must never perturb a trajectory: the engines sample their RNG
+//! identically whether or not an observer is attached, and the randomized
+//! equivalence batteries in `wsnem-petri` and `wsnem-des` assert bit-identical
+//! outputs *and* synchronized RNG stream position for every observer in this
+//! crate.
+//!
+//! Three concrete observers are provided:
+//!
+//! * [`TraceWriter`] — streams one NDJSON record per callback to any
+//!   [`std::io::Write`] sink, with an optional record limit and sampling.
+//! * [`StateTimeline`] — accumulates per-state sojourn totals, visit counts,
+//!   and min/max sojourns from `state_enter`/`state_exit` pairs.
+//! * [`Counters`] — a set of relaxed atomic event counters, shareable across
+//!   threads by reference.
+//!
+//! [`Tee`] composes two observers into one, forwarding every callback to
+//! both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hook interface invoked by the simulation kernels along a trajectory.
+///
+/// All methods have empty default bodies, so an observer only implements the
+/// callbacks it cares about. Every engine call site is guarded by
+/// `if O::ENABLED`, so an observer with [`ENABLED`](Self::ENABLED)` = false`
+/// (notably [`NoopObserver`]) costs nothing at runtime.
+///
+/// # Contract
+///
+/// Observers are *passive*: they must not panic in normal operation and they
+/// cannot influence the simulation (no return values). The engines guarantee
+/// in turn that attaching any observer leaves the trajectory and the RNG
+/// stream position bit-identical to an unobserved run.
+pub trait Observer {
+    /// Whether the engines should emit callbacks at all. When `false`, every
+    /// hook site compiles away entirely.
+    const ENABLED: bool = true;
+
+    /// A Petri transition fired at `time`. `immediate` distinguishes
+    /// vanishing (immediate) firings from timed ones.
+    #[inline]
+    fn firing(&mut self, _time: f64, _transition: u32, _immediate: bool) {}
+
+    /// A place's marking changed during a firing; `tokens` is the new count.
+    #[inline]
+    fn marking_update(&mut self, _time: f64, _place: u32, _tokens: u32) {}
+
+    /// Depth of the Petri engine's timer structure after scheduling/popping.
+    #[inline]
+    fn timer_depth(&mut self, _time: f64, _depth: usize) {}
+
+    /// A vanishing-marking chain of `steps` immediate firings was resolved.
+    #[inline]
+    fn vanishing_chain(&mut self, _time: f64, _steps: usize) {}
+
+    /// A discrete event of the given kind was dispatched at `time`.
+    #[inline]
+    fn event(&mut self, _time: f64, _kind: &'static str) {}
+
+    /// Pending-event-queue depth observed right after an event was popped.
+    #[inline]
+    fn queue_depth(&mut self, _time: f64, _depth: usize) {}
+
+    /// The simulated system entered state `state` (a small dense index).
+    #[inline]
+    fn state_enter(&mut self, _time: f64, _state: u8) {}
+
+    /// The simulated system left state `state` after `sojourn` time units.
+    #[inline]
+    fn state_exit(&mut self, _time: f64, _state: u8, _sojourn: f64) {}
+
+    /// The engine consumed one draw from its random-number stream.
+    #[inline]
+    fn rng_draw(&mut self) {}
+}
+
+/// The do-nothing observer: `ENABLED = false`, so every instrumented engine
+/// monomorphizes to its uninstrumented form. This is the default used by the
+/// public `simulate`/`run` entry points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+/// Composes two observers, forwarding every callback to both (`a` first).
+///
+/// `ENABLED` is the OR of the halves, so teeing a real observer with a
+/// [`NoopObserver`] still instruments the run.
+#[derive(Debug, Default)]
+pub struct Tee<A, B> {
+    /// First observer; receives each callback before `b`.
+    pub a: A,
+    /// Second observer.
+    pub b: B,
+}
+
+impl<A, B> Tee<A, B> {
+    /// Pair two observers.
+    pub fn new(a: A, b: B) -> Self {
+        Self { a, b }
+    }
+}
+
+impl<A: Observer, B: Observer> Observer for Tee<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    #[inline]
+    fn firing(&mut self, time: f64, transition: u32, immediate: bool) {
+        self.a.firing(time, transition, immediate);
+        self.b.firing(time, transition, immediate);
+    }
+
+    #[inline]
+    fn marking_update(&mut self, time: f64, place: u32, tokens: u32) {
+        self.a.marking_update(time, place, tokens);
+        self.b.marking_update(time, place, tokens);
+    }
+
+    #[inline]
+    fn timer_depth(&mut self, time: f64, depth: usize) {
+        self.a.timer_depth(time, depth);
+        self.b.timer_depth(time, depth);
+    }
+
+    #[inline]
+    fn vanishing_chain(&mut self, time: f64, steps: usize) {
+        self.a.vanishing_chain(time, steps);
+        self.b.vanishing_chain(time, steps);
+    }
+
+    #[inline]
+    fn event(&mut self, time: f64, kind: &'static str) {
+        self.a.event(time, kind);
+        self.b.event(time, kind);
+    }
+
+    #[inline]
+    fn queue_depth(&mut self, time: f64, depth: usize) {
+        self.a.queue_depth(time, depth);
+        self.b.queue_depth(time, depth);
+    }
+
+    #[inline]
+    fn state_enter(&mut self, time: f64, state: u8) {
+        self.a.state_enter(time, state);
+        self.b.state_enter(time, state);
+    }
+
+    #[inline]
+    fn state_exit(&mut self, time: f64, state: u8, sojourn: f64) {
+        self.a.state_exit(time, state, sojourn);
+        self.b.state_exit(time, state, sojourn);
+    }
+
+    #[inline]
+    fn rng_draw(&mut self) {
+        self.a.rng_draw();
+        self.b.rng_draw();
+    }
+}
+
+/// Streams a trajectory as NDJSON — one self-describing JSON object per
+/// line — to any [`Write`] sink.
+///
+/// Record schema (every record carries `"t"` and `"ev"`):
+///
+/// ```json
+/// {"t":1.25,"ev":"firing","transition":3,"immediate":false}
+/// {"t":1.25,"ev":"marking","place":0,"tokens":2}
+/// {"t":1.25,"ev":"timer_depth","depth":7}
+/// {"t":1.25,"ev":"vanishing","steps":2}
+/// {"t":0.51,"ev":"event","kind":"arrival"}
+/// {"t":0.51,"ev":"queue_depth","depth":1}
+/// {"t":0.51,"ev":"state_enter","state":3,"label":"active"}
+/// {"t":0.90,"ev":"state_exit","state":3,"label":"active","sojourn":0.39}
+/// ```
+///
+/// When label tables are attached (see [`with_transition_labels`] /
+/// [`with_state_labels`]) firing and state records also carry a
+/// human-readable `"label"`.
+///
+/// The writer is *bounded*: after [`limit`](Self::with_limit) records it
+/// silently stops emitting (the simulation continues unobserved), and
+/// [`sample_every`](Self::with_sampling) keeps only every *n*-th record. I/O
+/// errors are latched — the first failed write disables further output and is
+/// reported by [`finish`](Self::finish).
+///
+/// RNG-draw callbacks are counted but not written (they would dominate the
+/// stream); the total lands in the final summary record emitted by
+/// [`finish`](Self::finish).
+///
+/// [`with_transition_labels`]: Self::with_transition_labels
+/// [`with_state_labels`]: Self::with_state_labels
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    limit: Option<usize>,
+    sample_every: usize,
+    seen: usize,
+    written: usize,
+    rng_draws: u64,
+    transition_labels: Vec<String>,
+    state_labels: Vec<String>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Create an unbounded, unsampled trace writer over `sink`.
+    pub fn new(sink: W) -> Self {
+        Self {
+            sink,
+            limit: None,
+            sample_every: 1,
+            seen: 0,
+            written: 0,
+            rng_draws: 0,
+            transition_labels: Vec::new(),
+            state_labels: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Stop writing after `limit` records (the run itself is unaffected).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Keep only every `n`-th record (`n >= 1`; `1` keeps everything).
+    pub fn with_sampling(mut self, n: usize) -> Self {
+        self.sample_every = n.max(1);
+        self
+    }
+
+    /// Attach transition labels; firing records for `transition < len` gain a
+    /// `"label"` field.
+    pub fn with_transition_labels(mut self, labels: Vec<String>) -> Self {
+        self.transition_labels = labels;
+        self
+    }
+
+    /// Attach state labels; state records for `state < len` gain a
+    /// `"label"` field.
+    pub fn with_state_labels(mut self, labels: Vec<String>) -> Self {
+        self.state_labels = labels;
+        self
+    }
+
+    /// Number of records actually written so far.
+    pub fn records_written(&self) -> usize {
+        self.written
+    }
+
+    /// Emit a final `{"ev":"trace_end",...}` summary record (not subject to
+    /// the limit), flush, and return the sink — or the first I/O error
+    /// encountered at any point during the trace.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let line = format!(
+            "{{\"ev\":\"trace_end\",\"records\":{},\"observed\":{},\"rng_draws\":{}}}\n",
+            self.written, self.seen, self.rng_draws
+        );
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Should the next record be emitted? Advances the sampling counter.
+    fn admit(&mut self) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        if let Some(limit) = self.limit {
+            if self.written >= limit {
+                return false;
+            }
+        }
+        let idx = self.seen;
+        self.seen += 1;
+        idx.is_multiple_of(self.sample_every)
+    }
+
+    fn emit(&mut self, body: std::fmt::Arguments<'_>) {
+        let line = format!("{body}\n");
+        if let Err(e) = self.sink.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+
+    fn label_field(labels: &[String], index: usize) -> String {
+        match labels.get(index) {
+            Some(l) => format!(",\"label\":{}", json_string(l)),
+            None => String::new(),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters) for
+/// user-supplied labels.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl<W: Write> Observer for TraceWriter<W> {
+    #[inline]
+    fn firing(&mut self, time: f64, transition: u32, immediate: bool) {
+        if self.admit() {
+            let label = Self::label_field(&self.transition_labels, transition as usize);
+            self.emit(format_args!(
+                "{{\"t\":{time},\"ev\":\"firing\",\"transition\":{transition},\"immediate\":{immediate}{label}}}"
+            ));
+        }
+    }
+
+    #[inline]
+    fn marking_update(&mut self, time: f64, place: u32, tokens: u32) {
+        if self.admit() {
+            self.emit(format_args!(
+                "{{\"t\":{time},\"ev\":\"marking\",\"place\":{place},\"tokens\":{tokens}}}"
+            ));
+        }
+    }
+
+    #[inline]
+    fn timer_depth(&mut self, time: f64, depth: usize) {
+        if self.admit() {
+            self.emit(format_args!(
+                "{{\"t\":{time},\"ev\":\"timer_depth\",\"depth\":{depth}}}"
+            ));
+        }
+    }
+
+    #[inline]
+    fn vanishing_chain(&mut self, time: f64, steps: usize) {
+        if self.admit() {
+            self.emit(format_args!(
+                "{{\"t\":{time},\"ev\":\"vanishing\",\"steps\":{steps}}}"
+            ));
+        }
+    }
+
+    #[inline]
+    fn event(&mut self, time: f64, kind: &'static str) {
+        if self.admit() {
+            self.emit(format_args!(
+                "{{\"t\":{time},\"ev\":\"event\",\"kind\":\"{kind}\"}}"
+            ));
+        }
+    }
+
+    #[inline]
+    fn queue_depth(&mut self, time: f64, depth: usize) {
+        if self.admit() {
+            self.emit(format_args!(
+                "{{\"t\":{time},\"ev\":\"queue_depth\",\"depth\":{depth}}}"
+            ));
+        }
+    }
+
+    #[inline]
+    fn state_enter(&mut self, time: f64, state: u8) {
+        if self.admit() {
+            let label = Self::label_field(&self.state_labels, state as usize);
+            self.emit(format_args!(
+                "{{\"t\":{time},\"ev\":\"state_enter\",\"state\":{state}{label}}}"
+            ));
+        }
+    }
+
+    #[inline]
+    fn state_exit(&mut self, time: f64, state: u8, sojourn: f64) {
+        if self.admit() {
+            let label = Self::label_field(&self.state_labels, state as usize);
+            self.emit(format_args!(
+                "{{\"t\":{time},\"ev\":\"state_exit\",\"state\":{state}{label},\"sojourn\":{sojourn}}}"
+            ));
+        }
+    }
+
+    #[inline]
+    fn rng_draw(&mut self) {
+        self.rng_draws += 1;
+    }
+}
+
+/// Per-state sojourn statistics accumulated from a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateStats {
+    /// Total time spent in this state.
+    pub total: f64,
+    /// Number of completed visits (matched enter/exit pairs).
+    pub visits: u64,
+    /// Shortest completed sojourn.
+    pub min_sojourn: f64,
+    /// Longest completed sojourn.
+    pub max_sojourn: f64,
+}
+
+impl Default for StateStats {
+    fn default() -> Self {
+        Self {
+            total: 0.0,
+            visits: 0,
+            min_sojourn: f64::INFINITY,
+            max_sojourn: 0.0,
+        }
+    }
+}
+
+/// Accumulates a per-state sojourn histogram from `state_enter`/`state_exit`
+/// callbacks.
+///
+/// State indices are small dense `u8`s (the DES kernel uses the 4-state
+/// `[standby, powerup, idle, active]` order); the table grows on demand.
+/// After a run, [`fraction`](Self::fraction) gives each state's share of the
+/// total observed time — for the paper's CPU net this matches the per-state
+/// split reported by the analytic backends.
+#[derive(Debug, Clone, Default)]
+pub struct StateTimeline {
+    states: Vec<StateStats>,
+    total: f64,
+}
+
+impl StateTimeline {
+    /// Empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics for `state`, if it was ever visited.
+    pub fn state(&self, state: u8) -> Option<&StateStats> {
+        self.states.get(state as usize).filter(|s| s.visits > 0)
+    }
+
+    /// All per-state slots observed so far (indexed by state).
+    pub fn states(&self) -> &[StateStats] {
+        &self.states
+    }
+
+    /// Total time across all completed sojourns.
+    pub fn total_time(&self) -> f64 {
+        self.total
+    }
+
+    /// Fraction of total observed time spent in `state` (0 if nothing was
+    /// observed).
+    pub fn fraction(&self, state: u8) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        self.states
+            .get(state as usize)
+            .map_or(0.0, |s| s.total / self.total)
+    }
+
+    fn slot(&mut self, state: u8) -> &mut StateStats {
+        let idx = state as usize;
+        if idx >= self.states.len() {
+            self.states.resize(idx + 1, StateStats::default());
+        }
+        &mut self.states[idx]
+    }
+}
+
+impl Observer for StateTimeline {
+    #[inline]
+    fn state_exit(&mut self, _time: f64, state: u8, sojourn: f64) {
+        let slot = self.slot(state);
+        slot.total += sojourn;
+        slot.visits += 1;
+        slot.min_sojourn = slot.min_sojourn.min(sojourn);
+        slot.max_sojourn = slot.max_sojourn.max(sojourn);
+        self.total += sojourn;
+    }
+}
+
+/// Lock-free event counters, incremented with relaxed atomics so a single
+/// `Counters` can be shared by reference (e.g. `&Counters` implements
+/// [`Observer`] too) and read concurrently.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Transition firings (Petri engine).
+    pub firings: AtomicU64,
+    /// Individual place-marking updates (Petri engine).
+    pub marking_updates: AtomicU64,
+    /// Timer-structure depth samples (Petri engine; one per timed firing).
+    pub timer_samples: AtomicU64,
+    /// Resolved vanishing chains (Petri engine).
+    pub vanishing_chains: AtomicU64,
+    /// Immediate firings inside vanishing chains (Petri engine).
+    pub vanishing_steps: AtomicU64,
+    /// Dispatched discrete events (DES kernel).
+    pub events: AtomicU64,
+    /// Queue-depth samples (DES kernel; one per dispatched event).
+    pub queue_samples: AtomicU64,
+    /// Observable state changes (DES kernel).
+    pub state_changes: AtomicU64,
+    /// RNG draws consumed by the engine.
+    pub rng_draws: AtomicU64,
+}
+
+/// A plain-`u64` snapshot of a [`Counters`] set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Transition firings.
+    pub firings: u64,
+    /// Individual place-marking updates.
+    pub marking_updates: u64,
+    /// Timer-structure depth samples.
+    pub timer_samples: u64,
+    /// Resolved vanishing chains.
+    pub vanishing_chains: u64,
+    /// Immediate firings inside vanishing chains.
+    pub vanishing_steps: u64,
+    /// Dispatched discrete events.
+    pub events: u64,
+    /// Queue-depth samples.
+    pub queue_samples: u64,
+    /// Observable state changes.
+    pub state_changes: u64,
+    /// RNG draws consumed by the engine.
+    pub rng_draws: u64,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read every counter (relaxed; exact once the run has finished).
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            firings: self.firings.load(Ordering::Relaxed),
+            marking_updates: self.marking_updates.load(Ordering::Relaxed),
+            timer_samples: self.timer_samples.load(Ordering::Relaxed),
+            vanishing_chains: self.vanishing_chains.load(Ordering::Relaxed),
+            vanishing_steps: self.vanishing_steps.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            queue_samples: self.queue_samples.load(Ordering::Relaxed),
+            state_changes: self.state_changes.load(Ordering::Relaxed),
+            rng_draws: self.rng_draws.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Observer for Counters {
+    #[inline]
+    fn firing(&mut self, _time: f64, _transition: u32, _immediate: bool) {
+        self.firings.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn marking_update(&mut self, _time: f64, _place: u32, _tokens: u32) {
+        self.marking_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn timer_depth(&mut self, _time: f64, _depth: usize) {
+        self.timer_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn vanishing_chain(&mut self, _time: f64, steps: usize) {
+        self.vanishing_chains.fetch_add(1, Ordering::Relaxed);
+        self.vanishing_steps
+            .fetch_add(steps as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn event(&mut self, _time: f64, _kind: &'static str) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn queue_depth(&mut self, _time: f64, _depth: usize) {
+        self.queue_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn state_enter(&mut self, _time: f64, _state: u8) {
+        self.state_changes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn rng_draw(&mut self) {
+        self.rng_draws.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `&Counters` observes too: the atomics make interior mutability safe, so a
+/// shared counter set can watch a run while the owner keeps reading it.
+impl Observer for &Counters {
+    #[inline]
+    fn firing(&mut self, _time: f64, _transition: u32, _immediate: bool) {
+        self.firings.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn marking_update(&mut self, _time: f64, _place: u32, _tokens: u32) {
+        self.marking_updates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn timer_depth(&mut self, _time: f64, _depth: usize) {
+        self.timer_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn vanishing_chain(&mut self, _time: f64, steps: usize) {
+        self.vanishing_chains.fetch_add(1, Ordering::Relaxed);
+        self.vanishing_steps
+            .fetch_add(steps as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn event(&mut self, _time: f64, _kind: &'static str) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn queue_depth(&mut self, _time: f64, _depth: usize) {
+        self.queue_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn state_enter(&mut self, _time: f64, _state: u8) {
+        self.state_changes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn rng_draw(&mut self) {
+        self.rng_draws.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<O: Observer>(obs: &mut O) {
+        obs.firing(0.5, 3, false);
+        obs.marking_update(0.5, 0, 2);
+        obs.timer_depth(0.5, 4);
+        obs.vanishing_chain(0.5, 2);
+        obs.event(1.0, "arrival");
+        obs.queue_depth(1.0, 1);
+        obs.state_enter(1.0, 3);
+        obs.state_exit(1.5, 3, 0.5);
+        obs.rng_draw();
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        const { assert!(!NoopObserver::ENABLED) };
+        // Methods are callable and do nothing.
+        drive(&mut NoopObserver);
+    }
+
+    #[test]
+    fn tee_enabled_is_or_of_halves() {
+        const { assert!(!<Tee<NoopObserver, NoopObserver> as Observer>::ENABLED) };
+        const { assert!(<Tee<Counters, NoopObserver> as Observer>::ENABLED) };
+        const { assert!(<Tee<NoopObserver, Counters> as Observer>::ENABLED) };
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let mut tee = Tee::new(Counters::new(), StateTimeline::new());
+        drive(&mut tee);
+        let snap = tee.a.snapshot();
+        assert_eq!(snap.firings, 1);
+        assert_eq!(snap.events, 1);
+        assert_eq!(tee.b.state(3).unwrap().visits, 1);
+    }
+
+    #[test]
+    fn trace_writer_emits_parseable_ndjson() {
+        let mut w = TraceWriter::new(Vec::new())
+            .with_transition_labels(vec!["t0".into(), "t1".into(), "t2".into(), "serve".into()])
+            .with_state_labels(vec![
+                "standby".into(),
+                "powerup".into(),
+                "idle".into(),
+                "active".into(),
+            ]);
+        drive(&mut w);
+        assert_eq!(w.records_written(), 8); // rng_draw is counted, not written
+        let bytes = w.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 9); // 8 records + trace_end
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // Balanced quotes is a cheap well-formedness proxy; the CLI
+            // integration tests parse with a real JSON parser.
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+        }
+        assert!(lines[0].contains("\"label\":\"serve\""));
+        assert!(lines[6].contains("\"label\":\"active\""));
+        assert!(lines[8].contains("\"ev\":\"trace_end\""));
+        assert!(lines[8].contains("\"rng_draws\":1"));
+    }
+
+    #[test]
+    fn trace_writer_limit_and_sampling() {
+        let mut w = TraceWriter::new(Vec::new()).with_limit(3);
+        for _ in 0..10 {
+            drive(&mut w);
+        }
+        assert_eq!(w.records_written(), 3);
+
+        let mut s = TraceWriter::new(Vec::new()).with_sampling(4);
+        for i in 0..16 {
+            s.marking_update(i as f64, 0, i);
+        }
+        assert_eq!(s.records_written(), 4);
+        let text = String::from_utf8(s.finish().unwrap()).unwrap();
+        assert!(text.contains("\"tokens\":0"));
+        assert!(text.contains("\"tokens\":4"));
+        assert!(!text.contains("\"tokens\":5"));
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn state_timeline_accumulates_fractions() {
+        let mut tl = StateTimeline::new();
+        tl.state_enter(0.0, 0);
+        tl.state_exit(3.0, 0, 3.0);
+        tl.state_enter(3.0, 2);
+        tl.state_exit(4.0, 2, 1.0);
+        tl.state_enter(4.0, 0);
+        tl.state_exit(8.0, 0, 4.0);
+        assert!((tl.total_time() - 8.0).abs() < 1e-12);
+        assert!((tl.fraction(0) - 7.0 / 8.0).abs() < 1e-12);
+        assert!((tl.fraction(2) - 1.0 / 8.0).abs() < 1e-12);
+        assert_eq!(tl.fraction(1), 0.0);
+        let s0 = tl.state(0).unwrap();
+        assert_eq!(s0.visits, 2);
+        assert_eq!(s0.min_sojourn, 3.0);
+        assert_eq!(s0.max_sojourn, 4.0);
+        assert!(tl.state(1).is_none());
+    }
+
+    #[test]
+    fn counters_shared_by_reference() {
+        let counters = Counters::new();
+        {
+            let mut obs = &counters;
+            drive(&mut obs);
+            drive(&mut obs);
+        }
+        let snap = counters.snapshot();
+        assert_eq!(snap.firings, 2);
+        assert_eq!(snap.vanishing_chains, 2);
+        assert_eq!(snap.vanishing_steps, 4);
+        assert_eq!(snap.rng_draws, 2);
+        assert_eq!(snap.state_changes, 2);
+    }
+}

@@ -41,5 +41,6 @@ pub use error::PetriError;
 pub use marking::Marking;
 pub use net::{NetBuilder, NetSpec, PetriNet, PlaceId, TimedPolicy, TransitionId, TransitionKind};
 pub use sim::{
-    simulate, simulate_replications, PnReplicationSummary, Reward, SimConfig, SimOutput,
+    simulate, simulate_observed, simulate_replications, PnReplicationSummary, Reward, SimConfig,
+    SimOutput,
 };

@@ -48,6 +48,7 @@
 //! (`sim::reference`) and a randomized battery (covering nets on both
 //! sides of the threshold) asserts bit-identical outputs against it.
 
+use wsnem_obs::{NoopObserver, Observer};
 use wsnem_stats::dist::Sample;
 use wsnem_stats::pq::{EventId, EventQueue};
 use wsnem_stats::rng::Rng64;
@@ -71,22 +72,43 @@ pub fn simulate<R: Rng64 + ?Sized>(
     rewards: &[Reward],
     rng: &mut R,
 ) -> Result<SimOutput, PetriError> {
+    simulate_observed(net, cfg, rewards, rng, &mut NoopObserver)
+}
+
+/// Run one replication of the token game with an attached
+/// [`Observer`](wsnem_obs::Observer).
+///
+/// The observer sees every firing (`firing`), every marking change
+/// (`marking_update`), the timer-structure depth at each timed event
+/// (`timer_depth`), each resolved vanishing chain (`vanishing_chain`), and
+/// every RNG draw (`rng_draw`). Attaching an observer never perturbs the
+/// trajectory: RNG draw order is identical with and without instrumentation,
+/// and with [`NoopObserver`] (`ENABLED = false`) every hook compiles away,
+/// leaving [`simulate`]'s exact machine code.
+pub fn simulate_observed<R: Rng64 + ?Sized, O: Observer>(
+    net: &PetriNet,
+    cfg: &SimConfig,
+    rewards: &[Reward],
+    rng: &mut R,
+    obs: &mut O,
+) -> Result<SimOutput, PetriError> {
     cfg.validate()?;
     // Monomorphized per mode: zero runtime dispatch inside the hot loop.
     if net.n_transitions() > SCAN_THRESHOLD {
-        Engine::<R, true>::new(net, cfg, rewards, rng).run()
+        Engine::<R, O, true>::new(net, cfg, rewards, rng, obs).run()
     } else {
-        Engine::<R, false>::new(net, cfg, rewards, rng).run()
+        Engine::<R, O, false>::new(net, cfg, rewards, rng, obs).run()
     }
 }
 
 /// `ED` (event-driven) selects the mode at compile time: `true` runs
 /// incremental counts + timer heap, `false` the small-net direct path.
-struct Engine<'a, R: Rng64 + ?Sized, const ED: bool> {
+struct Engine<'a, R: Rng64 + ?Sized, O: Observer, const ED: bool> {
     net: &'a PetriNet,
     cfg: &'a SimConfig,
     rewards: &'a [Reward],
     rng: &'a mut R,
+    obs: &'a mut O,
 
     marking: crate::marking::Marking,
     now: f64,
@@ -119,8 +141,14 @@ struct Engine<'a, R: Rng64 + ?Sized, const ED: bool> {
     candidates: Vec<u32>,
 }
 
-impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
-    fn new(net: &'a PetriNet, cfg: &'a SimConfig, rewards: &'a [Reward], rng: &'a mut R) -> Self {
+impl<'a, R: Rng64 + ?Sized, O: Observer, const ED: bool> Engine<'a, R, O, ED> {
+    fn new(
+        net: &'a PetriNet,
+        cfg: &'a SimConfig,
+        rewards: &'a [Reward],
+        rng: &'a mut R,
+        obs: &'a mut O,
+    ) -> Self {
         let marking = net.initial_marking();
         let nt = net.n_transitions();
         let mut unsat = vec![0u32; nt];
@@ -133,6 +161,7 @@ impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
             cfg,
             rewards,
             rng,
+            obs,
             marking,
             now: 0.0,
             enabled: vec![false; nt],
@@ -197,10 +226,21 @@ impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
             TransitionKind::Timed { dist, policy } => {
                 if is {
                     let delay = match policy {
-                        TimedPolicy::RaceResample => dist.sample(self.rng).max(0.0),
-                        TimedPolicy::AgeMemory => self.age_left[t as usize]
-                            .take()
-                            .unwrap_or_else(|| dist.sample(self.rng).max(0.0)),
+                        TimedPolicy::RaceResample => {
+                            if O::ENABLED {
+                                self.obs.rng_draw();
+                            }
+                            dist.sample(self.rng).max(0.0)
+                        }
+                        TimedPolicy::AgeMemory => match self.age_left[t as usize].take() {
+                            Some(left) => left,
+                            None => {
+                                if O::ENABLED {
+                                    self.obs.rng_draw();
+                                }
+                                dist.sample(self.rng).max(0.0)
+                            }
+                        },
                     };
                     let at = self.now + delay;
                     self.timers[t as usize] = Some(at);
@@ -231,6 +271,13 @@ impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
     fn fire_transition(&mut self, t: u32) {
         self.changed.clear();
         let net = self.net;
+        if O::ENABLED {
+            let immediate = matches!(
+                net.kind(crate::net::TransitionId(t)),
+                TransitionKind::Immediate { .. }
+            );
+            self.obs.firing(self.now, t, immediate);
+        }
         if ED {
             for &(p, mult) in net.input_arcs(t) {
                 let old = self.marking.0[p as usize];
@@ -253,6 +300,13 @@ impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
             // Small-net path: flips are rechecked directly from the
             // marking, so no count maintenance.
             net.fire_into(&mut self.marking, t, &mut self.changed);
+        }
+        if O::ENABLED {
+            for i in 0..self.changed.len() {
+                let p = self.changed[i];
+                let tokens = self.marking.0[p as usize];
+                self.obs.marking_update(self.now, p, tokens);
+            }
         }
         if self.warmup_done {
             self.firings[t as usize] += 1;
@@ -319,6 +373,9 @@ impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
                     .iter()
                     .map(|&t| self.net.imm_weight(t))
                     .sum();
+                if O::ENABLED {
+                    self.obs.rng_draw();
+                }
                 let mut u = self.rng.next_f64() * total;
                 let mut pick = self.candidates[self.candidates.len() - 1];
                 for &t in &self.candidates {
@@ -345,6 +402,9 @@ impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
             if steps > self.cfg.max_vanishing_chain {
                 return Err(PetriError::VanishingLoop { time: self.now });
             }
+        }
+        if O::ENABLED && steps > 0 {
+            self.obs.vanishing_chain(self.now, steps);
         }
         // The tangible marking determines reward values until the next event.
         for (v, r) in self.reward_value.iter_mut().zip(self.rewards) {
@@ -445,6 +505,17 @@ impl<'a, R: Rng64 + ?Sized, const ED: bool> Engine<'a, R, ED> {
                 zeno_streak = 0;
             }
             self.advance_to(at);
+            if O::ENABLED {
+                // Depth of the pending-timer structure after this event was
+                // consumed: heap length event-driven, scheduled-timer count
+                // on the direct path.
+                let depth = if ED {
+                    self.queue.len()
+                } else {
+                    self.timers.iter().filter(|x| x.is_some()).count()
+                };
+                self.obs.timer_depth(at, depth);
+            }
             self.fire_transition(t);
             self.propagate(t);
             self.settle()?;

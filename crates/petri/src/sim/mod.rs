@@ -8,7 +8,7 @@ mod reference;
 mod replication;
 
 pub use converge::{simulate_until_precise, ConvergedRun, PrecisionTarget};
-pub use engine::simulate;
+pub use engine::{simulate, simulate_observed};
 pub use replication::{simulate_replications, PnReplicationSummary};
 
 use std::sync::Arc;

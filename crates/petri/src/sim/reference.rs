@@ -430,6 +430,69 @@ mod tests {
         let _ = err_runs;
     }
 
+    /// Attaching any concrete observer must leave the trajectory — output
+    /// AND RNG stream position — bit-identical to the unobserved run, over
+    /// the same randomized 80-net population as the engine battery.
+    #[test]
+    fn observer_equivalence_battery() {
+        use crate::sim::engine::simulate_observed;
+        use wsnem_obs::{Counters, NoopObserver, StateTimeline, Tee, TraceWriter};
+
+        let mut gen = Xoshiro256PlusPlus::new(0xED5_B411E);
+        let mut traced_records = 0usize;
+        for case in 0..80u64 {
+            let net = random_net(&mut gen, case % 4 == 0);
+            let cfg = SimConfig {
+                horizon: 40.0,
+                warmup: if case % 3 == 0 { 5.0 } else { 0.0 },
+                max_vanishing_chain: 5_000,
+                zeno_guard: 5_000,
+            };
+            let seed = 1000 + case;
+            let mut rng_base = Xoshiro256PlusPlus::new(seed);
+            let out_base = simulate(&net, &cfg, &[], &mut rng_base);
+
+            // NDJSON trace into a memory sink (sampled on odd cases to also
+            // cover the admission logic).
+            let mut trace =
+                TraceWriter::new(Vec::new()).with_sampling(if case % 2 == 1 { 3 } else { 1 });
+            let mut rng = Xoshiro256PlusPlus::new(seed);
+            let out = simulate_observed(&net, &cfg, &[], &mut rng, &mut trace);
+            assert_eq!(out, out_base, "case {case}: TraceWriter perturbed run");
+            assert_eq!(rng, rng_base, "case {case}: TraceWriter moved the RNG");
+            traced_records += trace.records_written();
+
+            let mut timeline = StateTimeline::new();
+            let mut rng = Xoshiro256PlusPlus::new(seed);
+            let out = simulate_observed(&net, &cfg, &[], &mut rng, &mut timeline);
+            assert_eq!(out, out_base, "case {case}: StateTimeline perturbed run");
+            assert_eq!(rng, rng_base, "case {case}: StateTimeline moved the RNG");
+
+            let mut counters = Counters::new();
+            let mut rng = Xoshiro256PlusPlus::new(seed);
+            let out = simulate_observed(&net, &cfg, &[], &mut rng, &mut counters);
+            assert_eq!(out, out_base, "case {case}: Counters perturbed run");
+            assert_eq!(rng, rng_base, "case {case}: Counters moved the RNG");
+            if let Ok(ref o) = out_base {
+                let total: u64 = o.firings.iter().sum();
+                let snap = counters.snapshot();
+                assert!(
+                    snap.firings >= total,
+                    "case {case}: observer saw {} firings, report counted {total} \
+                     (pre-warmup firings are observed but not reported)",
+                    snap.firings
+                );
+            }
+
+            let mut tee = Tee::new(Counters::new(), NoopObserver);
+            let mut rng = Xoshiro256PlusPlus::new(seed);
+            let out = simulate_observed(&net, &cfg, &[], &mut rng, &mut tee);
+            assert_eq!(out, out_base, "case {case}: Tee perturbed run");
+            assert_eq!(rng, rng_base, "case {case}: Tee moved the RNG");
+        }
+        assert!(traced_records > 1000, "traces were empty: {traced_records}");
+    }
+
     /// Same battery idea on the paper's own CPU net shape: rewards included,
     /// several seeds, longer horizon with warm-up.
     #[test]

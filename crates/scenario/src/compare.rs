@@ -234,7 +234,7 @@ impl CompareReport {
     pub const CSV_HEADER: &'static str = "scenario,axis,value,backend,reference,\
         standby_frac,powerup_frac,idle_frac,active_frac,\
         d_standby_pp,d_powerup_pp,d_idle_pp,d_active_pp,mean_abs_delta_pp,\
-        eval_seconds,error";
+        eval_seconds,backend_total_seconds,error";
 
     /// Flatten the matrix into CSV rows (one per backend per point).
     pub fn csv_rows(&self) -> Vec<String> {
@@ -245,8 +245,18 @@ impl CompareReport {
             for c in &row.cells {
                 let f = c.fractions;
                 let d = c.delta_pp;
+                // The per-backend wall-clock total used to live only in the
+                // JSON/summary outputs; the CSV dropped it. Every cell now
+                // carries its backend's matrix-wide total alongside the
+                // per-point cost.
+                let backend_total = self
+                    .backend_seconds
+                    .iter()
+                    .find(|b| b.backend == c.backend)
+                    .map(|b| b.seconds)
+                    .unwrap_or(0.0);
                 out.push(format!(
-                    "{scenario},{axis},{value},{backend},{reference},{},{},{},{},{},{},{},{},{},{},{error}",
+                    "{scenario},{axis},{value},{backend},{reference},{},{},{},{},{},{},{},{},{},{},{backend_total},{error}",
                     opt(f.map(|x| x.standby)),
                     opt(f.map(|x| x.powerup)),
                     opt(f.map(|x| x.idle)),
@@ -468,6 +478,35 @@ mod tests {
         }
         // The capable pair still agrees on fixed-length jobs.
         assert!(report.max_mean_abs_delta_pp < 2.0, "{report:?}");
+    }
+
+    #[test]
+    fn csv_carries_per_backend_wall_clock() {
+        let report = compare_scenario(&quick_scenario()).unwrap();
+        let header: Vec<&str> = CompareReport::CSV_HEADER.split(',').collect();
+        let backend_col = header
+            .iter()
+            .position(|&h| h == "backend_total_seconds")
+            .expect("header names the backend wall-clock column");
+        let cols = header.len();
+        for row in report.csv_rows() {
+            let fields: Vec<&str> = row.split(',').collect();
+            assert_eq!(fields.len(), cols, "{row}");
+            // Round-trip: the CSV cell parses back to the report's
+            // per-backend total, exactly as formatted.
+            let backend: BackendId = fields[3].parse().unwrap();
+            let expected = report
+                .backend_seconds
+                .iter()
+                .find(|b| b.backend == backend)
+                .unwrap()
+                .seconds;
+            let parsed: f64 = fields[backend_col]
+                .parse()
+                .unwrap_or_else(|e| panic!("unparseable wall clock in {row}: {e}"));
+            assert_eq!(parsed.to_string(), expected.to_string(), "{row}");
+            assert!(parsed > 0.0, "{row}");
+        }
     }
 
     #[test]

@@ -69,9 +69,10 @@ pub use files::{load, FileFormat};
 // Re-exported so consumers of `TopologySpec::build_next_hops` /
 // `NetworkSpec::build_network` (e.g. the CLI) need no direct wsn dependency.
 pub use report::{
-    AgreementCheck, BackendReport, EnergyReport, NetworkReport, NodeReport, ScenarioReport,
+    AgreementCheck, BackendReport, EnergyReport, NetworkReport, NodeReport, PhaseSeconds,
+    ScenarioReport,
 };
-pub use runner::{run_batch, run_scenario};
+pub use runner::{run_batch, run_batch_with_metrics, run_scenario, BatchMetrics, BatchProgress};
 pub use schema::{
     Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, RouteSpec, Scenario,
     SweepAxis, SweepSpec, TopologySpec, WorkloadSpec, MIN_SCHEMA_VERSION, SCHEMA_VERSION,

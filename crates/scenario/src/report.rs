@@ -213,6 +213,19 @@ pub struct NetworkReport {
     pub radio: String,
 }
 
+/// Wall-clock split of one scenario run by phase (`wsnem profile` feeds on
+/// this). The phases are disjoint; small bookkeeping between them means the
+/// sum can fall slightly below [`ScenarioReport::elapsed_seconds`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSeconds {
+    /// Evaluating the requested backends at the base parameters.
+    pub base_seconds: f64,
+    /// Walking the sweep (0 when the scenario declares none).
+    pub sweep_seconds: f64,
+    /// Analyzing the network section (0 when the scenario declares none).
+    pub network_seconds: f64,
+}
+
 /// The complete result of running one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioReport {
@@ -228,6 +241,8 @@ pub struct ScenarioReport {
     pub sweep: Option<SweepReport>,
     /// Network section, when the scenario declares one.
     pub network: Option<NetworkReport>,
+    /// Wall-clock split of the run by phase.
+    pub phase_seconds: PhaseSeconds,
     /// Total wall-clock time to run the scenario (s).
     pub elapsed_seconds: f64,
 }
@@ -241,17 +256,17 @@ impl ScenarioReport {
         standby_mj,powerup_mj,idle_mj,active_mj,total_mj,energy_horizon_s,\
         battery_lifetime_days,mean_jobs,mean_latency_s,eval_seconds,poisson_approximation,\
         node,hop_depth,forwarded_rx_pkts_s,is_bottleneck_relay,\
-        radio_spec,radio_duty_cycle,radio_power_mw";
+        radio_spec,radio_duty_cycle,radio_power_mw,scenario_elapsed_seconds";
 
     /// Flatten the report into CSV rows: one per backend evaluation
     /// (including sweep points), then one per network node when the
     /// scenario declares a network.
     pub fn csv_rows(&self) -> Vec<String> {
-        fn row(scenario: &str, axis: &str, value: &str, b: &BackendReport) -> String {
+        fn row(scenario: &str, axis: &str, value: &str, b: &BackendReport, elapsed: f64) -> String {
             let f = b.fractions;
             let scenario = csv_field(scenario);
             format!(
-                "{scenario},{backend},{axis},{value},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},,,,,,,",
+                "{scenario},{backend},{axis},{value},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},,,,,,,,{elapsed}",
                 f.standby,
                 f.powerup,
                 f.idle,
@@ -271,7 +286,7 @@ impl ScenarioReport {
                 backend = b.backend,
             )
         }
-        fn node_row(scenario: &str, net: &NetworkReport, n: &NodeReport) -> String {
+        fn node_row(scenario: &str, net: &NetworkReport, n: &NodeReport, elapsed: f64) -> String {
             let f = n.cpu_fractions;
             let scenario = csv_field(scenario);
             let name = csv_field(&n.name);
@@ -279,7 +294,7 @@ impl ScenarioReport {
             // and stay empty; mean_power_mw is the node's total (CPU+radio).
             let radio_spec = csv_field(&n.radio_spec);
             format!(
-                "{scenario},{backend},,,{},{},{},{},{},,,,,,,{},,,,,{name},{},{},{},{radio_spec},{},{}",
+                "{scenario},{backend},,,{},{},{},{},{},,,,,,,{},,,,,{name},{},{},{},{radio_spec},{},{},{elapsed}",
                 f.standby,
                 f.powerup,
                 f.idle,
@@ -295,19 +310,26 @@ impl ScenarioReport {
             )
         }
         let mut rows = Vec::new();
+        let elapsed = self.elapsed_seconds;
         for b in &self.backends {
-            rows.push(row(&self.scenario, "", "", b));
+            rows.push(row(&self.scenario, "", "", b, elapsed));
         }
         if let Some(sweep) = &self.sweep {
             for p in &sweep.points {
                 for b in &p.backends {
-                    rows.push(row(&self.scenario, &sweep.axis, &p.value.to_string(), b));
+                    rows.push(row(
+                        &self.scenario,
+                        &sweep.axis,
+                        &p.value.to_string(),
+                        b,
+                        elapsed,
+                    ));
                 }
             }
         }
         if let Some(net) = &self.network {
             for n in &net.nodes {
-                rows.push(node_row(&self.scenario, net, n));
+                rows.push(node_row(&self.scenario, net, n, elapsed));
             }
         }
         rows
@@ -391,7 +413,13 @@ impl ScenarioReport {
                 ));
             }
         }
-        out.push_str(&format!("  elapsed: {:.3} s\n", self.elapsed_seconds));
+        out.push_str(&format!(
+            "  elapsed: {:.3} s (base {:.3}, sweep {:.3}, network {:.3})\n",
+            self.elapsed_seconds,
+            self.phase_seconds.base_seconds,
+            self.phase_seconds.sweep_seconds,
+            self.phase_seconds.network_seconds
+        ));
         out
     }
 }
@@ -444,6 +472,7 @@ mod tests {
                 best_power_mw: 70.1,
             }),
             network: None,
+            phase_seconds: PhaseSeconds::default(),
             elapsed_seconds: 0.0,
         };
         let rows = report.csv_rows();
@@ -468,6 +497,7 @@ mod tests {
             agreement: vec![],
             sweep: None,
             network: None,
+            phase_seconds: PhaseSeconds::default(),
             elapsed_seconds: 0.0,
         };
         let row = &report.csv_rows()[0];
@@ -532,6 +562,7 @@ mod tests {
                 sink_arrival_pkts_s: 2.0,
                 radio: "b-mac".into(),
             }),
+            phase_seconds: PhaseSeconds::default(),
             elapsed_seconds: 0.25,
         };
         let s = report.summary();
@@ -579,6 +610,7 @@ mod tests {
                 sink_arrival_pkts_s: 1.5,
                 radio: "cc2420-class".into(),
             }),
+            phase_seconds: PhaseSeconds::default(),
             elapsed_seconds: 0.0,
         };
         let rows = report.csv_rows();
@@ -586,7 +618,7 @@ mod tests {
         let header_cols = ScenarioReport::CSV_HEADER.split(',').count();
         // Backend rows leave the node columns empty.
         assert_eq!(rows[0].split(',').count(), header_cols, "{}", rows[0]);
-        assert!(rows[0].ends_with(",,,,,,,"), "{}", rows[0]);
+        assert!(rows[0].ends_with(",,,,,,,0"), "{}", rows[0]);
         // Node rows fill them: name, hop depth, forwarded load, bottleneck,
         // then the radio spec / duty cycle / radio power.
         assert!(

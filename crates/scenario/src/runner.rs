@@ -4,15 +4,61 @@
 
 use std::time::Instant;
 
+use serde::{Deserialize, Serialize};
 use wsnem_core::{backend, BackendId, CpuModelParams, EvalOptions};
 use wsnem_energy::{Battery, PowerProfile};
 
 use crate::error::ScenarioError;
 use crate::report::{
-    AgreementCheck, BackendReport, NetworkReport, NodeReport, ScenarioReport, SweepPointReport,
-    SweepReport,
+    AgreementCheck, BackendReport, NetworkReport, NodeReport, PhaseSeconds, ScenarioReport,
+    SweepPointReport, SweepReport,
 };
 use crate::schema::Scenario;
+
+/// Aggregate wall-clock metrics for a batch run, as produced by
+/// [`run_batch_with_metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// Number of scenarios in the batch.
+    pub scenarios: usize,
+    /// Worker threads used (1 for the sequential path).
+    pub workers: usize,
+    /// Wall-clock time for the whole batch (s).
+    pub wall_seconds: f64,
+    /// Summed per-scenario busy time across all workers (s).
+    pub busy_seconds: f64,
+    /// `busy / (wall × workers)`, capped at 1 — how well the work queue
+    /// kept the workers fed.
+    pub utilization: f64,
+    /// Completed scenarios per wall-clock second.
+    pub scenarios_per_second: f64,
+}
+
+impl BatchMetrics {
+    fn new(scenarios: usize, workers: usize, wall_seconds: f64, busy_seconds: f64) -> Self {
+        let capacity = wall_seconds * workers as f64;
+        BatchMetrics {
+            scenarios,
+            workers,
+            wall_seconds,
+            busy_seconds,
+            utilization: if capacity > 0.0 {
+                (busy_seconds / capacity).min(1.0)
+            } else {
+                0.0
+            },
+            scenarios_per_second: if wall_seconds > 0.0 {
+                scenarios as f64 / wall_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Progress callback for [`run_batch_with_metrics`]: called once per finished
+/// scenario with `(completed_so_far, total, scenario_name)`.
+pub type BatchProgress<'a> = &'a (dyn Fn(usize, usize, &str) + Sync);
 
 /// Run one scenario with default parallelism (DES/PN replications spread
 /// over all cores).
@@ -29,12 +75,16 @@ pub fn run_scenario_with_threads(
 ) -> Result<ScenarioReport, ScenarioError> {
     scenario.validate()?;
     let started = Instant::now();
+    let mut phase_seconds = PhaseSeconds::default();
     let profile = scenario.profile.build()?;
     let battery = scenario.battery.build()?;
 
+    let base_started = Instant::now();
     let backends = eval_backends(scenario, scenario.cpu, &profile, &battery, inner_threads)?;
     let agreement = agreement_checks(scenario, &backends);
+    phase_seconds.base_seconds = base_started.elapsed().as_secs_f64();
 
+    let sweep_started = Instant::now();
     let sweep = match &scenario.sweep {
         None => None,
         Some(spec) => {
@@ -60,7 +110,9 @@ pub fn run_scenario_with_threads(
             })
         }
     };
+    phase_seconds.sweep_seconds = sweep_started.elapsed().as_secs_f64();
 
+    let network_started = Instant::now();
     let network = match &scenario.network {
         None => None,
         Some(spec) => Some(analyze_network(
@@ -71,6 +123,7 @@ pub fn run_scenario_with_threads(
             inner_threads,
         )?),
     };
+    phase_seconds.network_seconds = network_started.elapsed().as_secs_f64();
 
     Ok(ScenarioReport {
         scenario: scenario.name.clone(),
@@ -79,6 +132,7 @@ pub fn run_scenario_with_threads(
         agreement,
         sweep,
         network,
+        phase_seconds,
         elapsed_seconds: started.elapsed().as_secs_f64(),
     })
 }
@@ -90,9 +144,20 @@ pub fn run_batch(
     scenarios: &[Scenario],
     threads: Option<usize>,
 ) -> Vec<Result<ScenarioReport, ScenarioError>> {
+    run_batch_with_metrics(scenarios, threads, None).0
+}
+
+/// [`run_batch`] plus aggregate wall-clock metrics and an optional progress
+/// callback (invoked once per finished scenario, from whichever worker
+/// finished it).
+pub fn run_batch_with_metrics(
+    scenarios: &[Scenario],
+    threads: Option<usize>,
+    on_done: Option<BatchProgress<'_>>,
+) -> (Vec<Result<ScenarioReport, ScenarioError>>, BatchMetrics) {
     let n = scenarios.len();
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), BatchMetrics::new(0, 0, 0.0, 0.0));
     }
     let threads = threads
         .unwrap_or_else(|| {
@@ -101,8 +166,20 @@ pub fn run_batch(
                 .unwrap_or(1)
         })
         .clamp(1, n);
+    let batch_started = Instant::now();
     if threads == 1 || n == 1 {
-        return scenarios.iter().map(run_scenario).collect();
+        let mut busy = 0.0;
+        let mut results = Vec::with_capacity(n);
+        for (i, s) in scenarios.iter().enumerate() {
+            let started = Instant::now();
+            results.push(run_scenario(s));
+            busy += started.elapsed().as_secs_f64();
+            if let Some(cb) = on_done {
+                cb(i + 1, n, &s.name);
+            }
+        }
+        let wall = batch_started.elapsed().as_secs_f64();
+        return (results, BatchMetrics::new(n, 1, wall, busy));
     }
     // Across-scenario parallelism: pin each scenario's inner replication
     // fan-out to one thread so the batch does not oversubscribe cores.
@@ -113,34 +190,47 @@ pub fn run_batch(
     // static partitioning left every other worker idle at the tail while
     // one thread drained the expensive chunk.
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let completed = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<Result<ScenarioReport, ScenarioError>>> =
         (0..n).map(|_| None).collect();
+    let mut busy_seconds = 0.0;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut done = Vec::new();
+                    let mut busy = 0.0;
                     loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        let started = Instant::now();
                         done.push((i, run_scenario_with_threads(&scenarios[i], Some(1))));
+                        busy += started.elapsed().as_secs_f64();
+                        if let Some(cb) = on_done {
+                            let c = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            cb(c + 1, n, &scenarios[i].name);
+                        }
                     }
-                    done
+                    (done, busy)
                 })
             })
             .collect();
         for w in workers {
-            for (i, result) in w.join().expect("scenario worker panicked") {
+            let (done, busy) = w.join().expect("scenario worker panicked");
+            busy_seconds += busy;
+            for (i, result) in done {
                 slots[i] = Some(result);
             }
         }
     });
-    slots
+    let wall = batch_started.elapsed().as_secs_f64();
+    let results = slots
         .into_iter()
         .map(|s| s.expect("all scenarios ran"))
-        .collect()
+        .collect();
+    (results, BatchMetrics::new(n, threads, wall, busy_seconds))
 }
 
 fn eval_backends(
@@ -537,6 +627,56 @@ mod tests {
                 assert_eq!(pb.fractions, sb.fractions, "{}", p.scenario);
             }
         }
+    }
+
+    #[test]
+    fn batch_metrics_account_for_busy_time_and_progress() {
+        let mut scenarios = Vec::new();
+        for i in 0..4 {
+            let mut s = quick_scenario();
+            s.name = format!("m{i}");
+            s.backends = vec![BackendId::Markov];
+            scenarios.push(s);
+        }
+        let seen = std::sync::Mutex::new(Vec::new());
+        let cb = |done: usize, total: usize, name: &str| {
+            seen.lock().unwrap().push((done, total, name.to_owned()));
+        };
+        let (results, metrics) = run_batch_with_metrics(&scenarios, Some(2), Some(&cb));
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(metrics.scenarios, 4);
+        assert_eq!(metrics.workers, 2);
+        assert!(metrics.wall_seconds > 0.0);
+        assert!(metrics.busy_seconds > 0.0);
+        assert!(metrics.utilization > 0.0 && metrics.utilization <= 1.0);
+        assert!(metrics.scenarios_per_second > 0.0);
+        // Per-scenario phase timings sum to at most the total elapsed time.
+        for r in &results {
+            let r = r.as_ref().unwrap();
+            let p = r.phase_seconds;
+            assert!(
+                p.base_seconds + p.sweep_seconds + p.network_seconds <= r.elapsed_seconds + 1e-9,
+                "{p:?} vs {}",
+                r.elapsed_seconds
+            );
+            assert!(p.base_seconds > 0.0);
+        }
+        // The progress callback fired once per scenario with a monotonically
+        // increasing completed count; order across workers is arbitrary.
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 4);
+        let mut counts: Vec<usize> = seen.iter().map(|(d, _, _)| *d).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2, 3, 4]);
+        assert!(seen.iter().all(|(_, t, _)| *t == 4));
+        let mut names: Vec<&str> = seen.iter().map(|(_, _, n)| n.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["m0", "m1", "m2", "m3"]);
+        // Sequential path produces metrics too.
+        let (_, seq) = run_batch_with_metrics(&scenarios[..1], Some(1), None);
+        assert_eq!(seq.workers, 1);
+        assert!(seq.utilization > 0.0);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   TimeNET 4.0; this is the from-scratch substitute).
 //! * [`markov`] — CTMC substrate and the paper's supplementary-variable
 //!   closed-form processor model.
+//! * [`obs`] — zero-cost observer hooks for both simulation kernels, NDJSON
+//!   tracing, sojourn timelines and counters.
 //! * [`des`] — a discrete-event simulation kernel and the CPU power-state
 //!   simulator used as ground truth (the paper used a Matlab simulator).
 //! * [`energy`] — power profiles (PXA271 and friends), energy accounting and
@@ -39,6 +41,7 @@ pub use wsnem_core as core;
 pub use wsnem_des as des;
 pub use wsnem_energy as energy;
 pub use wsnem_markov as markov;
+pub use wsnem_obs as obs;
 pub use wsnem_petri as petri;
 pub use wsnem_stats as stats;
 pub use wsnem_wsn as wsn;
