@@ -7,6 +7,8 @@
 //! wsnem run --builtin paper-defaults      # run one built-in by name
 //! wsnem run --all --format json -o out.json
 //! wsnem run --all --format csv            # flat per-backend rows
+//! wsnem gen sweep/ --field lambda=0.2:1.0:5   # generate a scenario fleet
+//! wsnem run sweep/                        # run a whole directory (cached)
 //! wsnem compare --builtin paper-defaults  # Table 4/5 matrix: every backend
 //! wsnem validate my.toml                  # parse + validate without running
 //! wsnem export paper-defaults --format toml   # print a built-in as a file
@@ -16,15 +18,19 @@
 //! ```
 //!
 //! Scenarios in one invocation run in parallel across OS threads
-//! (`--threads N` pins the count). Argument parsing is hand-rolled — the
-//! workspace builds offline, without clap.
+//! (`--threads N` pins the count). Directory runs answer unchanged
+//! scenarios from a content-hash result cache (`.wsnem-cache/` inside the
+//! directory) — see `--no-cache` / `--refresh`. Argument parsing is
+//! hand-rolled — the workspace builds offline, without clap.
 
 use std::io::IsTerminal;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use wsnem_scenario::{
-    builtin, files, run_batch_with_metrics, BatchMetrics, FileFormat, Scenario, ScenarioReport,
+    builtin, files, fleet, gen, BatchMetrics, CacheMode, CacheStats, FieldSpec, FileFormat,
+    GenField, GenMethod, GenSpec, ResultCache, Scenario, ScenarioReport,
 };
 
 /// Write to stdout, treating a closed pipe (`wsnem list | head`) as a normal
@@ -53,8 +59,18 @@ USAGE:
 
 COMMANDS:
     list                       List built-in scenarios
-    run [FILES..] [OPTIONS]    Run scenario files and/or built-ins
-    compare [FILE] [OPTIONS]   Run EVERY registered backend over a scenario's
+    run [FILES|DIRS..] [OPTIONS]
+                               Run scenario files, whole directories of them
+                               and/or built-ins; directory runs answer
+                               unchanged scenarios from the content-hash
+                               result cache (.wsnem-cache/ inside the
+                               directory)
+    gen <DIR> [OPTIONS]        Generate a scenario fleet into DIR: grid,
+                               seeded-random or Latin-hypercube samples over
+                               declared fields, one file per scenario plus a
+                               manifest.json recording the generator spec
+    compare [FILE|DIR] [OPTIONS]
+                               Run EVERY registered backend over a scenario's
                                base point and sweep, and emit the paper's
                                Table 4/5 cross-backend comparison matrix
                                (per-state deltas in percentage points plus
@@ -85,13 +101,33 @@ COMMANDS:
 RUN OPTIONS:
     --all                 Run every built-in scenario
     --builtin <NAME>      Run one built-in (repeatable)
+    --all-files <DIR>     Run every scenario file in DIR (same as passing the
+                          directory as a positional argument; repeatable)
     --format <FMT>        Output format: summary (default), json, csv
     --out, -o <FILE>      Write the report there instead of stdout
     --threads <N>         Parallelism across scenarios (default: all cores)
     --quick               Shrink replications/horizons for a fast smoke run
+    --no-cache            Neither read nor write the directory result cache
+    --refresh             Re-simulate everything, overwriting cached results
+    --strict              Make duplicate scenario names an error instead of a
+                          skip-with-warning
     --verbose, -v         Show the live progress line even without a TTY and
                           print batch metrics (workers, utilization) at the end
     --quiet, -q           Suppress the progress line and informational stderr
+
+GEN OPTIONS:
+    --field <SPEC>        Sampled field as name=min:max[:points], repeatable.
+                          Fields: lambda, service-mean, radio-check-interval,
+                          fanout, node-count ([:points] sizes grid axes only,
+                          default 3)
+    --method <M>          Sampling method: grid (default), random, lhs
+    --count <N>           Sample count (random/lhs; a grid's size is the
+                          product of its per-field points)
+    --seed <N>            RNG seed for random/lhs (default 42)
+    --base <FILE>         Base scenario file the samples are applied to
+    --builtin <NAME>      Base built-in scenario (default: paper-defaults)
+    --prefix <NAME>       Scenario/file name prefix (default: fleet)
+    --format <FMT>        Generated file format: toml (default), json
 
 TRACE OPTIONS:
     --builtin <NAME>      Trace a built-in scenario's CPU parameters
@@ -109,6 +145,9 @@ PROFILE OPTIONS:
 
 COMPARE OPTIONS:
     --builtin <NAME>      Compare a built-in scenario
+    --all-files <DIR>     Compare every scenario file in DIR (a directory
+                          positional means the same); matrices merge into one
+                          CSV/JSON document in sorted file order
     --format <FMT>        Output format: summary (default), json, csv
     --out, -o <FILE>      Write the matrix there instead of stdout
     --threads <N>         Replication worker threads (default: all cores)
@@ -132,6 +171,7 @@ fn main() -> ExitCode {
     let result = match command {
         "list" => cmd_list(),
         "run" => cmd_run(rest),
+        "gen" => cmd_gen(rest),
         "trace" => cmd_trace(rest),
         "profile" => cmd_profile(rest),
         "compare" => cmd_compare(rest),
@@ -195,13 +235,20 @@ fn cmd_list() -> Result<(), String> {
 
 #[derive(Default)]
 struct RunOptions {
-    files: Vec<String>,
+    /// Positional arguments: scenario files or fleet directories (told
+    /// apart on the filesystem at gather time).
+    paths: Vec<String>,
+    /// `--all-files <DIR>` spellings, appended after the positionals.
+    dirs: Vec<String>,
     builtins: Vec<String>,
     all: bool,
     format: String,
     out: Option<String>,
     threads: Option<usize>,
     quick: bool,
+    no_cache: bool,
+    refresh: bool,
+    strict: bool,
     verbose: bool,
     quiet: bool,
 }
@@ -216,9 +263,13 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
         match a.as_str() {
             "--all" => o.all = true,
             "--quick" => o.quick = true,
+            "--no-cache" => o.no_cache = true,
+            "--refresh" => o.refresh = true,
+            "--strict" => o.strict = true,
             "--verbose" | "-v" => o.verbose = true,
             "--quiet" | "-q" => o.quiet = true,
             "--builtin" => o.builtins.push(required(&mut it, "--builtin <NAME>")?),
+            "--all-files" => o.dirs.push(required(&mut it, "--all-files <DIR>")?),
             "--format" => o.format = required(&mut it, "--format <FMT>")?,
             "--out" | "-o" => o.out = Some(required(&mut it, "--out <FILE>")?),
             "--threads" => {
@@ -232,7 +283,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 o.threads = Some(n);
             }
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
-            file => o.files.push(file.to_owned()),
+            file => o.paths.push(file.to_owned()),
         }
     }
     if !matches!(o.format.as_str(), "summary" | "json" | "csv") {
@@ -241,7 +292,22 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             o.format
         ));
     }
+    if o.no_cache && o.refresh {
+        return Err("--no-cache and --refresh are mutually exclusive".into());
+    }
     Ok(o)
+}
+
+impl RunOptions {
+    fn cache_mode(&self) -> CacheMode {
+        if self.no_cache {
+            CacheMode::Disabled
+        } else if self.refresh {
+            CacheMode::Refresh
+        } else {
+            CacheMode::ReadWrite
+        }
+    }
 }
 
 fn required(it: &mut std::slice::Iter<'_, String>, what: &str) -> Result<String, String> {
@@ -287,53 +353,210 @@ fn shrink(mut s: Scenario) -> Scenario {
     s
 }
 
-fn gather_scenarios(o: &RunOptions, command: &str) -> Result<Vec<Scenario>, String> {
+/// Everything one `run`/`profile` invocation executes: the scenario list
+/// (already `--quick`-shrunk, so cache keys see exactly what runs) plus,
+/// for scenarios that came from a fleet directory, the directory's result
+/// cache.
+struct Gathered {
+    scenarios: Vec<Scenario>,
+    /// One cache per fleet directory, in first-use order.
+    caches: Vec<ResultCache>,
+    /// `cache_of[i]` indexes `caches` for `scenarios[i]` (`None` for
+    /// builtins and single files, which are not cached).
+    cache_of: Vec<Option<usize>>,
+}
+
+impl Gathered {
+    /// The per-scenario cache slots [`fleet::run_cached`] expects.
+    fn cache_refs(&self) -> Vec<Option<&ResultCache>> {
+        self.cache_of
+            .iter()
+            .map(|c| c.map(|i| &self.caches[i]))
+            .collect()
+    }
+
+    /// True when any scenario is cache-backed (drives whether hit/miss
+    /// counts appear in the batch line).
+    fn any_cached(&self) -> bool {
+        !self.caches.is_empty()
+    }
+}
+
+fn gather_scenarios(o: &RunOptions, command: &str) -> Result<Gathered, String> {
     let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut sources: Vec<String> = Vec::new();
+    let mut cache_of: Vec<Option<usize>> = Vec::new();
+    let mut caches: Vec<ResultCache> = Vec::new();
+
+    // De-duplicate by scenario name across every source: duplicate keys
+    // would collide in the merged CSV/JSON rows and in the result cache.
+    // First occurrence wins; later ones are skipped with a warning
+    // (an error under --strict).
+    let add = |scenario: Scenario,
+               source: String,
+               cache: Option<usize>,
+               scenarios: &mut Vec<Scenario>,
+               sources: &mut Vec<String>,
+               cache_of: &mut Vec<Option<usize>>|
+     -> Result<(), String> {
+        if let Some(i) = scenarios.iter().position(|s| s.name == scenario.name) {
+            let msg = format!(
+                "duplicate scenario `{}`: from {} and {}",
+                scenario.name, sources[i], source
+            );
+            if o.strict {
+                return Err(format!("{msg} (--strict)"));
+            }
+            if !o.quiet {
+                eprintln!("warning: {msg}; keeping the first");
+            }
+            return Ok(());
+        }
+        scenarios.push(scenario);
+        sources.push(source);
+        cache_of.push(cache);
+        Ok(())
+    };
+
     if o.all {
-        scenarios.extend(builtin::all());
+        for s in builtin::all() {
+            add(
+                s,
+                "--all".into(),
+                None,
+                &mut scenarios,
+                &mut sources,
+                &mut cache_of,
+            )?;
+        }
     }
     for name in &o.builtins {
-        scenarios.push(builtin::find(name).map_err(|e| e.to_string())?);
+        add(
+            builtin::find(name).map_err(|e| e.to_string())?,
+            format!("--builtin {name}"),
+            None,
+            &mut scenarios,
+            &mut sources,
+            &mut cache_of,
+        )?;
     }
-    for file in &o.files {
-        scenarios.push(files::load(file).map_err(|e| e.to_string())?);
+    // Positional paths: plain files load directly; directories walk as
+    // fleets (sorted file order, duplicate names within one directory are a
+    // hard error from the walker) and get a result cache inside them.
+    let dirs = o.dirs.iter().map(|d| (d, true));
+    for (path, forced_dir) in o.paths.iter().map(|p| (p, false)).chain(dirs) {
+        if forced_dir || Path::new(path).is_dir() {
+            let fleet = fleet::load_dir(path).map_err(|e| e.to_string())?;
+            // `--no-cache` must not even create the cache directory.
+            let cache_index = if o.no_cache {
+                None
+            } else {
+                caches.push(ResultCache::open_under(path).map_err(|e| e.to_string())?);
+                Some(caches.len() - 1)
+            };
+            for (file, scenario) in fleet {
+                add(
+                    scenario,
+                    file.display().to_string(),
+                    cache_index,
+                    &mut scenarios,
+                    &mut sources,
+                    &mut cache_of,
+                )?;
+            }
+        } else {
+            add(
+                files::load(path).map_err(|e| e.to_string())?,
+                path.clone(),
+                None,
+                &mut scenarios,
+                &mut sources,
+                &mut cache_of,
+            )?;
+        }
     }
     if scenarios.is_empty() {
         return Err(format!(
-            "nothing to {command}: pass scenario files, --builtin <name> or --all"
+            "nothing to {command}: pass scenario files or directories, \
+             --builtin <name>, --all-files <dir> or --all"
         ));
     }
-    Ok(if o.quick {
-        scenarios.into_iter().map(shrink).collect()
-    } else {
-        scenarios
+    // Shrink BEFORE the cache sees the scenarios: `--quick` runs hash (and
+    // therefore cache) separately from full-fidelity runs.
+    if o.quick {
+        scenarios = scenarios.into_iter().map(shrink).collect();
+    }
+    Ok(Gathered {
+        scenarios,
+        caches,
+        cache_of,
     })
 }
 
 /// One-line batch metrics footer shared by the summary format, `-v` and
-/// `profile`.
-fn batch_line(m: &BatchMetrics) -> String {
-    format!(
+/// `profile`. `cache` adds hit/miss counts when a result cache was in play.
+fn batch_line(m: &BatchMetrics, cache: Option<&CacheStats>) -> String {
+    let mut line = format!(
         "batch: {} scenario(s) in {:.3} s — {} worker(s), utilization {:.0}%, {:.2} scenarios/s",
         m.scenarios,
         m.wall_seconds,
         m.workers,
         100.0 * m.utilization,
         m.scenarios_per_second
+    );
+    if let Some(c) = cache {
+        line.push_str(&format!(
+            " — cache: {} hit(s), {} miss(es)",
+            c.hits, c.misses
+        ));
+    }
+    line
+}
+
+/// Display width of the scenario-name column in the progress line.
+const PROGRESS_NAME_WIDTH: usize = 32;
+
+/// Truncate `name` to at most `width` characters, marking the cut with an
+/// ellipsis — long fleet-generated names must not widen the progress line
+/// past what the clearing write erases.
+fn truncate_name(name: &str, width: usize) -> String {
+    if name.chars().count() <= width {
+        return name.to_owned();
+    }
+    let mut s: String = name.chars().take(width.saturating_sub(1)).collect();
+    s.push('…');
+    s
+}
+
+/// Render one progress line: `[done/total] name (elapsed ..., ETA ...)`,
+/// with the name truncated-then-padded to a fixed column.
+fn progress_line(done: usize, total: usize, name: &str, elapsed: f64, eta: f64) -> String {
+    format!(
+        "[{done}/{total}] {:<width$} (elapsed {elapsed:.1} s, ETA {eta:.1} s)",
+        truncate_name(name, PROGRESS_NAME_WIDTH),
+        width = PROGRESS_NAME_WIDTH
     )
 }
 
 /// Run a gathered batch with the live progress line (TTY or `-v`, unless
 /// `-q`): `[done/total] name (ETA ...)`, rewritten in place on stderr.
+/// Cache-backed scenarios resolve through the fleet runner, whose hit/miss
+/// counts come back in the returned [`CacheStats`].
 fn run_with_progress(
-    scenarios: &[Scenario],
+    g: &Gathered,
     o: &RunOptions,
 ) -> (
     Vec<Result<ScenarioReport, wsnem_scenario::ScenarioError>>,
     BatchMetrics,
+    CacheStats,
 ) {
     let show_progress = !o.quiet && (o.verbose || std::io::stderr().is_terminal());
     let started = Instant::now();
+    // Rewriting the line in place only erases the previous write if we
+    // clear by its *actual* width — a fixed 80-column wipe left residue
+    // from longer lines (and total/ETA digits shrink over a run).
+    let last_width = std::sync::atomic::AtomicUsize::new(0);
+    let last_width_ref = &last_width;
     let progress = move |done: usize, total: usize, name: &str| {
         let elapsed = started.elapsed().as_secs_f64();
         let eta = if done > 0 {
@@ -341,39 +564,49 @@ fn run_with_progress(
         } else {
             0.0
         };
-        eprint!("\r[{done}/{total}] {name:<32} (elapsed {elapsed:.1} s, ETA {eta:.1} s)  ");
+        let line = progress_line(done, total, name, elapsed, eta);
+        let width = line.chars().count();
+        let prev = last_width_ref.swap(width, std::sync::atomic::Ordering::Relaxed);
+        eprint!("\r{line:<prev$}");
         let _ = std::io::Write::flush(&mut std::io::stderr());
     };
-    let (results, metrics) = run_batch_with_metrics(
-        scenarios,
+    let (results, metrics, cache_stats) = fleet::run_cached(
+        &g.scenarios,
+        &g.cache_refs(),
         o.threads,
+        o.cache_mode(),
         show_progress.then_some(&progress as &(dyn Fn(usize, usize, &str) + Sync)),
     );
     if show_progress {
         // Clear the progress line so reports start on a clean row.
-        eprint!("\r{:<80}\r", "");
+        let width = last_width.load(std::sync::atomic::Ordering::Relaxed);
+        eprint!("\r{:<width$}\r", "");
         let _ = std::io::Write::flush(&mut std::io::stderr());
     }
     if o.verbose && !o.quiet {
-        eprintln!("{}", batch_line(&metrics));
+        eprintln!(
+            "{}",
+            batch_line(&metrics, g.any_cached().then_some(&cache_stats))
+        );
     }
-    (results, metrics)
+    (results, metrics, cache_stats)
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let o = parse_run_options(args)?;
-    let scenarios = gather_scenarios(&o, "run")?;
-    let (results, metrics) = run_with_progress(&scenarios, &o);
+    let g = gather_scenarios(&o, "run")?;
+    let (results, metrics, cache_stats) = run_with_progress(&g, &o);
+    let cache = g.any_cached().then_some(&cache_stats);
     let mut reports = Vec::new();
     let mut failures = Vec::new();
-    for (s, r) in scenarios.iter().zip(results) {
+    for (s, r) in g.scenarios.iter().zip(results) {
         match r {
             Ok(report) => reports.push(report),
             Err(e) => failures.push(format!("{}: {e}", s.name)),
         }
     }
 
-    let rendered = render(&reports, &metrics, &o.format)?;
+    let rendered = render(&reports, &metrics, cache, &o.format)?;
     match &o.out {
         None => out(&rendered),
         Some(path) => {
@@ -390,14 +623,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // The CSV body must stay aligned with its header, so batch metrics go
     // to stderr there (JSON and summary carry them inline).
     if o.format == "csv" && !o.quiet {
-        eprintln!("{}", batch_line(&metrics));
+        eprintln!("{}", batch_line(&metrics, cache));
     }
 
     if !failures.is_empty() {
         return Err(format!(
             "{} of {} scenario(s) failed:\n  {}",
             failures.len(),
-            scenarios.len(),
+            g.scenarios.len(),
             failures.join("\n  ")
         ));
     }
@@ -405,21 +638,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 /// JSON envelope for `wsnem run --format json`: the report list plus the
-/// batch metrics.
+/// batch metrics and, for cache-backed (directory) runs, the hit/miss
+/// counts.
 #[derive(serde::Serialize)]
 struct RunOutput {
     batch: BatchMetrics,
+    cache: Option<CacheStats>,
     reports: Vec<ScenarioReport>,
 }
 
 fn render(
     reports: &[ScenarioReport],
     metrics: &BatchMetrics,
+    cache: Option<&CacheStats>,
     format: &str,
 ) -> Result<String, String> {
     match format {
         "json" => serde_json::to_string_pretty(&RunOutput {
             batch: *metrics,
+            cache: cache.copied(),
             reports: reports.to_vec(),
         })
         .map(|mut s| {
@@ -444,11 +681,139 @@ fn render(
                 out.push_str(&r.summary());
                 out.push('\n');
             }
-            out.push_str(&batch_line(metrics));
+            out.push_str(&batch_line(metrics, cache));
             out.push('\n');
             Ok(out)
         }
     }
+}
+
+/// Parse one `--field` value: `name=min:max[:points]`.
+fn parse_field_spec(spec: &str) -> Result<FieldSpec, String> {
+    let usage = "expected name=min:max[:points]";
+    let (name, range) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("invalid --field `{spec}`: {usage}"))?;
+    let field = GenField::parse_name(name).ok_or_else(|| {
+        let known: Vec<&str> = GenField::ALL.iter().map(|f| f.name()).collect();
+        format!(
+            "unknown --field name `{name}` (expected one of: {})",
+            known.join(", ")
+        )
+    })?;
+    let parts: Vec<&str> = range.split(':').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(format!("invalid --field `{spec}`: {usage}"));
+    }
+    let num = |s: &str| -> Result<f64, String> {
+        s.parse()
+            .map_err(|_| format!("invalid --field `{spec}`: `{s}` is not a number"))
+    };
+    let points = match parts.get(2) {
+        None => None,
+        Some(p) => Some(p.parse::<usize>().map_err(|_| {
+            format!("invalid --field `{spec}`: `{p}` is not a positive point count")
+        })?),
+    };
+    Ok(FieldSpec {
+        field,
+        min: num(parts[0])?,
+        max: num(parts[1])?,
+        points,
+    })
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<String> = None;
+    let mut fields: Vec<FieldSpec> = Vec::new();
+    let mut method = GenMethod::Grid;
+    let mut count: Option<usize> = None;
+    let mut seed: u64 = 42;
+    let mut base_file: Option<String> = None;
+    let mut base_builtin: Option<String> = None;
+    let mut prefix = "fleet".to_owned();
+    let mut format = FileFormat::Toml;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--field" => fields.push(parse_field_spec(&required(&mut it, "--field <SPEC>")?)?),
+            "--method" => {
+                let v = required(&mut it, "--method <M>")?;
+                method = GenMethod::parse_name(&v).ok_or_else(|| {
+                    format!("unknown --method `{v}` (expected grid, random or lhs)")
+                })?;
+            }
+            "--count" => {
+                let v = required(&mut it, "--count <N>")?;
+                count = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| format!("--count expects a positive integer, got `{v}`"))?,
+                );
+            }
+            "--seed" => {
+                let v = required(&mut it, "--seed <N>")?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed expects an integer, got `{v}`"))?;
+            }
+            "--base" => base_file = Some(required(&mut it, "--base <FILE>")?),
+            "--builtin" => base_builtin = Some(required(&mut it, "--builtin <NAME>")?),
+            "--prefix" => prefix = required(&mut it, "--prefix <NAME>")?,
+            "--format" => {
+                let v = required(&mut it, "--format <FMT>")?;
+                format = match v.as_str() {
+                    "toml" => FileFormat::Toml,
+                    "json" => FileFormat::Json,
+                    other => {
+                        return Err(format!("unknown format `{other}` (expected toml or json)"))
+                    }
+                };
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            d if dir.is_none() => dir = Some(d.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let dir = dir.ok_or("gen expects an output directory")?;
+    if method == GenMethod::Grid && count.is_some() {
+        return Err(
+            "--count applies to --method random/lhs; a grid's size is the \
+                    product of its per-field points"
+                .into(),
+        );
+    }
+    // The paper baseline is the natural base point for a parameter study.
+    let base = match (base_file, base_builtin) {
+        (Some(_), Some(_)) => {
+            return Err("pass either --base <FILE> or --builtin <NAME>, not both".into())
+        }
+        (Some(f), None) => files::load(&f).map_err(|e| e.to_string())?,
+        (None, Some(n)) => builtin::find(&n).map_err(|e| e.to_string())?,
+        (None, None) => builtin::find("paper-defaults").map_err(|e| e.to_string())?,
+    };
+    let spec = GenSpec {
+        method,
+        count: count.unwrap_or(10),
+        seed,
+        prefix,
+        fields,
+    };
+    let manifest = gen::write_fleet(&dir, &base, &spec, format).map_err(|e| e.to_string())?;
+    let axes: Vec<String> = spec
+        .fields
+        .iter()
+        .map(|f| format!("{}=[{}, {}]", f.field, f.min, f.max))
+        .collect();
+    eprintln!(
+        "generated {} scenario(s) into {dir} ({} sampling over {}); run them with \
+         `wsnem run {dir}`",
+        manifest.files.len(),
+        spec.method.name(),
+        axes.join(", ")
+    );
+    Ok(())
 }
 
 /// The canonical CPU state labels, in [`wsnem_energy::CpuState::index`]
@@ -605,8 +970,9 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     // The profile table is the output; keep stderr quiet unless asked.
     o.quiet = !o.verbose;
-    let scenarios = gather_scenarios(&o, "profile")?;
-    let (results, metrics) = run_with_progress(&scenarios, &o);
+    let g = gather_scenarios(&o, "profile")?;
+    let (results, metrics, cache_stats) = run_with_progress(&g, &o);
+    let scenarios = &g.scenarios;
 
     outln!(
         "  {:<28} {:>9} {:>9} {:>9} {:>9}  solver seconds (base point)",
@@ -639,7 +1005,10 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
             }
         }
     }
-    outln!("{}", batch_line(&metrics));
+    outln!(
+        "{}",
+        batch_line(&metrics, g.any_cached().then_some(&cache_stats))
+    );
     if !failures.is_empty() {
         return Err(format!(
             "{} of {} scenario(s) failed:\n  {}",
@@ -654,6 +1023,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut file: Option<String> = None;
     let mut builtin_name: Option<String> = None;
+    let mut dirs: Vec<String> = Vec::new();
     let mut format = "summary".to_owned();
     let mut out_path: Option<String> = None;
     let mut threads: Option<usize> = None;
@@ -663,6 +1033,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--builtin" => builtin_name = Some(required(&mut it, "--builtin <NAME>")?),
+            "--all-files" => dirs.push(required(&mut it, "--all-files <DIR>")?),
             "--format" => format = required(&mut it, "--format <FMT>")?,
             "--out" | "-o" => out_path = Some(required(&mut it, "--out <FILE>")?),
             "--quick" => quick = true,
@@ -685,40 +1056,93 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             extra => return Err(format!("unexpected argument `{extra}`")),
         }
     }
-    let mut scenario = resolve_scenario(file, builtin_name, "compare")?;
+    // A directory positional means the same as --all-files.
+    if let Some(f) = &file {
+        if Path::new(f).is_dir() {
+            dirs.insert(0, file.take().unwrap());
+        }
+    }
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    if !dirs.is_empty() {
+        if file.is_some() || builtin_name.is_some() {
+            return Err(
+                "pass either a scenario file / --builtin <NAME> or directories, not both".into(),
+            );
+        }
+        for dir in &dirs {
+            for (_, s) in fleet::load_dir(dir).map_err(|e| e.to_string())? {
+                if let Some(prev) = scenarios.iter().find(|p| p.name == s.name) {
+                    return Err(format!(
+                        "duplicate scenario `{}` across compared directories",
+                        prev.name
+                    ));
+                }
+                scenarios.push(s);
+            }
+        }
+    } else {
+        scenarios.push(resolve_scenario(file, builtin_name, "compare")?);
+    }
     if quick {
-        // Slightly larger smoke budget than `run --quick`: the matrix gates
-        // on 2 pp agreement, which 2 replications of 300 s cannot promise.
-        scenario.cpu = scenario
-            .cpu
-            .with_replications(4)
-            .with_horizon(1500.0)
-            .with_warmup(scenario.cpu.warmup.clamp(50.0, 100.0));
-        if let Some(sweep) = &mut scenario.sweep {
-            sweep.values.truncate(2);
+        for scenario in &mut scenarios {
+            // Slightly larger smoke budget than `run --quick`: the matrix
+            // gates on 2 pp agreement, which 2 replications of 300 s cannot
+            // promise.
+            scenario.cpu = scenario
+                .cpu
+                .with_replications(4)
+                .with_horizon(1500.0)
+                .with_warmup(scenario.cpu.warmup.clamp(50.0, 100.0));
+            if let Some(sweep) = &mut scenario.sweep {
+                sweep.values.truncate(2);
+            }
         }
     }
 
-    let report = wsnem_scenario::compare_scenario_with(
-        &scenario,
-        wsnem_scenario::global_registry(),
-        threads,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut reports: Vec<wsnem_scenario::CompareReport> = Vec::new();
+    for scenario in &scenarios {
+        reports.push(
+            wsnem_scenario::compare_scenario_with(
+                scenario,
+                wsnem_scenario::global_registry(),
+                threads,
+            )
+            .map_err(|e| format!("{}: {e}", scenario.name))?,
+        );
+    }
 
+    // Directory comparisons merge into one document: concatenated
+    // summaries, a JSON array, or one CSV header over every matrix's rows
+    // (sorted file order). A single scenario keeps the historical
+    // single-object JSON shape.
     let rendered = match format.as_str() {
-        "summary" => report.summary(),
+        "summary" => {
+            let mut s = String::new();
+            for (i, report) in reports.iter().enumerate() {
+                if i > 0 {
+                    s.push('\n');
+                }
+                s.push_str(&report.summary());
+            }
+            s
+        }
         "json" => {
-            let mut s = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+            let mut s = if reports.len() == 1 {
+                serde_json::to_string_pretty(&reports[0]).map_err(|e| e.to_string())?
+            } else {
+                serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?
+            };
             s.push('\n');
             s
         }
         "csv" => {
             let mut s = String::from(wsnem_scenario::CompareReport::CSV_HEADER);
             s.push('\n');
-            for row in report.csv_rows() {
-                s.push_str(&row);
-                s.push('\n');
+            for report in &reports {
+                for row in report.csv_rows() {
+                    s.push_str(&row);
+                    s.push('\n');
+                }
             }
             s
         }
@@ -732,20 +1156,27 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         None => out(&rendered),
         Some(path) => {
             std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
-            eprintln!("wrote comparison matrix to {path} ({format} format)");
+            eprintln!(
+                "wrote {} comparison matrix(es) to {path} ({format} format)",
+                reports.len()
+            );
         }
     }
 
     if let Some(tol) = max_delta_pp {
-        if report.max_mean_abs_delta_pp > tol {
+        let worst = reports
+            .iter()
+            .max_by(|a, b| a.max_mean_abs_delta_pp.total_cmp(&b.max_mean_abs_delta_pp))
+            .expect("at least one comparison report");
+        if worst.max_mean_abs_delta_pp > tol {
             return Err(format!(
-                "comparison matrix exceeds tolerance: max mean |Δ| = {:.3} pp > {tol} pp",
-                report.max_mean_abs_delta_pp
+                "comparison matrix for `{}` exceeds tolerance: max mean |Δ| = {:.3} pp > {tol} pp",
+                worst.scenario, worst.max_mean_abs_delta_pp
             ));
         }
         eprintln!(
             "max mean |Δ| = {:.3} pp within tolerance {tol} pp",
-            report.max_mean_abs_delta_pp
+            worst.max_mean_abs_delta_pp
         );
     }
     Ok(())
@@ -1036,4 +1467,88 @@ fn wrap(text: &str, width: usize) -> Vec<String> {
         lines.push(line);
     }
     lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_name_short_passes_through() {
+        assert_eq!(truncate_name("paper-defaults", 32), "paper-defaults");
+        assert_eq!(truncate_name("", 32), "");
+        // Exactly at the limit: unchanged, no ellipsis.
+        let exact = "x".repeat(32);
+        assert_eq!(truncate_name(&exact, 32), exact);
+    }
+
+    #[test]
+    fn truncate_name_cuts_long_names_with_ellipsis() {
+        let long = "fleet-scenario-with-a-very-long-generated-name-0042";
+        let cut = truncate_name(long, 32);
+        assert_eq!(cut.chars().count(), 32);
+        assert!(cut.ends_with('…'));
+        assert!(long.starts_with(&cut[..cut.len() - '…'.len_utf8()]));
+    }
+
+    #[test]
+    fn truncate_name_counts_chars_not_bytes() {
+        // Multi-byte names must truncate on character boundaries.
+        let name = "é".repeat(40);
+        let cut = truncate_name(&name, 32);
+        assert_eq!(cut.chars().count(), 32);
+        assert!(cut.ends_with('…'));
+    }
+
+    #[test]
+    fn progress_line_has_fixed_name_column() {
+        let short = progress_line(1, 10, "tiny", 1.0, 9.0);
+        let long = progress_line(
+            2,
+            10,
+            "fleet-scenario-with-a-very-long-generated-name-0042",
+            2.0,
+            8.0,
+        );
+        // Same [done/total] digit counts ⇒ same display width: the long
+        // name is truncated into the same fixed column the short one pads.
+        assert_eq!(short.chars().count(), long.chars().count());
+        assert!(long.contains('…'));
+        assert!(short.contains("[1/10] tiny"));
+    }
+
+    #[test]
+    fn batch_line_appends_cache_counts_only_when_cached() {
+        let m = BatchMetrics {
+            scenarios: 10,
+            workers: 4,
+            wall_seconds: 2.0,
+            busy_seconds: 6.0,
+            utilization: 0.75,
+            scenarios_per_second: 5.0,
+        };
+        let plain = batch_line(&m, None);
+        assert!(!plain.contains("cache"));
+        let stats = CacheStats { hits: 7, misses: 3 };
+        let cached = batch_line(&m, Some(&stats));
+        assert!(cached.contains("cache: 7 hit(s), 3 miss(es)"), "{cached}");
+    }
+
+    #[test]
+    fn parse_field_spec_full_and_partial() {
+        let f = parse_field_spec("lambda=0.25:0.75:5").unwrap();
+        assert_eq!(f.field, GenField::Lambda);
+        assert_eq!((f.min, f.max, f.points), (0.25, 0.75, Some(5)));
+        let f = parse_field_spec("node-count=4:16").unwrap();
+        assert_eq!(f.field, GenField::NodeCount);
+        assert_eq!(f.points, None);
+
+        assert!(parse_field_spec("lambda").is_err());
+        assert!(parse_field_spec("bogus=0:1")
+            .unwrap_err()
+            .contains("lambda"));
+        assert!(parse_field_spec("lambda=0:1:2:3").is_err());
+        assert!(parse_field_spec("lambda=a:b").is_err());
+        assert!(parse_field_spec("lambda=0:1:-2").is_err());
+    }
 }

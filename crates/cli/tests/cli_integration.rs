@@ -720,6 +720,261 @@ fn verbosity_flags_gate_batch_metrics_on_stderr() {
     assert_eq!(v.get("reports").and_then(|r| r.as_seq()).unwrap().len(), 1);
 }
 
+/// A fresh per-test directory (removed first, so re-runs start clean).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wsnem-cli-fleet-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_writes_fleet_files_and_manifest() {
+    let dir = fresh_dir("gen");
+    let out = wsnem(&[
+        "gen",
+        dir.to_str().unwrap(),
+        "--field",
+        "lambda=0.25:0.75:2",
+        "--field",
+        "service-mean=0.0625:0.125:2",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("generated 4 scenario(s)"),
+        "{}",
+        stderr(&out)
+    );
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        [
+            "fleet-1.toml",
+            "fleet-2.toml",
+            "fleet-3.toml",
+            "fleet-4.toml",
+            "manifest.json"
+        ]
+    );
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(
+        manifest.contains("\"generator\": \"wsnem gen\""),
+        "{manifest}"
+    );
+    // Every generated file validates stand-alone.
+    let f1 = dir.join("fleet-1.toml");
+    let out = wsnem(&["validate", f1.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Bad field specs fail up front with the supported list.
+    let out = wsnem(&["gen", dir.to_str().unwrap(), "--field", "bogus=0:1"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown --field name `bogus`"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("lambda"), "{}", stderr(&out));
+}
+
+#[test]
+fn fleet_cache_hits_misses_refresh_and_byte_identical_csv() {
+    let dir = fresh_dir("cache");
+    let out = wsnem(&[
+        "gen",
+        dir.to_str().unwrap(),
+        "--field",
+        "lambda=0.25:0.75:2",
+        "--field",
+        "service-mean=0.0625:0.125:2",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let run_csv = |extra: &[&str]| -> (String, String) {
+        let mut args = vec!["run", dir.to_str().unwrap(), "--quick", "--format", "csv"];
+        args.extend_from_slice(extra);
+        let out = wsnem(&args);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        (stdout(&out), stderr(&out))
+    };
+
+    // Cold: everything simulates and the batch line says so.
+    let (cold_csv, err) = run_csv(&[]);
+    assert!(err.contains("cache: 0 hit(s), 4 miss(es)"), "{err}");
+    assert!(dir.join(".wsnem-cache").is_dir(), "cache dir created");
+
+    // Warm: everything answers from the cache, and the merged CSV is
+    // byte-identical to the cold run (reports come back verbatim).
+    let (warm_csv, err) = run_csv(&[]);
+    assert!(err.contains("cache: 4 hit(s), 0 miss(es)"), "{err}");
+    assert_eq!(cold_csv, warm_csv, "warm CSV must be byte-identical");
+
+    // Editing one file re-simulates exactly that one.
+    let f1 = dir.join("fleet-1.toml");
+    let text = std::fs::read_to_string(&f1).unwrap();
+    let edited = text.replace("lambda = 0.25", "lambda = 0.3");
+    assert_ne!(text, edited, "the edit must hit: {text}");
+    std::fs::write(&f1, edited).unwrap();
+    let (_, err) = run_csv(&[]);
+    assert!(err.contains("cache: 3 hit(s), 1 miss(es)"), "{err}");
+
+    // --refresh re-simulates everything despite the warm cache.
+    let (_, err) = run_csv(&["--refresh"]);
+    assert!(err.contains("cache: 0 hit(s), 4 miss(es)"), "{err}");
+
+    // --no-cache neither reads the cache nor reports cache counts.
+    let (_, err) = run_csv(&["--no-cache"]);
+    assert!(!err.contains("cache:"), "{err}");
+
+    // JSON runs carry the hit/miss counts in the envelope.
+    let out = wsnem(&[
+        "run",
+        dir.to_str().unwrap(),
+        "--quick",
+        "-q",
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let v = serde_json::parse(&stdout(&out)).unwrap();
+    let cache = v.get("cache").expect("cache stats in JSON envelope");
+    assert_eq!(num(cache, "hits"), 4.0);
+    assert_eq!(num(cache, "misses"), 0.0);
+}
+
+#[test]
+fn no_cache_run_does_not_create_the_cache_directory() {
+    let dir = fresh_dir("nocache");
+    let out = wsnem(&[
+        "gen",
+        dir.to_str().unwrap(),
+        "--field",
+        "lambda=0.25:0.75:2",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let out = wsnem(&["run", dir.to_str().unwrap(), "--quick", "-q", "--no-cache"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        !dir.join(".wsnem-cache").exists(),
+        "--no-cache must not create the cache directory"
+    );
+
+    // The two cache escape hatches are mutually exclusive.
+    let out = wsnem(&["run", dir.to_str().unwrap(), "--no-cache", "--refresh"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn duplicate_scenarios_skip_with_warning_and_error_under_strict() {
+    // The same builtin twice: one run, one warning — unless --strict.
+    let out = wsnem(&[
+        "run",
+        "--builtin",
+        "paper-defaults",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("duplicate scenario `paper-defaults`"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("keeping the first"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("batch: 1 scenario(s)"),
+        "{}",
+        stdout(&out)
+    );
+
+    let out = wsnem(&[
+        "run",
+        "--builtin",
+        "paper-defaults",
+        "--builtin",
+        "paper-defaults",
+        "--quick",
+        "--strict",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--strict"), "{}", stderr(&out));
+}
+
+#[test]
+fn run_rejects_unrecognized_scenario_file_extension() {
+    // Satellite fix: a `fleet.yaml` used to be silently parsed as TOML.
+    let path = temp_file("fleet.yaml", "name: not-toml\n");
+    let out = wsnem(&["run", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("unrecognized scenario file extension"),
+        "{err}"
+    );
+    assert!(err.contains(".toml"), "{err}");
+    assert!(err.contains(".json"), "{err}");
+}
+
+#[test]
+fn compare_merges_directory_matrices_into_one_document() {
+    let dir = fresh_dir("compare");
+    let out = wsnem(&[
+        "gen",
+        dir.to_str().unwrap(),
+        "--field",
+        "lambda=0.25:0.75:2",
+        "--field",
+        "service-mean=0.125:0.125:1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let out = wsnem(&[
+        "compare",
+        dir.to_str().unwrap(),
+        "--quick",
+        "--format",
+        "csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    let header = csv_fields(lines.next().expect("header"));
+    let scenario_col = header
+        .iter()
+        .position(|h| h.trim() == "scenario")
+        .unwrap_or_else(|| panic!("missing scenario column in {header:?}"));
+    let rows: Vec<Vec<String>> = lines.map(csv_fields).collect();
+    // One merged document: a single header, then 4 backend rows per
+    // scenario, in sorted file order.
+    assert_eq!(rows.len(), 8, "{text}");
+    assert!(
+        rows[..4].iter().all(|r| r[scenario_col] == "fleet-1"),
+        "{text}"
+    );
+    assert!(
+        rows[4..].iter().all(|r| r[scenario_col] == "fleet-2"),
+        "{text}"
+    );
+    assert!(
+        !text[text.find('\n').unwrap()..].contains("scenario,"),
+        "header must appear exactly once: {text}"
+    );
+}
+
 #[test]
 fn quick_smoke_runs_every_builtin_including_multihop() {
     let out = wsnem(&["run", "--all", "--quick"]);

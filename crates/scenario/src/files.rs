@@ -15,11 +15,30 @@ pub enum FileFormat {
 }
 
 impl FileFormat {
-    /// Infer the format from a path's extension (defaults to TOML).
-    pub fn from_path(path: &Path) -> Self {
+    /// Infer the format from a path's extension.
+    ///
+    /// `.json` and `.toml` map to their formats; an extension**less** path
+    /// reads as TOML (the historical stdin-ish default). Any *other*
+    /// extension is an error naming the supported list — a `fleet.yaml`
+    /// used to fall through to the TOML parser and die with a baffling
+    /// TOML syntax error instead.
+    pub fn from_path(path: &Path) -> Result<Self, ScenarioError> {
         match path.extension().and_then(|e| e.to_str()) {
-            Some("json") => FileFormat::Json,
-            _ => FileFormat::Toml,
+            Some("json") => Ok(FileFormat::Json),
+            Some("toml") | None => Ok(FileFormat::Toml),
+            Some(other) => Err(ScenarioError::Io(format!(
+                "{}: unrecognized scenario file extension `.{other}` \
+                 (supported: .toml, .json; extensionless files read as TOML)",
+                path.display()
+            ))),
+        }
+    }
+
+    /// The canonical file extension for this format.
+    pub fn extension(self) -> &'static str {
+        match self {
+            FileFormat::Json => "json",
+            FileFormat::Toml => "toml",
         }
     }
 }
@@ -42,9 +61,10 @@ pub fn from_str(content: &str, format: FileFormat) -> Result<Scenario, ScenarioE
 /// extension.
 pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
     let path = path.as_ref();
+    let format = FileFormat::from_path(path)?;
     let content = std::fs::read_to_string(path)
         .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
-    from_str(&content, FileFormat::from_path(path)).map_err(|e| match e {
+    from_str(&content, format).map_err(|e| match e {
         ScenarioError::Parse(msg) => ScenarioError::Parse(format!("{}: {msg}", path.display())),
         other => other,
     })
@@ -69,9 +89,34 @@ mod tests {
 
     #[test]
     fn format_inference() {
-        assert_eq!(FileFormat::from_path(Path::new("a.json")), FileFormat::Json);
-        assert_eq!(FileFormat::from_path(Path::new("a.toml")), FileFormat::Toml);
-        assert_eq!(FileFormat::from_path(Path::new("a")), FileFormat::Toml);
+        let infer = |p: &str| FileFormat::from_path(Path::new(p));
+        assert_eq!(infer("a.json").unwrap(), FileFormat::Json);
+        assert_eq!(infer("a.toml").unwrap(), FileFormat::Toml);
+        // Extensionless stays TOML (stdin-ish uses), but any *other*
+        // extension is rejected up front with the supported list instead of
+        // falling through to a baffling TOML parse error.
+        assert_eq!(infer("a").unwrap(), FileFormat::Toml);
+        for bad in ["fleet.yaml", "s.yml", "s.csv", "s.TOML"] {
+            let err = infer(bad).unwrap_err().to_string();
+            assert!(
+                err.contains("unrecognized scenario file extension"),
+                "{err}"
+            );
+            assert!(err.contains(".toml") && err.contains(".json"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
+        assert_eq!(FileFormat::Json.extension(), "json");
+        assert_eq!(FileFormat::Toml.extension(), "toml");
+    }
+
+    #[test]
+    fn load_rejects_unrecognized_extension_before_reading() {
+        // The path need not even exist: the extension gate fires first.
+        let err = load("/nonexistent/fleet.yaml").unwrap_err().to_string();
+        assert!(
+            err.contains("unrecognized scenario file extension"),
+            "{err}"
+        );
     }
 
     #[test]

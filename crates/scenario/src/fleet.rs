@@ -1,0 +1,466 @@
+//! Directory fleets: discover, load and (cache-aware) run a directory of
+//! scenario files as one batch.
+//!
+//! `wsnem run <dir>` walks the directory's `.toml`/`.json` files in sorted
+//! name order (skipping dotfiles, subdirectories and the generator's
+//! `manifest.json`), loads each as a [`Scenario`], rejects two files that
+//! declare the same scenario name, and runs the lot through the batch
+//! runner — answering from the [`ResultCache`] where the content hash
+//! matches, so a warm re-run after editing 3 of 1000 files simulates
+//! exactly 3.
+//!
+//! Cached reports are returned **verbatim** (timing fields included),
+//! which is what makes a warm run's merged CSV/JSON byte-identical to the
+//! cold run that populated the cache.
+
+use std::path::{Path, PathBuf};
+
+use crate::cache::{CacheMode, CacheStats, ResultCache};
+use crate::error::ScenarioError;
+use crate::files;
+use crate::gen::MANIFEST_FILE;
+use crate::report::ScenarioReport;
+use crate::runner::{run_batch_with_metrics, BatchMetrics, BatchProgress};
+use crate::schema::Scenario;
+
+/// Scenario files in `dir`, sorted by file name: every `.toml`/`.json`
+/// regular file except dotfiles and the generator's `manifest.json`.
+/// Subdirectories (including `.wsnem-cache/`) are not descended into.
+pub fn discover(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>, ScenarioError> {
+    let dir = dir.as_ref();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| ScenarioError::Io(format!("{}: {e}", dir.display())))?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| ScenarioError::Io(format!("{}: {e}", dir.display())))?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with('.') || name == MANIFEST_FILE {
+            continue;
+        }
+        if matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("toml") | Some("json")
+        ) {
+            paths.push(path);
+        }
+    }
+    if paths.is_empty() {
+        return Err(ScenarioError::Io(format!(
+            "{}: no scenario files (*.toml / *.json) found",
+            dir.display()
+        )));
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// [`discover`] + load: every scenario in the directory, paired with its
+/// file path, in sorted file-name order. Two files declaring the same
+/// scenario name are an error naming both files — duplicate keys would
+/// collide in the merged CSV/JSON and in the result cache.
+pub fn load_dir(dir: impl AsRef<Path>) -> Result<Vec<(PathBuf, Scenario)>, ScenarioError> {
+    let paths = discover(dir)?;
+    let mut out: Vec<(PathBuf, Scenario)> = Vec::with_capacity(paths.len());
+    for path in paths {
+        let scenario = files::load(&path)?;
+        if let Some((prev, _)) = out.iter().find(|(_, s)| s.name == scenario.name) {
+            return Err(ScenarioError::Invalid(format!(
+                "duplicate scenario name `{}`: declared by both {} and {}",
+                scenario.name,
+                prev.display(),
+                path.display()
+            )));
+        }
+        out.push((path, scenario));
+    }
+    Ok(out)
+}
+
+/// Run a batch with per-scenario result caching.
+///
+/// `caches[i]` is the cache to consult/populate for `scenarios[i]` (`None`
+/// opts that scenario out, whatever the mode — the CLI uses this for
+/// builtins running alongside a fleet). Under [`CacheMode::ReadWrite`],
+/// hits are answered from the cache without simulating; under
+/// [`CacheMode::Refresh`] everything is simulated and re-stored; under
+/// [`CacheMode::Disabled`] the caches are never touched.
+///
+/// Results come back in input order, cache hits returned verbatim. The
+/// returned [`BatchMetrics`] covers the whole call (hits resolve in the
+/// wall-clock but add no busy time), and [`CacheStats`] counts hits vs
+/// simulated scenarios. The progress callback fires once per scenario —
+/// hits first, then misses as workers finish them.
+pub fn run_cached(
+    scenarios: &[Scenario],
+    caches: &[Option<&ResultCache>],
+    threads: Option<usize>,
+    mode: CacheMode,
+    on_done: Option<BatchProgress<'_>>,
+) -> (
+    Vec<Result<ScenarioReport, ScenarioError>>,
+    BatchMetrics,
+    CacheStats,
+) {
+    assert_eq!(scenarios.len(), caches.len(), "one cache slot per scenario");
+    let started = std::time::Instant::now();
+    let n = scenarios.len();
+
+    // Resolve hits up front; everything else joins the simulation batch.
+    let mut slots: Vec<Option<Result<ScenarioReport, ScenarioError>>> =
+        (0..n).map(|_| None).collect();
+    let mut to_run: Vec<usize> = Vec::with_capacity(n);
+    let mut hits = 0usize;
+    for (i, s) in scenarios.iter().enumerate() {
+        let cached = match (mode, caches[i]) {
+            (CacheMode::ReadWrite, Some(cache)) => cache.lookup(s).unwrap_or(None),
+            _ => None,
+        };
+        match cached {
+            Some(report) => {
+                hits += 1;
+                if let Some(cb) = on_done {
+                    cb(hits, n, &s.name);
+                }
+                slots[i] = Some(Ok(report));
+            }
+            None => to_run.push(i),
+        }
+    }
+
+    // Simulate the misses as one batch; offset the progress count past the
+    // hits so the user sees one monotone [done/total] sequence.
+    let misses = to_run.len();
+    let mut inner_workers = 0;
+    let mut busy_seconds = 0.0;
+    if misses > 0 {
+        let subset: Vec<Scenario> = to_run.iter().map(|&i| scenarios[i].clone()).collect();
+        let offset_cb = on_done
+            .map(|cb| move |done: usize, _total: usize, name: &str| cb(hits + done, n, name));
+        let (results, inner) = run_batch_with_metrics(
+            &subset,
+            threads,
+            offset_cb
+                .as_ref()
+                .map(|cb| cb as &(dyn Fn(usize, usize, &str) + Sync)),
+        );
+        inner_workers = inner.workers;
+        busy_seconds = inner.busy_seconds;
+        for (&i, result) in to_run.iter().zip(results) {
+            if let (Ok(report), Some(cache)) = (&result, caches[i]) {
+                if mode != CacheMode::Disabled {
+                    // A failed store must not fail the run; the report is
+                    // in hand either way.
+                    let _ = cache.store(&scenarios[i], report);
+                }
+            }
+            slots[i] = Some(result);
+        }
+    }
+
+    let results: Vec<_> = slots
+        .into_iter()
+        .map(|s| s.expect("every scenario resolved"))
+        .collect();
+    let metrics = BatchMetrics::new(
+        n,
+        inner_workers.max(1),
+        started.elapsed().as_secs_f64(),
+        busy_seconds,
+    );
+    (results, metrics, CacheStats { hits, misses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+    use crate::files::FileFormat;
+    use crate::gen::{self, FieldSpec, GenField, GenMethod, GenSpec};
+    use wsnem_core::BackendId;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wsnem-fleet-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn quick(mut s: Scenario) -> Scenario {
+        s.cpu = s.cpu.with_replications(2).with_horizon(200.0);
+        s.backends = vec![BackendId::Markov];
+        s
+    }
+
+    fn write(dir: &Path, name: &str, s: &Scenario, format: FileFormat) {
+        std::fs::write(dir.join(name), files::to_string(s, format).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn discover_filters_and_sorts() {
+        let dir = temp_dir("discover");
+        let a = quick(builtin::paper_defaults());
+        write(&dir, "b.toml", &a, FileFormat::Toml);
+        write(&dir, "a.json", &a, FileFormat::Json);
+        std::fs::write(dir.join("manifest.json"), "{}").unwrap();
+        std::fs::write(dir.join(".hidden.toml"), "").unwrap();
+        std::fs::write(dir.join("notes.txt"), "").unwrap();
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        write(&dir, "sub/c.toml", &a, FileFormat::Toml);
+
+        let names: Vec<String> = discover(&dir)
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["a.json", "b.toml"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let dir = temp_dir("empty");
+        let err = discover(&dir).unwrap_err().to_string();
+        assert!(err.contains("no scenario files"), "{err}");
+        let err = discover(dir.join("missing")).unwrap_err().to_string();
+        assert!(err.contains("missing"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_rejects_duplicate_scenario_names() {
+        let dir = temp_dir("dups");
+        let s = quick(builtin::paper_defaults());
+        write(&dir, "first.toml", &s, FileFormat::Toml);
+        write(&dir, "second.json", &s, FileFormat::Json);
+        let err = load_dir(&dir).unwrap_err().to_string();
+        assert!(err.contains("duplicate scenario name"), "{err}");
+        assert!(err.contains("paper-defaults"), "{err}");
+        assert!(
+            err.contains("first.toml") && err.contains("second.json"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_dir_returns_sorted_valid_fleet() {
+        let dir = temp_dir("load");
+        let spec = GenSpec {
+            method: GenMethod::Grid,
+            count: 0,
+            seed: 1,
+            prefix: "pt".into(),
+            fields: vec![FieldSpec {
+                field: GenField::Lambda,
+                min: 0.25,
+                max: 0.75,
+                points: Some(4),
+            }],
+        };
+        gen::write_fleet(
+            &dir,
+            &quick(builtin::paper_defaults()),
+            &spec,
+            FileFormat::Toml,
+        )
+        .unwrap();
+        let fleet = load_dir(&dir).unwrap();
+        assert_eq!(fleet.len(), 4);
+        let names: Vec<&str> = fleet.iter().map(|(_, s)| s.name.as_str()).collect();
+        assert_eq!(names, vec!["pt-1", "pt-2", "pt-3", "pt-4"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_cached_hits_on_identical_rerun_and_respects_modes() {
+        let dir = temp_dir("modes");
+        let cache = ResultCache::open_under(&dir).unwrap();
+        let mut a = quick(builtin::paper_defaults());
+        a.name = "a".into();
+        let mut b = quick(builtin::paper_defaults());
+        b.name = "b".into();
+        let scenarios = vec![a.clone(), b.clone()];
+        let caches = vec![Some(&cache), Some(&cache)];
+
+        // Cold: all misses, cache populated.
+        let (cold, metrics, stats) =
+            run_cached(&scenarios, &caches, Some(1), CacheMode::ReadWrite, None);
+        assert_eq!(stats, CacheStats { hits: 0, misses: 2 });
+        assert_eq!(metrics.scenarios, 2);
+        assert_eq!(cache.len(), 2);
+
+        // Warm: all hits, reports bit-identical, no busy time.
+        let (warm, metrics, stats) =
+            run_cached(&scenarios, &caches, Some(1), CacheMode::ReadWrite, None);
+        assert_eq!(stats, CacheStats { hits: 2, misses: 0 });
+        assert_eq!(metrics.busy_seconds, 0.0);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.as_ref().unwrap(), w.as_ref().unwrap());
+        }
+
+        // Editing one scenario re-simulates exactly that one.
+        let mut edited = scenarios.clone();
+        edited[1].cpu = edited[1].cpu.with_power_down_threshold(0.25);
+        let (_, _, stats) = run_cached(&edited, &caches, Some(1), CacheMode::ReadWrite, None);
+        assert_eq!(stats, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 3, "the edited variant was stored too");
+
+        // Refresh recomputes everything but restores entries.
+        let (_, _, stats) = run_cached(&scenarios, &caches, Some(1), CacheMode::Refresh, None);
+        assert_eq!(stats, CacheStats { hits: 0, misses: 2 });
+
+        // Disabled neither reads nor writes.
+        let before = cache.len();
+        let (_, _, stats) = run_cached(&scenarios, &caches, Some(1), CacheMode::Disabled, None);
+        assert_eq!(stats, CacheStats { hits: 0, misses: 2 });
+        assert_eq!(cache.len(), before);
+
+        // A None slot opts a scenario out even in ReadWrite mode.
+        let (_, _, stats) = run_cached(
+            &scenarios,
+            &[Some(&cache), None],
+            Some(1),
+            CacheMode::ReadWrite,
+            None,
+        );
+        assert_eq!(stats, CacheStats { hits: 1, misses: 1 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_cached_progress_counts_are_monotone_across_hits_and_misses() {
+        let dir = temp_dir("progress");
+        let cache = ResultCache::open_under(&dir).unwrap();
+        let mut scenarios = Vec::new();
+        for i in 0..4 {
+            let mut s = quick(builtin::paper_defaults());
+            s.name = format!("p{i}");
+            scenarios.push(s);
+        }
+        let caches: Vec<Option<&ResultCache>> = scenarios.iter().map(|_| Some(&cache)).collect();
+        // Prime two of the four.
+        let (_, _, _) = run_cached(
+            &scenarios[..2],
+            &caches[..2],
+            Some(1),
+            CacheMode::ReadWrite,
+            None,
+        );
+        let seen = std::sync::Mutex::new(Vec::new());
+        let cb = |done: usize, total: usize, name: &str| {
+            seen.lock().unwrap().push((done, total, name.to_owned()));
+        };
+        let (results, _, stats) = run_cached(
+            &scenarios,
+            &caches,
+            Some(2),
+            CacheMode::ReadWrite,
+            Some(&cb),
+        );
+        assert_eq!(stats, CacheStats { hits: 2, misses: 2 });
+        assert!(results.iter().all(|r| r.is_ok()));
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 4);
+        let counts: Vec<usize> = seen.iter().map(|(d, _, _)| *d).collect();
+        assert_eq!(counts, vec![1, 2, 3, 4], "hits first, then misses");
+        assert!(seen.iter().all(|(_, t, _)| *t == 4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fifty_scenario_generated_fleet_is_bit_identical_warm() {
+        // The cache battery at fleet scale: generate a 50-scenario Latin
+        // hypercube, run it cold, then warm — every warm report (and its
+        // serialized form) must be bit-identical to the cold run's, with
+        // all 50 answered from the cache and zero busy time.
+        let dir = temp_dir("fifty");
+        let spec = GenSpec {
+            method: GenMethod::LatinHypercube,
+            count: 50,
+            seed: 7,
+            prefix: "lhs".into(),
+            fields: vec![
+                FieldSpec {
+                    field: GenField::Lambda,
+                    min: 0.25,
+                    max: 0.75,
+                    points: None,
+                },
+                FieldSpec {
+                    field: GenField::ServiceMean,
+                    min: 0.0625,
+                    max: 0.125,
+                    points: None,
+                },
+            ],
+        };
+        gen::write_fleet(
+            &dir,
+            &quick(builtin::paper_defaults()),
+            &spec,
+            FileFormat::Toml,
+        )
+        .unwrap();
+        let fleet = load_dir(&dir).unwrap();
+        assert_eq!(fleet.len(), 50);
+        let scenarios: Vec<Scenario> = fleet.into_iter().map(|(_, s)| s).collect();
+        let cache = ResultCache::open_under(&dir).unwrap();
+        let caches: Vec<Option<&ResultCache>> = scenarios.iter().map(|_| Some(&cache)).collect();
+
+        let (cold, _, stats) = run_cached(&scenarios, &caches, None, CacheMode::ReadWrite, None);
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 0,
+                misses: 50
+            }
+        );
+        let (warm, metrics, stats) =
+            run_cached(&scenarios, &caches, None, CacheMode::ReadWrite, None);
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 50,
+                misses: 0
+            }
+        );
+        assert_eq!(metrics.busy_seconds, 0.0);
+        for (c, w) in cold.iter().zip(&warm) {
+            let (c, w) = (c.as_ref().unwrap(), w.as_ref().unwrap());
+            assert_eq!(c, w);
+            assert_eq!(
+                serde_json::to_string(c).unwrap(),
+                serde_json::to_string(w).unwrap(),
+                "serialized report must round-trip bit-identically"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_cached_preserves_input_order_and_isolates_failures() {
+        let dir = temp_dir("order");
+        let cache = ResultCache::open_under(&dir).unwrap();
+        let mut good = quick(builtin::paper_defaults());
+        good.name = "good".into();
+        let mut bad = quick(builtin::paper_defaults());
+        bad.name = "bad".into();
+        bad.backends.clear(); // fails validation at run time
+        let scenarios = vec![bad, good];
+        let caches = vec![Some(&cache), Some(&cache)];
+        let (results, _, stats) =
+            run_cached(&scenarios, &caches, Some(2), CacheMode::ReadWrite, None);
+        assert!(results[0].is_err());
+        assert_eq!(results[1].as_ref().unwrap().scenario, "good");
+        assert_eq!(stats, CacheStats { hits: 0, misses: 2 });
+        // The failure was not cached; the success was.
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

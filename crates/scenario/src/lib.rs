@@ -33,6 +33,14 @@
 //! columns; files that name no radio keep the historical `cc2420-class`
 //! preset and analyze identically.
 //!
+//! The fleet layer scales all of this from one file to thousands: [`gen`]
+//! samples a declared parameter space (grid / seeded random / Latin
+//! hypercube) into a directory of scenario files with a reproducibility
+//! manifest, [`fleet`] discovers and runs such a directory as one batch,
+//! and [`cache`] keys finished reports on a stable content hash of each
+//! scenario's canonical serialization (`.wsnem-cache/`), so re-running a
+//! 1000-file fleet after editing 3 files simulates exactly 3.
+//!
 //! A [`builtin`] library of twelve scenarios (paper baseline,
 //! threshold-tuning sweep, bursty surveillance traffic, habitat monitoring,
 //! a heterogeneous star, three multi-hop topologies, the large-D stress
@@ -56,16 +64,21 @@
 #![warn(missing_docs)]
 
 pub mod builtin;
+pub mod cache;
 pub mod compare;
 pub mod error;
 pub mod files;
+pub mod fleet;
+pub mod gen;
 pub mod report;
 pub mod runner;
 pub mod schema;
 
+pub use cache::{CacheMode, CacheStats, ResultCache};
 pub use compare::{compare_scenario, compare_scenario_with, CompareReport};
 pub use error::ScenarioError;
 pub use files::{load, FileFormat};
+pub use gen::{FieldSpec, GenField, GenMethod, GenSpec};
 // Re-exported so consumers of `TopologySpec::build_next_hops` /
 // `NetworkSpec::build_network` (e.g. the CLI) need no direct wsn dependency.
 pub use report::{

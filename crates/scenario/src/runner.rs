@@ -35,7 +35,14 @@ pub struct BatchMetrics {
 }
 
 impl BatchMetrics {
-    fn new(scenarios: usize, workers: usize, wall_seconds: f64, busy_seconds: f64) -> Self {
+    // pub(crate): the fleet runner rebuilds whole-fleet metrics around the
+    // cached/simulated split.
+    pub(crate) fn new(
+        scenarios: usize,
+        workers: usize,
+        wall_seconds: f64,
+        busy_seconds: f64,
+    ) -> Self {
         let capacity = wall_seconds * workers as f64;
         BatchMetrics {
             scenarios,

@@ -1,0 +1,144 @@
+//! Stable, platform-independent content hashing.
+//!
+//! The scenario result cache keys finished reports on a hash of each
+//! scenario's canonical serialization, so the hash must be **stable**: the
+//! same bytes must produce the same digest on every platform, every build
+//! and for the lifetime of this repository. `std::hash` deliberately makes
+//! no such promise (SipHash keys are randomized per process), so this
+//! module implements 128-bit FNV-1a from its published constants — tiny,
+//! dependency-free and byte-order independent.
+//!
+//! This is a *content fingerprint*, not a cryptographic hash: collisions
+//! are astronomically unlikely for honest inputs but constructible by an
+//! adversary. Consumers that must be collision-proof (the result cache)
+//! store the full key next to the value and verify it on lookup.
+
+/// FNV-1a 128-bit offset basis (the published constant).
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime, `2^88 + 2^8 + 0x3b`.
+const FNV128_PRIME: u128 = 0x1000000000000000000013b;
+
+/// Streaming 128-bit FNV-1a hasher.
+///
+/// ```
+/// use wsnem_stats::hash::StableHasher;
+///
+/// let mut h = StableHasher::new();
+/// h.write(b"hello ");
+/// h.write(b"world");
+/// assert_eq!(h.finish(), StableHasher::hash_bytes(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Fold `bytes` into the running digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Fold a length-prefixed byte string in, so `("ab", "c")` and
+    /// `("a", "bc")` cannot collide when hashing several fields.
+    pub fn write_delimited(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+
+    /// The current digest as 32 lowercase hex characters (the cache's
+    /// file-name form).
+    pub fn finish_hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+
+    /// One-shot digest of a byte string.
+    pub fn hash_bytes(bytes: &[u8]) -> u128 {
+        let mut h = Self::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+/// One-shot 128-bit FNV-1a digest of a byte string.
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    StableHasher::hash_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference values computed from the published offset/prime pair
+        // (Fowler/Noll/Vo); the empty string hashes to the offset basis.
+        assert_eq!(fnv1a128(b""), FNV128_OFFSET);
+        assert_eq!(fnv1a128(b"a"), 0xd228cb696f1a8caf78912b704e4a8964);
+        assert_eq!(fnv1a128(b"foobar"), 0x343e1662793c64bf6f0d3597ba446f18);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot_and_is_order_sensitive() {
+        let mut h = StableHasher::new();
+        h.write(b"scenario:");
+        h.write(b"paper-defaults");
+        assert_eq!(h.finish(), fnv1a128(b"scenario:paper-defaults"));
+        assert_ne!(fnv1a128(b"ab"), fnv1a128(b"ba"));
+        assert_ne!(fnv1a128(b"a"), fnv1a128(b"a\0"));
+    }
+
+    #[test]
+    fn delimited_fields_cannot_shift_bytes_across_boundaries() {
+        let digest = |parts: &[&[u8]]| {
+            let mut h = StableHasher::new();
+            for p in parts {
+                h.write_delimited(p);
+            }
+            h.finish()
+        };
+        assert_ne!(digest(&[b"ab", b"c"]), digest(&[b"a", b"bc"]));
+        assert_eq!(digest(&[b"ab", b"c"]), digest(&[b"ab", b"c"]));
+    }
+
+    #[test]
+    fn hex_form_is_32_lowercase_chars() {
+        let mut h = StableHasher::new();
+        h.write(b"x");
+        let hex = h.finish_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(hex, format!("{:032x}", h.finish()));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_digest() {
+        let base = fnv1a128(b"wsnem scenario bytes");
+        for i in 0..8 {
+            let mut flipped = b"wsnem scenario bytes".to_vec();
+            flipped[3] ^= 1 << i;
+            assert_ne!(base, fnv1a128(&flipped), "bit {i}");
+        }
+    }
+}

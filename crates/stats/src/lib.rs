@@ -23,6 +23,8 @@
 //! * [`mser`] — MSER-style warm-up (initial transient) truncation.
 //! * [`compare`] — series-comparison metrics (MAE, RMSE, max-abs) used to
 //!   regenerate the paper's Δ tables.
+//! * [`hash`] — stable 128-bit FNV-1a content fingerprints (the scenario
+//!   result cache's key function; `std::hash` is randomized per process).
 //! * [`pq`] — the cancellable tombstone timer heap shared by the DES kernel
 //!   and the EDSPN token-game engine (O(log n) schedule/pop, O(1) cancel).
 
@@ -37,6 +39,7 @@ pub mod ci;
 pub mod compare;
 pub mod dist;
 pub mod error;
+pub mod hash;
 pub mod histogram;
 pub mod mser;
 pub mod online;
@@ -49,6 +52,7 @@ pub use ci::{normal_quantile, t_quantile, ConfidenceInterval};
 pub use compare::{max_abs_error, mean_abs_error, rmse};
 pub use dist::{Dist, Sample};
 pub use error::StatsError;
+pub use hash::{fnv1a128, StableHasher};
 pub use histogram::Histogram;
 pub use online::{MinMax, Welford};
 pub use pq::{EventId, EventQueue};
