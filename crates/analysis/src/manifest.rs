@@ -1,0 +1,252 @@
+//! Fleet-manifest verification (`wsnem gen --check`): does a generated
+//! directory still match its `manifest.json`?
+//!
+//! The manifest records the generator spec, the base scenario and the file
+//! list; regenerating the fleet from it is bit-deterministic, so the
+//! expected content of every file is known exactly. The checks:
+//!
+//! * a listed file missing on disk — [`crate::lints::MANIFEST_MISMATCH`],
+//!   with a rename hint when an unlisted file carries the missing content;
+//! * a listed file whose scenario drifted from the regenerated one —
+//!   [`crate::lints::MANIFEST_MISMATCH`] naming the first differing field;
+//! * a scenario file on disk the manifest does not list —
+//!   [`crate::lints::MANIFEST_EXTRA_FILE`].
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use wsnem_scenario::gen::{self, Manifest};
+use wsnem_scenario::{files, Scenario};
+
+use crate::diag::{Diagnostic, Location};
+use crate::lints;
+
+/// Verify `dir` against its `manifest.json`.
+pub fn check_fleet_dir(dir: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let manifest_path = dir.join(gen::MANIFEST_FILE);
+    let loc = Location::default().with_file(manifest_path.display().to_string());
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(e) => {
+            out.push(
+                lints::MANIFEST_MISMATCH
+                    .at(loc, format!("cannot read manifest: {e}"))
+                    .with_help("generate the fleet with `wsnem gen <DIR> ...` first"),
+            );
+            return out;
+        }
+    };
+    let manifest: Manifest = match serde_json::from_str(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            out.push(lints::MANIFEST_MISMATCH.at(loc, format!("manifest does not parse: {e}")));
+            return out;
+        }
+    };
+    let expected = match gen::generate(&manifest.base, &manifest.spec) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            out.push(
+                lints::MANIFEST_MISMATCH
+                    .at(loc, format!("the recorded spec no longer regenerates: {e}")),
+            );
+            return out;
+        }
+    };
+    if expected.len() != manifest.files.len() {
+        out.push(lints::MANIFEST_MISMATCH.at(
+            loc,
+            format!(
+                "the recorded spec regenerates {} scenario(s) but the manifest lists \
+                 {} file(s)",
+                expected.len(),
+                manifest.files.len()
+            ),
+        ));
+        return out;
+    }
+
+    // Parse every unlisted scenario file once, so missing-file checks can
+    // suggest renames by content.
+    let mut extras: BTreeMap<String, Option<Scenario>> = BTreeMap::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let is_scenario = name.ends_with(".toml") || name.ends_with(".json");
+            if !is_scenario
+                || name == gen::MANIFEST_FILE
+                || manifest.files.iter().any(|f| f == &name)
+            {
+                continue;
+            }
+            extras.insert(name.clone(), files::parse(entry.path()).ok());
+        }
+    }
+
+    for (file, want) in manifest.files.iter().zip(&expected) {
+        let path = dir.join(file);
+        let floc = Location::default().with_file(path.display().to_string());
+        if !path.is_file() {
+            let renamed = extras
+                .iter()
+                .find(|(_, parsed)| parsed.as_ref() == Some(want))
+                .map(|(name, _)| name.clone());
+            let mut d =
+                lints::MANIFEST_MISMATCH.at(floc, "listed in the manifest but missing on disk");
+            d = match renamed {
+                Some(name) => d.with_help(format!(
+                    "`{name}` carries this scenario's exact content — renamed? \
+                     restore the manifest name or regenerate"
+                )),
+                None => d.with_help("regenerate the fleet with `wsnem gen`"),
+            };
+            out.push(d);
+            continue;
+        }
+        match files::parse(&path) {
+            Err(e) => out.push(lints::MANIFEST_MISMATCH.at(floc, format!("unreadable: {e}"))),
+            Ok(got) if &got != want => {
+                out.push(
+                    lints::MANIFEST_MISMATCH
+                        .at(
+                            floc.with_field(first_difference(want, &got)),
+                            "content drifted from what the manifest's spec regenerates",
+                        )
+                        .with_help(
+                            "either re-run `wsnem gen` to restore the file, or treat the \
+                             edit as a new hand-authored scenario outside the fleet",
+                        ),
+                );
+            }
+            Ok(_) => {}
+        }
+    }
+
+    for name in extras.keys() {
+        out.push(
+            lints::MANIFEST_EXTRA_FILE
+                .at(
+                    Location::default().with_file(dir.join(name).display().to_string()),
+                    "scenario file is not listed in the manifest",
+                )
+                .with_help(
+                    "fleet runs will pick it up anyway; regenerate with `wsnem gen` or \
+                     move hand-authored scenarios out of the fleet directory",
+                ),
+        );
+    }
+    out
+}
+
+/// Name the first field where two scenarios differ — enough context to act
+/// on without diffing serializations by hand.
+fn first_difference(want: &Scenario, got: &Scenario) -> String {
+    let fields: &[(&str, bool)] = &[
+        ("schema_version", want.schema_version != got.schema_version),
+        ("name", want.name != got.name),
+        ("description", want.description != got.description),
+        ("cpu", want.cpu != got.cpu),
+        ("profile", want.profile != got.profile),
+        ("battery", want.battery != got.battery),
+        ("workload", want.workload != got.workload),
+        ("service", want.service != got.service),
+        ("backends", want.backends != got.backends),
+        ("report", want.report != got.report),
+        ("sweep", want.sweep != got.sweep),
+        ("network", want.network != got.network),
+    ];
+    fields
+        .iter()
+        .find(|(_, differs)| *differs)
+        .map(|(name, _)| (*name).to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnem_scenario::gen::{write_fleet, GenSpec};
+    use wsnem_scenario::{builtin, FieldSpec, FileFormat, GenField, GenMethod};
+
+    fn fresh_fleet(tag: &str) -> (std::path::PathBuf, Manifest) {
+        let dir = std::env::temp_dir().join(format!("wsnem-analysis-manifest-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = GenSpec {
+            method: GenMethod::Grid,
+            count: 0,
+            seed: 7,
+            prefix: "fleet".into(),
+            fields: vec![FieldSpec {
+                field: GenField::Lambda,
+                min: 0.25,
+                max: 0.75,
+                points: Some(3),
+            }],
+        };
+        let manifest = write_fleet(&dir, &builtin::paper_defaults(), &spec, FileFormat::Toml)
+            .expect("fleet generates");
+        (dir, manifest)
+    }
+
+    #[test]
+    fn pristine_fleet_is_clean() {
+        let (dir, _) = fresh_fleet("clean");
+        assert_eq!(check_fleet_dir(&dir), Vec::new());
+    }
+
+    #[test]
+    fn missing_listed_file_is_e009() {
+        let (dir, m) = fresh_fleet("missing");
+        std::fs::remove_file(dir.join(&m.files[0])).expect("file exists");
+        let diags = check_fleet_dir(&dir);
+        assert!(diags.iter().any(|d| d.code == "E009"), "{diags:?}");
+    }
+
+    #[test]
+    fn renamed_file_is_e009_plus_w004_with_hint() {
+        let (dir, m) = fresh_fleet("renamed");
+        std::fs::rename(dir.join(&m.files[0]), dir.join("sneaky.toml")).expect("rename");
+        let diags = check_fleet_dir(&dir);
+        let missing = diags
+            .iter()
+            .find(|d| d.code == "E009")
+            .expect("missing file diagnosed");
+        assert!(
+            missing
+                .help
+                .as_deref()
+                .is_some_and(|h| h.contains("sneaky.toml")),
+            "{missing:?}"
+        );
+        assert!(diags.iter().any(|d| d.code == "W004"), "{diags:?}");
+    }
+
+    #[test]
+    fn drifted_content_is_e009_naming_the_field() {
+        let (dir, m) = fresh_fleet("drift");
+        let path = dir.join(&m.files[1]);
+        let mut s = files::load(&path).expect("loads");
+        s.cpu.lambda *= 2.0;
+        std::fs::write(
+            &path,
+            files::to_string(&s, FileFormat::Toml).expect("renders"),
+        )
+        .expect("writes");
+        let diags = check_fleet_dir(&dir);
+        let hit = diags
+            .iter()
+            .find(|d| d.code == "E009")
+            .expect("drift diagnosed");
+        assert_eq!(hit.location.field.as_deref(), Some("cpu"));
+    }
+
+    #[test]
+    fn missing_manifest_is_e009() {
+        let dir = std::env::temp_dir().join("wsnem-analysis-manifest-none");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let diags = check_fleet_dir(&dir);
+        assert!(diags.iter().any(|d| d.code == "E009"), "{diags:?}");
+    }
+}

@@ -3,6 +3,7 @@
 //!
 //! These quantify the substrate costs behind the §6 trade-off discussion.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use std::hint::black_box;
 use wsnem_bench::harness::{BenchmarkId, Criterion, Throughput};
 use wsnem_bench::{criterion_group, criterion_main};

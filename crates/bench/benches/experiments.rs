@@ -4,6 +4,7 @@
 //! trade-off claim ("Petri nets need long simulation; Markov models evaluate
 //! an expression").
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use std::hint::black_box;
 use wsnem_bench::harness::Criterion;
 use wsnem_bench::{criterion_group, criterion_main};

@@ -4,6 +4,7 @@
 //!
 //! Usage: `cargo run --release -p wsnem-bench --bin ablation_convergence [--quick]`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_bench::{f, quick_mode, render_table};
 use wsnem_core::experiments::convergence_ablation;
 use wsnem_core::CpuModelParams;

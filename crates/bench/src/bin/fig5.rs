@@ -6,6 +6,7 @@
 //!
 //! Usage: `cargo run --release -p wsnem-bench --bin fig5 [--quick]`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_bench::{f, quick_mode, render_table};
 use wsnem_core::experiments::ThresholdSweep;
 use wsnem_core::{BackendId, CpuModelParams, MarkovCpuModel};

@@ -22,6 +22,7 @@
 //! non-zero. Min (not mean) is compared, so background load on a shared
 //! runner inflates the figure far less than it would the average.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use std::time::{Duration, Instant};
 
 use wsnem_bench::nets::{relay_ring_net, vanishing_pipeline_net};

@@ -2,6 +2,7 @@
 //! back from the net the library actually builds (not hard-coded), plus the
 //! structural P-invariants the state classification rests on.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_bench::render_table;
 use wsnem_core::build_cpu_edspn;
 use wsnem_petri::analysis::p_semiflows;

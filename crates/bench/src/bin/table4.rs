@@ -5,6 +5,7 @@
 //!
 //! Usage: `cargo run --release -p wsnem-bench --bin table4 [--quick]`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_bench::{f, quick_mode, render_table};
 use wsnem_core::experiments::table4;
 use wsnem_core::CpuModelParams;

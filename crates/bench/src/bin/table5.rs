@@ -3,6 +3,7 @@
 //!
 //! Usage: `cargo run --release -p wsnem-bench --bin table5 [--quick]`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_bench::{f, quick_mode, render_table};
 use wsnem_core::experiments::table5;
 use wsnem_core::CpuModelParams;

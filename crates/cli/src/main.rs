@@ -10,7 +10,9 @@
 //! wsnem gen sweep/ --field lambda=0.2:1.0:5   # generate a scenario fleet
 //! wsnem run sweep/                        # run a whole directory (cached)
 //! wsnem compare --builtin paper-defaults  # Table 4/5 matrix: every backend
-//! wsnem validate my.toml                  # parse + validate without running
+//! wsnem check my.toml sweep/              # static verification + lints
+//! wsnem check --all --deny warnings       # prove every built-in sound
+//! wsnem validate my.toml                  # schema checks only, no net passes
 //! wsnem export paper-defaults --format toml   # print a built-in as a file
 //! wsnem topology --builtin tree-collection    # inspect multi-hop routing
 //! wsnem radio --preset cc2420-class           # inspect a duty-cycle MAC
@@ -22,6 +24,10 @@
 //! scenarios from a content-hash result cache (`.wsnem-cache/` inside the
 //! directory) — see `--no-cache` / `--refresh`. Argument parsing is
 //! hand-rolled — the workspace builds offline, without clap.
+
+// The binary's `main` converts every error into an exit code; the few
+// unwraps left guard infallible conversions, where a panic is acceptable.
+#![allow(clippy::disallowed_methods)]
 
 use std::io::IsTerminal;
 use std::path::Path;
@@ -84,7 +90,17 @@ COMMANDS:
                                per-scenario phase timings (base / sweep /
                                network), per-backend solver cost and batch
                                worker utilization
-    validate <FILES..>         Parse and validate scenario files
+    check [FILES|DIRS..] [OPTIONS]
+                               Statically verify scenarios (or raw *.net.json
+                               Petri-net specs) without running them: schema
+                               and backend checks, queue stability on the
+                               forwarding-inflated arrival rate, radio airtime
+                               saturation, and net-level proofs (semiflows,
+                               deadlock, dead transitions); exits non-zero
+                               when any error-severity lint fires
+    validate <FILES..>         Schema-level checks only (check --only-schema):
+                               parse + validate scenario files, reporting
+                               every finding as a coded diagnostic
     export <NAME> [OPTIONS]    Print a built-in scenario as a file
     topology [FILE] [--builtin <NAME>]
                                Inspect a scenario's multi-hop routing:
@@ -111,6 +127,9 @@ RUN OPTIONS:
     --refresh             Re-simulate everything, overwriting cached results
     --strict              Make duplicate scenario names an error instead of a
                           skip-with-warning
+    --no-check            Skip the static preflight (run/compare check every
+                          scenario first; errors abort before any event fires,
+                          warnings go to stderr)
     --verbose, -v         Show the live progress line even without a TTY and
                           print batch metrics (workers, utilization) at the end
     --quiet, -q           Suppress the progress line and informational stderr
@@ -128,6 +147,20 @@ GEN OPTIONS:
     --builtin <NAME>      Base built-in scenario (default: paper-defaults)
     --prefix <NAME>       Scenario/file name prefix (default: fleet)
     --format <FMT>        Generated file format: toml (default), json
+    --check               Verify DIR against its manifest.json instead of
+                          generating: missing / renamed / drifted / extra
+                          files come back as manifest-mismatch diagnostics
+
+CHECK OPTIONS:
+    --all                 Check every built-in scenario
+    --builtin <NAME>      Check one built-in (repeatable)
+    --only-schema         Skip the net-level passes (what validate runs)
+    --format <FMT>        Output format: human (default), json
+    -W, --warn <LINT>     Report LINT (code or name) at warning severity
+    -D, --deny <LINT>     Report LINT at error severity; `-D warnings`
+                          escalates every warning, rustc-style
+    -A, --allow <LINT>    Suppress LINT entirely
+    --verbose, -v         Also print info-severity findings (human format)
 
 TRACE OPTIONS:
     --builtin <NAME>      Trace a built-in scenario's CPU parameters
@@ -152,6 +185,7 @@ COMPARE OPTIONS:
     --out, -o <FILE>      Write the matrix there instead of stdout
     --threads <N>         Replication worker threads (default: all cores)
     --quick               Shrink replications/horizons for a fast smoke run
+    --no-check            Skip the static preflight
     --max-delta-pp <PP>   Exit non-zero if any backend's mean |Δ| vs the
                           reference exceeds PP percentage points
 
@@ -175,6 +209,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(rest),
         "profile" => cmd_profile(rest),
         "compare" => cmd_compare(rest),
+        "check" => cmd_check(rest),
         "validate" => cmd_validate(rest),
         "export" => cmd_export(rest),
         "topology" => cmd_topology(rest),
@@ -249,6 +284,7 @@ struct RunOptions {
     no_cache: bool,
     refresh: bool,
     strict: bool,
+    no_check: bool,
     verbose: bool,
     quiet: bool,
 }
@@ -266,6 +302,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             "--no-cache" => o.no_cache = true,
             "--refresh" => o.refresh = true,
             "--strict" => o.strict = true,
+            "--no-check" => o.no_check = true,
             "--verbose" | "-v" => o.verbose = true,
             "--quiet" | "-q" => o.quiet = true,
             "--builtin" => o.builtins.push(required(&mut it, "--builtin <NAME>")?),
@@ -441,12 +478,13 @@ fn gather_scenarios(o: &RunOptions, command: &str) -> Result<Gathered, String> {
         )?;
     }
     // Positional paths: plain files load directly; directories walk as
-    // fleets (sorted file order, duplicate names within one directory are a
-    // hard error from the walker) and get a result cache inside them.
+    // fleets (sorted file order) and get a result cache inside them. Files
+    // parse *without* validating — the preflight below reports every
+    // semantic problem as a coded diagnostic instead of one hard error.
     let dirs = o.dirs.iter().map(|d| (d, true));
     for (path, forced_dir) in o.paths.iter().map(|p| (p, false)).chain(dirs) {
         if forced_dir || Path::new(path).is_dir() {
-            let fleet = fleet::load_dir(path).map_err(|e| e.to_string())?;
+            let fleet = parse_dir(path)?;
             // `--no-cache` must not even create the cache directory.
             let cache_index = if o.no_cache {
                 None
@@ -466,7 +504,7 @@ fn gather_scenarios(o: &RunOptions, command: &str) -> Result<Gathered, String> {
             }
         } else {
             add(
-                files::load(path).map_err(|e| e.to_string())?,
+                files::parse(path).map_err(|e| e.to_string())?,
                 path.clone(),
                 None,
                 &mut scenarios,
@@ -481,6 +519,11 @@ fn gather_scenarios(o: &RunOptions, command: &str) -> Result<Gathered, String> {
              --builtin <name>, --all-files <dir> or --all"
         ));
     }
+    // Static preflight (skipped by `--no-check`): errors abort here, before
+    // a single event fires; warnings go to stderr and the run proceeds.
+    if !o.no_check {
+        preflight(&scenarios, o.quiet)?;
+    }
     // Shrink BEFORE the cache sees the scenarios: `--quick` runs hash (and
     // therefore cache) separately from full-fidelity runs.
     if o.quick {
@@ -491,6 +534,53 @@ fn gather_scenarios(o: &RunOptions, command: &str) -> Result<Gathered, String> {
         caches,
         cache_of,
     })
+}
+
+/// Discover and parse every scenario file in a fleet directory *without*
+/// validating (the preflight reports semantic problems as coded
+/// diagnostics). Parse failures stay hard errors — there is no scenario to
+/// carry into the batch.
+fn parse_dir(dir: &str) -> Result<Vec<(std::path::PathBuf, Scenario)>, String> {
+    let paths = fleet::discover(dir).map_err(|e| e.to_string())?;
+    let mut out = Vec::with_capacity(paths.len());
+    for path in paths {
+        let scenario = files::parse(&path).map_err(|e| e.to_string())?;
+        out.push((path, scenario));
+    }
+    Ok(out)
+}
+
+/// Static preflight for `run`, `profile` and `compare`: the scenario-level
+/// checks from `wsnem check --only-schema` over everything about to
+/// simulate. Net-level passes are skipped — on a scenario's own EDSPN they
+/// can only restate structural facts, and preflight must stay cheap at
+/// fleet scale. Error-severity findings abort the invocation; warnings go
+/// to stderr (suppressed by `--quiet`).
+fn preflight(scenarios: &[Scenario], quiet: bool) -> Result<(), String> {
+    let registry = wsnem_scenario::global_registry();
+    let config = wsnem_analysis::LintConfig::default();
+    let opts = wsnem_analysis::CheckOptions { only_schema: true };
+    let mut errors = 0usize;
+    for s in scenarios {
+        for d in wsnem_analysis::resolve(wsnem_analysis::check_scenario(s, registry, opts), &config)
+        {
+            match d.severity {
+                wsnem_analysis::Severity::Error => {
+                    errors += 1;
+                    eprintln!("{d}");
+                }
+                wsnem_analysis::Severity::Warning if !quiet => eprintln!("{d}"),
+                _ => {}
+            }
+        }
+    }
+    if errors > 0 {
+        return Err(format!(
+            "preflight found {errors} error(s); nothing was simulated \
+             (inspect with `wsnem check`, or rerun with --no-check to force)"
+        ));
+    }
+    Ok(())
 }
 
 /// One-line batch metrics footer shared by the summary format, `-v` and
@@ -733,9 +823,11 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let mut base_builtin: Option<String> = None;
     let mut prefix = "fleet".to_owned();
     let mut format = FileFormat::Toml;
+    let mut check = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--check" => check = true,
             "--field" => fields.push(parse_field_spec(&required(&mut it, "--field <SPEC>")?)?),
             "--method" => {
                 let v = required(&mut it, "--method <M>")?;
@@ -777,6 +869,31 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         }
     }
     let dir = dir.ok_or("gen expects an output directory")?;
+    if check {
+        // Verification mode: compare the directory against what its
+        // manifest.json deterministically regenerates.
+        if !fields.is_empty() || count.is_some() || base_file.is_some() || base_builtin.is_some() {
+            return Err("--check verifies an existing fleet against its manifest; \
+                 generator options do not apply"
+                .into());
+        }
+        let resolved = wsnem_analysis::resolve(
+            wsnem_analysis::manifest::check_fleet_dir(Path::new(&dir)),
+            &wsnem_analysis::LintConfig::default(),
+        );
+        for d in &resolved {
+            outln!("{d}");
+        }
+        let c = wsnem_analysis::counts(&resolved);
+        if c.errors > 0 {
+            return Err(format!(
+                "{dir}: fleet does not match its manifest ({} error(s))",
+                c.errors
+            ));
+        }
+        eprintln!("{dir}: fleet matches its manifest");
+        return Ok(());
+    }
     if method == GenMethod::Grid && count.is_some() {
         return Err(
             "--count applies to --method random/lhs; a grid's size is the \
@@ -1028,6 +1145,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut quick = false;
+    let mut no_check = false;
     let mut max_delta_pp: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1037,6 +1155,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             "--format" => format = required(&mut it, "--format <FMT>")?,
             "--out" | "-o" => out_path = Some(required(&mut it, "--out <FILE>")?),
             "--quick" => quick = true,
+            "--no-check" => no_check = true,
             "--threads" => {
                 let v = required(&mut it, "--threads <N>")?;
                 threads =
@@ -1070,7 +1189,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             );
         }
         for dir in &dirs {
-            for (_, s) in fleet::load_dir(dir).map_err(|e| e.to_string())? {
+            for (_, s) in parse_dir(dir)? {
                 if let Some(prev) = scenarios.iter().find(|p| p.name == s.name) {
                     return Err(format!(
                         "duplicate scenario `{}` across compared directories",
@@ -1081,7 +1200,21 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             }
         }
     } else {
-        scenarios.push(resolve_scenario(file, builtin_name, "compare")?);
+        // Files parse without validating, so the preflight below can turn
+        // every semantic problem into a coded diagnostic.
+        scenarios.push(match (file, builtin_name) {
+            (Some(_), Some(_)) => {
+                return Err("pass either a scenario file or --builtin <NAME>, not both".into())
+            }
+            (None, None) => {
+                return Err("compare expects a scenario file or --builtin <NAME>".into())
+            }
+            (Some(f), None) => files::parse(&f).map_err(|e| e.to_string())?,
+            (None, Some(n)) => builtin::find(&n).map_err(|e| e.to_string())?,
+        });
+    }
+    if !no_check {
+        preflight(&scenarios, false)?;
     }
     if quick {
         for scenario in &mut scenarios {
@@ -1182,17 +1315,153 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    use wsnem_analysis::{self as analysis, Level, LintConfig};
+
+    fn set(config: &mut LintConfig, lint: &str, level: Level) -> Result<(), String> {
+        // `-D warnings` is the blanket escalation switch, rustc-style.
+        if lint.eq_ignore_ascii_case("warnings") {
+            if level == Level::Deny {
+                config.deny_warnings = true;
+                return Ok(());
+            }
+            return Err("`warnings` is a blanket switch: it only combines with -D/--deny".into());
+        }
+        config.set(lint, level)
+    }
+
+    let mut paths: Vec<String> = Vec::new();
+    let mut builtins: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut format = "human".to_owned();
+    let mut config = LintConfig::default();
+    let mut only_schema = false;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--only-schema" => only_schema = true,
+            "--verbose" | "-v" => verbose = true,
+            "--builtin" => builtins.push(required(&mut it, "--builtin <NAME>")?),
+            "--format" => format = required(&mut it, "--format <FMT>")?,
+            "-W" | "--warn" => set(&mut config, &required(&mut it, "-W <LINT>")?, Level::Warn)?,
+            "-D" | "--deny" => set(&mut config, &required(&mut it, "-D <LINT>")?, Level::Deny)?,
+            "-A" | "--allow" => set(&mut config, &required(&mut it, "-A <LINT>")?, Level::Allow)?,
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            p => paths.push(p.to_owned()),
+        }
+    }
+    if !matches!(format.as_str(), "human" | "json") {
+        return Err(format!(
+            "unknown format `{format}` (expected human or json)"
+        ));
+    }
+    if paths.is_empty() && builtins.is_empty() && !all {
+        return Err(
+            "nothing to check: pass scenario files, directories, --builtin <name> or --all".into(),
+        );
+    }
+
+    let registry = wsnem_scenario::global_registry();
+    let opts = analysis::CheckOptions { only_schema };
+    let mut diagnostics: Vec<analysis::Diagnostic> = Vec::new();
+    let mut checked = 0usize;
+    if all {
+        for s in builtin::all() {
+            checked += 1;
+            diagnostics.extend(analysis::check_scenario(&s, registry, opts));
+        }
+    }
+    for name in &builtins {
+        let s = builtin::find(name).map_err(|e| e.to_string())?;
+        checked += 1;
+        diagnostics.extend(analysis::check_scenario(&s, registry, opts));
+    }
+    // Directory targets check every file a fleet run would pick up, plus
+    // any raw `*.net.json` net specs (`check_file` dispatches on the
+    // suffix).
+    for path in &paths {
+        if Path::new(path).is_dir() {
+            for file in fleet::discover(path).map_err(|e| e.to_string())? {
+                checked += 1;
+                diagnostics.extend(analysis::check_file(&file, registry, opts));
+            }
+        } else {
+            checked += 1;
+            diagnostics.extend(analysis::check_file(Path::new(path), registry, opts));
+        }
+    }
+
+    let resolved = analysis::resolve(diagnostics, &config);
+    let counts = analysis::counts(&resolved);
+    if format == "json" {
+        // JSON carries everything; severity filtering is the consumer's
+        // call.
+        #[derive(serde::Serialize)]
+        struct CheckOutput {
+            checked: usize,
+            counts: analysis::Counts,
+            diagnostics: Vec<analysis::Diagnostic>,
+        }
+        let mut s = serde_json::to_string_pretty(&CheckOutput {
+            checked,
+            counts,
+            diagnostics: resolved,
+        })
+        .map_err(|e| e.to_string())?;
+        s.push('\n');
+        out(&s);
+    } else {
+        for d in &resolved {
+            if verbose || d.severity >= analysis::Severity::Warning {
+                outln!("{d}");
+            }
+        }
+        outln!(
+            "checked {checked} target(s): {} error(s), {} warning(s), {} info(s)",
+            counts.errors,
+            counts.warnings,
+            counts.infos
+        );
+    }
+    if counts.errors > 0 {
+        return Err(format!("check failed with {} error(s)", counts.errors));
+    }
+    Ok(())
+}
+
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     if args.is_empty() {
         return Err("validate expects at least one scenario file".into());
     }
+    // `validate` is `check --only-schema` with fixed reporting: every
+    // error-severity diagnostic prints, clean files get one ok-line, and
+    // any invalid file makes the exit status non-zero.
+    let registry = wsnem_scenario::global_registry();
+    let config = wsnem_analysis::LintConfig::default();
+    let opts = wsnem_analysis::CheckOptions { only_schema: true };
     let mut bad = 0usize;
     for file in args {
-        match files::load(file) {
-            Ok(s) => outln!("{file}: ok (scenario `{}`)", s.name),
-            Err(e) => {
-                bad += 1;
-                outln!("{file}: INVALID — {e}");
+        let diags = wsnem_analysis::resolve(
+            wsnem_analysis::check_file(Path::new(file), registry, opts),
+            &config,
+        );
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == wsnem_analysis::Severity::Error)
+            .collect();
+        if errors.is_empty() {
+            if file.ends_with(wsnem_analysis::engine::NET_SPEC_SUFFIX) {
+                outln!("{file}: ok (net spec)");
+            } else {
+                let name = files::parse(file).map(|s| s.name).unwrap_or_default();
+                outln!("{file}: ok (scenario `{name}`)");
+            }
+        } else {
+            bad += 1;
+            for d in errors {
+                outln!("{d}");
             }
         }
     }

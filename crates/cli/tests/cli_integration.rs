@@ -2,6 +2,7 @@
 //! quoting, the `topology` inspector, and the non-zero exit paths for
 //! invalid (cyclic / orphaned) topologies.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use std::path::PathBuf;
 use std::process::{Command, Output};
 

@@ -62,8 +62,12 @@ pub fn delay_sweep(
         }
     });
     let mut rows = Vec::with_capacity(n);
-    for s in slots {
-        rows.push(s.expect("all points evaluated")?);
+    for slot in slots {
+        // `chunks_mut` partitions the whole slice, so every slot was written.
+        let Some(row) = slot else {
+            unreachable!("sweep point left unevaluated")
+        };
+        rows.push(row?);
     }
     Ok(rows)
 }

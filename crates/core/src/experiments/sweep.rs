@@ -119,7 +119,12 @@ impl ThresholdSweep {
 
         let mut points = Vec::with_capacity(n);
         for slot in slots {
-            points.push(slot.expect("all points evaluated")?);
+            // `chunks_mut` partitions the whole slice, so every slot was
+            // written.
+            let Some(point) = slot else {
+                unreachable!("sweep point left unevaluated")
+            };
+            points.push(point?);
         }
         Ok(SweepResult {
             params: self.params,

@@ -41,7 +41,11 @@ fn pairwise_energy_delta(
 ) -> f64 {
     let ea = sweep.energy_series(a, profile);
     let eb = sweep.energy_series(b, profile);
-    wsnem_stats::mean_abs_error(&ea, &eb).expect("equal-length series")
+    // Both series come from the same sweep, so the lengths always match.
+    match wsnem_stats::mean_abs_error(&ea, &eb) {
+        Ok(delta) => delta,
+        Err(_) => unreachable!("energy series from one sweep differ in length"),
+    }
 }
 
 /// Table 4: Δ steady-state percentages for each Power Up Delay.

@@ -261,7 +261,9 @@ impl<'a, R: Rng64 + ?Sized, O: Observer> Runner<'a, R, O> {
         let mut think = None;
         match workload {
             Workload::Open(spec) => {
-                let mut g = WorkloadGen::new(spec.clone()).expect("validated in CpuDes::new");
+                let Ok(mut g) = WorkloadGen::new(spec.clone()) else {
+                    unreachable!("workload spec validated in CpuDes::new")
+                };
                 if O::ENABLED {
                     obs.rng_draw();
                 }
@@ -423,10 +425,10 @@ impl<'a, R: Rng64 + ?Sized, O: Observer> Runner<'a, R, O> {
     }
 
     fn handle_departure(&mut self, histogram: &mut Option<&mut wsnem_stats::Histogram>) {
-        let arrived = self
-            .serving
-            .take()
-            .expect("departure without a job in service");
+        // A Departure is only ever scheduled when a job enters service.
+        let Some(arrived) = self.serving.take() else {
+            unreachable!("departure without a job in service")
+        };
         self.completions += 1;
         self.latency.push(self.now - arrived);
         if let Some(h) = histogram {
@@ -513,11 +515,12 @@ impl<'a, R: Rng64 + ?Sized, O: Observer> Runner<'a, R, O> {
                     if O::ENABLED {
                         self.obs.rng_draw();
                     }
-                    let gap = self
-                        .open_gen
-                        .as_mut()
-                        .expect("open arrival without generator")
-                        .next_gap(self.rng);
+                    // Ev::Arrival is only scheduled for open workloads,
+                    // which construct the generator in Runner::new.
+                    let Some(gen) = self.open_gen.as_mut() else {
+                        unreachable!("open arrival without generator")
+                    };
+                    let gap = gen.next_gap(self.rng);
                     self.queue.schedule(self.now + gap, Ev::Arrival);
                 }
                 Ev::ClosedArrival => self.handle_job_arrival(),

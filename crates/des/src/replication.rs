@@ -100,10 +100,15 @@ pub fn run_replications(
         });
     }
 
-    // Ordered, deterministic reduction.
+    // Ordered, deterministic reduction. Both branches above write every
+    // slot: the serial loop visits each index, and `chunks_mut` partitions
+    // the whole slice across threads.
     let reports: Vec<CpuRunReport> = reports
         .into_iter()
-        .map(|r| r.expect("all replications filled"))
+        .map(|r| match r {
+            Some(report) => report,
+            None => unreachable!("replication slot left unfilled"),
+        })
         .collect();
     let mut fraction_stats = [Welford::new(); 4];
     let mut latency_stats = Welford::new();

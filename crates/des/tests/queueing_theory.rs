@@ -3,6 +3,7 @@
 //! (Power management disabled: `T = ∞`, `D = 0` reduce the CPU simulator to
 //! a plain single-server queue with an Idle state.)
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_des::cpu::{CpuDes, CpuSimParams};
 use wsnem_des::replication::run_replications;
 use wsnem_des::workload::{OpenWorkload, Workload};

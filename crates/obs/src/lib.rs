@@ -33,6 +33,7 @@
 //! both.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 #![warn(missing_docs)]
 
 use std::io::Write;

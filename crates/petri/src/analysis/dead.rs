@@ -1,0 +1,157 @@
+//! Dead-transition detection.
+//!
+//! Two complementary notions:
+//!
+//! * **Structurally dead** ([`structurally_dead_transitions`]): a transition
+//!   with an input place that can *never* carry a token, established by a
+//!   marking-closure fixpoint that over-approximates the markable places
+//!   (inhibitors and multiplicities ignored). Sound under every timing and
+//!   firing policy, and independent of exploration budgets.
+//! * **Behaviorally dead** ([`dead_transitions`]): a transition that fires on
+//!   no edge of a *complete* reachability graph. Exact, but only meaningful
+//!   when [`super::explore`] terminated within its budgets — a truncated
+//!   graph proves nothing about liveness.
+
+use crate::analysis::reachability::ReachabilityGraph;
+use crate::net::{PetriNet, TransitionId};
+
+/// Transitions that fire on no edge of `graph`.
+///
+/// When `graph` is the full reachability graph of `net`, these transitions
+/// are dead: no reachable marking ever fires them. On a truncated graph the
+/// result is only "not observed within the explored prefix".
+pub fn dead_transitions(net: &PetriNet, graph: &ReachabilityGraph) -> Vec<TransitionId> {
+    let mut fired = vec![false; net.n_transitions()];
+    for &(_, t, _) in &graph.edges {
+        fired[t as usize] = true;
+    }
+    net.transitions().filter(|t| !fired[t.index()]).collect()
+}
+
+/// Transitions that can never fire, by structure alone.
+///
+/// Computes the closure of potentially-markable places: places with initial
+/// tokens seed the set; any transition whose every input place is in the set
+/// is potentially fireable and adds its output places; repeat to a fixpoint.
+/// A transition left non-fireable has an input place no firing sequence can
+/// ever mark, so it is dead under *any* semantics. The approximation ignores
+/// arc multiplicities and inhibitor arcs, so it never reports false
+/// positives (a fireable transition is always classified fireable).
+pub fn structurally_dead_transitions(net: &PetriNet) -> Vec<TransitionId> {
+    let m0 = net.initial_marking();
+    let mut markable: Vec<bool> = net.places().map(|p| m0.tokens(p) > 0).collect();
+    let mut fireable = vec![false; net.n_transitions()];
+    loop {
+        let mut changed = false;
+        for t in net.transitions() {
+            if fireable[t.index()] {
+                continue;
+            }
+            if net.inputs(t).all(|(p, _)| markable[p.index()]) {
+                fireable[t.index()] = true;
+                changed = true;
+                for (p, _) in net.outputs(t) {
+                    markable[p.index()] = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    net.transitions().filter(|t| !fireable[t.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::reachability::{explore, ReachOptions};
+    use crate::net::NetBuilder;
+
+    #[test]
+    fn live_cycle_has_no_dead_transitions() {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t01 = b.exponential("t01", 1.0);
+        let t10 = b.exponential("t10", 1.0);
+        b.input_arc(p0, t01, 1);
+        b.output_arc(t01, p1, 1);
+        b.input_arc(p1, t10, 1);
+        b.output_arc(t10, p0, 1);
+        let net = b.build().unwrap();
+        let g = explore(&net, ReachOptions::default()).unwrap();
+        assert!(dead_transitions(&net, &g).is_empty());
+        assert!(structurally_dead_transitions(&net).is_empty());
+    }
+
+    #[test]
+    fn starved_transition_is_dead_both_ways() {
+        // `t`'s input place Never has no producer and no initial token.
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let never = b.place("Never", 0);
+        let live = b.exponential("live", 1.0);
+        b.input_arc(p0, live, 1);
+        b.output_arc(live, p1, 1);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(never, t, 1);
+        b.output_arc(t, p0, 1);
+        let net = b.build().unwrap();
+
+        let structural = structurally_dead_transitions(&net);
+        assert_eq!(structural.len(), 1);
+        assert_eq!(net.transition_name(structural[0]), "t");
+
+        let g = explore(&net, ReachOptions::default()).unwrap();
+        let behavioral = dead_transitions(&net, &g);
+        assert_eq!(behavioral.len(), 1);
+        assert_eq!(net.transition_name(behavioral[0]), "t");
+    }
+
+    #[test]
+    fn structural_closure_chains_through_transitions() {
+        // A -> t1 -> B -> t2 -> C: everything fireable from A's token.
+        let mut b = NetBuilder::new();
+        let a = b.place("A", 1);
+        let bb = b.place("B", 0);
+        let c = b.place("C", 0);
+        let t1 = b.exponential("t1", 1.0);
+        b.input_arc(a, t1, 1);
+        b.output_arc(t1, bb, 1);
+        let t2 = b.exponential("t2", 1.0);
+        b.input_arc(bb, t2, 1);
+        b.output_arc(t2, c, 1);
+        let net = b.build().unwrap();
+        assert!(structurally_dead_transitions(&net).is_empty());
+    }
+
+    #[test]
+    fn behaviorally_dead_but_structurally_plausible() {
+        // Priorities starve `low`: `high` always wins the conflict for P's
+        // single token, so `low` never fires — invisible to the structural
+        // over-approximation, caught in the full graph.
+        let mut b = NetBuilder::new();
+        let src = b.place("Src", 1);
+        let p = b.place("P", 0);
+        let high_out = b.place("HighOut", 0);
+        let low_out = b.place("LowOut", 0);
+        let feed = b.immediate("feed", 1, 1.0);
+        b.input_arc(src, feed, 1);
+        b.output_arc(feed, p, 1);
+        let high = b.immediate("high", 3, 1.0);
+        b.input_arc(p, high, 1);
+        b.output_arc(high, high_out, 1);
+        let low = b.immediate("low", 2, 1.0);
+        b.input_arc(p, low, 1);
+        b.output_arc(low, low_out, 1);
+        let net = b.build().unwrap();
+
+        assert!(structurally_dead_transitions(&net).is_empty());
+        let g = explore(&net, ReachOptions::default()).unwrap();
+        let dead = dead_transitions(&net, &g);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(net.transition_name(dead[0]), "low");
+    }
+}

@@ -6,18 +6,30 @@
 //!   classification rests on them, and tests assert them mechanically.
 //! * [`reachability`] — bounded breadth-first exploration of the marking
 //!   graph with tangible/vanishing classification.
+//! * [`dead`] — dead-transition detection, both structural (marking-closure
+//!   fixpoint, budget-independent) and behavioral (never fires on a complete
+//!   reachability graph).
+//! * [`siphons`] — siphon/trap classification and the deadlock witness:
+//!   the empty siphon that starves a dead marking, or the inhibitor arcs
+//!   that freeze it.
 //! * [`tangible`] — vanishing elimination: for nets whose timed transitions
 //!   are all exponential, fold immediate firings into branching
 //!   probabilities and export the tangible CTMC (solved by `wsnem-markov`) —
 //!   the "analytical" evaluation path TimeNET offers next to simulation.
 
+pub mod dead;
 pub mod invariants;
 pub mod reachability;
+pub mod siphons;
 pub mod structural;
 pub mod tangible;
 
+pub use dead::{dead_transitions, structurally_dead_transitions};
 pub use invariants::{incidence_matrix, p_semiflows, t_semiflows};
 pub use reachability::{explore, ReachOptions, ReachabilityGraph};
+pub use siphons::{
+    explain_dead_marking, is_siphon, is_trap, maximal_siphon_within, DeadlockExplanation,
+};
 pub use structural::{
     conflict_sets, is_free_choice, is_marked_graph, is_state_machine, isolated_places,
     sink_transitions, source_transitions,

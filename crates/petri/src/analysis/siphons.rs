@@ -1,0 +1,178 @@
+//! Siphons, traps and deadlock-witness classification.
+//!
+//! A **siphon** is a place set `S` with `•S ⊆ S•`: every transition that
+//! deposits a token into `S` also consumes one from `S`, so once `S` is
+//! empty it stays empty forever. A **trap** is the dual (`S• ⊆ •S`): once
+//! marked, it stays marked. For an ordinary (inhibitor-free) net, every dead
+//! marking empties some siphon — which makes the maximal unmarked siphon the
+//! classical *witness* for a deadlock. Inhibitor arcs break that theorem:
+//! a marking can enable no transition while every place keeps tokens. The
+//! [`explain_dead_marking`] classifier reports which of the two regimes a
+//! dead marking is in.
+
+use crate::marking::Marking;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+
+fn in_set(set: &[PlaceId], p: PlaceId) -> bool {
+    set.contains(&p)
+}
+
+/// True iff `set` is a siphon: every transition producing into the set also
+/// consumes from it. The empty set is trivially a siphon.
+pub fn is_siphon(net: &PetriNet, set: &[PlaceId]) -> bool {
+    net.transitions().all(|t| {
+        let produces = net.outputs(t).any(|(p, _)| in_set(set, p));
+        !produces || net.inputs(t).any(|(p, _)| in_set(set, p))
+    })
+}
+
+/// True iff `set` is a trap: every transition consuming from the set also
+/// produces into it. The empty set is trivially a trap.
+pub fn is_trap(net: &PetriNet, set: &[PlaceId]) -> bool {
+    net.transitions().all(|t| {
+        let consumes = net.inputs(t).any(|(p, _)| in_set(set, p));
+        !consumes || net.outputs(t).any(|(p, _)| in_set(set, p))
+    })
+}
+
+/// The maximal siphon contained in `candidates` (possibly empty).
+///
+/// Iteratively discards any place with a producer transition taking no input
+/// from the remaining set; what survives satisfies the siphon property, and
+/// maximality follows because only provably non-siphon places are removed.
+pub fn maximal_siphon_within(net: &PetriNet, candidates: &[PlaceId]) -> Vec<PlaceId> {
+    let mut set: Vec<PlaceId> = candidates.to_vec();
+    loop {
+        let violating = set.iter().position(|&p| {
+            net.transitions().any(|t| {
+                net.outputs(t).any(|(q, _)| q == p) && !net.inputs(t).any(|(q, _)| in_set(&set, q))
+            })
+        });
+        match violating {
+            Some(i) => {
+                set.remove(i);
+            }
+            None => return set,
+        }
+    }
+}
+
+/// Why a dead marking is dead: the classical empty-siphon witness and/or the
+/// inhibitor arcs that block otherwise token-enabled transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockExplanation {
+    /// The maximal siphon among the marking's empty places. Non-empty means
+    /// the classical starvation argument applies: these places can never be
+    /// re-marked, so their output transitions are dead from here on.
+    pub empty_siphon: Vec<PlaceId>,
+    /// Transitions whose input arcs are satisfied at the marking but which
+    /// an inhibitor arc disables. Non-empty with an empty siphon witness
+    /// means the deadlock is purely inhibitor-induced.
+    pub inhibitor_blocked: Vec<TransitionId>,
+}
+
+impl DeadlockExplanation {
+    /// True when no empty siphon explains the deadlock and at least one
+    /// transition is held back only by an inhibitor arc.
+    pub fn is_inhibitor_induced(&self) -> bool {
+        self.empty_siphon.is_empty() && !self.inhibitor_blocked.is_empty()
+    }
+}
+
+/// Classify a dead marking (one enabling no transition).
+///
+/// The result is meaningful for any marking, but is intended for deadlocks
+/// found by [`super::explore`]: it names the empty siphon that starves the
+/// net, or the inhibitor arcs that freeze it, or both.
+pub fn explain_dead_marking(net: &PetriNet, m: &Marking) -> DeadlockExplanation {
+    let empty: Vec<PlaceId> = net.places().filter(|&p| m.tokens(p) == 0).collect();
+    let empty_siphon = maximal_siphon_within(net, &empty);
+    let inhibitor_blocked = net
+        .transitions()
+        .filter(|&t| {
+            net.inputs(t).all(|(p, mult)| m.tokens(p) >= mult)
+                && net.inhibitors(t).any(|(p, th)| m.tokens(p) >= th)
+        })
+        .collect();
+    DeadlockExplanation {
+        empty_siphon,
+        inhibitor_blocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetBuilder;
+
+    /// P0 -> t -> P1, no way back: {P0} is a siphon, {P1} a trap.
+    fn one_shot() -> (PetriNet, PlaceId, PlaceId) {
+        let mut b = NetBuilder::new();
+        let p0 = b.place("P0", 1);
+        let p1 = b.place("P1", 0);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(p0, t, 1);
+        b.output_arc(t, p1, 1);
+        (b.build().unwrap(), p0, p1)
+    }
+
+    #[test]
+    fn siphon_and_trap_classification() {
+        let (net, p0, p1) = one_shot();
+        assert!(is_siphon(&net, &[p0]), "no producer into P0");
+        assert!(!is_siphon(&net, &[p1]), "t produces into P1 from outside");
+        assert!(is_trap(&net, &[p1]), "no consumer out of P1");
+        assert!(!is_trap(&net, &[p0]), "t drains P0 without refilling");
+        // Empty set is trivially both.
+        assert!(is_siphon(&net, &[]));
+        assert!(is_trap(&net, &[]));
+        // The union is both a siphon and a trap (t moves within the set).
+        assert!(is_siphon(&net, &[p0, p1]));
+        assert!(is_trap(&net, &[p0, p1]));
+    }
+
+    #[test]
+    fn maximal_siphon_filters_producible_places() {
+        let (net, p0, p1) = one_shot();
+        // Among {P0, P1}: both survive (t stays inside the set).
+        let s = maximal_siphon_within(&net, &[p0, p1]);
+        assert_eq!(s, vec![p0, p1]);
+        // Among {P1} alone: t produces into P1 from P0 outside the set.
+        assert!(maximal_siphon_within(&net, &[p1]).is_empty());
+        assert_eq!(maximal_siphon_within(&net, &[p0]), vec![p0]);
+    }
+
+    #[test]
+    fn classic_deadlock_names_the_empty_siphon() {
+        let (net, p0, _) = one_shot();
+        let t = net.find_transition("t").unwrap();
+        let dead = net.fire(&net.initial_marking(), t); // P0=0, P1=1
+        assert!(net.enabled_transitions(&dead).is_empty());
+        let why = explain_dead_marking(&net, &dead);
+        assert_eq!(why.empty_siphon, vec![p0]);
+        assert!(why.inhibitor_blocked.is_empty());
+        assert!(!why.is_inhibitor_induced());
+    }
+
+    #[test]
+    fn inhibitor_deadlock_classified() {
+        // t: A -> B, inhibited once B holds a token. After one firing A=1,
+        // B=1 and t is frozen by the inhibitor alone — no empty place at
+        // all, so no siphon witness exists.
+        let mut b = NetBuilder::new();
+        let a = b.place("A", 2);
+        let bb = b.place("B", 0);
+        let t = b.exponential("t", 1.0);
+        b.input_arc(a, t, 1);
+        b.output_arc(t, bb, 1);
+        b.inhibitor_arc(bb, t, 1);
+        let net = b.build().unwrap();
+        let t_id = net.find_transition("t").unwrap();
+        let dead = net.fire(&net.initial_marking(), t_id); // A=1, B=1
+        assert!(net.enabled_transitions(&dead).is_empty());
+        let why = explain_dead_marking(&net, &dead);
+        assert!(why.empty_siphon.is_empty());
+        assert_eq!(why.inhibitor_blocked, vec![t_id]);
+        assert!(why.is_inhibitor_induced());
+    }
+}

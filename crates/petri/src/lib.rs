@@ -23,6 +23,7 @@
 //!   producer–consumer, fork–join) used by tests, examples and benches.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
 // `!(x > 0.0)`-style guards deliberately reject NaN together with the
 // out-of-domain values; `partial_cmp` rewrites would lose that property.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]

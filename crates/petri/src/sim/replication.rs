@@ -94,7 +94,12 @@ pub fn simulate_replications(
 
     let mut outputs = Vec::with_capacity(n);
     for slot in slots {
-        outputs.push(slot.expect("all replications filled")?);
+        // Both branches above write every slot: the serial loop visits each
+        // index, and `chunks_mut` partitions the whole slice across threads.
+        let Some(output) = slot else {
+            unreachable!("replication slot left unfilled")
+        };
+        outputs.push(output?);
     }
     let mut reward_stats = vec![Welford::new(); rewards.len()];
     let mut place_stats = vec![Welford::new(); net.n_places()];

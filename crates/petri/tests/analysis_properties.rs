@@ -1,0 +1,354 @@
+//! Seeded property battery for `petri::analysis`: every returned semiflow
+//! must actually annihilate the incidence matrix, and the deadlock /
+//! dead-transition verdicts of bounded exploration must agree with what
+//! short token-game simulations observe on the same nets.
+//!
+//! Random generation is hand-rolled over the workspace RNG (the build is
+//! offline, without proptest); each case is reproducible from its index.
+
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
+use wsnem_petri::analysis::{
+    dead_transitions, explain_dead_marking, explore, incidence_matrix, is_siphon, p_semiflows,
+    structurally_dead_transitions, t_semiflows, ReachOptions,
+};
+use wsnem_petri::{simulate, NetBuilder, PetriNet, SimConfig, TransitionKind};
+use wsnem_stats::dist::Dist;
+use wsnem_stats::rng::{Rng64, StreamFactory, Xoshiro256PlusPlus};
+
+/// Compact random net description.
+#[derive(Debug, Clone)]
+struct CaseSpec {
+    n_places: usize,
+    initial: Vec<u32>,
+    transitions: Vec<TransSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct TransSpec {
+    kind_sel: u8,
+    priority: u8,
+    rate: f64,
+    delay: f64,
+    inputs: Vec<(usize, u32)>,
+    outputs: Vec<(usize, u32)>,
+    inhibitor: Option<(usize, u32)>,
+}
+
+fn arb_trans<R: Rng64>(rng: &mut R, n_places: usize) -> TransSpec {
+    let arc = |rng: &mut R| {
+        (
+            rng.next_bounded(n_places as u64) as usize,
+            1 + rng.next_bounded(2) as u32,
+        )
+    };
+    let n_inputs = rng.next_bounded(3) as usize;
+    let n_outputs = rng.next_bounded(3) as usize;
+    TransSpec {
+        kind_sel: rng.next_bounded(3) as u8,
+        priority: 1 + rng.next_bounded(3) as u8,
+        rate: 0.5 + 4.5 * rng.next_f64(),
+        delay: 0.05 + 0.95 * rng.next_f64(),
+        inputs: (0..n_inputs).map(|_| arc(rng)).collect(),
+        outputs: (0..n_outputs).map(|_| arc(rng)).collect(),
+        inhibitor: rng.next_bool(0.4).then(|| {
+            (
+                rng.next_bounded(n_places as u64) as usize,
+                1 + rng.next_bounded(3) as u32,
+            )
+        }),
+    }
+}
+
+fn arb_net<R: Rng64>(rng: &mut R) -> CaseSpec {
+    let n_places = 2 + rng.next_bounded(4) as usize;
+    let initial = (0..n_places).map(|_| rng.next_bounded(3) as u32).collect();
+    let n_trans = 1 + rng.next_bounded(5) as usize;
+    let transitions = (0..n_trans).map(|_| arb_trans(rng, n_places)).collect();
+    CaseSpec {
+        n_places,
+        initial,
+        transitions,
+    }
+}
+
+fn build(spec: &CaseSpec) -> PetriNet {
+    let mut b = NetBuilder::new();
+    let places: Vec<_> = (0..spec.n_places)
+        .map(|i| b.place(format!("p{i}"), spec.initial[i]))
+        .collect();
+    for (ti, t) in spec.transitions.iter().enumerate() {
+        let kind = match t.kind_sel {
+            0 => TransitionKind::Immediate {
+                priority: t.priority,
+                weight: 1.0,
+            },
+            1 => TransitionKind::exponential(t.rate),
+            _ => TransitionKind::Timed {
+                dist: Dist::Deterministic(t.delay),
+                policy: wsnem_petri::TimedPolicy::RaceResample,
+            },
+        };
+        let tid = b.transition(format!("t{ti}"), kind);
+        let mut seen = std::collections::HashSet::new();
+        for &(p, m) in &t.inputs {
+            if seen.insert(p) {
+                b.input_arc(places[p], tid, m);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &(p, m) in &t.outputs {
+            if seen.insert(p) {
+                b.output_arc(tid, places[p], m);
+            }
+        }
+        if let Some((p, thresh)) = t.inhibitor {
+            b.inhibitor_arc(places[p], tid, thresh);
+        }
+    }
+    b.build().expect("generated nets are structurally valid")
+}
+
+const CASES: u64 = 64;
+
+/// One reproducible (net, sim-seed) pair per case index.
+fn case(i: u64) -> (CaseSpec, u64) {
+    let factory = StreamFactory::new(0x9A9D_0008);
+    let mut rng = factory.stream(i);
+    let spec = arb_net(&mut rng);
+    let seed = rng.next_bounded(1000);
+    (spec, seed)
+}
+
+/// Every returned P-semiflow annihilates the incidence matrix from the
+/// left (`yᵀ·C = 0`), is non-zero and is gcd-normalized.
+#[test]
+fn p_semiflows_annihilate_incidence() {
+    for i in 0..CASES {
+        let (spec, _) = case(i);
+        let net = build(&spec);
+        let c = incidence_matrix(&net);
+        let Ok(flows) = p_semiflows(&net) else {
+            continue; // invariant explosion budget — documented failure mode
+        };
+        for y in &flows {
+            assert_eq!(y.len(), net.n_places(), "case {i}");
+            assert!(y.iter().any(|&w| w > 0), "case {i}: zero semiflow");
+            for t in 0..net.n_transitions() {
+                let dot: i64 = c.iter().zip(y).map(|(row, &w)| w as i64 * row[t]).sum();
+                assert_eq!(dot, 0, "case {i}: yᵀ·C ≠ 0 for y = {y:?}, column {t}");
+            }
+        }
+    }
+}
+
+/// Every returned T-semiflow is a firing-count invariant (`C·x = 0`): firing
+/// each transition `x[t]` times leaves every place's token count unchanged.
+#[test]
+fn t_semiflows_are_firing_count_invariants() {
+    for i in 0..CASES {
+        let (spec, _) = case(i);
+        let net = build(&spec);
+        let c = incidence_matrix(&net);
+        let Ok(flows) = t_semiflows(&net) else {
+            continue;
+        };
+        for x in &flows {
+            assert_eq!(x.len(), net.n_transitions(), "case {i}");
+            assert!(x.iter().any(|&w| w > 0), "case {i}: zero semiflow");
+            for (p, row) in c.iter().enumerate() {
+                let dot: i64 = row.iter().zip(x).map(|(&v, &w)| v * w as i64).sum();
+                assert_eq!(dot, 0, "case {i}: C·x ≠ 0 for x = {x:?}, row {p}");
+            }
+        }
+    }
+}
+
+/// P-semiflows observed along a live trajectory: the weighted token sum is
+/// constant on the final marking of a real simulation run.
+#[test]
+fn p_semiflows_hold_along_simulation() {
+    for i in 0..CASES {
+        let (spec, seed) = case(i);
+        let net = build(&spec);
+        let Ok(flows) = p_semiflows(&net) else {
+            continue;
+        };
+        let m0 = net.initial_marking();
+        let expected: Vec<u64> = flows.iter().map(|y| m0.weighted_sum(y)).collect();
+        let cfg = SimConfig {
+            horizon: 25.0,
+            max_vanishing_chain: 10_000,
+            zeno_guard: 10_000,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let Ok(out) = simulate(&net, &cfg, &[], &mut rng) else {
+            continue; // vanishing/zeno loop on a degenerate random net
+        };
+        for (y, e) in flows.iter().zip(&expected) {
+            assert_eq!(
+                out.final_marking.weighted_sum(y),
+                *e,
+                "case {i}: semiflow {y:?} not conserved"
+            );
+        }
+    }
+}
+
+/// Deadlock oracle: on nets whose full reachability graph fits the budget,
+/// a simulation run ending in a marking that enables nothing implies the
+/// graph reports a deadlock (and contains that very marking); a graph with
+/// no deadlock implies the simulation can never stall.
+#[test]
+fn deadlock_verdict_matches_simulation() {
+    let mut checked = 0u32;
+    for i in 0..CASES {
+        let (spec, seed) = case(i);
+        let net = build(&spec);
+        let opts = ReachOptions {
+            max_markings: 20_000,
+            max_tokens: 64,
+        };
+        let Ok(graph) = explore(&net, opts) else {
+            continue; // unbounded / too large — verdict would be partial
+        };
+        let cfg = SimConfig {
+            horizon: 25.0,
+            max_vanishing_chain: 10_000,
+            zeno_guard: 10_000,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let Ok(out) = simulate(&net, &cfg, &[], &mut rng) else {
+            continue;
+        };
+        checked += 1;
+        let stalled = net.enabled_transitions(&out.final_marking).is_empty();
+        if stalled {
+            assert!(
+                graph.has_deadlock(&net),
+                "case {i}: simulation stalled at {} but exploration reports no deadlock",
+                out.final_marking
+            );
+            assert!(
+                graph.markings.contains(&out.final_marking),
+                "case {i}: stalled marking missing from the reachability graph"
+            );
+        } else if !graph.has_deadlock(&net) {
+            // No reachable dead marking at all: every marking the run
+            // visits (in particular the final one) must enable something —
+            // which `stalled == false` just confirmed.
+        }
+    }
+    assert!(checked >= 10, "battery too weak: only {checked} cases ran");
+}
+
+/// Dead-transition oracle: any transition that actually fired in simulation
+/// can be neither structurally dead nor dead in the full reachability graph;
+/// structural deadness always implies behavioral deadness.
+#[test]
+fn dead_transition_verdict_matches_simulation() {
+    let mut saw_dead = 0u32;
+    for i in 0..CASES {
+        let (spec, seed) = case(i);
+        let net = build(&spec);
+        let structural = structurally_dead_transitions(&net);
+        let opts = ReachOptions {
+            max_markings: 20_000,
+            max_tokens: 64,
+        };
+        let behavioral = match explore(&net, opts) {
+            Ok(graph) => {
+                let dead = dead_transitions(&net, &graph);
+                // Structural deadness is the weaker (budget-free) verdict:
+                // everything it flags must also never fire in the graph.
+                for &t in &structural {
+                    assert!(
+                        dead.contains(&t),
+                        "case {i}: `{}` structurally dead but fires in the graph",
+                        net.transition_name(t)
+                    );
+                }
+                Some(dead)
+            }
+            Err(_) => None,
+        };
+        saw_dead += behavioral.as_ref().is_some_and(|d| !d.is_empty()) as u32;
+        let cfg = SimConfig {
+            horizon: 25.0,
+            max_vanishing_chain: 10_000,
+            zeno_guard: 10_000,
+            ..SimConfig::default()
+        };
+        let mut rng = Xoshiro256PlusPlus::new(seed);
+        let Ok(out) = simulate(&net, &cfg, &[], &mut rng) else {
+            continue;
+        };
+        for t in net.transitions() {
+            if out.firings[t.index()] == 0 {
+                continue;
+            }
+            assert!(
+                !structural.contains(&t),
+                "case {i}: `{}` fired {} time(s) yet flagged structurally dead",
+                net.transition_name(t),
+                out.firings[t.index()]
+            );
+            if let Some(dead) = &behavioral {
+                assert!(
+                    !dead.contains(&t),
+                    "case {i}: `{}` fired in simulation yet dead in the graph",
+                    net.transition_name(t)
+                );
+            }
+        }
+    }
+    assert!(saw_dead >= 3, "battery too weak: no dead transitions seen");
+}
+
+/// Deadlock witnesses are well-formed: the reported empty siphon is a real
+/// siphon whose places are all unmarked at the dead marking, and every
+/// inhibitor-blocked transition is input-satisfied but inhibited there.
+#[test]
+fn deadlock_witnesses_are_sound() {
+    let mut witnesses = 0u32;
+    for i in 0..CASES {
+        let (spec, _) = case(i);
+        let net = build(&spec);
+        let opts = ReachOptions {
+            max_markings: 20_000,
+            max_tokens: 64,
+        };
+        let Ok(graph) = explore(&net, opts) else {
+            continue;
+        };
+        for m in &graph.markings {
+            if !net.enabled_transitions(m).is_empty() {
+                continue;
+            }
+            witnesses += 1;
+            let why = explain_dead_marking(&net, m);
+            assert!(
+                is_siphon(&net, &why.empty_siphon),
+                "case {i}: witness is not a siphon"
+            );
+            for &p in &why.empty_siphon {
+                assert_eq!(m.tokens(p), 0, "case {i}: witness place marked");
+            }
+            for &t in &why.inhibitor_blocked {
+                assert!(
+                    net.inputs(t).all(|(p, mult)| m.tokens(p) >= mult),
+                    "case {i}: blocked transition not input-satisfied"
+                );
+                assert!(
+                    net.inhibitors(t).any(|(p, th)| m.tokens(p) >= th),
+                    "case {i}: blocked transition not actually inhibited"
+                );
+            }
+        }
+    }
+    assert!(
+        witnesses >= 5,
+        "battery too weak: {witnesses} dead markings"
+    );
+}

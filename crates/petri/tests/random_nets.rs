@@ -6,6 +6,7 @@
 //! Random generation is hand-rolled over the workspace RNG (the build is
 //! offline, without proptest); each case is reproducible from its index.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_petri::analysis::{explore, p_semiflows, ReachOptions};
 use wsnem_petri::{simulate, NetBuilder, PetriError, PetriNet, SimConfig, TransitionKind};
 use wsnem_stats::dist::Dist;

@@ -43,31 +43,48 @@ impl FileFormat {
     }
 }
 
-/// Parse a scenario from a string in the given format and validate it.
-pub fn from_str(content: &str, format: FileFormat) -> Result<Scenario, ScenarioError> {
-    let scenario: Scenario = match format {
+/// Parse a scenario from a string *without* validating it — the static
+/// analyzer's entry point: a syntactically valid but semantically broken
+/// scenario must still parse so every validation failure can be reported as
+/// a coded diagnostic instead of one hard error.
+pub fn parse_str(content: &str, format: FileFormat) -> Result<Scenario, ScenarioError> {
+    match format {
         FileFormat::Json => {
-            serde_json::from_str(content).map_err(|e| ScenarioError::Parse(e.to_string()))?
+            serde_json::from_str(content).map_err(|e| ScenarioError::Parse(e.to_string()))
         }
         FileFormat::Toml => {
-            toml::from_str(content).map_err(|e| ScenarioError::Parse(e.to_string()))?
+            toml::from_str(content).map_err(|e| ScenarioError::Parse(e.to_string()))
         }
-    };
+    }
+}
+
+/// Parse a scenario from a string in the given format and validate it.
+pub fn from_str(content: &str, format: FileFormat) -> Result<Scenario, ScenarioError> {
+    let scenario = parse_str(content, format)?;
     scenario.validate()?;
     Ok(scenario)
+}
+
+/// Read and parse a scenario file *without* validating it (format inferred
+/// from the extension). See [`parse_str`].
+pub fn parse(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
+    let path = path.as_ref();
+    let format = FileFormat::from_path(path)?;
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+    parse_str(&content, format).map_err(|e| match e {
+        ScenarioError::Parse(msg) => ScenarioError::Parse(format!("{}: {msg}", path.display())),
+        other => other,
+    })
 }
 
 /// Load and validate a scenario file, inferring the format from the
 /// extension.
 pub fn load(path: impl AsRef<Path>) -> Result<Scenario, ScenarioError> {
     let path = path.as_ref();
-    let format = FileFormat::from_path(path)?;
-    let content = std::fs::read_to_string(path)
-        .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
-    from_str(&content, format).map_err(|e| match e {
-        ScenarioError::Parse(msg) => ScenarioError::Parse(format!("{}: {msg}", path.display())),
-        other => other,
-    })
+    let scenario = parse(path)?;
+    scenario.validate()?;
+    Ok(scenario)
 }
 
 /// Render a scenario in the given format.

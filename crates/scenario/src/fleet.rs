@@ -163,9 +163,14 @@ pub fn run_cached(
         }
     }
 
+    // Every index is written exactly once: cache hits above, misses by the
+    // runner's ordered results.
     let results: Vec<_> = slots
         .into_iter()
-        .map(|s| s.expect("every scenario resolved"))
+        .map(|slot| match slot {
+            Some(result) => result,
+            None => unreachable!("scenario left unresolved"),
+        })
         .collect();
     let metrics = BatchMetrics::new(
         n,

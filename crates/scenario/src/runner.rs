@@ -104,11 +104,14 @@ pub fn run_scenario_with_threads(
                     backends: reports,
                 });
             }
-            let (best_value, best_power_mw) = points
+            // Schema validation rejects empty sweeps.
+            let Some((best_value, best_power_mw)) = points
                 .iter()
                 .map(|p| (p.value, p.backends[0].mean_power_mw))
                 .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("validated non-empty sweep");
+            else {
+                unreachable!("validated sweep has no points")
+            };
             Some(SweepReport {
                 axis: spec.axis.label().to_owned(),
                 points,
@@ -225,7 +228,11 @@ pub fn run_batch_with_metrics(
             })
             .collect();
         for w in workers {
-            let (done, busy) = w.join().expect("scenario worker panicked");
+            // A worker Err means it panicked; re-raise the original payload.
+            let (done, busy) = match w.join() {
+                Ok(result) => result,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             busy_seconds += busy;
             for (i, result) in done {
                 slots[i] = Some(result);
@@ -233,9 +240,13 @@ pub fn run_batch_with_metrics(
         }
     });
     let wall = batch_started.elapsed().as_secs_f64();
+    // The workers partition the index range, so every slot was written.
     let results = slots
         .into_iter()
-        .map(|s| s.expect("all scenarios ran"))
+        .map(|slot| match slot {
+            Some(result) => result,
+            None => unreachable!("scenario left unran"),
+        })
         .collect();
     (results, BatchMetrics::new(n, threads, wall, busy_seconds))
 }
@@ -361,17 +372,15 @@ fn analyze_network(
     // backend the scenario requested, by capability cost rank (analytic
     // over simulated) — no enum match, so custom backends slot in.
     let registry = backend::global();
-    let backend = scenario
-        .backends
-        .iter()
-        .copied()
-        .min_by_key(|&b| {
-            registry
-                .capabilities_of(b)
-                .map(|c| c.cost_rank)
-                .unwrap_or(u8::MAX)
-        })
-        .expect("validated non-empty backends");
+    // Schema validation rejects empty backend lists.
+    let Some(backend) = scenario.backends.iter().copied().min_by_key(|&b| {
+        registry
+            .capabilities_of(b)
+            .map(|c| c.cost_rank)
+            .unwrap_or(u8::MAX)
+    }) else {
+        unreachable!("validated scenario has no backends")
+    };
     // Stars and routed topologies share one code path: a star is a routed
     // network whose forwarding loads are all zero, so the per-node numbers
     // are bit-identical to the v1 star analysis.

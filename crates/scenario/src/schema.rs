@@ -577,7 +577,10 @@ impl Scenario {
                 // cannot model a general service law — fail loudly here
                 // instead of letting them compute exponential numbers.
                 for &b in &self.backends {
-                    let caps = registry.capabilities_of(b).expect("checked above");
+                    // Registration was verified earlier in this method.
+                    let Some(caps) = registry.capabilities_of(b) else {
+                        unreachable!("backend registration checked above")
+                    };
                     if !caps.supports_service_dist {
                         return Err(ScenarioError::Invalid(format!(
                             "scenario `{}`: backend `{b}` does not support the \

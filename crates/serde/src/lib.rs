@@ -18,6 +18,9 @@
 //! variants and struct variants (externally tagged, like upstream serde's
 //! default representation). Generic types are not supported by the derive.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::BTreeMap;

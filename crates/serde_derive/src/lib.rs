@@ -11,6 +11,11 @@
 //! serialized in serde's default externally-tagged representation. Generics
 //! are rejected with a compile error.
 
+#![forbid(unsafe_code)]
+// A proc macro executes only at compile time, where a panic surfaces as a
+// compile error on the deriving item — unwrap here can never crash at runtime.
+#![allow(clippy::disallowed_methods)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive `serde::Serialize`.

@@ -10,6 +10,9 @@
 //! `"Infinity"`, `"-Infinity"` and `"NaN"`, which the serde subset's `f64`
 //! deserializer accepts symmetrically.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub use serde::Value;
 
 use serde::{Deserialize, Serialize};
@@ -338,7 +341,10 @@ impl<'a> Parser<'a> {
                     // Consume one full UTF-8 character.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    // The Some(_) arm guarantees at least one byte remains.
+                    let Some(c) = s.chars().next() else {
+                        unreachable!("peeked byte vanished from the input")
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -372,7 +378,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Only ASCII digits, signs, dots and exponents were consumed.
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            unreachable!("number span is pure ASCII")
+        };
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)

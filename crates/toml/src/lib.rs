@@ -16,6 +16,9 @@
 //! Dates/times and multi-line strings are not supported. `None` fields are
 //! skipped on write (TOML has no null), which matches upstream `toml`.
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
@@ -372,9 +375,11 @@ impl<'a> Parser<'a> {
                 ) {
                     self.pos += 1;
                 }
-                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
-                    .unwrap()
-                    .to_owned())
+                // Only ASCII alphanumerics, `_` and `-` were consumed.
+                let Ok(key) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+                    unreachable!("bare key span is pure ASCII")
+                };
+                Ok(key.to_owned())
             }
             _ => Err(self.err("expected a key")),
         }
@@ -442,11 +447,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
-            .unwrap()
-            .chars()
-            .filter(|&c| c != '_')
-            .collect();
+        // Only ASCII digits, signs, dots, exponents and `_` were consumed.
+        let Ok(span) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            unreachable!("number span is pure ASCII")
+        };
+        let text: String = span.chars().filter(|&c| c != '_').collect();
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
@@ -503,7 +508,10 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    // The Some(_) arm guarantees at least one byte remains.
+                    let Some(c) = s.chars().next() else {
+                        unreachable!("peeked byte vanished from the input")
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -599,7 +607,10 @@ fn walk<'t>(
         if !table.iter().any(|(k, _)| k == seg) {
             table.push((seg.clone(), Value::Map(Vec::new())));
         }
-        let idx = table.iter().position(|(k, _)| k == seg).unwrap();
+        // The key was inserted just above when absent.
+        let Some(idx) = table.iter().position(|(k, _)| k == seg) else {
+            unreachable!("freshly inserted key not found")
+        };
         let node = &mut table[idx].1;
         // Descend into the last element of an array of tables.
         if let Value::Seq(items) = node {
@@ -629,7 +640,10 @@ fn push_table_array_element(
     root: &mut Vec<(String, Value)>,
     path: &[String],
 ) -> Result<(), String> {
-    let (last, parent_path) = path.split_last().expect("non-empty header path");
+    // The header grammar requires at least one key segment.
+    let Some((last, parent_path)) = path.split_last() else {
+        unreachable!("empty header path")
+    };
     let parent = walk(root, parent_path)?;
     match parent.iter_mut().find(|(k, _)| k == last) {
         None => {
@@ -649,7 +663,10 @@ fn insert_value(
     path: &[String],
     value: Value,
 ) -> Result<(), String> {
-    let (last, parent_path) = path.split_last().expect("non-empty key path");
+    // The key grammar requires at least one segment.
+    let Some((last, parent_path)) = path.split_last() else {
+        unreachable!("empty key path")
+    };
     let parent = walk(root, parent_path)?;
     if parent.iter().any(|(k, _)| k == last) {
         return Err(format!("duplicate key `{last}`"));

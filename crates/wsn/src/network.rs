@@ -101,9 +101,13 @@ where
             });
         }
     });
+    // `chunks_mut` partitions the whole slice, so every slot was written.
     slots
         .into_iter()
-        .map(|s| s.expect("all indices evaluated"))
+        .map(|slot| match slot {
+            Some(value) => value,
+            None => unreachable!("index left unevaluated"),
+        })
         .collect()
 }
 

@@ -55,12 +55,15 @@ pub fn optimize_threshold(
         };
         powers.push(eval.mean_power_mw(profile));
     }
-    let best_index = powers
+    // `candidates` is asserted non-empty above, so a minimum always exists.
+    let Some(best_index) = powers
         .iter()
         .enumerate()
         .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
-        .expect("non-empty candidates");
+    else {
+        unreachable!("non-empty candidates produce a minimum")
+    };
     Ok(ThresholdChoice {
         candidates: candidates.to_vec(),
         mean_power_mw: powers,

@@ -8,6 +8,7 @@
 //!
 //! Run with: `cargo run --release --example converged_estimation`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::core::{build_cpu_edspn, CpuModel, CpuModelParams, MarkovCpuModel};
 use wsnem::petri::analysis::{conflict_sets, is_free_choice};
 use wsnem::petri::sim::{simulate_until_precise, PrecisionTarget};

@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example custom_petri_net`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::petri::analysis::{p_semiflows, tangible_chain, ReachOptions};
 use wsnem::petri::models::producer_consumer_net;
 use wsnem::petri::{simulate_replications, Reward, SimConfig};

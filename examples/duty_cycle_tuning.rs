@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example duty_cycle_tuning`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::core::CpuModelParams;
 use wsnem::energy::PowerProfile;
 use wsnem::wsn::tuning::optimize_threshold;

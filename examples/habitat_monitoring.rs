@@ -8,6 +8,7 @@
 //!
 //! Run with: `cargo run --release --example habitat_monitoring`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::wsn::BackendId;
 use wsnem::wsn::{NodeConfig, StarNetwork};
 

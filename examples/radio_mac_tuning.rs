@@ -9,6 +9,7 @@
 //!
 //! Run with: `cargo run --release --example radio_mac_tuning`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::wsn::{BackendId, NodeConfig, RadioSpec};
 
 fn candidates() -> Vec<(&'static str, RadioSpec)> {

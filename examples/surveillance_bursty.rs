@@ -10,6 +10,7 @@
 //!
 //! Run with: `cargo run --release --example surveillance_bursty`
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_scenario::{builtin, runner, Backend, ScenarioReport, WorkloadSpec};
 
 fn backend_of(report: &ScenarioReport, backend: Backend) -> &wsnem_scenario::BackendReport {

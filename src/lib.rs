@@ -37,6 +37,9 @@
 //! println!("Petri energy:  {:.2} J", pn.energy_joules(&pxa, 1000.0));
 //! ```
 
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub use wsnem_core as core;
 pub use wsnem_des as des;
 pub use wsnem_energy as energy;

@@ -3,6 +3,7 @@
 //! absolute state-occupancy delta), even though every hop sees a different
 //! effective arrival rate (own sensing + forwarded subtree traffic).
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::wsn::{BackendId, Network, NodeConfig};
 
 const TOLERANCE_PP: f64 = 2.0; // the runner's default agreement gate

@@ -13,6 +13,7 @@
 //! capable backends (Petri net, DES) must agree with *each other* under the
 //! general service law.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::core::backend::global;
 use wsnem::core::{BackendId, CoreError, CpuModelParams, EvalOptions, ServiceDist};
 use wsnem::stats::rng::{Rng64, Xoshiro256PlusPlus};

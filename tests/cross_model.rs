@@ -1,6 +1,7 @@
 //! Cross-crate integration: the paper's claims, end-to-end through the
 //! facade crate.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::core::experiments::{table4, ThresholdSweep};
 use wsnem::core::{
     BackendId, CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel,

@@ -1,6 +1,7 @@
 //! Reproducibility contract: identical results for identical seeds,
 //! regardless of thread count, across every simulation layer.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::core::experiments::ThresholdSweep;
 use wsnem::core::{CpuModel, CpuModelParams, DesCpuModel, PetriCpuModel};
 use wsnem::des::cpu::{CpuDes, CpuSimParams};

@@ -1,6 +1,7 @@
 //! Exact-solution cross-checks: closed forms ↔ CTMC solvers ↔ token game ↔
 //! DES, spanning four crates.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::markov::{mm1, mm1k, PhaseCpuChain, SteadyStateMethod};
 use wsnem::petri::analysis::{tangible_chain, ReachOptions};
 use wsnem::petri::models::{mm1_net, mm1k_net, producer_consumer_net};

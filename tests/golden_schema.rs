@@ -14,6 +14,7 @@
 //! extension (v3) and before the duty-cycle radio extension (v4) keep
 //! loading, validating and analyzing unchanged.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem_scenario::{
     builtin, files, runner, FileFormat, Scenario, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };

@@ -4,6 +4,7 @@
 //! Random parameter draws are hand-rolled over the workspace RNG (the build
 //! is offline, without proptest); each case is reproducible from its index.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::core::{CpuModel, CpuModelParams, DesCpuModel, MarkovCpuModel, PetriCpuModel};
 use wsnem::energy::{energy_eq25, PowerProfile, StateFractions};
 use wsnem::petri::analysis::{incidence_matrix, p_semiflows};

@@ -7,6 +7,7 @@
 //! in both JSON and TOML, and the clamping at the `listen_s == period_s`
 //! boundary stays consistent.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::stats::rng::{Rng64, StreamFactory};
 use wsnem::wsn::radio::CHANNEL_SAMPLE_S;
 use wsnem::wsn::{RadioModel, RadioSpec};

@@ -3,6 +3,7 @@
 //! serialize → deserialize → re-serialize unchanged, in both JSON and TOML,
 //! and a user-authored file must load and run through all three backends.
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::core::CpuModelParams;
 use wsnem::petri::{NetBuilder, NetSpec, TransitionKind};
 use wsnem::stats::dist::Dist;

@@ -3,6 +3,7 @@
 //! property loops — the build is offline, without proptest; every case is
 //! reproducible from its stream index).
 
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
 use wsnem::stats::rng::{Rng64, StreamFactory};
 use wsnem::wsn::{BackendId, Network, NextHop, NodeConfig};
 
