@@ -90,8 +90,8 @@ fn schema_pass(s: &Scenario, registry: &BackendRegistry, out: &mut Vec<Diagnosti
                             )
                             .with_help(
                                 "restrict `backends` to solvers whose capabilities \
-                                 advertise service distributions (petri-net, des), or \
-                                 drop the `service` section",
+                                 advertise service distributions (mg1, petri-net, des), \
+                                 or drop the `service` section",
                             ),
                     );
                 }

@@ -1,5 +1,5 @@
 //! Tracked performance baseline: times the key engine benches and writes a
-//! machine-readable JSON snapshot (`BENCH_6.json` by default) so future PRs
+//! machine-readable JSON snapshot (`BENCH_9.json` by default) so future PRs
 //! have a perf trajectory to compare against.
 //!
 //! ```text
@@ -7,7 +7,7 @@
 //! cargo run --release -p wsnem-bench --bin perf_baseline -- --quick # CI
 //! cargo run --release -p wsnem-bench --bin perf_baseline -- -o out.json
 //! cargo run --release -p wsnem-bench --bin perf_baseline -- \
-//!     --quick --check BENCH_6.json --tolerance 25   # regression gate
+//!     --quick --check BENCH_9.json --tolerance 25   # regression gate
 //! ```
 //!
 //! Numbers are per-iteration nanoseconds (min and mean over a wall-clock
@@ -27,7 +27,8 @@ use std::time::{Duration, Instant};
 
 use wsnem_bench::nets::{relay_ring_net, vanishing_pipeline_net};
 use wsnem_bench::{quick_mode, render_table};
-use wsnem_core::build_cpu_edspn;
+use wsnem_core::backend::{global, EvalOptions};
+use wsnem_core::{build_cpu_edspn, BackendId, CpuModelParams};
 use wsnem_petri::analysis::{tangible_chain, ReachOptions};
 use wsnem_petri::models::mm1k_net;
 use wsnem_petri::{simulate, SimConfig};
@@ -165,7 +166,7 @@ fn main() {
     };
     let out_path = arg_value("-o")
         .or_else(|| arg_value("--output"))
-        .unwrap_or_else(|| "BENCH_6.json".to_owned());
+        .unwrap_or_else(|| "BENCH_9.json".to_owned());
     let check_path = arg_value("--check");
     let tolerance_pct: f64 = match arg_value("--tolerance") {
         None => 25.0,
@@ -209,6 +210,15 @@ fn main() {
     results.push(measure("relay_ring_32", budget, sim_bench(&ring32, 256.0)));
     results.push(measure("relay_ring_128", budget, sim_bench(&ring128, 64.0)));
     results.push(measure("relay_ring_256", budget, sim_bench(&ring256, 32.0)));
+    // One closed-form M/G/1 node evaluation — the per-node cost that bounds
+    // the million-node analytic fast path (target: well under 10 µs/node).
+    let mg1_params = CpuModelParams::paper_defaults();
+    let mg1_opts = EvalOptions::default();
+    results.push(measure("mg1_node", budget, || {
+        global()
+            .solve(BackendId::Mg1, std::hint::black_box(&mg1_params), &mg1_opts)
+            .expect("mg1 solves")
+    }));
 
     let rows: Vec<Vec<String>> = results
         .iter()

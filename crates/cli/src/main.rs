@@ -37,6 +37,7 @@ use std::time::Instant;
 use wsnem_scenario::{
     builtin, files, fleet, gen, BatchMetrics, CacheMode, CacheStats, FieldSpec, FileFormat,
     GenField, GenMethod, GenSpec, ResultCache, Scenario, ScenarioReport,
+    DEFAULT_SUMMARY_NODE_LIMIT,
 };
 
 /// Write to stdout, treating a closed pipe (`wsnem list | head`) as a normal
@@ -102,11 +103,12 @@ COMMANDS:
                                parse + validate scenario files, reporting
                                every finding as a coded diagnostic
     export <NAME> [OPTIONS]    Print a built-in scenario as a file
-    topology [FILE] [--builtin <NAME>]
+    topology [FILE] [--builtin <NAME>] [--limit <N>]
                                Inspect a scenario's multi-hop routing:
                                per-node next hop, hop depth, subtree size,
                                forwarding load and radio MAC (no model
-                               evaluation)
+                               evaluation); prints at most N rows
+                               (default 50) before an \"… and K more\" footer
     radio [FILE] [--builtin <NAME> | --preset <NAME>]
                                Inspect duty-cycle radio/MAC specs: lowered
                                timing numbers, derived duty cycle, the
@@ -133,6 +135,8 @@ RUN OPTIONS:
     --verbose, -v         Show the live progress line even without a TTY and
                           print batch metrics (workers, utilization) at the end
     --quiet, -q           Suppress the progress line and informational stderr
+    --limit <N>           Per-node lines in a summary's network section before
+                          an \"… and K more\" footer (default 50)
 
 GEN OPTIONS:
     --field <SPEC>        Sampled field as name=min:max[:points], repeatable.
@@ -188,6 +192,10 @@ COMPARE OPTIONS:
     --no-check            Skip the static preflight
     --max-delta-pp <PP>   Exit non-zero if any backend's mean |Δ| vs the
                           reference exceeds PP percentage points
+    --tiered              Skip the simulation backends at points whose
+                          utilization rho stays below 0.9 (the analytic
+                          closed forms are exact there); skipped cells show
+                          \"skipped by tiering\" at zero cost
 
 EXPORT OPTIONS:
     --format <FMT>        File format: toml (default), json
@@ -287,11 +295,14 @@ struct RunOptions {
     no_check: bool,
     verbose: bool,
     quiet: bool,
+    /// Per-node lines in a summary's network section (`--limit`).
+    node_limit: usize,
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
     let mut o = RunOptions {
         format: "summary".into(),
+        node_limit: DEFAULT_SUMMARY_NODE_LIMIT,
         ..RunOptions::default()
     };
     let mut it = args.iter();
@@ -318,6 +329,12 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                     return Err("--threads must be >= 1".into());
                 }
                 o.threads = Some(n);
+            }
+            "--limit" => {
+                let v = required(&mut it, "--limit <N>")?;
+                o.node_limit = v
+                    .parse()
+                    .map_err(|_| format!("--limit expects a non-negative integer, got `{v}`"))?;
             }
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             file => o.paths.push(file.to_owned()),
@@ -696,7 +713,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let rendered = render(&reports, &metrics, cache, &o.format)?;
+    let rendered = render(&reports, &metrics, cache, &o.format, o.node_limit)?;
     match &o.out {
         None => out(&rendered),
         Some(path) => {
@@ -742,6 +759,7 @@ fn render(
     metrics: &BatchMetrics,
     cache: Option<&CacheStats>,
     format: &str,
+    node_limit: usize,
 ) -> Result<String, String> {
     match format {
         "json" => serde_json::to_string_pretty(&RunOutput {
@@ -768,7 +786,7 @@ fn render(
         _ => {
             let mut out = String::new();
             for r in reports {
-                out.push_str(&r.summary());
+                out.push_str(&r.summary_with_node_limit(node_limit));
                 out.push('\n');
             }
             out.push_str(&batch_line(metrics, cache));
@@ -1146,6 +1164,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut threads: Option<usize> = None;
     let mut quick = false;
     let mut no_check = false;
+    let mut tiered = false;
     let mut max_delta_pp: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1156,6 +1175,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             "--out" | "-o" => out_path = Some(required(&mut it, "--out <FILE>")?),
             "--quick" => quick = true,
             "--no-check" => no_check = true,
+            "--tiered" => tiered = true,
             "--threads" => {
                 let v = required(&mut it, "--threads <N>")?;
                 threads =
@@ -1234,14 +1254,13 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
 
     let mut reports: Vec<wsnem_scenario::CompareReport> = Vec::new();
     for scenario in &scenarios {
-        reports.push(
-            wsnem_scenario::compare_scenario_with(
-                scenario,
-                wsnem_scenario::global_registry(),
-                threads,
-            )
-            .map_err(|e| format!("{}: {e}", scenario.name))?,
-        );
+        let registry = wsnem_scenario::global_registry();
+        let report = if tiered {
+            wsnem_scenario::compare_scenario_tiered(scenario, registry, threads)
+        } else {
+            wsnem_scenario::compare_scenario_with(scenario, registry, threads)
+        };
+        reports.push(report.map_err(|e| format!("{}: {e}", scenario.name))?);
     }
 
     // Directory comparisons merge into one document: concatenated
@@ -1502,10 +1521,17 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
 fn cmd_topology(args: &[String]) -> Result<(), String> {
     let mut file: Option<String> = None;
     let mut builtin_name: Option<String> = None;
+    let mut limit = DEFAULT_SUMMARY_NODE_LIMIT;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--builtin" => builtin_name = Some(required(&mut it, "--builtin <NAME>")?),
+            "--limit" => {
+                let v = required(&mut it, "--limit <N>")?;
+                limit = v
+                    .parse()
+                    .map_err(|_| format!("--limit expects a non-negative integer, got `{v}`"))?;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             f if file.is_none() => file = Some(f.to_owned()),
             extra => return Err(format!("unexpected argument `{extra}`")),
@@ -1518,6 +1544,9 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("scenario `{}` declares no network", scenario.name))?;
     let profile = scenario.profile.build().map_err(|e| e.to_string())?;
     let battery = scenario.battery.build().map_err(|e| e.to_string())?;
+    if spec.template.is_some() {
+        return topology_template(&scenario, spec, &profile, &battery, limit);
+    }
     let net = spec
         .build_network(scenario.cpu, &profile, &battery)
         .map_err(|e| e.to_string())?;
@@ -1545,7 +1574,7 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
         "cpu load/s",
         "radio (duty)"
     );
-    for (i, node) in net.nodes.iter().enumerate() {
+    for (i, node) in net.nodes.iter().take(limit).enumerate() {
         let next = match net.next_hop[i] {
             wsnem_scenario::NextHop::Sink => "(sink)".to_owned(),
             wsnem_scenario::NextHop::Node(j) => net.nodes[j].name.clone(),
@@ -1567,6 +1596,12 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
             radio
         );
     }
+    if net.nodes.len() > limit {
+        outln!(
+            "  … and {} more node(s); use --limit to show more",
+            net.nodes.len() - limit
+        );
+    }
     if let Some((i, _)) = forwarded
         .iter()
         .enumerate()
@@ -1580,6 +1615,94 @@ fn cmd_topology(args: &[String]) -> Result<(), String> {
             "\n  heaviest relay: `{}` forwards {:.3} pkt/s for {} node(s) \
              (lifetime bottleneck: see `wsnem run`)",
             net.nodes[i].name,
+            forwarded[i],
+            sizes[i] - 1
+        );
+    }
+    Ok(())
+}
+
+/// `wsnem topology` for a template-declared network: routing comes off the
+/// structure-of-arrays core, so a million-node topology inspects without
+/// ever materializing per-node structs.
+fn topology_template(
+    scenario: &Scenario,
+    spec: &wsnem_scenario::NetworkSpec,
+    profile: &wsnem_scenario::PowerProfile,
+    battery: &wsnem_scenario::Battery,
+    limit: usize,
+) -> Result<(), String> {
+    let soa = spec
+        .build_soa(scenario.cpu, profile, battery)
+        .map_err(|e| e.to_string())?;
+    let routing = soa.routing().map_err(|e| e.to_string())?;
+    let (depths, forwarded, sizes) = (&routing.depths, &routing.forwarded, &routing.subtree_sizes);
+    let sink_inflow: f64 = (0..soa.len())
+        .filter(|&i| soa.parent[i] == wsnem_scenario::SINK)
+        .map(|i| soa.event_rate[i] * soa.tx_per_event[i] + forwarded[i])
+        .sum();
+    let shape = spec.topology.as_ref().map(|t| t.label()).unwrap_or("star");
+    let radio = format!(
+        "{} ({:.2}%)",
+        spec.radio
+            .as_ref()
+            .map(|r| r.label().to_owned())
+            .unwrap_or_else(|| wsnem_scenario::DEFAULT_RADIO_PRESET.to_owned()),
+        100.0 * soa.radio.duty_cycle()
+    );
+    outln!(
+        "scenario `{}`: {shape} topology (template), {} node(s), max depth {}, \
+         sink inflow {:.3} pkt/s\n",
+        scenario.name,
+        soa.len(),
+        depths.iter().max().copied().unwrap_or(0),
+        sink_inflow
+    );
+    outln!(
+        "  {:<16} {:<16} {:>5} {:>8} {:>12} {:>12} {:>12}  {:<20}",
+        "node",
+        "next hop",
+        "depth",
+        "subtree",
+        "own tx/s",
+        "fwd rx/s",
+        "cpu load/s",
+        "radio (duty)"
+    );
+    for i in 0..soa.len().min(limit) {
+        let next = if soa.parent[i] == wsnem_scenario::SINK {
+            "(sink)".to_owned()
+        } else {
+            soa.name(soa.parent[i] as usize)
+        };
+        outln!(
+            "  {:<16} {:<16} {:>5} {:>8} {:>12.3} {:>12.3} {:>12.3}  {:<20}",
+            soa.name(i),
+            next,
+            depths[i],
+            sizes[i],
+            soa.event_rate[i] * soa.tx_per_event[i],
+            forwarded[i],
+            soa.event_rate[i] + forwarded[i],
+            radio
+        );
+    }
+    if soa.len() > limit {
+        outln!(
+            "  … and {} more node(s); use --limit to show more",
+            soa.len() - limit
+        );
+    }
+    if let Some((i, _)) = forwarded
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| **f > 0.0)
+        .max_by(|a, b| a.1.total_cmp(b.1))
+    {
+        outln!(
+            "\n  heaviest relay: `{}` forwards {:.3} pkt/s for {} node(s) \
+             (lifetime bottleneck: see `wsnem run`)",
+            soa.name(i),
             forwarded[i],
             sizes[i] - 1
         );

@@ -303,7 +303,7 @@ fn compare_csv_and_json_formats() {
     );
     assert!(header.iter().any(|h| h == "d_active_pp"), "{header:?}");
     let rows: Vec<Vec<String>> = lines.map(csv_fields).collect();
-    assert_eq!(rows.len(), 4, "one row per backend: {text}");
+    assert_eq!(rows.len(), 5, "one row per backend: {text}");
     for row in &rows {
         assert_eq!(row.len(), header.len(), "{row:?}");
     }
@@ -959,15 +959,15 @@ fn compare_merges_directory_matrices_into_one_document() {
         .position(|h| h.trim() == "scenario")
         .unwrap_or_else(|| panic!("missing scenario column in {header:?}"));
     let rows: Vec<Vec<String>> = lines.map(csv_fields).collect();
-    // One merged document: a single header, then 4 backend rows per
+    // One merged document: a single header, then 5 backend rows per
     // scenario, in sorted file order.
-    assert_eq!(rows.len(), 8, "{text}");
+    assert_eq!(rows.len(), 10, "{text}");
     assert!(
-        rows[..4].iter().all(|r| r[scenario_col] == "fleet-1"),
+        rows[..5].iter().all(|r| r[scenario_col] == "fleet-1"),
         "{text}"
     );
     assert!(
-        rows[4..].iter().all(|r| r[scenario_col] == "fleet-2"),
+        rows[5..].iter().all(|r| r[scenario_col] == "fleet-2"),
         "{text}"
     );
     assert!(
@@ -999,4 +999,108 @@ fn quick_smoke_runs_every_builtin_including_multihop() {
         "{text}"
     );
     assert!(text.contains("bottleneck relay `root`"), "{text}");
+}
+
+/// A v5 template scenario: 2000 nodes on a fanout-4 tree, analytic backend.
+fn template_scenario_toml() -> String {
+    r#"
+schema_version = 5
+name = "template-tree"
+description = "template fast-path fixture"
+profile = "Pxa271"
+battery = "TwoAa"
+backends = ["Mg1"]
+
+[cpu]
+lambda = 1.0
+mu = 10.0
+power_down_threshold = 0.5
+power_up_delay = 0.001
+horizon = 1000.0
+warmup = 0.0
+replications = 2
+master_seed = 7
+
+[report]
+energy_horizon_s = 1000.0
+
+[network]
+nodes = []
+
+[network.topology.Tree]
+fanout = 4
+
+[network.template]
+count = 2000
+prefix = "n"
+event_rate = 1e-4
+tx_per_event = 1.0
+rx_rate = 0.0
+"#
+    .to_owned()
+}
+
+#[test]
+fn run_limit_truncates_per_node_summary_lines() {
+    // tree-collection has 7 nodes: `--limit 2` must show 2 and a footer,
+    // the default must show all 7 with no footer.
+    let out = wsnem(&[
+        "run",
+        "--builtin",
+        "tree-collection",
+        "--quick",
+        "--limit",
+        "2",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("… and 5 more node(s); use --limit to show more"),
+        "{text}"
+    );
+    assert_eq!(text.matches("hop ").count(), 2, "{text}");
+
+    let out = wsnem(&["run", "--builtin", "tree-collection", "--quick"]);
+    let text = stdout(&out);
+    assert!(!text.contains("more node(s)"), "{text}");
+    assert_eq!(text.matches("hop ").count(), 7, "{text}");
+
+    let out = wsnem(&["run", "--builtin", "tree-collection", "--limit", "-3"]);
+    assert!(!out.status.success(), "--limit must reject negatives");
+}
+
+#[test]
+fn template_scenario_reports_in_aggregate_form() {
+    let path = temp_file("template-tree.toml", &template_scenario_toml());
+    let path = path.to_str().unwrap();
+    let out = wsnem(&["run", path]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2000 nodes (aggregate)"), "{text}");
+    assert!(text.contains("worst 10 node(s) by lifetime:"), "{text}");
+    assert!(
+        text.contains("near-unstable nodes (rho >= 0.90): 0"),
+        "{text}"
+    );
+    // Aggregate reports carry no per-node CSV rows — one backend row only.
+    let out = wsnem(&["run", path, "--format", "csv"]);
+    let csv = stdout(&out);
+    assert_eq!(csv.lines().count(), 2, "header + one backend row: {csv}");
+}
+
+#[test]
+fn topology_inspector_handles_templates_and_limit() {
+    let path = temp_file("template-tree-topo.toml", &template_scenario_toml());
+    let out = wsnem(&["topology", path.to_str().unwrap(), "--limit", "3"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("tree topology (template), 2000 node(s)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("… and 1997 more node(s); use --limit to show more"),
+        "{text}"
+    );
+    assert!(text.contains("heaviest relay: `n1`"), "{text}");
 }

@@ -34,13 +34,16 @@ use crate::params::CpuModelParams;
 /// core models, the node/network layer and the scenario schema (where the
 /// deprecated `CpuBackend` and `Backend` aliases now point here).
 ///
-/// Serialized as its canonical variant name (`"Markov"`, `"ErlangPhase"`,
-/// `"PetriNet"`, `"Des"`), so scenario files written against earlier schema
-/// versions keep loading unchanged.
+/// Serialized as its canonical variant name (`"Markov"`, `"Mg1"`,
+/// `"ErlangPhase"`, `"PetriNet"`, `"Des"`), so scenario files written
+/// against earlier schema versions keep loading unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BackendId {
     /// Supplementary-variable closed forms (paper §4.1, Eqs. 1–24).
     Markov,
+    /// Exact M/G/1 Pollaczek–Khinchine closed form — analytic occupancy and
+    /// wait for any service-time law; the million-node fast path.
+    Mg1,
     /// Erlang-phase CTMC expansion of the deterministic delays — analytic
     /// *and* accurate for large `D`.
     ErlangPhase,
@@ -53,8 +56,9 @@ pub enum BackendId {
 
 impl BackendId {
     /// Every backend, in canonical (cheapest-first) order.
-    pub const ALL: [BackendId; 4] = [
+    pub const ALL: [BackendId; 5] = [
         BackendId::Markov,
+        BackendId::Mg1,
         BackendId::ErlangPhase,
         BackendId::PetriNet,
         BackendId::Des,
@@ -65,6 +69,7 @@ impl BackendId {
     pub fn name(self) -> &'static str {
         match self {
             BackendId::Markov => "Markov",
+            BackendId::Mg1 => "Mg1",
             BackendId::ErlangPhase => "ErlangPhase",
             BackendId::PetriNet => "PetriNet",
             BackendId::Des => "Des",
@@ -75,6 +80,7 @@ impl BackendId {
     pub fn paper_label(self) -> &'static str {
         match self {
             BackendId::Markov => "Markov",
+            BackendId::Mg1 => "M/G/1",
             BackendId::ErlangPhase => "Erlang Phase",
             BackendId::PetriNet => "Petri Net",
             BackendId::Des => "Simulation",
@@ -96,6 +102,8 @@ impl BackendId {
             }
         }
         match folded.as_str() {
+            // "M/G/1", "m-g-1" etc. already fold onto the canonical "mg1".
+            "pk" | "pollaczekkhinchine" => return Ok(BackendId::Mg1),
             "phase" | "erlang" => return Ok(BackendId::ErlangPhase),
             "petri" | "pn" | "edspn" => return Ok(BackendId::PetriNet),
             "sim" | "simulation" => return Ok(BackendId::Des),
@@ -397,7 +405,7 @@ pub trait CpuSolver: Send + Sync {
 
 /// The solver registry — the workspace's single backend-dispatch site.
 ///
-/// [`BackendRegistry::builtin`] registers the four in-tree solvers; custom
+/// [`BackendRegistry::builtin`] registers the five in-tree solvers; custom
 /// registries can register additional (or replacement) [`CpuSolver`]s.
 #[derive(Default)]
 pub struct BackendRegistry {
@@ -418,12 +426,13 @@ impl BackendRegistry {
         Self::default()
     }
 
-    /// The four in-tree solvers, in canonical order. **This is the one
+    /// The five in-tree solvers, in canonical order. **This is the one
     /// backend-dispatch site in the workspace** — a new backend is wired in
     /// by registering it here (or into a custom registry).
     pub fn builtin() -> Self {
         let mut r = Self::new();
         r.register(Box::new(crate::models::markov_model::MarkovSolver));
+        r.register(Box::new(crate::models::mg1_model::Mg1Solver));
         r.register(Box::new(crate::models::phase_model::ErlangPhaseSolver));
         r.register(Box::new(crate::models::petri_model::PetriSolver));
         r.register(Box::new(crate::models::des_model::DesSolver));
@@ -539,6 +548,9 @@ mod tests {
     fn lenient_parse_accepts_aliases() {
         for (alias, id) in [
             ("markov", BackendId::Markov),
+            ("m/g/1", BackendId::Mg1),
+            ("MG1", BackendId::Mg1),
+            ("pk", BackendId::Mg1),
             ("erlang-phase", BackendId::ErlangPhase),
             ("phase", BackendId::ErlangPhase),
             ("petri", BackendId::PetriNet),
@@ -643,7 +655,7 @@ mod tests {
     fn builtin_registry_covers_all_backends() {
         let r = BackendRegistry::builtin();
         assert_eq!(r.ids(), BackendId::ALL.to_vec());
-        assert_eq!(r.len(), 4);
+        assert_eq!(r.len(), 5);
         assert!(!r.is_empty());
         for caps in r.capabilities() {
             assert_eq!(r.capabilities_of(caps.id).unwrap(), caps);
@@ -655,7 +667,7 @@ mod tests {
         let mut ranks: Vec<u8> = r.capabilities().iter().map(|c| c.cost_rank).collect();
         ranks.sort_unstable();
         ranks.dedup();
-        assert_eq!(ranks.len(), 4);
+        assert_eq!(ranks.len(), 5);
         assert_eq!(format!("{r:?}").matches("Markov").count(), 1);
     }
 
@@ -690,7 +702,7 @@ mod tests {
         }
         let mut r = BackendRegistry::builtin();
         r.register(Box::new(FakeDes));
-        assert_eq!(r.len(), 4, "replacement, not duplication");
+        assert_eq!(r.len(), 5, "replacement, not duplication");
         assert_eq!(r.capabilities_of(BackendId::Des).unwrap().cost_rank, 9);
         let err = r
             .solve(

@@ -9,6 +9,8 @@
 //!   `wsnem-petri` token game,
 //! * [`DesCpuModel`] — the discrete-event ground-truth simulator
 //!   (the paper's Matlab benchmark),
+//! * [`Mg1CpuModel`] — the exact M/G/1 Pollaczek–Khinchine closed form for
+//!   any service-time law (the million-node analytic fast path),
 //!
 //! all behind the [`CpuModel`] trait, plus the [`experiments`] harness that
 //! regenerates every table and figure of the evaluation section (Fig. 4,
@@ -40,6 +42,7 @@ pub use error::CoreError;
 pub use evaluation::{CpuModel, ModelEvaluation, ModelKind};
 pub use models::des_model::{DesCpuModel, DesSolver};
 pub use models::markov_model::{MarkovCpuModel, MarkovSolver};
+pub use models::mg1_model::{Mg1CpuModel, Mg1Solver};
 pub use models::petri_model::{
     build_cpu_edspn, build_cpu_edspn_with_service, state_rewards, CpuNetHandles, PetriCpuModel,
     PetriSolver,

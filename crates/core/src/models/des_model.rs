@@ -123,7 +123,7 @@ impl CpuSolver for DesSolver {
             provides_latency: true,
             uses_seed: true,
             requires_positive_delays: false,
-            cost_rank: 3,
+            cost_rank: 4,
         }
     }
 

@@ -296,7 +296,7 @@ impl CpuSolver for PetriSolver {
             provides_latency: true,
             uses_seed: true,
             requires_positive_delays: false,
-            cost_rank: 2,
+            cost_rank: 3,
         }
     }
 

@@ -102,7 +102,7 @@ impl CpuSolver for ErlangPhaseSolver {
             provides_latency: true,
             uses_seed: false,
             requires_positive_delays: true,
-            cost_rank: 1,
+            cost_rank: 2,
         }
     }
 

@@ -162,6 +162,7 @@ pub fn heterogeneous_star() -> Scenario {
         ],
         topology: None,
         radio: None,
+        template: None,
     });
     s
 }
@@ -192,6 +193,7 @@ pub fn tree_collection() -> Scenario {
             .collect(),
         topology: Some(TopologySpec::Tree { fanout: 2 }),
         radio: None,
+        template: None,
     });
     s
 }
@@ -221,6 +223,7 @@ pub fn chain_3hop() -> Scenario {
         ],
         topology: Some(TopologySpec::Chain),
         radio: None,
+        template: None,
     });
     s
 }
@@ -275,6 +278,7 @@ pub fn mesh_field() -> Scenario {
             ],
         }),
         radio: None,
+        template: None,
     });
     s
 }
@@ -366,6 +370,7 @@ pub fn lpl_period_sweep() -> Scenario {
         ],
         topology: None,
         radio: None,
+        template: None,
     });
     s
 }
@@ -403,6 +408,7 @@ pub fn mac_heterogeneous_tree() -> Scenario {
             strobe_s: 0.004,
             ack_s: 0.001,
         }),
+        template: None,
     });
     s
 }

@@ -114,6 +114,13 @@ pub struct BackendSeconds {
     pub seconds: f64,
 }
 
+/// Utilization below which tiered comparison (`wsnem compare --tiered`)
+/// skips the simulation backends: at low ρ the analytic backends are exact
+/// and the simulators only add wall-clock cost and Monte-Carlo noise. At
+/// and above this threshold, heavy-traffic effects are what simulation is
+/// for, so every backend runs.
+pub const TIERED_RHO_THRESHOLD: f64 = 0.9;
+
 /// Compare every backend of the built-in registry on a scenario.
 pub fn compare_scenario(scenario: &Scenario) -> Result<CompareReport, ScenarioError> {
     compare_scenario_with(scenario, backend::global(), None)
@@ -125,6 +132,33 @@ pub fn compare_scenario_with(
     scenario: &Scenario,
     registry: &BackendRegistry,
     inner_threads: Option<usize>,
+) -> Result<CompareReport, ScenarioError> {
+    compare_impl(scenario, registry, inner_threads, None)
+}
+
+/// [`compare_scenario_with`] with capability-driven tiering: points whose
+/// utilization ρ = λ·E\[S\] stays below [`TIERED_RHO_THRESHOLD`] run only the
+/// analytic backends; the simulators get a "skipped by tiering" cell at
+/// zero cost. Points at or above the threshold compare every backend, as
+/// the untiered matrix does.
+pub fn compare_scenario_tiered(
+    scenario: &Scenario,
+    registry: &BackendRegistry,
+    inner_threads: Option<usize>,
+) -> Result<CompareReport, ScenarioError> {
+    compare_impl(
+        scenario,
+        registry,
+        inner_threads,
+        Some(TIERED_RHO_THRESHOLD),
+    )
+}
+
+fn compare_impl(
+    scenario: &Scenario,
+    registry: &BackendRegistry,
+    inner_threads: Option<usize>,
+    tier: Option<f64>,
 ) -> Result<CompareReport, ScenarioError> {
     scenario.validate_with(registry)?;
     if registry.is_empty() {
@@ -160,9 +194,26 @@ pub fn compare_scenario_with(
 
     for (value, params) in points {
         let opts = scenario_eval_options(scenario, params, inner_threads);
+        // Tiering: below the ρ threshold only analytic backends run — the
+        // closed forms are exact there, and the simulators would just burn
+        // wall-clock confirming them.
+        let skip_simulated = tier.and_then(|threshold| {
+            use wsnem_stats::dist::Sample;
+            let service = scenario.service.unwrap_or_default();
+            let rho = params.lambda * service.to_dist(params.mu).mean();
+            (rho < threshold).then_some((rho, threshold))
+        });
         let evals: Vec<(BackendId, Result<wsnem_core::ModelEvaluation, String>, f64)> = backends
             .iter()
             .map(|&id| {
+                let analytic = registry
+                    .capabilities_of(id)
+                    .map(|c| c.analytic)
+                    .unwrap_or(false);
+                if let Some((rho, threshold)) = skip_simulated.filter(|_| !analytic) {
+                    let msg = format!("skipped by tiering (rho = {rho:.3} < {threshold})");
+                    return (id, Err(msg), 0.0);
+                }
                 let t0 = Instant::now();
                 let result = registry
                     .solve(id, &params, &opts)
@@ -382,7 +433,7 @@ mod tests {
         assert_eq!(report.rows.len(), 1, "no sweep → base row only");
         assert!(report.axis.is_none());
         let row = &report.rows[0];
-        assert_eq!(row.cells.len(), 4);
+        assert_eq!(row.cells.len(), 5);
         for c in &row.cells {
             assert!(c.error.is_none(), "{:?}", c);
             assert!(c.fractions.unwrap().is_normalized(1e-6));
@@ -425,12 +476,55 @@ mod tests {
         assert_eq!(report.rows[1].value, Some(0.2));
         assert_eq!(report.rows[2].value, Some(0.8));
         let csv = report.csv_rows();
-        assert_eq!(csv.len(), 3 * 4);
+        assert_eq!(csv.len(), 3 * 5);
         let cols = CompareReport::CSV_HEADER.split(',').count();
         for row in &csv {
             assert_eq!(row.split(',').count(), cols, "{row}");
         }
-        assert!(csv[4].contains(",power_down_threshold,0.2,"), "{}", csv[4]);
+        assert!(csv[5].contains(",power_down_threshold,0.2,"), "{}", csv[5]);
+    }
+
+    #[test]
+    fn tiered_compare_skips_simulators_below_rho_threshold() {
+        // The paper defaults sit far below the 0.9 tier — only the
+        // analytic backends run at the base point. A λ-sweep point pushed
+        // to ρ = 0.95 crosses the tier and runs everything again.
+        let mut s = quick_scenario();
+        let mu = s.cpu.mu;
+        s.sweep = Some(SweepSpec {
+            axis: SweepAxis::Lambda,
+            values: vec![0.95 * mu],
+        });
+        let registry = backend::global();
+        let report = compare_scenario_tiered(&s, registry, None).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        for c in &report.rows[0].cells {
+            let analytic = registry.capabilities_of(c.backend).unwrap().analytic;
+            if analytic {
+                assert!(c.error.is_none(), "{c:?}");
+                assert!(c.fractions.is_some(), "{c:?}");
+            } else {
+                let err = c.error.as_deref().unwrap();
+                assert!(err.contains("skipped by tiering"), "{err}");
+                assert!(err.contains("< 0.9"), "{err}");
+                assert_eq!(c.eval_seconds, 0.0);
+                assert!(c.fractions.is_none());
+                assert!(c.delta_pp.is_none());
+            }
+        }
+        // Above the threshold every backend evaluates, including the
+        // simulators.
+        for c in &report.rows[1].cells {
+            assert!(c.error.is_none(), "{c:?}");
+            assert!(c.fractions.is_some(), "{c:?}");
+        }
+        // The untiered matrix is untouched by the new path: all cells run.
+        let full = compare_scenario_with(&s, registry, None).unwrap();
+        for row in &full.rows {
+            for c in &row.cells {
+                assert!(c.error.is_none(), "{c:?}");
+            }
+        }
     }
 
     #[test]

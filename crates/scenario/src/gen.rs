@@ -184,14 +184,20 @@ impl GenField {
                 let mut net = needs_network(s)?;
                 reject_mesh(&net)?;
                 let n = (value as usize).max(1);
-                let proto = net.nodes[0].clone();
-                net.nodes = (1..=n)
-                    .map(|i| {
-                        let mut node = proto.clone();
-                        node.name = format!("n{i:03}");
-                        node
-                    })
-                    .collect();
+                if let Some(t) = &mut net.template {
+                    // Template networks scale by count alone — no per-node
+                    // structs to clone.
+                    t.count = n as u64;
+                } else {
+                    let proto = net.nodes[0].clone();
+                    net.nodes = (1..=n)
+                        .map(|i| {
+                            let mut node = proto.clone();
+                            node.name = format!("n{i:03}");
+                            node
+                        })
+                        .collect();
+                }
                 s.network = Some(net);
             }
         }
@@ -648,6 +654,33 @@ mod tests {
                 ref other => panic!("expected a tree, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn node_count_scales_template_networks_by_count() {
+        let mut base = builtin::tree_collection();
+        let net = base.network.as_mut().unwrap();
+        net.nodes.clear();
+        net.template = Some(crate::schema::TemplateSpec {
+            count: 2,
+            prefix: "n".into(),
+            // Small enough that the tree root stays stable while the
+            // sampler scales the count into the thousands.
+            event_rate: 1e-5,
+            tx_per_event: 1.0,
+            rx_rate: 0.05,
+        });
+        let s = spec(
+            GenMethod::Grid,
+            0,
+            vec![field(GenField::NodeCount, 5000.0, 5000.0, Some(1))],
+        );
+        let fleet = generate(&base, &s).unwrap();
+        assert_eq!(fleet.len(), 1);
+        let net = fleet[0].network.as_ref().unwrap();
+        assert!(net.nodes.is_empty(), "template nets stay node-free");
+        assert_eq!(net.template.as_ref().unwrap().count, 5000);
+        fleet[0].validate().unwrap();
     }
 
     #[test]

@@ -76,22 +76,32 @@ pub mod runner;
 pub mod schema;
 
 pub use cache::{CacheMode, CacheStats, ResultCache};
-pub use compare::{compare_scenario, compare_scenario_with, CompareReport};
+pub use compare::{
+    compare_scenario, compare_scenario_tiered, compare_scenario_with, CompareReport,
+    TIERED_RHO_THRESHOLD,
+};
 pub use error::ScenarioError;
 pub use files::{load, FileFormat};
 pub use gen::{FieldSpec, GenField, GenMethod, GenSpec};
 // Re-exported so consumers of `TopologySpec::build_next_hops` /
 // `NetworkSpec::build_network` (e.g. the CLI) need no direct wsn dependency.
 pub use report::{
-    AgreementCheck, BackendReport, EnergyReport, NetworkReport, NodeReport, PhaseSeconds,
-    ScenarioReport,
+    AggregateNetworkReport, AgreementCheck, BackendReport, CohortNodeReport, EnergyReport,
+    HopDepthPercentile, LifetimeHistogramBin, NetworkReport, NodeReport, PhaseSeconds,
+    ScenarioReport, DEFAULT_SUMMARY_NODE_LIMIT,
 };
-pub use runner::{run_batch, run_batch_with_metrics, run_scenario, BatchMetrics, BatchProgress};
+pub use runner::{
+    run_batch, run_batch_with_metrics, run_scenario, BatchMetrics, BatchProgress,
+    AGGREGATE_NODE_THRESHOLD,
+};
 pub use schema::{
     Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, RouteSpec, Scenario,
-    SweepAxis, SweepSpec, TopologySpec, WorkloadSpec, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+    SweepAxis, SweepSpec, TemplateSpec, TopologySpec, WorkloadSpec, MIN_SCHEMA_VERSION,
+    SCHEMA_VERSION,
 };
 pub use wsnem_core::backend::global as global_registry;
 pub use wsnem_core::{BackendId, BackendRegistry, Capabilities, ServiceDist};
-pub use wsnem_energy::Battery;
-pub use wsnem_wsn::{Network, NextHop, RadioModel, RadioSpec, DEFAULT_RADIO_PRESET};
+pub use wsnem_energy::{Battery, PowerProfile};
+pub use wsnem_wsn::{
+    Network, NextHop, RadioModel, RadioSpec, SoaNetwork, SoaRouting, DEFAULT_RADIO_PRESET, SINK,
+};

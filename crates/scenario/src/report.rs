@@ -213,6 +213,91 @@ pub struct NetworkReport {
     pub radio: String,
 }
 
+/// One hop-depth percentile of an [`AggregateNetworkReport`]
+/// (nearest-rank: the depth of the node at rank ⌈p/100 · n⌉).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HopDepthPercentile {
+    /// The percentile (e.g. 50, 90, 99, 100).
+    pub percentile: f64,
+    /// Hop depth at that rank.
+    pub hop_depth: u32,
+}
+
+/// One equal-width bin of an aggregate report's lifetime histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeHistogramBin {
+    /// Inclusive lower edge (days).
+    pub lo_days: f64,
+    /// Exclusive upper edge (days); the global maximum lands in the last
+    /// bin.
+    pub hi_days: f64,
+    /// Nodes whose lifetime falls in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// One named node of an aggregate report's worst-lifetime cohort — the K
+/// shortest-lived nodes, the only ones a large-net report names
+/// individually.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortNodeReport {
+    /// Node name.
+    pub name: String,
+    /// Hops to the sink.
+    pub hop_depth: u32,
+    /// Forwarded traffic this node relays (packets/s).
+    pub forwarded_rx_pkts_s: f64,
+    /// Effective CPU utilization ρ = (event rate + forwarded) · E\[S\].
+    pub rho: f64,
+    /// Total mean power (mW).
+    pub total_power_mw: f64,
+    /// Expected battery lifetime (days).
+    pub lifetime_days: f64,
+}
+
+/// Network section of a report in aggregate form — what large (or
+/// template-declared) networks emit instead of per-node rows. A 10^6-node
+/// report is a few hundred bytes: streaming statistics (histogram,
+/// percentiles), network totals and one small named cohort around the
+/// bottleneck, computed on the structure-of-arrays fast path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateNetworkReport {
+    /// Backend that evaluated the per-node CPU models.
+    pub backend: BackendId,
+    /// Topology shape label (`star`, `chain`, `tree`).
+    pub topology: String,
+    /// Number of nodes analyzed.
+    pub node_count: u64,
+    /// Days until the first node dies.
+    pub first_death_days: f64,
+    /// Mean node lifetime (days).
+    pub mean_lifetime_days: f64,
+    /// Summed mean power over all nodes (mW).
+    pub total_power_mw: f64,
+    /// Total packet rate entering the sink (packets/s).
+    pub sink_arrival_pkts_s: f64,
+    /// Deepest hop count in the network.
+    pub max_hop_depth: u32,
+    /// Name of the shortest-lived node.
+    pub bottleneck: String,
+    /// Name of the shortest-lived forwarding node (empty when nothing
+    /// forwards, e.g. a star).
+    pub bottleneck_relay: String,
+    /// Hop-depth distribution at fixed percentiles.
+    pub hop_depth_percentiles: Vec<HopDepthPercentile>,
+    /// Equal-width lifetime histogram over `[min, max]` days.
+    pub lifetime_histogram: Vec<LifetimeHistogramBin>,
+    /// The K shortest-lived nodes, ascending lifetime — the bottleneck
+    /// cohort (`worst_lifetime_cohort[0]` names the same node as
+    /// `bottleneck`).
+    pub worst_lifetime_cohort: Vec<CohortNodeReport>,
+    /// Nodes whose effective utilization reaches `near_unstable_rho`.
+    pub near_unstable_count: u64,
+    /// The utilization threshold `near_unstable_count` counted against.
+    pub near_unstable_rho: f64,
+    /// Label of the network-level duty-cycle MAC.
+    pub radio: String,
+}
+
 /// Wall-clock split of one scenario run by phase (`wsnem profile` feeds on
 /// this). The phases are disjoint; small bookkeeping between them means the
 /// sum can fall slightly below [`ScenarioReport::elapsed_seconds`].
@@ -241,11 +326,18 @@ pub struct ScenarioReport {
     pub sweep: Option<SweepReport>,
     /// Network section, when the scenario declares one.
     pub network: Option<NetworkReport>,
+    /// Aggregate network section — replaces `network` when the network is
+    /// template-declared or larger than the runner's aggregate threshold.
+    pub network_aggregate: Option<AggregateNetworkReport>,
     /// Wall-clock split of the run by phase.
     pub phase_seconds: PhaseSeconds,
     /// Total wall-clock time to run the scenario (s).
     pub elapsed_seconds: f64,
 }
+
+/// Per-node lines a [`ScenarioReport::summary`] prints before truncating
+/// with an "… and K more" footer (`--limit` overrides it).
+pub const DEFAULT_SUMMARY_NODE_LIMIT: usize = 50;
 
 impl ScenarioReport {
     /// CSV header matching [`ScenarioReport::csv_rows`]. The seven trailing
@@ -335,8 +427,15 @@ impl ScenarioReport {
         rows
     }
 
-    /// A short human-readable summary block.
+    /// A short human-readable summary block, printing at most
+    /// [`DEFAULT_SUMMARY_NODE_LIMIT`] per-node lines.
     pub fn summary(&self) -> String {
+        self.summary_with_node_limit(DEFAULT_SUMMARY_NODE_LIMIT)
+    }
+
+    /// A short human-readable summary block. At most `node_limit` per-node
+    /// lines are printed; the rest collapse into an "… and K more" footer.
+    pub fn summary_with_node_limit(&self, node_limit: usize) -> String {
         let mut out = format!("scenario: {}\n", self.scenario);
         for b in &self.backends {
             out.push_str(&format!(
@@ -398,7 +497,7 @@ impl ScenarioReport {
                     n.bottleneck_relay
                 ));
             }
-            for node in &n.nodes {
+            for node in n.nodes.iter().take(node_limit) {
                 out.push_str(&format!(
                     "    {:<12} hop {}  fwd {:>7.3} pkt/s  radio {} (duty {:>5.1}%, \
                      {:>7.3} mW)  power {:>8.3} mW  lifetime {:>8.2} d\n",
@@ -412,6 +511,82 @@ impl ScenarioReport {
                     node.lifetime_days
                 ));
             }
+            if n.nodes.len() > node_limit {
+                out.push_str(&format!(
+                    "    … and {} more node(s); use --limit to show more\n",
+                    n.nodes.len() - node_limit
+                ));
+            }
+        }
+        if let Some(a) = &self.network_aggregate {
+            out.push_str(&format!(
+                "  network[{}, {}, radio {}]: {} nodes (aggregate), depth {}, \
+                 sink inflow {:.3} pkt/s, first death {:.1} d (bottleneck `{}`), \
+                 mean {:.1} d, total {:.3} W\n",
+                a.topology,
+                a.backend,
+                a.radio,
+                a.node_count,
+                a.max_hop_depth,
+                a.sink_arrival_pkts_s,
+                a.first_death_days,
+                a.bottleneck,
+                a.mean_lifetime_days,
+                a.total_power_mw / 1000.0
+            ));
+            if !a.bottleneck_relay.is_empty() {
+                out.push_str(&format!(
+                    "    bottleneck relay `{}` (shortest-lived forwarder)\n",
+                    a.bottleneck_relay
+                ));
+            }
+            if !a.hop_depth_percentiles.is_empty() {
+                let pct: Vec<String> = a
+                    .hop_depth_percentiles
+                    .iter()
+                    .map(|p| format!("p{:.0} {}", p.percentile, p.hop_depth))
+                    .collect();
+                out.push_str(&format!("    hop depth: {}\n", pct.join("  ")));
+            }
+            if !a.lifetime_histogram.is_empty() {
+                let peak = a
+                    .lifetime_histogram
+                    .iter()
+                    .map(|b| b.count)
+                    .max()
+                    .unwrap_or(0)
+                    .max(1);
+                out.push_str("    lifetime histogram (days):\n");
+                for bin in &a.lifetime_histogram {
+                    let bar = "#".repeat(((bin.count * 40) / peak) as usize);
+                    out.push_str(&format!(
+                        "      [{:>9.2}, {:>9.2})  {:>9}  {bar}\n",
+                        bin.lo_days, bin.hi_days, bin.count
+                    ));
+                }
+            }
+            if !a.worst_lifetime_cohort.is_empty() {
+                out.push_str(&format!(
+                    "    worst {} node(s) by lifetime:\n",
+                    a.worst_lifetime_cohort.len()
+                ));
+                for c in &a.worst_lifetime_cohort {
+                    out.push_str(&format!(
+                        "      {:<12} hop {}  fwd {:>9.3} pkt/s  rho {:>5.3}  \
+                         power {:>8.3} mW  lifetime {:>8.2} d\n",
+                        c.name,
+                        c.hop_depth,
+                        c.forwarded_rx_pkts_s,
+                        c.rho,
+                        c.total_power_mw,
+                        c.lifetime_days
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "    near-unstable nodes (rho >= {:.2}): {}\n",
+                a.near_unstable_rho, a.near_unstable_count
+            ));
         }
         out.push_str(&format!(
             "  elapsed: {:.3} s (base {:.3}, sweep {:.3}, network {:.3})\n",
@@ -472,6 +647,7 @@ mod tests {
                 best_power_mw: 70.1,
             }),
             network: None,
+            network_aggregate: None,
             phase_seconds: PhaseSeconds::default(),
             elapsed_seconds: 0.0,
         };
@@ -497,6 +673,7 @@ mod tests {
             agreement: vec![],
             sweep: None,
             network: None,
+            network_aggregate: None,
             phase_seconds: PhaseSeconds::default(),
             elapsed_seconds: 0.0,
         };
@@ -562,6 +739,7 @@ mod tests {
                 sink_arrival_pkts_s: 2.0,
                 radio: "b-mac".into(),
             }),
+            network_aggregate: None,
             phase_seconds: PhaseSeconds::default(),
             elapsed_seconds: 0.25,
         };
@@ -610,6 +788,7 @@ mod tests {
                 sink_arrival_pkts_s: 1.5,
                 radio: "cc2420-class".into(),
             }),
+            network_aggregate: None,
             phase_seconds: PhaseSeconds::default(),
             elapsed_seconds: 0.0,
         };
@@ -629,5 +808,132 @@ mod tests {
         assert_eq!(rows[1].split(',').count(), header_cols, "{}", rows[1]);
         // RFC 4180: a node name with a comma stays one quoted field.
         assert!(rows[2].contains("\"leaf, deep\",2,0,false"), "{}", rows[2]);
+    }
+
+    fn node(name: &str) -> NodeReport {
+        NodeReport {
+            name: name.into(),
+            cpu_fractions: StateFractions::new(0.4, 0.0, 0.5, 0.1),
+            cpu_power_mw: 70.1,
+            radio_power_mw: 3.0,
+            total_power_mw: 73.1,
+            lifetime_days: 9.5,
+            hop_depth: 1,
+            forwarded_rx_pkts_s: 0.0,
+            radio_spec: "cc2420-class".into(),
+            radio_duty_cycle: 0.05,
+        }
+    }
+
+    fn network_of(n: usize) -> NetworkReport {
+        NetworkReport {
+            backend: BackendId::Markov,
+            topology: "star".into(),
+            nodes: (1..=n).map(|i| node(&format!("n{i}"))).collect(),
+            first_death_days: 9.5,
+            mean_lifetime_days: 9.5,
+            bottleneck: "n1".into(),
+            max_hop_depth: 1,
+            bottleneck_relay: String::new(),
+            sink_arrival_pkts_s: 1.0,
+            radio: "cc2420-class".into(),
+        }
+    }
+
+    #[test]
+    fn summary_truncates_node_lines_at_limit() {
+        let report = ScenarioReport {
+            scenario: "big".into(),
+            schema_version: 5,
+            backends: vec![sample_backend_report()],
+            agreement: vec![],
+            sweep: None,
+            network: Some(network_of(5)),
+            network_aggregate: None,
+            phase_seconds: PhaseSeconds::default(),
+            elapsed_seconds: 0.0,
+        };
+        let s = report.summary_with_node_limit(2);
+        assert!(s.contains("n1 "), "{s}");
+        assert!(s.contains("n2 "), "{s}");
+        assert!(!s.contains("n3 "), "{s}");
+        assert!(s.contains("… and 3 more node(s)"), "{s}");
+        // Default limit (50) keeps all five lines and drops the footer.
+        let full = report.summary();
+        assert!(full.contains("n5 "), "{full}");
+        assert!(!full.contains("more node(s)"), "{full}");
+    }
+
+    #[test]
+    fn summary_renders_aggregate_block() {
+        let report = ScenarioReport {
+            scenario: "mega".into(),
+            schema_version: 5,
+            backends: vec![sample_backend_report()],
+            agreement: vec![],
+            sweep: None,
+            network: None,
+            network_aggregate: Some(AggregateNetworkReport {
+                backend: BackendId::Mg1,
+                topology: "tree".into(),
+                node_count: 1_000_000,
+                first_death_days: 1.9,
+                mean_lifetime_days: 250.0,
+                total_power_mw: 17_000_000.0,
+                sink_arrival_pkts_s: 5.0,
+                max_hop_depth: 11,
+                bottleneck: "n1".into(),
+                bottleneck_relay: "n1".into(),
+                hop_depth_percentiles: vec![
+                    HopDepthPercentile {
+                        percentile: 50.0,
+                        hop_depth: 9,
+                    },
+                    HopDepthPercentile {
+                        percentile: 100.0,
+                        hop_depth: 11,
+                    },
+                ],
+                lifetime_histogram: vec![
+                    LifetimeHistogramBin {
+                        lo_days: 1.9,
+                        hi_days: 150.0,
+                        count: 3,
+                    },
+                    LifetimeHistogramBin {
+                        lo_days: 150.0,
+                        hi_days: 300.0,
+                        count: 999_997,
+                    },
+                ],
+                worst_lifetime_cohort: vec![CohortNodeReport {
+                    name: "n1".into(),
+                    hop_depth: 1,
+                    forwarded_rx_pkts_s: 5.0,
+                    rho: 0.5,
+                    total_power_mw: 90.0,
+                    lifetime_days: 1.9,
+                }],
+                near_unstable_count: 0,
+                near_unstable_rho: 0.9,
+                radio: "cc2420-class".into(),
+            }),
+            phase_seconds: PhaseSeconds::default(),
+            elapsed_seconds: 0.35,
+        };
+        let s = report.summary();
+        assert!(s.contains("network[tree, Mg1, radio cc2420-class]"), "{s}");
+        assert!(s.contains("1000000 nodes (aggregate)"), "{s}");
+        assert!(s.contains("bottleneck `n1`"), "{s}");
+        assert!(s.contains("bottleneck relay `n1`"), "{s}");
+        assert!(s.contains("p50 9"), "{s}");
+        assert!(s.contains("p100 11"), "{s}");
+        assert!(s.contains("lifetime histogram"), "{s}");
+        assert!(s.contains("999997"), "{s}");
+        assert!(s.contains("worst 1 node(s)"), "{s}");
+        assert!(s.contains("near-unstable nodes (rho >= 0.90): 0"), "{s}");
+        // An aggregate network never emits per-node CSV rows: one backend
+        // row only.
+        assert_eq!(report.csv_rows().len(), 1);
     }
 }

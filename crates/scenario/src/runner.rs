@@ -10,10 +10,28 @@ use wsnem_energy::{Battery, PowerProfile};
 
 use crate::error::ScenarioError;
 use crate::report::{
-    AgreementCheck, BackendReport, NetworkReport, NodeReport, PhaseSeconds, ScenarioReport,
+    AggregateNetworkReport, AgreementCheck, BackendReport, CohortNodeReport, HopDepthPercentile,
+    LifetimeHistogramBin, NetworkReport, NodeReport, PhaseSeconds, ScenarioReport,
     SweepPointReport, SweepReport,
 };
 use crate::schema::Scenario;
+
+/// Networks larger than this (and all template-declared networks, whatever
+/// their size) take the structure-of-arrays fast path and report in
+/// aggregate form instead of per-node rows.
+pub const AGGREGATE_NODE_THRESHOLD: usize = 1000;
+
+/// Nodes named individually in an aggregate report's worst-lifetime cohort.
+const AGGREGATE_COHORT_SIZE: usize = 10;
+
+/// Bins in an aggregate report's lifetime histogram.
+const AGGREGATE_HISTOGRAM_BINS: usize = 10;
+
+/// Hop-depth percentiles an aggregate report pins.
+const AGGREGATE_HOP_PERCENTILES: [f64; 4] = [50.0, 90.0, 99.0, 100.0];
+
+/// Utilization above which a node counts as near-unstable.
+const AGGREGATE_NEAR_UNSTABLE_RHO: f64 = 0.9;
 
 /// Aggregate wall-clock metrics for a batch run, as produced by
 /// [`run_batch_with_metrics`].
@@ -123,15 +141,28 @@ pub fn run_scenario_with_threads(
     phase_seconds.sweep_seconds = sweep_started.elapsed().as_secs_f64();
 
     let network_started = Instant::now();
-    let network = match &scenario.network {
-        None => None,
-        Some(spec) => Some(analyze_network(
-            scenario,
-            spec,
-            &profile,
-            &battery,
-            inner_threads,
-        )?),
+    let (network, network_aggregate) = match &scenario.network {
+        None => (None, None),
+        Some(spec) if spec.template.is_some() || spec.node_count() > AGGREGATE_NODE_THRESHOLD => (
+            None,
+            Some(analyze_network_aggregate(
+                scenario,
+                spec,
+                &profile,
+                &battery,
+                inner_threads,
+            )?),
+        ),
+        Some(spec) => (
+            Some(analyze_network(
+                scenario,
+                spec,
+                &profile,
+                &battery,
+                inner_threads,
+            )?),
+            None,
+        ),
     };
     phase_seconds.network_seconds = network_started.elapsed().as_secs_f64();
 
@@ -142,6 +173,7 @@ pub fn run_scenario_with_threads(
         agreement,
         sweep,
         network,
+        network_aggregate,
         phase_seconds,
         elapsed_seconds: started.elapsed().as_secs_f64(),
     })
@@ -361,17 +393,9 @@ fn agreement_checks(scenario: &Scenario, backends: &[BackendReport]) -> Vec<Agre
         .collect()
 }
 
-fn analyze_network(
-    scenario: &Scenario,
-    spec: &crate::schema::NetworkSpec,
-    profile: &PowerProfile,
-    battery: &Battery,
-    inner_threads: Option<usize>,
-) -> Result<NetworkReport, ScenarioError> {
-    // The network layer evaluates one node at a time; pick the cheapest
-    // backend the scenario requested, by capability cost rank (analytic
-    // over simulated) — no enum match, so custom backends slot in.
-    let registry = backend::global();
+/// The cheapest backend the scenario requested, by capability cost rank
+/// (analytic over simulated) — no enum match, so custom backends slot in.
+fn cheapest_backend(scenario: &Scenario, registry: &wsnem_core::BackendRegistry) -> BackendId {
     // Schema validation rejects empty backend lists.
     let Some(backend) = scenario.backends.iter().copied().min_by_key(|&b| {
         registry
@@ -381,6 +405,19 @@ fn analyze_network(
     }) else {
         unreachable!("validated scenario has no backends")
     };
+    backend
+}
+
+fn analyze_network(
+    scenario: &Scenario,
+    spec: &crate::schema::NetworkSpec,
+    profile: &PowerProfile,
+    battery: &Battery,
+    inner_threads: Option<usize>,
+) -> Result<NetworkReport, ScenarioError> {
+    // The network layer evaluates one node at a time.
+    let registry = backend::global();
+    let backend = cheapest_backend(scenario, registry);
     // Stars and routed topologies share one code path: a star is a routed
     // network whose forwarding loads are all zero, so the per-node numbers
     // are bit-identical to the v1 star analysis.
@@ -435,10 +472,93 @@ fn analyze_network(
     })
 }
 
+/// Analyze a large or template-declared network on the structure-of-arrays
+/// fast path and reduce it to streaming aggregates — never materializing
+/// per-node report rows, so a 10^6-node report stays a few hundred bytes.
+fn analyze_network_aggregate(
+    scenario: &Scenario,
+    spec: &crate::schema::NetworkSpec,
+    profile: &PowerProfile,
+    battery: &Battery,
+    inner_threads: Option<usize>,
+) -> Result<AggregateNetworkReport, ScenarioError> {
+    let registry = backend::global();
+    let backend = cheapest_backend(scenario, registry);
+    let soa = spec.build_soa(scenario.cpu, profile, battery)?;
+    let analysis = soa
+        .analyze_with(registry, backend, &EvalOptions::default(), inner_threads)
+        .map_err(|e| ScenarioError::Invalid(format!("scenario `{}`: {e}", scenario.name)))?;
+    let bottleneck = analysis
+        .bottleneck()
+        .map(|i| soa.name(i))
+        .unwrap_or_default();
+    let bottleneck_relay = analysis
+        .bottleneck_relay()
+        .map(|i| soa.name(i))
+        .unwrap_or_default();
+    let worst_lifetime_cohort = analysis
+        .worst_lifetime_cohort(AGGREGATE_COHORT_SIZE)
+        .into_iter()
+        .map(|i| CohortNodeReport {
+            name: soa.name(i),
+            hop_depth: analysis.depths[i],
+            forwarded_rx_pkts_s: analysis.forwarded[i],
+            rho: analysis.rho[i],
+            total_power_mw: analysis.total_power_mw[i],
+            lifetime_days: analysis.lifetime_days[i],
+        })
+        .collect();
+    Ok(AggregateNetworkReport {
+        backend,
+        topology: spec
+            .topology
+            .as_ref()
+            .map(|t| t.label())
+            .unwrap_or("star")
+            .to_owned(),
+        node_count: soa.len() as u64,
+        first_death_days: analysis.first_death_days(),
+        mean_lifetime_days: analysis.mean_lifetime_days(),
+        total_power_mw: analysis.total_power_mw(),
+        sink_arrival_pkts_s: analysis.sink_arrival_pkts_s,
+        max_hop_depth: analysis.max_hop_depth(),
+        bottleneck,
+        bottleneck_relay,
+        hop_depth_percentiles: analysis
+            .hop_depth_percentiles(&AGGREGATE_HOP_PERCENTILES)
+            .into_iter()
+            .map(|(percentile, hop_depth)| HopDepthPercentile {
+                percentile,
+                hop_depth,
+            })
+            .collect(),
+        lifetime_histogram: analysis
+            .lifetime_histogram(AGGREGATE_HISTOGRAM_BINS)
+            .into_iter()
+            .map(|b| LifetimeHistogramBin {
+                lo_days: b.lo,
+                hi_days: b.hi,
+                count: b.count,
+            })
+            .collect(),
+        worst_lifetime_cohort,
+        near_unstable_count: analysis.near_unstable_count(AGGREGATE_NEAR_UNSTABLE_RHO) as u64,
+        near_unstable_rho: AGGREGATE_NEAR_UNSTABLE_RHO,
+        radio: spec
+            .radio
+            .as_ref()
+            .map(|r| r.label().to_owned())
+            .unwrap_or_else(|| wsnem_wsn::DEFAULT_RADIO_PRESET.to_owned()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{NetworkSpec, NodeSpec, ReportSpec, SweepAxis, SweepSpec, WorkloadSpec};
+    use crate::schema::{
+        NetworkSpec, NodeSpec, ReportSpec, SweepAxis, SweepSpec, TemplateSpec, TopologySpec,
+        WorkloadSpec,
+    };
     use wsnem_stats::dist::Dist;
 
     fn quick_scenario() -> Scenario {
@@ -538,6 +658,7 @@ mod tests {
             ],
             topology: None,
             radio: None,
+            template: None,
         });
         let report = run_scenario(&s).unwrap();
         let net = report.network.unwrap();
@@ -566,6 +687,7 @@ mod tests {
             nodes: vec![node("relay"), node("mid"), node("leaf")],
             topology: Some(crate::schema::TopologySpec::Chain),
             radio: None,
+            template: None,
         });
         let report = run_scenario(&s).unwrap();
         let net = report.network.unwrap();
@@ -583,6 +705,119 @@ mod tests {
         // The load imbalance shows up as strictly ordered lifetimes.
         assert!(relay.lifetime_days < mid.lifetime_days);
         assert!(mid.lifetime_days < leaf.lifetime_days);
+    }
+
+    fn template_scenario(count: u64) -> Scenario {
+        let mut s = quick_scenario();
+        s.backends = vec![BackendId::Mg1];
+        s.network = Some(NetworkSpec {
+            nodes: vec![],
+            topology: Some(TopologySpec::Tree { fanout: 2 }),
+            radio: None,
+            template: Some(TemplateSpec {
+                count,
+                prefix: "n".into(),
+                event_rate: 0.01,
+                tx_per_event: 1.0,
+                rx_rate: 0.05,
+            }),
+        });
+        s
+    }
+
+    #[test]
+    fn template_network_reports_in_aggregate_form() {
+        let report = run_scenario(&template_scenario(50)).unwrap();
+        assert!(report.network.is_none());
+        let agg = report.network_aggregate.clone().unwrap();
+        assert_eq!(agg.backend, BackendId::Mg1);
+        assert_eq!(agg.topology, "tree");
+        assert_eq!(agg.node_count, 50);
+        assert!(agg.first_death_days > 0.0);
+        assert!(agg.first_death_days <= agg.mean_lifetime_days);
+        // Root of a complete binary tree forwards everyone else's traffic.
+        assert_eq!(agg.bottleneck, "n1");
+        assert_eq!(agg.bottleneck_relay, "n1");
+        assert!((agg.sink_arrival_pkts_s - 50.0 * 0.01).abs() < 1e-12);
+        // fanout 2 over 50 nodes: depths 1..=5 (2^5 < 50+1 <= 2^6 - 1... 5 full levels plus a partial sixth).
+        assert_eq!(agg.max_hop_depth, 6);
+        // Percentiles are monotone and end at the max depth.
+        let p = &agg.hop_depth_percentiles;
+        assert_eq!(p.len(), 4);
+        assert!(p.windows(2).all(|w| w[0].hop_depth <= w[1].hop_depth));
+        assert_eq!(p.last().unwrap().hop_depth, agg.max_hop_depth);
+        // Histogram covers every node exactly once.
+        let total: u64 = agg.lifetime_histogram.iter().map(|b| b.count).sum();
+        assert_eq!(total, 50);
+        // Cohort is capped, sorted ascending, and leads with the bottleneck.
+        assert_eq!(agg.worst_lifetime_cohort.len(), 10);
+        assert_eq!(agg.worst_lifetime_cohort[0].name, agg.bottleneck);
+        assert!(agg
+            .worst_lifetime_cohort
+            .windows(2)
+            .all(|w| w[0].lifetime_days <= w[1].lifetime_days));
+        assert_eq!(agg.near_unstable_rho, 0.9);
+        // No per-node CSV rows for aggregate networks.
+        assert_eq!(report.csv_rows().len(), 1);
+        // The summary renders the aggregate block.
+        let s = report.summary();
+        assert!(s.contains("50 nodes (aggregate)"), "{s}");
+        assert!(s.contains("lifetime histogram"), "{s}");
+    }
+
+    #[test]
+    fn aggregate_path_matches_per_node_path_on_equivalent_network() {
+        // The same homogeneous chain, declared twice: once as an explicit
+        // node list (per-node path) and once as a template (SoA aggregate
+        // path). Every shared aggregate must agree to f64 round-off.
+        let mut explicit = quick_scenario();
+        explicit.backends = vec![BackendId::Mg1];
+        explicit.network = Some(NetworkSpec {
+            nodes: (1..=5)
+                .map(|i| NodeSpec {
+                    name: format!("n{i}"),
+                    event_rate: 0.3,
+                    tx_per_event: 1.0,
+                    rx_rate: 0.05,
+                    radio: None,
+                })
+                .collect(),
+            topology: Some(TopologySpec::Chain),
+            radio: None,
+            template: None,
+        });
+        let mut templated = explicit.clone();
+        templated.network = Some(NetworkSpec {
+            nodes: vec![],
+            topology: Some(TopologySpec::Chain),
+            radio: None,
+            template: Some(TemplateSpec {
+                count: 5,
+                prefix: "n".into(),
+                event_rate: 0.3,
+                tx_per_event: 1.0,
+                rx_rate: 0.05,
+            }),
+        });
+        let per_node = run_scenario(&explicit).unwrap().network.unwrap();
+        let agg = run_scenario(&templated).unwrap().network_aggregate.unwrap();
+        assert_eq!(agg.node_count as usize, per_node.nodes.len());
+        assert_eq!(agg.bottleneck, per_node.bottleneck);
+        assert_eq!(agg.bottleneck_relay, per_node.bottleneck_relay);
+        assert_eq!(agg.max_hop_depth, per_node.max_hop_depth);
+        assert_eq!(agg.sink_arrival_pkts_s, per_node.sink_arrival_pkts_s);
+        assert!((agg.first_death_days - per_node.first_death_days).abs() < 1e-9);
+        assert!((agg.mean_lifetime_days - per_node.mean_lifetime_days).abs() < 1e-9);
+        let per_node_total: f64 = per_node.nodes.iter().map(|n| n.total_power_mw).sum();
+        assert!((agg.total_power_mw - per_node_total).abs() < 1e-9);
+        // The cohort covers all five nodes and mirrors the per-node rows.
+        assert_eq!(agg.worst_lifetime_cohort.len(), 5);
+        for c in &agg.worst_lifetime_cohort {
+            let row = per_node.nodes.iter().find(|n| n.name == c.name).unwrap();
+            assert_eq!(c.hop_depth, row.hop_depth);
+            assert_eq!(c.forwarded_rx_pkts_s, row.forwarded_rx_pkts_s);
+            assert!((c.lifetime_days - row.lifetime_days).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -38,7 +38,13 @@ use crate::error::ScenarioError;
 ///   replacing the fixed CC2420-class radio every node used before.
 ///   Omitting both keeps the historical `cc2420-class` preset, so v1–v3
 ///   files load and analyze identically.
-pub const SCHEMA_VERSION: u32 = 4;
+/// * **5** — optional `network.template` section ([`TemplateSpec`]): a
+///   compact homogeneous node description (count + shared rates) replacing
+///   the explicit node list for large networks. Template networks run on
+///   the structure-of-arrays fast path ([`wsnem_wsn::SoaNetwork`]) and
+///   report aggregates instead of per-node rows; a million-node collection
+///   tree is a five-line file instead of a million node entries.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Oldest schema version this build still loads. v1 files parse unchanged
 /// (the v2 additions are optional) and produce identical results.
@@ -334,7 +340,8 @@ pub struct SweepSpec {
 /// relay's CPU arrival rate and radio traffic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkSpec {
-    /// The sensor nodes.
+    /// The sensor nodes. Must be empty when [`NetworkSpec::template`]
+    /// describes the nodes instead.
     pub nodes: Vec<NodeSpec>,
     /// Multi-hop routing (schema v2). `None` keeps the v1 star semantics.
     pub topology: Option<TopologySpec>,
@@ -342,6 +349,29 @@ pub struct NetworkSpec {
     /// historical `cc2420-class` preset; individual nodes may override it
     /// via [`NodeSpec::radio`].
     pub radio: Option<RadioSpec>,
+    /// Compact homogeneous node template (schema v5), mutually exclusive
+    /// with `nodes`. `None` keeps the explicit node-list representation.
+    pub template: Option<TemplateSpec>,
+}
+
+/// A homogeneous node population in one stanza (schema v5): `count` nodes
+/// named `{prefix}1` … `{prefix}{count}`, all sharing the same sensing and
+/// traffic rates. The topology helpers (star / chain / tree) lay them out
+/// positionally, exactly as they would an explicit node list of the same
+/// length, and analysis runs on the structure-of-arrays fast path —
+/// `count = 1_000_000` is a normal scenario file, not a gigabyte of JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateSpec {
+    /// Number of nodes (≥ 1).
+    pub count: u64,
+    /// Node-name prefix; node `i` (1-based) is `{prefix}{i}`.
+    pub prefix: String,
+    /// Sensing events per second per node (wired into the CPU's λ).
+    pub event_rate: f64,
+    /// Packets transmitted per sensing event.
+    pub tx_per_event: f64,
+    /// Exogenous packets received per second.
+    pub rx_rate: f64,
 }
 
 /// How nodes route toward the sink (schema v2).
@@ -519,6 +549,75 @@ impl NetworkSpec {
         };
         Ok(wsnem_wsn::Network { nodes, next_hop })
     }
+
+    /// Number of nodes this spec describes, without materializing them.
+    pub fn node_count(&self) -> usize {
+        match &self.template {
+            Some(t) => t.count as usize,
+            None => self.nodes.len(),
+        }
+    }
+
+    /// Materialize the structure-of-arrays network this spec describes —
+    /// the large-net counterpart of [`NetworkSpec::build_network`].
+    ///
+    /// A template spec lowers directly to flat arrays with generated names
+    /// (no per-node structs at any point); an explicit node list builds the
+    /// per-node network first and converts it, which fails for
+    /// heterogeneous CPU/profile/battery configurations (those stay on the
+    /// per-node path).
+    pub fn build_soa(
+        &self,
+        cpu: CpuModelParams,
+        profile: &PowerProfile,
+        battery: &Battery,
+    ) -> Result<wsnem_wsn::SoaNetwork, ScenarioError> {
+        match &self.template {
+            Some(t) => {
+                let n = t.count as usize;
+                let parent = match &self.topology {
+                    None | Some(TopologySpec::Star) => wsnem_wsn::star_parents(n),
+                    Some(TopologySpec::Chain) => wsnem_wsn::chain_parents(n),
+                    Some(TopologySpec::Tree { fanout }) => {
+                        if *fanout == 0 {
+                            return Err(ScenarioError::Invalid(
+                                "topology: tree fanout must be >= 1".into(),
+                            ));
+                        }
+                        wsnem_wsn::tree_parents(n, *fanout)
+                    }
+                    Some(TopologySpec::Mesh { .. }) => {
+                        return Err(ScenarioError::Invalid(
+                            "network.template cannot be combined with a mesh topology \
+                             (its static routes name specific nodes)"
+                                .into(),
+                        ))
+                    }
+                };
+                let radio = self
+                    .radio
+                    .clone()
+                    .unwrap_or_default()
+                    .lower()
+                    .map_err(|e| ScenarioError::Invalid(format!("network.radio: {e}")))?;
+                Ok(wsnem_wsn::SoaNetwork::homogeneous(
+                    parent,
+                    t.prefix.clone(),
+                    t.event_rate,
+                    t.tx_per_event,
+                    t.rx_rate,
+                    cpu,
+                    profile.clone(),
+                    radio,
+                    *battery,
+                ))
+            }
+            None => {
+                let net = self.build_network(cpu, profile, battery)?;
+                wsnem_wsn::SoaNetwork::from_network(&net).map_err(ScenarioError::Invalid)
+            }
+        }
+    }
 }
 
 impl Scenario {
@@ -586,7 +685,7 @@ impl Scenario {
                             "scenario `{}`: backend `{b}` does not support the \
                              non-exponential service distribution ({}); request only \
                              backends whose capabilities include supports_service_dist \
-                             (e.g. PetriNet, Des)",
+                             (e.g. Mg1, PetriNet, Des)",
                             self.name,
                             service.label()
                         )));
@@ -634,7 +733,9 @@ impl Scenario {
             }
         }
         if let Some(net) = &self.network {
-            if net.nodes.is_empty() {
+            if let Some(t) = &net.template {
+                self.validate_template(net, t)?;
+            } else if net.nodes.is_empty() {
                 return Err(ScenarioError::Invalid(format!(
                     "scenario `{}`: network.nodes must be non-empty",
                     self.name
@@ -681,7 +782,7 @@ impl Scenario {
                     }
                 }
             }
-            if net.topology.is_some() {
+            if net.topology.is_some() && net.template.is_none() {
                 if self.schema_version < 2 {
                     return Err(ScenarioError::Invalid(format!(
                         "scenario `{}`: network.topology requires schema_version >= 2 \
@@ -730,6 +831,91 @@ impl Scenario {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Validate a template network without materializing any nodes — the
+    /// whole point of the template representation is that `count` may be
+    /// 10^6, so every check here is closed-form.
+    ///
+    /// The stability check exploits the topology structure: in a star
+    /// nothing forwards; in a chain or complete tree *all* upstream
+    /// traffic funnels through the sink-adjacent root, whose forwarded
+    /// load is therefore exactly `(count − 1) · event_rate · tx_per_event`
+    /// — the worst effective λ in the network.
+    fn validate_template(&self, net: &NetworkSpec, t: &TemplateSpec) -> Result<(), ScenarioError> {
+        if self.schema_version < 5 {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: network.template requires schema_version >= 5 (found {})",
+                self.name, self.schema_version
+            )));
+        }
+        if !net.nodes.is_empty() {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: network.template and network.nodes are mutually \
+                 exclusive (the template *is* the node list)",
+                self.name
+            )));
+        }
+        if matches!(net.topology, Some(TopologySpec::Mesh { .. })) {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: network.template cannot be combined with a mesh \
+                 topology (its static routes name specific nodes)",
+                self.name
+            )));
+        }
+        if let Some(TopologySpec::Tree { fanout: 0 }) = net.topology {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: topology: tree fanout must be >= 1",
+                self.name
+            )));
+        }
+        if t.count == 0 {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: network.template.count must be >= 1",
+                self.name
+            )));
+        }
+        if t.prefix.is_empty() {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: network.template.prefix must be non-empty",
+                self.name
+            )));
+        }
+        if !(t.event_rate > 0.0
+            && t.event_rate.is_finite()
+            && t.tx_per_event >= 0.0
+            && t.tx_per_event.is_finite()
+            && t.rx_rate >= 0.0
+            && t.rx_rate.is_finite())
+        {
+            return Err(ScenarioError::Invalid(format!(
+                "scenario `{}`: template: rates must be positive/non-negative",
+                self.name
+            )));
+        }
+        self.cpu.with_lambda(t.event_rate).validate().map_err(|e| {
+            ScenarioError::Invalid(format!("scenario `{}`: template: {e}", self.name))
+        })?;
+        let root_forwarded = match net.topology {
+            None | Some(TopologySpec::Star) => 0.0,
+            // Chain and complete tree: everything upstream passes the root.
+            _ => (t.count - 1) as f64 * t.event_rate * t.tx_per_event,
+        };
+        self.cpu
+            .with_forwarding(t.event_rate, root_forwarded)
+            .validate()
+            .map_err(|e| {
+                ScenarioError::Invalid(format!(
+                    "scenario `{}`: template root `{}1` (forwarding {root_forwarded:.3} \
+                     pkt/s for the other {} nodes): {e}",
+                    self.name,
+                    t.prefix,
+                    t.count - 1
+                ))
+            })?;
+        // `net.radio` is validated by the shared radio block in
+        // `validate_with`, which runs for template networks too.
         Ok(())
     }
 
@@ -828,6 +1014,7 @@ mod tests {
             nodes: vec![],
             topology: None,
             radio: None,
+            template: None,
         });
         assert!(s.validate().is_err());
 
@@ -982,6 +1169,7 @@ mod tests {
             nodes,
             topology: Some(topology),
             radio: None,
+            template: None,
         });
         s
     }
@@ -1128,6 +1316,7 @@ mod tests {
             nodes: vec![node("a", 0.5), node("a", 0.5)],
             topology: None,
             radio: None,
+            template: None,
         });
         s.validate().unwrap();
     }
@@ -1150,6 +1339,7 @@ mod tests {
             nodes: vec![node("a", 0.5)],
             topology: None,
             radio: Some(RadioSpec::default()),
+            template: None,
         });
         s.validate().unwrap();
         s.schema_version = 3;
@@ -1167,6 +1357,7 @@ mod tests {
             nodes: vec![n],
             topology: None,
             radio: None,
+            template: None,
         });
         s.validate().unwrap();
         s.schema_version = 3;
@@ -1182,6 +1373,7 @@ mod tests {
             nodes: vec![node("a", 0.5)],
             topology: None,
             radio: Some(RadioSpec::Preset("cc9999".into())),
+            template: None,
         });
         let err = s.validate().unwrap_err().to_string();
         assert!(err.contains("network.radio"), "{err}");
@@ -1199,6 +1391,7 @@ mod tests {
             nodes: vec![n],
             topology: None,
             radio: None,
+            template: None,
         });
         let err = s.validate().unwrap_err().to_string();
         assert!(err.contains("node `a`: radio"), "{err}");
@@ -1222,6 +1415,7 @@ mod tests {
             nodes: vec![node("a", 0.5), override_node],
             topology: None,
             radio: Some(lpl.clone()),
+            template: None,
         };
         assert_eq!(spec.radio_spec_for(0), lpl);
         assert_eq!(spec.radio_spec_for(1), xmac);
@@ -1230,6 +1424,7 @@ mod tests {
             nodes: vec![node("a", 0.5)],
             topology: None,
             radio: None,
+            template: None,
         };
         assert_eq!(spec.radio_spec_for(0), RadioSpec::default());
         // And the built network carries the lowered models.
@@ -1251,5 +1446,135 @@ mod tests {
         );
         let err = s.validate().unwrap_err().to_string();
         assert!(err.contains("fanout"), "{err}");
+    }
+
+    fn template_net(count: u64, event_rate: f64, topology: Option<TopologySpec>) -> NetworkSpec {
+        NetworkSpec {
+            nodes: vec![],
+            topology,
+            radio: None,
+            template: Some(TemplateSpec {
+                count,
+                prefix: "n".into(),
+                event_rate,
+                tx_per_event: 1.0,
+                rx_rate: 0.05,
+            }),
+        }
+    }
+
+    fn template_scenario(net: NetworkSpec) -> Scenario {
+        let mut s = Scenario::paper_template("tpl");
+        s.network = Some(net);
+        s
+    }
+
+    #[test]
+    fn template_network_validates_and_counts_without_materializing() {
+        let s = template_scenario(template_net(
+            1_000_000,
+            1e-6,
+            Some(TopologySpec::Tree { fanout: 4 }),
+        ));
+        s.validate().unwrap();
+        assert_eq!(s.network.as_ref().unwrap().node_count(), 1_000_000);
+    }
+
+    #[test]
+    fn template_requires_schema_v5() {
+        let mut s = template_scenario(template_net(10, 0.01, None));
+        s.schema_version = 4;
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("schema_version >= 5"), "{err}");
+        assert!(err.contains("(found 4)"), "{err}");
+    }
+
+    #[test]
+    fn template_and_nodes_are_mutually_exclusive() {
+        let mut net = template_net(10, 0.01, None);
+        net.nodes = vec![node("a", 0.5)];
+        let err = template_scenario(net).validate().unwrap_err().to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn template_rejects_mesh_topology() {
+        let s = template_scenario(template_net(
+            10,
+            0.01,
+            Some(TopologySpec::Mesh { routes: vec![] }),
+        ));
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("mesh"), "{err}");
+    }
+
+    #[test]
+    fn template_rejects_bad_count_prefix_and_rates() {
+        let err = template_scenario(template_net(0, 0.01, None))
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("count must be >= 1"), "{err}");
+
+        let mut net = template_net(10, 0.01, None);
+        net.template.as_mut().unwrap().prefix = String::new();
+        let err = template_scenario(net).validate().unwrap_err().to_string();
+        assert!(err.contains("prefix must be non-empty"), "{err}");
+
+        let err = template_scenario(template_net(10, -0.5, None))
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("rates"), "{err}");
+    }
+
+    #[test]
+    fn template_root_stability_checked_in_closed_form() {
+        // A chain funnels everyone's traffic through the first node:
+        // 99 999 upstream nodes × 0.01 pkt/s ≈ 1000 pkt/s >> the paper's
+        // service rate, so the root queue is unstable. Validation must say
+        // so by name without building 10^5 nodes.
+        let s = template_scenario(template_net(100_000, 0.01, Some(TopologySpec::Chain)));
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("root `n1`"), "{err}");
+        // A star with the same rates forwards nothing and stays valid.
+        let s = template_scenario(template_net(100_000, 0.01, Some(TopologySpec::Star)));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn build_soa_lowers_template_and_explicit_specs() {
+        let cpu = CpuModelParams::paper_defaults();
+        let profile = PowerProfile::pxa271();
+        let battery = Battery::two_aa();
+        // Template path: flat arrays with generated names.
+        let net = template_net(7, 0.01, Some(TopologySpec::Chain));
+        let soa = net.build_soa(cpu, &profile, &battery).unwrap();
+        assert_eq!(soa.len(), 7);
+        assert_eq!(soa.name(0), "n1");
+        assert_eq!(soa.name(6), "n7");
+        // Explicit homogeneous nodes convert through the per-node network.
+        let spec = NetworkSpec {
+            nodes: vec![node("a", 0.5), node("b", 0.5)],
+            topology: Some(TopologySpec::Chain),
+            radio: None,
+            template: None,
+        };
+        let soa = spec.build_soa(cpu, &profile, &battery).unwrap();
+        assert_eq!(soa.len(), 2);
+        assert_eq!(soa.name(0), "a");
+    }
+
+    #[test]
+    fn template_round_trips_through_toml() {
+        let s = template_scenario(template_net(
+            42,
+            0.01,
+            Some(TopologySpec::Tree { fanout: 3 }),
+        ));
+        let text = crate::files::to_string(&s, crate::files::FileFormat::Toml).unwrap();
+        let back = crate::files::from_str(&text, crate::files::FileFormat::Toml).unwrap();
+        assert_eq!(back.network, s.network);
+        back.validate().unwrap();
     }
 }

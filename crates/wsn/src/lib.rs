@@ -19,6 +19,11 @@
 //!   routes): per-node forwarding load propagated sink-ward, hop depths,
 //!   relay-bottleneck identification (lifetime-ranked, so per-node radio
 //!   overrides shift the hot spot).
+//! * [`soa`] — the same routed model in structure-of-arrays form (flat
+//!   `u32` parent array, shared CPU/battery, generated or interned names)
+//!   for million-node networks, with aggregate accessors (lifetime
+//!   histogram, hop-depth percentiles, worst-lifetime cohort) instead of
+//!   per-node rows; bit-identical to [`topology`] on the common subset.
 //! * [`tuning`] — pick the energy-optimal Power Down Threshold for a
 //!   workload (the design question the paper's Fig. 5 poses).
 //!
@@ -53,6 +58,7 @@
 pub mod network;
 pub mod node;
 pub mod radio;
+pub mod soa;
 pub mod topology;
 pub mod tuning;
 
@@ -61,6 +67,10 @@ pub mod tuning;
 pub use network::{NetworkAnalysis, StarNetwork};
 pub use node::{CpuBackend, NodeAnalysis, NodeConfig};
 pub use radio::{RadioModel, RadioSpec, RadioTimeSplit, DEFAULT_RADIO_PRESET};
+pub use soa::{
+    chain_parents, star_parents, tree_parents, HistBin, NodeNames, SoaAnalysis, SoaNetwork,
+    SoaRouting, SINK,
+};
 pub use topology::{
     Network, NetworkError, NextHop, RoutedAnalysis, RoutedNodeAnalysis, RoutingTable,
 };

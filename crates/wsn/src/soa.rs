@@ -1,0 +1,915 @@
+//! Structure-of-arrays topology core — the million-node fast path.
+//!
+//! The routed [`crate::Network`] stores one [`crate::NodeConfig`] struct per
+//! node (name `String`, CPU params, power profile, radio, battery — several
+//! hundred bytes each) and returns one [`crate::NodeAnalysis`] per node.
+//! That representation is sized for tens of nodes; at 10^6 nodes the
+//! per-node structs, name allocations and result rows dominate both memory
+//! and time. [`SoaNetwork`] is the same model in flat arrays:
+//!
+//! * topology is one `u32` parent array ([`SINK`] marks sink-adjacent
+//!   nodes), so a million-node collection tree is 4 MB instead of hundreds;
+//! * per-node workload is three `f64` arrays (event rate, packets per
+//!   event, exogenous rx rate);
+//! * CPU parameters, power profile and battery are shared (the
+//!   heterogeneous cases stay on the small-net path), and radios are a
+//!   shared model plus a sparse override list;
+//! * names are either generated on demand (`prefix` + 1-based index — zero
+//!   bytes per node) or interned into a single arena.
+//!
+//! The routing pass ([`SoaNetwork::routing`]) computes hop depths,
+//! forwarding loads and subtree sizes in one sink-ward sweep whose
+//! floating-point accumulation order is **bit-identical** to the oracle
+//! [`crate::Network::routing`]: the oracle processes nodes in stable
+//! deepest-first order, and this module reproduces exactly that order with
+//! a stable counting sort by depth. The equivalence battery in
+//! `tests/soa_topology.rs` pins `SoaNetwork` against the per-node oracle up
+//! to 10^5 nodes.
+//!
+//! [`SoaAnalysis`] keeps results as flat arrays too and answers the
+//! aggregate questions large-net reports need — lifetime histogram,
+//! hop-depth percentiles, the worst-lifetime cohort, the near-unstable
+//! cohort — without ever materializing per-node rows.
+
+use wsnem_core::{BackendId, BackendRegistry, CpuModelParams, EvalOptions};
+use wsnem_energy::{Battery, PowerProfile};
+use wsnem_stats::dist::Sample;
+
+use crate::network::parallel_node_map;
+use crate::radio::RadioModel;
+use crate::topology::{Network, NetworkError, NextHop};
+
+/// Parent-array sentinel: this node transmits directly to the sink.
+pub const SINK: u32 = u32::MAX;
+
+/// Node-name storage for a [`SoaNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeNames {
+    /// Names are `{prefix}{i+1}` (1-based), generated on demand — zero
+    /// bytes per node, the template/large-net representation.
+    Generated {
+        /// The shared name prefix.
+        prefix: String,
+    },
+    /// Explicit names interned into one arena (converted small nets).
+    Interned {
+        /// Concatenated names.
+        arena: String,
+        /// `offsets[i]..offsets[i + 1]` is node `i`'s name; length `n + 1`.
+        offsets: Vec<u32>,
+    },
+}
+
+impl NodeNames {
+    /// Intern an iterator of names into an arena.
+    pub fn intern<'a>(names: impl Iterator<Item = &'a str>) -> Self {
+        let mut arena = String::new();
+        let mut offsets = vec![0u32];
+        for name in names {
+            arena.push_str(name);
+            offsets.push(arena.len() as u32);
+        }
+        NodeNames::Interned { arena, offsets }
+    }
+
+    /// Node `i`'s name.
+    pub fn name(&self, i: usize) -> String {
+        match self {
+            NodeNames::Generated { prefix } => format!("{prefix}{}", i + 1),
+            NodeNames::Interned { arena, offsets } => {
+                arena[offsets[i] as usize..offsets[i + 1] as usize].to_owned()
+            }
+        }
+    }
+}
+
+/// A routed network in structure-of-arrays form (module docs).
+///
+/// All per-node vectors have the same length; [`SoaNetwork::validate`]
+/// checks that plus the routing structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaNetwork {
+    /// `parent[i]` is where node `i` forwards; [`SINK`] for sink-adjacent.
+    pub parent: Vec<u32>,
+    /// Sensing events per second per node.
+    pub event_rate: Vec<f64>,
+    /// Packets transmitted per sensing event per node.
+    pub tx_per_event: Vec<f64>,
+    /// Exogenous packets received per second per node.
+    pub rx_rate: Vec<f64>,
+    /// Node names.
+    pub names: NodeNames,
+    /// Shared CPU parameters (λ is overridden per node by the event rate
+    /// plus forwarding load).
+    pub cpu: CpuModelParams,
+    /// Shared CPU power profile.
+    pub cpu_profile: PowerProfile,
+    /// Shared battery.
+    pub battery: Battery,
+    /// Shared radio model.
+    pub radio: RadioModel,
+    /// Sparse per-node radio overrides, sorted by node index.
+    pub radio_overrides: Vec<(u32, RadioModel)>,
+}
+
+/// The routing structure of a [`SoaNetwork`] — flat-array counterpart of
+/// [`crate::RoutingTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaRouting {
+    /// Hops to the sink per node (sink-adjacent = 1).
+    pub depths: Vec<u32>,
+    /// Forwarded input rate per node (packets/s).
+    pub forwarded: Vec<f64>,
+    /// Subtree size per node (each node counts itself).
+    pub subtree_sizes: Vec<u32>,
+}
+
+impl SoaNetwork {
+    /// A homogeneous network: every node has the same workload, on a parent
+    /// array from one of the topology helpers ([`star_parents`],
+    /// [`chain_parents`], [`tree_parents`]) with generated names.
+    #[allow(clippy::too_many_arguments)]
+    pub fn homogeneous(
+        parent: Vec<u32>,
+        prefix: impl Into<String>,
+        event_rate: f64,
+        tx_per_event: f64,
+        rx_rate: f64,
+        cpu: CpuModelParams,
+        cpu_profile: PowerProfile,
+        radio: RadioModel,
+        battery: Battery,
+    ) -> Self {
+        let n = parent.len();
+        Self {
+            parent,
+            event_rate: vec![event_rate; n],
+            tx_per_event: vec![tx_per_event; n],
+            rx_rate: vec![rx_rate; n],
+            names: NodeNames::Generated {
+                prefix: prefix.into(),
+            },
+            cpu,
+            cpu_profile,
+            battery,
+            radio,
+            radio_overrides: Vec::new(),
+        }
+    }
+
+    /// Convert a per-node [`Network`] (the small-net oracle). Fails when the
+    /// nodes disagree on CPU parameters, power profile or battery — those
+    /// are shared here; heterogeneous nets stay on the per-node path. Radio
+    /// differences become sparse overrides against node 0's radio.
+    pub fn from_network(net: &Network) -> Result<Self, String> {
+        let first = net
+            .nodes
+            .first()
+            .ok_or_else(|| "cannot convert an empty network".to_owned())?;
+        if net.next_hop.len() != net.nodes.len() {
+            return Err(format!(
+                "routing table has {} entries for {} nodes",
+                net.next_hop.len(),
+                net.nodes.len()
+            ));
+        }
+        let mut radio_overrides = Vec::new();
+        for (i, node) in net.nodes.iter().enumerate() {
+            if node.cpu != first.cpu {
+                return Err(format!(
+                    "node `{}` has different CPU parameters (SoA networks share them)",
+                    node.name
+                ));
+            }
+            if node.cpu_profile != first.cpu_profile {
+                return Err(format!(
+                    "node `{}` has a different power profile (SoA networks share it)",
+                    node.name
+                ));
+            }
+            if node.battery != first.battery {
+                return Err(format!(
+                    "node `{}` has a different battery (SoA networks share it)",
+                    node.name
+                ));
+            }
+            if node.radio != first.radio {
+                radio_overrides.push((i as u32, node.radio));
+            }
+        }
+        let parent = net
+            .next_hop
+            .iter()
+            .map(|hop| match *hop {
+                NextHop::Sink => SINK,
+                NextHop::Node(j) => j as u32,
+            })
+            .collect();
+        Ok(Self {
+            parent,
+            event_rate: net.nodes.iter().map(|nd| nd.event_rate).collect(),
+            tx_per_event: net.nodes.iter().map(|nd| nd.tx_per_event).collect(),
+            rx_rate: net.nodes.iter().map(|nd| nd.rx_rate).collect(),
+            names: NodeNames::intern(net.nodes.iter().map(|nd| nd.name.as_str())),
+            cpu: first.cpu,
+            cpu_profile: first.cpu_profile.clone(),
+            battery: first.battery,
+            radio: first.radio,
+            radio_overrides,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True for the empty network.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Node `i`'s name.
+    pub fn name(&self, i: usize) -> String {
+        self.names.name(i)
+    }
+
+    /// Node `i`'s radio (override or shared).
+    pub fn radio_for(&self, i: usize) -> RadioModel {
+        match self
+            .radio_overrides
+            .binary_search_by_key(&(i as u32), |&(j, _)| j)
+        {
+            Ok(pos) => self.radio_overrides[pos].1,
+            Err(_) => self.radio,
+        }
+    }
+
+    /// Packets per second node `i` originates itself.
+    pub fn own_tx_rate(&self, i: usize) -> f64 {
+        self.event_rate[i] * self.tx_per_event[i]
+    }
+
+    /// Total packet rate entering the sink — by conservation, the sum of
+    /// every node's own transmit rate.
+    pub fn sink_arrival_pkts_s(&self) -> f64 {
+        (0..self.len()).map(|i| self.own_tx_rate(i)).sum()
+    }
+
+    /// Validate array lengths and the routing structure (parents in range,
+    /// no self-loops, every node reaches the sink).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        for (what, len) in [
+            ("event_rate", self.event_rate.len()),
+            ("tx_per_event", self.tx_per_event.len()),
+            ("rx_rate", self.rx_rate.len()),
+        ] {
+            if len != n {
+                return Err(format!("{what} has {len} entries for {n} nodes"));
+            }
+        }
+        if let NodeNames::Interned { offsets, .. } = &self.names {
+            if offsets.len() != n + 1 {
+                return Err(format!(
+                    "name table has {} offsets for {n} nodes",
+                    offsets.len()
+                ));
+            }
+        }
+        for (i, &p) in self.parent.iter().enumerate() {
+            if p == SINK {
+                continue;
+            }
+            if p as usize >= n {
+                return Err(format!(
+                    "node `{}` forwards to index {p}, but there are only {n} nodes",
+                    self.name(i)
+                ));
+            }
+            if p as usize == i {
+                return Err(format!("node `{}` forwards to itself", self.name(i)));
+            }
+        }
+        self.hop_depths().map(|_| ())
+    }
+
+    /// Hops to the sink per node (sink-adjacent = 1), failing on cycles with
+    /// the same node-naming error as the oracle. Linear time: each walk
+    /// stops at the first already-resolved node, and membership in the
+    /// current path is tracked with an epoch array instead of a scan.
+    pub fn hop_depths(&self) -> Result<Vec<u32>, String> {
+        let n = self.len();
+        let mut depths: Vec<u32> = vec![0; n]; // 0 = not yet computed
+        let mut on_path: Vec<u32> = vec![0; n]; // epoch marker: start + 1
+        let mut path = Vec::new();
+        for start in 0..n {
+            if depths[start] != 0 {
+                continue;
+            }
+            path.clear();
+            let mut cur = start;
+            let epoch = start as u32 + 1;
+            let base = loop {
+                path.push(cur);
+                on_path[cur] = epoch;
+                match self.parent[cur] {
+                    SINK => break 0,
+                    j => {
+                        let j = j as usize;
+                        if j >= n {
+                            return Err(format!(
+                                "node `{}` forwards to index {j}, but there are only {n} nodes",
+                                self.name(cur)
+                            ));
+                        }
+                        if depths[j] != 0 {
+                            break depths[j];
+                        }
+                        if on_path[j] == epoch {
+                            return Err(format!(
+                                "node `{}` cannot reach the sink (routing cycle)",
+                                self.name(start)
+                            ));
+                        }
+                        cur = j;
+                    }
+                }
+            };
+            for (back, &node) in path.iter().rev().enumerate() {
+                depths[node] = base + 1 + back as u32;
+            }
+        }
+        Ok(depths)
+    }
+
+    /// Depths, forwarded rates and subtree sizes in one deepest-first
+    /// sink-ward pass. The processing order — deepest first, ascending index
+    /// within a depth — is produced by a stable counting sort and is exactly
+    /// the order of the oracle's stable `sort_by`, so the floating-point
+    /// forwarding sums are bit-identical to [`Network::routing`].
+    pub fn routing(&self) -> Result<SoaRouting, String> {
+        let depths = self.hop_depths()?;
+        let n = self.len();
+        let max_depth = depths.iter().copied().max().unwrap_or(0) as usize;
+        // Stable counting sort, deepest first.
+        let mut counts = vec![0usize; max_depth + 1];
+        for &d in &depths {
+            counts[d as usize] += 1;
+        }
+        let mut starts = vec![0usize; max_depth + 1];
+        let mut acc = 0usize;
+        for d in (0..=max_depth).rev() {
+            starts[d] = acc;
+            acc += counts[d];
+        }
+        let mut order = vec![0usize; n];
+        for i in 0..n {
+            let slot = &mut starts[depths[i] as usize];
+            order[*slot] = i;
+            *slot += 1;
+        }
+        let mut forwarded = vec![0.0f64; n];
+        let mut subtree_sizes = vec![1u32; n];
+        for &i in &order {
+            let out = self.own_tx_rate(i) + forwarded[i];
+            let p = self.parent[i];
+            if p != SINK {
+                forwarded[p as usize] += out;
+                subtree_sizes[p as usize] += subtree_sizes[i];
+            }
+        }
+        Ok(SoaRouting {
+            depths,
+            forwarded,
+            subtree_sizes,
+        })
+    }
+
+    /// Analyze every node with forwarding loads applied — the flat-array
+    /// counterpart of [`Network::analyze_with_threads`], evaluating the
+    /// identical per-node recipe (CPU λ = event rate + forwarded load, CPU
+    /// power from the profile, radio power from tx/rx rates, lifetime from
+    /// the battery) without building per-node result structs.
+    pub fn analyze_with(
+        &self,
+        registry: &BackendRegistry,
+        backend: BackendId,
+        opts: &EvalOptions,
+        threads: Option<usize>,
+    ) -> Result<SoaAnalysis, NetworkError> {
+        let SoaRouting {
+            depths,
+            forwarded,
+            subtree_sizes,
+        } = self.routing().map_err(NetworkError::Routing)?;
+        let mean_service = opts.service.to_dist(self.cpu.mu).mean();
+        let results = parallel_node_map(self.len(), threads, |i| {
+            let params = self.cpu.with_forwarding(self.event_rate[i], forwarded[i]);
+            let eval = registry.solve(backend, &params, opts)?;
+            let cpu_power = self.cpu_profile.mean_power_mw(&eval.fractions);
+            let radio_power = self.radio_for(i).mean_power_mw(
+                self.own_tx_rate(i) + forwarded[i],
+                self.rx_rate[i] + forwarded[i],
+            );
+            let total = cpu_power + radio_power;
+            Ok::<(f64, f64), wsnem_core::CoreError>((total, self.battery.lifetime_days(total)))
+        });
+        let n = self.len();
+        let mut total_power_mw = Vec::with_capacity(n);
+        let mut lifetime_days = Vec::with_capacity(n);
+        for (i, r) in results.into_iter().enumerate() {
+            let (total, lifetime) = r.map_err(|e| NetworkError::Node {
+                node: self.name(i),
+                source: e,
+            })?;
+            total_power_mw.push(total);
+            lifetime_days.push(lifetime);
+        }
+        let rho = (0..n)
+            .map(|i| (self.event_rate[i] + forwarded[i]) * mean_service)
+            .collect();
+        Ok(SoaAnalysis {
+            depths,
+            forwarded,
+            subtree_sizes,
+            total_power_mw,
+            lifetime_days,
+            rho,
+            sink_arrival_pkts_s: self.sink_arrival_pkts_s(),
+        })
+    }
+}
+
+/// Star parents over `n` nodes: everyone transmits to the sink.
+pub fn star_parents(n: usize) -> Vec<u32> {
+    vec![SINK; n]
+}
+
+/// Chain parents: node 0 is sink-adjacent, node `i > 0` forwards to `i - 1`.
+pub fn chain_parents(n: usize) -> Vec<u32> {
+    (0..n)
+        .map(|i| if i == 0 { SINK } else { i as u32 - 1 })
+        .collect()
+}
+
+/// Complete `fanout`-ary tree parents in breadth-first order: node 0 is the
+/// sink-adjacent root, node `i > 0` forwards to `(i - 1) / fanout`.
+/// `fanout < 1` is treated as 1 (a chain).
+pub fn tree_parents(n: usize, fanout: usize) -> Vec<u32> {
+    let fanout = fanout.max(1);
+    (0..n)
+        .map(|i| {
+            if i == 0 {
+                SINK
+            } else {
+                ((i - 1) / fanout) as u32
+            }
+        })
+        .collect()
+}
+
+/// One bin of an equal-width lifetime histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistBin {
+    /// Inclusive lower edge (days).
+    pub lo: f64,
+    /// Exclusive upper edge (days); the global maximum lands in the last
+    /// bin.
+    pub hi: f64,
+    /// Nodes in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// Flat-array analysis results plus the aggregate accessors large-net
+/// reports are built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaAnalysis {
+    /// Hops to the sink per node (sink-adjacent = 1).
+    pub depths: Vec<u32>,
+    /// Forwarded input rate per node (packets/s).
+    pub forwarded: Vec<f64>,
+    /// Subtree size per node (each node counts itself).
+    pub subtree_sizes: Vec<u32>,
+    /// Total mean power per node (mW).
+    pub total_power_mw: Vec<f64>,
+    /// Expected battery lifetime per node (days).
+    pub lifetime_days: Vec<f64>,
+    /// Effective CPU utilization per node: `(event rate + forwarded) ·
+    /// E[S]` under the evaluated service distribution.
+    pub rho: Vec<f64>,
+    /// Total packet rate entering the sink (packets/s).
+    pub sink_arrival_pkts_s: f64,
+}
+
+/// Heap entry for the worst-lifetime cohort selection (max-heap over the
+/// kept k, ordered by lifetime then index).
+struct CohortEntry {
+    lifetime: f64,
+    index: usize,
+}
+
+impl PartialEq for CohortEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for CohortEntry {}
+impl PartialOrd for CohortEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CohortEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.lifetime
+            .total_cmp(&other.lifetime)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl SoaAnalysis {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.lifetime_days.len()
+    }
+
+    /// True for the empty network.
+    pub fn is_empty(&self) -> bool {
+        self.lifetime_days.is_empty()
+    }
+
+    /// Lifetime until the first node dies (days).
+    pub fn first_death_days(&self) -> f64 {
+        self.lifetime_days
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean node lifetime (days).
+    pub fn mean_lifetime_days(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.lifetime_days.iter().sum::<f64>() / self.len() as f64
+    }
+
+    /// Total network power (mW).
+    pub fn total_power_mw(&self) -> f64 {
+        self.total_power_mw.iter().sum()
+    }
+
+    /// The deepest hop count (0 for an empty network).
+    pub fn max_hop_depth(&self) -> u32 {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Index of the shortest-lived node (ties: lowest index, like the
+    /// oracle's `min_by`).
+    pub fn bottleneck(&self) -> Option<usize> {
+        (0..self.len()).min_by(|&a, &b| self.lifetime_days[a].total_cmp(&self.lifetime_days[b]))
+    }
+
+    /// Index of the shortest-lived *forwarding* node (`None` when nothing
+    /// forwards, e.g. a star) — same ranking as
+    /// [`crate::RoutedAnalysis::bottleneck_relay`].
+    pub fn bottleneck_relay(&self) -> Option<usize> {
+        (0..self.len())
+            .filter(|&i| self.forwarded[i] > 0.0)
+            .min_by(|&a, &b| self.lifetime_days[a].total_cmp(&self.lifetime_days[b]))
+    }
+
+    /// The `k` shortest-lived nodes, ordered by (lifetime, index) ascending
+    /// — selected with a bounded heap, O(n log k).
+    pub fn worst_lifetime_cohort(&self, k: usize) -> Vec<usize> {
+        let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+        if k == 0 {
+            return Vec::new();
+        }
+        for (index, &lifetime) in self.lifetime_days.iter().enumerate() {
+            heap.push(CohortEntry { lifetime, index });
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut cohort: Vec<CohortEntry> = heap.into_vec();
+        cohort.sort_unstable();
+        cohort.into_iter().map(|e| e.index).collect()
+    }
+
+    /// Count of nodes whose utilization is at or above `rho_threshold` —
+    /// the cohort worth re-checking with a simulation backend.
+    pub fn near_unstable_count(&self, rho_threshold: f64) -> usize {
+        self.rho.iter().filter(|&&r| r >= rho_threshold).count()
+    }
+
+    /// Indices of the near-unstable cohort, capped at `limit`.
+    pub fn near_unstable_cohort(&self, rho_threshold: f64, limit: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.rho[i] >= rho_threshold)
+            .take(limit)
+            .collect()
+    }
+
+    /// Hop-depth value at each requested percentile (nearest-rank over the
+    /// depth counting histogram: the depth of the node at 1-based rank
+    /// `ceil(p/100 · n)` in depth-sorted order).
+    pub fn hop_depth_percentiles(&self, percentiles: &[f64]) -> Vec<(f64, u32)> {
+        let n = self.len();
+        if n == 0 {
+            return percentiles.iter().map(|&p| (p, 0)).collect();
+        }
+        let max_depth = self.max_hop_depth() as usize;
+        let mut counts = vec![0u64; max_depth + 1];
+        for &d in &self.depths {
+            counts[d as usize] += 1;
+        }
+        percentiles
+            .iter()
+            .map(|&p| {
+                let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+                let mut acc = 0u64;
+                let mut value = max_depth as u32;
+                for (d, &c) in counts.iter().enumerate() {
+                    acc += c;
+                    if acc >= rank {
+                        value = d as u32;
+                        break;
+                    }
+                }
+                (p, value)
+            })
+            .collect()
+    }
+
+    /// Equal-width lifetime histogram over `[min, max]` (the maximum is
+    /// counted in the last bin). A single distinct value yields one full
+    /// bin.
+    pub fn lifetime_histogram(&self, bins: usize) -> Vec<HistBin> {
+        if bins == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let min = self
+            .lifetime_days
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .lifetime_days
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let width = if max > min {
+            (max - min) / bins as f64
+        } else {
+            1.0
+        };
+        let mut counts = vec![0u64; bins];
+        for &x in &self.lifetime_days {
+            let idx = (((x - min) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, count)| HistBin {
+                lo: min + i as f64 * width,
+                hi: min + (i + 1) as f64 * width,
+                count,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+
+    fn small_soa(n: usize, fanout: usize, period_s: f64) -> SoaNetwork {
+        let node = NodeConfig::monitoring("n", period_s);
+        SoaNetwork::homogeneous(
+            tree_parents(n, fanout),
+            "n",
+            node.event_rate,
+            node.tx_per_event,
+            node.rx_rate,
+            node.cpu,
+            node.cpu_profile,
+            node.radio,
+            node.battery,
+        )
+    }
+
+    #[test]
+    fn parent_helpers_match_oracle_next_hops() {
+        use crate::topology::{chain_next_hops, star_next_hops, tree_next_hops};
+        for n in [0, 1, 2, 7, 30] {
+            assert_eq!(
+                star_parents(n),
+                star_next_hops(n)
+                    .iter()
+                    .map(|h| match h {
+                        NextHop::Sink => SINK,
+                        NextHop::Node(j) => *j as u32,
+                    })
+                    .collect::<Vec<_>>()
+            );
+            for fanout in [0, 1, 2, 3] {
+                assert_eq!(
+                    tree_parents(n, fanout),
+                    tree_next_hops(n, fanout)
+                        .iter()
+                        .map(|h| match h {
+                            NextHop::Sink => SINK,
+                            NextHop::Node(j) => *j as u32,
+                        })
+                        .collect::<Vec<_>>(),
+                    "n={n} fanout={fanout}"
+                );
+            }
+            assert_eq!(
+                chain_parents(n),
+                chain_next_hops(n)
+                    .iter()
+                    .map(|h| match h {
+                        NextHop::Sink => SINK,
+                        NextHop::Node(j) => *j as u32,
+                    })
+                    .collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(chain_parents(3), vec![SINK, 0, 1]);
+    }
+
+    #[test]
+    fn routing_matches_small_tree() {
+        let soa = small_soa(7, 2, 10.0);
+        soa.validate().unwrap();
+        let r = soa.routing().unwrap();
+        assert_eq!(r.depths, vec![1, 2, 2, 3, 3, 3, 3]);
+        assert_eq!(r.subtree_sizes, vec![7, 3, 3, 1, 1, 1, 1]);
+        // Root forwards everything except its own traffic.
+        assert!((r.forwarded[0] - 6.0 * 0.1).abs() < 1e-12);
+        assert!((soa.sink_arrival_pkts_s() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_and_interned_names() {
+        let soa = small_soa(3, 2, 10.0);
+        assert_eq!(soa.name(0), "n1");
+        assert_eq!(soa.name(2), "n3");
+        let interned = NodeNames::intern(["alpha", "b", "gamma"].into_iter());
+        assert_eq!(interned.name(0), "alpha");
+        assert_eq!(interned.name(1), "b");
+        assert_eq!(interned.name(2), "gamma");
+    }
+
+    #[test]
+    fn validate_rejects_bad_structure() {
+        let mut soa = small_soa(3, 2, 10.0);
+        soa.parent[1] = 9;
+        let err = soa.validate().unwrap_err();
+        assert!(err.contains("only 3 nodes"), "{err}");
+
+        let mut soa = small_soa(3, 2, 10.0);
+        soa.parent[2] = 2;
+        let err = soa.validate().unwrap_err();
+        assert!(err.contains("itself"), "{err}");
+
+        let mut soa = small_soa(3, 2, 10.0);
+        soa.parent[1] = 2;
+        soa.parent[2] = 1;
+        let err = soa.validate().unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+
+        let mut soa = small_soa(3, 2, 10.0);
+        soa.event_rate.pop();
+        assert!(soa.validate().unwrap_err().contains("event_rate"));
+    }
+
+    #[test]
+    fn analysis_matches_oracle_exactly() {
+        let nodes: Vec<NodeConfig> = (0..7)
+            .map(|i| NodeConfig::monitoring(format!("n{}", i + 1), 5.0))
+            .collect();
+        let oracle = Network::tree(nodes, 2).analyze(BackendId::Markov).unwrap();
+        let soa = small_soa(7, 2, 5.0);
+        let a = soa
+            .analyze_with(
+                wsnem_core::backend::global(),
+                BackendId::Markov,
+                &EvalOptions::default(),
+                Some(1),
+            )
+            .unwrap();
+        for (i, o) in oracle.per_node.iter().enumerate() {
+            assert_eq!(a.lifetime_days[i], o.analysis.lifetime_days, "node {i}");
+            assert_eq!(a.total_power_mw[i], o.analysis.total_power_mw, "node {i}");
+            assert_eq!(a.forwarded[i], o.forwarded_rx_pkts_s, "node {i}");
+            assert_eq!(a.depths[i], o.hop_depth);
+            assert_eq!(a.subtree_sizes[i] as usize, o.subtree_size);
+        }
+        assert_eq!(a.first_death_days(), oracle.first_death_days());
+        assert_eq!(a.total_power_mw(), oracle.total_power_mw());
+        assert_eq!(a.max_hop_depth(), oracle.max_hop_depth());
+        assert_eq!(
+            soa.name(a.bottleneck().unwrap()),
+            oracle.bottleneck().unwrap().analysis.name
+        );
+        assert_eq!(
+            soa.name(a.bottleneck_relay().unwrap()),
+            oracle.bottleneck_relay().unwrap().analysis.name
+        );
+    }
+
+    #[test]
+    fn unstable_relay_names_the_node() {
+        // 9 leaves at 1.5 ev/s feeding one relay: λ ≈ 13.7 > μ = 10.
+        let soa = small_soa(10, 9, 1.0 / 1.5);
+        let err = soa
+            .analyze_with(
+                wsnem_core::backend::global(),
+                BackendId::Markov,
+                &EvalOptions::default(),
+                Some(1),
+            )
+            .unwrap_err();
+        match &err {
+            NetworkError::Node { node, .. } => assert_eq!(node, "n1"),
+            other => panic!("expected node error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let soa = small_soa(30, 3, 8.0);
+        let a = soa
+            .analyze_with(
+                wsnem_core::backend::global(),
+                BackendId::Mg1,
+                &EvalOptions::default(),
+                Some(1),
+            )
+            .unwrap();
+        // Histogram covers every node.
+        let hist = a.lifetime_histogram(8);
+        assert_eq!(hist.len(), 8);
+        assert_eq!(hist.iter().map(|b| b.count).sum::<u64>(), 30);
+        // The worst cohort starts at the bottleneck.
+        let cohort = a.worst_lifetime_cohort(5);
+        assert_eq!(cohort.len(), 5);
+        assert_eq!(cohort[0], a.bottleneck().unwrap());
+        let mut sorted = cohort.clone();
+        sorted.sort_by(|&x, &y| {
+            a.lifetime_days[x]
+                .total_cmp(&a.lifetime_days[y])
+                .then(x.cmp(&y))
+        });
+        assert_eq!(cohort, sorted);
+        // Percentiles are monotone and end at the max depth.
+        let pcts = a.hop_depth_percentiles(&[50.0, 90.0, 99.0, 100.0]);
+        assert!(pcts.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(pcts.last().unwrap().1, a.max_hop_depth());
+        // Low event rates → nothing near-unstable.
+        assert_eq!(a.near_unstable_count(0.95), 0);
+        assert!(a.near_unstable_cohort(0.0, 3).len() == 3);
+        assert!(a.near_unstable_count(0.0) == 30);
+    }
+
+    #[test]
+    fn from_network_handles_radio_overrides_and_heterogeneity() {
+        let mut nodes: Vec<NodeConfig> = (0..3)
+            .map(|i| NodeConfig::monitoring(format!("x{i}"), 2.0))
+            .collect();
+        nodes[1].radio = crate::RadioSpec::Preset("cc2420-always-on".into())
+            .lower()
+            .unwrap();
+        let net = Network::chain(nodes.clone());
+        let soa = SoaNetwork::from_network(&net).unwrap();
+        assert_eq!(soa.radio_overrides.len(), 1);
+        assert_eq!(soa.radio_for(1), nodes[1].radio);
+        assert_eq!(soa.radio_for(0), nodes[0].radio);
+        assert_eq!(soa.name(1), "x1");
+        // Lifetimes still agree with the oracle, override included.
+        let oracle = net.analyze(BackendId::Markov).unwrap();
+        let a = soa
+            .analyze_with(
+                wsnem_core::backend::global(),
+                BackendId::Markov,
+                &EvalOptions::default(),
+                Some(1),
+            )
+            .unwrap();
+        for (i, o) in oracle.per_node.iter().enumerate() {
+            assert_eq!(a.lifetime_days[i], o.analysis.lifetime_days);
+        }
+
+        let mut het = nodes;
+        het[2].cpu = het[2].cpu.with_mu(20.0);
+        let err = SoaNetwork::from_network(&Network::chain(het)).unwrap_err();
+        assert!(err.contains("CPU parameters"), "{err}");
+        assert!(SoaNetwork::from_network(&Network::star(Vec::new())).is_err());
+    }
+}

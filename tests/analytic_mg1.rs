@@ -1,0 +1,181 @@
+//! Pollaczek–Khinchine exactness battery for the M/G/1 analytic backend.
+//!
+//! The closed form (`crates/core/src/models/mg1_model.rs`) is what makes
+//! the million-node analytic fast path possible, so this battery pins it
+//! from two directions: *internally* against the textbook P–K identities
+//! (M/D/1 waits exactly half of M/M/1, Erlang-k interpolating between them
+//! by `(1 + 1/k)/2`, a general law with cv² = 1 collapsing onto M/M/1),
+//! and *externally* against the DES ground truth within the paper's 2 pp
+//! occupancy bar — at seeded random stable points, under all four service
+//! laws the schema can name.
+
+#![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
+use wsnem::core::backend::global;
+use wsnem::core::{BackendId, CpuModelParams, EvalOptions, ServiceDist};
+use wsnem::stats::dist::{Dist, Sample};
+use wsnem::stats::rng::{Rng64, Xoshiro256PlusPlus};
+
+/// Mean *wait* (latency minus one mean service time) of the M/G/1 backend
+/// under `service`, with the power-management terms zeroed so the result
+/// is the pure P–K formula.
+fn pk_wait(params: CpuModelParams, service: ServiceDist) -> f64 {
+    let eval = global()
+        .solve(
+            BackendId::Mg1,
+            &params,
+            &EvalOptions::default().with_service(service),
+        )
+        .unwrap();
+    let mean_s = service.to_dist(params.mu).mean();
+    eval.mean_latency.unwrap() - mean_s
+}
+
+/// A power-management-free point (`T = D = 0`) at the given utilization.
+fn pk_point(rho: f64) -> CpuModelParams {
+    let mu = 10.0;
+    CpuModelParams::paper_defaults()
+        .with_lambda(rho * mu)
+        .with_mu(mu)
+        .with_power_down_threshold(0.0)
+        .with_power_up_delay(0.0)
+}
+
+#[test]
+fn md1_wait_is_exactly_half_of_mm1_at_equal_rho() {
+    // cv² = 0 for deterministic service, so P–K gives exactly half the
+    // exponential (cv² = 1) wait — at *every* utilization, not just one.
+    for rho in [0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+        let p = pk_point(rho);
+        let mm1 = pk_wait(p, ServiceDist::Exponential);
+        let md1 = pk_wait(p, ServiceDist::Deterministic);
+        let textbook_mm1 = rho / (p.mu * (1.0 - rho));
+        assert!(
+            (mm1 - textbook_mm1).abs() < 1e-12,
+            "rho {rho}: M/M/1 wait {mm1} vs textbook {textbook_mm1}"
+        );
+        assert!(
+            (md1 - 0.5 * mm1).abs() < 1e-12,
+            "rho {rho}: M/D/1 wait {md1} vs half-M/M/1 {}",
+            0.5 * mm1
+        );
+    }
+}
+
+#[test]
+fn erlang_k_wait_interpolates_between_mm1_and_md1() {
+    // Erlang-k service has cv² = 1/k, so the P–K wait is
+    // (1 + 1/k)/2 · E[W]_{M/M/1}: equal to M/M/1 at k = 1, strictly
+    // decreasing in k, and converging on the M/D/1 half-wait as k → ∞.
+    let p = pk_point(0.6);
+    let mm1 = pk_wait(p, ServiceDist::Exponential);
+    let md1 = pk_wait(p, ServiceDist::Deterministic);
+    let mut prev = f64::INFINITY;
+    for k in [1u32, 2, 4, 8, 32, 256] {
+        let w = pk_wait(p, ServiceDist::Erlang { k });
+        let predicted = 0.5 * (1.0 + 1.0 / f64::from(k)) * mm1;
+        assert!(
+            (w - predicted).abs() < 1e-12,
+            "Erlang-{k}: wait {w} vs (1 + 1/k)/2 · M/M/1 = {predicted}"
+        );
+        assert!(w < prev, "Erlang-{k}: wait must fall as k grows");
+        prev = w;
+    }
+    let erl1 = pk_wait(p, ServiceDist::Erlang { k: 1 });
+    assert!((erl1 - mm1).abs() < 1e-12, "Erlang-1 is exponential");
+    let erl256 = pk_wait(p, ServiceDist::Erlang { k: 256 });
+    assert!(
+        (erl256 - md1).abs() < 0.01 * md1,
+        "Erlang-256 wait {erl256} must sit within 1% of the M/D/1 limit {md1}"
+    );
+}
+
+#[test]
+fn general_service_with_unit_cv2_collapses_onto_mm1() {
+    // A General law that *is* an exponential at rate μ must be numerically
+    // indistinguishable from the built-in exponential — fractions, wait,
+    // and mean jobs-in-system — across seeded utilizations, power
+    // management included.
+    let mut rng = Xoshiro256PlusPlus::new(0x9161);
+    for _ in 0..8 {
+        let mu = 5.0 + 10.0 * rng.next_f64();
+        let rho = 0.05 + 0.9 * rng.next_f64();
+        let p = CpuModelParams::paper_defaults()
+            .with_lambda(rho * mu)
+            .with_mu(mu)
+            .with_power_down_threshold(0.05 + rng.next_f64())
+            .with_power_up_delay(0.02 * rng.next_f64());
+        let opts = |s: ServiceDist| EvalOptions::default().with_service(s);
+        let mm1 = global()
+            .solve(BackendId::Mg1, &p, &opts(ServiceDist::Exponential))
+            .unwrap();
+        let gen = global()
+            .solve(
+                BackendId::Mg1,
+                &p,
+                &opts(ServiceDist::General {
+                    dist: Dist::Exponential { rate: mu },
+                }),
+            )
+            .unwrap();
+        assert!(mm1.fractions.mean_abs_delta_pct(&gen.fractions) < 1e-12);
+        let (a, b) = (mm1.mean_latency.unwrap(), gen.mean_latency.unwrap());
+        assert!((a - b).abs() < 1e-12, "latency {a} vs {b}");
+        let (a, b) = (mm1.mean_jobs.unwrap(), gen.mean_jobs.unwrap());
+        assert!((a - b).abs() < 1e-12, "mean jobs {a} vs {b}");
+    }
+}
+
+/// A seeded random stable point in the small-`D` regime where the DES and
+/// the closed form both hold steady-state meaning.
+fn random_stable_params(rng: &mut Xoshiro256PlusPlus) -> CpuModelParams {
+    let mu = 5.0 + 10.0 * rng.next_f64(); // 5..15 jobs/s
+    let rho = 0.05 + 0.4 * rng.next_f64(); // utilization 5%..45%
+    CpuModelParams::paper_defaults()
+        .with_lambda(rho * mu)
+        .with_mu(mu)
+        .with_power_down_threshold(0.1 + 1.4 * rng.next_f64())
+        .with_power_up_delay(0.001 + 0.02 * rng.next_f64())
+        .with_replications(6)
+        .with_horizon(3000.0)
+        .with_warmup(150.0)
+        .with_seed(rng.next_u64())
+}
+
+#[test]
+fn mg1_stays_within_2pp_of_des_under_every_service_law() {
+    // The external bar: at seeded stable points the closed form must agree
+    // with the simulated ground truth within 2 pp mean occupancy delta
+    // under *all four* service laws the scenario schema can express. This
+    // is the per-node guarantee the million-node aggregate report rests on.
+    let registry = global();
+    let mut rng = Xoshiro256PlusPlus::new(0xC0FFEE);
+    let laws = |mu: f64| {
+        [
+            ServiceDist::Exponential,
+            ServiceDist::Deterministic,
+            ServiceDist::Erlang { k: 4 },
+            ServiceDist::General {
+                dist: Dist::Exponential { rate: mu },
+            },
+        ]
+    };
+    for point in 0..3 {
+        let params = random_stable_params(&mut rng);
+        for service in laws(params.mu) {
+            let opts = EvalOptions::default().with_service(service);
+            let exact = registry.solve(BackendId::Mg1, &params, &opts).unwrap();
+            let des = registry.solve(BackendId::Des, &params, &opts).unwrap();
+            assert!(exact.fractions.is_normalized(1e-9));
+            assert!(
+                (exact.fractions.active - params.rho()).abs() < 1e-9
+                    || matches!(service, ServiceDist::General { .. }),
+                "point {point} {service:?}: active must equal rho exactly"
+            );
+            let delta = exact.fractions.mean_abs_delta_pct(&des.fractions);
+            assert!(
+                delta < 2.0,
+                "point {point} {service:?}: Mg1 vs Des Δ = {delta:.3} pp at {params:?}"
+            );
+        }
+    }
+}

@@ -1,17 +1,17 @@
 //! Golden-file tests pinning the scenario schema.
 //!
-//! `tests/golden/scenario_v4.json` is the canonical serialized form of a
+//! `tests/golden/scenario_v5.json` is the canonical serialized form of a
 //! fixed scenario under the current schema. If the byte-match test fails,
 //! the on-disk format changed: either revert the accidental change, or —
 //! for an intentional format change — bump `wsnem_scenario::SCHEMA_VERSION`,
 //! regenerate the golden file (`WSNEM_BLESS=1 cargo test -p wsnem --test
 //! golden_schema`) and add a migration note to README.md.
 //!
-//! `tests/golden/scenario_v1.json`, `tests/golden/scenario_v2.json` and
-//! `tests/golden/scenario_v3.json` are frozen at their original bytes
-//! forever: they are the back-compat fixtures proving that files written
-//! before the topology extension (v2), before the unified-backend/service
-//! extension (v3) and before the duty-cycle radio extension (v4) keep
+//! `tests/golden/scenario_v1.json` through `scenario_v4.json` are frozen
+//! at their original bytes forever: they are the back-compat fixtures
+//! proving that files written before the topology extension (v2), before
+//! the unified-backend/service extension (v3), before the duty-cycle radio
+//! extension (v4) and before the homogeneous node template (v5) keep
 //! loading, validating and analyzing unchanged.
 
 #![allow(clippy::disallowed_methods)] // tests/examples may panic on broken invariants
@@ -23,6 +23,7 @@ const GOLDEN_V1_PATH: &str = "tests/golden/scenario_v1.json";
 const GOLDEN_V2_PATH: &str = "tests/golden/scenario_v2.json";
 const GOLDEN_V3_PATH: &str = "tests/golden/scenario_v3.json";
 const GOLDEN_V4_PATH: &str = "tests/golden/scenario_v4.json";
+const GOLDEN_V5_PATH: &str = "tests/golden/scenario_v5.json";
 
 /// The fixed scenario the v1 golden file pins (as written by the v1 code:
 /// no `topology` key). Touches every v1 schema section.
@@ -78,6 +79,7 @@ fn pinned_scenario_v1() -> Scenario {
         }],
         topology: None,
         radio: None,
+        template: None,
     });
     s
 }
@@ -117,6 +119,7 @@ fn pinned_scenario_v2() -> Scenario {
             ],
         }),
         radio: None,
+        template: None,
     });
     s
 }
@@ -138,12 +141,12 @@ fn pinned_scenario_v3() -> Scenario {
 
 /// The fixed scenario the v4 golden file pins: the v3 sections plus the
 /// schema v4 addition — a network-wide duty-cycle MAC with a per-node
-/// override.
+/// override. Frozen at schema_version 4 (as written by the v4 code).
 fn pinned_scenario_v4() -> Scenario {
     use wsnem_scenario::RadioSpec;
 
     let mut s = pinned_scenario_v3();
-    s.schema_version = SCHEMA_VERSION;
+    s.schema_version = 4;
     s.name = "golden-v4".into();
     let net = s.network.as_mut().expect("v3 fixture has a network");
     net.radio = Some(RadioSpec::BMac {
@@ -160,40 +163,98 @@ fn pinned_scenario_v4() -> Scenario {
     s
 }
 
+/// The fixed scenario the v5 golden file pins: the v4 sections plus the
+/// schema v5 addition — a homogeneous node template on a tree topology,
+/// the compact form the million-node analytic fast path consumes.
+fn pinned_scenario_v5() -> Scenario {
+    use wsnem_scenario::{BackendId, NetworkSpec, RadioSpec, TemplateSpec, TopologySpec};
+
+    let mut s = pinned_scenario_v4();
+    s.schema_version = SCHEMA_VERSION;
+    s.name = "golden-v5".into();
+    s.backends = vec![BackendId::Mg1, BackendId::Des];
+    s.network = Some(NetworkSpec {
+        nodes: Vec::new(),
+        topology: Some(TopologySpec::Tree { fanout: 4 }),
+        radio: Some(RadioSpec::BMac {
+            check_interval_s: 0.1,
+            preamble_s: 0.1,
+        }),
+        template: Some(TemplateSpec {
+            count: 5000,
+            prefix: "n".into(),
+            event_rate: 1e-4,
+            tx_per_event: 1.0,
+            rx_rate: 0.0,
+        }),
+    });
+    s
+}
+
 #[test]
 fn schema_version_is_pinned() {
     // Bumping either constant is a format event: regenerate/add golden
     // files and document the migration.
-    assert_eq!(SCHEMA_VERSION, 4);
+    assert_eq!(SCHEMA_VERSION, 5);
     assert_eq!(MIN_SCHEMA_VERSION, 1);
 }
 
 #[test]
-fn golden_v4_file_matches_serialization() {
-    let scenario = pinned_scenario_v4();
+fn golden_v5_file_matches_serialization() {
+    let scenario = pinned_scenario_v5();
     let serialized = files::to_string(&scenario, FileFormat::Json).unwrap() + "\n";
 
     if std::env::var_os("WSNEM_BLESS").is_some() {
         std::fs::create_dir_all("tests/golden").unwrap();
-        std::fs::write(GOLDEN_V4_PATH, &serialized).unwrap();
+        std::fs::write(GOLDEN_V5_PATH, &serialized).unwrap();
         return;
     }
 
-    let golden = std::fs::read_to_string(GOLDEN_V4_PATH)
+    let golden = std::fs::read_to_string(GOLDEN_V5_PATH)
         .expect("golden file missing — run with WSNEM_BLESS=1 to create it");
     assert_eq!(
         serialized, golden,
-        "scenario schema drifted from the v4 golden file; \
+        "scenario schema drifted from the v5 golden file; \
          see the module docs for the intended workflow"
     );
 }
 
 #[test]
-fn golden_v4_file_parses_and_validates() {
-    let golden = std::fs::read_to_string(GOLDEN_V4_PATH).expect("golden file present");
+fn golden_v5_file_parses_and_validates() {
+    let golden = std::fs::read_to_string(GOLDEN_V5_PATH).expect("golden file present");
+    let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
+    assert_eq!(scenario, pinned_scenario_v5());
+    assert_eq!(scenario.schema_version, SCHEMA_VERSION);
+    assert_eq!(
+        scenario.network.as_ref().unwrap().node_count(),
+        5000,
+        "template count is the node count — no per-node specs materialize"
+    );
+}
+
+/// The v4 golden bytes must keep loading forever — they stand in for every
+/// scenario file written before the homogeneous node template.
+#[test]
+fn golden_v4_file_still_loads_unchanged() {
+    let golden = std::fs::read_to_string(GOLDEN_V4_PATH).expect("v4 golden file present");
+    assert!(
+        !golden.contains("template"),
+        "the v4 fixture must stay a genuine v4 file; never regenerate it"
+    );
     let scenario = files::from_str(&golden, FileFormat::Json).unwrap();
     assert_eq!(scenario, pinned_scenario_v4());
-    assert_eq!(scenario.schema_version, SCHEMA_VERSION);
+    assert_eq!(scenario.schema_version, 4);
+    // And it still analyzes — per-node mesh path, overridden MAC included.
+    let mut quick = scenario;
+    quick.cpu = quick.cpu.with_replications(2).with_horizon(300.0);
+    quick.backends = vec![wsnem_scenario::BackendId::Markov];
+    quick.sweep = None;
+    quick.workload = None;
+    quick.service = None;
+    let report = runner::run_scenario(&quick).unwrap();
+    let net = report.network.unwrap();
+    assert_eq!(net.topology, "mesh");
+    assert_eq!(net.nodes[0].radio_spec, "x-mac");
 }
 
 /// The v3 golden bytes must keep loading forever — they stand in for every
@@ -275,7 +336,7 @@ fn golden_v1_file_still_loads_unchanged() {
 
 #[test]
 fn newer_schema_versions_are_rejected_not_misread() {
-    let golden = std::fs::read_to_string(GOLDEN_V4_PATH).expect("golden file present");
+    let golden = std::fs::read_to_string(GOLDEN_V5_PATH).expect("golden file present");
     let future = SCHEMA_VERSION + 1;
     let bumped = golden.replacen(
         &format!("\"schema_version\": {SCHEMA_VERSION}"),
@@ -314,6 +375,13 @@ fn v1_builtins_round_trip_and_analyze_identically() {
             .is_some_and(|n| n.radio.is_some() || n.nodes.iter().any(|node| node.radio.is_some()))
         {
             continue; // v4-only feature; cannot be expressed as v1
+        }
+        if scenario
+            .network
+            .as_ref()
+            .is_some_and(|n| n.template.is_some())
+        {
+            continue; // v5-only feature; cannot be expressed as v1
         }
         let mut quick = scenario;
         quick.cpu = quick
