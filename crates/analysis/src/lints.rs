@@ -126,6 +126,11 @@ lints! {
         "no transition semiflow exists: no firing mix returns the net to a marking, so no steady cycle",
         "a net that only drains its initial tokens"
     );
+    SCENARIO_TIMEOUT = (
+        "W006", "scenario-timeout", Warning,
+        "a scenario exceeded the --scenario-timeout wall-clock watchdog and was marked failed",
+        "a DES point with horizon = 5e7 under --scenario-timeout 10"
+    );
     STRUCTURAL_CLASS = (
         "I001", "structural-class", Info,
         "structural classification of the net (state machine / marked graph / free choice)",

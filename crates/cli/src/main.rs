@@ -34,6 +34,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use wsnem_fleetd::{Coordinator, DistStats, FaultPlan, ServeOptions, WorkerOptions};
 use wsnem_scenario::{
     builtin, files, fleet, gen, BatchMetrics, CacheMode, CacheStats, FieldSpec, FileFormat,
     GenField, GenMethod, GenSpec, ResultCache, Scenario, ScenarioReport,
@@ -76,6 +77,16 @@ COMMANDS:
                                seeded-random or Latin-hypercube samples over
                                declared fields, one file per scenario plus a
                                manifest.json recording the generator spec
+    serve <DIRS..> [OPTIONS]   Run a fleet as a distributed coordinator:
+                               listen on --addr, lease content-hash shards to
+                               pulling workers, reassign the shards of
+                               crashed or silent workers, and fall back to an
+                               in-process run if no worker appears within the
+                               grace window; accepts the run options too
+    worker <ADDR> [OPTIONS]    Join a coordinator as a pull worker: compute
+                               shards, stream results back, heartbeat while
+                               computing, and reconnect with exponential
+                               backoff + jitter when the connection drops
     compare [FILE|DIR] [OPTIONS]
                                Run EVERY registered backend over a scenario's
                                base point and sweep, and emit the paper's
@@ -137,6 +148,43 @@ RUN OPTIONS:
     --quiet, -q           Suppress the progress line and informational stderr
     --limit <N>           Per-node lines in a summary's network section before
                           an \"… and K more\" footer (default 50)
+    --scenario-timeout <SECS>
+                          Per-scenario wall-clock watchdog: a scenario that
+                          exceeds it is marked failed with a W006 diagnostic
+                          instead of hanging the batch; exits non-zero only
+                          under --strict
+    --distributed <ADDR>  Serve this run's shards to `wsnem worker` processes
+                          from ADDR (host:port) instead of simulating
+                          in-process; equivalent to `wsnem serve --addr ADDR`
+
+SERVE OPTIONS (in addition to the run options):
+    --addr <ADDR>         Listen address (default 127.0.0.1:7177; port 0
+                          picks a free port, announced on stderr)
+    --grace <SECS>        Zero-worker grace window before the remaining
+                          shards run in-process (default 10)
+    --lease-timeout <SECS>
+                          Shard lease: a leased shard whose worker neither
+                          heartbeats nor answers within this window is
+                          reassigned (default 30)
+    --liveness-timeout <SECS>
+                          Connection liveness: a worker silent for this long
+                          is reaped and its leases reassigned (default 10)
+
+WORKER OPTIONS:
+    --name <NAME>         Worker name shown in coordinator diagnostics
+                          (default worker-<pid>)
+    --cache <DIR>         Local result-cache directory (.wsnem-cache format);
+                          a rejoining worker answers already-computed shards
+                          from it without recomputing
+    --retries <N>         Consecutive failed connection attempts before
+                          giving up (default 10)
+    --heartbeat <MS>      Heartbeat period in milliseconds (default 1000)
+    --scenario-timeout <SECS>
+                          Local watchdog override (default: whatever the
+                          coordinator announces)
+    --fault-plan <SPEC>   Scripted misbehavior for drills and tests:
+                          comma-separated kill-after=N, drop-mid-frame=N,
+                          corrupt-frame=N, delay-heartbeat=N:STALL_MS
 
 GEN OPTIONS:
     --field <SPEC>        Sampled field as name=min:max[:points], repeatable.
@@ -190,6 +238,11 @@ COMPARE OPTIONS:
     --threads <N>         Replication worker threads (default: all cores)
     --quick               Shrink replications/horizons for a fast smoke run
     --no-check            Skip the static preflight
+    --scenario-timeout <SECS>
+                          Per-scenario wall-clock watchdog: a matrix whose
+                          scenario exceeds it is skipped with a W006
+                          diagnostic; exits non-zero only under --strict
+    --strict              Make watchdog timeouts an error
     --max-delta-pp <PP>   Exit non-zero if any backend's mean |Δ| vs the
                           reference exceeds PP percentage points
     --tiered              Skip the simulation backends at points whose
@@ -213,6 +266,8 @@ fn main() -> ExitCode {
     let result = match command {
         "list" => cmd_list(),
         "run" => cmd_run(rest),
+        "serve" => cmd_serve(rest),
+        "worker" => cmd_worker(rest),
         "gen" => cmd_gen(rest),
         "trace" => cmd_trace(rest),
         "profile" => cmd_profile(rest),
@@ -297,6 +352,27 @@ struct RunOptions {
     quiet: bool,
     /// Per-node lines in a summary's network section (`--limit`).
     node_limit: usize,
+    /// Per-scenario wall-clock watchdog in seconds (`--scenario-timeout`).
+    scenario_timeout: Option<f64>,
+    /// `run --distributed <ADDR>` / `serve`: coordinate this fleet over TCP
+    /// from this listen address instead of simulating in-process.
+    distributed: Option<String>,
+    /// `serve --addr <ADDR>` (folded into `distributed` by `cmd_serve`).
+    addr: Option<String>,
+    /// Zero-worker grace window in seconds (`--grace`).
+    grace: Option<f64>,
+    /// Shard lease in seconds (`--lease-timeout`).
+    lease_timeout: Option<f64>,
+    /// Worker liveness window in seconds (`--liveness-timeout`).
+    liveness_timeout: Option<f64>,
+}
+
+/// Parse a positive, finite seconds value for `flag`.
+fn parse_seconds(flag: &str, v: &str) -> Result<f64, String> {
+    v.parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .ok_or_else(|| format!("{flag} expects a positive number of seconds, got `{v}`"))
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
@@ -335,6 +411,24 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 o.node_limit = v
                     .parse()
                     .map_err(|_| format!("--limit expects a non-negative integer, got `{v}`"))?;
+            }
+            "--scenario-timeout" => {
+                let v = required(&mut it, "--scenario-timeout <SECS>")?;
+                o.scenario_timeout = Some(parse_seconds("--scenario-timeout", &v)?);
+            }
+            "--distributed" => o.distributed = Some(required(&mut it, "--distributed <ADDR>")?),
+            "--addr" => o.addr = Some(required(&mut it, "--addr <ADDR>")?),
+            "--grace" => {
+                let v = required(&mut it, "--grace <SECS>")?;
+                o.grace = Some(parse_seconds("--grace", &v)?);
+            }
+            "--lease-timeout" => {
+                let v = required(&mut it, "--lease-timeout <SECS>")?;
+                o.lease_timeout = Some(parse_seconds("--lease-timeout", &v)?);
+            }
+            "--liveness-timeout" => {
+                let v = required(&mut it, "--liveness-timeout <SECS>")?;
+                o.liveness_timeout = Some(parse_seconds("--liveness-timeout", &v)?);
             }
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             file => o.paths.push(file.to_owned()),
@@ -502,12 +596,28 @@ fn gather_scenarios(o: &RunOptions, command: &str) -> Result<Gathered, String> {
     for (path, forced_dir) in o.paths.iter().map(|p| (p, false)).chain(dirs) {
         if forced_dir || Path::new(path).is_dir() {
             let fleet = parse_dir(path)?;
-            // `--no-cache` must not even create the cache directory.
+            // `--no-cache` must not even create the cache directory. A
+            // cache that cannot be opened at all (read-only directory, a
+            // file parked at `.wsnem-cache`) degrades the same way a failed
+            // store does: warn once and run that fleet uncached.
             let cache_index = if o.no_cache {
                 None
             } else {
-                caches.push(ResultCache::open_under(path).map_err(|e| e.to_string())?);
-                Some(caches.len() - 1)
+                match ResultCache::open_under(path) {
+                    Ok(cache) => {
+                        caches.push(cache);
+                        Some(caches.len() - 1)
+                    }
+                    Err(e) => {
+                        if !o.quiet {
+                            eprintln!(
+                                "warning: cannot open the result cache under {path}: {e} \
+                                 (running uncached)"
+                            );
+                        }
+                        None
+                    }
+                }
             };
             for (file, scenario) in fleet {
                 add(
@@ -601,8 +711,10 @@ fn preflight(scenarios: &[Scenario], quiet: bool) -> Result<(), String> {
 }
 
 /// One-line batch metrics footer shared by the summary format, `-v` and
-/// `profile`. `cache` adds hit/miss counts when a result cache was in play.
-fn batch_line(m: &BatchMetrics, cache: Option<&CacheStats>) -> String {
+/// `profile`. `cache` adds hit/miss counts when a result cache was in play;
+/// `dist` adds the distribution counters after a `serve`/`--distributed`
+/// run.
+fn batch_line(m: &BatchMetrics, cache: Option<&CacheStats>, dist: Option<&DistStats>) -> String {
     let mut line = format!(
         "batch: {} scenario(s) in {:.3} s — {} worker(s), utilization {:.0}%, {:.2} scenarios/s",
         m.scenarios,
@@ -616,6 +728,15 @@ fn batch_line(m: &BatchMetrics, cache: Option<&CacheStats>) -> String {
             " — cache: {} hit(s), {} miss(es)",
             c.hits, c.misses
         ));
+    }
+    if let Some(d) = dist {
+        line.push_str(&format!(
+            " — distributed: {} worker(s), {} remote + {} local shard(s), {} reassigned",
+            d.workers_seen, d.shards_remote, d.shards_local, d.reassigned
+        ));
+        if d.fell_back_local {
+            line.push_str(", local fallback");
+        }
     }
     line
 }
@@ -645,18 +766,24 @@ fn progress_line(done: usize, total: usize, name: &str, elapsed: f64, eta: f64) 
     )
 }
 
-/// Run a gathered batch with the live progress line (TTY or `-v`, unless
-/// `-q`): `[done/total] name (ETA ...)`, rewritten in place on stderr.
-/// Cache-backed scenarios resolve through the fleet runner, whose hit/miss
-/// counts come back in the returned [`CacheStats`].
-fn run_with_progress(
-    g: &Gathered,
-    o: &RunOptions,
-) -> (
+/// What one batch execution hands back to its command: per-scenario
+/// results in input order, the wall-clock metrics, the cache hit/miss
+/// split, and — for `serve` / `--distributed` runs — the distribution
+/// counters.
+type BatchRun = (
     Vec<Result<ScenarioReport, wsnem_scenario::ScenarioError>>,
     BatchMetrics,
     CacheStats,
-) {
+    Option<DistStats>,
+);
+
+/// Run a gathered batch with the live progress line (TTY or `-v`, unless
+/// `-q`): `[done/total] name (ETA ...)`, rewritten in place on stderr.
+/// Cache-backed scenarios resolve through the fleet runner, whose hit/miss
+/// counts come back in the returned [`CacheStats`]. With
+/// `--distributed <ADDR>` the batch is coordinated over TCP instead:
+/// workers pull shards, and the distribution counters come back alongside.
+fn run_with_progress(g: &Gathered, o: &RunOptions) -> Result<BatchRun, String> {
     let show_progress = !o.quiet && (o.verbose || std::io::stderr().is_terminal());
     let started = Instant::now();
     // Rewriting the line in place only erases the previous write if we
@@ -677,13 +804,54 @@ fn run_with_progress(
         eprint!("\r{line:<prev$}");
         let _ = std::io::Write::flush(&mut std::io::stderr());
     };
-    let (results, metrics, cache_stats) = fleet::run_cached(
-        &g.scenarios,
-        &g.cache_refs(),
-        o.threads,
-        o.cache_mode(),
-        show_progress.then_some(&progress as &(dyn Fn(usize, usize, &str) + Sync)),
-    );
+    let on_done = show_progress.then_some(&progress as &(dyn Fn(usize, usize, &str) + Sync));
+    let (results, metrics, cache_stats, dist) = match &o.distributed {
+        None => {
+            let (results, metrics, cache_stats) = fleet::run_cached_with(
+                &g.scenarios,
+                &g.cache_refs(),
+                fleet::FleetRunOptions {
+                    threads: o.threads,
+                    mode: o.cache_mode(),
+                    timeout_seconds: o.scenario_timeout,
+                },
+                on_done,
+            );
+            (results, metrics, cache_stats, None)
+        }
+        Some(addr) => {
+            let defaults = ServeOptions::default();
+            let cache_refs = g.cache_refs();
+            let coord = Coordinator::bind(
+                &g.scenarios,
+                &cache_refs,
+                o.cache_mode(),
+                ServeOptions {
+                    addr: addr.clone(),
+                    grace_seconds: o.grace.unwrap_or(defaults.grace_seconds),
+                    lease_seconds: o.lease_timeout.unwrap_or(defaults.lease_seconds),
+                    liveness_seconds: o.liveness_timeout.unwrap_or(defaults.liveness_seconds),
+                    threads: o.threads,
+                    timeout_seconds: o.scenario_timeout,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            if !o.quiet {
+                let bound = coord.local_addr().map_err(|e| e.to_string())?;
+                eprintln!(
+                    "serving {} scenario(s) on {bound} (join with `wsnem worker {bound}`)",
+                    g.scenarios.len()
+                );
+            }
+            let outcome = coord.run(on_done).map_err(|e| e.to_string())?;
+            (
+                outcome.results,
+                outcome.metrics,
+                outcome.cache,
+                Some(outcome.dist),
+            )
+        }
+    };
     if show_progress {
         // Clear the progress line so reports start on a clean row.
         let width = last_width.load(std::sync::atomic::Ordering::Relaxed);
@@ -693,27 +861,67 @@ fn run_with_progress(
     if o.verbose && !o.quiet {
         eprintln!(
             "{}",
-            batch_line(&metrics, g.any_cached().then_some(&cache_stats))
+            batch_line(
+                &metrics,
+                g.any_cached().then_some(&cache_stats),
+                dist.as_ref()
+            )
         );
     }
-    (results, metrics, cache_stats)
+    Ok((results, metrics, cache_stats, dist))
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let o = parse_run_options(args)?;
-    let g = gather_scenarios(&o, "run")?;
-    let (results, metrics, cache_stats) = run_with_progress(&g, &o);
+    run_command(o, "run")
+}
+
+/// `wsnem serve <DIRS..>`: a `run` that always coordinates over TCP —
+/// `--addr` (default 127.0.0.1:7177) takes the place of `--distributed`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut o = parse_run_options(args)?;
+    if o.distributed.is_some() {
+        return Err("serve listens on --addr; --distributed belongs to `wsnem run`".into());
+    }
+    o.distributed = Some(
+        o.addr
+            .clone()
+            .unwrap_or_else(|| ServeOptions::default().addr),
+    );
+    run_command(o, "serve")
+}
+
+/// Shared body of `run` and `serve`, after the options are settled.
+fn run_command(o: RunOptions, command: &str) -> Result<(), String> {
+    let g = gather_scenarios(&o, command)?;
+    let (results, metrics, cache_stats, dist) = run_with_progress(&g, &o)?;
     let cache = g.any_cached().then_some(&cache_stats);
     let mut reports = Vec::new();
     let mut failures = Vec::new();
+    let mut timeouts = 0usize;
     for (s, r) in g.scenarios.iter().zip(results) {
         match r {
             Ok(report) => reports.push(report),
+            // A watchdog timeout is an expected outcome of the run the user
+            // configured, not a malfunction: report it as a coded
+            // diagnostic, and fail the invocation only under --strict.
+            Err(wsnem_scenario::ScenarioError::Timeout { seconds }) => {
+                timeouts += 1;
+                eprintln!(
+                    "{}",
+                    wsnem_analysis::lints::SCENARIO_TIMEOUT.at(
+                        wsnem_analysis::Location::scenario(&s.name),
+                        format!(
+                            "exceeded the {seconds} s wall-clock watchdog and was marked failed"
+                        )
+                    )
+                );
+            }
             Err(e) => failures.push(format!("{}: {e}", s.name)),
         }
     }
 
-    let rendered = render(&reports, &metrics, cache, &o.format, o.node_limit)?;
+    let rendered = render(&reports, &metrics, cache, dist, &o.format, o.node_limit)?;
     match &o.out {
         None => out(&rendered),
         Some(path) => {
@@ -730,7 +938,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // The CSV body must stay aligned with its header, so batch metrics go
     // to stderr there (JSON and summary carry them inline).
     if o.format == "csv" && !o.quiet {
-        eprintln!("{}", batch_line(&metrics, cache));
+        eprintln!("{}", batch_line(&metrics, cache, dist.as_ref()));
     }
 
     if !failures.is_empty() {
@@ -741,6 +949,69 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             failures.join("\n  ")
         ));
     }
+    if timeouts > 0 && o.strict {
+        return Err(format!(
+            "{timeouts} scenario(s) hit the --scenario-timeout watchdog (--strict)"
+        ));
+    }
+    Ok(())
+}
+
+/// `wsnem worker <ADDR>`: join a coordinator as a pull worker.
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut opts = WorkerOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--name" => opts.name = required(&mut it, "--name <NAME>")?,
+            "--cache" => {
+                opts.cache_dir = Some(required(&mut it, "--cache <DIR>")?.into());
+            }
+            "--fault-plan" => {
+                let spec = required(&mut it, "--fault-plan <SPEC>")?;
+                opts.fault_plan = FaultPlan::parse(&spec)?;
+            }
+            "--retries" => {
+                let v = required(&mut it, "--retries <N>")?;
+                opts.max_retries = v
+                    .parse()
+                    .map_err(|_| format!("--retries expects a non-negative integer, got `{v}`"))?;
+            }
+            "--heartbeat" => {
+                let v = required(&mut it, "--heartbeat <MS>")?;
+                opts.heartbeat_ms =
+                    v.parse().ok().filter(|ms| *ms > 0).ok_or_else(|| {
+                        format!("--heartbeat expects milliseconds >= 1, got `{v}`")
+                    })?;
+            }
+            "--scenario-timeout" => {
+                let v = required(&mut it, "--scenario-timeout <SECS>")?;
+                opts.timeout_seconds = Some(parse_seconds("--scenario-timeout", &v)?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            positional => {
+                if addr.replace(positional.to_owned()).is_some() {
+                    return Err("worker expects exactly one coordinator address".into());
+                }
+            }
+        }
+    }
+    let addr = addr.ok_or("worker expects a coordinator address (host:port)")?;
+    let summary =
+        wsnem_fleetd::run_worker(&addr, opts).map_err(|e| format!("worker on {addr}: {e}"))?;
+    eprintln!(
+        "worker done: {} shard(s) ({} from cache), {} session(s), {} reconnect(s){}",
+        summary.shards_done,
+        summary.cache_hits,
+        summary.sessions,
+        summary.reconnects,
+        if summary.killed {
+            " — killed by fault plan"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 
@@ -751,6 +1022,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 struct RunOutput {
     batch: BatchMetrics,
     cache: Option<CacheStats>,
+    distributed: Option<DistStats>,
     reports: Vec<ScenarioReport>,
 }
 
@@ -758,6 +1030,7 @@ fn render(
     reports: &[ScenarioReport],
     metrics: &BatchMetrics,
     cache: Option<&CacheStats>,
+    dist: Option<DistStats>,
     format: &str,
     node_limit: usize,
 ) -> Result<String, String> {
@@ -765,6 +1038,7 @@ fn render(
         "json" => serde_json::to_string_pretty(&RunOutput {
             batch: *metrics,
             cache: cache.copied(),
+            distributed: dist,
             reports: reports.to_vec(),
         })
         .map(|mut s| {
@@ -789,7 +1063,7 @@ fn render(
                 out.push_str(&r.summary_with_node_limit(node_limit));
                 out.push('\n');
             }
-            out.push_str(&batch_line(metrics, cache));
+            out.push_str(&batch_line(metrics, cache, dist.as_ref()));
             out.push('\n');
             Ok(out)
         }
@@ -1105,8 +1379,13 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     // The profile table is the output; keep stderr quiet unless asked.
     o.quiet = !o.verbose;
+    if o.distributed.is_some() {
+        return Err(
+            "profile times in-process workers; --distributed belongs to `wsnem run`".into(),
+        );
+    }
     let g = gather_scenarios(&o, "profile")?;
-    let (results, metrics, cache_stats) = run_with_progress(&g, &o);
+    let (results, metrics, cache_stats, _) = run_with_progress(&g, &o)?;
     let scenarios = &g.scenarios;
 
     outln!(
@@ -1142,7 +1421,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     }
     outln!(
         "{}",
-        batch_line(&metrics, g.any_cached().then_some(&cache_stats))
+        batch_line(&metrics, g.any_cached().then_some(&cache_stats), None)
     );
     if !failures.is_empty() {
         return Err(format!(
@@ -1166,10 +1445,17 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     let mut no_check = false;
     let mut tiered = false;
     let mut max_delta_pp: Option<f64> = None;
+    let mut scenario_timeout: Option<f64> = None;
+    let mut strict = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--builtin" => builtin_name = Some(required(&mut it, "--builtin <NAME>")?),
+            "--scenario-timeout" => {
+                let v = required(&mut it, "--scenario-timeout <SECS>")?;
+                scenario_timeout = Some(parse_seconds("--scenario-timeout", &v)?);
+            }
+            "--strict" => strict = true,
             "--all-files" => dirs.push(required(&mut it, "--all-files <DIR>")?),
             "--format" => format = required(&mut it, "--format <FMT>")?,
             "--out" | "-o" => out_path = Some(required(&mut it, "--out <FILE>")?),
@@ -1253,14 +1539,56 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     }
 
     let mut reports: Vec<wsnem_scenario::CompareReport> = Vec::new();
+    let mut timeouts = 0usize;
     for scenario in &scenarios {
         let registry = wsnem_scenario::global_registry();
-        let report = if tiered {
-            wsnem_scenario::compare_scenario_tiered(scenario, registry, threads)
-        } else {
-            wsnem_scenario::compare_scenario_with(scenario, registry, threads)
+        // The same wall-clock watchdog `run --scenario-timeout` applies per
+        // scenario: a point that exceeds it is skipped with a coded
+        // diagnostic (an error under --strict) instead of hanging the
+        // matrix.
+        let report = match scenario_timeout {
+            None => {
+                if tiered {
+                    wsnem_scenario::compare_scenario_tiered(scenario, registry, threads)
+                } else {
+                    wsnem_scenario::compare_scenario_with(scenario, registry, threads)
+                }
+            }
+            Some(seconds) => {
+                let s = scenario.clone();
+                wsnem_scenario::call_with_timeout(seconds, move || {
+                    let registry = wsnem_scenario::global_registry();
+                    if tiered {
+                        wsnem_scenario::compare_scenario_tiered(&s, registry, threads)
+                    } else {
+                        wsnem_scenario::compare_scenario_with(&s, registry, threads)
+                    }
+                })
+                .and_then(|r| r)
+            }
         };
-        reports.push(report.map_err(|e| format!("{}: {e}", scenario.name))?);
+        match report {
+            Ok(report) => reports.push(report),
+            Err(wsnem_scenario::ScenarioError::Timeout { seconds }) => {
+                timeouts += 1;
+                eprintln!(
+                    "{}",
+                    wsnem_analysis::lints::SCENARIO_TIMEOUT.at(
+                        wsnem_analysis::Location::scenario(&scenario.name),
+                        format!(
+                            "exceeded the {seconds} s wall-clock watchdog; \
+                             its matrix was skipped"
+                        )
+                    )
+                );
+            }
+            Err(e) => return Err(format!("{}: {e}", scenario.name)),
+        }
+    }
+    if reports.is_empty() {
+        return Err(format!(
+            "every scenario ({timeouts}) hit the --scenario-timeout watchdog; nothing to compare"
+        ));
     }
 
     // Directory comparisons merge into one document: concatenated
@@ -1330,6 +1658,11 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
             "max mean |Δ| = {:.3} pp within tolerance {tol} pp",
             worst.max_mean_abs_delta_pp
         );
+    }
+    if timeouts > 0 && strict {
+        return Err(format!(
+            "{timeouts} scenario(s) hit the --scenario-timeout watchdog (--strict)"
+        ));
     }
     Ok(())
 }
@@ -1919,11 +2252,40 @@ mod tests {
             utilization: 0.75,
             scenarios_per_second: 5.0,
         };
-        let plain = batch_line(&m, None);
+        let plain = batch_line(&m, None, None);
         assert!(!plain.contains("cache"));
         let stats = CacheStats { hits: 7, misses: 3 };
-        let cached = batch_line(&m, Some(&stats));
+        let cached = batch_line(&m, Some(&stats), None);
         assert!(cached.contains("cache: 7 hit(s), 3 miss(es)"), "{cached}");
+    }
+
+    #[test]
+    fn batch_line_appends_distribution_counters_after_a_distributed_run() {
+        let m = BatchMetrics {
+            scenarios: 8,
+            workers: 1,
+            wall_seconds: 2.0,
+            busy_seconds: 0.5,
+            utilization: 0.25,
+            scenarios_per_second: 4.0,
+        };
+        let dist = DistStats {
+            workers_seen: 2,
+            shards_total: 8,
+            shards_remote: 6,
+            shards_local: 2,
+            reassigned: 3,
+            fell_back_local: true,
+            ..DistStats::default()
+        };
+        let line = batch_line(&m, None, Some(&dist));
+        assert!(
+            line.contains("distributed: 2 worker(s), 6 remote + 2 local shard(s), 3 reassigned"),
+            "{line}"
+        );
+        assert!(line.ends_with("local fallback"), "{line}");
+        let clean = batch_line(&m, None, Some(&DistStats::default()));
+        assert!(!clean.contains("fallback"), "{clean}");
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Error type of the distributed layer.
+
+use crate::protocol::FrameError;
+
+/// Failures from the coordinator or worker side of a distributed run.
+///
+/// Per-scenario failures are *not* errors here — they travel inside the
+/// result set exactly as in a local batch. `FleetdError` is reserved for
+/// the run itself going wrong: the listener cannot bind, a worker cannot
+/// reach the coordinator, the protocol broke down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetdError {
+    /// Socket-level failure (bind, connect, shutdown).
+    Io(String),
+    /// A protocol frame could not be read or written.
+    Frame(FrameError),
+    /// The peer speaks a different protocol revision.
+    Version {
+        /// Our [`crate::protocol::PROTOCOL_VERSION`].
+        ours: u32,
+        /// The revision the peer announced.
+        theirs: u32,
+    },
+    /// The worker exhausted its reconnect budget.
+    GaveUp {
+        /// Consecutive failed attempts before giving up.
+        attempts: u32,
+        /// The last error seen, rendered.
+        last: String,
+    },
+    /// A scenario or report could not be (de)serialized for transport.
+    Codec(String),
+}
+
+impl std::fmt::Display for FleetdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetdError::Io(msg) => write!(f, "io error: {msg}"),
+            FleetdError::Frame(e) => write!(f, "protocol error: {e}"),
+            FleetdError::Version { ours, theirs } => write!(
+                f,
+                "protocol version mismatch: we speak v{ours}, peer speaks v{theirs}"
+            ),
+            FleetdError::GaveUp { attempts, last } => write!(
+                f,
+                "gave up reaching the coordinator after {attempts} attempt(s): {last}"
+            ),
+            FleetdError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetdError {}
+
+impl From<FrameError> for FleetdError {
+    fn from(e: FrameError) -> Self {
+        FleetdError::Frame(e)
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic fault injection for the distributed layer.
+//!
+//! A [`FaultPlan`] scripts a worker's misbehavior ahead of time —
+//! `wsnem worker --fault-plan kill-after=3` — so integration tests and CI
+//! can prove the coordinator's recovery machinery (lease reassignment,
+//! liveness reaping, corrupt-frame rejection) against *reproducible*
+//! failures instead of hoping a race shows up. Each fault fires **once**,
+//! at a deterministic trigger point keyed to the number of shards the
+//! worker has completed.
+
+use std::io::Write;
+
+use crate::protocol::{encode_message, FrameError, Message};
+
+/// One scripted misbehavior. `N` counts *completed* shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Crash (drop the socket without a word, stop working) when the
+    /// worker is assigned its next shard after completing `N` — i.e. die
+    /// holding an unfinished lease, forcing a reassignment.
+    KillAfterShards(u32),
+    /// When sending the result of the `N`-th shard, write only half the
+    /// frame, then sever the connection; the coordinator must reject the
+    /// truncated frame and reassign, the worker reconnects with backoff.
+    DropMidFrame(u32),
+    /// After completing `N` shards, stop heartbeating and stall for
+    /// `stall_ms` while holding the next lease — long enough for the
+    /// liveness reaper to declare the worker dead.
+    DelayHeartbeat {
+        /// Completed-shard count that arms the stall.
+        after: u32,
+        /// Stall duration in milliseconds.
+        stall_ms: u64,
+    },
+    /// Instead of the `N`-th result, send a garbage payload under a valid
+    /// length prefix; the coordinator must reject it as corrupt and drop
+    /// the connection.
+    CorruptFrame(u32),
+}
+
+/// Where in the worker loop a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// A shard was just assigned (before any work happens).
+    Assigned,
+    /// A finished result is about to be sent.
+    Sending,
+}
+
+/// An ordered, one-shot set of [`Fault`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a well-behaved worker.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plan with one fault.
+    pub fn single(fault: Fault) -> Self {
+        FaultPlan {
+            faults: vec![fault],
+        }
+    }
+
+    /// Add a fault to the plan.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// True when no faults remain to fire.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parse the CLI syntax: comma-separated
+    /// `kill-after=N`, `drop-mid-frame=N`, `corrupt-frame=N`,
+    /// `delay-heartbeat=N:STALL_MS`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, arg) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault `{part}`: expected `kind=value`"))?;
+            let fault = match kind {
+                "kill-after" => Fault::KillAfterShards(parse_u32(kind, arg)?),
+                "drop-mid-frame" => Fault::DropMidFrame(parse_u32(kind, arg)?),
+                "corrupt-frame" => Fault::CorruptFrame(parse_u32(kind, arg)?),
+                "delay-heartbeat" => {
+                    let (after, stall) = arg
+                        .split_once(':')
+                        .ok_or_else(|| format!("fault `{kind}`: expected `{kind}=N:STALL_MS`"))?;
+                    Fault::DelayHeartbeat {
+                        after: parse_u32(kind, after)?,
+                        stall_ms: stall
+                            .parse::<u64>()
+                            .map_err(|_| format!("fault `{kind}`: bad stall `{stall}`"))?,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault `{other}` (expected kill-after, drop-mid-frame, \
+                         corrupt-frame or delay-heartbeat)"
+                    ))
+                }
+            };
+            plan.push(fault);
+        }
+        Ok(plan)
+    }
+
+    /// Pop the first fault armed at `point` given `shards_done` completed
+    /// shards. One-shot: a returned fault is removed from the plan.
+    pub fn take_at(&mut self, point: FaultPoint, shards_done: u32) -> Option<Fault> {
+        let idx = self.faults.iter().position(|f| match (point, f) {
+            (FaultPoint::Assigned, Fault::KillAfterShards(n)) => shards_done >= *n,
+            (FaultPoint::Assigned, Fault::DelayHeartbeat { after, .. }) => shards_done >= *after,
+            // Sending the result of shard `shards_done + 1` (1-indexed).
+            (FaultPoint::Sending, Fault::DropMidFrame(n)) => shards_done + 1 >= *n,
+            (FaultPoint::Sending, Fault::CorruptFrame(n)) => shards_done + 1 >= *n,
+            _ => false,
+        })?;
+        Some(self.faults.remove(idx))
+    }
+}
+
+fn parse_u32(kind: &str, arg: &str) -> Result<u32, String> {
+    arg.parse::<u32>()
+        .map_err(|_| format!("fault `{kind}`: bad count `{arg}`"))
+}
+
+/// Write the first half of `msg`'s frame and stop — the injected
+/// mid-frame disconnect. The peer's reader must report
+/// [`FrameError::Truncated`].
+pub fn write_half_frame<W: Write>(w: &mut W, msg: &Message) -> Result<(), FrameError> {
+    let frame = encode_message(msg)?;
+    let half = frame.len() / 2;
+    w.write_all(&frame[..half])
+        .and_then(|()| w.flush())
+        .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+/// Write a frame whose payload is garbage under a valid length prefix —
+/// the injected corrupt frame. The peer's reader must report
+/// [`FrameError::Corrupt`].
+pub fn write_garbage_frame<W: Write>(w: &mut W) -> Result<(), FrameError> {
+    let payload: &[u8] = b"\x00\xffnot json at all\n";
+    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_fault_class() {
+        let plan = FaultPlan::parse(
+            "kill-after=3, drop-mid-frame=1,corrupt-frame=2,delay-heartbeat=0:1500",
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan {
+                faults: vec![
+                    Fault::KillAfterShards(3),
+                    Fault::DropMidFrame(1),
+                    Fault::CorruptFrame(2),
+                    Fault::DelayHeartbeat {
+                        after: 0,
+                        stall_ms: 1500
+                    },
+                ]
+            }
+        );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("kill-after").is_err());
+        assert!(FaultPlan::parse("kill-after=x").is_err());
+        assert!(FaultPlan::parse("delay-heartbeat=3").is_err());
+        assert!(FaultPlan::parse("explode=1").is_err());
+    }
+
+    #[test]
+    fn faults_fire_once_at_their_trigger_point() {
+        let mut plan = FaultPlan::parse("kill-after=2,corrupt-frame=1").unwrap();
+        // Corrupt fires when sending the first result…
+        assert_eq!(plan.take_at(FaultPoint::Assigned, 0), None);
+        assert_eq!(
+            plan.take_at(FaultPoint::Sending, 0),
+            Some(Fault::CorruptFrame(1))
+        );
+        // …and never again.
+        assert_eq!(plan.take_at(FaultPoint::Sending, 5), None);
+        // Kill arms only once two shards are done.
+        assert_eq!(plan.take_at(FaultPoint::Assigned, 1), None);
+        assert_eq!(
+            plan.take_at(FaultPoint::Assigned, 2),
+            Some(Fault::KillAfterShards(2))
+        );
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,395 @@
+//! The worker: connect, pull shards, compute, stream results back —
+//! and reconnect with exponential backoff + jitter when anything breaks.
+//!
+//! A worker is stateless between sessions: every reconnect starts clean
+//! with `Hello`, and any shard it was holding when it died is reassigned
+//! by the coordinator's lease machinery. An optional local
+//! `.wsnem-cache/`-format directory lets a rejoining worker answer shards
+//! it already computed instantly — the digest in `Assign` is the same
+//! content hash the cache files under.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use wsnem_scenario::runner::run_scenario_bounded;
+use wsnem_scenario::{store_or_warn, ResultCache, Scenario, ScenarioError};
+use wsnem_stats::rng::{Rng64, Xoshiro256PlusPlus};
+use wsnem_stats::StableHasher;
+
+use crate::error::FleetdError;
+use crate::fault::{write_garbage_frame, write_half_frame, Fault, FaultPlan, FaultPoint};
+use crate::protocol::{read_message, write_message, FrameError, Message, PROTOCOL_VERSION};
+
+/// Knobs for one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Self-chosen name, shown in coordinator diagnostics and used to seed
+    /// the backoff jitter (deterministic per name).
+    pub name: String,
+    /// Optional local result-cache directory (`.wsnem-cache` format); a
+    /// rejoining worker answers already-computed shards from it.
+    pub cache_dir: Option<PathBuf>,
+    /// Scripted misbehavior for tests and drills.
+    pub fault_plan: FaultPlan,
+    /// Consecutive failed connection attempts before giving up.
+    pub max_retries: u32,
+    /// First reconnect delay in milliseconds (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Reconnect delay ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Heartbeat period in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Local per-scenario watchdog override in seconds; when `None` the
+    /// coordinator's `Welcome` timeout applies.
+    pub timeout_seconds: Option<f64>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            name: format!("worker-{}", std::process::id()),
+            cache_dir: None,
+            fault_plan: FaultPlan::none(),
+            max_retries: 10,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 5000,
+            heartbeat_ms: 1000,
+            timeout_seconds: None,
+        }
+    }
+}
+
+/// What one worker run amounted to.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Shards whose results were sent (including cache answers).
+    pub shards_done: u32,
+    /// Shards answered from the local cache without computing.
+    pub cache_hits: u32,
+    /// Sessions re-established after a lost connection.
+    pub reconnects: u32,
+    /// Sessions opened in total.
+    pub sessions: u32,
+    /// True when a `kill-after` fault plan terminated the worker.
+    pub killed: bool,
+}
+
+enum SessionEnd {
+    /// The coordinator said `Done`: the fleet is complete.
+    Done,
+    /// A `kill-after` fault fired: simulate a crash, do not reconnect.
+    Killed,
+    /// The connection was lost (injected or real): reconnect with backoff.
+    Lost,
+}
+
+/// Full jitter over an exponentially growing ceiling: uniform in
+/// `[ceil/2, ceil]` where `ceil = min(base · 2^(attempt-1), cap)`. Seeded
+/// per worker name, so test runs are reproducible.
+fn backoff_delay(
+    rng: &mut Xoshiro256PlusPlus,
+    attempt: u32,
+    base_ms: u64,
+    cap_ms: u64,
+) -> Duration {
+    let shift = attempt.saturating_sub(1).min(16);
+    let ceil = base_ms.saturating_mul(1u64 << shift).min(cap_ms).max(1);
+    let half = ceil / 2;
+    let jitter = rng.next_bounded(ceil - half + 1);
+    Duration::from_millis(half + jitter)
+}
+
+fn send(writer: &Mutex<TcpStream>, msg: &Message) -> Result<(), FleetdError> {
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    write_message(&mut *w, msg).map_err(FleetdError::from)
+}
+
+/// Wait up to `wait` for the next frame, absorbing idle ticks.
+fn read_reply(r: &mut TcpStream, wait: Duration) -> Result<Message, FleetdError> {
+    let deadline = Instant::now() + wait;
+    loop {
+        match read_message(r)? {
+            Some(m) => return Ok(m),
+            None => {
+                if Instant::now() >= deadline {
+                    return Err(FleetdError::Io(
+                        "timed out waiting for a coordinator reply".into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Run a worker against `addr` until the coordinator says `Done`, a
+/// `kill-after` fault fires, or the reconnect budget is exhausted.
+pub fn run_worker(addr: &str, opts: WorkerOptions) -> Result<WorkerSummary, FleetdError> {
+    let cache = match &opts.cache_dir {
+        Some(dir) => {
+            Some(ResultCache::open(dir.clone()).map_err(|e| FleetdError::Io(e.to_string()))?)
+        }
+        None => None,
+    };
+    let mut plan = opts.fault_plan.clone();
+    let mut summary = WorkerSummary::default();
+    let mut rng = Xoshiro256PlusPlus::new(StableHasher::hash_bytes(opts.name.as_bytes()) as u64);
+    let mut attempt: u32 = 0;
+    loop {
+        let stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                attempt += 1;
+                if attempt > opts.max_retries {
+                    return Err(FleetdError::GaveUp {
+                        attempts: attempt,
+                        last: e.to_string(),
+                    });
+                }
+                std::thread::sleep(backoff_delay(
+                    &mut rng,
+                    attempt,
+                    opts.backoff_base_ms,
+                    opts.backoff_cap_ms,
+                ));
+                continue;
+            }
+        };
+        summary.sessions += 1;
+        if summary.sessions > 1 {
+            summary.reconnects += 1;
+        }
+        match session(stream, &opts, cache.as_ref(), &mut plan, &mut summary) {
+            Ok(SessionEnd::Done) => return Ok(summary),
+            Ok(SessionEnd::Killed) => {
+                summary.killed = true;
+                return Ok(summary);
+            }
+            Ok(SessionEnd::Lost) => {
+                // The session was established before it broke: reset the
+                // give-up counter, back off briefly, reconnect.
+                attempt = 1;
+                std::thread::sleep(backoff_delay(
+                    &mut rng,
+                    attempt,
+                    opts.backoff_base_ms,
+                    opts.backoff_cap_ms,
+                ));
+            }
+            Err(e) => {
+                attempt += 1;
+                if attempt > opts.max_retries {
+                    return Err(FleetdError::GaveUp {
+                        attempts: attempt,
+                        last: e.to_string(),
+                    });
+                }
+                std::thread::sleep(backoff_delay(
+                    &mut rng,
+                    attempt,
+                    opts.backoff_base_ms,
+                    opts.backoff_cap_ms,
+                ));
+            }
+        }
+    }
+}
+
+/// One connection: `Hello`/`Welcome`, then the request/compute/result
+/// loop with a heartbeat thread writing through the shared socket lock.
+fn session(
+    mut reader: TcpStream,
+    opts: &WorkerOptions,
+    cache: Option<&ResultCache>,
+    plan: &mut FaultPlan,
+    summary: &mut WorkerSummary,
+) -> Result<SessionEnd, FleetdError> {
+    let _ = reader.set_nodelay(true);
+    reader
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .map_err(|e| FleetdError::Io(e.to_string()))?;
+    let writer = Mutex::new(
+        reader
+            .try_clone()
+            .map_err(|e| FleetdError::Io(e.to_string()))?,
+    );
+    send(
+        &writer,
+        &Message::Hello {
+            worker: opts.name.clone(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )?;
+    let welcome = read_reply(&mut reader, Duration::from_secs(10))?;
+    let Message::Welcome { timeout_ms, .. } = welcome else {
+        return Err(FleetdError::Frame(FrameError::Corrupt(format!(
+            "expected Welcome, got {welcome:?}"
+        ))));
+    };
+    let timeout = opts
+        .timeout_seconds
+        .or(timeout_ms.map(|ms| ms as f64 / 1000.0));
+
+    let stop = AtomicBool::new(false);
+    let pause = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // Heartbeats go through the same write lock as results, so the
+            // two writers can never interleave bytes mid-frame. Sleep in
+            // short slices so session teardown is prompt.
+            let mut since_beat = 0u64;
+            loop {
+                std::thread::sleep(Duration::from_millis(25));
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                since_beat += 25;
+                if since_beat >= opts.heartbeat_ms {
+                    since_beat = 0;
+                    if !pause.load(Ordering::SeqCst)
+                        && send(
+                            &writer,
+                            &Message::Heartbeat {
+                                worker: opts.name.clone(),
+                            },
+                        )
+                        .is_err()
+                    {
+                        // Dead socket; the shard loop will hit it too.
+                        break;
+                    }
+                }
+            }
+        });
+        let end = shard_loop(
+            &mut reader,
+            &writer,
+            opts,
+            cache,
+            plan,
+            summary,
+            timeout,
+            &pause,
+        );
+        stop.store(true, Ordering::SeqCst);
+        end
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shard_loop(
+    reader: &mut TcpStream,
+    writer: &Mutex<TcpStream>,
+    opts: &WorkerOptions,
+    cache: Option<&ResultCache>,
+    plan: &mut FaultPlan,
+    summary: &mut WorkerSummary,
+    timeout: Option<f64>,
+    pause: &AtomicBool,
+) -> Result<SessionEnd, FleetdError> {
+    loop {
+        send(
+            writer,
+            &Message::Request {
+                worker: opts.name.clone(),
+            },
+        )?;
+        let reply = read_reply(reader, Duration::from_secs(30))?;
+        match reply {
+            Message::Assign { digest, scenario } => {
+                // The digest is recomputed from the payload: a mismatch
+                // means the frame (or the coordinator) is corrupt, and
+                // running it would file a result under the wrong key.
+                if ResultCache::digest_of_key(&scenario) != digest {
+                    return Err(FleetdError::Frame(FrameError::Corrupt(
+                        "shard digest does not match its scenario payload".into(),
+                    )));
+                }
+                match plan.take_at(FaultPoint::Assigned, summary.shards_done) {
+                    Some(Fault::KillAfterShards(_)) => return Ok(SessionEnd::Killed),
+                    Some(Fault::DelayHeartbeat { stall_ms, .. }) => {
+                        pause.store(true, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(stall_ms));
+                        pause.store(false, Ordering::SeqCst);
+                        // Probe the socket: if the liveness reaper already
+                        // cut us, reconnect instead of computing a shard
+                        // nobody will accept.
+                        send(
+                            writer,
+                            &Message::Heartbeat {
+                                worker: opts.name.clone(),
+                            },
+                        )?;
+                    }
+                    _ => {}
+                }
+                let parsed: Scenario = serde_json::from_str(&scenario)
+                    .map_err(|e| FleetdError::Codec(e.to_string()))?;
+                let result = match cache.and_then(|c| c.lookup(&parsed).unwrap_or(None)) {
+                    Some(report) => {
+                        summary.cache_hits += 1;
+                        Ok(report)
+                    }
+                    None => {
+                        let r = run_scenario_bounded(&parsed, None, timeout);
+                        if let (Ok(report), Some(c)) = (&r, cache) {
+                            store_or_warn(c, &parsed, report);
+                        }
+                        r
+                    }
+                };
+                let msg = match &result {
+                    Ok(report) => Message::Result {
+                        digest,
+                        report: serde_json::to_string(report)
+                            .map_err(|e| FleetdError::Codec(e.to_string()))?,
+                    },
+                    Err(e) => {
+                        let timeout_seconds = match e {
+                            ScenarioError::Timeout { seconds } => Some(*seconds),
+                            _ => None,
+                        };
+                        Message::Failed {
+                            digest,
+                            error: e.to_string(),
+                            timeout_seconds,
+                        }
+                    }
+                };
+                match plan.take_at(FaultPoint::Sending, summary.shards_done) {
+                    Some(Fault::DropMidFrame(_)) => {
+                        let mut w = writer
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        let _ = write_half_frame(&mut *w, &msg);
+                        let _ = w.shutdown(std::net::Shutdown::Both);
+                        return Ok(SessionEnd::Lost);
+                    }
+                    Some(Fault::CorruptFrame(_)) => {
+                        let mut w = writer
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                        let _ = write_garbage_frame(&mut *w);
+                        return Ok(SessionEnd::Lost);
+                    }
+                    _ => {}
+                }
+                send(writer, &msg)?;
+                summary.shards_done += 1;
+            }
+            Message::NoWork { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 1000)));
+            }
+            Message::Done => return Ok(SessionEnd::Done),
+            other => {
+                return Err(FleetdError::Frame(FrameError::Corrupt(format!(
+                    "unexpected coordinator message {other:?}"
+                ))))
+            }
+        }
+    }
+}

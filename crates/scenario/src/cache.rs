@@ -111,7 +111,13 @@ impl ResultCache {
     }
 
     /// Digest of an already-serialized canonical key (avoids serializing
-    /// the scenario twice on the lookup/store paths).
+    /// the scenario twice on the lookup/store paths). Public so the
+    /// distributed layer, which ships canonical key strings over the wire,
+    /// can verify a shard digest without re-deriving the scenario.
+    pub fn digest_of_key(key: &str) -> String {
+        Self::digest_of(key)
+    }
+
     fn digest_of(key: &str) -> String {
         let mut h = StableHasher::new();
         h.write_delimited(format!("wsnem-cache-v{CACHE_FORMAT}").as_bytes());
@@ -156,10 +162,17 @@ impl ResultCache {
             .map_err(|e| ScenarioError::Parse(format!("cache: {e}")))?;
         let text = format!("{key}\n{report_json}\n");
         let path = self.entry_path(&digest);
-        // Unique-per-process temp name; the rename publishes atomically.
+        // Unique temp name per process *and* per store: two threads of one
+        // process storing the same digest concurrently (two `run_cached`
+        // calls racing on one directory) must not share a temp file, or
+        // one writer's rename could publish the other's half-written
+        // bytes. The process-wide counter makes every temp path distinct;
+        // the rename then publishes atomically, last writer wins.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = self
             .dir
-            .join(format!(".tmp-{digest}-{}", std::process::id()));
+            .join(format!(".tmp-{digest}-{}-{seq}", std::process::id()));
         std::fs::write(&tmp, text)
             .map_err(|e| ScenarioError::Io(format!("cache: {}: {e}", tmp.display())))?;
         std::fs::rename(&tmp, &path).map_err(|e| {

@@ -24,6 +24,15 @@ pub enum ScenarioError {
     Eval(wsnem_core::CoreError),
     /// The DES kernel rejected a workload/parameter combination.
     Des(wsnem_des::DesError),
+    /// The scenario exceeded the per-scenario wall-clock watchdog
+    /// (`--scenario-timeout`, or the distributed lease watchdog).
+    Timeout {
+        /// Watchdog budget that was exceeded, in seconds.
+        seconds: f64,
+    },
+    /// A distributed worker reported a failure; the typed error cannot be
+    /// reconstructed across the wire, so the rendered message is carried.
+    Remote(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -41,6 +50,11 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::Eval(e) => write!(f, "model evaluation failed: {e}"),
             ScenarioError::Des(e) => write!(f, "simulation failed: {e}"),
+            ScenarioError::Timeout { seconds } => write!(
+                f,
+                "scenario exceeded the {seconds} s wall-clock watchdog and was marked failed"
+            ),
+            ScenarioError::Remote(msg) => write!(f, "remote worker: {msg}"),
         }
     }
 }

@@ -20,8 +20,44 @@ use crate::error::ScenarioError;
 use crate::files;
 use crate::gen::MANIFEST_FILE;
 use crate::report::ScenarioReport;
-use crate::runner::{run_batch_with_metrics, BatchMetrics, BatchProgress};
+use crate::runner::{run_batch_with_options, BatchMetrics, BatchProgress};
 use crate::schema::Scenario;
+
+/// Knobs for [`run_cached_with`] beyond the scenario/cache lists.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRunOptions {
+    /// Worker threads for the simulation batch (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Cache policy for lookups and stores.
+    pub mode: CacheMode,
+    /// Per-scenario wall-clock watchdog in seconds (`None` = unbounded):
+    /// a point that exceeds it is marked failed with
+    /// [`ScenarioError::Timeout`] instead of hanging the fleet.
+    pub timeout_seconds: Option<f64>,
+}
+
+impl Default for FleetRunOptions {
+    fn default() -> Self {
+        FleetRunOptions {
+            threads: None,
+            mode: CacheMode::ReadWrite,
+            timeout_seconds: None,
+        }
+    }
+}
+
+/// Store a freshly simulated report, degrading store failures (disk full,
+/// read-only directory, permissions) to a one-line stderr warning: the
+/// report is in hand either way, so a broken cache must cost a future miss,
+/// never the batch.
+pub fn store_or_warn(cache: &ResultCache, scenario: &Scenario, report: &ScenarioReport) {
+    if let Err(e) = cache.store(scenario, report) {
+        eprintln!(
+            "warning: result cache store failed for scenario `{}`: {e} (continuing uncached)",
+            scenario.name
+        );
+    }
+}
 
 /// Scenario files in `dir`, sorted by file name: every `.toml`/`.json`
 /// regular file except dotfiles and the generator's `manifest.json`.
@@ -107,6 +143,36 @@ pub fn run_cached(
     BatchMetrics,
     CacheStats,
 ) {
+    run_cached_with(
+        scenarios,
+        caches,
+        FleetRunOptions {
+            threads,
+            mode,
+            timeout_seconds: None,
+        },
+        on_done,
+    )
+}
+
+/// [`run_cached`] with the full option set — notably the per-scenario
+/// wall-clock watchdog shared with `--scenario-timeout` and the
+/// distributed lease watchdog.
+pub fn run_cached_with(
+    scenarios: &[Scenario],
+    caches: &[Option<&ResultCache>],
+    opts: FleetRunOptions,
+    on_done: Option<BatchProgress<'_>>,
+) -> (
+    Vec<Result<ScenarioReport, ScenarioError>>,
+    BatchMetrics,
+    CacheStats,
+) {
+    let FleetRunOptions {
+        threads,
+        mode,
+        timeout_seconds,
+    } = opts;
     assert_eq!(scenarios.len(), caches.len(), "one cache slot per scenario");
     let started = std::time::Instant::now();
     let n = scenarios.len();
@@ -142,21 +208,20 @@ pub fn run_cached(
         let subset: Vec<Scenario> = to_run.iter().map(|&i| scenarios[i].clone()).collect();
         let offset_cb = on_done
             .map(|cb| move |done: usize, _total: usize, name: &str| cb(hits + done, n, name));
-        let (results, inner) = run_batch_with_metrics(
+        let (results, inner) = run_batch_with_options(
             &subset,
             threads,
             offset_cb
                 .as_ref()
                 .map(|cb| cb as &(dyn Fn(usize, usize, &str) + Sync)),
+            timeout_seconds,
         );
         inner_workers = inner.workers;
         busy_seconds = inner.busy_seconds;
         for (&i, result) in to_run.iter().zip(results) {
             if let (Ok(report), Some(cache)) = (&result, caches[i]) {
                 if mode != CacheMode::Disabled {
-                    // A failed store must not fail the run; the report is
-                    // in hand either way.
-                    let _ = cache.store(&scenarios[i], report);
+                    store_or_warn(cache, &scenarios[i], report);
                 }
             }
             slots[i] = Some(result);
@@ -445,6 +510,128 @@ mod tests {
                 "serialized report must round-trip bit-identically"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_run_cached_writers_never_tear_entries() {
+        // Two `run_cached` invocations racing on the same `.wsnem-cache/`
+        // (two threads, same fleet): every store must publish whole, so a
+        // third pass answers all scenarios from the cache with reports
+        // identical to the racers'.
+        let dir = temp_dir("race");
+        let spec = GenSpec {
+            method: GenMethod::Grid,
+            count: 0,
+            seed: 3,
+            prefix: "race".into(),
+            fields: vec![FieldSpec {
+                field: GenField::Lambda,
+                min: 0.2,
+                max: 0.8,
+                points: Some(8),
+            }],
+        };
+        gen::write_fleet(
+            &dir,
+            &quick(builtin::paper_defaults()),
+            &spec,
+            FileFormat::Toml,
+        )
+        .unwrap();
+        let scenarios: Vec<Scenario> = load_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(scenarios.len(), 8);
+
+        let runs = std::thread::scope(|scope| {
+            let racers: Vec<_> = (0..2)
+                .map(|_| {
+                    let scenarios = &scenarios;
+                    let dir = &dir;
+                    scope.spawn(move || {
+                        // Each racer opens its own handle on the shared dir,
+                        // exactly as two concurrent processes would.
+                        let cache = ResultCache::open_under(dir).unwrap();
+                        let caches: Vec<Option<&ResultCache>> =
+                            scenarios.iter().map(|_| Some(&cache)).collect();
+                        let (results, _, _) =
+                            run_cached(scenarios, &caches, Some(2), CacheMode::ReadWrite, None);
+                        results.into_iter().map(|r| r.unwrap()).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            racers
+                .into_iter()
+                .map(|r| r.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        // Deterministic seeds: both racers computed identical numbers.
+        for (a, b) in runs[0].iter().zip(&runs[1]) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.backends[0].fractions, b.backends[0].fractions);
+        }
+
+        // No torn entries, no stray temp files left behind.
+        let cache = ResultCache::open_under(&dir).unwrap();
+        assert_eq!(cache.len(), 8);
+        let leftovers: Vec<String> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().map(str::to_owned))
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+
+        // Third pass: all hits, each report verbatim from ONE of the
+        // racers. Last-write-wins means either racer's store may be the
+        // surviving entry — the two differ only in timing fields, but a
+        // torn or mixed entry would match neither bit-for-bit.
+        let caches: Vec<Option<&ResultCache>> = scenarios.iter().map(|_| Some(&cache)).collect();
+        let (third, metrics, stats) =
+            run_cached(&scenarios, &caches, Some(2), CacheMode::ReadWrite, None);
+        assert_eq!(stats, CacheStats { hits: 8, misses: 0 });
+        assert_eq!(metrics.busy_seconds, 0.0);
+        for ((t, a), b) in third.iter().zip(&runs[0]).zip(&runs[1]) {
+            let t = t.as_ref().unwrap();
+            assert!(
+                t == a || t == b,
+                "cached report matches neither racer: {t:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn broken_cache_store_degrades_to_a_recorded_miss() {
+        // Satellite: a cache whose directory has been ripped out from
+        // under it (the portable stand-in for a read-only or full disk —
+        // chmod tricks are bypassed by root) must not abort the batch:
+        // stores fail, the run completes, and the next pass records
+        // misses instead of hits.
+        let dir = temp_dir("brokenstore");
+        let cache_dir = dir.join("gone").join(crate::cache::DIR_NAME);
+        let cache = ResultCache::open(&cache_dir).unwrap();
+        std::fs::remove_dir_all(dir.join("gone")).unwrap();
+        // Park a plain file where the cache dir was so nothing can recreate it.
+        std::fs::write(dir.join("gone"), "not a directory").unwrap();
+
+        let mut s = quick(builtin::paper_defaults());
+        s.name = "degraded".into();
+        let scenarios = vec![s.clone()];
+        let caches = vec![Some(&cache)];
+        let (results, _, stats) =
+            run_cached(&scenarios, &caches, Some(1), CacheMode::ReadWrite, None);
+        assert!(results[0].is_ok(), "{:?}", results[0]);
+        assert_eq!(stats, CacheStats { hits: 0, misses: 1 });
+        // The store failed silently-but-warned: nothing cached.
+        assert_eq!(cache.len(), 0);
+        let (results, _, stats) =
+            run_cached(&scenarios, &caches, Some(1), CacheMode::ReadWrite, None);
+        assert!(results[0].is_ok());
+        assert_eq!(stats, CacheStats { hits: 0, misses: 1 }, "recorded miss");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -82,6 +82,7 @@ pub use compare::{
 };
 pub use error::ScenarioError;
 pub use files::{load, FileFormat};
+pub use fleet::{run_cached, run_cached_with, store_or_warn, FleetRunOptions};
 pub use gen::{FieldSpec, GenField, GenMethod, GenSpec};
 // Re-exported so consumers of `TopologySpec::build_next_hops` /
 // `NetworkSpec::build_network` (e.g. the CLI) need no direct wsn dependency.
@@ -91,8 +92,8 @@ pub use report::{
     ScenarioReport, DEFAULT_SUMMARY_NODE_LIMIT,
 };
 pub use runner::{
-    run_batch, run_batch_with_metrics, run_scenario, BatchMetrics, BatchProgress,
-    AGGREGATE_NODE_THRESHOLD,
+    call_with_timeout, run_batch, run_batch_with_metrics, run_batch_with_options, run_scenario,
+    run_scenario_bounded, BatchMetrics, BatchProgress, AGGREGATE_NODE_THRESHOLD,
 };
 pub use schema::{
     Backend, BatterySpec, NetworkSpec, NodeSpec, ProfileSpec, ReportSpec, RouteSpec, Scenario,

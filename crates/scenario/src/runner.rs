@@ -53,14 +53,11 @@ pub struct BatchMetrics {
 }
 
 impl BatchMetrics {
-    // pub(crate): the fleet runner rebuilds whole-fleet metrics around the
-    // cached/simulated split.
-    pub(crate) fn new(
-        scenarios: usize,
-        workers: usize,
-        wall_seconds: f64,
-        busy_seconds: f64,
-    ) -> Self {
+    /// Build metrics from raw counts and clocks; `utilization` and
+    /// `scenarios_per_second` are derived. Public so out-of-crate runners
+    /// (the distributed coordinator) can rebuild whole-fleet metrics around
+    /// their own cached/remote/local split.
+    pub fn new(scenarios: usize, workers: usize, wall_seconds: f64, busy_seconds: f64) -> Self {
         let capacity = wall_seconds * workers as f64;
         BatchMetrics {
             scenarios,
@@ -89,6 +86,65 @@ pub type BatchProgress<'a> = &'a (dyn Fn(usize, usize, &str) + Sync);
 /// over all cores).
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioError> {
     run_scenario_with_threads(scenario, None)
+}
+
+/// Run a closure on a dedicated watchdog thread, waiting at most `seconds`
+/// of wall-clock time for its result.
+///
+/// On timeout the worker thread is *abandoned*: it stays detached, its
+/// eventual result is dropped, and the caller gets
+/// [`ScenarioError::Timeout`]. The leaked thread keeps burning its core
+/// until the closure returns on its own — acceptable for a watchdog whose
+/// job is to keep one runaway point from wedging a whole fleet, and the
+/// reason batch runners cap concurrent timeouts at the worker count.
+pub fn call_with_timeout<T, F>(seconds: f64, f: F) -> Result<T, ScenarioError>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::Builder::new()
+        .name("wsnem-watchdog".into())
+        .spawn(move || {
+            // A send error means the watchdog already fired and the
+            // receiver is gone; the result is dropped on the floor.
+            let _ = tx.send(f());
+        })
+        .map_err(|e| ScenarioError::Io(format!("failed to spawn watchdog thread: {e}")))?;
+    // Sanitize before Duration::from_secs_f64, which panics on negative,
+    // NaN or overflowing inputs.
+    let budget = if seconds.is_finite() {
+        seconds.clamp(0.0, 1.0e9)
+    } else {
+        1.0e9
+    };
+    match rx.recv_timeout(std::time::Duration::from_secs_f64(budget)) {
+        Ok(v) => Ok(v),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(ScenarioError::Timeout { seconds }),
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(ScenarioError::Io(
+            "scenario worker thread terminated without a result".into(),
+        )),
+    }
+}
+
+/// [`run_scenario_with_threads`] under an optional per-scenario wall-clock
+/// watchdog (`--scenario-timeout`): with `timeout_seconds` set, the point is
+/// marked failed with [`ScenarioError::Timeout`] instead of hanging the
+/// batch.
+pub fn run_scenario_bounded(
+    scenario: &Scenario,
+    inner_threads: Option<usize>,
+    timeout_seconds: Option<f64>,
+) -> Result<ScenarioReport, ScenarioError> {
+    match timeout_seconds {
+        None => run_scenario_with_threads(scenario, inner_threads),
+        Some(seconds) => {
+            let scenario = scenario.clone();
+            call_with_timeout(seconds, move || {
+                run_scenario_with_threads(&scenario, inner_threads)
+            })?
+        }
+    }
 }
 
 /// Run one scenario, pinning the *inner* (per-backend replication) thread
@@ -197,6 +253,18 @@ pub fn run_batch_with_metrics(
     threads: Option<usize>,
     on_done: Option<BatchProgress<'_>>,
 ) -> (Vec<Result<ScenarioReport, ScenarioError>>, BatchMetrics) {
+    run_batch_with_options(scenarios, threads, on_done, None)
+}
+
+/// [`run_batch_with_metrics`] plus an optional per-scenario wall-clock
+/// watchdog: a point that exceeds `timeout_seconds` is marked failed with
+/// [`ScenarioError::Timeout`] while the rest of the batch keeps running.
+pub fn run_batch_with_options(
+    scenarios: &[Scenario],
+    threads: Option<usize>,
+    on_done: Option<BatchProgress<'_>>,
+    timeout_seconds: Option<f64>,
+) -> (Vec<Result<ScenarioReport, ScenarioError>>, BatchMetrics) {
     let n = scenarios.len();
     if n == 0 {
         return (Vec::new(), BatchMetrics::new(0, 0, 0.0, 0.0));
@@ -214,7 +282,7 @@ pub fn run_batch_with_metrics(
         let mut results = Vec::with_capacity(n);
         for (i, s) in scenarios.iter().enumerate() {
             let started = Instant::now();
-            results.push(run_scenario(s));
+            results.push(run_scenario_bounded(s, None, timeout_seconds));
             busy += started.elapsed().as_secs_f64();
             if let Some(cb) = on_done {
                 cb(i + 1, n, &s.name);
@@ -248,7 +316,10 @@ pub fn run_batch_with_metrics(
                             break;
                         }
                         let started = Instant::now();
-                        done.push((i, run_scenario_with_threads(&scenarios[i], Some(1))));
+                        done.push((
+                            i,
+                            run_scenario_bounded(&scenarios[i], Some(1), timeout_seconds),
+                        ));
                         busy += started.elapsed().as_secs_f64();
                         if let Some(cb) = on_done {
                             let c = completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -928,6 +999,38 @@ mod tests {
         let (_, seq) = run_batch_with_metrics(&scenarios[..1], Some(1), None);
         assert_eq!(seq.workers, 1);
         assert!(seq.utilization > 0.0);
+    }
+
+    #[test]
+    fn watchdog_bounds_runaway_scenarios() {
+        // A quick closure beats the watchdog and returns its value.
+        assert_eq!(call_with_timeout(5.0, || 42).unwrap(), 42);
+        // A stalled closure is abandoned with a typed Timeout error.
+        let err = call_with_timeout(0.05, || {
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            0
+        })
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Timeout { .. }), "{err}");
+        assert!(err.to_string().contains("watchdog"), "{err}");
+
+        // Batch path: a DES point with an absurd horizon is marked failed
+        // by the watchdog while the analytic point completes normally.
+        let mut slow = quick_scenario();
+        slow.name = "slow".into();
+        slow.backends = vec![BackendId::Des];
+        slow.cpu = slow.cpu.with_replications(1).with_horizon(5.0e7);
+        let mut fast = quick_scenario();
+        fast.name = "fast".into();
+        fast.backends = vec![BackendId::Markov];
+        let (results, metrics) = run_batch_with_options(&[slow, fast], Some(2), None, Some(0.2));
+        assert!(
+            matches!(results[0], Err(ScenarioError::Timeout { seconds }) if seconds == 0.2),
+            "{:?}",
+            results[0]
+        );
+        assert!(results[1].is_ok(), "{:?}", results[1]);
+        assert_eq!(metrics.scenarios, 2);
     }
 
     #[test]
